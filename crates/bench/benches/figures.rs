@@ -1,0 +1,120 @@
+//! One Criterion benchmark per paper figure: measures the host-side cost
+//! of regenerating a representative data point of each figure (the full
+//! sweeps live in the `repro` binary). Keeps the figure paths exercised
+//! under `cargo bench` and tracks simulator performance regressions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use s3a_bench::params_for;
+use s3a_bench::Point;
+use s3asim::{run, Strategy};
+
+fn bench_fig2_point(c: &mut Criterion) {
+    // Figure 2: overall time vs. procs. Representative point: 32 procs.
+    let mut g = c.benchmark_group("fig2_proc_scaling");
+    g.sample_size(10);
+    for strategy in Strategy::PAPER_SET {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, &strategy| {
+                let params = params_for(Point {
+                    procs: 32,
+                    speed: 1.0,
+                    strategy,
+                    sync: false,
+                });
+                b.iter(|| {
+                    let r = run(&params);
+                    r.verify().expect("exact output");
+                    r.overall
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_fig34_breakdowns(c: &mut Criterion) {
+    // Figures 3/4: phase breakdowns under the sync option.
+    let mut g = c.benchmark_group("fig3_fig4_sync_breakdowns");
+    g.sample_size(10);
+    for strategy in Strategy::PAPER_SET {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, &strategy| {
+                let params = params_for(Point {
+                    procs: 32,
+                    speed: 1.0,
+                    strategy,
+                    sync: true,
+                });
+                b.iter(|| {
+                    let r = run(&params);
+                    r.verify().expect("exact output");
+                    r.worker_mean
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_fig5_point(c: &mut Criterion) {
+    // Figure 5: overall time vs. compute speed at 64 procs.
+    let mut g = c.benchmark_group("fig5_compute_scaling");
+    g.sample_size(10);
+    for speed in [0.4, 6.4] {
+        g.bench_with_input(BenchmarkId::from_parameter(speed), &speed, |b, &speed| {
+            let params = params_for(Point {
+                procs: 64,
+                speed,
+                strategy: Strategy::WwList,
+                sync: false,
+            });
+            b.iter(|| {
+                let r = run(&params);
+                r.verify().expect("exact output");
+                r.overall
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig67_breakdowns(c: &mut Criterion) {
+    // Figures 6/7: speed-sweep breakdowns; the slow-compute end is the
+    // heavy case (largest simulated spans).
+    let mut g = c.benchmark_group("fig6_fig7_speed_breakdowns");
+    g.sample_size(10);
+    for strategy in [Strategy::Mw, Strategy::WwColl] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, &strategy| {
+                let params = params_for(Point {
+                    procs: 64,
+                    speed: 0.4,
+                    strategy,
+                    sync: true,
+                });
+                b.iter(|| {
+                    let r = run(&params);
+                    r.verify().expect("exact output");
+                    r.worker_mean
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig2_point,
+    bench_fig34_breakdowns,
+    bench_fig5_point,
+    bench_fig67_breakdowns
+);
+criterion_main!(benches);

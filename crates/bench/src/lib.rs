@@ -1,0 +1,302 @@
+//! # s3a-bench — figure reproduction and benchmark support
+//!
+//! Defines the paper's two evaluation sweeps (process scaling, Figures
+//! 2–4; compute-speed scaling, Figures 5–7), runs them through
+//! [`s3asim::run`], and renders the same series the paper plots: overall
+//! execution time per strategy (Figures 2 and 5) and per-phase worker
+//! breakdowns (Figures 3, 4, 6 and 7). The paper's headline comparisons
+//! are encoded in [`paper::CLAIMS`] so the harness (and the test suite)
+//! can check each reproduced shape against the published one.
+
+use s3asim::{run, Phase, RunReport, SimParams, Strategy, PHASES};
+
+/// The process counts of the scaling suite (paper §3.3, Figures 2–4).
+pub const PROC_SWEEP: [usize; 8] = [2, 4, 8, 16, 32, 48, 64, 96];
+
+/// The compute-speed multipliers of the second suite (Figures 5–7).
+pub const SPEED_SWEEP: [f64; 9] = [0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 6.4, 12.8, 25.6];
+
+/// Process count used by the compute-speed suite.
+pub const SPEED_SUITE_PROCS: usize = 64;
+
+/// One run's coordinates within a sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Total processes.
+    pub procs: usize,
+    /// Compute-speed multiplier.
+    pub speed: f64,
+    /// Strategy under test.
+    pub strategy: Strategy,
+    /// Query-sync option.
+    pub sync: bool,
+}
+
+/// A sweep's worth of completed runs.
+pub struct Sweep {
+    /// Human-readable name ("process scaling", ...).
+    pub name: &'static str,
+    /// The coordinates and their reports, in execution order.
+    pub runs: Vec<(Point, RunReport)>,
+}
+
+/// Build the [`SimParams`] for one sweep point (paper-default workload and
+/// testbed).
+pub fn params_for(p: Point) -> SimParams {
+    SimParams {
+        procs: p.procs,
+        strategy: p.strategy,
+        query_sync: p.sync,
+        compute_speed: p.speed,
+        ..SimParams::default()
+    }
+}
+
+fn execute(name: &'static str, points: Vec<Point>, progress: bool) -> Sweep {
+    let total = points.len();
+    let runs = points
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            if progress {
+                eprintln!(
+                    "[{}/{}] {} procs={} speed={} sync={}",
+                    i + 1,
+                    total,
+                    p.strategy,
+                    p.procs,
+                    p.speed,
+                    p.sync
+                );
+            }
+            let report = run(&params_for(p));
+            report
+                .verify()
+                .unwrap_or_else(|e| panic!("verification failed at {p:?}: {e}"));
+            (p, report)
+        })
+        .collect();
+    Sweep { name, runs }
+}
+
+/// Run the full process-scaling suite (Figures 2–4): every strategy and
+/// sync mode at each process count.
+pub fn run_proc_sweep(progress: bool) -> Sweep {
+    let mut points = Vec::new();
+    for sync in [false, true] {
+        for strategy in Strategy::PAPER_SET {
+            for procs in PROC_SWEEP {
+                points.push(Point {
+                    procs,
+                    speed: 1.0,
+                    strategy,
+                    sync,
+                });
+            }
+        }
+    }
+    execute("process scaling (Figures 2-4)", points, progress)
+}
+
+/// Run the full compute-speed suite (Figures 5–7) at 64 processes.
+pub fn run_speed_sweep(progress: bool) -> Sweep {
+    let mut points = Vec::new();
+    for sync in [false, true] {
+        for strategy in Strategy::PAPER_SET {
+            for speed in SPEED_SWEEP {
+                points.push(Point {
+                    procs: SPEED_SUITE_PROCS,
+                    speed,
+                    strategy,
+                    sync,
+                });
+            }
+        }
+    }
+    execute("compute-speed scaling (Figures 5-7)", points, progress)
+}
+
+impl Sweep {
+    /// Fetch one run.
+    pub fn get(&self, procs: usize, speed: f64, strategy: Strategy, sync: bool) -> &RunReport {
+        self.runs
+            .iter()
+            .find(|(p, _)| {
+                p.procs == procs && p.speed == speed && p.strategy == strategy && p.sync == sync
+            })
+            .map(|(_, r)| r)
+            .unwrap_or_else(|| panic!("no run for {strategy} procs={procs} speed={speed} sync={sync}"))
+    }
+
+    /// Render the Figure 2/5-style overall-time table: one row per x-axis
+    /// value, one column per (strategy, sync).
+    pub fn overall_table(&self, xaxis: &str) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "# {} — overall execution time (s)", self.name);
+        let _ = write!(s, "{xaxis:>8}");
+        let mut columns: Vec<(Strategy, bool)> = Vec::new();
+        for sync in [false, true] {
+            for strategy in Strategy::PAPER_SET {
+                columns.push((strategy, sync));
+                let _ = write!(
+                    s,
+                    " {:>14}",
+                    format!("{}{}", strategy, if sync { "/sync" } else { "" })
+                );
+            }
+        }
+        let _ = writeln!(s);
+        let mut xs: Vec<(usize, f64)> = self
+            .runs
+            .iter()
+            .map(|(p, _)| (p.procs, p.speed))
+            .collect();
+        xs.dedup();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        xs.dedup();
+        for (procs, speed) in xs {
+            if (PROC_SWEEP.len() > 1) && self.name.contains("process") {
+                let _ = write!(s, "{procs:>8}");
+            } else {
+                let _ = write!(s, "{speed:>8}");
+            }
+            for &(strategy, sync) in &columns {
+                let r = self.get(procs, speed, strategy, sync);
+                let _ = write!(s, " {:>14.2}", r.overall.as_secs_f64());
+            }
+            let _ = writeln!(s);
+        }
+        s
+    }
+
+    /// Render a Figure 3/4/6/7-style phase breakdown table for one
+    /// strategy and sync mode (worker-process means, stacked phases).
+    pub fn phase_table(&self, strategy: Strategy, sync: bool, xaxis: &str) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "# {} — {} ({}) worker phase breakdown (s)",
+            self.name,
+            strategy,
+            if sync { "sync" } else { "no-sync" }
+        );
+        let _ = write!(s, "{xaxis:>8}");
+        for p in PHASES {
+            let _ = write!(s, " {:>12}", p.name().replace(' ', "-"));
+        }
+        let _ = writeln!(s, " {:>12}", "overall");
+        for (point, r) in self
+            .runs
+            .iter()
+            .filter(|(p, _)| p.strategy == strategy && p.sync == sync)
+        {
+            if self.name.contains("process") {
+                let _ = write!(s, "{:>8}", point.procs);
+            } else {
+                let _ = write!(s, "{:>8}", point.speed);
+            }
+            for p in PHASES {
+                let _ = write!(s, " {:>12.3}", r.worker_mean.get(p).as_secs_f64());
+            }
+            let _ = writeln!(s, " {:>12.2}", r.overall.as_secs_f64());
+        }
+        s
+    }
+
+    /// All runs as CSV (header + one row per run).
+    pub fn csv(&self) -> String {
+        let mut s = RunReport::csv_header();
+        s.push('\n');
+        for (_, r) in &self.runs {
+            s.push_str(&r.csv_row());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// The paper's quantitative comparisons, used to score the reproduction.
+pub mod paper {
+    use super::*;
+
+    /// One headline comparison: at `(procs, speed, sync)`, `slower` takes
+    /// `factor`× the time of WW-List (the paper states "WW-List
+    /// outperforms X by (factor−1)·100%").
+    #[derive(Debug, Clone, Copy)]
+    pub struct Claim {
+        /// Where the comparison is made.
+        pub procs: usize,
+        /// Compute speed of the comparison.
+        pub speed: f64,
+        /// Query-sync mode of the comparison.
+        pub sync: bool,
+        /// The strategy WW-List is compared against.
+        pub slower: Strategy,
+        /// Paper-reported time ratio `slower / WW-List`.
+        pub factor: f64,
+    }
+
+    /// Section 4's headline ratios.
+    pub const CLAIMS: [Claim; 12] = [
+        // 96 processes, base speed (Figure 2 discussion).
+        Claim { procs: 96, speed: 1.0, sync: false, slower: Strategy::Mw, factor: 4.64 },
+        Claim { procs: 96, speed: 1.0, sync: false, slower: Strategy::WwPosix, factor: 1.33 },
+        Claim { procs: 96, speed: 1.0, sync: false, slower: Strategy::WwColl, factor: 1.75 },
+        Claim { procs: 96, speed: 1.0, sync: true, slower: Strategy::Mw, factor: 2.82 },
+        Claim { procs: 96, speed: 1.0, sync: true, slower: Strategy::WwPosix, factor: 1.37 },
+        Claim { procs: 96, speed: 1.0, sync: true, slower: Strategy::WwColl, factor: 1.13 },
+        // 64 processes, compute speed 25.6 (Figure 5 discussion).
+        Claim { procs: 64, speed: 25.6, sync: false, slower: Strategy::Mw, factor: 6.92 },
+        Claim { procs: 64, speed: 25.6, sync: false, slower: Strategy::WwPosix, factor: 1.32 },
+        Claim { procs: 64, speed: 25.6, sync: false, slower: Strategy::WwColl, factor: 1.98 },
+        Claim { procs: 64, speed: 25.6, sync: true, slower: Strategy::Mw, factor: 5.44 },
+        Claim { procs: 64, speed: 25.6, sync: true, slower: Strategy::WwPosix, factor: 1.65 },
+        Claim { procs: 64, speed: 25.6, sync: true, slower: Strategy::WwColl, factor: 1.58 },
+    ];
+
+    /// Paper absolute anchors (seconds) for the sync cases at 96 procs.
+    pub const WW_LIST_SYNC_96: f64 = 40.24;
+    /// WW-Coll with sync at 96 procs.
+    pub const WW_COLL_SYNC_96: f64 = 45.54;
+
+    /// Compare a claim against two measured runs; returns
+    /// `(measured_factor, paper_factor)`.
+    pub fn measure(claim: &Claim, slower: &RunReport, list: &RunReport) -> (f64, f64) {
+        (
+            slower.overall.as_secs_f64() / list.overall.as_secs_f64(),
+            claim.factor,
+        )
+    }
+}
+
+/// Small workload for fast benches and tests: same structure as the paper
+/// workload, ~50× less work.
+pub fn small_params(procs: usize, strategy: Strategy) -> SimParams {
+    use s3a_workload::WorkloadParams;
+    SimParams {
+        procs,
+        strategy,
+        workload: WorkloadParams {
+            queries: 4,
+            fragments: 16,
+            min_results: 100,
+            max_results: 200,
+            ..WorkloadParams::default()
+        },
+        ..SimParams::default()
+    }
+}
+
+/// The phases with visibly nonzero mass in the paper's stacked bars; used
+/// by smoke checks.
+pub fn major_phases() -> [Phase; 5] {
+    [
+        Phase::DataDistribution,
+        Phase::Compute,
+        Phase::GatherResults,
+        Phase::Io,
+        Phase::Sync,
+    ]
+}

@@ -1,0 +1,82 @@
+//! Tests for the figure-reproduction harness itself: table rendering,
+//! claim arithmetic, and the small-parameter helpers.
+
+use s3a_bench::{paper, params_for, small_params, Point, PROC_SWEEP, SPEED_SWEEP};
+use s3asim::{run, Strategy};
+
+#[test]
+fn sweep_constants_match_the_paper() {
+    assert_eq!(PROC_SWEEP, [2, 4, 8, 16, 32, 48, 64, 96]);
+    assert_eq!(SPEED_SWEEP.len(), 9);
+    assert_eq!(SPEED_SWEEP[0], 0.1);
+    assert_eq!(SPEED_SWEEP[8], 25.6);
+    // Each speed doubles the previous one.
+    for w in SPEED_SWEEP.windows(2) {
+        assert!((w[1] / w[0] - 2.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn params_for_carries_the_point() {
+    let p = params_for(Point {
+        procs: 48,
+        speed: 3.2,
+        strategy: Strategy::WwColl,
+        sync: true,
+    });
+    assert_eq!(p.procs, 48);
+    assert_eq!(p.compute_speed, 3.2);
+    assert_eq!(p.strategy, Strategy::WwColl);
+    assert!(p.query_sync);
+    // Paper workload untouched.
+    assert_eq!(p.workload.queries, 20);
+    assert_eq!(p.workload.fragments, 128);
+}
+
+#[test]
+fn claims_cover_both_suites_and_three_rivals() {
+    let at_96 = paper::CLAIMS.iter().filter(|c| c.procs == 96).count();
+    let at_64 = paper::CLAIMS.iter().filter(|c| c.procs == 64).count();
+    assert_eq!(at_96, 6);
+    assert_eq!(at_64, 6);
+    for rival in [Strategy::Mw, Strategy::WwPosix, Strategy::WwColl] {
+        assert_eq!(
+            paper::CLAIMS.iter().filter(|c| c.slower == rival).count(),
+            4,
+            "{rival} should appear in 4 claims"
+        );
+    }
+    // All factors are "WW-List wins" statements.
+    for c in paper::CLAIMS {
+        assert!(c.factor > 1.0);
+    }
+}
+
+#[test]
+fn measure_computes_the_ratio() {
+    let claim = paper::CLAIMS[0];
+    let a = run(&small_params(4, claim.slower));
+    let b = run(&small_params(4, Strategy::WwList));
+    let (measured, target) = paper::measure(&claim, &a, &b);
+    assert_eq!(target, claim.factor);
+    let expect = a.overall.as_secs_f64() / b.overall.as_secs_f64();
+    assert!((measured - expect).abs() < 1e-12);
+}
+
+#[test]
+fn small_params_run_quickly_and_exactly() {
+    for strategy in Strategy::PAPER_SET {
+        let r = run(&small_params(6, strategy));
+        r.verify().unwrap_or_else(|e| panic!("{strategy}: {e}"));
+        assert!(r.engine.events > 0);
+    }
+}
+
+#[test]
+fn major_phases_listed_once_each() {
+    let phases = s3a_bench::major_phases();
+    let mut seen = std::collections::HashSet::new();
+    for p in phases {
+        assert!(seen.insert(p.index()), "duplicate phase {p}");
+    }
+}

@@ -1,0 +1,60 @@
+//! # s3asim — a sequence similarity search algorithm simulator
+//!
+//! A from-scratch Rust reproduction of **S3aSim** (Ching, Feng, Lin, Ma,
+//! Choudhary: *Exploring I/O Strategies for Parallel Sequence-Search
+//! Tools with S3aSim*, HPDC 2006): a master/worker database-segmentation
+//! search skeleton used to compare result-writing strategies —
+//! master-writing (MW), individual worker-writing with POSIX or list I/O
+//! (WW-POSIX / WW-List), and collective worker-writing (WW-Coll) — on a
+//! PVFS2-like parallel file system.
+//!
+//! The entire stack is simulated deterministically in virtual time on a
+//! single thread: the discrete-event engine ([`s3a_des`]), the cluster
+//! network ([`s3a_net`]), MPI ([`s3a_mpi`]), the parallel file system
+//! ([`s3a_pvfs`]), and the MPI-IO layer ([`s3a_mpiio`]). A "96-process"
+//! run therefore needs no cluster, finishes in seconds, and produces the
+//! same result every time.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use s3asim::{run, SimParams, Strategy};
+//! use s3a_workload::WorkloadParams;
+//!
+//! let params = SimParams {
+//!     procs: 8,
+//!     strategy: Strategy::WwList,
+//!     workload: WorkloadParams {
+//!         queries: 4,
+//!         fragments: 16,
+//!         min_results: 50,
+//!         max_results: 100,
+//!         ..WorkloadParams::default()
+//!     },
+//!     ..SimParams::default()
+//! };
+//! let report = run(&params);
+//! report.verify().expect("output file is complete and exact");
+//! println!("{}", report.phase_table());
+//! ```
+
+mod master;
+mod offsets;
+mod params;
+mod phase;
+mod protocol;
+mod report;
+mod resume;
+mod runner;
+pub mod trace;
+mod worker;
+
+pub use offsets::BatchState;
+pub use params::{Segmentation, SimParams, Strategy, Testbed};
+pub use phase::{Phase, PhaseBreakdown, PhaseTimer, PHASES};
+pub use protocol::{hit_order, merge_sorted_hits, Assign, OffsetsMsg, ScoresMsg};
+pub use report::RunReport;
+pub use resume::{expected_lost_time, CommitEntry, CommitLog, CommitTracker, CrashReport};
+pub use runner::{run, DATABASE_FILE, OUTPUT_FILE};
+pub use trace::{Trace, TraceEvent, TraceSink};
+pub use worker::WorkerStats;

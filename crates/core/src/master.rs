@@ -1,0 +1,238 @@
+//! The master process (Algorithm 1 of the paper).
+//!
+//! The master distributes `(query, fragment)` tasks on demand, gathers
+//! scores (plus result data under MW), merges them, and — batch by batch
+//! — either writes the output itself (MW) or tells each worker where to
+//! write (`WW-*`). It is deliberately single-threaded and blocking in the
+//! same places the paper's pseudo-code blocks: most importantly, while
+//! the MW master writes, it cannot answer work requests.
+
+use std::rc::Rc;
+
+use s3a_des::{JoinHandle, Sim};
+use s3a_mpi::{waitall_sends, Comm, RecvRequest, SendRequest, Source};
+use s3a_mpiio::File;
+use s3a_workload::Workload;
+
+use crate::offsets::BatchState;
+use crate::resume::CommitTracker;
+use crate::params::{SimParams, Strategy};
+use crate::phase::{Phase, PhaseBreakdown, PhaseTimer};
+use crate::trace::TraceSink;
+use crate::protocol::{
+    Assign, OffsetsMsg, ScoresMsg, ASSIGN_BYTES, TAG_ASSIGN, TAG_OFFSETS, TAG_SCORES,
+    TAG_WORK_REQ,
+};
+
+/// Run the master on `comm` (the world communicator, rank 0). `file` must
+/// be opened on a master-only communicator; it is used only by MW.
+pub async fn run_master(
+    sim: Sim,
+    comm: Comm,
+    params: Rc<SimParams>,
+    workload: Rc<Workload>,
+    file: File,
+    trace: TraceSink,
+    commits: CommitTracker,
+) -> PhaseBreakdown {
+    let timer = PhaseTimer::with_trace(&sim, 0, trace);
+
+    // Step 1: distribute input variables.
+    timer
+        .track(Phase::Setup, comm.bcast(0, Some(()), 1024))
+        .await;
+
+    let nworkers = comm.size() - 1;
+    let nq = workload.queries.len();
+    let nf = workload.params.fragments;
+    let gran = params.write_every_n_queries.min(nq);
+    let nbatches = nq.div_ceil(gran);
+
+    let tasks: Vec<(usize, usize)> = (0..nq)
+        .flat_map(|q| (0..nf).map(move |f| (q, f)))
+        .collect();
+    let mut next_task = 0usize;
+    let mut done_workers = 0usize;
+
+    let mut batches: Vec<Option<BatchState>> = (0..nbatches)
+        .map(|b| {
+            let queries: Vec<usize> = (b * gran..((b + 1) * gran).min(nq)).collect();
+            Some(BatchState::new(b, queries, nf))
+        })
+        .collect();
+    let mut batches_left = nbatches;
+    let mut cursor = 0u64;
+
+    let mut pending_scores: Vec<RecvRequest> = Vec::new();
+    let mut offset_sends: Vec<SendRequest> = Vec::new();
+    // MW with nonblocking I/O: at most one batch write in flight.
+    let mut pending_io: Option<JoinHandle<()>> = None;
+
+    let notify_all = params.strategy.inherently_synchronizing() || params.query_sync;
+
+    loop {
+        // Steps 10–19: drain any results that have arrived, then handle
+        // batches that are now complete.
+        let mut k = 0;
+        while k < pending_scores.len() {
+            match pending_scores[k].test() {
+                Some(msg) => {
+                    let req = pending_scores.swap_remove(k);
+                    drop(req);
+                    record_scores(&mut batches, msg, gran);
+                }
+                None => k += 1,
+            }
+        }
+
+        #[allow(clippy::needless_range_loop)] // b is the batch id, not just an index
+        for b in 0..nbatches {
+            let complete = batches[b].as_ref().is_some_and(BatchState::is_complete);
+            if !complete {
+                continue;
+            }
+            let batch = batches[b].take().expect("checked above");
+            batches_left -= 1;
+            let (per_worker, total) = batch.assign_offsets(cursor);
+            let base = cursor;
+            cursor += total;
+            let batch_queries = ((b + 1) * gran).min(nq) - b * gran;
+            if params.strategy == Strategy::Mw {
+                commits.expect(b, usize::from(total > 0), batch_queries, total, sim.now());
+            } else {
+                commits.expect(
+                    b,
+                    batch.contributing_workers().len(),
+                    batch_queries,
+                    total,
+                    sim.now(),
+                );
+            }
+
+            match params.strategy {
+                Strategy::Mw => {
+                    // Step 18: the master writes the batch contiguously and
+                    // syncs. With blocking I/O (the default, as in the
+                    // paper) it cannot serve requests meanwhile; with the
+                    // nonblocking option the write proceeds in the
+                    // background and only the *previous* batch's
+                    // completion is awaited (bounded buffering).
+                    if total > 0 {
+                        if params.mw_nonblocking_io {
+                            if let Some(h) = pending_io.take() {
+                                timer.track(Phase::Io, h.join()).await;
+                            }
+                            let fh = file.handle().clone();
+                            let ep = file.endpoint();
+                            let commits2 = commits.clone();
+                            let sim3 = sim.clone();
+                            pending_io = Some(sim.spawn("mw-bg-io", async move {
+                                fh.write_contiguous(ep, base, total).await;
+                                fh.sync(ep).await;
+                                commits2.complete_one(b, sim3.now());
+                            }));
+                        } else {
+                            timer.track(Phase::Io, file.write_at(base, total)).await;
+                            timer.track(Phase::Io, file.sync()).await;
+                            commits.complete_one(b, sim.now());
+                        }
+                    }
+                    if params.query_sync {
+                        for w in 1..=nworkers {
+                            let msg = OffsetsMsg {
+                                batch: b,
+                                offsets: Vec::new(),
+                            };
+                            let bytes = msg.wire_bytes();
+                            offset_sends.push(comm.isend(w, TAG_OFFSETS, msg, bytes));
+                        }
+                    }
+                }
+                _ => {
+                    // Step 15: hand out the location lists.
+                    let targets: Vec<usize> = if notify_all {
+                        (1..=nworkers).collect()
+                    } else {
+                        batch.contributing_workers()
+                    };
+                    for w in targets {
+                        let offsets = per_worker.get(&w).cloned().unwrap_or_default();
+                        let msg = OffsetsMsg { batch: b, offsets };
+                        let bytes = msg.wire_bytes();
+                        offset_sends.push(comm.isend(w, TAG_OFFSETS, msg, bytes));
+                    }
+                }
+            }
+        }
+
+        // Steps 3–9: answer one work request, or wind down.
+        if next_task < tasks.len() || done_workers < nworkers {
+            let req = timer
+                .track(
+                    Phase::DataDistribution,
+                    comm.recv(Source::Any, TAG_WORK_REQ),
+                )
+                .await;
+            let w = req.status.source;
+            if next_task < tasks.len() {
+                let (q, f) = tasks[next_task];
+                next_task += 1;
+                // Step 8: post the receive for this task's scores first so
+                // the progress engine can match it whenever it arrives.
+                pending_scores.push(comm.irecv(w, TAG_SCORES));
+                timer
+                    .track(
+                        Phase::DataDistribution,
+                        comm.send(
+                            w,
+                            TAG_ASSIGN,
+                            Assign::Task {
+                                query: q,
+                                fragment: f,
+                            },
+                            ASSIGN_BYTES,
+                        ),
+                    )
+                    .await;
+            } else {
+                timer
+                    .track(
+                        Phase::DataDistribution,
+                        comm.send(w, TAG_ASSIGN, Assign::Done, ASSIGN_BYTES),
+                    )
+                    .await;
+                done_workers += 1;
+            }
+        } else if let Some(req) = pending_scores.pop() {
+            // Everything is scheduled; block for the stragglers' results.
+            let msg = timer.track(Phase::GatherResults, req.wait()).await;
+            record_scores(&mut batches, msg, gran);
+        } else if batches_left == 0 {
+            break;
+        } else {
+            unreachable!("no pending results but {batches_left} batches incomplete");
+        }
+    }
+
+    if let Some(h) = pending_io.take() {
+        timer.track(Phase::Io, h.join()).await;
+    }
+    timer
+        .track(Phase::GatherResults, waitall_sends(&offset_sends))
+        .await;
+    // Step 20/21: final synchronization before exit.
+    timer.track(Phase::Sync, comm.barrier()).await;
+
+    let mut bd = timer.snapshot();
+    bd.close_to(sim.now());
+    bd
+}
+
+fn record_scores(batches: &mut [Option<BatchState>], msg: s3a_mpi::Message, gran: usize) {
+    let (scores, status) = msg.into_parts::<ScoresMsg>();
+    let b = scores.query / gran;
+    batches[b]
+        .as_mut()
+        .unwrap_or_else(|| panic!("scores for already-written batch {b}"))
+        .record(scores.query, status.source, &scores.hits);
+}

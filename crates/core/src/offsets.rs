@@ -1,0 +1,223 @@
+//! Master-side result bookkeeping: batch completion tracking, global
+//! score-order merging, and file-offset assignment.
+//!
+//! The output-file layout contract (shared with the workers):
+//!
+//! * batches occupy consecutive file extents in *completion* order;
+//! * within a batch, queries appear in ascending query order;
+//! * within a query, results appear in `(score desc, size desc)` order —
+//!   the order BLAST-style tools present hits in;
+//! * each worker receives, per batch, the file offsets of exactly its own
+//!   results, ordered the same way the worker ordered them locally, so a
+//!   flat `zip(local hits, offsets)` yields its write regions.
+
+use std::collections::HashMap;
+
+use s3a_workload::Hit;
+
+use crate::protocol::{hit_order, merge_sorted_hits};
+
+/// Accumulates one batch's results as score messages arrive.
+#[derive(Debug)]
+pub struct BatchState {
+    /// Batch index.
+    pub batch: usize,
+    /// Query ids in this batch (ascending).
+    queries: Vec<usize>,
+    /// Tasks not yet reported.
+    remaining_tasks: usize,
+    /// `per_query[i][worker]` = that worker's merged hits for queries[i],
+    /// sorted by [`hit_order`].
+    per_query: Vec<HashMap<usize, Vec<Hit>>>,
+}
+
+impl BatchState {
+    /// Create the state for `batch` covering `queries`, expecting
+    /// `fragments` task reports per query.
+    pub fn new(batch: usize, queries: Vec<usize>, fragments: usize) -> Self {
+        let n = queries.len();
+        BatchState {
+            batch,
+            queries,
+            remaining_tasks: n * fragments,
+            per_query: (0..n).map(|_| HashMap::new()).collect(),
+        }
+    }
+
+    /// Record one task's hits from `worker`. `hits` must be sorted by
+    /// [`hit_order`] (workers sort before sending, offloading the master).
+    pub fn record(&mut self, query: usize, worker: usize, hits: &[Hit]) {
+        assert!(self.remaining_tasks > 0, "batch {} over-reported", self.batch);
+        self.remaining_tasks -= 1;
+        if hits.is_empty() {
+            return;
+        }
+        let qi = self
+            .queries
+            .iter()
+            .position(|&q| q == query)
+            .unwrap_or_else(|| panic!("query {query} not in batch {}", self.batch));
+        let slot = self.per_query[qi].entry(worker).or_default();
+        if slot.is_empty() {
+            slot.extend_from_slice(hits);
+        } else {
+            *slot = merge_sorted_hits(slot, hits);
+        }
+    }
+
+    /// True once every task of every query in the batch has reported.
+    pub fn is_complete(&self) -> bool {
+        self.remaining_tasks == 0
+    }
+
+    /// Total result bytes in the batch.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_query
+            .iter()
+            .flat_map(|m| m.values())
+            .flatten()
+            .map(|h| h.size)
+            .sum()
+    }
+
+    /// Workers holding at least one result in this batch, ascending.
+    pub fn contributing_workers(&self) -> Vec<usize> {
+        let mut ws: Vec<usize> = self
+            .per_query
+            .iter()
+            .flat_map(|m| m.keys().copied())
+            .collect();
+        ws.sort_unstable();
+        ws.dedup();
+        ws
+    }
+
+    /// Assign file offsets for the whole batch starting at `base`.
+    ///
+    /// Returns `(per-worker offset lists, total bytes)`. Each worker's
+    /// list concatenates its queries in ascending order; within a query
+    /// the offsets follow the worker's local `(score desc, size desc)`
+    /// hit order — i.e. the exact order the worker will zip them with.
+    pub fn assign_offsets(&self, base: u64) -> (HashMap<usize, Vec<u64>>, u64) {
+        let mut per_worker: HashMap<usize, Vec<u64>> = HashMap::new();
+        let mut cursor = base;
+        for qmap in &self.per_query {
+            // Globally order this query's hits across workers.
+            let mut all: Vec<(usize, Hit)> = qmap
+                .iter()
+                .flat_map(|(&w, hits)| hits.iter().map(move |&h| (w, h)))
+                .collect();
+            all.sort_by(|(wa, a), (wb, b)| hit_order(a, b).then(wa.cmp(wb)));
+            for (w, h) in all {
+                per_worker.entry(w).or_default().push(cursor);
+                cursor += h.size;
+            }
+        }
+        (per_worker, cursor - base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(score: u64, size: u64) -> Hit {
+        Hit { score, size }
+    }
+
+    #[test]
+    fn completion_counts_tasks() {
+        let mut b = BatchState::new(0, vec![0, 1], 2);
+        assert!(!b.is_complete());
+        b.record(0, 1, &[h(5, 10)]);
+        b.record(0, 2, &[]);
+        b.record(1, 1, &[h(7, 20)]);
+        assert!(!b.is_complete());
+        b.record(1, 2, &[h(6, 30)]);
+        assert!(b.is_complete());
+        assert_eq!(b.total_bytes(), 60);
+        assert_eq!(b.contributing_workers(), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-reported")]
+    fn over_reporting_panics() {
+        let mut b = BatchState::new(0, vec![0], 1);
+        b.record(0, 1, &[]);
+        b.record(0, 1, &[]);
+    }
+
+    #[test]
+    fn offsets_follow_global_score_order() {
+        let mut b = BatchState::new(0, vec![3], 2);
+        // Worker 1: scores 9 (sz 10), 5 (sz 20); worker 2: score 7 (sz 30).
+        b.record(3, 1, &[h(9, 10), h(5, 20)]);
+        b.record(3, 2, &[h(7, 30)]);
+        let (per_worker, total) = b.assign_offsets(1000);
+        assert_eq!(total, 60);
+        // Global layout: w1@1000 (sz10), w2@1010 (sz30), w1@1040 (sz20).
+        assert_eq!(per_worker[&1], vec![1000, 1040]);
+        assert_eq!(per_worker[&2], vec![1010]);
+    }
+
+    #[test]
+    fn offsets_span_queries_in_ascending_order() {
+        let mut b = BatchState::new(0, vec![0, 1], 1);
+        b.record(1, 1, &[h(100, 5)]); // higher score but later query
+        b.record(0, 1, &[h(1, 7)]);
+        let (per_worker, total) = b.assign_offsets(0);
+        assert_eq!(total, 12);
+        // Query 0's results come first regardless of score.
+        assert_eq!(per_worker[&1], vec![0, 7]);
+    }
+
+    #[test]
+    fn multi_fragment_merge_matches_worker_order() {
+        // A worker reports two fragments of the same query; the master's
+        // merged per-worker order must equal the worker's own merge.
+        let f1 = vec![h(9, 1), h(4, 2)];
+        let f2 = vec![h(7, 3), h(2, 4)];
+        let mut b = BatchState::new(0, vec![0], 2);
+        b.record(0, 5, &f1);
+        b.record(0, 5, &f2);
+        let worker_local = merge_sorted_hits(&f1, &f2);
+        let (per_worker, _) = b.assign_offsets(0);
+        // Reconstruct the master's layout: offsets are ascending in global
+        // score order and all hits belong to worker 5, so zipping the
+        // worker's local order with the returned list must give sizes
+        // consistent with the cumulative layout.
+        let offsets = &per_worker[&5];
+        assert_eq!(offsets.len(), worker_local.len());
+        let mut expect = 0u64;
+        for (off, hit) in offsets.iter().zip(&worker_local) {
+            assert_eq!(*off, expect, "layout mismatch");
+            expect += hit.size;
+        }
+    }
+
+    #[test]
+    fn empty_batch_assigns_nothing() {
+        let mut b = BatchState::new(0, vec![0], 1);
+        b.record(0, 1, &[]);
+        assert!(b.is_complete());
+        let (per_worker, total) = b.assign_offsets(0);
+        assert!(per_worker.is_empty());
+        assert_eq!(total, 0);
+        assert!(b.contributing_workers().is_empty());
+    }
+
+    #[test]
+    fn score_ties_resolved_identically_both_sides() {
+        // Two workers with the same score: layout uses (score, size,
+        // worker) while each worker only sees its own hits — sizes equal
+        // ties are harmless, different sizes order deterministically.
+        let mut b = BatchState::new(0, vec![0], 2);
+        b.record(0, 1, &[h(5, 10)]);
+        b.record(0, 2, &[h(5, 30)]);
+        let (per_worker, total) = b.assign_offsets(0);
+        assert_eq!(total, 40);
+        // size 30 sorts first (desc size).
+        assert_eq!(per_worker[&2], vec![0]);
+        assert_eq!(per_worker[&1], vec![30]);
+    }
+}

@@ -1,0 +1,247 @@
+//! Per-process phase accounting (§3 of the paper).
+//!
+//! S3aSim attributes every moment of a process's run to one of eight
+//! phases; the evaluation figures are stacked bars of these phases. The
+//! [`PhaseTimer`] accrues virtual time into phases; whatever is left when
+//! the run ends is "Other".
+
+use std::cell::RefCell;
+use std::fmt;
+use std::future::Future;
+use std::rc::Rc;
+
+use s3a_des::{Sim, SimTime};
+
+/// The timing phases of §3, in the paper's presentation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Distributing/receiving the input variables.
+    Setup,
+    /// Work-request/assignment traffic (and waiting for it).
+    DataDistribution,
+    /// The modeled search itself (always 0 on the master).
+    Compute,
+    /// Worker-side merging of per-query results (parallel I/O only).
+    MergeResults,
+    /// Moving scores (and results, for MW) between workers and master.
+    GatherResults,
+    /// Writes to the output file (and their syncs).
+    Io,
+    /// End-of-run barrier and, with query sync on, the per-batch barriers.
+    Sync,
+    /// Everything not attributed above.
+    Other,
+}
+
+/// All phases, indexable order.
+pub const PHASES: [Phase; 8] = [
+    Phase::Setup,
+    Phase::DataDistribution,
+    Phase::Compute,
+    Phase::MergeResults,
+    Phase::GatherResults,
+    Phase::Io,
+    Phase::Sync,
+    Phase::Other,
+];
+
+impl Phase {
+    /// Dense index of this phase in [`PHASES`].
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Setup => 0,
+            Phase::DataDistribution => 1,
+            Phase::Compute => 2,
+            Phase::MergeResults => 3,
+            Phase::GatherResults => 4,
+            Phase::Io => 5,
+            Phase::Sync => 6,
+            Phase::Other => 7,
+        }
+    }
+
+    /// Human-readable name (matches the paper's figure legends).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Setup => "Setup",
+            Phase::DataDistribution => "Data Distribution",
+            Phase::Compute => "Compute",
+            Phase::MergeResults => "Merge Results",
+            Phase::GatherResults => "Gather Results",
+            Phase::Io => "I/O",
+            Phase::Sync => "Sync",
+            Phase::Other => "Other",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A process's accumulated time per phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    times: [SimTime; 8],
+}
+
+impl PhaseBreakdown {
+    /// Time accrued in `phase`.
+    pub fn get(&self, phase: Phase) -> SimTime {
+        self.times[phase.index()]
+    }
+
+    /// Sum over all phases.
+    pub fn total(&self) -> SimTime {
+        self.times.iter().copied().sum()
+    }
+
+    /// Add `dt` to `phase`.
+    pub fn add(&mut self, phase: Phase, dt: SimTime) {
+        self.times[phase.index()] += dt;
+    }
+
+    /// Set `Other` so the breakdown sums to `overall` (no-op if already
+    /// over).
+    pub fn close_to(&mut self, overall: SimTime) {
+        let accounted: SimTime = PHASES
+            .iter()
+            .filter(|p| !matches!(p, Phase::Other))
+            .map(|&p| self.get(p))
+            .sum();
+        self.times[Phase::Other.index()] = overall.saturating_sub(accounted);
+    }
+
+    /// Element-wise mean of several breakdowns (used for the "worker
+    /// process" averages the figures plot).
+    pub fn mean(items: &[PhaseBreakdown]) -> PhaseBreakdown {
+        if items.is_empty() {
+            return PhaseBreakdown::default();
+        }
+        let mut out = PhaseBreakdown::default();
+        for p in PHASES {
+            let sum: SimTime = items.iter().map(|b| b.get(p)).sum();
+            out.times[p.index()] = sum / items.len() as u64;
+        }
+        out
+    }
+}
+
+/// Accrues virtual time into a [`PhaseBreakdown`] for one process,
+/// optionally mirroring every interval into a [`crate::trace::TraceSink`].
+#[derive(Clone)]
+pub struct PhaseTimer {
+    sim: Sim,
+    acc: Rc<RefCell<PhaseBreakdown>>,
+    rank: usize,
+    sink: crate::trace::TraceSink,
+}
+
+impl PhaseTimer {
+    /// Create a timer bound to `sim`'s clock (tracing disabled).
+    pub fn new(sim: &Sim) -> Self {
+        Self::with_trace(sim, 0, crate::trace::TraceSink::disabled())
+    }
+
+    /// Create a timer that also records `(rank, phase, start, end)`
+    /// intervals into `sink`.
+    pub fn with_trace(sim: &Sim, rank: usize, sink: crate::trace::TraceSink) -> Self {
+        PhaseTimer {
+            sim: sim.clone(),
+            acc: Rc::new(RefCell::new(PhaseBreakdown::default())),
+            rank,
+            sink,
+        }
+    }
+
+    /// Run `fut`, attributing its elapsed virtual time to `phase`.
+    pub async fn track<F: Future>(&self, phase: Phase, fut: F) -> F::Output {
+        let t0 = self.sim.now();
+        let out = fut.await;
+        let t1 = self.sim.now();
+        self.acc.borrow_mut().add(phase, t1 - t0);
+        self.sink.record(self.rank, phase, t0, t1);
+        out
+    }
+
+    /// Attribute an already-measured duration ending now to `phase`.
+    pub fn add(&self, phase: Phase, dt: SimTime) {
+        self.acc.borrow_mut().add(phase, dt);
+        let now = self.sim.now();
+        self.sink.record(self.rank, phase, now.saturating_sub(dt), now);
+    }
+
+    /// Snapshot of the accumulated breakdown.
+    pub fn snapshot(&self) -> PhaseBreakdown {
+        *self.acc.borrow()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        for (i, p) in PHASES.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn breakdown_accumulates_and_totals() {
+        let mut b = PhaseBreakdown::default();
+        b.add(Phase::Compute, SimTime::from_secs(3));
+        b.add(Phase::Io, SimTime::from_secs(2));
+        b.add(Phase::Compute, SimTime::from_secs(1));
+        assert_eq!(b.get(Phase::Compute), SimTime::from_secs(4));
+        assert_eq!(b.total(), SimTime::from_secs(6));
+    }
+
+    #[test]
+    fn close_to_fills_other() {
+        let mut b = PhaseBreakdown::default();
+        b.add(Phase::Compute, SimTime::from_secs(3));
+        b.close_to(SimTime::from_secs(10));
+        assert_eq!(b.get(Phase::Other), SimTime::from_secs(7));
+        assert_eq!(b.total(), SimTime::from_secs(10));
+        // Over-accounted: Other clamps at zero.
+        let mut c = PhaseBreakdown::default();
+        c.add(Phase::Io, SimTime::from_secs(12));
+        c.close_to(SimTime::from_secs(10));
+        assert_eq!(c.get(Phase::Other), SimTime::ZERO);
+    }
+
+    #[test]
+    fn mean_averages_elementwise() {
+        let mut a = PhaseBreakdown::default();
+        a.add(Phase::Io, SimTime::from_secs(4));
+        let mut b = PhaseBreakdown::default();
+        b.add(Phase::Io, SimTime::from_secs(2));
+        b.add(Phase::Sync, SimTime::from_secs(2));
+        let m = PhaseBreakdown::mean(&[a, b]);
+        assert_eq!(m.get(Phase::Io), SimTime::from_secs(3));
+        assert_eq!(m.get(Phase::Sync), SimTime::from_secs(1));
+        assert_eq!(PhaseBreakdown::mean(&[]), PhaseBreakdown::default());
+    }
+
+    #[test]
+    fn timer_tracks_virtual_time() {
+        let sim = Sim::new();
+        let timer = PhaseTimer::new(&sim);
+        let t = timer.clone();
+        let s = sim.clone();
+        sim.spawn("p", async move {
+            t.track(Phase::Compute, s.sleep(SimTime::from_secs(5))).await;
+            t.track(Phase::Io, s.sleep(SimTime::from_secs(2))).await;
+            t.add(Phase::Sync, SimTime::from_millis(500));
+        });
+        sim.run().unwrap();
+        let b = timer.snapshot();
+        assert_eq!(b.get(Phase::Compute), SimTime::from_secs(5));
+        assert_eq!(b.get(Phase::Io), SimTime::from_secs(2));
+        assert_eq!(b.get(Phase::Sync), SimTime::from_millis(500));
+    }
+}

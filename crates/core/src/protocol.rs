@@ -1,0 +1,139 @@
+//! Message types and tags exchanged between the master and workers.
+
+use s3a_mpi::Tag;
+use s3a_workload::Hit;
+
+/// Worker → master: request for work (Algorithm 2, step 3).
+pub const TAG_WORK_REQ: Tag = 1;
+/// Master → worker: task assignment or end-of-work (Algorithm 1, step 7).
+pub const TAG_ASSIGN: Tag = 2;
+/// Worker → master: scores (and, for MW, result data) for one task
+/// (Algorithm 2, step 10).
+pub const TAG_SCORES: Tag = 3;
+/// Master → worker: write-location list for a completed batch (Algorithm
+/// 1, step 15); doubles as the "batch written" notification in MW runs
+/// with query sync.
+pub const TAG_OFFSETS: Tag = 4;
+
+/// Wire size of a work request.
+pub const WORK_REQ_BYTES: u64 = 16;
+/// Wire size of an assignment message.
+pub const ASSIGN_BYTES: u64 = 32;
+/// Wire bytes per hit in a scores message (score + size).
+pub const SCORE_ENTRY_BYTES: u64 = 16;
+/// Wire bytes per entry in an offset list (one 64-bit offset).
+pub const OFFSET_ENTRY_BYTES: u64 = 8;
+
+/// Master → worker response to a work request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assign {
+    /// Search `query` against `fragment`.
+    Task {
+        /// Query index.
+        query: usize,
+        /// Database fragment index.
+        fragment: usize,
+    },
+    /// All queries have been scheduled; no more work will come.
+    Done,
+}
+
+/// Worker → master: the outcome of one (query, fragment) search, hits
+/// sorted by descending score. In MW runs the simulated wire size also
+/// covers the result data riding along with the scores.
+#[derive(Debug, Clone)]
+pub struct ScoresMsg {
+    /// Query index.
+    pub query: usize,
+    /// Fragment index.
+    pub fragment: usize,
+    /// Hits, sorted by `(score desc, size desc)`.
+    pub hits: Vec<Hit>,
+}
+
+/// Master → worker: where to write each of the worker's results for a
+/// completed batch. Offsets are in the worker's local merged order. An
+/// empty list is a pure synchronization notification.
+#[derive(Debug, Clone)]
+pub struct OffsetsMsg {
+    /// Batch index (query group).
+    pub batch: usize,
+    /// One file offset per result the worker holds for this batch.
+    pub offsets: Vec<u64>,
+}
+
+impl OffsetsMsg {
+    /// Simulated wire size of this message.
+    pub fn wire_bytes(&self) -> u64 {
+        16 + OFFSET_ENTRY_BYTES * self.offsets.len() as u64
+    }
+}
+
+/// Ordering used for all score-based sorting on both master and worker:
+/// descending score, ties by descending size. Remaining ties are between
+/// hits of identical size, so any order yields the same file layout.
+pub fn hit_order(a: &Hit, b: &Hit) -> std::cmp::Ordering {
+    b.score.cmp(&a.score).then(b.size.cmp(&a.size))
+}
+
+/// Merge two lists already sorted by [`hit_order`] into one.
+pub fn merge_sorted_hits(a: &[Hit], b: &[Hit]) -> Vec<Hit> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if hit_order(&a[i], &b[j]) != std::cmp::Ordering::Greater {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(score: u64, size: u64) -> Hit {
+        Hit { score, size }
+    }
+
+    #[test]
+    fn hit_order_desc_score_then_desc_size() {
+        assert_eq!(hit_order(&h(10, 1), &h(5, 9)), std::cmp::Ordering::Less);
+        assert_eq!(hit_order(&h(5, 9), &h(5, 1)), std::cmp::Ordering::Less);
+        assert_eq!(hit_order(&h(5, 5), &h(5, 5)), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn merge_keeps_global_order() {
+        let a = vec![h(9, 1), h(5, 2), h(1, 3)];
+        let b = vec![h(8, 1), h(5, 9), h(0, 1)];
+        let m = merge_sorted_hits(&a, &b);
+        let scores: Vec<u64> = m.iter().map(|x| x.score).collect();
+        assert_eq!(scores, vec![9, 8, 5, 5, 1, 0]);
+        // The score-5 tie is resolved by larger size first.
+        assert_eq!(m[2].size, 9);
+        assert_eq!(m[3].size, 2);
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let a = vec![h(3, 1)];
+        assert_eq!(merge_sorted_hits(&a, &[]), a);
+        assert_eq!(merge_sorted_hits(&[], &a), a);
+    }
+
+    #[test]
+    fn offsets_wire_size() {
+        let m = OffsetsMsg {
+            batch: 0,
+            offsets: vec![0; 10],
+        };
+        assert_eq!(m.wire_bytes(), 16 + 80);
+    }
+}

@@ -1,0 +1,189 @@
+//! Run reports: per-phase breakdowns, verification, and text rendering.
+
+use s3a_des::{Sim, SimStats, SimTime};
+use s3a_mpi::{MpiStats, World};
+use s3a_pvfs::{FileHandle, FileSystem, FsStats};
+use s3a_workload::Workload;
+
+use crate::params::{SimParams, Strategy};
+use crate::phase::{Phase, PhaseBreakdown, PHASES};
+use crate::resume::CommitLog;
+use crate::trace::Trace;
+use crate::worker::WorkerStats;
+
+/// Everything measured in one S3aSim run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Strategy under test.
+    pub strategy: Strategy,
+    /// Total processes (master + workers).
+    pub procs: usize,
+    /// Whether the query-sync option was on.
+    pub query_sync: bool,
+    /// Compute-speed multiplier.
+    pub compute_speed: f64,
+    /// Overall (virtual) execution time.
+    pub overall: SimTime,
+    /// The master's phase breakdown.
+    pub master: PhaseBreakdown,
+    /// Each worker's phase breakdown, in rank order.
+    pub workers: Vec<PhaseBreakdown>,
+    /// Element-wise mean over workers (what the paper's figures plot).
+    pub worker_mean: PhaseBreakdown,
+    /// Per-worker activity counters, in rank order.
+    pub worker_stats: Vec<WorkerStats>,
+    /// Result bytes the workload required.
+    pub expected_bytes: u64,
+    /// Bytes covered by writes in the output file.
+    pub covered_bytes: u64,
+    /// Bytes written more than once (must be 0).
+    pub overlap_bytes: u64,
+    /// Maximal contiguous extents in the output file (must be 1).
+    pub extent_count: usize,
+    /// Unflushed bytes at exit (must be 0: every write was synced).
+    pub dirty_bytes: u64,
+    /// File system counters.
+    pub fs: FsStats,
+    /// MPI counters.
+    pub mpi: MpiStats,
+    /// Engine counters.
+    pub engine: SimStats,
+    /// Per-rank phase timeline, when `SimParams::trace` was set.
+    pub trace: Option<Trace>,
+    /// When each batch of results became durable (resumability analysis).
+    pub commits: CommitLog,
+}
+
+impl RunReport {
+    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        trace: Option<Trace>,
+        commits: CommitLog,
+        params: &SimParams,
+        workload: &Workload,
+        overall: SimTime,
+        master: PhaseBreakdown,
+        workers: Vec<PhaseBreakdown>,
+        worker_stats: Vec<WorkerStats>,
+        out: &FileHandle,
+        fs: &FileSystem,
+        world: &World,
+        sim: &Sim,
+    ) -> RunReport {
+        let worker_mean = PhaseBreakdown::mean(&workers);
+        RunReport {
+            strategy: params.strategy,
+            procs: params.procs,
+            query_sync: params.query_sync,
+            compute_speed: params.compute_speed,
+            overall,
+            master,
+            workers,
+            worker_mean,
+            worker_stats,
+            expected_bytes: workload.total_bytes(),
+            covered_bytes: out.covered_bytes(),
+            overlap_bytes: out.overlap_bytes(),
+            extent_count: out.extent_count(),
+            dirty_bytes: out.dirty_bytes(),
+            fs: fs.stats(),
+            mpi: world.stats(),
+            engine: sim.stats(),
+            trace,
+            commits,
+        }
+    }
+
+    /// Check the output-file invariants: every result byte written exactly
+    /// once, contiguously, and flushed.
+    pub fn verify(&self) -> Result<(), String> {
+        if self.covered_bytes != self.expected_bytes {
+            return Err(format!(
+                "coverage mismatch: wrote {} of {} expected bytes",
+                self.covered_bytes, self.expected_bytes
+            ));
+        }
+        if self.overlap_bytes != 0 {
+            return Err(format!("{} bytes written more than once", self.overlap_bytes));
+        }
+        if self.expected_bytes > 0 && self.extent_count != 1 {
+            return Err(format!(
+                "output file has {} extents; expected one dense extent",
+                self.extent_count
+            ));
+        }
+        if self.dirty_bytes != 0 {
+            return Err(format!("{} bytes left unflushed", self.dirty_bytes));
+        }
+        Ok(())
+    }
+
+    /// The worker-mean time of one phase, in seconds (figure data).
+    pub fn worker_phase_secs(&self, phase: Phase) -> f64 {
+        self.worker_mean.get(phase).as_secs_f64()
+    }
+
+    /// Render the paper-style phase table (worker process averages).
+    pub fn phase_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{} procs={} sync={} speed={} overall={:.2}s",
+            self.strategy,
+            self.procs,
+            if self.query_sync { "on" } else { "off" },
+            self.compute_speed,
+            self.overall.as_secs_f64()
+        );
+        let _ = writeln!(s, "  {:<18} {:>12} {:>12}", "phase", "worker-mean", "master");
+        for p in PHASES {
+            let _ = writeln!(
+                s,
+                "  {:<18} {:>11.3}s {:>11.3}s",
+                p.name(),
+                self.worker_mean.get(p).as_secs_f64(),
+                self.master.get(p).as_secs_f64()
+            );
+        }
+        s
+    }
+
+    /// One CSV row of the full report (see [`RunReport::csv_header`]).
+    pub fn csv_row(&self) -> String {
+        let mut cols = vec![
+            self.strategy.label().to_string(),
+            self.procs.to_string(),
+            if self.query_sync { "sync" } else { "no-sync" }.to_string(),
+            format!("{}", self.compute_speed),
+            format!("{:.6}", self.overall.as_secs_f64()),
+        ];
+        for p in PHASES {
+            cols.push(format!("{:.6}", self.worker_mean.get(p).as_secs_f64()));
+        }
+        cols.push(self.covered_bytes.to_string());
+        cols.push(self.fs.requests.to_string());
+        cols.join(",")
+    }
+
+    /// Column names for [`RunReport::csv_row`].
+    pub fn csv_header() -> String {
+        let mut cols = vec![
+            "strategy".to_string(),
+            "procs".to_string(),
+            "sync".to_string(),
+            "compute_speed".to_string(),
+            "overall_s".to_string(),
+        ];
+        for p in PHASES {
+            cols.push(format!(
+                "{}_s",
+                p.name().to_lowercase().replace([' ', '/'], "_")
+            ));
+        }
+        cols.push("bytes".to_string());
+        cols.push("fs_requests".to_string());
+        cols.join(",")
+    }
+}

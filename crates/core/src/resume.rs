@@ -1,0 +1,303 @@
+//! Failure-recovery analysis.
+//!
+//! The paper motivates writing results out frequently: "More frequently
+//! writing out the results also allows users to resume a failed
+//! application run at the appropriate input query" (§2). This module
+//! quantifies that trade-off: given the batch-commit timeline of a run,
+//! it computes how much work survives a crash at any instant and what a
+//! restart must redo.
+
+use s3a_des::SimTime;
+
+/// When each batch's results became durable (written and synced).
+///
+/// Recorded by the master during the run; batch ids are in commit order.
+#[derive(Debug, Clone, Default)]
+pub struct CommitLog {
+    entries: Vec<CommitEntry>,
+}
+
+/// One durable batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitEntry {
+    /// Batch id (query group).
+    pub batch: usize,
+    /// Queries in the batch.
+    pub queries: usize,
+    /// Result bytes committed.
+    pub bytes: u64,
+    /// Virtual time at which the batch was durable on disk.
+    pub committed_at: SimTime,
+}
+
+impl CommitLog {
+    /// Record a batch commit (called in commit order).
+    pub fn push(&mut self, entry: CommitEntry) {
+        if let Some(last) = self.entries.last() {
+            assert!(
+                entry.committed_at >= last.committed_at,
+                "commits must be recorded in time order"
+            );
+        }
+        self.entries.push(entry);
+    }
+
+    /// All commits, in time order.
+    pub fn entries(&self) -> &[CommitEntry] {
+        &self.entries
+    }
+
+    /// Batches durable at (or before) `t`.
+    pub fn committed_by(&self, t: SimTime) -> usize {
+        self.entries.iter().take_while(|e| e.committed_at <= t).count()
+    }
+
+    /// Bytes durable at `t`.
+    pub fn bytes_committed_by(&self, t: SimTime) -> u64 {
+        self.entries
+            .iter()
+            .take_while(|e| e.committed_at <= t)
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    /// Queries whose results survive a crash at `t` (a restart resumes
+    /// from the next query, as mpiBLAST 1.4 does).
+    pub fn resumable_queries_at(&self, t: SimTime) -> usize {
+        self.entries
+            .iter()
+            .take_while(|e| e.committed_at <= t)
+            .map(|e| e.queries)
+            .sum()
+    }
+
+    /// Analysis of a crash at time `t` during a run that would have taken
+    /// `overall` and processed `total_queries`.
+    pub fn crash_at(&self, t: SimTime, overall: SimTime, total_queries: usize) -> CrashReport {
+        let t = t.min(overall);
+        let saved = self.resumable_queries_at(t);
+        let lost_queries = total_queries - saved;
+        // Work performed before the crash that a restart repeats: the
+        // fraction of the run spent on queries not yet durable. First
+        // order: time since the last commit (or since start).
+        let last_commit = self
+            .entries
+            .iter()
+            .take_while(|e| e.committed_at <= t)
+            .last()
+            .map(|e| e.committed_at)
+            .unwrap_or(SimTime::ZERO);
+        CrashReport {
+            at: t,
+            resumable_queries: saved,
+            lost_queries,
+            lost_time: t - last_commit,
+        }
+    }
+}
+
+/// What a crash at a given moment costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashReport {
+    /// When the crash happened.
+    pub at: SimTime,
+    /// Queries whose output survives on disk.
+    pub resumable_queries: usize,
+    /// Queries a restart must redo.
+    pub lost_queries: usize,
+    /// Wall time since the last durable commit — progress that is redone.
+    pub lost_time: SimTime,
+}
+
+/// Expected redo time for a crash at a uniformly random instant of the
+/// run (the mean of `lost_time` over the run's duration).
+pub fn expected_lost_time(log: &CommitLog, overall: SimTime) -> SimTime {
+    // Between consecutive commits, lost_time ramps linearly from 0 to the
+    // gap; the expectation is sum(gap^2 / 2) / overall.
+    if overall.is_zero() {
+        return SimTime::ZERO;
+    }
+    let mut points: Vec<SimTime> = vec![SimTime::ZERO];
+    points.extend(
+        log.entries()
+            .iter()
+            .map(|e| e.committed_at)
+            .filter(|&t| t <= overall),
+    );
+    points.push(overall);
+    let total_ns: f64 = points
+        .windows(2)
+        .map(|w| {
+            let gap = (w[1].saturating_sub(w[0])).as_nanos() as f64;
+            gap * gap / 2.0
+        })
+        .sum();
+    SimTime::from_nanos((total_ns / overall.as_nanos() as f64).round() as u64)
+}
+
+/// Shared, simulation-side recorder that turns distributed batch
+/// completions into a [`CommitLog`]. The master registers how many
+/// writers each batch has; each writer reports completion after its
+/// write+sync; the batch commits when the last one finishes (immediately,
+/// for MW, where the master is the only writer).
+#[derive(Clone, Default)]
+pub struct CommitTracker {
+    inner: std::rc::Rc<std::cell::RefCell<TrackerInner>>,
+}
+
+#[derive(Default)]
+struct TrackerInner {
+    log: Vec<CommitEntry>,
+    pending: std::collections::HashMap<usize, (usize, usize, u64)>, // batch -> (remaining, queries, bytes)
+}
+
+impl CommitTracker {
+    /// Create an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a batch with `writers` outstanding writers. A batch with
+    /// no writers (no results) is durable immediately.
+    pub fn expect(&self, batch: usize, writers: usize, queries: usize, bytes: u64, now: SimTime) {
+        let mut t = self.inner.borrow_mut();
+        if writers == 0 {
+            t.log.push(CommitEntry { batch, queries, bytes, committed_at: now });
+        } else {
+            t.pending.insert(batch, (writers, queries, bytes));
+        }
+    }
+
+    /// One writer finished its durable write for `batch`.
+    pub fn complete_one(&self, batch: usize, now: SimTime) {
+        let mut t = self.inner.borrow_mut();
+        let (remaining, queries, bytes) = *t
+            .pending
+            .get(&batch)
+            .unwrap_or_else(|| panic!("completion for undeclared batch {batch}"));
+        if remaining == 1 {
+            t.pending.remove(&batch);
+            t.log.push(CommitEntry { batch, queries, bytes, committed_at: now });
+        } else {
+            t.pending.insert(batch, (remaining - 1, queries, bytes));
+        }
+    }
+
+    /// Extract the commit log (entries sorted by commit time).
+    pub fn finish(&self) -> CommitLog {
+        let mut t = self.inner.borrow_mut();
+        assert!(
+            t.pending.is_empty(),
+            "batches never committed: {:?}",
+            t.pending.keys().collect::<Vec<_>>()
+        );
+        let mut entries = std::mem::take(&mut t.log);
+        entries.sort_by_key(|e| (e.committed_at, e.batch));
+        let mut log = CommitLog::default();
+        for e in entries {
+            log.push(e);
+        }
+        log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: u64) -> SimTime {
+        SimTime::from_secs(x)
+    }
+
+    fn log3() -> CommitLog {
+        let mut log = CommitLog::default();
+        log.push(CommitEntry { batch: 0, queries: 2, bytes: 100, committed_at: s(10) });
+        log.push(CommitEntry { batch: 1, queries: 2, bytes: 150, committed_at: s(25) });
+        log.push(CommitEntry { batch: 2, queries: 2, bytes: 120, committed_at: s(60) });
+        log
+    }
+
+    #[test]
+    fn committed_by_counts_prefix() {
+        let log = log3();
+        assert_eq!(log.committed_by(s(5)), 0);
+        assert_eq!(log.committed_by(s(10)), 1);
+        assert_eq!(log.committed_by(s(30)), 2);
+        assert_eq!(log.committed_by(s(100)), 3);
+        assert_eq!(log.bytes_committed_by(s(30)), 250);
+        assert_eq!(log.resumable_queries_at(s(30)), 4);
+    }
+
+    #[test]
+    fn crash_report_accounts_for_lost_work() {
+        let log = log3();
+        let r = log.crash_at(s(30), s(60), 6);
+        assert_eq!(r.resumable_queries, 4);
+        assert_eq!(r.lost_queries, 2);
+        assert_eq!(r.lost_time, s(5)); // last commit at 25
+        // Crash before any commit loses everything.
+        let r0 = log.crash_at(s(9), s(60), 6);
+        assert_eq!(r0.resumable_queries, 0);
+        assert_eq!(r0.lost_queries, 6);
+        assert_eq!(r0.lost_time, s(9));
+    }
+
+    #[test]
+    fn crash_time_clamped_to_run() {
+        let log = log3();
+        let r = log.crash_at(s(1000), s(60), 6);
+        assert_eq!(r.at, s(60));
+        assert_eq!(r.resumable_queries, 6);
+        assert_eq!(r.lost_queries, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_commit_rejected() {
+        let mut log = log3();
+        log.push(CommitEntry { batch: 3, queries: 1, bytes: 1, committed_at: s(1) });
+    }
+
+    #[test]
+    fn expected_lost_time_favours_frequent_commits() {
+        // One commit halfway vs none at all.
+        let mut sparse = CommitLog::default();
+        sparse.push(CommitEntry { batch: 0, queries: 1, bytes: 1, committed_at: s(30) });
+        let none = CommitLog::default();
+        let e_sparse = expected_lost_time(&sparse, s(60));
+        let e_none = expected_lost_time(&none, s(60));
+        assert!(e_sparse < e_none);
+        assert_eq!(e_none, s(30)); // uniform crash over [0,60): mean 30
+        // Frequent commits shrink it further.
+        let dense = log3();
+        assert!(expected_lost_time(&dense, s(60)) < e_sparse);
+    }
+
+    #[test]
+    fn tracker_commits_when_last_writer_finishes() {
+        let tr = CommitTracker::new();
+        tr.expect(0, 2, 1, 50, s(1));
+        tr.expect(1, 0, 1, 0, s(2)); // empty batch commits immediately
+        tr.complete_one(0, s(5));
+        tr.complete_one(0, s(9));
+        let log = tr.finish();
+        assert_eq!(log.entries().len(), 2);
+        assert_eq!(log.entries()[0].batch, 1);
+        assert_eq!(log.entries()[1].committed_at, s(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "never committed")]
+    fn tracker_detects_missing_completions() {
+        let tr = CommitTracker::new();
+        tr.expect(0, 1, 1, 10, s(0));
+        tr.finish();
+    }
+
+    #[test]
+    fn empty_run_is_degenerate() {
+        let log = CommitLog::default();
+        assert_eq!(expected_lost_time(&log, SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(log.committed_by(s(1)), 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Builds the simulated cluster, spawns the master and workers, drives
+//! the simulation, and assembles the run report.
+
+use std::rc::Rc;
+
+use s3a_des::Sim;
+use s3a_mpi::World;
+use s3a_mpiio::{File, Hints};
+use s3a_net::Fabric;
+use s3a_pvfs::FileSystem;
+use s3a_workload::Workload;
+
+use crate::master::run_master;
+use crate::params::{Segmentation, SimParams};
+use crate::report::RunReport;
+use crate::resume::CommitTracker;
+use crate::trace::TraceSink;
+use crate::worker::{run_worker, WorkerStats};
+
+/// Name of the simulated output file.
+pub const OUTPUT_FILE: &str = "s3asim.out";
+
+/// Name of the simulated sequence-database file (read by
+/// query-segmentation workers whose memory cannot hold the database).
+pub const DATABASE_FILE: &str = "database.db";
+
+/// For query segmentation, fold each query's per-fragment hits into a
+/// single whole-database task: the search work and result volume are
+/// unchanged, but one worker performs all of it.
+fn fold_for_query_segmentation(workload: &Workload) -> Workload {
+    let mut folded = workload.clone();
+    folded.params.fragments = 1;
+    for q in &mut folded.queries {
+        let mut all: Vec<s3a_workload::Hit> = q.hits.iter().flatten().copied().collect();
+        all.sort_by(crate::protocol::hit_order);
+        q.hits = vec![all];
+    }
+    folded
+}
+
+/// Execute one S3aSim run and return its report.
+///
+/// The cluster is assembled exactly once per run: compute nodes
+/// (`procs / ranks_per_node` NICs) and PVFS2 servers share one fabric, so
+/// MPI traffic and file traffic contend for the same links, as on the
+/// paper's testbed.
+pub fn run(params: &SimParams) -> RunReport {
+    params.validate();
+    let params = Rc::new(params.clone());
+    let sim = Sim::new();
+    let generated = Workload::generate(&params.workload);
+    let workload = Rc::new(match params.segmentation {
+        Segmentation::Database => generated,
+        Segmentation::Query => fold_for_query_segmentation(&generated),
+    });
+
+    let tb = &params.testbed;
+    let compute_nodes = params.procs.div_ceil(tb.mpi.ranks_per_node);
+    let fabric = Rc::new(Fabric::new(compute_nodes + tb.pvfs.servers, tb.net));
+    let world = World::with_fabric(&sim, params.procs, tb.mpi, Rc::clone(&fabric), 0);
+    let fs = FileSystem::new(&sim, tb.pvfs, fabric, compute_nodes);
+
+    let hints = Hints {
+        cb_nodes: if params.cb_nodes == 0 {
+            compute_nodes
+        } else {
+            params.cb_nodes
+        },
+        cb_buffer_size: params.cb_buffer_size,
+    };
+
+    let worker_ranks: Vec<usize> = (1..params.procs).collect();
+    let sink = if params.trace {
+        TraceSink::recording()
+    } else {
+        TraceSink::disabled()
+    };
+    let commits = CommitTracker::new();
+
+    // Master (world rank 0). Its file handle lives on a single-rank
+    // communicator: MW writes are independent operations.
+    let master_join = {
+        let comm = world.comm(0);
+        let master_only = comm.sub(&[0], "master-io");
+        let file = File::open(&master_only, &fs, OUTPUT_FILE, hints);
+        let sim2 = sim.clone();
+        let p = Rc::clone(&params);
+        let w = Rc::clone(&workload);
+        sim.spawn(
+            "master",
+            run_master(sim2, comm, p, w, file, sink.clone(), commits.clone()),
+        )
+    };
+
+    // Workers (world ranks 1..procs). Their file handle lives on the
+    // workers' communicator so collective writes span exactly the workers.
+    let worker_joins: Vec<_> = worker_ranks
+        .iter()
+        .map(|&r| {
+            let comm = world.comm(r);
+            let workers_comm = comm.sub(&worker_ranks, "workers");
+            let file = File::open(&workers_comm, &fs, OUTPUT_FILE, hints);
+            let database = (params.segmentation == Segmentation::Query
+                && params.db_reload_bytes() > 0)
+                .then(|| fs.open(DATABASE_FILE));
+            let sim2 = sim.clone();
+            let p = Rc::clone(&params);
+            let w = Rc::clone(&workload);
+            sim.spawn(
+                format!("worker{r}"),
+                run_worker(
+                    sim2,
+                    comm,
+                    workers_comm,
+                    p,
+                    w,
+                    file,
+                    database,
+                    sink.clone(),
+                    commits.clone(),
+                ),
+            )
+        })
+        .collect();
+
+    // Drive to completion; collect per-rank breakdowns.
+    let collector = {
+        let sim2 = sim.clone();
+        sim.spawn("collector", async move {
+            let master = master_join.join().await;
+            let mut workers = Vec::with_capacity(worker_joins.len());
+            let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(workers.capacity());
+            for j in worker_joins {
+                let (bd, st) = j.join().await;
+                workers.push(bd);
+                worker_stats.push(st);
+            }
+            // Application completion time: every rank has exited. (The
+            // engine may drain a few in-flight transfer bookkeeping tasks
+            // a moment longer; those are not application time.)
+            let overall = sim2.now();
+            (overall, master, workers, worker_stats)
+        })
+    };
+
+    sim.run()
+        .unwrap_or_else(|d| panic!("S3aSim run deadlocked: {d}"));
+    let (overall, master, workers, worker_stats) = collector
+        .take_output()
+        .expect("collector finishes with the simulation");
+
+    let out = fs.open(OUTPUT_FILE);
+    let trace = sink.finish();
+    let commits = commits.finish();
+    RunReport::assemble(
+        trace,
+        commits,
+        &params,
+        &workload,
+        overall,
+        master,
+        workers,
+        worker_stats,
+        &out,
+        &fs,
+        &world,
+        &sim,
+    )
+}

@@ -1,0 +1,279 @@
+//! Execution tracing — the moral equivalent of the paper's MPE +
+//! Jumpshot integration (§3: "integration with the multi-processing
+//! environment (MPE) and Jumpshot for easy debugging").
+//!
+//! When enabled, every phase interval of every rank is recorded as a
+//! `(rank, phase, start, end)` event. The trace can be rendered as a
+//! text Gantt chart for quick inspection or exported as CSV for external
+//! viewers.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use s3a_des::SimTime;
+
+use crate::phase::{Phase, PHASES};
+
+/// One traced interval: `rank` spent `[start, end)` in `phase`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// World rank (0 = master).
+    pub rank: usize,
+    /// The phase the time was attributed to.
+    pub phase: Phase,
+    /// Interval start (virtual time).
+    pub start: SimTime,
+    /// Interval end (virtual time).
+    pub end: SimTime,
+}
+
+/// A recording of one run's phase intervals across all ranks.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+/// Shared handle used by the phase timers to append events.
+#[derive(Clone, Default)]
+pub struct TraceSink {
+    inner: Option<Rc<RefCell<Trace>>>,
+}
+
+impl TraceSink {
+    /// A sink that records events.
+    pub fn recording() -> Self {
+        TraceSink {
+            inner: Some(Rc::new(RefCell::new(Trace::default()))),
+        }
+    }
+
+    /// A sink that drops everything (tracing disabled).
+    pub fn disabled() -> Self {
+        TraceSink { inner: None }
+    }
+
+    /// Is this sink recording?
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record one interval (no-op when disabled or empty).
+    pub fn record(&self, rank: usize, phase: Phase, start: SimTime, end: SimTime) {
+        if end <= start {
+            return;
+        }
+        if let Some(t) = &self.inner {
+            t.borrow_mut().events.push(TraceEvent {
+                rank,
+                phase,
+                start,
+                end,
+            });
+        }
+    }
+
+    /// Extract the recorded trace (events sorted by start time, then rank).
+    pub fn finish(self) -> Option<Trace> {
+        self.inner.map(|rc| {
+            let mut t = Rc::try_unwrap(rc)
+                .map(RefCell::into_inner)
+                .unwrap_or_else(|rc| rc.borrow().clone());
+            t.events
+                .sort_by_key(|e| (e.start, e.rank, e.end));
+            t
+        })
+    }
+}
+
+impl Trace {
+    /// All events, sorted by `(start, rank)`.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events of one rank, in time order.
+    pub fn rank_events(&self, rank: usize) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.rank == rank)
+    }
+
+    /// Total time `rank` spent in `phase` according to the trace.
+    pub fn rank_phase_total(&self, rank: usize, phase: Phase) -> SimTime {
+        self.rank_events(rank)
+            .filter(|e| e.phase == phase)
+            .map(|e| e.end - e.start)
+            .sum()
+    }
+
+    /// CSV export: `rank,phase,start_s,end_s` (one interval per line).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("rank,phase,start_s,end_s\n");
+        for e in &self.events {
+            let _ = writeln!(
+                s,
+                "{},{},{:.9},{:.9}",
+                e.rank,
+                e.phase.name().replace(' ', "_"),
+                e.start.as_secs_f64(),
+                e.end.as_secs_f64()
+            );
+        }
+        s
+    }
+
+    /// Render a Jumpshot-style text Gantt chart: one row per rank,
+    /// `width` character cells across `[0, horizon)`, the dominant phase
+    /// of each cell shown by its letter (the legend is printed below).
+    pub fn gantt(&self, ranks: usize, width: usize) -> String {
+        assert!(width > 0, "need at least one column");
+        let horizon = self
+            .events
+            .iter()
+            .map(|e| e.end)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        if horizon.is_zero() {
+            return String::from("(empty trace)\n");
+        }
+        let cell = horizon.as_nanos().div_ceil(width as u64).max(1);
+        let letter = |p: Phase| match p {
+            Phase::Setup => 'P',
+            Phase::DataDistribution => 'd',
+            Phase::Compute => 'C',
+            Phase::MergeResults => 'm',
+            Phase::GatherResults => 'g',
+            Phase::Io => 'W',
+            Phase::Sync => 's',
+            Phase::Other => '.',
+        };
+
+        let mut out = String::new();
+        for rank in 0..ranks {
+            // Dominant phase per cell.
+            let mut cells: Vec<[u64; 8]> = vec![[0; 8]; width];
+            for e in self.rank_events(rank) {
+                let first = (e.start.as_nanos() / cell) as usize;
+                let last = (((e.end.as_nanos()).saturating_sub(1)) / cell) as usize;
+                let last = last.min(width - 1);
+                for (c, counts) in cells[first..=last].iter_mut().enumerate() {
+                    let cs = (first + c) as u64 * cell;
+                    let ce = cs + cell;
+                    let lo = e.start.as_nanos().max(cs);
+                    let hi = e.end.as_nanos().min(ce);
+                    counts[e.phase.index()] += hi.saturating_sub(lo);
+                }
+            }
+            let _ = write!(
+                out,
+                "{:>5} |",
+                if rank == 0 {
+                    "mstr".to_string()
+                } else {
+                    format!("w{rank}")
+                }
+            );
+            for c in &cells {
+                let total: u64 = c.iter().sum();
+                if total == 0 {
+                    out.push(' ');
+                } else {
+                    let best = PHASES
+                        .iter()
+                        .max_by_key(|p| c[p.index()])
+                        .expect("phases nonempty");
+                    out.push(letter(*best));
+                }
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "       0{h:>width$.2}s", // right-align horizon under the chart
+            h = horizon.as_secs_f64(),
+        );
+        let _ = writeln!(
+            out,
+            "legend: P=setup d=data-dist C=compute m=merge g=gather W=i/o s=sync .=other"
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = TraceSink::disabled();
+        sink.record(0, Phase::Compute, t(0), t(1));
+        assert!(!sink.is_recording());
+        assert!(sink.finish().is_none());
+    }
+
+    #[test]
+    fn recording_sink_collects_sorted_events() {
+        let sink = TraceSink::recording();
+        sink.record(1, Phase::Io, t(5), t(7));
+        sink.record(0, Phase::Compute, t(1), t(4));
+        sink.record(1, Phase::Compute, t(0), t(3));
+        let trace = sink.finish().expect("recording");
+        let starts: Vec<u64> = trace.events().iter().map(|e| e.start.as_nanos()).collect();
+        assert!(starts.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(trace.events().len(), 3);
+    }
+
+    #[test]
+    fn zero_length_intervals_dropped() {
+        let sink = TraceSink::recording();
+        sink.record(0, Phase::Sync, t(2), t(2));
+        assert_eq!(sink.finish().expect("recording").events().len(), 0);
+    }
+
+    #[test]
+    fn phase_totals_sum_intervals() {
+        let sink = TraceSink::recording();
+        sink.record(2, Phase::Io, t(0), t(2));
+        sink.record(2, Phase::Io, t(5), t(6));
+        sink.record(2, Phase::Compute, t(2), t(5));
+        let trace = sink.finish().expect("recording");
+        assert_eq!(trace.rank_phase_total(2, Phase::Io), t(3));
+        assert_eq!(trace.rank_phase_total(2, Phase::Compute), t(3));
+        assert_eq!(trace.rank_phase_total(0, Phase::Io), SimTime::ZERO);
+    }
+
+    #[test]
+    fn csv_has_one_line_per_event() {
+        let sink = TraceSink::recording();
+        sink.record(0, Phase::DataDistribution, t(0), t(1));
+        sink.record(1, Phase::Io, t(1), t(2));
+        let csv = sink.finish().expect("recording").to_csv();
+        assert_eq!(csv.lines().count(), 3); // header + 2
+        assert!(csv.contains("Data_Distribution"));
+    }
+
+    #[test]
+    fn gantt_renders_dominant_phases() {
+        let sink = TraceSink::recording();
+        sink.record(0, Phase::Compute, t(0), t(8));
+        sink.record(0, Phase::Io, t(8), t(10));
+        sink.record(1, Phase::Io, t(0), t(10));
+        let trace = sink.finish().expect("recording");
+        let chart = trace.gantt(2, 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert!(lines[0].contains("CCCCCCCCWW"), "master row: {}", lines[0]);
+        assert!(lines[1].contains("WWWWWWWWWW"), "worker row: {}", lines[1]);
+        assert!(chart.contains("legend"));
+    }
+
+    #[test]
+    fn empty_trace_gantt() {
+        let sink = TraceSink::recording();
+        let trace = sink.finish().expect("recording");
+        assert_eq!(trace.gantt(3, 20), "(empty trace)\n");
+    }
+}

@@ -1,0 +1,294 @@
+//! The worker process (Algorithm 2 of the paper).
+//!
+//! A worker loops: request work → search a `(query, fragment)` task →
+//! merge its sorted hits into its per-query lists (parallel I/O only) →
+//! isend scores (plus result data under MW) to the master — while
+//! opportunistically checking for location lists from the master and
+//! writing any batches whose offsets have arrived. Individual worker-
+//! writing strategies keep taking new tasks while waiting for location
+//! lists; the collective strategy must stop and synchronize, which is
+//! exactly the cost the paper sets out to measure.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+use s3a_des::Sim;
+use s3a_mpi::{Comm, Message, SendRequest};
+use s3a_mpiio::{File, WriteMethod};
+use s3a_pvfs::{FileHandle, Region};
+use s3a_workload::{Hit, Workload};
+
+use crate::params::{Segmentation, SimParams, Strategy};
+use crate::resume::CommitTracker;
+use crate::phase::{Phase, PhaseBreakdown, PhaseTimer};
+use crate::trace::TraceSink;
+use crate::protocol::{
+    merge_sorted_hits, Assign, OffsetsMsg, ScoresMsg, SCORE_ENTRY_BYTES, TAG_ASSIGN,
+    TAG_OFFSETS, TAG_SCORES, TAG_WORK_REQ, WORK_REQ_BYTES,
+};
+
+struct WorkerState {
+    /// Merged hits per batch, keyed by query (ascending), each list in
+    /// `(score desc, size desc)` order.
+    local: Vec<BTreeMap<usize, Vec<Hit>>>,
+    /// Batches for which this worker holds at least one result.
+    have_results: Vec<bool>,
+    /// Offset messages handled so far.
+    offsets_handled: usize,
+    /// Counters reported back to the runner.
+    stats: WorkerStats,
+}
+
+/// Per-worker activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// (query, fragment) tasks this worker searched.
+    pub tasks: usize,
+    /// Result regions this worker wrote (0 under MW).
+    pub regions_written: usize,
+    /// Result bytes this worker wrote (0 under MW).
+    pub bytes_written: u64,
+}
+
+/// Run a worker. `comm` is the world communicator; `workers_comm` spans
+/// all workers (used for query-sync barriers); `file` is opened on the
+/// workers' communicator and carries every worker-writing I/O path.
+#[allow(clippy::too_many_arguments)]
+pub async fn run_worker(
+    sim: Sim,
+    comm: Comm,
+    workers_comm: Comm,
+    params: Rc<SimParams>,
+    workload: Rc<Workload>,
+    file: File,
+    database: Option<FileHandle>,
+    trace: TraceSink,
+    commits: CommitTracker,
+) -> (PhaseBreakdown, WorkerStats) {
+    let timer = PhaseTimer::with_trace(&sim, comm.rank(), trace);
+
+    // Step 1: receive input variables.
+    timer
+        .track(Phase::Setup, comm.bcast::<()>(0, None, 1024))
+        .await;
+
+    let nq = workload.queries.len();
+    let gran = params.write_every_n_queries.min(nq);
+    let nbatches = nq.div_ceil(gran);
+
+    let mut state = WorkerState {
+        local: (0..nbatches).map(|_| BTreeMap::new()).collect(),
+        have_results: vec![false; nbatches],
+        offsets_handled: 0,
+        stats: WorkerStats::default(),
+    };
+    let mut offs_rx = comm.irecv(0, TAG_OFFSETS);
+    let mut result_sends: VecDeque<SendRequest> = VecDeque::new();
+    let is_mw = params.strategy == Strategy::Mw;
+
+    loop {
+        // Steps 3–4: ask for work.
+        timer
+            .track(
+                Phase::DataDistribution,
+                comm.send(0, TAG_WORK_REQ, (), WORK_REQ_BYTES),
+            )
+            .await;
+        let resp = timer
+            .track(Phase::DataDistribution, comm.recv(0, TAG_ASSIGN))
+            .await
+            .downcast::<Assign>();
+
+        match resp {
+            Assign::Task { query, fragment } => {
+                // Step 6: the search itself. A query-segmentation task
+                // scans the whole database: it pays one startup per
+                // original fragment, and — when the database exceeds
+                // worker memory — first streams the non-resident part
+                // back in from the file system (the repeated I/O the
+                // paper's introduction holds against query segmentation).
+                state.stats.tasks += 1;
+                if let Some(db) = &database {
+                    let reload = params.db_reload_bytes();
+                    timer
+                        .track(
+                            Phase::Io,
+                            db.read_contiguous(file.endpoint(), 0, reload),
+                        )
+                        .await;
+                }
+                let startups = match params.segmentation {
+                    Segmentation::Database => 1,
+                    Segmentation::Query => params.workload.fragments,
+                };
+                let hits = &workload.queries[query].hits[fragment];
+                let bytes: u64 = hits.iter().map(|h| h.size).sum();
+                timer
+                    .track(
+                        Phase::Compute,
+                        sim.sleep(params.compute_time_multi(bytes, startups)),
+                    )
+                    .await;
+
+                // Step 8: merge into the per-query list (parallel I/O only).
+                if params.strategy.workers_write() && !hits.is_empty() {
+                    let merge_time =
+                        params.testbed.merge_per_hit * hits.len() as u64;
+                    timer
+                        .track(Phase::MergeResults, sim.sleep(merge_time))
+                        .await;
+                    let b = query / gran;
+                    let slot = state.local[b].entry(query).or_default();
+                    if slot.is_empty() {
+                        slot.extend_from_slice(hits);
+                    } else {
+                        *slot = merge_sorted_hits(slot, hits);
+                    }
+                    state.have_results[b] = true;
+                }
+
+                // Steps 10 & 15: send scores (and results for MW), with
+                // bounded send buffering.
+                while result_sends.len() >= params.testbed.max_outstanding_result_sends {
+                    let oldest = result_sends.pop_front().expect("nonempty");
+                    timer.track(Phase::GatherResults, oldest.wait()).await;
+                }
+                let wire = SCORE_ENTRY_BYTES * hits.len() as u64
+                    + if is_mw { bytes } else { 0 };
+                let msg = ScoresMsg {
+                    query,
+                    fragment,
+                    hits: hits.clone(),
+                };
+                result_sends.push_back(comm.isend(0, TAG_SCORES, msg, wire));
+            }
+            Assign::Done => break,
+        }
+
+        // Steps 16–18: handle any location lists that have arrived.
+        //
+        // Synchronizing modes (query sync, collective I/O) must react
+        // promptly: the other workers are, or will be, blocked on this
+        // worker's participation. In the free-running individual modes the
+        // worker keeps computing — taking new tasks has priority over
+        // writing already-located results, which keeps the task (and
+        // therefore result) distribution balanced across workers — and
+        // drains its I/O backlog once the master has no more work.
+        let prompt_io = params.query_sync || params.strategy.inherently_synchronizing();
+        if prompt_io {
+            while let Some(m) = offs_rx.test() {
+                offs_rx = comm.irecv(0, TAG_OFFSETS);
+                handle_offsets(&timer, &params, &workers_comm, &file, &mut state, &commits, m)
+                    .await;
+            }
+        }
+    }
+
+    // Drain: every batch we still owe I/O (or synchronization) for.
+    let expected = expected_offset_messages(&params, &state);
+    while state.offsets_handled < expected {
+        let m = timer
+            .track(Phase::DataDistribution, offs_rx.wait())
+            .await;
+        offs_rx = comm.irecv(0, TAG_OFFSETS);
+        handle_offsets(&timer, &params, &workers_comm, &file, &mut state, &commits, m).await;
+    }
+
+    // Step 15 (final): make sure our result sends completed.
+    while let Some(s) = result_sends.pop_front() {
+        timer.track(Phase::GatherResults, s.wait()).await;
+    }
+
+    // Step 20/21: final synchronization.
+    timer.track(Phase::Sync, comm.barrier()).await;
+
+    let mut bd = timer.snapshot();
+    bd.close_to(sim.now());
+    (bd, state.stats)
+}
+
+/// How many TAG_OFFSETS messages the master will send this worker.
+fn expected_offset_messages(params: &SimParams, state: &WorkerState) -> usize {
+    let nbatches = state.have_results.len();
+    if params.strategy.inherently_synchronizing() || params.query_sync {
+        nbatches
+    } else if params.strategy == Strategy::Mw {
+        0
+    } else {
+        state.have_results.iter().filter(|&&b| b).count()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+async fn handle_offsets(
+    timer: &PhaseTimer,
+    params: &SimParams,
+    workers_comm: &Comm,
+    file: &File,
+    state: &mut WorkerState,
+    commits: &CommitTracker,
+    msg: Message,
+) {
+    let OffsetsMsg { batch, offsets } = msg.downcast();
+    state.offsets_handled += 1;
+
+    // Pair this batch's local hits (queries ascending, hits in local
+    // merged order) with the offsets the master computed in exactly the
+    // same order.
+    let queries = std::mem::take(&mut state.local[batch]);
+    let local: Vec<&Hit> = queries.values().flatten().collect();
+    assert_eq!(
+        local.len(),
+        offsets.len(),
+        "offset list length mismatch for batch {batch}"
+    );
+    let regions: Vec<Region> = local
+        .iter()
+        .zip(&offsets)
+        .map(|(h, &off)| Region::new(off, h.size))
+        .collect();
+    if params.strategy.workers_write() {
+        state.stats.regions_written += regions.len();
+        state.stats.bytes_written += regions.iter().map(|r| r.len).sum::<u64>();
+    }
+
+    let wrote = !regions.is_empty();
+    match params.strategy {
+        Strategy::Mw => {
+            // Pure notification: the master wrote this batch.
+        }
+        Strategy::WwPosix => {
+            if !regions.is_empty() {
+                timer
+                    .track(Phase::Io, file.write_regions(&regions, WriteMethod::Posix))
+                    .await;
+                timer.track(Phase::Io, file.sync()).await;
+            }
+        }
+        Strategy::WwList | Strategy::WwCollList => {
+            if !regions.is_empty() {
+                timer
+                    .track(Phase::Io, file.write_regions(&regions, WriteMethod::ListIo))
+                    .await;
+                timer.track(Phase::Io, file.sync()).await;
+            }
+        }
+        Strategy::WwColl => {
+            // Two-phase collective: every worker participates. The wait
+            // for the slowest participant surfaces, as in the paper, in
+            // the data-distribution time; the exchange and write are I/O.
+            let t = file.write_at_all_timed(&regions).await;
+            timer.add(Phase::DataDistribution, t.synchronize);
+            timer.add(Phase::Io, t.exchange_and_write);
+            timer.track(Phase::Io, file.sync()).await;
+        }
+    }
+
+    if wrote && params.strategy != Strategy::Mw {
+        commits.complete_one(batch, workers_comm.sim().now());
+    }
+    let forced_sync = params.query_sync || params.strategy == Strategy::WwCollList;
+    if forced_sync {
+        timer.track(Phase::Sync, workers_comm.barrier()).await;
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests for the offset-assignment protocol: whatever hits
+//! arrive, in whatever fragment order, the master's per-worker offset
+//! lists and the workers' independently merged local lists describe the
+//! same bytes — disjointly, densely, and in global score order.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use s3a_workload::Hit;
+use s3asim::{hit_order, merge_sorted_hits, BatchState};
+
+/// A random query's worth of per-(worker, fragment) hit lists.
+#[derive(Debug, Clone)]
+struct QueryCase {
+    /// (worker, hits-per-fragment) — each inner list unsorted on arrival.
+    tasks: Vec<(usize, Vec<Hit>)>,
+}
+
+fn query_case() -> impl Strategy<Value = QueryCase> {
+    prop::collection::vec(
+        (
+            0usize..6, // worker id
+            prop::collection::vec((0u64..1000, 1u64..500), 0..12),
+        ),
+        1..10,
+    )
+    .prop_map(|raw| QueryCase {
+        tasks: raw
+            .into_iter()
+            .map(|(w, hits)| {
+                let mut hs: Vec<Hit> = hits
+                    .into_iter()
+                    .map(|(score, size)| Hit { score, size })
+                    .collect();
+                hs.sort_by(hit_order); // workers sort before sending
+                (w, hs)
+            })
+            .collect(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn offsets_are_disjoint_dense_and_ordered(case in query_case(), base in 0u64..1_000_000) {
+        let fragments = case.tasks.len();
+        let mut batch = BatchState::new(0, vec![0], fragments);
+        for (w, hits) in &case.tasks {
+            batch.record(0, *w, hits);
+        }
+        prop_assert!(batch.is_complete());
+
+        let (per_worker, total) = batch.assign_offsets(base);
+        let expect_total: u64 = case
+            .tasks
+            .iter()
+            .flat_map(|(_, h)| h.iter())
+            .map(|h| h.size)
+            .sum();
+        prop_assert_eq!(total, expect_total);
+
+        // Worker-side view: independently merge each worker's fragments
+        // exactly the way the worker process does.
+        let mut local: HashMap<usize, Vec<Hit>> = HashMap::new();
+        for (w, hits) in &case.tasks {
+            if hits.is_empty() {
+                continue;
+            }
+            let slot = local.entry(*w).or_default();
+            if slot.is_empty() {
+                slot.extend_from_slice(hits);
+            } else {
+                *slot = merge_sorted_hits(slot, hits);
+            }
+        }
+
+        // Pair offsets with local hit orders and collect all regions.
+        let mut regions: Vec<(u64, u64, u64)> = Vec::new(); // (off, len, score)
+        for (w, hits) in &local {
+            let offsets = per_worker.get(w).cloned().unwrap_or_default();
+            prop_assert_eq!(
+                offsets.len(),
+                hits.len(),
+                "worker {} got {} offsets for {} hits",
+                w,
+                offsets.len(),
+                hits.len()
+            );
+            for (h, off) in hits.iter().zip(offsets) {
+                regions.push((off, h.size, h.score));
+            }
+        }
+
+        // Disjoint and dense over [base, base + total).
+        regions.sort_by_key(|&(off, _, _)| off);
+        let mut cursor = base;
+        for &(off, len, _) in &regions {
+            prop_assert_eq!(off, cursor, "hole or overlap at {}", off);
+            cursor += len;
+        }
+        prop_assert_eq!(cursor, base + total);
+
+        // File order is descending (score, size): the score-sorted output
+        // contract of §2.
+        for w in regions.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            let ha = Hit { score: a.2, size: a.1 };
+            let hb = Hit { score: b.2, size: b.1 };
+            prop_assert_ne!(
+                hit_order(&ha, &hb),
+                std::cmp::Ordering::Greater,
+                "file order violates score order at offset {}",
+                b.0
+            );
+        }
+    }
+
+    /// Multi-query batches lay queries out in ascending order, each dense.
+    #[test]
+    fn multi_query_batches_are_query_ordered(
+        sizes_q0 in prop::collection::vec(1u64..100, 1..8),
+        sizes_q1 in prop::collection::vec(1u64..100, 1..8),
+    ) {
+        let mut batch = BatchState::new(0, vec![4, 5], 1);
+        let mk = |sizes: &[u64], salt: u64| -> Vec<Hit> {
+            let mut hits: Vec<Hit> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| Hit { score: salt * 1000 + i as u64, size: s })
+                .collect();
+            hits.sort_by(hit_order);
+            hits
+        };
+        let h0 = mk(&sizes_q0, 1);
+        let h1 = mk(&sizes_q1, 2);
+        batch.record(4, 1, &h0);
+        batch.record(5, 1, &h1);
+        let (per_worker, total) = batch.assign_offsets(0);
+        let b0: u64 = sizes_q0.iter().sum();
+        let b1: u64 = sizes_q1.iter().sum();
+        prop_assert_eq!(total, b0 + b1);
+        // Worker 1 holds everything; its offsets must be grouped: all of
+        // query 4's region offsets precede query 5's.
+        let offs = &per_worker[&1];
+        let (q0_offs, q1_offs) = offs.split_at(h0.len());
+        let max0 = q0_offs.iter().max().copied().unwrap_or(0);
+        let min1 = q1_offs.iter().min().copied().unwrap_or(u64::MAX);
+        prop_assert!(max0 < min1, "query extents interleaved");
+    }
+
+    /// merge_sorted_hits is equivalent to concatenate-and-sort.
+    #[test]
+    fn merge_equals_sort_of_concat(
+        a in prop::collection::vec((0u64..100, 1u64..50), 0..20),
+        b in prop::collection::vec((0u64..100, 1u64..50), 0..20),
+    ) {
+        let mk = |v: &[(u64, u64)]| -> Vec<Hit> {
+            let mut h: Vec<Hit> = v.iter().map(|&(s, z)| Hit { score: s, size: z }).collect();
+            h.sort_by(hit_order);
+            h
+        };
+        let ha = mk(&a);
+        let hb = mk(&b);
+        let merged = merge_sorted_hits(&ha, &hb);
+        let mut reference = [ha, hb].concat();
+        reference.sort_by(hit_order);
+        // Same multiset in a hit_order-compatible order.
+        prop_assert_eq!(merged.len(), reference.len());
+        for (x, y) in merged.iter().zip(&reference) {
+            prop_assert_eq!(hit_order(x, y), std::cmp::Ordering::Equal);
+        }
+    }
+}

@@ -1,0 +1,672 @@
+//! The simulation engine: a single-threaded async executor driven by a
+//! virtual clock.
+//!
+//! Simulated processes are ordinary Rust futures. A process "blocks" by
+//! returning [`Poll::Pending`] from a leaf future that has registered a
+//! wake-up — either a timed event on the engine's event heap (e.g.
+//! [`Sim::sleep`]) or an entry in a synchronization primitive's waiter list
+//! (see [`crate::sync`]). The engine pops events in `(time, sequence)`
+//! order, so runs are bit-for-bit deterministic: same inputs, same event
+//! interleaving, same results.
+//!
+//! Leaf futures must tolerate *spurious* polls (a stale timed wake-up may
+//! poll a task whose real wake condition has not arrived yet). All
+//! primitives in this crate follow that rule.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+use crate::time::SimTime;
+
+/// Identifies a spawned simulation process.
+///
+/// Slots are recycled; the generation counter keeps stale wake-ups from a
+/// previous occupant of the slot from touching the new one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskId {
+    idx: u32,
+    gen: u32,
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task#{}.{}", self.idx, self.gen)
+    }
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<TaskId>> = const { Cell::new(None) };
+}
+
+/// The id of the simulation process currently being polled.
+///
+/// Panics when called from outside an executing simulation task; leaf
+/// futures use it to register the calling task in waiter lists.
+pub fn current_task() -> TaskId {
+    CURRENT
+        .get()
+        .expect("des primitive polled outside a simulation task")
+}
+
+#[derive(PartialEq, Eq)]
+struct WakeEvent {
+    time: SimTime,
+    seq: u64,
+    task: TaskId,
+}
+
+impl Ord for WakeEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for WakeEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Slot {
+    future: Option<Pin<Box<dyn Future<Output = ()>>>>,
+    name: String,
+    gen: u32,
+    done: bool,
+}
+
+/// Counters describing how much work the engine performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Number of timed events popped from the heap.
+    pub events: u64,
+    /// Number of future polls (including spurious ones).
+    pub polls: u64,
+    /// Total tasks ever spawned.
+    pub spawned: u64,
+    /// Tasks that ran to completion.
+    pub completed: u64,
+}
+
+/// Error returned by [`Sim::run`] when no task can make progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Deadlock {
+    /// Virtual time at which the simulation stalled.
+    pub at: SimTime,
+    /// Names of the live (parked) tasks.
+    pub parked: Vec<String>,
+}
+
+impl fmt::Display for Deadlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "simulation deadlocked at {} with {} parked task(s): {}",
+            self.at,
+            self.parked.len(),
+            self.parked.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for Deadlock {}
+
+struct Core {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<WakeEvent>>,
+    ready: VecDeque<TaskId>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
+    stats: SimStats,
+}
+
+/// Handle to a simulation. Cheap to clone; all clones refer to the same
+/// engine. `Sim` is single-threaded (`!Send`) by design.
+#[derive(Clone)]
+pub struct Sim {
+    core: Rc<RefCell<Core>>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Create a fresh simulation at time zero with no tasks.
+    pub fn new() -> Self {
+        Sim {
+            core: Rc::new(RefCell::new(Core {
+                now: SimTime::ZERO,
+                seq: 0,
+                heap: BinaryHeap::new(),
+                ready: VecDeque::new(),
+                slots: Vec::new(),
+                free: Vec::new(),
+                live: 0,
+                stats: SimStats::default(),
+            })),
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.borrow().now
+    }
+
+    /// Engine work counters.
+    pub fn stats(&self) -> SimStats {
+        self.core.borrow().stats
+    }
+
+    /// Number of tasks that have been spawned but not yet completed.
+    pub fn live_tasks(&self) -> usize {
+        self.core.borrow().live
+    }
+
+    /// Spawn a simulation process. It becomes runnable immediately (at the
+    /// current virtual time). Returns a handle that can be awaited for the
+    /// process's output value.
+    pub fn spawn<T: 'static>(
+        &self,
+        name: impl Into<String>,
+        fut: impl Future<Output = T> + 'static,
+    ) -> JoinHandle<T> {
+        let state = Rc::new(RefCell::new(JoinInner {
+            value: None,
+            finished: false,
+            waiters: Vec::new(),
+        }));
+        let st = Rc::clone(&state);
+        let sim = self.clone();
+        let wrapped = async move {
+            let value = fut.await;
+            let waiters = {
+                let mut s = st.borrow_mut();
+                s.value = Some(value);
+                s.finished = true;
+                std::mem::take(&mut s.waiters)
+            };
+            for w in waiters {
+                sim.ready_now(w);
+            }
+        };
+
+        let tid = {
+            let mut c = self.core.borrow_mut();
+            c.stats.spawned += 1;
+            c.live += 1;
+            let boxed: Pin<Box<dyn Future<Output = ()>>> = Box::pin(wrapped);
+            let tid = match c.free.pop() {
+                Some(idx) => {
+                    let slot = &mut c.slots[idx as usize];
+                    slot.future = Some(boxed);
+                    slot.name = name.into();
+                    slot.done = false;
+                    TaskId {
+                        idx,
+                        gen: slot.gen,
+                    }
+                }
+                None => {
+                    let idx = c.slots.len() as u32;
+                    c.slots.push(Slot {
+                        future: Some(boxed),
+                        name: name.into(),
+                        gen: 0,
+                        done: false,
+                    });
+                    TaskId { idx, gen: 0 }
+                }
+            };
+            c.ready.push_back(tid);
+            tid
+        };
+        JoinHandle {
+            task: tid,
+            state,
+            sim: self.clone(),
+        }
+    }
+
+    /// Schedule a timed wake-up for `task` at absolute time `at` (clamped to
+    /// the present). Used by leaf futures; harmless if the task has already
+    /// completed or been woken by something else (the poll is spurious).
+    pub fn schedule_wake(&self, task: TaskId, at: SimTime) {
+        let mut c = self.core.borrow_mut();
+        let at = at.max(c.now);
+        let seq = c.seq;
+        c.seq += 1;
+        c.heap.push(Reverse(WakeEvent { time: at, seq, task }));
+    }
+
+    /// Make `task` runnable at the current time (end of the ready queue).
+    pub fn ready_now(&self, task: TaskId) {
+        let mut c = self.core.borrow_mut();
+        if let Some(slot) = c.slots.get(task.idx as usize) {
+            if slot.gen == task.gen && !slot.done {
+                c.ready.push_back(task);
+            }
+        }
+    }
+
+    /// Sleep for a duration of virtual time.
+    pub fn sleep(&self, dur: SimTime) -> Sleep {
+        self.sleep_until(self.now().saturating_add(dur))
+    }
+
+    /// Sleep until an absolute virtual time (returns immediately if it has
+    /// already passed).
+    pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        Sleep {
+            sim: self.clone(),
+            deadline,
+            scheduled: false,
+        }
+    }
+
+    /// Yield to let every other currently-runnable task execute first.
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow {
+            sim: self.clone(),
+            yielded: false,
+        }
+    }
+
+    fn poll_task(&self, tid: TaskId) {
+        let mut fut = {
+            let mut c = self.core.borrow_mut();
+            let Some(slot) = c.slots.get_mut(tid.idx as usize) else {
+                return;
+            };
+            if slot.gen != tid.gen || slot.done {
+                return; // stale wake-up
+            }
+            match slot.future.take() {
+                Some(f) => {
+                    c.stats.polls += 1;
+                    f
+                }
+                // Already being polled (duplicate ready entry) — impossible
+                // in a single-threaded drain, but harmless to skip.
+                None => return,
+            }
+        };
+
+        let prev = CURRENT.replace(Some(tid));
+        let waker = Waker::noop();
+        let mut cx = Context::from_waker(waker);
+        let result = fut.as_mut().poll(&mut cx);
+        CURRENT.set(prev);
+
+        let mut c = self.core.borrow_mut();
+        let slot = &mut c.slots[tid.idx as usize];
+        match result {
+            Poll::Ready(()) => {
+                slot.done = true;
+                slot.gen = slot.gen.wrapping_add(1);
+                slot.future = None;
+                c.free.push(tid.idx);
+                c.live -= 1;
+                c.stats.completed += 1;
+            }
+            Poll::Pending => {
+                slot.future = Some(fut);
+            }
+        }
+    }
+
+    /// Run the simulation until every task has completed.
+    ///
+    /// Returns the final virtual time, or a [`Deadlock`] listing the parked
+    /// tasks if no task can make progress.
+    pub fn run(&self) -> Result<SimTime, Deadlock> {
+        loop {
+            loop {
+                let tid = self.core.borrow_mut().ready.pop_front();
+                match tid {
+                    Some(t) => self.poll_task(t),
+                    None => break,
+                }
+            }
+            let next = {
+                let mut c = self.core.borrow_mut();
+                if c.live == 0 {
+                    return Ok(c.now);
+                }
+                match c.heap.pop() {
+                    Some(Reverse(ev)) => {
+                        debug_assert!(ev.time >= c.now, "event heap went backwards");
+                        c.now = c.now.max(ev.time);
+                        c.stats.events += 1;
+                        ev.task
+                    }
+                    None => {
+                        let parked = c
+                            .slots
+                            .iter()
+                            .filter(|s| !s.done && s.future.is_some())
+                            .map(|s| s.name.clone())
+                            .collect();
+                        return Err(Deadlock { at: c.now, parked });
+                    }
+                }
+            };
+            // Validity (generation, done) is re-checked inside poll_task.
+            self.core.borrow_mut().ready.push_back(next);
+        }
+    }
+}
+
+/// Future returned by [`Sim::sleep`] / [`Sim::sleep_until`].
+pub struct Sleep {
+    sim: Sim,
+    deadline: SimTime,
+    scheduled: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        if this.sim.now() >= this.deadline {
+            Poll::Ready(())
+        } else {
+            if !this.scheduled {
+                this.sim.schedule_wake(current_task(), this.deadline);
+                this.scheduled = true;
+            }
+            Poll::Pending
+        }
+    }
+}
+
+/// Future returned by [`Sim::yield_now`].
+pub struct YieldNow {
+    sim: Sim,
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        if this.yielded {
+            Poll::Ready(())
+        } else {
+            this.yielded = true;
+            this.sim.ready_now(current_task());
+            Poll::Pending
+        }
+    }
+}
+
+struct JoinInner<T> {
+    value: Option<T>,
+    finished: bool,
+    waiters: Vec<TaskId>,
+}
+
+/// Handle to a spawned task; await [`JoinHandle::join`] for its output.
+pub struct JoinHandle<T> {
+    task: TaskId,
+    state: Rc<RefCell<JoinInner<T>>>,
+    sim: Sim,
+}
+
+impl<T> JoinHandle<T> {
+    /// The spawned task's id.
+    pub fn id(&self) -> TaskId {
+        self.task
+    }
+
+    /// True once the task has run to completion.
+    pub fn is_finished(&self) -> bool {
+        self.state.borrow().finished
+    }
+
+    /// Take the output of a task that has already finished, without
+    /// awaiting — for collecting results after [`Sim::run`] returns.
+    /// Returns `None` if the task has not finished (or was already taken).
+    pub fn take_output(self) -> Option<T> {
+        self.state.borrow_mut().value.take()
+    }
+
+    /// Wait for the task to finish and take its output.
+    ///
+    /// Panics if the output has already been taken by another `join`.
+    pub fn join(self) -> Join<T> {
+        Join {
+            state: self.state,
+            _sim: self.sim,
+        }
+    }
+}
+
+/// Future returned by [`JoinHandle::join`].
+pub struct Join<T> {
+    state: Rc<RefCell<JoinInner<T>>>,
+    _sim: Sim,
+}
+
+impl<T> Future for Join<T> {
+    type Output = T;
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<T> {
+        let mut s = self.state.borrow_mut();
+        if s.finished {
+            Poll::Ready(s.value.take().expect("task output already taken"))
+        } else {
+            let me = current_task();
+            if !s.waiters.contains(&me) {
+                s.waiters.push(me);
+            }
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn empty_sim_finishes_at_zero() {
+        let sim = Sim::new();
+        assert_eq!(sim.run().unwrap(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sleep_advances_clock() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn("sleeper", async move {
+            s.sleep(SimTime::from_secs(5)).await;
+            assert_eq!(s.now(), SimTime::from_secs(5));
+        });
+        assert_eq!(sim.run().unwrap(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn zero_sleep_completes_immediately() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn("z", async move {
+            s.sleep(SimTime::ZERO).await;
+            s.sleep_until(SimTime::ZERO).await;
+        });
+        assert_eq!(sim.run().unwrap(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (name, delay) in [("b", 20u64), ("a", 10), ("c", 30)] {
+            let s = sim.clone();
+            let log = Rc::clone(&log);
+            sim.spawn(name, async move {
+                s.sleep(SimTime::from_millis(delay)).await;
+                log.borrow_mut().push(name);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(*log.borrow(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_time_events_fire_in_schedule_order() {
+        let sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for name in ["first", "second", "third"] {
+            let s = sim.clone();
+            let log = Rc::clone(&log);
+            sim.spawn(name, async move {
+                s.sleep(SimTime::from_millis(7)).await;
+                log.borrow_mut().push(name);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(*log.borrow(), vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn("outer", async move {
+            let h = s.spawn("inner", {
+                let s = s.clone();
+                async move {
+                    s.sleep(SimTime::from_secs(1)).await;
+                    42u32
+                }
+            });
+            assert_eq!(h.join().await, 42);
+            assert_eq!(s.now(), SimTime::from_secs(1));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn join_already_finished_task() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn("outer", async move {
+            let h = s.spawn("quick", async { 7u8 });
+            s.sleep(SimTime::from_secs(1)).await;
+            assert!(h.is_finished());
+            assert_eq!(h.join().await, 7);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn yield_now_lets_others_run() {
+        let sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        {
+            let s = sim.clone();
+            let log = Rc::clone(&log);
+            sim.spawn("a", async move {
+                log.borrow_mut().push("a1");
+                s.yield_now().await;
+                log.borrow_mut().push("a2");
+            });
+        }
+        {
+            let log = Rc::clone(&log);
+            sim.spawn("b", async move {
+                log.borrow_mut().push("b");
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(*log.borrow(), vec!["a1", "b", "a2"]);
+    }
+
+    #[test]
+    fn deadlock_detected_and_named() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn("stuck-forever", async move {
+            // A join on a task that never finishes, with no timed events.
+            let h = s.spawn("never", std::future::pending::<()>());
+            h.join().await;
+        });
+        let err = sim.run().unwrap_err();
+        assert!(err.parked.iter().any(|n| n == "stuck-forever"));
+        assert!(err.parked.iter().any(|n| n == "never"));
+        assert_eq!(err.at, SimTime::ZERO);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn("spawner", async move {
+            for i in 0..100 {
+                let s2 = s.clone();
+                let h = s.spawn(format!("t{i}"), async move {
+                    s2.sleep(SimTime::from_millis(1)).await;
+                });
+                h.join().await;
+            }
+        });
+        sim.run().unwrap();
+        // spawner + 100 children, but the slab should stay tiny.
+        assert!(sim.core.borrow().slots.len() <= 3);
+        assert_eq!(sim.stats().spawned, 101);
+        assert_eq!(sim.stats().completed, 101);
+    }
+
+    #[test]
+    fn stale_wake_does_not_touch_recycled_slot() {
+        // Schedule a far-future wake for a task that finishes immediately;
+        // a new task then reuses the slot. The stale wake must not disturb it.
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn("driver", async move {
+            let h = s.spawn("short", async {});
+            let short_id = h.id();
+            s.schedule_wake(short_id, SimTime::from_secs(10));
+            h.join().await;
+            let s2 = s.clone();
+            let h2 = s.spawn("reuser", async move {
+                s2.sleep(SimTime::from_secs(20)).await;
+                "done"
+            });
+            assert_eq!(h2.join().await, "done");
+        });
+        assert_eq!(sim.run().unwrap(), SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn massive_fanout_is_deterministic() {
+        let run = || {
+            let sim = Sim::new();
+            let total = Rc::new(RefCell::new(0u64));
+            for i in 0..500u64 {
+                let s = sim.clone();
+                let total = Rc::clone(&total);
+                sim.spawn(format!("w{i}"), async move {
+                    s.sleep(SimTime::from_nanos(i * 13 % 97)).await;
+                    *total.borrow_mut() += i;
+                    s.sleep(SimTime::from_nanos(i * 7 % 31)).await;
+                });
+            }
+            let end = sim.run().unwrap();
+            let sum = *total.borrow();
+            (end, sum, sim.stats())
+        };
+        assert_eq!(run(), run());
+    }
+}

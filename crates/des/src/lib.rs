@@ -1,0 +1,39 @@
+//! # s3a-des — deterministic discrete-event simulation engine
+//!
+//! The substrate every other `s3asim` crate builds on: a single-threaded
+//! async executor whose tasks advance a *virtual* clock instead of waiting
+//! on wall time.
+//!
+//! Simulated processes are written as plain `async` functions; "blocking"
+//! operations (sleeping, receiving a message, waiting at a barrier, queuing
+//! at a server) are awaits on the primitives in [`sync`]. The engine pops
+//! timed events in `(time, sequence)` order, so every run with the same
+//! inputs produces identical results — the property the paper relies on
+//! when it notes that S3aSim results "are always identical since they are
+//! pseudo-randomly generated".
+//!
+//! ## Example
+//!
+//! ```
+//! use s3a_des::{Sim, SimTime};
+//!
+//! let sim = Sim::new();
+//! let s = sim.clone();
+//! sim.spawn("hello", async move {
+//!     s.sleep(SimTime::from_millis(250)).await;
+//!     assert_eq!(s.now(), SimTime::from_millis(250));
+//! });
+//! let end = sim.run().unwrap();
+//! assert_eq!(end, SimTime::from_millis(250));
+//! ```
+
+pub mod engine;
+pub mod sync;
+pub mod time;
+
+pub use engine::{current_task, Deadlock, Join, JoinHandle, Sim, SimStats, Sleep, TaskId, YieldNow};
+pub use sync::{
+    Acquire, Arrive, Barrier, Flag, OneShot, Pop, Queue, Semaphore, Signal, Take, Timeline,
+    WaitFlag, WaitSignal,
+};
+pub use time::SimTime;

@@ -1,0 +1,848 @@
+//! Synchronization primitives for simulation processes.
+//!
+//! All primitives share the same waiter discipline: a pending waiter's
+//! [`TaskId`] is registered in the primitive; state changes wake *all*
+//! registered waiters, and each woken waiter re-checks its condition on the
+//! next poll. Wake-all is deliberately chosen over wake-one — it is immune
+//! to lost wake-ups when a woken task has meanwhile completed, and the
+//! single-threaded deterministic executor makes the re-check cheap.
+
+use std::cell::{Cell as StdCell, RefCell};
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+use crate::engine::{current_task, Sim, TaskId};
+use crate::time::SimTime;
+
+fn register(waiters: &mut Vec<TaskId>) {
+    let me = current_task();
+    if !waiters.contains(&me) {
+        waiters.push(me);
+    }
+}
+
+fn wake_all(sim: &Sim, waiters: &mut Vec<TaskId>) {
+    for t in waiters.drain(..) {
+        sim.ready_now(t);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Queue
+// ---------------------------------------------------------------------------
+
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    waiters: Vec<TaskId>,
+}
+
+/// An unbounded FIFO channel between simulation processes.
+///
+/// Cloning the handle shares the queue. `push` is non-blocking; `pop`
+/// suspends the caller until an item is available.
+pub struct Queue<T> {
+    inner: Rc<RefCell<QueueInner<T>>>,
+    sim: Sim,
+}
+
+impl<T> Clone for Queue<T> {
+    fn clone(&self) -> Self {
+        Queue {
+            inner: Rc::clone(&self.inner),
+            sim: self.sim.clone(),
+        }
+    }
+}
+
+impl<T> Queue<T> {
+    /// Create an empty queue attached to `sim`.
+    pub fn new(sim: &Sim) -> Self {
+        Queue {
+            inner: Rc::new(RefCell::new(QueueInner {
+                items: VecDeque::new(),
+                waiters: Vec::new(),
+            })),
+            sim: sim.clone(),
+        }
+    }
+
+    /// Append an item and wake any waiting consumers.
+    pub fn push(&self, item: T) {
+        let mut q = self.inner.borrow_mut();
+        q.items.push_back(item);
+        wake_all(&self.sim, &mut q.waiters);
+    }
+
+    /// Remove the oldest item if one is present.
+    pub fn try_pop(&self) -> Option<T> {
+        self.inner.borrow_mut().items.pop_front()
+    }
+
+    /// Wait for and remove the oldest item.
+    pub fn pop(&self) -> Pop<T> {
+        Pop { queue: self.clone() }
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().items.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Future returned by [`Queue::pop`].
+pub struct Pop<T> {
+    queue: Queue<T>,
+}
+
+impl<T> Future for Pop<T> {
+    type Output = T;
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<T> {
+        let mut q = self.queue.inner.borrow_mut();
+        match q.items.pop_front() {
+            Some(v) => Poll::Ready(v),
+            None => {
+                register(&mut q.waiters);
+                Poll::Pending
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OneShot
+// ---------------------------------------------------------------------------
+
+struct OneShotInner<T> {
+    value: Option<T>,
+    set: bool,
+    waiters: Vec<TaskId>,
+}
+
+/// A write-once cell: one `set`, any number of waiters, one `take`.
+pub struct OneShot<T> {
+    inner: Rc<RefCell<OneShotInner<T>>>,
+    sim: Sim,
+}
+
+impl<T> Clone for OneShot<T> {
+    fn clone(&self) -> Self {
+        OneShot {
+            inner: Rc::clone(&self.inner),
+            sim: self.sim.clone(),
+        }
+    }
+}
+
+impl<T> OneShot<T> {
+    /// Create an unset cell.
+    pub fn new(sim: &Sim) -> Self {
+        OneShot {
+            inner: Rc::new(RefCell::new(OneShotInner {
+                value: None,
+                set: false,
+                waiters: Vec::new(),
+            })),
+            sim: sim.clone(),
+        }
+    }
+
+    /// Store the value and wake waiters. Panics if already set.
+    pub fn set(&self, value: T) {
+        let mut c = self.inner.borrow_mut();
+        assert!(!c.set, "OneShot::set called twice");
+        c.value = Some(value);
+        c.set = true;
+        wake_all(&self.sim, &mut c.waiters);
+    }
+
+    /// True once a value has been stored (even if already taken).
+    pub fn is_set(&self) -> bool {
+        self.inner.borrow().set
+    }
+
+    /// Take the value if it has been stored.
+    pub fn try_take(&self) -> Option<T> {
+        self.inner.borrow_mut().value.take()
+    }
+
+    /// Wait for the value and take it. Panics if another waiter already
+    /// took it.
+    pub fn take(&self) -> Take<T> {
+        Take { cell: self.clone() }
+    }
+}
+
+/// Future returned by [`OneShot::take`].
+pub struct Take<T> {
+    cell: OneShot<T>,
+}
+
+impl<T> Future for Take<T> {
+    type Output = T;
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<T> {
+        let mut c = self.cell.inner.borrow_mut();
+        if c.set {
+            Poll::Ready(c.value.take().expect("OneShot value taken twice"))
+        } else {
+            register(&mut c.waiters);
+            Poll::Pending
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flag
+// ---------------------------------------------------------------------------
+
+struct FlagInner {
+    set: bool,
+    waiters: Vec<TaskId>,
+}
+
+/// A level-triggered event: once `set`, every past and future `wait`
+/// completes immediately. The natural shape for MPI-style request
+/// completion (`MPI_Test` / `MPI_Wait`).
+#[derive(Clone)]
+pub struct Flag {
+    inner: Rc<RefCell<FlagInner>>,
+    sim: Sim,
+}
+
+impl Flag {
+    /// Create an unset flag.
+    pub fn new(sim: &Sim) -> Self {
+        Flag {
+            inner: Rc::new(RefCell::new(FlagInner {
+                set: false,
+                waiters: Vec::new(),
+            })),
+            sim: sim.clone(),
+        }
+    }
+
+    /// Set the flag and wake all waiters. Idempotent.
+    pub fn set(&self) {
+        let mut f = self.inner.borrow_mut();
+        if !f.set {
+            f.set = true;
+            wake_all(&self.sim, &mut f.waiters);
+        }
+    }
+
+    /// True once [`Flag::set`] has been called.
+    pub fn is_set(&self) -> bool {
+        self.inner.borrow().set
+    }
+
+    /// Wait until the flag is set (immediately ready if it already is).
+    pub fn wait(&self) -> WaitFlag {
+        WaitFlag { flag: self.clone() }
+    }
+}
+
+/// Future returned by [`Flag::wait`].
+pub struct WaitFlag {
+    flag: Flag,
+}
+
+impl Future for WaitFlag {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let mut f = self.flag.inner.borrow_mut();
+        if f.set {
+            Poll::Ready(())
+        } else {
+            register(&mut f.waiters);
+            Poll::Pending
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Signal
+// ---------------------------------------------------------------------------
+
+struct SignalInner {
+    generation: u64,
+    waiters: Vec<TaskId>,
+}
+
+/// An edge-triggered broadcast: `wait()` completes at the first `notify_all`
+/// that happens *after* the wait began. Useful for "state changed,
+/// re-examine it" loops (e.g. message matching).
+#[derive(Clone)]
+pub struct Signal {
+    inner: Rc<RefCell<SignalInner>>,
+    sim: Sim,
+}
+
+impl Signal {
+    /// Create a signal attached to `sim`.
+    pub fn new(sim: &Sim) -> Self {
+        Signal {
+            inner: Rc::new(RefCell::new(SignalInner {
+                generation: 0,
+                waiters: Vec::new(),
+            })),
+            sim: sim.clone(),
+        }
+    }
+
+    /// Wake every current waiter.
+    pub fn notify_all(&self) {
+        let mut s = self.inner.borrow_mut();
+        s.generation += 1;
+        wake_all(&self.sim, &mut s.waiters);
+    }
+
+    /// Wait for the next notification.
+    pub fn wait(&self) -> WaitSignal {
+        WaitSignal {
+            signal: self.clone(),
+            target: None,
+        }
+    }
+}
+
+/// Future returned by [`Signal::wait`].
+pub struct WaitSignal {
+    signal: Signal,
+    target: Option<u64>,
+}
+
+impl Future for WaitSignal {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        let mut s = this.signal.inner.borrow_mut();
+        let target = *this.target.get_or_insert(s.generation + 1);
+        if s.generation >= target {
+            Poll::Ready(())
+        } else {
+            register(&mut s.waiters);
+            Poll::Pending
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Barrier
+// ---------------------------------------------------------------------------
+
+struct BarrierInner {
+    parties: usize,
+    arrived: usize,
+    generation: u64,
+    waiters: Vec<TaskId>,
+}
+
+/// A reusable synchronization barrier for a fixed number of parties.
+#[derive(Clone)]
+pub struct Barrier {
+    inner: Rc<RefCell<BarrierInner>>,
+    sim: Sim,
+}
+
+impl Barrier {
+    /// Create a barrier for `parties` participants.
+    pub fn new(sim: &Sim, parties: usize) -> Self {
+        assert!(parties > 0, "barrier needs at least one party");
+        Barrier {
+            inner: Rc::new(RefCell::new(BarrierInner {
+                parties,
+                arrived: 0,
+                generation: 0,
+                waiters: Vec::new(),
+            })),
+            sim: sim.clone(),
+        }
+    }
+
+    /// Arrive at the barrier and wait for all other parties.
+    pub fn arrive(&self) -> Arrive {
+        Arrive {
+            barrier: self.clone(),
+            entered: None,
+        }
+    }
+
+    /// Number of parties the barrier was built for.
+    pub fn parties(&self) -> usize {
+        self.inner.borrow().parties
+    }
+}
+
+/// Future returned by [`Barrier::arrive`].
+pub struct Arrive {
+    barrier: Barrier,
+    entered: Option<u64>,
+}
+
+impl Future for Arrive {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        let mut b = this.barrier.inner.borrow_mut();
+        match this.entered {
+            None => {
+                let my_gen = b.generation;
+                b.arrived += 1;
+                if b.arrived == b.parties {
+                    b.arrived = 0;
+                    b.generation += 1;
+                    let sim = this.barrier.sim.clone();
+                    wake_all(&sim, &mut b.waiters);
+                    Poll::Ready(())
+                } else {
+                    this.entered = Some(my_gen);
+                    register(&mut b.waiters);
+                    Poll::Pending
+                }
+            }
+            Some(my_gen) => {
+                if b.generation > my_gen {
+                    Poll::Ready(())
+                } else {
+                    register(&mut b.waiters);
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timeline
+// ---------------------------------------------------------------------------
+
+/// A serialized FIFO service resource (a single server queue).
+///
+/// Modeled analytically: each reservation books the earliest slot at or
+/// after the current time, so waiting time is `start - arrival`. Arrival
+/// order equals event order, which the deterministic engine fixes. This is
+/// how NICs, PVFS server request queues, and disks are modeled.
+#[derive(Clone)]
+pub struct Timeline {
+    next_free: Rc<StdCell<SimTime>>,
+    busy: Rc<StdCell<SimTime>>,
+}
+
+impl Default for Timeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Timeline {
+    /// Create an idle timeline.
+    pub fn new() -> Self {
+        Timeline {
+            next_free: Rc::new(StdCell::new(SimTime::ZERO)),
+            busy: Rc::new(StdCell::new(SimTime::ZERO)),
+        }
+    }
+
+    /// Book `service` time on the resource starting no earlier than `now`;
+    /// returns the `(start, end)` of the booked slot without waiting.
+    pub fn reserve(&self, now: SimTime, service: SimTime) -> (SimTime, SimTime) {
+        let start = self.next_free.get().max(now);
+        let end = start + service;
+        self.next_free.set(end);
+        self.busy.set(self.busy.get() + service);
+        (start, end)
+    }
+
+    /// Book `service` time and wait until the slot completes. Returns the
+    /// time spent queued before service began.
+    pub async fn serve(&self, sim: &Sim, service: SimTime) -> SimTime {
+        let now = sim.now();
+        let (start, end) = self.reserve(now, service);
+        sim.sleep_until(end).await;
+        start - now
+    }
+
+    /// The earliest time a new reservation could start.
+    pub fn next_free(&self) -> SimTime {
+        self.next_free.get()
+    }
+
+    /// Total service time booked so far (for utilization reporting).
+    pub fn total_busy(&self) -> SimTime {
+        self.busy.get()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Semaphore
+// ---------------------------------------------------------------------------
+
+struct SemaphoreInner {
+    permits: u64,
+    waiters: Vec<TaskId>,
+}
+
+/// A counting semaphore (used for flow control, e.g. bounding outstanding
+/// I/O requests).
+#[derive(Clone)]
+pub struct Semaphore {
+    inner: Rc<RefCell<SemaphoreInner>>,
+    sim: Sim,
+}
+
+impl Semaphore {
+    /// Create a semaphore holding `permits` initial permits.
+    pub fn new(sim: &Sim, permits: u64) -> Self {
+        Semaphore {
+            inner: Rc::new(RefCell::new(SemaphoreInner {
+                permits,
+                waiters: Vec::new(),
+            })),
+            sim: sim.clone(),
+        }
+    }
+
+    /// Wait until `n` permits are available and take them.
+    pub fn acquire(&self, n: u64) -> Acquire {
+        Acquire {
+            sem: self.clone(),
+            n,
+        }
+    }
+
+    /// Return `n` permits and wake waiters.
+    pub fn release(&self, n: u64) {
+        let mut s = self.inner.borrow_mut();
+        s.permits += n;
+        wake_all(&self.sim, &mut s.waiters);
+    }
+
+    /// Currently available permits.
+    pub fn available(&self) -> u64 {
+        self.inner.borrow().permits
+    }
+}
+
+/// Future returned by [`Semaphore::acquire`].
+pub struct Acquire {
+    sem: Semaphore,
+    n: u64,
+}
+
+impl Future for Acquire {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let mut s = self.sem.inner.borrow_mut();
+        if s.permits >= self.n {
+            s.permits -= self.n;
+            Poll::Ready(())
+        } else {
+            register(&mut s.waiters);
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    #[test]
+    fn queue_passes_items_in_order() {
+        let sim = Sim::new();
+        let q: Queue<u32> = Queue::new(&sim);
+        {
+            let q = q.clone();
+            let s = sim.clone();
+            sim.spawn("producer", async move {
+                for i in 0..5 {
+                    s.sleep(SimTime::from_millis(10)).await;
+                    q.push(i);
+                }
+            });
+        }
+        let got = Rc::new(RefCell::new(Vec::new()));
+        {
+            let q = q.clone();
+            let got = Rc::clone(&got);
+            sim.spawn("consumer", async move {
+                for _ in 0..5 {
+                    let v = q.pop().await;
+                    got.borrow_mut().push(v);
+                }
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(*got.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn queue_consumer_blocks_until_push() {
+        let sim = Sim::new();
+        let q: Queue<&'static str> = Queue::new(&sim);
+        {
+            let q = q.clone();
+            let s = sim.clone();
+            sim.spawn("consumer", async move {
+                let v = q.pop().await;
+                assert_eq!(v, "hello");
+                assert_eq!(s.now(), SimTime::from_secs(3));
+            });
+        }
+        {
+            let q = q.clone();
+            let s = sim.clone();
+            sim.spawn("producer", async move {
+                s.sleep(SimTime::from_secs(3)).await;
+                q.push("hello");
+            });
+        }
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn queue_multiple_consumers_all_served() {
+        let sim = Sim::new();
+        let q: Queue<u32> = Queue::new(&sim);
+        let served = Rc::new(StdCell::new(0u32));
+        for i in 0..4 {
+            let q = q.clone();
+            let served = Rc::clone(&served);
+            sim.spawn(format!("c{i}"), async move {
+                let _ = q.pop().await;
+                served.set(served.get() + 1);
+            });
+        }
+        {
+            let q = q.clone();
+            let s = sim.clone();
+            sim.spawn("p", async move {
+                for _ in 0..4 {
+                    s.sleep(SimTime::from_millis(1)).await;
+                    q.push(9);
+                }
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(served.get(), 4);
+    }
+
+    #[test]
+    fn flag_wakes_waiters_and_is_level_triggered() {
+        let sim = Sim::new();
+        let flag = Flag::new(&sim);
+        let woke = Rc::new(StdCell::new(SimTime::ZERO));
+        {
+            let flag = flag.clone();
+            let s = sim.clone();
+            let woke = Rc::clone(&woke);
+            sim.spawn("waiter", async move {
+                flag.wait().await;
+                woke.set(s.now());
+                // A second wait on a set flag returns immediately.
+                flag.wait().await;
+                assert_eq!(s.now(), woke.get());
+            });
+        }
+        {
+            let flag = flag.clone();
+            let s = sim.clone();
+            sim.spawn("setter", async move {
+                s.sleep(SimTime::from_secs(4)).await;
+                flag.set();
+                flag.set(); // idempotent
+            });
+        }
+        sim.run().unwrap();
+        assert!(flag.is_set());
+        assert_eq!(woke.get(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn flag_set_before_wait_is_immediate() {
+        let sim = Sim::new();
+        let flag = Flag::new(&sim);
+        flag.set();
+        let s = sim.clone();
+        let f = flag.clone();
+        sim.spawn("late-waiter", async move {
+            f.wait().await;
+            assert_eq!(s.now(), SimTime::ZERO);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn oneshot_delivers_once() {
+        let sim = Sim::new();
+        let c: OneShot<u64> = OneShot::new(&sim);
+        {
+            let c = c.clone();
+            let s = sim.clone();
+            sim.spawn("setter", async move {
+                s.sleep(SimTime::from_secs(1)).await;
+                c.set(99);
+            });
+        }
+        {
+            let c = c.clone();
+            sim.spawn("taker", async move {
+                assert_eq!(c.take().await, 99);
+            });
+        }
+        sim.run().unwrap();
+        assert!(c.is_set());
+        assert_eq!(c.try_take(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "set called twice")]
+    fn oneshot_double_set_panics() {
+        let sim = Sim::new();
+        let c: OneShot<u8> = OneShot::new(&sim);
+        c.set(1);
+        c.set(2);
+    }
+
+    #[test]
+    fn signal_is_edge_triggered() {
+        let sim = Sim::new();
+        let sig = Signal::new(&sim);
+        // A notification before the wait starts must NOT complete the wait.
+        sig.notify_all();
+        let woke_at = Rc::new(StdCell::new(SimTime::ZERO));
+        {
+            let sig = sig.clone();
+            let s = sim.clone();
+            let woke_at = Rc::clone(&woke_at);
+            sim.spawn("waiter", async move {
+                sig.wait().await;
+                woke_at.set(s.now());
+            });
+        }
+        {
+            let sig = sig.clone();
+            let s = sim.clone();
+            sim.spawn("notifier", async move {
+                s.sleep(SimTime::from_secs(2)).await;
+                sig.notify_all();
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(woke_at.get(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn barrier_releases_all_at_last_arrival() {
+        let sim = Sim::new();
+        let bar = Barrier::new(&sim, 3);
+        let release_times = Rc::new(RefCell::new(Vec::new()));
+        for (i, delay) in [5u64, 1, 9].into_iter().enumerate() {
+            let bar = bar.clone();
+            let s = sim.clone();
+            let rt = Rc::clone(&release_times);
+            sim.spawn(format!("p{i}"), async move {
+                s.sleep(SimTime::from_secs(delay)).await;
+                bar.arrive().await;
+                rt.borrow_mut().push(s.now());
+            });
+        }
+        sim.run().unwrap();
+        let times = release_times.borrow();
+        assert_eq!(times.len(), 3);
+        assert!(times.iter().all(|&t| t == SimTime::from_secs(9)));
+    }
+
+    #[test]
+    fn barrier_is_reusable() {
+        let sim = Sim::new();
+        let bar = Barrier::new(&sim, 2);
+        let rounds = Rc::new(StdCell::new(0u32));
+        for i in 0..2 {
+            let bar = bar.clone();
+            let s = sim.clone();
+            let rounds = Rc::clone(&rounds);
+            sim.spawn(format!("p{i}"), async move {
+                for r in 0..3u64 {
+                    s.sleep(SimTime::from_secs((i as u64) + r)).await;
+                    bar.arrive().await;
+                    rounds.set(rounds.get() + 1);
+                }
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(rounds.get(), 6);
+    }
+
+    #[test]
+    fn timeline_serializes_service() {
+        let sim = Sim::new();
+        let tl = Timeline::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..3u64 {
+            let tl = tl.clone();
+            let s = sim.clone();
+            let log = Rc::clone(&log);
+            sim.spawn(format!("client{i}"), async move {
+                // All three arrive at t=0; each needs 10ms of service.
+                let waited = tl.serve(&s, SimTime::from_millis(10)).await;
+                log.borrow_mut().push((s.now(), waited));
+            });
+        }
+        sim.run().unwrap();
+        let log = log.borrow();
+        assert_eq!(log[0], (SimTime::from_millis(10), SimTime::ZERO));
+        assert_eq!(log[1], (SimTime::from_millis(20), SimTime::from_millis(10)));
+        assert_eq!(log[2], (SimTime::from_millis(30), SimTime::from_millis(20)));
+        assert_eq!(tl.total_busy(), SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn timeline_idle_gap_not_counted_busy() {
+        let sim = Sim::new();
+        let tl = Timeline::new();
+        let s = sim.clone();
+        let tl2 = tl.clone();
+        sim.spawn("c", async move {
+            tl2.serve(&s, SimTime::from_millis(5)).await;
+            s.sleep(SimTime::from_secs(1)).await;
+            tl2.serve(&s, SimTime::from_millis(5)).await;
+        });
+        sim.run().unwrap();
+        assert_eq!(tl.total_busy(), SimTime::from_millis(10));
+        assert_eq!(tl.next_free(), SimTime::from_millis(10) + SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn semaphore_bounds_concurrency() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(&sim, 2);
+        let peak = Rc::new(StdCell::new(0u32));
+        let cur = Rc::new(StdCell::new(0u32));
+        for i in 0..6 {
+            let sem = sem.clone();
+            let s = sim.clone();
+            let peak = Rc::clone(&peak);
+            let cur = Rc::clone(&cur);
+            sim.spawn(format!("w{i}"), async move {
+                sem.acquire(1).await;
+                cur.set(cur.get() + 1);
+                peak.set(peak.get().max(cur.get()));
+                s.sleep(SimTime::from_millis(10)).await;
+                cur.set(cur.get() - 1);
+                sem.release(1);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(peak.get(), 2);
+        assert_eq!(sem.available(), 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests for the discrete-event engine: determinism,
+//! clock monotonicity, and conservation laws of the primitives.
+
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use s3a_des::{Barrier, Queue, Sim, SimTime, Timeline};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any random collection of sleeping tasks finishes at exactly the
+    /// maximum requested wake time, and twice in a row identically.
+    #[test]
+    fn sleepers_finish_at_max_deadline(delays in prop::collection::vec(0u64..10_000_000, 1..50)) {
+        let run = |delays: &[u64]| {
+            let sim = Sim::new();
+            for (i, &d) in delays.iter().enumerate() {
+                let s = sim.clone();
+                sim.spawn(format!("t{i}"), async move {
+                    s.sleep(SimTime::from_nanos(d)).await;
+                });
+            }
+            sim.run().expect("no deadlock")
+        };
+        let end = run(&delays);
+        prop_assert_eq!(end, SimTime::from_nanos(*delays.iter().max().expect("nonempty")));
+        prop_assert_eq!(run(&delays), end);
+    }
+
+    /// The virtual clock never goes backwards, no matter how tasks
+    /// interleave sleeps.
+    #[test]
+    fn clock_is_monotonic(seeds in prop::collection::vec(0u64..1000, 1..20)) {
+        let sim = Sim::new();
+        let observed = Rc::new(RefCell::new(Vec::new()));
+        for (i, &seed) in seeds.iter().enumerate() {
+            let s = sim.clone();
+            let obs = Rc::clone(&observed);
+            sim.spawn(format!("t{i}"), async move {
+                for k in 0..5u64 {
+                    s.sleep(SimTime::from_nanos((seed * 7 + k * 13) % 500)).await;
+                    obs.borrow_mut().push(s.now());
+                }
+            });
+        }
+        sim.run().expect("no deadlock");
+        let obs = observed.borrow();
+        for w in obs.windows(2) {
+            prop_assert!(w[0] <= w[1], "clock went backwards: {} then {}", w[0], w[1]);
+        }
+    }
+
+    /// Queues conserve items: everything pushed is popped exactly once,
+    /// across any producer/consumer split.
+    #[test]
+    fn queue_conserves_items(
+        items in prop::collection::vec(0u64..u64::MAX, 1..100),
+        consumers in 1usize..8,
+    ) {
+        let sim = Sim::new();
+        let q: Queue<u64> = Queue::new(&sim);
+        let received = Rc::new(RefCell::new(Vec::new()));
+        let n = items.len();
+        // Distribute pops over consumers.
+        let mut remaining = n;
+        for c in 0..consumers {
+            let take = remaining / (consumers - c);
+            remaining -= take;
+            let q = q.clone();
+            let rec = Rc::clone(&received);
+            sim.spawn(format!("c{c}"), async move {
+                for _ in 0..take {
+                    let v = q.pop().await;
+                    rec.borrow_mut().push(v);
+                }
+            });
+        }
+        {
+            let q = q.clone();
+            let items = items.clone();
+            let s = sim.clone();
+            sim.spawn("producer", async move {
+                for (i, v) in items.into_iter().enumerate() {
+                    s.sleep(SimTime::from_nanos((i % 7) as u64)).await;
+                    q.push(v);
+                }
+            });
+        }
+        sim.run().expect("no deadlock");
+        let mut got = received.borrow().clone();
+        let mut want = items.clone();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+        prop_assert!(q.is_empty());
+    }
+
+    /// A timeline's total busy time equals the sum of booked services,
+    /// and bookings never overlap.
+    #[test]
+    fn timeline_conserves_service(services in prop::collection::vec(1u64..1_000_000, 1..50)) {
+        let sim = Sim::new();
+        let tl = Timeline::new();
+        let spans = Rc::new(RefCell::new(Vec::new()));
+        for (i, &svc) in services.iter().enumerate() {
+            let tl = tl.clone();
+            let s = sim.clone();
+            let spans = Rc::clone(&spans);
+            sim.spawn(format!("c{i}"), async move {
+                s.sleep(SimTime::from_nanos((i as u64 * 31) % 1000)).await;
+                let arrive = s.now();
+                tl.serve(&s, SimTime::from_nanos(svc)).await;
+                let end = s.now();
+                spans.borrow_mut().push((arrive, end, svc));
+            });
+        }
+        sim.run().expect("no deadlock");
+        let total: SimTime = services.iter().map(|&s| SimTime::from_nanos(s)).sum();
+        prop_assert_eq!(tl.total_busy(), total);
+        // End times must be separated by at least the later job's service.
+        let mut ends: Vec<(SimTime, u64)> =
+            spans.borrow().iter().map(|&(_, e, svc)| (e, svc)).collect();
+        ends.sort();
+        for w in ends.windows(2) {
+            let gap = w[1].0 - w[0].0;
+            prop_assert!(
+                gap >= SimTime::from_nanos(w[1].1),
+                "service windows overlap: gap {} < service {}",
+                gap,
+                w[1].1
+            );
+        }
+    }
+
+    /// Barriers synchronize: every participant leaves each round at the
+    /// same virtual instant, whatever the arrival jitter.
+    #[test]
+    fn barrier_release_is_simultaneous(
+        jitters in prop::collection::vec(0u64..1_000_000, 2..20),
+        rounds in 1usize..4,
+    ) {
+        let sim = Sim::new();
+        let n = jitters.len();
+        let bar = Barrier::new(&sim, n);
+        let exits = Rc::new(RefCell::new(vec![Vec::new(); rounds]));
+        for (i, &j) in jitters.iter().enumerate() {
+            let bar = bar.clone();
+            let s = sim.clone();
+            let exits = Rc::clone(&exits);
+            sim.spawn(format!("p{i}"), async move {
+                for r in 0..rounds {
+                    s.sleep(SimTime::from_nanos(j * (r as u64 + 1) % 999_983)).await;
+                    bar.arrive().await;
+                    exits.borrow_mut()[r].push(s.now());
+                }
+            });
+        }
+        sim.run().expect("no deadlock");
+        for (r, round) in exits.borrow().iter().enumerate() {
+            prop_assert_eq!(round.len(), n);
+            prop_assert!(
+                round.iter().all(|&t| t == round[0]),
+                "round {} released at different times: {:?}",
+                r,
+                round
+            );
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Collective operations, built from the point-to-point layer so they pay
+//! real (simulated) communication costs.
+//!
+//! Algorithms mirror MPICH's classic choices: dissemination barrier,
+//! binomial-tree broadcast, flat gather/reduce (used here only for small
+//! metadata), ring allgather, and a sparse alltoallv for the two-phase
+//! collective-I/O exchange. Every collective call consumes one internal
+//! tag from the communicator's sequence, so consecutive collectives cannot
+//! cross-match; all members must invoke collectives in the same order.
+
+use std::any::Any;
+
+use crate::comm::{waitall_sends, Comm};
+use crate::message::{Rank, Source, TagSel};
+
+impl Comm {
+    /// Synchronize all ranks (dissemination barrier, ⌈log₂ n⌉ rounds).
+    pub async fn barrier(&self) {
+        let n = self.size();
+        if n == 1 {
+            return;
+        }
+        let tag = self.next_coll_tag();
+        let me = self.rank();
+        let mut k = 1;
+        while k < n {
+            let to = (me + k) % n;
+            let from = (me + n - k) % n;
+            let sreq = self.isend_raw(to, tag, (), 0);
+            let _ = self
+                .irecv_raw(Source::Rank(from), TagSel::Tag(tag))
+                .wait()
+                .await;
+            sreq.wait().await;
+            k *= 2;
+        }
+    }
+
+    /// Broadcast `value` (supplied by `root`, `None` elsewhere) to all
+    /// ranks via a binomial tree. `bytes` is the simulated payload size.
+    pub async fn bcast<T: Any + Clone>(&self, root: Rank, value: Option<T>, bytes: u64) -> T {
+        let n = self.size();
+        let vrank = (self.rank() + n - root) % n;
+        let mut val = if vrank == 0 {
+            Some(value.expect("root must supply the broadcast value"))
+        } else {
+            assert!(value.is_none(), "non-root ranks must pass None");
+            None
+        };
+        if n == 1 {
+            return val.expect("checked above");
+        }
+        let tag = self.next_coll_tag();
+        let mut bit = 1;
+        while bit < n {
+            if vrank < bit {
+                let peer_v = vrank + bit;
+                if peer_v < n {
+                    let peer = (peer_v + root) % n;
+                    let v = val.clone().expect("sender must already hold the value");
+                    self.isend_raw(peer, tag, v, bytes).wait().await;
+                }
+            } else if vrank < 2 * bit {
+                let peer = (vrank - bit + root) % n;
+                let m = self
+                    .irecv_raw(Source::Rank(peer), TagSel::Tag(tag))
+                    .wait()
+                    .await;
+                val = Some(m.downcast::<T>());
+            }
+            bit *= 2;
+        }
+        val.expect("broadcast did not reach this rank")
+    }
+
+    /// Gather one value per rank at `root` (flat exchange; `bytes` is this
+    /// rank's contribution size). Returns `Some(values)` in rank order at
+    /// the root, `None` elsewhere.
+    pub async fn gather<T: Any>(&self, root: Rank, value: T, bytes: u64) -> Option<Vec<T>> {
+        let n = self.size();
+        let tag = self.next_coll_tag();
+        if self.rank() == root {
+            let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+            out[root] = Some(value);
+            for _ in 0..n - 1 {
+                let m = self.irecv_raw(Source::Any, TagSel::Tag(tag)).wait().await;
+                let src = m.status.source;
+                let v = m.downcast::<T>();
+                assert!(out[src].is_none(), "duplicate gather contribution");
+                out[src] = Some(v);
+            }
+            Some(
+                out.into_iter()
+                    .map(|v| v.expect("missing gather contribution"))
+                    .collect(),
+            )
+        } else {
+            self.isend_raw(root, tag, value, bytes).wait().await;
+            None
+        }
+    }
+
+    /// All ranks obtain every rank's value, in rank order (ring exchange,
+    /// n−1 steps). `bytes` is this rank's contribution size.
+    pub async fn allgather<T: Any + Clone>(&self, value: T, bytes: u64) -> Vec<T> {
+        let n = self.size();
+        let me = self.rank();
+        let mut out: Vec<Option<(T, u64)>> = (0..n).map(|_| None).collect();
+        out[me] = Some((value, bytes));
+        if n == 1 {
+            return out
+                .into_iter()
+                .map(|v| v.expect("own value present").0)
+                .collect();
+        }
+        let tag = self.next_coll_tag();
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        // At step s we forward the block that originated at rank
+        // (me - s + n) % n; after n-1 steps everyone holds everything.
+        for s in 0..n - 1 {
+            let origin = (me + n - s) % n;
+            let (v, b) = out[origin].clone().expect("block to forward is present");
+            let sreq = self.isend_raw(right, tag, (origin, v), b);
+            let m = self.irecv_raw(Source::Rank(left), TagSel::Tag(tag)).wait().await;
+            let bytes_in = m.status.bytes;
+            let (o, v_in) = m.downcast::<(Rank, T)>();
+            assert!(out[o].is_none(), "duplicate allgather block");
+            out[o] = Some((v_in, bytes_in));
+            sreq.wait().await;
+        }
+        out.into_iter()
+            .map(|v| v.expect("missing allgather block").0)
+            .collect()
+    }
+
+    /// Reduce values to `root` with `combine` (flat exchange). Returns
+    /// `Some(result)` at the root, `None` elsewhere.
+    pub async fn reduce<T: Any, F: Fn(T, T) -> T>(
+        &self,
+        root: Rank,
+        value: T,
+        bytes: u64,
+        combine: F,
+    ) -> Option<T> {
+        // Contributions are combined in rank order for reproducibility.
+        let gathered = self.gather(root, value, bytes).await?;
+        let mut it = gathered.into_iter();
+        let first = it.next().expect("gather returned at least one value");
+        Some(it.fold(first, combine))
+    }
+
+    /// Reduce with `combine` and broadcast the result to all ranks.
+    pub async fn allreduce<T: Any + Clone, F: Fn(T, T) -> T>(
+        &self,
+        value: T,
+        bytes: u64,
+        combine: F,
+    ) -> T {
+        let reduced = self.reduce(0, value, bytes, combine).await;
+        self.bcast(0, reduced, bytes).await
+    }
+
+    /// Sparse all-to-all: send each `(dst, value, bytes)` triple and
+    /// receive exactly `recv_count` messages. Callers must know their
+    /// receive count (in two-phase I/O it is computed from the preceding
+    /// extent allgather). Returns `(source, value)` pairs in arrival order.
+    pub async fn alltoallv_sparse<T: Any>(
+        &self,
+        sends: Vec<(Rank, T, u64)>,
+        recv_count: usize,
+    ) -> Vec<(Rank, T)> {
+        let tag = self.next_coll_tag();
+        let mut sreqs = Vec::with_capacity(sends.len());
+        for (dst, value, bytes) in sends {
+            if dst == self.rank() {
+                // Local part: no wire traffic.
+                sreqs.push(self.isend_raw(dst, tag, value, 0));
+            } else {
+                sreqs.push(self.isend_raw(dst, tag, value, bytes));
+            }
+        }
+        let mut out = Vec::with_capacity(recv_count);
+        for _ in 0..recv_count {
+            let m = self.irecv_raw(Source::Any, TagSel::Tag(tag)).wait().await;
+            let src = m.status.source;
+            out.push((src, m.downcast::<T>()));
+        }
+        waitall_sends(&sreqs).await;
+        out
+    }
+}

@@ -1,0 +1,646 @@
+//! Communicators, point-to-point transport, and message matching.
+//!
+//! The transport implements the two protocols real MPI implementations
+//! use:
+//!
+//! * **Eager** (small messages): the payload is pushed to the destination
+//!   immediately; the send completes locally once the sender's NIC has
+//!   drained it, and the receiver buffers it as an *unexpected message*
+//!   until a matching receive is posted.
+//! * **Rendezvous** (large messages): only a header (RTS) travels at send
+//!   time. When the receiver matches it, a clear-to-send (CTS) returns to
+//!   the sender, and only then does the payload move. The send completes
+//!   when the payload has left the sender.
+//!
+//! Matching follows MPI rules: `(context, source, tag)` with wildcard
+//! source/tag, earliest-posted receive matches earliest-arrived envelope,
+//! and messages between a given pair of ranks are non-overtaking (the
+//! fabric serializes each endpoint, so delivery order per pair equals send
+//! order). Progress is *independent*: matching happens at arrival time,
+//! like an MPI implementation with an asynchronous progress engine
+//! (Myrinet GM offloaded exactly this to NIC firmware).
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+use s3a_des::{current_task, Flag, OneShot, Sim, SimTime, TaskId};
+use s3a_net::{EndpointId, Fabric, NetConfig};
+
+use crate::message::{Message, Rank, Source, Status, Tag, TagSel, COLL_TAG_BASE};
+
+/// Configuration of the MPI layer.
+#[derive(Debug, Clone, Copy)]
+pub struct MpiConfig {
+    /// Interconnect parameters.
+    pub net: NetConfig,
+    /// Messages at or below this payload size use the eager protocol.
+    pub eager_threshold: u64,
+    /// Envelope/header bytes added to every wire message (and the size of
+    /// RTS/CTS control messages).
+    pub header_bytes: u64,
+    /// Ranks sharing one NIC (the paper ran 2 processes per dual-CPU node).
+    pub ranks_per_node: usize,
+}
+
+impl Default for MpiConfig {
+    fn default() -> Self {
+        MpiConfig {
+            net: NetConfig::default(),
+            eager_threshold: 16 * 1024,
+            header_bytes: 64,
+            ranks_per_node: 2,
+        }
+    }
+}
+
+/// Traffic counters for a [`World`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MpiStats {
+    /// Point-to-point messages initiated (user + collective).
+    pub messages: u64,
+    /// Payload bytes sent.
+    pub payload_bytes: u64,
+    /// Messages that used the rendezvous protocol.
+    pub rendezvous: u64,
+}
+
+struct Envelope {
+    context: u32,
+    /// World rank of the sender.
+    source: Rank,
+    tag: Tag,
+    bytes: u64,
+    payload: Option<Box<dyn Any>>,
+    data_arrived: Rc<Cell<bool>>,
+    /// Present on an unmatched rendezvous header; taken when matched to
+    /// trigger the CTS.
+    cts: Option<OneShot<()>>,
+}
+
+struct PostedRecv {
+    context: u32,
+    /// Source selector in *world* ranks.
+    src: Source,
+    tag: TagSel,
+    envelope: Option<Envelope>,
+}
+
+struct Mailbox {
+    arrived: VecDeque<Envelope>,
+    posted: Vec<Rc<RefCell<PostedRecv>>>,
+    waiters: Vec<TaskId>,
+}
+
+struct WorldInner {
+    sim: Sim,
+    fabric: Rc<Fabric>,
+    /// First fabric endpoint used by this world's ranks.
+    endpoint_base: usize,
+    cfg: MpiConfig,
+    mailboxes: Vec<RefCell<Mailbox>>,
+    contexts: RefCell<HashMap<String, u32>>,
+    next_context: Cell<u32>,
+    stats: Cell<MpiStats>,
+}
+
+impl WorldInner {
+    fn endpoint(&self, world_rank: Rank) -> EndpointId {
+        EndpointId(self.endpoint_base + world_rank / self.cfg.ranks_per_node)
+    }
+
+    fn wake_mailbox(&self, dst: Rank) {
+        let mut waiters = {
+            let mut mb = self.mailboxes[dst].borrow_mut();
+            std::mem::take(&mut mb.waiters)
+        };
+        for t in waiters.drain(..) {
+            self.sim.ready_now(t);
+        }
+    }
+
+    fn register_waiter(&self, dst: Rank) {
+        let me = current_task();
+        let mut mb = self.mailboxes[dst].borrow_mut();
+        if !mb.waiters.contains(&me) {
+            mb.waiters.push(me);
+        }
+    }
+
+    /// Match-or-buffer an envelope that has just arrived at `dst`.
+    fn deliver(self: &Rc<Self>, dst: Rank, env: Envelope) {
+        let matched = {
+            let mut mb = self.mailboxes[dst].borrow_mut();
+            let pos = mb.posted.iter().position(|p| {
+                let p = p.borrow();
+                p.envelope.is_none()
+                    && p.context == env.context
+                    && p.src.matches(env.source)
+                    && p.tag.matches(env.tag)
+            });
+            pos.map(|i| mb.posted.remove(i))
+        };
+        match matched {
+            Some(p) => self.bind(dst, &p, env),
+            None => self.mailboxes[dst].borrow_mut().arrived.push_back(env),
+        }
+        self.wake_mailbox(dst);
+    }
+
+    /// Bind a matched envelope to a posted receive. For rendezvous
+    /// messages this is the moment the CTS goes back to the sender.
+    fn bind(self: &Rc<Self>, dst: Rank, posted: &Rc<RefCell<PostedRecv>>, mut env: Envelope) {
+        if let Some(cts) = env.cts.take() {
+            let plan = self.fabric.book_transfer(
+                self.sim.now(),
+                self.endpoint(dst),
+                self.endpoint(env.source),
+                self.cfg.header_bytes,
+            );
+            let sim = self.sim.clone();
+            self.sim.spawn("mpi-cts", async move {
+                sim.sleep_until(plan.delivered).await;
+                cts.set(());
+            });
+        }
+        posted.borrow_mut().envelope = Some(env);
+    }
+
+    fn bump_stats(&self, bytes: u64, rendezvous: bool) {
+        let mut s = self.stats.get();
+        s.messages += 1;
+        s.payload_bytes += bytes;
+        if rendezvous {
+            s.rendezvous += 1;
+        }
+        self.stats.set(s);
+    }
+
+    /// Start the wire protocol for one message; returns the send request.
+    fn transport(
+        self: &Rc<Self>,
+        context: u32,
+        src: Rank,
+        dst: Rank,
+        tag: Tag,
+        payload: Box<dyn Any>,
+        bytes: u64,
+    ) -> SendRequest {
+        let sim = self.sim.clone();
+        let flag = Flag::new(&sim);
+        let eager = bytes <= self.cfg.eager_threshold;
+        self.bump_stats(bytes, !eager);
+
+        let src_ep = self.endpoint(src);
+        let dst_ep = self.endpoint(dst);
+        let world = Rc::clone(self);
+        let done = flag.clone();
+
+        if eager {
+            let plan =
+                self.fabric
+                    .book_transfer(sim.now(), src_ep, dst_ep, self.cfg.header_bytes + bytes);
+            let env = Envelope {
+                context,
+                source: src,
+                tag,
+                bytes,
+                payload: Some(payload),
+                data_arrived: Rc::new(Cell::new(true)),
+                cts: None,
+            };
+            let s = sim.clone();
+            sim.spawn("mpi-xfer", async move {
+                s.sleep_until(plan.tx_done).await;
+                done.set();
+                s.sleep_until(plan.delivered).await;
+                world.deliver(dst, env);
+            });
+        } else {
+            let cts = OneShot::new(&sim);
+            let data_arrived = Rc::new(Cell::new(false));
+            let env = Envelope {
+                context,
+                source: src,
+                tag,
+                bytes,
+                payload: Some(payload),
+                data_arrived: Rc::clone(&data_arrived),
+                cts: Some(cts.clone()),
+            };
+            let header = self.cfg.header_bytes;
+            // Book the RTS *now*, not inside the spawned task: wire order
+            // must equal isend order or same-pair messages could overtake.
+            let rts = self
+                .fabric
+                .book_transfer(sim.now(), src_ep, dst_ep, header);
+            let s = sim.clone();
+            sim.spawn("mpi-rndv", async move {
+                s.sleep_until(rts.delivered).await;
+                world.deliver(dst, env);
+                // Wait for the receiver to match and grant the transfer.
+                cts.take().await;
+                // Payload.
+                let data = world
+                    .fabric
+                    .book_transfer(s.now(), src_ep, dst_ep, header + bytes);
+                s.sleep_until(data.tx_done).await;
+                done.set();
+                s.sleep_until(data.delivered).await;
+                data_arrived.set(true);
+                world.wake_mailbox(dst);
+            });
+        }
+        SendRequest { flag }
+    }
+}
+
+/// The set of all ranks and the transport between them (`MPI_COMM_WORLD`'s
+/// backing state). Create one per simulation, then hand each simulated
+/// process its [`Comm`] via [`World::comm`].
+#[derive(Clone)]
+pub struct World {
+    inner: Rc<WorldInner>,
+}
+
+impl World {
+    /// Create a world of `nranks` ranks on a private fabric with
+    /// `ceil(nranks / ranks_per_node)` NICs.
+    pub fn new(sim: &Sim, nranks: usize, cfg: MpiConfig) -> World {
+        let nodes = nranks.div_ceil(cfg.ranks_per_node);
+        let fabric = Rc::new(Fabric::new(nodes, cfg.net));
+        Self::with_fabric(sim, nranks, cfg, fabric, 0)
+    }
+
+    /// Create a world on a shared fabric (e.g. one that also hosts file
+    /// system servers). Ranks map to endpoints `endpoint_base + rank /
+    /// ranks_per_node`, which must all exist in `fabric`.
+    pub fn with_fabric(
+        sim: &Sim,
+        nranks: usize,
+        cfg: MpiConfig,
+        fabric: Rc<Fabric>,
+        endpoint_base: usize,
+    ) -> World {
+        assert!(nranks > 0, "world needs at least one rank");
+        assert!(cfg.ranks_per_node > 0, "ranks_per_node must be positive");
+        let nodes = nranks.div_ceil(cfg.ranks_per_node);
+        assert!(
+            endpoint_base + nodes <= fabric.len(),
+            "fabric has {} endpoints; world needs {} starting at {}",
+            fabric.len(),
+            nodes,
+            endpoint_base
+        );
+        World {
+            inner: Rc::new(WorldInner {
+                sim: sim.clone(),
+                fabric,
+                endpoint_base,
+                cfg,
+                mailboxes: (0..nranks)
+                    .map(|_| {
+                        RefCell::new(Mailbox {
+                            arrived: VecDeque::new(),
+                            posted: Vec::new(),
+                            waiters: Vec::new(),
+                        })
+                    })
+                    .collect(),
+                contexts: RefCell::new(HashMap::new()),
+                next_context: Cell::new(1), // 0 is the world context
+                stats: Cell::new(MpiStats::default()),
+            }),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.inner.mailboxes.len()
+    }
+
+    /// The world communicator handle for `rank`. Call once per simulated
+    /// process.
+    pub fn comm(&self, rank: Rank) -> Comm {
+        assert!(rank < self.size(), "rank {rank} out of range");
+        let members: Rc<Vec<Rank>> = Rc::new((0..self.size()).collect());
+        Comm {
+            world: Rc::clone(&self.inner),
+            context: 0,
+            rank,
+            members,
+            coll_seq: Cell::new(0),
+        }
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> MpiStats {
+        self.inner.stats.get()
+    }
+
+    /// The underlying fabric (for utilization reporting or sharing with a
+    /// file system).
+    pub fn fabric(&self) -> Rc<Fabric> {
+        Rc::clone(&self.inner.fabric)
+    }
+
+    /// The fabric endpoint that hosts `rank`.
+    pub fn endpoint_of(&self, rank: Rank) -> EndpointId {
+        self.inner.endpoint(rank)
+    }
+
+    /// The configuration the world was built with.
+    pub fn config(&self) -> &MpiConfig {
+        &self.inner.cfg
+    }
+
+    /// A stable context id for `key`, assigned on first use. Used to give
+    /// sub-communicators created independently on each rank (e.g. by a
+    /// shared file open) the same matching context.
+    pub fn context_for(&self, key: &str) -> u32 {
+        let mut map = self.inner.contexts.borrow_mut();
+        *map.entry(key.to_string()).or_insert_with(|| {
+            let id = self.inner.next_context.get();
+            self.inner.next_context.set(id + 1);
+            id
+        })
+    }
+}
+
+/// A communicator handle owned by one simulated process.
+///
+/// Ranks, sources, and statuses are all expressed in this communicator's
+/// local numbering.
+pub struct Comm {
+    world: Rc<WorldInner>,
+    context: u32,
+    rank: Rank,
+    /// Local rank -> world rank.
+    members: Rc<Vec<Rank>>,
+    coll_seq: Cell<u32>,
+}
+
+impl Comm {
+    /// This process's rank in the communicator.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The simulation this communicator runs in.
+    pub fn sim(&self) -> &Sim {
+        &self.world.sim
+    }
+
+    /// Translate a local rank to a world rank.
+    pub fn world_rank(&self, local: Rank) -> Rank {
+        self.members[local]
+    }
+
+    /// The fabric endpoint hosting this rank (used by I/O layers that move
+    /// data over the same NIC the MPI traffic uses).
+    pub fn endpoint(&self) -> EndpointId {
+        self.world.endpoint(self.members[self.rank])
+    }
+
+    /// The fabric this communicator's world runs on.
+    pub fn fabric(&self) -> Rc<Fabric> {
+        Rc::clone(&self.world.fabric)
+    }
+
+    /// Create a sub-communicator containing `local_members` (local ranks of
+    /// this communicator, in the order that defines the new numbering).
+    /// Every member must call `sub` with the same arguments; `key` ties the
+    /// independently created handles to one matching context.
+    pub fn sub(&self, local_members: &[Rank], key: &str) -> Comm {
+        let new_rank = local_members
+            .iter()
+            .position(|&m| m == self.rank)
+            .expect("calling rank must be a member of the sub-communicator");
+        let members: Rc<Vec<Rank>> =
+            Rc::new(local_members.iter().map(|&m| self.members[m]).collect());
+        let full_key = format!("ctx{}:{}", self.context, key);
+        let context = {
+            let mut map = self.world.contexts.borrow_mut();
+            let next = &self.world.next_context;
+            *map.entry(full_key).or_insert_with(|| {
+                let id = next.get();
+                next.set(id + 1);
+                id
+            })
+        };
+        Comm {
+            world: Rc::clone(&self.world),
+            context,
+            rank: new_rank,
+            members,
+            coll_seq: Cell::new(0),
+        }
+    }
+
+    pub(crate) fn next_coll_tag(&self) -> Tag {
+        let s = self.coll_seq.get();
+        self.coll_seq.set(s.wrapping_add(1));
+        COLL_TAG_BASE + (s % (1 << 29))
+    }
+
+    pub(crate) fn isend_raw<T: Any>(
+        &self,
+        dst: Rank,
+        tag: Tag,
+        payload: T,
+        bytes: u64,
+    ) -> SendRequest {
+        assert!(dst < self.size(), "destination rank {dst} out of range");
+        self.world.transport(
+            self.context,
+            self.members[self.rank],
+            self.members[dst],
+            tag,
+            Box::new(payload),
+            bytes,
+        )
+    }
+
+    /// Nonblocking send of `payload` with a simulated wire size of `bytes`
+    /// to local rank `dst`.
+    pub fn isend<T: Any>(&self, dst: Rank, tag: Tag, payload: T, bytes: u64) -> SendRequest {
+        assert!(tag < COLL_TAG_BASE, "user tags must be below COLL_TAG_BASE");
+        self.isend_raw(dst, tag, payload, bytes)
+    }
+
+    /// Blocking send: completes when the payload has left this rank
+    /// (buffer reuse semantics, not delivery).
+    pub async fn send<T: Any>(&self, dst: Rank, tag: Tag, payload: T, bytes: u64) {
+        self.isend(dst, tag, payload, bytes).wait().await;
+    }
+
+    pub(crate) fn irecv_raw(&self, src: Source, tag: TagSel) -> RecvRequest {
+        let src_world = match src {
+            Source::Rank(l) => {
+                assert!(l < self.size(), "source rank {l} out of range");
+                Source::Rank(self.members[l])
+            }
+            Source::Any => Source::Any,
+        };
+        let me_world = self.members[self.rank];
+        let posted = Rc::new(RefCell::new(PostedRecv {
+            context: self.context,
+            src: src_world,
+            tag,
+            envelope: None,
+        }));
+
+        // Match against already-arrived (unexpected) messages first.
+        let matched = {
+            let mut mb = self.world.mailboxes[me_world].borrow_mut();
+            let pos = mb.arrived.iter().position(|e| {
+                e.context == self.context && src_world.matches(e.source) && tag.matches(e.tag)
+            });
+            match pos {
+                Some(i) => mb.arrived.remove(i),
+                None => {
+                    mb.posted.push(Rc::clone(&posted));
+                    None
+                }
+            }
+        };
+        if let Some(env) = matched {
+            self.world.bind(me_world, &posted, env);
+        }
+
+        RecvRequest {
+            state: posted,
+            world: Rc::clone(&self.world),
+            me_world,
+            members: Rc::clone(&self.members),
+        }
+    }
+
+    /// Nonblocking receive matching `src` and `tag` (use [`Source::Any`] /
+    /// [`TagSel::Any`] for wildcards).
+    pub fn irecv(&self, src: impl Into<Source>, tag: impl Into<TagSel>) -> RecvRequest {
+        self.irecv_raw(src.into(), tag.into())
+    }
+
+    /// Blocking receive.
+    pub async fn recv(&self, src: impl Into<Source>, tag: impl Into<TagSel>) -> Message {
+        self.irecv(src, tag).wait().await
+    }
+}
+
+/// Handle for a pending send (`MPI_Isend`).
+pub struct SendRequest {
+    flag: Flag,
+}
+
+impl SendRequest {
+    /// `MPI_Test` for the send: true once the local buffer is reusable.
+    pub fn test(&self) -> bool {
+        self.flag.is_set()
+    }
+
+    /// `MPI_Wait` for the send.
+    pub async fn wait(&self) {
+        self.flag.wait().await;
+    }
+}
+
+/// Wait for every send in `reqs` to complete.
+pub async fn waitall_sends(reqs: &[SendRequest]) {
+    for r in reqs {
+        r.wait().await;
+    }
+}
+
+/// Handle for a pending receive (`MPI_Irecv`).
+pub struct RecvRequest {
+    state: Rc<RefCell<PostedRecv>>,
+    world: Rc<WorldInner>,
+    me_world: Rank,
+    members: Rc<Vec<Rank>>,
+}
+
+impl RecvRequest {
+    fn try_complete(&self) -> Option<Message> {
+        let mut p = self.state.borrow_mut();
+        let ready = p
+            .envelope
+            .as_ref()
+            .is_some_and(|e| e.data_arrived.get());
+        if !ready {
+            return None;
+        }
+        let mut env = p.envelope.take().expect("checked above");
+        let local_src = self
+            .members
+            .iter()
+            .position(|&w| w == env.source)
+            .expect("sender not in communicator");
+        Some(Message::new(
+            Status {
+                source: local_src,
+                tag: env.tag,
+                bytes: env.bytes,
+            },
+            env.payload.take().expect("payload already taken"),
+        ))
+    }
+
+    /// `MPI_Test`: completes the receive if the message has fully arrived.
+    pub fn test(&self) -> Option<Message> {
+        self.try_complete()
+    }
+
+    /// `MPI_Wait`: suspend until the message arrives, then return it.
+    pub fn wait(self) -> RecvWait {
+        RecvWait { req: Some(self) }
+    }
+}
+
+impl Drop for RecvRequest {
+    fn drop(&mut self) {
+        // Deregister an unmatched posted receive so it cannot swallow a
+        // future message (dropping a pending request is MPI_Cancel-like).
+        let mut mb = self.world.mailboxes[self.me_world].borrow_mut();
+        mb.posted.retain(|p| !Rc::ptr_eq(p, &self.state));
+    }
+}
+
+/// Future returned by [`RecvRequest::wait`].
+pub struct RecvWait {
+    req: Option<RecvRequest>,
+}
+
+impl Future for RecvWait {
+    type Output = Message;
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Message> {
+        let this = self.get_mut();
+        let req = this.req.as_ref().expect("RecvWait polled after completion");
+        match req.try_complete() {
+            Some(m) => {
+                this.req = None;
+                Poll::Ready(m)
+            }
+            None => {
+                req.world.register_waiter(req.me_world);
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Convenience: the virtual time taken by `fut` relative to `sim`'s clock.
+pub async fn timed<F: Future>(sim: &Sim, fut: F) -> (F::Output, SimTime) {
+    let start = sim.now();
+    let out = fut.await;
+    (out, sim.now() - start)
+}

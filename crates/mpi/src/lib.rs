@@ -1,0 +1,42 @@
+//! # s3a-mpi — a simulated MPI-1 subset
+//!
+//! Message passing over the [`s3a_net`] fabric with real MPI semantics:
+//! tag/source matching with wildcards, unexpected-message buffering,
+//! nonblocking sends/receives with `test`/`wait`, eager and rendezvous
+//! wire protocols, sub-communicators, and the collectives a ROMIO-style
+//! I/O layer needs (barrier, bcast, gather, allgather, reduce, allreduce,
+//! sparse alltoallv).
+//!
+//! Everything runs in virtual time on the deterministic [`s3a_des`]
+//! engine, so a "96-rank" job is simulated faithfully on one thread.
+//!
+//! ## Example
+//!
+//! ```
+//! use s3a_des::{Sim, SimTime};
+//! use s3a_mpi::{MpiConfig, World};
+//!
+//! let sim = Sim::new();
+//! let world = World::new(&sim, 2, MpiConfig::default());
+//! for rank in 0..2 {
+//!     let comm = world.comm(rank);
+//!     sim.spawn(format!("rank{rank}"), async move {
+//!         if comm.rank() == 0 {
+//!             comm.send(1, 7, String::from("ping"), 4).await;
+//!         } else {
+//!             let msg = comm.recv(0, 7).await;
+//!             assert_eq!(msg.downcast::<String>(), "ping");
+//!         }
+//!     });
+//! }
+//! sim.run().unwrap();
+//! ```
+
+mod collectives;
+mod comm;
+mod message;
+
+pub use comm::{
+    timed, waitall_sends, Comm, MpiConfig, MpiStats, RecvRequest, RecvWait, SendRequest, World,
+};
+pub use message::{Message, Rank, Source, Status, Tag, TagSel, COLL_TAG_BASE};

@@ -1,0 +1,154 @@
+//! Message, status and matching types.
+
+use std::any::Any;
+use std::fmt;
+
+/// A process rank within a communicator.
+pub type Rank = usize;
+
+/// A message tag. User tags must stay below [`COLL_TAG_BASE`]; tags at or
+/// above it are reserved for internal collective traffic.
+pub type Tag = u32;
+
+/// First tag reserved for internal (collective) use.
+pub const COLL_TAG_BASE: Tag = 1 << 30;
+
+/// Source selector for receives: a specific rank or any source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Match only messages from this rank.
+    Rank(Rank),
+    /// Match messages from any rank (`MPI_ANY_SOURCE`).
+    Any,
+}
+
+impl Source {
+    /// Does this selector accept messages from `r`?
+    pub fn matches(self, r: Rank) -> bool {
+        match self {
+            Source::Rank(x) => x == r,
+            Source::Any => true,
+        }
+    }
+}
+
+impl From<Rank> for Source {
+    fn from(r: Rank) -> Self {
+        Source::Rank(r)
+    }
+}
+
+/// Tag selector for receives: a specific tag or any tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagSel {
+    /// Match only this tag.
+    Tag(Tag),
+    /// Match any tag (`MPI_ANY_TAG`).
+    Any,
+}
+
+impl TagSel {
+    /// Does this selector accept tag `t`?
+    pub fn matches(self, t: Tag) -> bool {
+        match self {
+            TagSel::Tag(x) => x == t,
+            TagSel::Any => true,
+        }
+    }
+}
+
+impl From<Tag> for TagSel {
+    fn from(t: Tag) -> Self {
+        TagSel::Tag(t)
+    }
+}
+
+/// Completion information for a received message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// World rank of the sender.
+    pub source: Rank,
+    /// Tag the message was sent with.
+    pub tag: Tag,
+    /// Simulated payload size in bytes.
+    pub bytes: u64,
+}
+
+/// A received message: typed payload plus its [`Status`].
+pub struct Message {
+    /// Completion information.
+    pub status: Status,
+    payload: Box<dyn Any>,
+}
+
+impl Message {
+    pub(crate) fn new(status: Status, payload: Box<dyn Any>) -> Self {
+        Message { status, payload }
+    }
+
+    /// Extract the payload, panicking with a helpful message on a type
+    /// mismatch (a mismatched downcast is a protocol bug in the caller).
+    pub fn downcast<T: 'static>(self) -> T {
+        match self.payload.downcast::<T>() {
+            Ok(b) => *b,
+            Err(_) => panic!(
+                "message payload type mismatch (source {}, tag {}, {} bytes): expected {}",
+                self.status.source,
+                self.status.tag,
+                self.status.bytes,
+                std::any::type_name::<T>()
+            ),
+        }
+    }
+
+    /// Extract both the payload and the status.
+    pub fn into_parts<T: 'static>(self) -> (T, Status) {
+        let status = self.status;
+        (self.downcast(), status)
+    }
+}
+
+impl fmt::Debug for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Message").field("status", &self.status).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_matching() {
+        assert!(Source::Any.matches(3));
+        assert!(Source::Rank(3).matches(3));
+        assert!(!Source::Rank(3).matches(4));
+        assert_eq!(Source::from(5), Source::Rank(5));
+    }
+
+    #[test]
+    fn tag_matching() {
+        assert!(TagSel::Any.matches(9));
+        assert!(TagSel::Tag(9).matches(9));
+        assert!(!TagSel::Tag(9).matches(10));
+        assert_eq!(TagSel::from(2), TagSel::Tag(2));
+    }
+
+    #[test]
+    fn message_downcast_roundtrip() {
+        let m = Message::new(
+            Status { source: 1, tag: 2, bytes: 3 },
+            Box::new(vec![1u32, 2, 3]),
+        );
+        let (v, st) = m.into_parts::<Vec<u32>>();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert_eq!(st.source, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn message_downcast_wrong_type_panics() {
+        let m = Message::new(Status { source: 0, tag: 0, bytes: 0 }, Box::new(1u8));
+        let _: String = m.downcast();
+    }
+}

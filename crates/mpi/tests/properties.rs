@@ -1,0 +1,202 @@
+#![allow(clippy::type_complexity, clippy::needless_range_loop)]
+
+//! Property-based tests for the MPI layer: conservation of messages,
+//! per-pair FIFO ordering, protocol independence of delivered content,
+//! and collective correctness for arbitrary communicator sizes.
+
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use s3a_des::{Sim, SimTime};
+use s3a_mpi::{MpiConfig, Source, TagSel, World};
+use s3a_net::{Bandwidth, NetConfig};
+
+fn cfg(eager: u64) -> MpiConfig {
+    MpiConfig {
+        net: NetConfig {
+            latency: SimTime::from_micros(5),
+            bandwidth: Bandwidth::mib_per_sec(500.0),
+            per_message_overhead: SimTime::from_micros(1),
+        },
+        eager_threshold: eager,
+        header_bytes: 32,
+        ranks_per_node: 1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any traffic matrix is delivered completely, each message once, and
+    /// per (src, dst) streams never reorder — under both the eager and the
+    /// rendezvous protocol.
+    #[test]
+    fn traffic_matrix_delivered_fifo(
+        n in 2usize..6,
+        msgs in prop::collection::vec((0usize..5, 0usize..5, 1u64..60_000), 1..40),
+        eager in prop::sample::select(vec![0u64, 1024, 1 << 30]),
+    ) {
+        let sim = Sim::new();
+        let world = World::new(&sim, n, cfg(eager));
+        // Per (src, dst): the sequence of payload sizes to send.
+        let mut plan: Vec<Vec<Vec<u64>>> = vec![vec![Vec::new(); n]; n];
+        for &(s, d, bytes) in &msgs {
+            plan[s % n][d % n].push(bytes);
+        }
+        let received: Rc<RefCell<Vec<Vec<Vec<(u64, u64)>>>>> =
+            Rc::new(RefCell::new(vec![vec![Vec::new(); n]; n]));
+
+        for rank in 0..n {
+            let comm = world.comm(rank);
+            let my_sends: Vec<(usize, Vec<u64>)> = (0..n)
+                .map(|d| (d, plan[rank][d].clone()))
+                .collect();
+            let expect_from: Vec<usize> = (0..n).map(|s| plan[s][rank].len()).collect();
+            let rec = Rc::clone(&received);
+            sim.spawn(format!("r{rank}"), async move {
+                let mut reqs = Vec::new();
+                for (d, sizes) in my_sends {
+                    for (i, &bytes) in sizes.iter().enumerate() {
+                        reqs.push(comm.isend(d, 7, (i as u64, bytes), bytes));
+                    }
+                }
+                let total: usize = expect_from.iter().sum();
+                for _ in 0..total {
+                    let m = comm.recv(Source::Any, 7).await;
+                    let src = m.status.source;
+                    let (seq, bytes) = m.downcast::<(u64, u64)>();
+                    rec.borrow_mut()[src][comm.rank()].push((seq, bytes));
+                }
+                s3a_mpi::waitall_sends(&reqs).await;
+            });
+        }
+        sim.run().expect("no deadlock");
+
+        let rec = received.borrow();
+        for s in 0..n {
+            for d in 0..n {
+                let got = &rec[s][d];
+                let want = &plan[s][d];
+                prop_assert_eq!(got.len(), want.len(), "count {}->{}", s, d);
+                // FIFO: sequence numbers in order, sizes matching.
+                for (i, &(seq, bytes)) in got.iter().enumerate() {
+                    prop_assert_eq!(seq, i as u64, "reordered {}->{}", s, d);
+                    prop_assert_eq!(bytes, want[i]);
+                }
+            }
+        }
+    }
+
+    /// Collectives compute the right answer for any size/root/payload.
+    #[test]
+    fn collectives_correct_for_any_size(
+        n in 1usize..9,
+        root_pick in 0usize..8,
+        values in prop::collection::vec(0u64..1_000_000, 9),
+    ) {
+        let root = root_pick % n;
+        let sim = Sim::new();
+        let world = World::new(&sim, n, cfg(16 * 1024));
+        for rank in 0..n {
+            let comm = world.comm(rank);
+            let my_value = values[rank];
+            let all_values: Vec<u64> = values[..n].to_vec();
+            sim.spawn(format!("r{rank}"), async move {
+                // bcast
+                let b = comm
+                    .bcast(root, (comm.rank() == root).then_some(all_values[root]), 64)
+                    .await;
+                assert_eq!(b, all_values[root]);
+                // gather
+                let g = comm.gather(root, my_value, 8).await;
+                if comm.rank() == root {
+                    assert_eq!(g.expect("root"), all_values);
+                }
+                // allgather
+                let ag = comm.allgather(my_value, 8).await;
+                assert_eq!(ag, all_values);
+                // allreduce (sum)
+                let sum = comm.allreduce(my_value, 8, |a, b| a + b).await;
+                assert_eq!(sum, all_values.iter().sum::<u64>());
+                // barrier still works afterwards
+                comm.barrier().await;
+            });
+        }
+        sim.run().expect("no deadlock");
+    }
+
+    /// The eager/rendezvous threshold changes timing but never content:
+    /// the same program produces the same received payloads.
+    #[test]
+    fn protocol_choice_does_not_change_content(
+        sizes in prop::collection::vec(1u64..200_000, 1..20),
+    ) {
+        let run_with = |eager: u64| -> Vec<(u64, u64)> {
+            let sim = Sim::new();
+            let world = World::new(&sim, 2, cfg(eager));
+            let out = Rc::new(RefCell::new(Vec::new()));
+            for rank in 0..2 {
+                let comm = world.comm(rank);
+                let sizes = sizes.clone();
+                let out = Rc::clone(&out);
+                sim.spawn(format!("r{rank}"), async move {
+                    if rank == 0 {
+                        for (i, &b) in sizes.iter().enumerate() {
+                            comm.send(1, 3, i as u64, b).await;
+                        }
+                    } else {
+                        for _ in 0..sizes.len() {
+                            let m = comm.recv(0, 3).await;
+                            let bytes = m.status.bytes;
+                            out.borrow_mut().push((m.downcast::<u64>(), bytes));
+                        }
+                    }
+                });
+            }
+            sim.run().expect("no deadlock");
+            let v = out.borrow().clone();
+            v
+        };
+        let eager_all = run_with(u64::MAX >> 1);
+        let rendezvous_all = run_with(0);
+        prop_assert_eq!(eager_all, rendezvous_all);
+    }
+
+    /// Wildcard receives drain exactly the posted number of messages even
+    /// with mixed tags, and tagged receives never steal each other's
+    /// messages.
+    #[test]
+    fn mixed_tag_matching(tags in prop::collection::vec(0u32..4, 1..30)) {
+        let sim = Sim::new();
+        let world = World::new(&sim, 2, cfg(4096));
+        let tally = Rc::new(RefCell::new(vec![0usize; 4]));
+        let expected: Vec<usize> = (0..4)
+            .map(|t| tags.iter().filter(|&&x| x == t).count())
+            .collect();
+        for rank in 0..2 {
+            let comm = world.comm(rank);
+            let tags = tags.clone();
+            let tally = Rc::clone(&tally);
+            let expected = expected.clone();
+            sim.spawn(format!("r{rank}"), async move {
+                if rank == 0 {
+                    for &t in &tags {
+                        comm.send(1, t, t, 16).await;
+                    }
+                } else {
+                    // Drain per-tag: each tagged stream sees only its own.
+                    for t in 0..4u32 {
+                        for _ in 0..expected[t as usize] {
+                            let m = comm.recv(0, TagSel::Tag(t)).await;
+                            assert_eq!(m.downcast::<u32>(), t);
+                            tally.borrow_mut()[t as usize] += 1;
+                        }
+                    }
+                }
+            });
+        }
+        sim.run().expect("no deadlock");
+        prop_assert_eq!(tally.borrow().clone(), expected);
+    }
+}

@@ -1,0 +1,320 @@
+//! # s3a-mpiio — a ROMIO-like MPI-IO layer
+//!
+//! Sits between the application and [`s3a_pvfs`], mirroring the I/O paths
+//! the paper exercises through ROMIO:
+//!
+//! * [`File::write_at`] — independent contiguous write (the MW master's
+//!   path);
+//! * [`File::write_regions`] with [`WriteMethod::Posix`] — noncontiguous
+//!   data written one region at a time, "the `MPI_Write()` call without
+//!   optimization" (WW-POSIX);
+//! * [`File::write_regions`] with [`WriteMethod::ListIo`] — PVFS2 native
+//!   list I/O, batching an offset/length list per file-system request
+//!   (WW-List);
+//! * [`File::write_at_all`] — collective two-phase I/O (WW-Coll):
+//!   allgather of access extents, partition of the aggregate range into
+//!   file domains owned by `cb_nodes` aggregator ranks, `cb_buffer_size`-
+//!   sized exchange+write rounds, and the implicit synchronization that
+//!   the paper identifies as collective I/O's hidden cost.
+//!
+//! A [`File`] owns an internal sub-communicator (as real MPI-IO
+//! implementations duplicate the user communicator), so collective file
+//! traffic can never cross-match application messages.
+
+use s3a_mpi::Comm;
+use s3a_net::EndpointId;
+use s3a_pvfs::{FileHandle, FileSystem, Region};
+
+/// How [`File::write_regions`] maps a noncontiguous region list onto
+/// file-system requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteMethod {
+    /// One independent contiguous write per region, issued sequentially.
+    Posix,
+    /// One operation carrying the full region list (PVFS2 list I/O).
+    ListIo,
+}
+
+/// MPI-IO hints controlling collective buffering (the `cb_*` hints ROMIO
+/// reads from the info object).
+#[derive(Debug, Clone, Copy)]
+pub struct Hints {
+    /// Number of aggregator ranks for two-phase I/O. ROMIO defaults to one
+    /// per node; the caller supplies the value (0 = every rank).
+    pub cb_nodes: usize,
+    /// Bytes of each aggregator's exchange buffer per two-phase round.
+    pub cb_buffer_size: u64,
+}
+
+impl Default for Hints {
+    fn default() -> Self {
+        Hints {
+            cb_nodes: 0,
+            cb_buffer_size: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// An open MPI-IO file on one rank.
+pub struct File {
+    comm: Comm,
+    fh: FileHandle,
+    hints: Hints,
+    ep: EndpointId,
+}
+
+impl File {
+    /// Collectively open `name` on `fs`. Every member of `comm` must call
+    /// `open` with the same name and hints; each member gets its own
+    /// `File` whose internal communicator is a duplicate of `comm`.
+    pub fn open(comm: &Comm, fs: &FileSystem, name: &str, hints: Hints) -> File {
+        let members: Vec<usize> = (0..comm.size()).collect();
+        let dup = comm.sub(&members, &format!("mpiio:{name}"));
+        let ep = comm.endpoint();
+        File {
+            comm: dup,
+            fh: fs.open(name),
+            hints,
+            ep,
+        }
+    }
+
+    /// The rank of this process in the file's communicator.
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// The underlying store handle (for verification, or for issuing
+    /// independent I/O from a helper task).
+    pub fn handle(&self) -> &FileHandle {
+        &self.fh
+    }
+
+    /// The fabric endpoint this rank's file traffic uses.
+    pub fn endpoint(&self) -> EndpointId {
+        self.ep
+    }
+
+    /// Independent contiguous write (`MPI_File_write_at`).
+    pub async fn write_at(&self, offset: u64, len: u64) {
+        self.fh.write_contiguous(self.ep, offset, len).await;
+    }
+
+    /// Independent noncontiguous write of `regions` using `method`.
+    pub async fn write_regions(&self, regions: &[Region], method: WriteMethod) {
+        match method {
+            WriteMethod::Posix => {
+                for r in regions {
+                    self.fh.write_contiguous(self.ep, r.offset, r.len).await;
+                }
+            }
+            WriteMethod::ListIo => {
+                self.fh.write_regions(self.ep, regions).await;
+            }
+        }
+    }
+
+    /// Flush to stable storage (`MPI_File_sync`).
+    pub async fn sync(&self) {
+        self.fh.sync(self.ep).await;
+    }
+
+    /// Collective two-phase write (`MPI_File_write_at_all`). Every rank of
+    /// the file's communicator must participate, passing its own (possibly
+    /// empty) region list. Returns only when the collective completes on
+    /// this rank.
+    pub async fn write_at_all(&self, my_regions: &[Region]) {
+        self.write_at_all_timed(my_regions).await;
+    }
+
+    /// [`File::write_at_all`], additionally reporting how the time split
+    /// between the collective's inherent synchronization (the initial
+    /// extent allgather, which blocks until the slowest participant
+    /// arrives) and the exchange+write work that follows. This is the
+    /// instrumentation the paper's phase analysis needs.
+    pub async fn write_at_all_timed(&self, my_regions: &[Region]) -> CollectiveTiming {
+        let t0 = self.comm.sim().now();
+        let n = self.comm.size();
+        let naggs = if self.hints.cb_nodes == 0 {
+            n
+        } else {
+            self.hints.cb_nodes.min(n)
+        };
+
+        // Phase 1: everyone learns everyone's access pattern.
+        let desc_bytes = 16 * my_regions.len() as u64;
+        let all_regions: Vec<Vec<Region>> =
+            self.comm.allgather(my_regions.to_vec(), desc_bytes).await;
+        let synchronize = self.comm.sim().now() - t0;
+        let t1 = self.comm.sim().now();
+
+        let lo = all_regions
+            .iter()
+            .flatten()
+            .map(|r| r.offset)
+            .min();
+        let hi = all_regions.iter().flatten().map(|r| r.end()).max();
+        let (lo, hi) = match (lo, hi) {
+            (Some(l), Some(h)) if h > l => (l, h),
+            _ => {
+                // Nothing to write anywhere: just synchronize.
+                self.comm.barrier().await;
+                return CollectiveTiming {
+                    synchronize,
+                    exchange_and_write: self.comm.sim().now() - t1,
+                };
+            }
+        };
+
+        // Phase 2: carve the aggregate extent into per-aggregator file
+        // domains (aggregators are ranks 0..naggs of the file comm).
+        let fd_size = (hi - lo).div_ceil(naggs as u64).max(1);
+        let domain = |a: usize| -> (u64, u64) {
+            let start = lo + fd_size * a as u64;
+            let end = (start + fd_size).min(hi);
+            (start.min(hi), end)
+        };
+
+        let rounds = fd_size.div_ceil(self.hints.cb_buffer_size).max(1);
+        let me = self.comm.rank();
+
+        for round in 0..rounds {
+            // The window of each aggregator's domain handled this round.
+            let window = |a: usize| -> (u64, u64) {
+                let (ds, de) = domain(a);
+                let ws = ds + round * self.hints.cb_buffer_size;
+                let we = (ws + self.hints.cb_buffer_size).min(de);
+                (ws.min(de), we)
+            };
+
+            // What I send to each aggregator: my regions clipped to its
+            // window.
+            let mut sends: Vec<(usize, Vec<Region>, u64)> = Vec::new();
+            for a in 0..naggs {
+                let (ws, we) = window(a);
+                if we <= ws {
+                    continue;
+                }
+                let clipped = clip_regions(my_regions, ws, we);
+                if !clipped.is_empty() {
+                    let data: u64 = clipped.iter().map(|r| r.len).sum();
+                    let wire = data + 16 * clipped.len() as u64;
+                    sends.push((a, clipped, wire));
+                }
+            }
+
+            // How many ranks will send to me this round (only meaningful
+            // if I am an aggregator): derivable from the allgathered
+            // access pattern, exactly as each sender derives its sends.
+            let recv_count = if me < naggs {
+                let (ws, we) = window(me);
+                if we <= ws {
+                    0
+                } else {
+                    all_regions
+                        .iter()
+                        .filter(|regs| !clip_regions(regs, ws, we).is_empty())
+                        .count()
+                }
+            } else {
+                0
+            };
+
+            let received = self.comm.alltoallv_sparse(sends, recv_count).await;
+
+            // Phase 3: aggregators coalesce and write their window.
+            if me < naggs && !received.is_empty() {
+                let mut regions: Vec<Region> =
+                    received.into_iter().flat_map(|(_, regs)| regs).collect();
+                regions.sort_by_key(|r| r.offset);
+                let merged = merge_regions(&regions);
+                self.fh.write_regions(self.ep, &merged).await;
+            }
+        }
+
+        // Collective completion: nobody leaves before the data of every
+        // rank has been written.
+        self.comm.barrier().await;
+        CollectiveTiming {
+            synchronize,
+            exchange_and_write: self.comm.sim().now() - t1,
+        }
+    }
+}
+
+/// Where the time of one [`File::write_at_all_timed`] call went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectiveTiming {
+    /// Waiting in the initial extent exchange for the slowest participant
+    /// — the inherent synchronization cost of collective I/O.
+    pub synchronize: s3a_des::SimTime,
+    /// Data exchange, aggregator writes, and the completion barrier.
+    pub exchange_and_write: s3a_des::SimTime,
+}
+
+/// Clip `regions` to the half-open window `[ws, we)`.
+fn clip_regions(regions: &[Region], ws: u64, we: u64) -> Vec<Region> {
+    regions
+        .iter()
+        .filter_map(|r| {
+            let s = r.offset.max(ws);
+            let e = r.end().min(we);
+            if e > s {
+                Some(Region::new(s, e - s))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Merge a sorted region list, coalescing adjacent/overlapping entries.
+fn merge_regions(sorted: &[Region]) -> Vec<Region> {
+    let mut out: Vec<Region> = Vec::new();
+    for &r in sorted {
+        if let Some(last) = out.last_mut() {
+            if r.offset <= last.end() {
+                let end = last.end().max(r.end());
+                last.len = end - last.offset;
+                continue;
+            }
+        }
+        out.push(r);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clip_keeps_inner_parts() {
+        let regs = [Region::new(0, 10), Region::new(20, 10), Region::new(40, 10)];
+        assert_eq!(
+            clip_regions(&regs, 5, 45),
+            vec![Region::new(5, 5), Region::new(20, 10), Region::new(40, 5)]
+        );
+        assert!(clip_regions(&regs, 10, 20).is_empty());
+        assert_eq!(clip_regions(&regs, 0, 100), regs.to_vec());
+    }
+
+    #[test]
+    fn merge_coalesces_adjacent_and_overlapping() {
+        let regs = [
+            Region::new(0, 10),
+            Region::new(10, 5),
+            Region::new(20, 5),
+            Region::new(22, 10),
+        ];
+        assert_eq!(
+            merge_regions(&regs),
+            vec![Region::new(0, 15), Region::new(20, 12)]
+        );
+    }
+
+    #[test]
+    fn merge_empty_is_empty() {
+        assert!(merge_regions(&[]).is_empty());
+    }
+}

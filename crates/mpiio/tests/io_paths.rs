@@ -1,0 +1,309 @@
+//! Integration tests for the MPI-IO layer over the simulated MPI + PVFS
+//! stack: correctness of every write path and the relative-cost relations
+//! the paper depends on (contiguous < list < POSIX; two-phase carries an
+//! inherent synchronization).
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use s3a_des::{Sim, SimTime};
+use s3a_mpi::{MpiConfig, World};
+use s3a_mpiio::{File, Hints, WriteMethod};
+use s3a_net::{Bandwidth, Fabric, NetConfig};
+use s3a_pvfs::{FileSystem, PvfsConfig, Region};
+
+struct Cluster {
+    sim: Sim,
+    world: World,
+    fs: FileSystem,
+}
+
+fn cluster(nranks: usize) -> Cluster {
+    let sim = Sim::new();
+    let net = NetConfig {
+        latency: SimTime::from_micros(10),
+        bandwidth: Bandwidth::mib_per_sec(200.0),
+        per_message_overhead: SimTime::from_micros(2),
+    };
+    let mpi_cfg = MpiConfig {
+        net,
+        eager_threshold: 16 * 1024,
+        header_bytes: 64,
+        ranks_per_node: 1,
+    };
+    let pvfs_cfg = PvfsConfig {
+        servers: 4,
+        strip_size: 64 * 1024,
+        flow_unit: 64 * 1024,
+        list_io_max_regions: 16,
+        client_window: 1,
+        client_request_turnaround: SimTime::from_millis(2),
+        client_per_region: SimTime::from_micros(100),
+        request_overhead: SimTime::from_millis(1),
+        region_overhead: SimTime::from_micros(100),
+        ingest_bw: Bandwidth::mib_per_sec(100.0),
+        disk_bw: Bandwidth::mib_per_sec(30.0),
+        sync_overhead: SimTime::from_millis(1),
+        req_header_bytes: 64,
+        region_desc_bytes: 16,
+        read_window: 4,
+    };
+    let nodes = nranks.div_ceil(mpi_cfg.ranks_per_node);
+    let fabric = Rc::new(Fabric::new(nodes + pvfs_cfg.servers, net));
+    let world = World::with_fabric(&sim, nranks, mpi_cfg, Rc::clone(&fabric), 0);
+    let fs = FileSystem::new(&sim, pvfs_cfg, fabric, nodes);
+    Cluster { sim, world, fs }
+}
+
+/// Interleave regions of `size` bytes round-robin across `n` ranks,
+/// `per_rank` regions each, starting at file offset 0.
+fn interleaved(rank: usize, n: usize, per_rank: usize, size: u64) -> Vec<Region> {
+    (0..per_rank)
+        .map(|i| Region::new(((i * n + rank) as u64) * size, size))
+        .collect()
+}
+
+#[test]
+fn individual_contiguous_write_covers_file() {
+    let c = cluster(1);
+    let fs = c.fs.clone();
+    let comm = c.world.comm(0);
+    c.sim.spawn("r0", async move {
+        let f = File::open(&comm, &fs, "out", Hints::default());
+        f.write_at(0, 100_000).await;
+        f.sync().await;
+        assert_eq!(f.handle().covered_bytes(), 100_000);
+        assert_eq!(f.handle().overlap_bytes(), 0);
+        assert_eq!(f.handle().dirty_bytes(), 0);
+    });
+    c.sim.run().unwrap();
+}
+
+#[test]
+fn posix_and_list_methods_write_identical_data() {
+    for method in [WriteMethod::Posix, WriteMethod::ListIo] {
+        let c = cluster(2);
+        let fs = c.fs.clone();
+        for rank in 0..2 {
+            let comm = c.world.comm(rank);
+            let fs = fs.clone();
+            c.sim.spawn(format!("r{rank}"), async move {
+                let f = File::open(&comm, &fs, "out", Hints::default());
+                let regions = interleaved(rank, 2, 10, 1000);
+                f.write_regions(&regions, method).await;
+            });
+        }
+        c.sim.run().unwrap();
+        let fh = c.fs.open("out");
+        assert_eq!(fh.covered_bytes(), 20_000, "{method:?}");
+        assert_eq!(fh.overlap_bytes(), 0, "{method:?}");
+        assert_eq!(fh.extent_count(), 1, "{method:?}");
+    }
+}
+
+#[test]
+fn list_io_issues_fewer_requests_and_is_faster() {
+    let run = |method: WriteMethod| -> (SimTime, u64) {
+        let c = cluster(1);
+        let fs = c.fs.clone();
+        let comm = c.world.comm(0);
+        let done = Rc::new(Cell::new(SimTime::ZERO));
+        let d = Rc::clone(&done);
+        c.sim.spawn("r0", async move {
+            let f = File::open(&comm, &fs, "out", Hints::default());
+            // 64 small scattered regions.
+            let regions: Vec<Region> = (0..64).map(|i| Region::new(i * 4096, 512)).collect();
+            f.write_regions(&regions, method).await;
+            d.set(comm.sim().now());
+        });
+        c.sim.run().unwrap();
+        (done.get(), c.fs.stats().requests)
+    };
+    let (t_posix, req_posix) = run(WriteMethod::Posix);
+    let (t_list, req_list) = run(WriteMethod::ListIo);
+    assert!(req_list < req_posix, "list {req_list} vs posix {req_posix}");
+    assert!(t_list < t_posix, "list {t_list} vs posix {t_posix}");
+}
+
+#[test]
+fn two_phase_writes_everything_exactly_once() {
+    for n in [2usize, 3, 5] {
+        for cb_nodes in [0usize, 1, 2] {
+            let c = cluster(n);
+            let fs = c.fs.clone();
+            for rank in 0..n {
+                let comm = c.world.comm(rank);
+                let fs = fs.clone();
+                c.sim.spawn(format!("r{rank}"), async move {
+                    let hints = Hints {
+                        cb_nodes,
+                        ..Hints::default()
+                    };
+                    let f = File::open(&comm, &fs, "out", hints);
+                    let regions = interleaved(rank, n, 8, 700);
+                    f.write_at_all(&regions).await;
+                });
+            }
+            c.sim.run().unwrap();
+            let fh = c.fs.open("out");
+            assert_eq!(
+                fh.covered_bytes(),
+                (n * 8) as u64 * 700,
+                "n={n} cb_nodes={cb_nodes}"
+            );
+            assert_eq!(fh.overlap_bytes(), 0, "n={n} cb_nodes={cb_nodes}");
+            assert_eq!(fh.extent_count(), 1, "n={n} cb_nodes={cb_nodes}");
+        }
+    }
+}
+
+#[test]
+fn two_phase_multiple_rounds_small_cb_buffer() {
+    let n = 4;
+    let c = cluster(n);
+    let fs = c.fs.clone();
+    for rank in 0..n {
+        let comm = c.world.comm(rank);
+        let fs = fs.clone();
+        c.sim.spawn(format!("r{rank}"), async move {
+            let hints = Hints {
+                cb_nodes: 2,
+                cb_buffer_size: 8 * 1024, // force many exchange rounds
+            };
+            let f = File::open(&comm, &fs, "out", hints);
+            let regions = interleaved(rank, n, 16, 4096);
+            f.write_at_all(&regions).await;
+        });
+    }
+    c.sim.run().unwrap();
+    let fh = c.fs.open("out");
+    assert_eq!(fh.covered_bytes(), (n * 16 * 4096) as u64);
+    assert_eq!(fh.overlap_bytes(), 0);
+    assert_eq!(fh.extent_count(), 1);
+}
+
+#[test]
+fn two_phase_with_empty_contributors() {
+    let n = 4;
+    let c = cluster(n);
+    let fs = c.fs.clone();
+    for rank in 0..n {
+        let comm = c.world.comm(rank);
+        let fs = fs.clone();
+        c.sim.spawn(format!("r{rank}"), async move {
+            let f = File::open(&comm, &fs, "out", Hints::default());
+            // Only ranks 1 and 3 have data.
+            let regions = if rank % 2 == 1 {
+                vec![Region::new(rank as u64 * 10_000, 5_000)]
+            } else {
+                Vec::new()
+            };
+            f.write_at_all(&regions).await;
+        });
+    }
+    c.sim.run().unwrap();
+    let fh = c.fs.open("out");
+    assert_eq!(fh.covered_bytes(), 10_000);
+    assert_eq!(fh.overlap_bytes(), 0);
+}
+
+#[test]
+fn two_phase_all_empty_still_completes() {
+    let n = 3;
+    let c = cluster(n);
+    let fs = c.fs.clone();
+    for rank in 0..n {
+        let comm = c.world.comm(rank);
+        let fs = fs.clone();
+        c.sim.spawn(format!("r{rank}"), async move {
+            let f = File::open(&comm, &fs, "out", Hints::default());
+            f.write_at_all(&[]).await;
+        });
+    }
+    c.sim.run().unwrap();
+    assert_eq!(c.fs.open("out").covered_bytes(), 0);
+}
+
+#[test]
+fn two_phase_synchronizes_participants() {
+    // One rank arrives at the collective 5s late; everyone leaves after
+    // its arrival — the inherent synchronization the paper measures.
+    let n = 3;
+    let c = cluster(n);
+    let fs = c.fs.clone();
+    let leave_times = Rc::new(std::cell::RefCell::new(Vec::new()));
+    for rank in 0..n {
+        let comm = c.world.comm(rank);
+        let fs = fs.clone();
+        let lt = Rc::clone(&leave_times);
+        c.sim.spawn(format!("r{rank}"), async move {
+            if rank == 1 {
+                comm.sim().sleep(SimTime::from_secs(5)).await;
+            }
+            let f = File::open(&comm, &fs, "out", Hints::default());
+            let regions = interleaved(rank, n, 4, 512);
+            f.write_at_all(&regions).await;
+            lt.borrow_mut().push(comm.sim().now());
+        });
+    }
+    c.sim.run().unwrap();
+    for &t in leave_times.borrow().iter() {
+        assert!(t >= SimTime::from_secs(5), "left collective early: {t}");
+    }
+}
+
+#[test]
+fn repeated_collective_writes_advance_offsets() {
+    // Two write_at_all calls on disjoint extents (query after query).
+    let n = 2;
+    let c = cluster(n);
+    let fs = c.fs.clone();
+    for rank in 0..n {
+        let comm = c.world.comm(rank);
+        let fs = fs.clone();
+        c.sim.spawn(format!("r{rank}"), async move {
+            let f = File::open(&comm, &fs, "out", Hints::default());
+            for q in 0..3u64 {
+                let base = q * 100_000;
+                let regions: Vec<Region> = (0..5)
+                    .map(|i| Region::new(base + ((i * n + rank) as u64) * 800, 800))
+                    .collect();
+                f.write_at_all(&regions).await;
+                f.sync().await;
+            }
+        });
+    }
+    c.sim.run().unwrap();
+    let fh = c.fs.open("out");
+    assert_eq!(fh.covered_bytes(), 3 * n as u64 * 5 * 800);
+    assert_eq!(fh.overlap_bytes(), 0);
+    assert_eq!(fh.extent_count(), 3);
+    assert_eq!(fh.dirty_bytes(), 0);
+}
+
+#[test]
+fn collective_and_user_traffic_do_not_cross_match() {
+    let n = 2;
+    let c = cluster(n);
+    let fs = c.fs.clone();
+    for rank in 0..n {
+        let comm = c.world.comm(rank);
+        let fs = fs.clone();
+        c.sim.spawn(format!("r{rank}"), async move {
+            // Application message with a tag the collectives also derive
+            // from sequence 0, sent before the file is opened.
+            if rank == 0 {
+                comm.send(1, 3, 777u32, 8).await;
+            }
+            let f = File::open(&comm, &fs, "out", Hints::default());
+            let regions = interleaved(rank, n, 4, 256);
+            f.write_at_all(&regions).await;
+            if rank == 1 {
+                let m = comm.recv(0, 3).await;
+                assert_eq!(m.downcast::<u32>(), 777);
+            }
+        });
+    }
+    c.sim.run().unwrap();
+    assert_eq!(c.fs.open("out").covered_bytes(), 2 * 4 * 256);
+}

@@ -1,0 +1,148 @@
+#![allow(clippy::needless_range_loop)]
+
+//! Property-based tests for the collective two-phase path: arbitrary
+//! disjoint access patterns across arbitrary communicator shapes must be
+//! written exactly once, whatever the aggregator count or buffer size.
+
+use proptest::prelude::*;
+use std::rc::Rc;
+
+use s3a_des::{Sim, SimTime};
+use s3a_mpi::{MpiConfig, World};
+use s3a_mpiio::{File, Hints};
+use s3a_net::{Bandwidth, Fabric, NetConfig};
+use s3a_pvfs::{FileSystem, PvfsConfig, Region};
+
+fn fast_net() -> NetConfig {
+    NetConfig {
+        latency: SimTime::from_micros(1),
+        bandwidth: Bandwidth::gib_per_sec(10.0),
+        per_message_overhead: SimTime::from_nanos(100),
+    }
+}
+
+fn fast_pvfs() -> PvfsConfig {
+    PvfsConfig {
+        servers: 4,
+        strip_size: 8192,
+        flow_unit: 8192,
+        list_io_max_regions: 16,
+        client_window: 4,
+        client_request_turnaround: SimTime::from_micros(10),
+        client_per_region: SimTime::from_micros(1),
+        request_overhead: SimTime::from_micros(20),
+        region_overhead: SimTime::from_micros(2),
+        ingest_bw: Bandwidth::gib_per_sec(4.0),
+        disk_bw: Bandwidth::gib_per_sec(2.0),
+        sync_overhead: SimTime::from_micros(10),
+        req_header_bytes: 32,
+        region_desc_bytes: 16,
+        read_window: 4,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For any disjoint layout of per-rank regions and any collective
+    /// buffering configuration, write_at_all covers exactly the input.
+    #[test]
+    fn two_phase_exact_coverage(
+        n in 2usize..7,
+        pieces in prop::collection::vec((0usize..7, 1u64..5_000, 0u64..3_000), 1..40),
+        cb_nodes in 0usize..5,
+        cb_buffer in prop::sample::select(vec![2048u64, 16 * 1024, 4 * 1024 * 1024]),
+    ) {
+        // Build disjoint regions walking a cursor; assign each to a rank.
+        let mut per_rank: Vec<Vec<Region>> = vec![Vec::new(); n];
+        let mut cursor = 0u64;
+        let mut total = 0u64;
+        for &(rank, len, gap) in &pieces {
+            let off = cursor + gap;
+            per_rank[rank % n].push(Region::new(off, len));
+            cursor = off + len;
+            total += len;
+        }
+
+        let sim = Sim::new();
+        let mpi_cfg = MpiConfig {
+            net: fast_net(),
+            eager_threshold: 4096,
+            header_bytes: 32,
+            ranks_per_node: 1,
+        };
+        let pvfs_cfg = fast_pvfs();
+        let fabric = Rc::new(Fabric::new(n + pvfs_cfg.servers, fast_net()));
+        let world = World::with_fabric(&sim, n, mpi_cfg, Rc::clone(&fabric), 0);
+        let fs = FileSystem::new(&sim, pvfs_cfg, fabric, n);
+
+        for rank in 0..n {
+            let comm = world.comm(rank);
+            let fs2 = fs.clone();
+            let mine = per_rank[rank].clone();
+            sim.spawn(format!("r{rank}"), async move {
+                let hints = Hints {
+                    cb_nodes,
+                    cb_buffer_size: cb_buffer,
+                };
+                let f = File::open(&comm, &fs2, "out", hints);
+                f.write_at_all(&mine).await;
+                f.sync().await;
+            });
+        }
+        sim.run().expect("collective deadlocked");
+
+        let fh = fs.open("out");
+        prop_assert_eq!(fh.covered_bytes(), total);
+        prop_assert_eq!(fh.overlap_bytes(), 0);
+        prop_assert_eq!(fh.dirty_bytes(), 0);
+    }
+
+    /// Individual and collective paths write identical file contents
+    /// (coverage/extent structure) for the same access pattern.
+    #[test]
+    fn collective_equals_individual_coverage(
+        n in 2usize..5,
+        pieces in prop::collection::vec((0usize..5, 1u64..2_000, 0u64..500), 1..25),
+    ) {
+        let mut per_rank: Vec<Vec<Region>> = vec![Vec::new(); n];
+        let mut cursor = 0u64;
+        for &(rank, len, gap) in &pieces {
+            let off = cursor + gap;
+            per_rank[rank % n].push(Region::new(off, len));
+            cursor = off + len;
+        }
+
+        let run_mode = |collective: bool| -> (u64, u64, usize) {
+            let sim = Sim::new();
+            let mpi_cfg = MpiConfig {
+                net: fast_net(),
+                eager_threshold: 4096,
+                header_bytes: 32,
+                ranks_per_node: 1,
+            };
+            let pvfs_cfg = fast_pvfs();
+            let fabric = Rc::new(Fabric::new(n + pvfs_cfg.servers, fast_net()));
+            let world = World::with_fabric(&sim, n, mpi_cfg, Rc::clone(&fabric), 0);
+            let fs = FileSystem::new(&sim, pvfs_cfg, fabric, n);
+            for rank in 0..n {
+                let comm = world.comm(rank);
+                let fs2 = fs.clone();
+                let mine = per_rank[rank].clone();
+                sim.spawn(format!("r{rank}"), async move {
+                    let f = File::open(&comm, &fs2, "out", Hints::default());
+                    if collective {
+                        f.write_at_all(&mine).await;
+                    } else {
+                        f.write_regions(&mine, s3a_mpiio::WriteMethod::ListIo).await;
+                    }
+                });
+            }
+            sim.run().expect("no deadlock");
+            let fh = fs.open("out");
+            (fh.covered_bytes(), fh.overlap_bytes(), fh.extent_count())
+        };
+
+        prop_assert_eq!(run_mode(true), run_mode(false));
+    }
+}

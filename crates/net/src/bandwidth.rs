@@ -1,0 +1,81 @@
+//! Bandwidth as a typed quantity.
+
+use s3a_des::SimTime;
+use std::fmt;
+
+/// A data rate in bytes per second.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Bandwidth(f64);
+
+impl Bandwidth {
+    /// Construct from bytes per second. Must be finite and positive.
+    pub fn bytes_per_sec(b: f64) -> Self {
+        assert!(b.is_finite() && b > 0.0, "bandwidth must be positive, got {b}");
+        Bandwidth(b)
+    }
+
+    /// Construct from mebibytes per second.
+    pub fn mib_per_sec(m: f64) -> Self {
+        Self::bytes_per_sec(m * 1024.0 * 1024.0)
+    }
+
+    /// Construct from gibibytes per second.
+    pub fn gib_per_sec(g: f64) -> Self {
+        Self::bytes_per_sec(g * 1024.0 * 1024.0 * 1024.0)
+    }
+
+    /// The rate in bytes per second.
+    pub fn as_bytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// Time to move `bytes` at this rate.
+    pub fn transfer_time(self, bytes: u64) -> SimTime {
+        SimTime::from_secs_f64(bytes as f64 / self.0)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mib = self.0 / (1024.0 * 1024.0);
+        if mib >= 1024.0 {
+            write!(f, "{:.2} GiB/s", mib / 1024.0)
+        } else {
+            write!(f, "{mib:.2} MiB/s")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        let bw = Bandwidth::mib_per_sec(1.0);
+        assert_eq!(bw.transfer_time(1024 * 1024), SimTime::from_secs(1));
+        assert_eq!(bw.transfer_time(512 * 1024), SimTime::from_millis(500));
+        assert_eq!(bw.transfer_time(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn unit_constructors() {
+        assert_eq!(
+            Bandwidth::gib_per_sec(1.0).as_bytes_per_sec(),
+            Bandwidth::mib_per_sec(1024.0).as_bytes_per_sec()
+        );
+        assert_eq!(Bandwidth::bytes_per_sec(10.0).as_bytes_per_sec(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_bandwidth_rejected() {
+        Bandwidth::bytes_per_sec(0.0);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(Bandwidth::mib_per_sec(245.0).to_string(), "245.00 MiB/s");
+        assert_eq!(Bandwidth::gib_per_sec(2.0).to_string(), "2.00 GiB/s");
+    }
+}

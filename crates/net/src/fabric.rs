@@ -1,0 +1,303 @@
+//! The fabric: endpoints plus a flat latency/bandwidth interconnect.
+
+use s3a_des::{Sim, SimTime, Timeline};
+use std::cell::Cell;
+use std::rc::Rc;
+
+use crate::bandwidth::Bandwidth;
+
+/// Index of a network endpoint (one NIC; possibly shared by several ranks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EndpointId(pub usize);
+
+/// Interconnect parameters. Defaults approximate Myrinet-2000 as deployed
+/// on Sandia's Feynman cluster (the paper's testbed): ~250 MB/s links and
+/// single-digit-microsecond MPI latency.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// One-way propagation latency added to every message.
+    pub latency: SimTime,
+    /// Per-endpoint link bandwidth (applied on both the send and the
+    /// receive side; a busy receiver is the bottleneck it is in reality).
+    pub bandwidth: Bandwidth,
+    /// Fixed per-message processing cost paid at each endpoint (interrupt /
+    /// protocol handling). This is what makes "many small messages to one
+    /// endpoint" expensive.
+    pub per_message_overhead: SimTime,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            latency: SimTime::from_micros(8),
+            bandwidth: Bandwidth::mib_per_sec(240.0),
+            per_message_overhead: SimTime::from_micros(2),
+        }
+    }
+}
+
+/// Aggregate traffic counters for a fabric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Total messages injected.
+    pub messages: u64,
+    /// Total payload bytes moved.
+    pub bytes: u64,
+}
+
+struct Endpoint {
+    tx: Timeline,
+    rx: Timeline,
+}
+
+/// The timing plan for one message, produced by [`Fabric::book_transfer`].
+///
+/// Booking is split from waiting so callers can model MPI semantics: an
+/// eager send completes locally at `tx_done` while the payload arrives at
+/// the receiver at `delivered`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferPlan {
+    /// When the sender's NIC finishes pushing the message out (local
+    /// completion for an eager send).
+    pub tx_done: SimTime,
+    /// When the last byte has been received at the destination.
+    pub delivered: SimTime,
+}
+
+/// A flat network of serialized endpoints.
+///
+/// Every endpoint owns a transmit and a receive [`Timeline`]; a message
+/// occupies the source's tx timeline, travels for the configured latency,
+/// then occupies the destination's rx timeline. Distinct endpoint pairs
+/// therefore communicate in parallel, while a hot endpoint serializes.
+pub struct Fabric {
+    cfg: NetConfig,
+    endpoints: Vec<Endpoint>,
+    messages: Rc<Cell<u64>>,
+    bytes: Rc<Cell<u64>>,
+}
+
+impl Fabric {
+    /// Create a fabric with `n` endpoints.
+    pub fn new(n: usize, cfg: NetConfig) -> Self {
+        Fabric {
+            cfg,
+            endpoints: (0..n)
+                .map(|_| Endpoint {
+                    tx: Timeline::new(),
+                    rx: Timeline::new(),
+                })
+                .collect(),
+            messages: Rc::new(Cell::new(0)),
+            bytes: Rc::new(Cell::new(0)),
+        }
+    }
+
+    /// Number of endpoints.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// True if the fabric has no endpoints.
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+
+    /// The fabric's configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// Book the timeline slots for one `bytes`-sized message from `src` to
+    /// `dst`, starting no earlier than `now`. Does not wait; see
+    /// [`Fabric::transfer`] for the blocking form.
+    ///
+    /// Loopback (src == dst) pays the per-message overheads but no latency
+    /// or serialization conflict between its two legs.
+    pub fn book_transfer(
+        &self,
+        now: SimTime,
+        src: EndpointId,
+        dst: EndpointId,
+        bytes: u64,
+    ) -> TransferPlan {
+        let wire = self.cfg.bandwidth.transfer_time(bytes);
+        let per_msg = self.cfg.per_message_overhead;
+        self.messages.set(self.messages.get() + 1);
+        self.bytes.set(self.bytes.get() + bytes);
+
+        if src == dst {
+            // Local delivery: modeled as a memory copy on the shared NIC/OS
+            // path — one serialized occupation, no propagation latency.
+            let (_, end) = self.endpoints[src.0].tx.reserve(now, per_msg + wire);
+            return TransferPlan {
+                tx_done: end,
+                delivered: end,
+            };
+        }
+
+        let (_, tx_done) = self.endpoints[src.0].tx.reserve(now, per_msg + wire);
+        let arrival = tx_done + self.cfg.latency;
+        let (_, delivered) = self.endpoints[dst.0].rx.reserve(arrival, per_msg + wire);
+        TransferPlan { tx_done, delivered }
+    }
+
+    /// Send `bytes` from `src` to `dst`, waiting until delivery completes.
+    /// Returns the plan that was executed.
+    pub async fn transfer(
+        &self,
+        sim: &Sim,
+        src: EndpointId,
+        dst: EndpointId,
+        bytes: u64,
+    ) -> TransferPlan {
+        let plan = self.book_transfer(sim.now(), src, dst, bytes);
+        sim.sleep_until(plan.delivered).await;
+        plan
+    }
+
+    /// Aggregate traffic counters.
+    pub fn stats(&self) -> NetStats {
+        NetStats {
+            messages: self.messages.get(),
+            bytes: self.bytes.get(),
+        }
+    }
+
+    /// Total busy time of an endpoint's transmit side (utilization).
+    pub fn tx_busy(&self, ep: EndpointId) -> SimTime {
+        self.endpoints[ep.0].tx.total_busy()
+    }
+
+    /// Total busy time of an endpoint's receive side (utilization).
+    pub fn rx_busy(&self, ep: EndpointId) -> SimTime {
+        self.endpoints[ep.0].rx.total_busy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    fn test_cfg() -> NetConfig {
+        NetConfig {
+            latency: SimTime::from_micros(10),
+            bandwidth: Bandwidth::mib_per_sec(1.0),
+            per_message_overhead: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn single_transfer_time_is_tx_plus_latency_plus_rx() {
+        let sim = Sim::new();
+        let fab = Rc::new(Fabric::new(2, test_cfg()));
+        let s = sim.clone();
+        let f = Rc::clone(&fab);
+        sim.spawn("sender", async move {
+            let plan = f.transfer(&s, EndpointId(0), EndpointId(1), 1024 * 1024).await;
+            // 1 MiB at 1 MiB/s = 1s tx, 10us latency, 1s rx.
+            assert_eq!(plan.tx_done, SimTime::from_secs(1));
+            assert_eq!(
+                plan.delivered,
+                SimTime::from_secs(2) + SimTime::from_micros(10)
+            );
+        });
+        sim.run().unwrap();
+        assert_eq!(fab.stats().bytes, 1024 * 1024);
+        assert_eq!(fab.stats().messages, 1);
+    }
+
+    #[test]
+    fn hot_receiver_serializes_senders() {
+        // Two senders to the same destination: second delivery is pushed
+        // back by the receiver's rx timeline.
+        let sim = Sim::new();
+        let fab = Rc::new(Fabric::new(3, test_cfg()));
+        let done = Rc::new(RefCell::new(Vec::new()));
+        for src in [0usize, 1] {
+            let s = sim.clone();
+            let f = Rc::clone(&fab);
+            let done = Rc::clone(&done);
+            sim.spawn(format!("s{src}"), async move {
+                let plan = f.transfer(&s, EndpointId(src), EndpointId(2), 1024 * 1024).await;
+                done.borrow_mut().push(plan.delivered);
+            });
+        }
+        sim.run().unwrap();
+        let d = done.borrow();
+        // Both tx legs run in parallel (distinct NICs); the rx leg serializes.
+        let lat = SimTime::from_micros(10);
+        assert_eq!(d[0], SimTime::from_secs(2) + lat);
+        assert_eq!(d[1], SimTime::from_secs(3) + lat);
+    }
+
+    #[test]
+    fn disjoint_pairs_run_in_parallel() {
+        let sim = Sim::new();
+        let fab = Rc::new(Fabric::new(4, test_cfg()));
+        let done = Rc::new(RefCell::new(Vec::new()));
+        for (src, dst) in [(0usize, 1usize), (2, 3)] {
+            let s = sim.clone();
+            let f = Rc::clone(&fab);
+            let done = Rc::clone(&done);
+            sim.spawn(format!("s{src}"), async move {
+                let plan = f.transfer(&s, EndpointId(src), EndpointId(dst), 1024 * 1024).await;
+                done.borrow_mut().push(plan.delivered);
+            });
+        }
+        sim.run().unwrap();
+        let d = done.borrow();
+        let expect = SimTime::from_secs(2) + SimTime::from_micros(10);
+        assert_eq!(d[0], expect);
+        assert_eq!(d[1], expect);
+    }
+
+    #[test]
+    fn per_message_overhead_charged_both_ends() {
+        let mut cfg = test_cfg();
+        cfg.per_message_overhead = SimTime::from_millis(1);
+        let sim = Sim::new();
+        let fab = Rc::new(Fabric::new(2, cfg));
+        let s = sim.clone();
+        let f = Rc::clone(&fab);
+        sim.spawn("sender", async move {
+            let plan = f.transfer(&s, EndpointId(0), EndpointId(1), 0).await;
+            assert_eq!(plan.tx_done, SimTime::from_millis(1));
+            assert_eq!(
+                plan.delivered,
+                SimTime::from_millis(2) + SimTime::from_micros(10)
+            );
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn loopback_pays_no_latency() {
+        let sim = Sim::new();
+        let fab = Rc::new(Fabric::new(1, test_cfg()));
+        let s = sim.clone();
+        let f = Rc::clone(&fab);
+        sim.spawn("self-send", async move {
+            let plan = f.transfer(&s, EndpointId(0), EndpointId(0), 1024 * 1024).await;
+            assert_eq!(plan.delivered, SimTime::from_secs(1));
+            assert_eq!(plan.tx_done, plan.delivered);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let sim = Sim::new();
+        let fab = Rc::new(Fabric::new(2, test_cfg()));
+        let s = sim.clone();
+        let f = Rc::clone(&fab);
+        sim.spawn("sender", async move {
+            f.transfer(&s, EndpointId(0), EndpointId(1), 2 * 1024 * 1024).await;
+        });
+        sim.run().unwrap();
+        assert_eq!(fab.tx_busy(EndpointId(0)), SimTime::from_secs(2));
+        assert_eq!(fab.rx_busy(EndpointId(1)), SimTime::from_secs(2));
+        assert_eq!(fab.rx_busy(EndpointId(0)), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,18 @@
+//! # s3a-net — network model
+//!
+//! Models an interconnect in the spirit of the Feynman cluster's
+//! Myrinet-2000: each endpoint (NIC) serializes its own transmissions and
+//! receptions, the fabric adds a fixed propagation latency, and every
+//! message pays a fixed per-message processing overhead at both ends.
+//!
+//! The endpoint serialization is the load-bearing part of the model: a
+//! single busy endpoint (the S3aSim *master* gathering results from every
+//! worker) becomes a queueing bottleneck exactly as it does on real
+//! hardware, while transfers between distinct endpoint pairs proceed in
+//! parallel.
+
+mod bandwidth;
+mod fabric;
+
+pub use bandwidth::Bandwidth;
+pub use fabric::{EndpointId, Fabric, NetConfig, NetStats, TransferPlan};

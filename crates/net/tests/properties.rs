@@ -1,0 +1,90 @@
+//! Property-based tests for the fabric: bookings are consistent
+//! timelines, conservation holds, and serialization never reorders a
+//! single endpoint's traffic.
+
+use proptest::prelude::*;
+use std::rc::Rc;
+
+use s3a_des::{Sim, SimTime};
+use s3a_net::{Bandwidth, EndpointId, Fabric, NetConfig};
+
+fn cfg() -> NetConfig {
+    NetConfig {
+        latency: SimTime::from_micros(10),
+        bandwidth: Bandwidth::mib_per_sec(100.0),
+        per_message_overhead: SimTime::from_micros(1),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Transfer plans are causally sane: delivery never precedes local
+    /// completion, and both lie strictly after the booking time for
+    /// nonzero work.
+    #[test]
+    fn plans_are_causal(
+        srcs in prop::collection::vec((0usize..4, 0usize..4, 0u64..1_000_000), 1..40),
+    ) {
+        let fab = Fabric::new(4, cfg());
+        let mut now = SimTime::ZERO;
+        for (s, d, bytes) in srcs {
+            let plan = fab.book_transfer(now, EndpointId(s), EndpointId(d), bytes);
+            prop_assert!(plan.tx_done > now);
+            prop_assert!(plan.delivered >= plan.tx_done);
+            now += SimTime::from_nanos(7);
+        }
+    }
+
+    /// A sender's consecutive messages to the same destination are
+    /// delivered in order, whatever the sizes.
+    #[test]
+    fn same_pair_transfers_never_reorder(sizes in prop::collection::vec(0u64..500_000, 2..30)) {
+        let fab = Fabric::new(2, cfg());
+        let mut last = SimTime::ZERO;
+        for bytes in sizes {
+            let plan = fab.book_transfer(SimTime::ZERO, EndpointId(0), EndpointId(1), bytes);
+            prop_assert!(plan.delivered > last, "delivery order violated");
+            last = plan.delivered;
+        }
+    }
+
+    /// Stats count every message and byte exactly once.
+    #[test]
+    fn stats_conserve_traffic(msgs in prop::collection::vec((0usize..3, 1usize..3, 0u64..100_000), 0..50)) {
+        let fab = Fabric::new(4, cfg());
+        let mut bytes_total = 0u64;
+        for &(s, d, b) in &msgs {
+            fab.book_transfer(SimTime::ZERO, EndpointId(s), EndpointId((s + d) % 4), b);
+            bytes_total += b;
+        }
+        prop_assert_eq!(fab.stats().messages, msgs.len() as u64);
+        prop_assert_eq!(fab.stats().bytes, bytes_total);
+    }
+
+    /// Concurrent transfers through one receiver take at least the sum of
+    /// their receive service times (rx serialization), while transfers to
+    /// distinct receivers from distinct senders overlap fully.
+    #[test]
+    fn receiver_serialization_bounds(nsenders in 2usize..6, kib in 1u64..64) {
+        let bytes = kib * 1024;
+        let sim = Sim::new();
+        let fab = Rc::new(Fabric::new(nsenders + 1, cfg()));
+        for s in 0..nsenders {
+            let f = Rc::clone(&fab);
+            let sm = sim.clone();
+            sim.spawn(format!("s{s}"), async move {
+                f.transfer(&sm, EndpointId(s + 1), EndpointId(0), bytes).await;
+            });
+        }
+        let end = sim.run().expect("no deadlock");
+        let wire = Bandwidth::mib_per_sec(100.0).transfer_time(bytes)
+            + SimTime::from_micros(1);
+        // All receptions serialize at endpoint 0.
+        let min_end = wire * nsenders as u64;
+        prop_assert!(
+            end >= min_end,
+            "{nsenders} transfers of {bytes}B finished in {end}, below rx bound {min_end}"
+        );
+    }
+}

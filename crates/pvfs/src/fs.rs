@@ -1,0 +1,868 @@
+//! The simulated file system: servers, client write paths, and sync.
+//!
+//! ## Cost model
+//!
+//! A client write is decomposed by the striping [`Layout`] into per-server
+//! region lists, which are then packed into *requests* bounded by
+//! `list_io_max_regions` regions and `flow_unit` bytes (PVFS2 moved data
+//! in flow buffers of the strip size). Each request pays:
+//!
+//! * a client-side `client_request_turnaround` — the early-2000s
+//!   TCP-over-Myrinet round-trip stall (delayed ACKs, flow-control
+//!   handshakes) that capped *single-client* throughput far below link
+//!   bandwidth;
+//! * wire time on the shared fabric (request header + region descriptors +
+//!   data, and an ack back);
+//! * server service time, FIFO per server:
+//!   `request_overhead + regions × region_overhead + bytes / ingest_bw`.
+//!
+//! At most `client_window` requests of one operation are outstanding at a
+//! time (default 1, matching the era's serial flow control). Writes land
+//! in a write-back cache; [`FileHandle::sync`] flushes each server's dirty
+//! bytes to disk at `disk_bw` plus a fixed per-server `sync_overhead`.
+//!
+//! This reproduces the two regimes the paper's results hinge on: a single
+//! writer (the S3aSim master) is turnaround-bound at a few MB/s no matter
+//! how many servers exist, while many concurrent writers aggregate until
+//! the servers' per-request overheads saturate.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use s3a_des::{Semaphore, Sim, SimTime, Timeline};
+use s3a_net::{Bandwidth, EndpointId, Fabric};
+
+use crate::layout::{Layout, Region};
+
+/// Parameters of the simulated file system. Defaults are calibrated to
+/// reproduce the paper's PVFS2 deployment behaviour (see EXPERIMENTS.md).
+#[derive(Debug, Clone, Copy)]
+pub struct PvfsConfig {
+    /// Number of I/O servers (paper: 16).
+    pub servers: usize,
+    /// Striping strip size (paper: 64 KiB).
+    pub strip_size: u64,
+    /// Flow-buffer granularity: a single request carries at most this many
+    /// payload bytes.
+    pub flow_unit: u64,
+    /// Maximum regions in one list-I/O request.
+    pub list_io_max_regions: usize,
+    /// Outstanding requests per client operation (flow-control window).
+    pub client_window: u64,
+    /// Client-side per-request stall (transport round-trip overhead).
+    pub client_request_turnaround: SimTime,
+    /// Client-side cost per region descriptor in a request (offset-list
+    /// marshaling, datatype flattening, kernel crossings).
+    pub client_per_region: SimTime,
+    /// Server CPU cost per request.
+    pub request_overhead: SimTime,
+    /// Server CPU cost per noncontiguous region in a request.
+    pub region_overhead: SimTime,
+    /// Per-server buffer-cache ingest bandwidth.
+    pub ingest_bw: Bandwidth,
+    /// Per-server flush-to-disk bandwidth (paid by `sync`).
+    pub disk_bw: Bandwidth,
+    /// Fixed per-server cost of a sync/flush request.
+    pub sync_overhead: SimTime,
+    /// Wire bytes of a request/ack header.
+    pub req_header_bytes: u64,
+    /// Wire bytes per region descriptor (offset + length).
+    pub region_desc_bytes: u64,
+    /// Outstanding requests per client *read* operation. Streaming reads
+    /// pipeline far better than the era's sync-after-every-write writes,
+    /// so this window is larger than `client_window`.
+    pub read_window: u64,
+}
+
+impl Default for PvfsConfig {
+    fn default() -> Self {
+        PvfsConfig {
+            servers: 16,
+            strip_size: 64 * 1024,
+            flow_unit: 64 * 1024,
+            list_io_max_regions: 64,
+            client_window: 1,
+            client_request_turnaround: SimTime::from_millis(14),
+            client_per_region: SimTime::from_millis(4),
+            request_overhead: SimTime::from_millis(6),
+            region_overhead: SimTime::from_micros(1000),
+            ingest_bw: Bandwidth::mib_per_sec(50.0),
+            disk_bw: Bandwidth::mib_per_sec(20.0),
+            sync_overhead: SimTime::from_millis(1),
+            req_header_bytes: 64,
+            region_desc_bytes: 16,
+            read_window: 8,
+        }
+    }
+}
+
+/// Aggregate counters for the file system.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FsStats {
+    /// Data requests processed by all servers.
+    pub requests: u64,
+    /// Noncontiguous regions carried by those requests.
+    pub regions: u64,
+    /// Payload bytes written.
+    pub bytes_written: u64,
+    /// Sync (flush) requests processed.
+    pub syncs: u64,
+    /// Bytes flushed to disk by syncs.
+    pub bytes_flushed: u64,
+    /// Read requests processed by all servers.
+    pub read_requests: u64,
+    /// Payload bytes read.
+    pub bytes_read: u64,
+}
+
+struct Server {
+    queue: Timeline,
+    requests: Cell<u64>,
+}
+
+struct FileMeta {
+    /// Written extents (start -> end), kept merged; used for verification.
+    extents: BTreeMap<u64, u64>,
+    /// Bytes written more than once (overlapping writes; S3aSim must
+    /// never produce any).
+    overlap_bytes: u64,
+    /// Dirty (unflushed) bytes per server.
+    dirty: Vec<u64>,
+    /// High-water mark of the file size.
+    size: u64,
+}
+
+impl FileMeta {
+    fn note_write(&mut self, off: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let mut s = off;
+        let mut e = off + len;
+        self.size = self.size.max(e);
+        // Collect intervals that overlap or abut [s, e).
+        let mut absorbed: Vec<(u64, u64)> = Vec::new();
+        for (&ks, &ke) in self.extents.range(..=e).rev() {
+            if ke < s {
+                break;
+            }
+            absorbed.push((ks, ke));
+        }
+        for (ks, ke) in absorbed {
+            let inter_lo = s.max(ks);
+            let inter_hi = e.min(ke);
+            if inter_hi > inter_lo {
+                self.overlap_bytes += inter_hi - inter_lo;
+            }
+            s = s.min(ks);
+            e = e.max(ke);
+            self.extents.remove(&ks);
+        }
+        self.extents.insert(s, e);
+    }
+
+    fn covered_bytes(&self) -> u64 {
+        self.extents.iter().map(|(s, e)| e - s).sum()
+    }
+}
+
+struct FsInner {
+    sim: Sim,
+    cfg: PvfsConfig,
+    fabric: Rc<Fabric>,
+    /// Fabric endpoint of server `i` is `endpoint_base + i`.
+    endpoint_base: usize,
+    servers: Vec<Server>,
+    files: RefCell<HashMap<String, Rc<RefCell<FileMeta>>>>,
+    stats: Cell<FsStats>,
+}
+
+impl FsInner {
+    fn server_ep(&self, s: usize) -> EndpointId {
+        EndpointId(self.endpoint_base + s)
+    }
+
+    fn layout(&self) -> Layout {
+        Layout::new(self.cfg.strip_size, self.cfg.servers)
+    }
+
+    fn bump(&self, f: impl FnOnce(&mut FsStats)) {
+        let mut s = self.stats.get();
+        f(&mut s);
+        self.stats.set(s);
+    }
+}
+
+/// Handle to the simulated parallel file system. Cheap to clone.
+#[derive(Clone)]
+pub struct FileSystem {
+    inner: Rc<FsInner>,
+}
+
+impl FileSystem {
+    /// Create a file system whose servers occupy fabric endpoints
+    /// `endpoint_base .. endpoint_base + cfg.servers`.
+    pub fn new(sim: &Sim, cfg: PvfsConfig, fabric: Rc<Fabric>, endpoint_base: usize) -> Self {
+        assert!(cfg.servers > 0, "need at least one server");
+        assert!(
+            endpoint_base + cfg.servers <= fabric.len(),
+            "fabric has {} endpoints; servers need {} starting at {}",
+            fabric.len(),
+            cfg.servers,
+            endpoint_base
+        );
+        assert!(cfg.flow_unit > 0 && cfg.list_io_max_regions > 0 && cfg.client_window > 0);
+        FileSystem {
+            inner: Rc::new(FsInner {
+                sim: sim.clone(),
+                cfg,
+                fabric,
+                endpoint_base,
+                servers: (0..cfg.servers)
+                    .map(|_| Server {
+                        queue: Timeline::new(),
+                        requests: Cell::new(0),
+                    })
+                    .collect(),
+                files: RefCell::new(HashMap::new()),
+                stats: Cell::new(FsStats::default()),
+            }),
+        }
+    }
+
+    /// Convenience for unit tests: a private fabric holding one client
+    /// endpoint (id 0) plus the servers (ids 1..).
+    pub fn standalone(sim: &Sim, cfg: PvfsConfig, net: s3a_net::NetConfig) -> (Self, EndpointId) {
+        let fabric = Rc::new(Fabric::new(1 + cfg.servers, net));
+        (Self::new(sim, cfg, fabric, 1), EndpointId(0))
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PvfsConfig {
+        &self.inner.cfg
+    }
+
+    /// Open (creating if necessary) the named file.
+    pub fn open(&self, name: &str) -> FileHandle {
+        let meta = {
+            let mut files = self.inner.files.borrow_mut();
+            Rc::clone(files.entry(name.to_string()).or_insert_with(|| {
+                Rc::new(RefCell::new(FileMeta {
+                    extents: BTreeMap::new(),
+                    overlap_bytes: 0,
+                    dirty: vec![0; self.inner.cfg.servers],
+                    size: 0,
+                }))
+            }))
+        };
+        FileHandle {
+            fs: Rc::clone(&self.inner),
+            meta,
+        }
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> FsStats {
+        self.inner.stats.get()
+    }
+
+    /// Total busy time of server `s`'s request queue.
+    pub fn server_busy(&self, s: usize) -> SimTime {
+        self.inner.servers[s].queue.total_busy()
+    }
+
+    /// Requests processed by server `s`.
+    pub fn server_requests(&self, s: usize) -> u64 {
+        self.inner.servers[s].requests.get()
+    }
+}
+
+/// One request bound for one server.
+struct ServerRequest {
+    server: usize,
+    regions: Vec<Region>,
+    bytes: u64,
+}
+
+/// Pack a per-server region list into requests bounded by the flow unit
+/// and the list-I/O region cap. Oversized regions split at `flow_unit`.
+fn pack_requests(
+    server: usize,
+    regions: &[Region],
+    flow_unit: u64,
+    max_regions: usize,
+) -> Vec<ServerRequest> {
+    let mut out = Vec::new();
+    let mut cur: Vec<Region> = Vec::new();
+    let mut cur_bytes = 0u64;
+    let flush =
+        |cur: &mut Vec<Region>, cur_bytes: &mut u64, out: &mut Vec<ServerRequest>| {
+            if !cur.is_empty() {
+                out.push(ServerRequest {
+                    server,
+                    regions: std::mem::take(cur),
+                    bytes: *cur_bytes,
+                });
+                *cur_bytes = 0;
+            }
+        };
+    for &r in regions {
+        let mut off = r.offset;
+        let mut remaining = r.len;
+        while remaining > 0 {
+            let room = flow_unit - cur_bytes;
+            if room == 0 || cur.len() >= max_regions {
+                flush(&mut cur, &mut cur_bytes, &mut out);
+                continue;
+            }
+            let take = remaining.min(room);
+            cur.push(Region::new(off, take));
+            cur_bytes += take;
+            off += take;
+            remaining -= take;
+        }
+    }
+    flush(&mut cur, &mut cur_bytes, &mut out);
+    out
+}
+
+/// A client's handle to an open file.
+#[derive(Clone)]
+pub struct FileHandle {
+    fs: Rc<FsInner>,
+    meta: Rc<RefCell<FileMeta>>,
+}
+
+impl FileHandle {
+    /// Write one contiguous region from the client at `client_ep`.
+    pub async fn write_contiguous(&self, client_ep: EndpointId, offset: u64, len: u64) {
+        self.write_regions(client_ep, &[Region::new(offset, len)])
+            .await;
+    }
+
+    /// Write a set of (noncontiguous) regions as a single operation —
+    /// PVFS2's list-I/O path when the region list is longer than one.
+    /// Regions are packed into per-server requests honouring the flow unit
+    /// and region cap, then issued with the configured client window.
+    pub async fn write_regions(&self, client_ep: EndpointId, regions: &[Region]) {
+        let cfg = &self.fs.cfg;
+        let layout = self.fs.layout();
+        let per_server = layout.map_regions(regions);
+
+        // Record extents up front (data content is not simulated).
+        {
+            let mut meta = self.meta.borrow_mut();
+            for r in regions {
+                meta.note_write(r.offset, r.len);
+            }
+            for (s, (_, bytes)) in per_server.iter().enumerate() {
+                meta.dirty[s] += bytes;
+            }
+        }
+
+        let mut requests: Vec<ServerRequest> = Vec::new();
+        for (s, (regs, _)) in per_server.iter().enumerate() {
+            if !regs.is_empty() {
+                requests.extend(pack_requests(
+                    s,
+                    regs,
+                    cfg.flow_unit,
+                    cfg.list_io_max_regions,
+                ));
+            }
+        }
+        if requests.is_empty() {
+            return;
+        }
+
+        let sim = self.fs.sim.clone();
+        let window = Semaphore::new(&sim, cfg.client_window);
+        let mut joins = Vec::with_capacity(requests.len());
+        for req in requests {
+            window.acquire(1).await;
+            let fs = Rc::clone(&self.fs);
+            let win = window.clone();
+            let s = sim.clone();
+            joins.push(sim.spawn("pvfs-req", async move {
+                run_write_request(&fs, &s, client_ep, req).await;
+                win.release(1);
+            }));
+        }
+        for j in joins {
+            j.join().await;
+        }
+    }
+
+    /// Read one contiguous range from the client at `client_ep` —
+    /// e.g. a worker streaming database sequence data. The range is
+    /// chunked at the flow unit and pipelined `read_window` deep; each
+    /// chunk pays the server's request overhead plus ingest-bandwidth
+    /// time, and the response carries the data back over the fabric.
+    pub async fn read_contiguous(&self, client_ep: EndpointId, offset: u64, len: u64) {
+        let cfg = &self.fs.cfg;
+        let layout = self.fs.layout();
+        let per_server = layout.map_regions(&[Region::new(offset, len)]);
+        let mut requests: Vec<ServerRequest> = Vec::new();
+        for (srv, (regs, _)) in per_server.iter().enumerate() {
+            if !regs.is_empty() {
+                requests.extend(pack_requests(
+                    srv,
+                    regs,
+                    cfg.flow_unit,
+                    cfg.list_io_max_regions,
+                ));
+            }
+        }
+        if requests.is_empty() {
+            return;
+        }
+        let sim = self.fs.sim.clone();
+        let window = Semaphore::new(&sim, cfg.read_window);
+        let mut joins = Vec::with_capacity(requests.len());
+        for req in requests {
+            window.acquire(1).await;
+            let fs = Rc::clone(&self.fs);
+            let win = window.clone();
+            let s = sim.clone();
+            joins.push(sim.spawn("pvfs-read", async move {
+                run_read_request(&fs, &s, client_ep, req).await;
+                win.release(1);
+            }));
+        }
+        for j in joins {
+            j.join().await;
+        }
+    }
+
+    /// Flush this file to stable storage (an `MPI_File_sync`-style
+    /// barrier). Like the real call, a flush request goes to *every*
+    /// server — each costs `sync_overhead` plus draining that server's
+    /// dirty bytes to disk — even when a server has nothing dirty, which
+    /// is what makes frequent syncing from many clients expensive.
+    /// Requests to distinct servers proceed in parallel.
+    pub async fn sync(&self, client_ep: EndpointId) {
+        let dirty: Vec<u64> = {
+            let mut meta = self.meta.borrow_mut();
+            let d = meta.dirty.clone();
+            for x in meta.dirty.iter_mut() {
+                *x = 0;
+            }
+            d
+        };
+        let sim = self.fs.sim.clone();
+        let mut joins = Vec::new();
+        for (s, bytes) in dirty.into_iter().enumerate() {
+            let fs = Rc::clone(&self.fs);
+            let sm = sim.clone();
+            joins.push(sim.spawn("pvfs-sync", async move {
+                let cfg = &fs.cfg;
+                fs.fabric
+                    .transfer(&sm, client_ep, fs.server_ep(s), cfg.req_header_bytes)
+                    .await;
+                let service = cfg.sync_overhead + cfg.disk_bw.transfer_time(bytes);
+                fs.servers[s].queue.serve(&sm, service).await;
+                fs.fabric
+                    .transfer(&sm, fs.server_ep(s), client_ep, cfg.req_header_bytes)
+                    .await;
+                fs.bump(|st| {
+                    st.syncs += 1;
+                    st.bytes_flushed += bytes;
+                });
+            }));
+        }
+        for j in joins {
+            j.join().await;
+        }
+    }
+
+    /// Bytes covered by at least one write.
+    pub fn covered_bytes(&self) -> u64 {
+        self.meta.borrow().covered_bytes()
+    }
+
+    /// Bytes written more than once (should stay 0 for S3aSim workloads).
+    pub fn overlap_bytes(&self) -> u64 {
+        self.meta.borrow().overlap_bytes
+    }
+
+    /// Number of maximal contiguous written extents.
+    pub fn extent_count(&self) -> usize {
+        self.meta.borrow().extents.len()
+    }
+
+    /// High-water mark of the file size.
+    pub fn size(&self) -> u64 {
+        self.meta.borrow().size
+    }
+
+    /// Unflushed bytes per server.
+    pub fn dirty_bytes(&self) -> u64 {
+        self.meta.borrow().dirty.iter().sum()
+    }
+}
+
+async fn run_write_request(
+    fs: &Rc<FsInner>,
+    sim: &Sim,
+    client_ep: EndpointId,
+    req: ServerRequest,
+) {
+    let cfg = &fs.cfg;
+    // Client-side transport stall and region-list marshaling before the
+    // request goes out.
+    sim.sleep(cfg.client_request_turnaround + cfg.client_per_region * req.regions.len() as u64)
+        .await;
+    let wire = cfg.req_header_bytes + cfg.region_desc_bytes * req.regions.len() as u64 + req.bytes;
+    fs.fabric
+        .transfer(sim, client_ep, fs.server_ep(req.server), wire)
+        .await;
+    let service = cfg.request_overhead
+        + cfg.region_overhead * req.regions.len() as u64
+        + cfg.ingest_bw.transfer_time(req.bytes);
+    fs.servers[req.server].queue.serve(sim, service).await;
+    fs.servers[req.server]
+        .requests
+        .set(fs.servers[req.server].requests.get() + 1);
+    fs.bump(|st| {
+        st.requests += 1;
+        st.regions += req.regions.len() as u64;
+        st.bytes_written += req.bytes;
+    });
+    fs.fabric
+        .transfer(sim, fs.server_ep(req.server), client_ep, cfg.req_header_bytes)
+        .await;
+}
+
+async fn run_read_request(
+    fs: &Rc<FsInner>,
+    sim: &Sim,
+    client_ep: EndpointId,
+    req: ServerRequest,
+) {
+    let cfg = &fs.cfg;
+    // Request out: header + region descriptors only.
+    let wire_out = cfg.req_header_bytes + cfg.region_desc_bytes * req.regions.len() as u64;
+    fs.fabric
+        .transfer(sim, client_ep, fs.server_ep(req.server), wire_out)
+        .await;
+    let service = cfg.request_overhead
+        + cfg.region_overhead * req.regions.len() as u64
+        + cfg.ingest_bw.transfer_time(req.bytes);
+    fs.servers[req.server].queue.serve(sim, service).await;
+    fs.servers[req.server]
+        .requests
+        .set(fs.servers[req.server].requests.get() + 1);
+    fs.bump(|st| {
+        st.read_requests += 1;
+        st.bytes_read += req.bytes;
+    });
+    // Response carries the data back.
+    fs.fabric
+        .transfer(
+            sim,
+            fs.server_ep(req.server),
+            client_ep,
+            cfg.req_header_bytes + req.bytes,
+        )
+        .await;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s3a_net::NetConfig;
+    use std::cell::Cell;
+
+    fn quick_cfg() -> PvfsConfig {
+        PvfsConfig {
+            servers: 4,
+            strip_size: 1000,
+            flow_unit: 1000,
+            list_io_max_regions: 8,
+            client_window: 1,
+            client_request_turnaround: SimTime::from_millis(1),
+            client_per_region: SimTime::from_micros(50),
+            request_overhead: SimTime::from_millis(2),
+            region_overhead: SimTime::from_micros(100),
+            ingest_bw: Bandwidth::mib_per_sec(100.0),
+            disk_bw: Bandwidth::mib_per_sec(10.0),
+            sync_overhead: SimTime::from_millis(1),
+            req_header_bytes: 64,
+            region_desc_bytes: 16,
+            read_window: 4,
+        }
+    }
+
+    fn net() -> NetConfig {
+        NetConfig {
+            latency: SimTime::from_micros(10),
+            bandwidth: Bandwidth::mib_per_sec(100.0),
+            per_message_overhead: SimTime::from_micros(1),
+        }
+    }
+
+    #[test]
+    fn pack_requests_respects_flow_unit() {
+        let reqs = pack_requests(0, &[Region::new(0, 3500)], 1000, 8);
+        assert_eq!(reqs.len(), 4);
+        assert_eq!(reqs[0].bytes, 1000);
+        assert_eq!(reqs[3].bytes, 500);
+        let total: u64 = reqs.iter().map(|r| r.bytes).sum();
+        assert_eq!(total, 3500);
+    }
+
+    #[test]
+    fn pack_requests_respects_region_cap() {
+        let regions: Vec<Region> = (0..20).map(|i| Region::new(i * 10, 5)).collect();
+        let reqs = pack_requests(0, &regions, 1_000_000, 8);
+        assert_eq!(reqs.len(), 3);
+        assert_eq!(reqs[0].regions.len(), 8);
+        assert_eq!(reqs[2].regions.len(), 4);
+    }
+
+    #[test]
+    fn pack_requests_mixed_limits() {
+        // Two big regions and many small ones.
+        let mut regions = vec![Region::new(0, 2500)];
+        regions.extend((0..5).map(|i| Region::new(10_000 + i * 10, 5)));
+        let reqs = pack_requests(0, &regions, 1000, 4);
+        let total_bytes: u64 = reqs.iter().map(|r| r.bytes).sum();
+        let total_regions: usize = reqs.iter().map(|r| r.regions.len()).sum();
+        assert_eq!(total_bytes, 2500 + 25);
+        assert!(total_regions >= 6 + 2); // big region split at least twice
+        for r in &reqs {
+            assert!(r.bytes <= 1000);
+            assert!(r.regions.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn write_records_extents_and_no_overlap() {
+        let sim = Sim::new();
+        let (fs, client) = FileSystem::standalone(&sim, quick_cfg(), net());
+        let fh = fs.open("out");
+        let f2 = fh.clone();
+        sim.spawn("writer", async move {
+            f2.write_contiguous(client, 0, 500).await;
+            f2.write_contiguous(client, 500, 500).await;
+            f2.write_contiguous(client, 2000, 100).await;
+        });
+        sim.run().unwrap();
+        assert_eq!(fh.covered_bytes(), 1100);
+        assert_eq!(fh.overlap_bytes(), 0);
+        assert_eq!(fh.extent_count(), 2);
+        assert_eq!(fh.size(), 2100);
+        assert_eq!(fs.stats().bytes_written, 1100);
+    }
+
+    #[test]
+    fn overlapping_writes_detected() {
+        let sim = Sim::new();
+        let (fs, client) = FileSystem::standalone(&sim, quick_cfg(), net());
+        let fh = fs.open("out");
+        let f2 = fh.clone();
+        sim.spawn("writer", async move {
+            f2.write_contiguous(client, 0, 100).await;
+            f2.write_contiguous(client, 50, 100).await;
+        });
+        sim.run().unwrap();
+        assert_eq!(fh.overlap_bytes(), 50);
+        assert_eq!(fh.covered_bytes(), 150);
+    }
+
+    #[test]
+    fn single_client_is_turnaround_bound() {
+        // 10 strips of 1000B, window 1: each request pays ≥ 1ms turnaround
+        // + 2ms service, so the op takes at least 30ms even though the
+        // wire/ingest time is microseconds.
+        let sim = Sim::new();
+        let (fs, client) = FileSystem::standalone(&sim, quick_cfg(), net());
+        let fh = fs.open("out");
+        let done = Rc::new(Cell::new(SimTime::ZERO));
+        let d = Rc::clone(&done);
+        let s = sim.clone();
+        sim.spawn("writer", async move {
+            fh.write_contiguous(client, 0, 10_000).await;
+            d.set(s.now());
+        });
+        sim.run().unwrap();
+        assert!(done.get() >= SimTime::from_millis(30), "too fast: {}", done.get());
+        assert_eq!(fs.stats().requests, 10);
+    }
+
+    #[test]
+    fn larger_window_pipelines_requests() {
+        let run = |window: u64| {
+            let mut cfg = quick_cfg();
+            cfg.client_window = window;
+            let sim = Sim::new();
+            let (fs, client) = FileSystem::standalone(&sim, cfg, net());
+            let fh = fs.open("out");
+            let s = sim.clone();
+            let done = Rc::new(Cell::new(SimTime::ZERO));
+            let d = Rc::clone(&done);
+            sim.spawn("writer", async move {
+                fh.write_contiguous(client, 0, 12_000).await;
+                d.set(s.now());
+            });
+            sim.run().unwrap();
+            assert_eq!(fs.stats().requests, 12);
+            done.get()
+        };
+        let serial = run(1);
+        let pipelined = run(4);
+        assert!(
+            pipelined < serial,
+            "window 4 ({pipelined}) should beat window 1 ({serial})"
+        );
+    }
+
+    #[test]
+    fn parallel_clients_share_servers() {
+        // Two clients writing to disjoint files: requests to distinct
+        // servers overlap, so combined time is far less than 2x one client.
+        let cfg = quick_cfg();
+        let one = {
+            let sim = Sim::new();
+            let (fs, c0) = FileSystem::standalone(&sim, cfg, net());
+            let fh = fs.open("a");
+            let s = sim.clone();
+            sim.spawn("w0", async move {
+                fh.write_contiguous(c0, 0, 8000).await;
+            });
+            let _ = s;
+            sim.run().unwrap()
+        };
+        let two = {
+            let sim = Sim::new();
+            let fabric = Rc::new(Fabric::new(2 + cfg.servers, net()));
+            let fs = FileSystem::new(&sim, cfg, fabric, 2);
+            for c in 0..2u64 {
+                let fh = fs.open(if c == 0 { "a" } else { "b" });
+                sim.spawn(format!("w{c}"), async move {
+                    fh.write_contiguous(EndpointId(c as usize), 0, 8000).await;
+                });
+            }
+            sim.run().unwrap()
+        };
+        assert!(two < one * 2, "two clients ({two}) vs one ({one})");
+    }
+
+    #[test]
+    fn list_write_batches_regions() {
+        // 16 small regions all on server 0 (within strip 0) → with cap 8,
+        // two requests; a POSIX-style loop would need 16.
+        let sim = Sim::new();
+        let (fs, client) = FileSystem::standalone(&sim, quick_cfg(), net());
+        let fh = fs.open("out");
+        let regions: Vec<Region> = (0..16).map(|i| Region::new(i * 50, 20)).collect();
+        let f2 = fh.clone();
+        sim.spawn("writer", async move {
+            f2.write_regions(client, &regions).await;
+        });
+        sim.run().unwrap();
+        assert_eq!(fs.stats().requests, 2);
+        assert_eq!(fs.stats().regions, 16);
+    }
+
+    #[test]
+    fn sync_flushes_dirty_bytes() {
+        let sim = Sim::new();
+        let (fs, client) = FileSystem::standalone(&sim, quick_cfg(), net());
+        let fh = fs.open("out");
+        let f2 = fh.clone();
+        let s = sim.clone();
+        let sync_time = Rc::new(Cell::new(SimTime::ZERO));
+        let st = Rc::clone(&sync_time);
+        sim.spawn("writer", async move {
+            f2.write_contiguous(client, 0, 4000).await;
+            assert_eq!(f2.dirty_bytes(), 4000);
+            let t0 = s.now();
+            f2.sync(client).await;
+            st.set(s.now() - t0);
+            assert_eq!(f2.dirty_bytes(), 0);
+        });
+        sim.run().unwrap();
+        assert_eq!(fs.stats().syncs, 4); // one request per server
+        assert_eq!(fs.stats().bytes_flushed, 4000);
+        // Flushes run in parallel: roughly one server's flush time, not 4x.
+        assert!(sync_time.get() < SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn sync_contacts_every_server_even_when_clean() {
+        let sim = Sim::new();
+        let (fs, client) = FileSystem::standalone(&sim, quick_cfg(), net());
+        let fh = fs.open("out");
+        sim.spawn("writer", async move {
+            fh.sync(client).await;
+        });
+        sim.run().unwrap();
+        assert_eq!(fs.stats().syncs, 4);
+        assert_eq!(fs.stats().bytes_flushed, 0);
+    }
+
+    #[test]
+    fn reopening_returns_same_file() {
+        let sim = Sim::new();
+        let (fs, client) = FileSystem::standalone(&sim, quick_cfg(), net());
+        let a = fs.open("shared");
+        let b = fs.open("shared");
+        sim.spawn("writer", async move {
+            a.write_contiguous(client, 0, 100).await;
+        });
+        sim.run().unwrap();
+        assert_eq!(b.covered_bytes(), 100);
+    }
+
+    #[test]
+    fn read_contiguous_moves_all_bytes() {
+        let sim = Sim::new();
+        let (fs, client) = FileSystem::standalone(&sim, quick_cfg(), net());
+        let fh = fs.open("db");
+        sim.spawn("reader", async move {
+            fh.read_contiguous(client, 0, 10_000).await;
+        });
+        sim.run().unwrap();
+        assert_eq!(fs.stats().bytes_read, 10_000);
+        assert_eq!(fs.stats().read_requests, 10); // 10 x 1000B flow units
+        assert_eq!(fs.stats().bytes_written, 0);
+    }
+
+    #[test]
+    fn reads_pipeline_wider_than_writes() {
+        // Same volume: a streaming read (window 4) beats a serial write
+        // (window 1) under this config.
+        let t_read = {
+            let sim = Sim::new();
+            let (fs, client) = FileSystem::standalone(&sim, quick_cfg(), net());
+            let fh = fs.open("db");
+            sim.spawn("r", async move { fh.read_contiguous(client, 0, 20_000).await; });
+            sim.run().unwrap()
+        };
+        let t_write = {
+            let sim = Sim::new();
+            let (fs, client) = FileSystem::standalone(&sim, quick_cfg(), net());
+            let fh = fs.open("db");
+            sim.spawn("w", async move { fh.write_contiguous(client, 0, 20_000).await; });
+            sim.run().unwrap()
+        };
+        assert!(t_read < t_write, "read {t_read} should beat write {t_write}");
+    }
+
+    #[test]
+    fn server_utilization_tracked() {
+        let sim = Sim::new();
+        let (fs, client) = FileSystem::standalone(&sim, quick_cfg(), net());
+        let fh = fs.open("out");
+        sim.spawn("writer", async move {
+            fh.write_contiguous(client, 0, 4000).await;
+        });
+        sim.run().unwrap();
+        for s in 0..4 {
+            assert_eq!(fs.server_requests(s), 1);
+            assert!(fs.server_busy(s) >= SimTime::from_millis(2));
+        }
+    }
+}

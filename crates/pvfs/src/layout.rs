@@ -1,0 +1,209 @@
+//! Round-robin striping layout (PVFS2's default distribution).
+//!
+//! A file is divided into `strip_size` strips assigned round-robin across
+//! `servers` I/O servers, so consecutive strips land on consecutive
+//! servers and strip `s` lives at server-local offset
+//! `(s / servers) * strip_size` on server `s % servers`. A useful
+//! consequence: a contiguous file range maps to *one contiguous
+//! server-local range per server* (plus partial edge strips), which is why
+//! contiguous I/O is so much cheaper than noncontiguous I/O on a striped
+//! store.
+
+/// A half-open byte region `[offset, offset + len)` in a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// Starting byte offset.
+    pub offset: u64,
+    /// Length in bytes (never zero in a normalized list).
+    pub len: u64,
+}
+
+impl Region {
+    /// Construct a region.
+    pub fn new(offset: u64, len: u64) -> Self {
+        Region { offset, len }
+    }
+
+    /// One past the last byte.
+    pub fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+}
+
+/// The striping parameters of a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// Bytes per strip (PVFS2 default: 64 KiB).
+    pub strip_size: u64,
+    /// Number of I/O servers the file is striped over.
+    pub servers: usize,
+}
+
+impl Layout {
+    /// Construct a layout; both parameters must be nonzero.
+    pub fn new(strip_size: u64, servers: usize) -> Self {
+        assert!(strip_size > 0, "strip size must be nonzero");
+        assert!(servers > 0, "need at least one server");
+        Layout { strip_size, servers }
+    }
+
+    /// The server that stores file byte `offset`.
+    pub fn server_of(&self, offset: u64) -> usize {
+        ((offset / self.strip_size) % self.servers as u64) as usize
+    }
+
+    /// The server-local byte offset of file byte `offset`.
+    pub fn local_offset(&self, offset: u64) -> u64 {
+        let strip = offset / self.strip_size;
+        (strip / self.servers as u64) * self.strip_size + offset % self.strip_size
+    }
+
+    /// Split a file region into `(server, server-local region)` pieces,
+    /// merging pieces that are adjacent in a server's local space.
+    /// Pieces are emitted in ascending file-offset order.
+    pub fn split_region(&self, region: Region) -> Vec<(usize, Region)> {
+        let mut out: Vec<(usize, Region)> = Vec::new();
+        if region.len == 0 {
+            return out;
+        }
+        let mut off = region.offset;
+        let end = region.end();
+        while off < end {
+            let strip_end = (off / self.strip_size + 1) * self.strip_size;
+            let piece_len = strip_end.min(end) - off;
+            let server = self.server_of(off);
+            let local = self.local_offset(off);
+            // Merge with a previous piece on the same server when the local
+            // ranges are adjacent (always true for same-server pieces of one
+            // contiguous file region).
+            if let Some((_, r)) = out.iter_mut().rev().find(|(s, _)| *s == server) {
+                if r.end() == local {
+                    r.len += piece_len;
+                    off += piece_len;
+                    continue;
+                }
+            }
+            out.push((server, Region::new(local, piece_len)));
+            off += piece_len;
+        }
+        out
+    }
+
+    /// Map many file regions to per-server region lists. Returns one
+    /// `(local regions, bytes)` entry per server (index = server id);
+    /// regions appear in the order the input produces them.
+    pub fn map_regions(&self, regions: &[Region]) -> Vec<(Vec<Region>, u64)> {
+        let mut per_server: Vec<(Vec<Region>, u64)> =
+            (0..self.servers).map(|_| (Vec::new(), 0)).collect();
+        for &r in regions {
+            for (s, piece) in self.split_region(r) {
+                let entry = &mut per_server[s];
+                // Coalesce adjacency across input regions too (e.g. results
+                // that happen to abut in the file).
+                if let Some(last) = entry.0.last_mut() {
+                    if last.end() == piece.offset {
+                        last.len += piece.len;
+                        entry.1 += piece.len;
+                        continue;
+                    }
+                }
+                entry.0.push(piece);
+                entry.1 += piece.len;
+            }
+        }
+        per_server
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_and_local_offset_math() {
+        let l = Layout::new(100, 4);
+        assert_eq!(l.server_of(0), 0);
+        assert_eq!(l.server_of(99), 0);
+        assert_eq!(l.server_of(100), 1);
+        assert_eq!(l.server_of(399), 3);
+        assert_eq!(l.server_of(400), 0);
+        assert_eq!(l.local_offset(0), 0);
+        assert_eq!(l.local_offset(99), 99);
+        assert_eq!(l.local_offset(100), 0);
+        assert_eq!(l.local_offset(400), 100);
+        assert_eq!(l.local_offset(450), 150);
+    }
+
+    #[test]
+    fn split_within_one_strip() {
+        let l = Layout::new(100, 4);
+        let pieces = l.split_region(Region::new(210, 50));
+        assert_eq!(pieces, vec![(2, Region::new(10, 50))]);
+    }
+
+    #[test]
+    fn split_across_strips() {
+        let l = Layout::new(100, 4);
+        let pieces = l.split_region(Region::new(150, 200));
+        assert_eq!(
+            pieces,
+            vec![
+                (1, Region::new(50, 50)),
+                (2, Region::new(0, 100)),
+                (3, Region::new(0, 50)),
+            ]
+        );
+    }
+
+    #[test]
+    fn wraparound_merges_same_server_pieces() {
+        // A region spanning more than one full stripe revisits servers;
+        // those pieces are contiguous in server-local space and merge.
+        let l = Layout::new(100, 2);
+        let pieces = l.split_region(Region::new(0, 400));
+        assert_eq!(
+            pieces,
+            vec![(0, Region::new(0, 200)), (1, Region::new(0, 200))]
+        );
+    }
+
+    #[test]
+    fn split_preserves_total_bytes() {
+        let l = Layout::new(64 * 1024, 16);
+        for (off, len) in [(0u64, 1u64), (123, 456_789), (43_000_000, 43_000_000)] {
+            let pieces = l.split_region(Region::new(off, len));
+            let total: u64 = pieces.iter().map(|(_, r)| r.len).sum();
+            assert_eq!(total, len);
+        }
+    }
+
+    #[test]
+    fn single_server_layout_is_identity() {
+        let l = Layout::new(100, 1);
+        let pieces = l.split_region(Region::new(37, 1000));
+        assert_eq!(pieces, vec![(0, Region::new(37, 1000))]);
+    }
+
+    #[test]
+    fn map_regions_coalesces_abutting_inputs() {
+        let l = Layout::new(100, 2);
+        let per = l.map_regions(&[Region::new(0, 50), Region::new(50, 50)]);
+        assert_eq!(per[0].0, vec![Region::new(0, 100)]);
+        assert_eq!(per[0].1, 100);
+        assert!(per[1].0.is_empty());
+    }
+
+    #[test]
+    fn map_regions_keeps_disjoint_pieces_separate() {
+        let l = Layout::new(100, 2);
+        let per = l.map_regions(&[Region::new(0, 10), Region::new(20, 10)]);
+        assert_eq!(per[0].0, vec![Region::new(0, 10), Region::new(20, 10)]);
+        assert_eq!(per[0].1, 20);
+    }
+
+    #[test]
+    fn zero_length_region_maps_nowhere() {
+        let l = Layout::new(100, 2);
+        assert!(l.split_region(Region::new(5, 0)).is_empty());
+    }
+}

@@ -1,0 +1,20 @@
+//! # s3a-pvfs — a simulated PVFS2-like parallel file system
+//!
+//! Reproduces the behaviour of the paper's storage substrate: a file is
+//! striped in 64 KiB strips over 16 I/O servers; clients talk to servers
+//! over the shared cluster fabric; servers process requests FIFO with
+//! per-request and per-region overheads; writes land in a write-back
+//! cache that an explicit `sync` flushes to disk. There is **no** locking
+//! or atomicity for overlapping writes — like PVFS2, nothing serializes
+//! I/O that does not actually conflict (the property §3.1 of the paper
+//! calls out). Overlaps are *recorded* so tests can assert there are none.
+//!
+//! Native list I/O is modeled: one request can carry a bounded list of
+//! `(offset, length)` regions, amortizing the per-request cost that makes
+//! region-at-a-time (POSIX-style) noncontiguous I/O slow.
+
+mod fs;
+mod layout;
+
+pub use fs::{FileHandle, FileSystem, FsStats, PvfsConfig};
+pub use layout::{Layout, Region};

@@ -1,0 +1,233 @@
+//! Property-based tests for the file-system model: striping math is a
+//! bijection, request packing conserves bytes and respects caps, and the
+//! extent tracker agrees with a naive reference implementation.
+
+use proptest::prelude::*;
+
+use s3a_des::{Sim, SimTime};
+use s3a_net::{Bandwidth, NetConfig};
+use s3a_pvfs::{FileSystem, Layout, PvfsConfig, Region};
+
+fn layout_strategy() -> impl Strategy<Value = Layout> {
+    (1u64..200_000, 1usize..32).prop_map(|(strip, servers)| Layout::new(strip, servers))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every byte of a file region maps to exactly one (server, local)
+    /// location, and split_region covers the region exactly.
+    #[test]
+    fn split_region_partitions_bytes(
+        layout in layout_strategy(),
+        offset in 0u64..10_000_000,
+        len in 1u64..2_000_000,
+    ) {
+        let pieces = layout.split_region(Region::new(offset, len));
+        let total: u64 = pieces.iter().map(|(_, r)| r.len).sum();
+        prop_assert_eq!(total, len);
+        for (server, r) in &pieces {
+            prop_assert!(*server < layout.servers);
+            prop_assert!(r.len > 0);
+        }
+        // Spot-check the byte-level mapping at region boundaries.
+        for b in [offset, offset + len - 1, offset + len / 2] {
+            let s = layout.server_of(b);
+            let local = layout.local_offset(b);
+            let holds = pieces
+                .iter()
+                .any(|(sv, r)| *sv == s && local >= r.offset && local < r.end());
+            prop_assert!(holds, "byte {b} (server {s}, local {local}) not covered");
+        }
+    }
+
+    /// The server/local mapping is injective: distinct file bytes never
+    /// map to the same (server, local offset).
+    #[test]
+    fn striping_is_injective(
+        layout in layout_strategy(),
+        a in 0u64..5_000_000,
+        b in 0u64..5_000_000,
+    ) {
+        prop_assume!(a != b);
+        let pa = (layout.server_of(a), layout.local_offset(a));
+        let pb = (layout.server_of(b), layout.local_offset(b));
+        prop_assert_ne!(pa, pb, "bytes {} and {} collide", a, b);
+    }
+
+    /// map_regions conserves bytes per server and overall.
+    #[test]
+    fn map_regions_conserves_bytes(
+        layout in layout_strategy(),
+        regions in prop::collection::vec((0u64..3_000_000, 1u64..60_000), 1..40),
+    ) {
+        let regs: Vec<Region> = regions.iter().map(|&(o, l)| Region::new(o, l)).collect();
+        let per_server = layout.map_regions(&regs);
+        let total_in: u64 = regs.iter().map(|r| r.len).sum();
+        let total_out: u64 = per_server.iter().map(|(_, b)| b).sum();
+        prop_assert_eq!(total_in, total_out);
+        for (list, bytes) in &per_server {
+            let sum: u64 = list.iter().map(|r| r.len).sum();
+            prop_assert_eq!(sum, *bytes);
+        }
+    }
+
+    /// The extent tracker (coverage + overlap) agrees with a brute-force
+    /// byte map for arbitrary write patterns.
+    #[test]
+    fn extent_tracking_matches_naive_model(
+        writes in prop::collection::vec((0u64..4_000, 1u64..600), 1..30),
+    ) {
+        let sim = Sim::new();
+        let cfg = PvfsConfig {
+            servers: 3,
+            strip_size: 1000,
+            flow_unit: 1000,
+            list_io_max_regions: 8,
+            client_window: 1,
+            client_request_turnaround: SimTime::ZERO,
+            client_per_region: SimTime::ZERO,
+            request_overhead: SimTime::from_nanos(1),
+            region_overhead: SimTime::ZERO,
+            ingest_bw: Bandwidth::gib_per_sec(100.0),
+            disk_bw: Bandwidth::gib_per_sec(100.0),
+            sync_overhead: SimTime::ZERO,
+            req_header_bytes: 1,
+            region_desc_bytes: 1,
+            read_window: 4,
+        };
+        let net = NetConfig {
+            latency: SimTime::from_nanos(1),
+            bandwidth: Bandwidth::gib_per_sec(100.0),
+            per_message_overhead: SimTime::ZERO,
+        };
+        let (fs, client) = FileSystem::standalone(&sim, cfg, net);
+        let fh = fs.open("f");
+        {
+            let fh = fh.clone();
+            let writes = writes.clone();
+            sim.spawn("writer", async move {
+                for (off, len) in writes {
+                    fh.write_contiguous(client, off, len).await;
+                }
+            });
+        }
+        sim.run().expect("no deadlock");
+
+        // Naive byte map.
+        let mut counts = vec![0u32; 5000];
+        for &(off, len) in &writes {
+            for b in off..off + len {
+                counts[b as usize] += 1;
+            }
+        }
+        let covered = counts.iter().filter(|&&c| c > 0).count() as u64;
+        let overlap: u64 = counts.iter().map(|&c| (c.max(1) - 1) as u64).sum();
+        let extents = counts
+            .windows(2)
+            .filter(|w| w[0] == 0 && w[1] > 0)
+            .count() as usize
+            + usize::from(counts[0] > 0);
+        let size = counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|i| i as u64 + 1)
+            .unwrap_or(0);
+
+        prop_assert_eq!(fh.covered_bytes(), covered);
+        prop_assert_eq!(fh.overlap_bytes(), overlap);
+        prop_assert_eq!(fh.extent_count(), extents);
+        prop_assert_eq!(fh.size(), size);
+    }
+
+    /// Regardless of flow unit / region caps, a write operation moves all
+    /// its bytes and produces requests within the caps.
+    #[test]
+    fn request_packing_respects_caps(
+        flow_unit in 1u64..5_000,
+        max_regions in 1usize..16,
+        regions in prop::collection::vec((0u64..100_000u64, 1u64..3_000), 1..20),
+    ) {
+        let sim = Sim::new();
+        let cfg = PvfsConfig {
+            servers: 4,
+            strip_size: 4096,
+            flow_unit,
+            list_io_max_regions: max_regions,
+            client_window: 4,
+            client_request_turnaround: SimTime::from_nanos(10),
+            client_per_region: SimTime::ZERO,
+            request_overhead: SimTime::from_nanos(10),
+            region_overhead: SimTime::from_nanos(1),
+            ingest_bw: Bandwidth::gib_per_sec(10.0),
+            disk_bw: Bandwidth::gib_per_sec(10.0),
+            sync_overhead: SimTime::ZERO,
+            req_header_bytes: 8,
+            region_desc_bytes: 8,
+            read_window: 4,
+        };
+        let net = NetConfig {
+            latency: SimTime::from_nanos(5),
+            bandwidth: Bandwidth::gib_per_sec(10.0),
+            per_message_overhead: SimTime::ZERO,
+        };
+        // De-overlap the random regions (writers in S3aSim never overlap).
+        let mut regs: Vec<Region> = Vec::new();
+        let mut cursor = 0u64;
+        for (gap, len) in regions {
+            let off = cursor + gap % 1000;
+            regs.push(Region::new(off, len));
+            cursor = off + len;
+        }
+        let expected: u64 = regs.iter().map(|r| r.len).sum();
+
+        let (fs, client) = FileSystem::standalone(&sim, cfg, net);
+        let fh = fs.open("f");
+        {
+            let fh = fh.clone();
+            let regs = regs.clone();
+            sim.spawn("writer", async move {
+                fh.write_regions(client, &regs).await;
+            });
+        }
+        sim.run().expect("no deadlock");
+        let st = fs.stats();
+        prop_assert_eq!(st.bytes_written, expected);
+        prop_assert_eq!(fh.covered_bytes(), expected);
+        prop_assert_eq!(fh.overlap_bytes(), 0);
+        // Each request obeys both caps: regions ≤ max, bytes ≤ flow unit.
+        // (Aggregate check: at least ceil(bytes / flow_unit) requests.)
+        prop_assert!(st.requests >= expected.div_ceil(flow_unit.max(1)).min(st.regions));
+    }
+
+    /// Sync always clears all dirty bytes and flushes exactly what was
+    /// written since the previous sync.
+    #[test]
+    fn sync_flushes_exactly_dirty_bytes(
+        chunks in prop::collection::vec(1u64..50_000, 1..10),
+    ) {
+        let sim = Sim::new();
+        let (fs, client) = FileSystem::standalone(
+            &sim,
+            PvfsConfig::default(),
+            NetConfig::default(),
+        );
+        let fh = fs.open("f");
+        let total: u64 = chunks.iter().sum();
+        {
+            let fh = fh.clone();
+            sim.spawn("writer", async move {
+                let mut off = 0;
+                for len in chunks {
+                    fh.write_contiguous(client, off, len).await;
+                    off += len;
+                }
+                fh.sync(client).await;
+                fh.sync(client).await; // second sync flushes nothing new
+            });
+        }
+        sim.run().expect("no deadlock");
+        prop_assert_eq!(fs.stats().bytes_flushed, total);
+        prop_assert_eq!(fh.dirty_bytes(), 0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Pre-generated search workloads.
+//!
+//! Everything data-dependent — query lengths, per-query result counts,
+//! which fragment each result matches, result sizes and scores — is drawn
+//! up front from one seed, **independently of how the simulation later
+//! schedules tasks**. This mirrors the paper's observation that S3aSim
+//! results "are always identical since they are pseudo-randomly
+//! generated" no matter how many processors run the search.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::histogram::BoxHistogram;
+
+/// Parameters describing a search workload (paper §3.3 defaults).
+#[derive(Debug, Clone)]
+pub struct WorkloadParams {
+    /// Number of input queries (paper: 20).
+    pub queries: usize,
+    /// Number of database fragments (paper: 128).
+    pub fragments: usize,
+    /// Query-length distribution.
+    pub query_hist: BoxHistogram,
+    /// Database-sequence-length distribution.
+    pub db_hist: BoxHistogram,
+    /// Minimum results per query over the whole database (paper: 1000).
+    pub min_results: u64,
+    /// Maximum results per query (paper: 2000).
+    pub max_results: u64,
+    /// Minimum size of one formatted result record (bytes).
+    pub min_result_size: u64,
+    /// Total size of the sequence database on the file system, in bytes
+    /// (used by query-segmentation runs to model reloading a database
+    /// that exceeds worker memory; the default approximates the 2005-era
+    /// NT database).
+    pub database_bytes: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams {
+            queries: 20,
+            fragments: 128,
+            query_hist: BoxHistogram::nt_queries(),
+            db_hist: BoxHistogram::nt_database(),
+            min_results: 1000,
+            max_results: 2000,
+            min_result_size: 128,
+            database_bytes: 2 * 1024 * 1024 * 1024,
+            // Chosen so the default workload emits ~208 MB of results —
+            // the output volume the paper reports per data point.
+            seed: 152,
+        }
+    }
+}
+
+/// One search hit: a formatted-output size and an alignment score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hit {
+    /// Bytes this hit contributes to the output file (query sequence,
+    /// database sequence, and the alignment between them — up to three
+    /// times the longer of the two, per the paper's model).
+    pub size: u64,
+    /// Alignment score; output is sorted by descending score.
+    pub score: u64,
+}
+
+/// The pre-generated work for one query.
+#[derive(Debug, Clone)]
+pub struct QueryWork {
+    /// Length of the query sequence in bytes.
+    pub query_len: u64,
+    /// Hits per fragment, each list sorted by descending score
+    /// (workers return sorted results to keep the master's merge cheap).
+    pub hits: Vec<Vec<Hit>>,
+}
+
+impl QueryWork {
+    /// Total output bytes this query produces.
+    pub fn total_bytes(&self) -> u64 {
+        self.hits.iter().flatten().map(|h| h.size).sum()
+    }
+
+    /// Total hits across all fragments.
+    pub fn total_hits(&self) -> usize {
+        self.hits.iter().map(Vec::len).sum()
+    }
+
+    /// Output bytes produced by searching one fragment.
+    pub fn fragment_bytes(&self, fragment: usize) -> u64 {
+        self.hits[fragment].iter().map(|h| h.size).sum()
+    }
+}
+
+/// A complete, schedule-independent workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Per-query work, in submission order.
+    pub queries: Vec<QueryWork>,
+    /// The parameters it was generated from.
+    pub params: WorkloadParams,
+}
+
+impl Workload {
+    /// Generate the workload for `params`.
+    pub fn generate(params: &WorkloadParams) -> Workload {
+        assert!(params.queries > 0, "need at least one query");
+        assert!(params.fragments > 0, "need at least one fragment");
+        assert!(
+            params.min_results <= params.max_results,
+            "result-count bounds inverted"
+        );
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let queries = (0..params.queries)
+            .map(|_| Self::generate_query(params, &mut rng))
+            .collect();
+        Workload {
+            queries,
+            params: params.clone(),
+        }
+    }
+
+    fn generate_query(params: &WorkloadParams, rng: &mut StdRng) -> QueryWork {
+        let query_len = params.query_hist.sample(rng);
+        let nresults = rng.random_range(params.min_results..=params.max_results);
+        let mut hits: Vec<Vec<Hit>> = vec![Vec::new(); params.fragments];
+        for _ in 0..nresults {
+            let fragment = rng.random_range(0..params.fragments);
+            let db_len = params.db_hist.sample(rng);
+            let cap = 3 * query_len.max(db_len);
+            let size = if cap <= params.min_result_size {
+                params.min_result_size
+            } else {
+                rng.random_range(params.min_result_size..=cap)
+            };
+            let score = rng.random::<u64>();
+            hits[fragment].push(Hit { size, score });
+        }
+        for frag in &mut hits {
+            // (score desc, size desc): the order search tools emit results
+            // in, and the tie-break the offset-assignment protocol relies
+            // on (remaining ties have equal sizes, so layout is unaffected).
+            frag.sort_by(|a, b| b.score.cmp(&a.score).then(b.size.cmp(&a.size)));
+        }
+        QueryWork { query_len, hits }
+    }
+
+    /// Total output bytes across all queries.
+    pub fn total_bytes(&self) -> u64 {
+        self.queries.iter().map(QueryWork::total_bytes).sum()
+    }
+
+    /// Total hits across all queries.
+    pub fn total_hits(&self) -> usize {
+        self.queries.iter().map(QueryWork::total_hits).sum()
+    }
+
+    /// Number of (query, fragment) tasks the master will schedule.
+    pub fn task_count(&self) -> usize {
+        self.queries.len() * self.params.fragments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_workload_matches_paper_scale() {
+        let w = Workload::generate(&WorkloadParams::default());
+        assert_eq!(w.queries.len(), 20);
+        assert_eq!(w.task_count(), 20 * 128);
+        let hits = w.total_hits() as u64;
+        assert!((20_000..=40_000).contains(&hits), "total hits {hits}");
+        // Paper: each run produced roughly 208 MB of output.
+        let mb = w.total_bytes() as f64 / 1e6;
+        assert!(
+            (120.0..320.0).contains(&mb),
+            "total output {mb:.1} MB should be in the paper's ~208 MB ballpark"
+        );
+    }
+
+    #[test]
+    fn per_query_result_counts_bounded() {
+        let w = Workload::generate(&WorkloadParams::default());
+        for q in &w.queries {
+            let n = q.total_hits() as u64;
+            assert!((1000..=2000).contains(&n), "hits per query {n}");
+        }
+    }
+
+    #[test]
+    fn hits_sorted_by_descending_score_per_fragment() {
+        let w = Workload::generate(&WorkloadParams::default());
+        for q in &w.queries {
+            for frag in &q.hits {
+                for pair in frag.windows(2) {
+                    assert!(pair[0].score >= pair[1].score);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn result_sizes_respect_minimum() {
+        let params = WorkloadParams {
+            min_result_size: 500,
+            ..WorkloadParams::default()
+        };
+        let w = Workload::generate(&params);
+        for q in &w.queries {
+            for frag in &q.hits {
+                for h in frag {
+                    assert!(h.size >= 500);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Workload::generate(&WorkloadParams::default());
+        let b = Workload::generate(&WorkloadParams::default());
+        assert_eq!(a.total_bytes(), b.total_bytes());
+        assert_eq!(a.queries[0].hits, b.queries[0].hits);
+        let c = Workload::generate(&WorkloadParams {
+            seed: 999,
+            ..WorkloadParams::default()
+        });
+        assert_ne!(a.total_bytes(), c.total_bytes());
+    }
+
+    #[test]
+    fn fragment_bytes_sum_to_query_bytes() {
+        let w = Workload::generate(&WorkloadParams::default());
+        for q in &w.queries {
+            let sum: u64 = (0..128).map(|f| q.fragment_bytes(f)).sum();
+            assert_eq!(sum, q.total_bytes());
+        }
+    }
+
+    #[test]
+    fn tiny_workload_generates() {
+        let params = WorkloadParams {
+            queries: 1,
+            fragments: 1,
+            min_results: 1,
+            max_results: 1,
+            ..WorkloadParams::default()
+        };
+        let w = Workload::generate(&params);
+        assert_eq!(w.total_hits(), 1);
+    }
+
+    #[test]
+    fn degenerate_histograms_respected() {
+        let params = WorkloadParams {
+            query_hist: BoxHistogram::constant(100),
+            db_hist: BoxHistogram::constant(10),
+            min_result_size: 64,
+            min_results: 10,
+            max_results: 10,
+            queries: 3,
+            fragments: 4,
+            database_bytes: 1 << 20,
+            seed: 5,
+        };
+        let w = Workload::generate(&params);
+        for q in &w.queries {
+            assert_eq!(q.query_len, 100);
+            for frag in &q.hits {
+                for h in frag {
+                    assert!(h.size >= 64 && h.size <= 300);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! # s3a-workload — sequence-search workload generation
+//!
+//! Synthesizes the data-dependent part of a parallel sequence search the
+//! way S3aSim does: box histograms describe query and database sequence
+//! lengths (with NT-database presets matching the paper's §3.3
+//! characterization), and a seeded generator pre-computes every hit's
+//! size and score so results are identical regardless of process count or
+//! scheduling.
+
+mod generate;
+mod histogram;
+
+pub use generate::{Hit, QueryWork, Workload, WorkloadParams};
+pub use histogram::{Box, BoxHistogram};

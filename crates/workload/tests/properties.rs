@@ -1,0 +1,124 @@
+//! Property-based tests for workload generation: structural invariants
+//! hold for arbitrary parameter combinations.
+
+use proptest::prelude::*;
+
+use s3a_workload::{Box, BoxHistogram, Workload, WorkloadParams};
+
+fn histogram_strategy() -> impl Strategy<Value = BoxHistogram> {
+    prop::collection::vec((1u64..100_000, 1u64..50_000, 1u32..100), 1..6).prop_map(|boxes| {
+        BoxHistogram::new(
+            boxes
+                .into_iter()
+                .map(|(lo, width, w)| Box {
+                    lo,
+                    hi: lo + width,
+                    weight: w as f64,
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Samples always fall inside the histogram's support.
+    #[test]
+    fn samples_within_support(h in histogram_strategy(), seed in 0u64..10_000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let v = h.sample(&mut rng);
+            prop_assert!(v >= h.min() && v <= h.max(), "{v} outside [{}, {}]", h.min(), h.max());
+        }
+    }
+
+    /// Workload invariants for arbitrary shapes: hit counts bounded per
+    /// query, sizes respect the minimum and the 3x cap, lists sorted.
+    #[test]
+    fn workload_invariants(
+        queries in 1usize..8,
+        fragments in 1usize..40,
+        min_r in 1u64..50,
+        extra in 0u64..100,
+        min_size in 1u64..4096,
+        seed in 0u64..1_000_000,
+    ) {
+        let params = WorkloadParams {
+            queries,
+            fragments,
+            query_hist: BoxHistogram::uniform(10, 10_000),
+            db_hist: BoxHistogram::uniform(10, 10_000),
+            min_results: min_r,
+            max_results: min_r + extra,
+            min_result_size: min_size,
+            database_bytes: 1 << 30,
+            seed,
+        };
+        let w = Workload::generate(&params);
+        prop_assert_eq!(w.queries.len(), queries);
+        prop_assert_eq!(w.task_count(), queries * fragments);
+        for q in &w.queries {
+            prop_assert_eq!(q.hits.len(), fragments);
+            let n = q.total_hits() as u64;
+            prop_assert!(n >= min_r && n <= min_r + extra, "hits {n}");
+            let cap = 3 * q.query_len.max(params.db_hist.max());
+            for frag in &q.hits {
+                for pair in frag.windows(2) {
+                    // (score desc, size desc)
+                    let ord = pair[1].score.cmp(&pair[0].score)
+                        .then(pair[1].size.cmp(&pair[0].size));
+                    prop_assert_ne!(ord, std::cmp::Ordering::Greater);
+                }
+                for h in frag {
+                    prop_assert!(h.size >= min_size, "size {} < min {min_size}", h.size);
+                    prop_assert!(h.size <= cap.max(min_size), "size {} > cap {cap}", h.size);
+                }
+            }
+        }
+    }
+
+    /// Same seed, same workload; different seed, (almost surely)
+    /// different workload.
+    #[test]
+    fn seed_determines_everything(seed in 0u64..1_000_000) {
+        let params = WorkloadParams {
+            queries: 3,
+            fragments: 8,
+            min_results: 50,
+            max_results: 80,
+            seed,
+            ..WorkloadParams::default()
+        };
+        let a = Workload::generate(&params);
+        let b = Workload::generate(&params);
+        prop_assert_eq!(a.total_bytes(), b.total_bytes());
+        prop_assert_eq!(a.total_hits(), b.total_hits());
+        for (qa, qb) in a.queries.iter().zip(&b.queries) {
+            prop_assert_eq!(&qa.hits, &qb.hits);
+        }
+    }
+
+    /// Aggregates agree with per-piece sums.
+    #[test]
+    fn totals_are_consistent(seed in 0u64..100_000) {
+        let params = WorkloadParams {
+            queries: 4,
+            fragments: 10,
+            min_results: 20,
+            max_results: 60,
+            seed,
+            ..WorkloadParams::default()
+        };
+        let w = Workload::generate(&params);
+        let by_query: u64 = w.queries.iter().map(|q| q.total_bytes()).sum();
+        prop_assert_eq!(by_query, w.total_bytes());
+        for q in &w.queries {
+            let by_frag: u64 = (0..10).map(|f| q.fragment_bytes(f)).sum();
+            prop_assert_eq!(by_frag, q.total_bytes());
+        }
+        let hits: usize = w.queries.iter().map(|q| q.total_hits()).sum();
+        prop_assert_eq!(hits, w.total_hits());
+    }
+}

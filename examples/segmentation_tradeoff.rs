@@ -1,0 +1,57 @@
+//! Query segmentation vs. database segmentation — the choice the paper's
+//! introduction argues has already been decided by database growth.
+//!
+//! Query segmentation replicates the database and splits the queries:
+//! once the database no longer fits a worker's memory, every query
+//! re-streams the overflow from the file system, and parallelism is
+//! capped by the query count. Database segmentation splits the database
+//! instead, so the aggregate memory of the cluster holds it.
+//!
+//! ```sh
+//! cargo run --release --example segmentation_tradeoff
+//! ```
+
+use s3asim::{run, Phase, Segmentation, SimParams, Strategy};
+
+fn main() {
+    let procs = 32;
+    println!(
+        "Segmentation trade-off: {procs} processes, 1 GiB worker memory,\n\
+         paper workload (20 queries), WW-List writes\n"
+    );
+    println!(
+        "{:<22} {:>10} {:>10} {:>12} {:>14}",
+        "configuration", "overall", "compute", "i/o phase", "db reloaded"
+    );
+
+    for (label, seg, db_gib) in [
+        ("db-seg, 1 GiB db", Segmentation::Database, 1u64),
+        ("db-seg, 4 GiB db", Segmentation::Database, 4),
+        ("query-seg, 1 GiB db", Segmentation::Query, 1),
+        ("query-seg, 4 GiB db", Segmentation::Query, 4),
+    ] {
+        let mut params = SimParams {
+            procs,
+            strategy: Strategy::WwList,
+            segmentation: seg,
+            ..SimParams::default()
+        };
+        params.workload.database_bytes = db_gib * 1024 * 1024 * 1024;
+        let r = run(&params);
+        r.verify().expect("exact output");
+        println!(
+            "{:<22} {:>9.1}s {:>9.1}s {:>11.1}s {:>11.1} GB",
+            label,
+            r.overall.as_secs_f64(),
+            r.worker_phase_secs(Phase::Compute),
+            r.worker_phase_secs(Phase::Io),
+            r.fs.bytes_read as f64 / 1e9,
+        );
+    }
+
+    println!(
+        "\nWith the database over memory, query segmentation re-reads the\n\
+         overflow for every query (the \"repeated I/O\" of §1) — database\n\
+         segmentation fits the database in aggregate memory and never reads."
+    );
+}

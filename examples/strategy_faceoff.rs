@@ -1,0 +1,72 @@
+//! Compare every result-writing strategy on the same cluster and
+//! workload — the core experiment of the paper, at one process count.
+//!
+//! ```sh
+//! cargo run --release --example strategy_faceoff [procs] [--sync]
+//! ```
+
+use s3asim::{run, Phase, SimParams, Strategy};
+
+const ALL: [Strategy; 5] = [
+    Strategy::Mw,
+    Strategy::WwPosix,
+    Strategy::WwList,
+    Strategy::WwColl,
+    Strategy::WwCollList,
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let procs: usize = args
+        .iter()
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(32);
+    let sync = args.iter().any(|a| a == "--sync");
+
+    println!(
+        "Strategy face-off: {procs} processes, query sync {}, paper workload\n",
+        if sync { "ON" } else { "off" }
+    );
+    println!(
+        "{:<12} {:>9} {:>8} {:>8} {:>8} {:>8}  relative",
+        "strategy", "overall", "compute", "i/o", "waiting", "sync"
+    );
+
+    let mut results = Vec::new();
+    for strategy in ALL {
+        let params = SimParams {
+            procs,
+            strategy,
+            query_sync: sync,
+            ..SimParams::default()
+        };
+        let r = run(&params);
+        r.verify().expect("exact output");
+        results.push((strategy, r));
+    }
+
+    let best = results
+        .iter()
+        .map(|(_, r)| r.overall.as_secs_f64())
+        .fold(f64::INFINITY, f64::min);
+
+    for (strategy, r) in &results {
+        let t = r.overall.as_secs_f64();
+        let bar = "#".repeat(((t / best) * 12.0).round() as usize);
+        println!(
+            "{:<12} {:>8.2}s {:>7.2}s {:>7.2}s {:>7.2}s {:>7.2}s  {bar}",
+            strategy.label(),
+            t,
+            r.worker_phase_secs(Phase::Compute),
+            r.worker_phase_secs(Phase::Io),
+            r.worker_phase_secs(Phase::DataDistribution),
+            r.worker_phase_secs(Phase::Sync),
+        );
+    }
+
+    let (winner, _) = results
+        .iter()
+        .min_by(|a, b| a.1.overall.cmp(&b.1.overall))
+        .expect("nonempty");
+    println!("\nfastest strategy at {procs} processes: {winner}");
+}

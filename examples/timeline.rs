@@ -1,0 +1,44 @@
+//! Visualize where every process spends its time — the moral equivalent
+//! of the paper's MPE + Jumpshot debugging setup (§3).
+//!
+//! Renders a text Gantt chart of one small run per strategy: the master's
+//! row shows why MW serializes (long I/O stretches while workers wait in
+//! data distribution), and the collective's synchronized write phases
+//! line up across workers.
+//!
+//! ```sh
+//! cargo run --release --example timeline
+//! ```
+
+use s3a_workload::WorkloadParams;
+use s3asim::{run, SimParams, Strategy};
+
+fn main() {
+    let procs = 6;
+    for strategy in [Strategy::Mw, Strategy::WwList, Strategy::WwColl] {
+        let params = SimParams {
+            procs,
+            strategy,
+            trace: true,
+            workload: WorkloadParams {
+                queries: 4,
+                fragments: 12,
+                min_results: 150,
+                max_results: 250,
+                ..WorkloadParams::default()
+            },
+            ..SimParams::default()
+        };
+        let report = run(&params);
+        report.verify().expect("exact output");
+        let trace = report.trace.as_ref().expect("tracing enabled");
+        println!(
+            "=== {strategy} — {:.2}s simulated, {} trace events ===",
+            report.overall.as_secs_f64(),
+            trace.events().len()
+        );
+        print!("{}", trace.gantt(procs, 96));
+        println!();
+    }
+    println!("(export machine-readable timelines with Trace::to_csv)");
+}

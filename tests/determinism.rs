@@ -1,0 +1,88 @@
+//! Reproducibility guarantees: identical inputs give bit-identical
+//! reports, seeds control the workload, and — as the paper notes — the
+//! generated results are independent of how many processors run the
+//! search.
+
+use s3a_workload::WorkloadParams;
+use s3asim::{run, SimParams, Strategy, PHASES};
+
+fn base(procs: usize, strategy: Strategy) -> SimParams {
+    SimParams {
+        procs,
+        strategy,
+        workload: WorkloadParams {
+            queries: 6,
+            fragments: 16,
+            min_results: 80,
+            max_results: 160,
+            ..WorkloadParams::default()
+        },
+        ..SimParams::default()
+    }
+}
+
+#[test]
+fn identical_runs_are_bit_identical() {
+    for strategy in [Strategy::Mw, Strategy::WwList, Strategy::WwColl] {
+        let a = run(&base(8, strategy));
+        let b = run(&base(8, strategy));
+        assert_eq!(a.overall, b.overall, "{strategy} overall");
+        assert_eq!(a.master, b.master, "{strategy} master phases");
+        assert_eq!(a.workers, b.workers, "{strategy} worker phases");
+        assert_eq!(a.fs, b.fs, "{strategy} fs stats");
+        assert_eq!(a.mpi, b.mpi, "{strategy} mpi stats");
+        assert_eq!(a.engine, b.engine, "{strategy} engine stats");
+    }
+}
+
+#[test]
+fn workload_bytes_independent_of_process_count() {
+    // "Although we use different numbers of processors, the results are
+    // always identical since they are pseudo-randomly generated." (§3.3)
+    let sizes: Vec<u64> = [2usize, 5, 9, 16]
+        .into_iter()
+        .map(|procs| run(&base(procs, Strategy::WwList)).covered_bytes)
+        .collect();
+    assert!(
+        sizes.windows(2).all(|w| w[0] == w[1]),
+        "output size varied with process count: {sizes:?}"
+    );
+}
+
+#[test]
+fn workload_bytes_independent_of_strategy_and_sync() {
+    let reference = run(&base(7, Strategy::WwList)).covered_bytes;
+    for strategy in [Strategy::Mw, Strategy::WwPosix, Strategy::WwColl] {
+        for sync in [false, true] {
+            let mut p = base(7, strategy);
+            p.query_sync = sync;
+            assert_eq!(run(&p).covered_bytes, reference);
+        }
+    }
+}
+
+#[test]
+fn different_seeds_give_different_workloads() {
+    let mut a = base(4, Strategy::WwList);
+    a.workload.seed = 1;
+    let mut b = base(4, Strategy::WwList);
+    b.workload.seed = 2;
+    let ra = run(&a);
+    let rb = run(&b);
+    assert_ne!(ra.covered_bytes, rb.covered_bytes);
+    ra.verify().expect("seed 1 exact");
+    rb.verify().expect("seed 2 exact");
+}
+
+#[test]
+fn phase_accounting_is_reproducible_per_phase() {
+    let a = run(&base(6, Strategy::WwPosix));
+    let b = run(&base(6, Strategy::WwPosix));
+    for p in PHASES {
+        assert_eq!(
+            a.worker_mean.get(p),
+            b.worker_mean.get(p),
+            "phase {p} differed between identical runs"
+        );
+    }
+}

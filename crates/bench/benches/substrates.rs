@@ -38,7 +38,8 @@ fn bench_engine(c: &mut Criterion) {
                 let s = sim.clone();
                 sim.spawn(format!("p{i}"), async move {
                     for k in 0..100u64 {
-                        s.sleep(SimTime::from_nanos((i * 37 + k * 101) % 1000)).await;
+                        s.sleep(SimTime::from_nanos((i * 37 + k * 101) % 1000))
+                            .await;
                     }
                 });
             }
@@ -174,7 +175,9 @@ fn bench_pvfs(c: &mut Criterion) {
             |(sim, fs, client)| {
                 let fh = fs.open("out");
                 sim.spawn("w", async move {
-                    fh.write_contiguous(client, 0, 16 * 1024 * 1024).await;
+                    fh.write_contiguous(client, 0, 16 * 1024 * 1024)
+                        .await
+                        .unwrap();
                 });
                 sim.run().expect("no deadlock")
             },
@@ -196,8 +199,8 @@ fn bench_pvfs(c: &mut Criterion) {
             |(sim, fs, client, regions)| {
                 let fh = fs.open("out");
                 sim.spawn("w", async move {
-                    fh.write_regions(client, &regions).await;
-                    fh.sync(client).await;
+                    fh.write_regions(client, &regions).await.unwrap();
+                    fh.sync(client).await.unwrap();
                 });
                 sim.run().expect("no deadlock")
             },
@@ -214,9 +217,12 @@ fn bench_pvfs(c: &mut Criterion) {
             for cl in 0..16usize {
                 let fh = fs.open("out");
                 sim.spawn(format!("c{cl}"), async move {
-                    let regions: Vec<Region> =
-                        (0..64).map(|i| Region::new((i * 16 + cl as u64) * 5000, 5000)).collect();
-                    fh.write_regions(s3a_net::EndpointId(cl), &regions).await;
+                    let regions: Vec<Region> = (0..64)
+                        .map(|i| Region::new((i * 16 + cl as u64) * 5000, 5000))
+                        .collect();
+                    fh.write_regions(s3a_net::EndpointId(cl), &regions)
+                        .await
+                        .unwrap();
                 });
             }
             sim.run().expect("no deadlock")

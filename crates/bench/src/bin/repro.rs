@@ -9,6 +9,7 @@
 //! repro fig7      phase breakdowns vs. speed: WW-List and WW-Coll
 //! repro claims    score the paper's headline ratios against this build
 //! repro colllist  the conclusion's proposed list-I/O collective vs. WW-Coll
+//! repro faults    recovery tax per strategy under injected faults
 //! repro all       everything above (figures share sweep runs)
 //! ```
 //!
@@ -116,7 +117,11 @@ fn claims(c: &mut Cache) {
     );
     let mut csv = String::from("procs,speed,sync,slower,paper_factor,measured_factor\n");
     for claim in paper::CLAIMS {
-        let sweep = if claim.procs == 96 { c.procs() } else { c.speeds() };
+        let sweep = if claim.procs == 96 {
+            c.procs()
+        } else {
+            c.speeds()
+        };
         let slower = sweep.get(claim.procs, claim.speed, claim.slower, claim.sync);
         let list = sweep.get(claim.procs, claim.speed, Strategy::WwList, claim.sync);
         let (measured, target) = paper::measure(&claim, slower, list);
@@ -169,7 +174,10 @@ fn colllist() {
     println!("==== Conclusion follow-up: list-I/O collective vs. two-phase WW-Coll ====");
     println!("(the paper suggests collective I/O built on list I/O + forced sync");
     println!(" may beat ROMIO's two-phase for this access pattern)\n");
-    println!("{:>8} {:>12} {:>12} {:>9}", "procs", "WW-Coll", "WW-CollList", "speedup");
+    println!(
+        "{:>8} {:>12} {:>12} {:>9}",
+        "procs", "WW-Coll", "WW-CollList", "speedup"
+    );
     let mut csv = String::from("procs,ww_coll_s,ww_colllist_s\n");
     for procs in [16usize, 32, 64, 96] {
         let coll = run(&s3a_bench::params_for(Point {
@@ -248,6 +256,192 @@ fn segmentation() {
     write_results("segmentation.csv", &csv);
 }
 
+/// Robustness study: the recovery tax each write strategy pays under a
+/// deterministic fault schedule. Every faulty run is still verified to
+/// produce the complete, dense, score-ordered output file — faults may
+/// only cost time, never bytes.
+fn faults() {
+    use s3a_des::SimTime;
+    use s3asim::{run_with_restart, FaultParams, ServerOutage, ServerSlowdown, SimParams};
+
+    let base = |strategy: Strategy| SimParams {
+        procs: 16,
+        strategy,
+        write_every_n_queries: 2,
+        ..SimParams::default()
+    };
+    let mut csv = String::from(
+        "strategy,fault,clean_s,faulty_s,tax_s,detect_ms,reassigned,repaired,repaired_kb,io_retries\n",
+    );
+
+    println!("==== Robustness: recovery tax per write strategy ====");
+    println!("(worker 3 fail-stops at t=2s, mid-batch; master heartbeat");
+    println!(" detection, task reassignment, and batch repair take over)\n");
+    println!(
+        "{:>10} {:>9} {:>9} {:>7} {:>10} {:>6} {:>9} {:>11}",
+        "strategy", "clean", "crashed", "tax", "detect", "reasgn", "repaired", "repaired-KB"
+    );
+    for strategy in [Strategy::Mw, Strategy::WwPosix, Strategy::WwList] {
+        let clean = run(&base(strategy));
+        clean.verify().expect("clean run exact");
+        let mut p = base(strategy);
+        p.faults = FaultParams {
+            worker_crashes: vec![(3, SimTime::from_secs(2))],
+            ..FaultParams::default()
+        };
+        let faulty = run(&p);
+        faulty
+            .verify()
+            .unwrap_or_else(|e| panic!("{strategy} crash run: {e}"));
+        let f = faulty.faults.expect("fault report");
+        assert_eq!(f.detections, 1, "{strategy}: detector missed the crash");
+        let (a, b) = (clean.overall.as_secs_f64(), faulty.overall.as_secs_f64());
+        println!(
+            "{:>10} {:>8.2}s {:>8.2}s {:>6.2}s {:>8.0}ms {:>6} {:>9} {:>10.0}K",
+            strategy.label(),
+            a,
+            b,
+            b - a,
+            f.detection_latency.as_secs_f64() * 1e3,
+            f.tasks_reassigned,
+            f.batches_repaired,
+            f.bytes_repaired as f64 / 1024.0
+        );
+        csv.push_str(&format!(
+            "{},crash,{a:.3},{b:.3},{:.3},{:.1},{},{},{:.1},{}\n",
+            strategy.label(),
+            b - a,
+            f.detection_latency.as_secs_f64() * 1e3,
+            f.tasks_reassigned,
+            f.batches_repaired,
+            f.bytes_repaired as f64 / 1024.0,
+            f.io_retries
+        ));
+        // Determinism spot-check: the same schedule must replay exactly.
+        let again = run(&p);
+        assert_eq!(
+            faulty.csv_row(),
+            again.csv_row(),
+            "{strategy}: not replayable"
+        );
+        assert_eq!(faulty.faults, again.faults, "{strategy}: not replayable");
+    }
+    println!("  (each faulty run re-ran byte-identical: schedules are deterministic)\n");
+
+    println!("---- lossy fabric: 3% loss, 2% duplication, 4% extra delay (WW-List) ----");
+    {
+        let clean = run(&base(Strategy::WwList));
+        let mut p = base(Strategy::WwList);
+        p.faults = FaultParams {
+            seed: 7,
+            msg_loss_per_mille: 30,
+            msg_dup_per_mille: 20,
+            msg_delay_per_mille: 40,
+            ..FaultParams::default()
+        };
+        let r = run(&p);
+        r.verify().expect("lossy fabric must not corrupt output");
+        let f = r.faults.expect("fault report");
+        let (a, b) = (clean.overall.as_secs_f64(), r.overall.as_secs_f64());
+        println!(
+            "  clean {a:.2}s, lossy {b:.2}s (Δ {:+.2}s); lost/dup/delayed = {}/{}/{}\n",
+            b - a,
+            f.msg_lost,
+            f.msg_duplicated,
+            f.msg_delayed
+        );
+        csv.push_str(&format!(
+            "{},lossy-fabric,{a:.3},{b:.3},{:.3},,,,,\n",
+            Strategy::WwList.label(),
+            b - a
+        ));
+    }
+
+    println!("---- degraded PVFS: server 0 at 1/4 speed, server 1 down 2-40s (WW-POSIX) ----");
+    {
+        let clean = run(&base(Strategy::WwPosix));
+        let mut p = base(Strategy::WwPosix);
+        p.faults = FaultParams {
+            server_slowdowns: vec![ServerSlowdown {
+                server: 0,
+                from: SimTime::ZERO,
+                until: SimTime::from_secs(10_000),
+                factor: 4.0,
+            }],
+            server_outages: vec![ServerOutage {
+                server: 1,
+                from: SimTime::from_secs(2),
+                until: SimTime::from_secs(40),
+            }],
+            // A retry budget that outlasts the outage: clients back off
+            // half a second at a time instead of failing the run.
+            max_io_retries: 100,
+            io_retry_backoff: SimTime::from_millis(500),
+            ..FaultParams::default()
+        };
+        let r = run(&p);
+        r.verify()
+            .expect("degraded servers must not corrupt output");
+        let f = r.faults.expect("fault report");
+        let (a, b) = (clean.overall.as_secs_f64(), r.overall.as_secs_f64());
+        println!(
+            "  clean {a:.2}s, degraded {b:.2}s (tax {:.2}s); outage retries paid: {}\n",
+            b - a,
+            f.io_retries
+        );
+        csv.push_str(&format!(
+            "{},degraded-pvfs,{a:.3},{b:.3},{:.3},,,,,{}\n",
+            Strategy::WwPosix.label(),
+            b - a,
+            f.io_retries
+        ));
+    }
+
+    println!("---- checkpoint-restart: kill once the first extent is durable ----");
+    println!("(the commit log is the checkpoint; a restarted run re-plans only the");
+    println!(" non-contiguous remainder and the merged file still verifies exact)\n");
+    println!(
+        "{:>10} {:>9} {:>11} {:>9} {:>13}",
+        "strategy", "full", "durable-at", "resumed", "batches-kept"
+    );
+    for strategy in [
+        Strategy::Mw,
+        Strategy::WwPosix,
+        Strategy::WwList,
+        Strategy::WwColl,
+    ] {
+        let p = base(strategy);
+        let full = run(&p);
+        let kill = full
+            .commits
+            .entries()
+            .iter()
+            .find(|e| e.base == 0)
+            .expect("some batch starts the file")
+            .committed_at;
+        let outcome = run_with_restart(&p, kill);
+        outcome
+            .verify()
+            .unwrap_or_else(|e| panic!("{strategy} restart: {e}"));
+        println!(
+            "{:>10} {:>8.2}s {:>9.1}KB {:>8.2}s {:>13}",
+            strategy.label(),
+            full.overall.as_secs_f64(),
+            outcome.resume.base_offset as f64 / 1024.0,
+            outcome.second.overall.as_secs_f64(),
+            outcome.resume.done_batches.len()
+        );
+        csv.push_str(&format!(
+            "{},restart,{:.3},{:.3},,,,{},,\n",
+            strategy.label(),
+            full.overall.as_secs_f64(),
+            outcome.second.overall.as_secs_f64(),
+            outcome.resume.done_batches.len()
+        ));
+    }
+    write_results("faults.csv", &csv);
+}
+
 /// Design-choice sensitivity studies (DESIGN.md §6): each varies one knob
 /// the paper holds fixed and reports the simulated overall time.
 fn ablations() {
@@ -292,7 +486,12 @@ fn ablations() {
         for (knob, strategy, params) in runs {
             let r = run(&params);
             r.verify().unwrap_or_else(|e| panic!("{name}/{knob}: {e}"));
-            println!("  {:<24} {:<11} {:>9.2}s", knob, strategy.label(), r.overall.as_secs_f64());
+            println!(
+                "  {:<24} {:<11} {:>9.2}s",
+                knob,
+                strategy.label(),
+                r.overall.as_secs_f64()
+            );
             csv.push_str(&format!(
                 "{name},{knob},{},{:.3}\n",
                 strategy.label(),
@@ -336,11 +535,13 @@ fn ablations() {
         [4usize, 16, 64]
             .into_iter()
             .flat_map(|n| {
-                [Strategy::WwList, Strategy::WwPosix].into_iter().map(move |s| {
-                    let mut p = base(s);
-                    p.testbed.pvfs.servers = n;
-                    (format!("{n} servers"), s, p)
-                })
+                [Strategy::WwList, Strategy::WwPosix]
+                    .into_iter()
+                    .map(move |s| {
+                        let mut p = base(s);
+                        p.testbed.pvfs.servers = n;
+                        (format!("{n} servers"), s, p)
+                    })
             })
             .collect(),
     );
@@ -424,6 +625,7 @@ fn main() {
         "claims" => claims(&mut cache),
         "colllist" => colllist(),
         "ablate" => ablations(),
+        "faults" => faults(),
         "segmentation" => segmentation(),
         "all" => {
             fig2(&mut cache);
@@ -436,10 +638,11 @@ fn main() {
             colllist();
             segmentation();
             ablations();
+            faults();
         }
         other => {
             eprintln!("unknown target '{other}'");
-            eprintln!("usage: repro [fig2|fig3|fig4|fig5|fig6|fig7|claims|colllist|segmentation|ablate|all]");
+            eprintln!("usage: repro [fig2|fig3|fig4|fig5|fig6|fig7|claims|colllist|segmentation|ablate|faults|all]");
             std::process::exit(2);
         }
     }

@@ -125,7 +125,9 @@ impl Sweep {
                 p.procs == procs && p.speed == speed && p.strategy == strategy && p.sync == sync
             })
             .map(|(_, r)| r)
-            .unwrap_or_else(|| panic!("no run for {strategy} procs={procs} speed={speed} sync={sync}"))
+            .unwrap_or_else(|| {
+                panic!("no run for {strategy} procs={procs} speed={speed} sync={sync}")
+            })
     }
 
     /// Render the Figure 2/5-style overall-time table: one row per x-axis
@@ -147,11 +149,7 @@ impl Sweep {
             }
         }
         let _ = writeln!(s);
-        let mut xs: Vec<(usize, f64)> = self
-            .runs
-            .iter()
-            .map(|(p, _)| (p.procs, p.speed))
-            .collect();
+        let mut xs: Vec<(usize, f64)> = self.runs.iter().map(|(p, _)| (p.procs, p.speed)).collect();
         xs.dedup();
         xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         xs.dedup();
@@ -241,19 +239,91 @@ pub mod paper {
     /// Section 4's headline ratios.
     pub const CLAIMS: [Claim; 12] = [
         // 96 processes, base speed (Figure 2 discussion).
-        Claim { procs: 96, speed: 1.0, sync: false, slower: Strategy::Mw, factor: 4.64 },
-        Claim { procs: 96, speed: 1.0, sync: false, slower: Strategy::WwPosix, factor: 1.33 },
-        Claim { procs: 96, speed: 1.0, sync: false, slower: Strategy::WwColl, factor: 1.75 },
-        Claim { procs: 96, speed: 1.0, sync: true, slower: Strategy::Mw, factor: 2.82 },
-        Claim { procs: 96, speed: 1.0, sync: true, slower: Strategy::WwPosix, factor: 1.37 },
-        Claim { procs: 96, speed: 1.0, sync: true, slower: Strategy::WwColl, factor: 1.13 },
+        Claim {
+            procs: 96,
+            speed: 1.0,
+            sync: false,
+            slower: Strategy::Mw,
+            factor: 4.64,
+        },
+        Claim {
+            procs: 96,
+            speed: 1.0,
+            sync: false,
+            slower: Strategy::WwPosix,
+            factor: 1.33,
+        },
+        Claim {
+            procs: 96,
+            speed: 1.0,
+            sync: false,
+            slower: Strategy::WwColl,
+            factor: 1.75,
+        },
+        Claim {
+            procs: 96,
+            speed: 1.0,
+            sync: true,
+            slower: Strategy::Mw,
+            factor: 2.82,
+        },
+        Claim {
+            procs: 96,
+            speed: 1.0,
+            sync: true,
+            slower: Strategy::WwPosix,
+            factor: 1.37,
+        },
+        Claim {
+            procs: 96,
+            speed: 1.0,
+            sync: true,
+            slower: Strategy::WwColl,
+            factor: 1.13,
+        },
         // 64 processes, compute speed 25.6 (Figure 5 discussion).
-        Claim { procs: 64, speed: 25.6, sync: false, slower: Strategy::Mw, factor: 6.92 },
-        Claim { procs: 64, speed: 25.6, sync: false, slower: Strategy::WwPosix, factor: 1.32 },
-        Claim { procs: 64, speed: 25.6, sync: false, slower: Strategy::WwColl, factor: 1.98 },
-        Claim { procs: 64, speed: 25.6, sync: true, slower: Strategy::Mw, factor: 5.44 },
-        Claim { procs: 64, speed: 25.6, sync: true, slower: Strategy::WwPosix, factor: 1.65 },
-        Claim { procs: 64, speed: 25.6, sync: true, slower: Strategy::WwColl, factor: 1.58 },
+        Claim {
+            procs: 64,
+            speed: 25.6,
+            sync: false,
+            slower: Strategy::Mw,
+            factor: 6.92,
+        },
+        Claim {
+            procs: 64,
+            speed: 25.6,
+            sync: false,
+            slower: Strategy::WwPosix,
+            factor: 1.32,
+        },
+        Claim {
+            procs: 64,
+            speed: 25.6,
+            sync: false,
+            slower: Strategy::WwColl,
+            factor: 1.98,
+        },
+        Claim {
+            procs: 64,
+            speed: 25.6,
+            sync: true,
+            slower: Strategy::Mw,
+            factor: 5.44,
+        },
+        Claim {
+            procs: 64,
+            speed: 25.6,
+            sync: true,
+            slower: Strategy::WwPosix,
+            factor: 1.65,
+        },
+        Claim {
+            procs: 64,
+            speed: 25.6,
+            sync: true,
+            slower: Strategy::WwColl,
+            factor: 1.58,
+        },
     ];
 
     /// Paper absolute anchors (seconds) for the sync cases at 96 procs.

@@ -49,12 +49,21 @@ mod runner;
 pub mod trace;
 mod worker;
 
-pub use offsets::BatchState;
+pub use offsets::{BatchState, WorkerPlan};
 pub use params::{Segmentation, SimParams, Strategy, Testbed};
 pub use phase::{Phase, PhaseBreakdown, PhaseTimer, PHASES};
 pub use protocol::{hit_order, merge_sorted_hits, Assign, OffsetsMsg, ScoresMsg};
 pub use report::RunReport;
-pub use resume::{expected_lost_time, CommitEntry, CommitLog, CommitTracker, CrashReport};
-pub use runner::{run, DATABASE_FILE, OUTPUT_FILE};
+pub use resume::{
+    expected_lost_time, restart_point, CommitEntry, CommitLog, CommitTracker, CrashReport,
+    ResumePoint,
+};
+pub use runner::{run, run_with_restart, FaultCtx, RestartOutcome, DATABASE_FILE, OUTPUT_FILE};
 pub use trace::{Trace, TraceEvent, TraceSink};
 pub use worker::WorkerStats;
+
+// Re-export the fault-injection vocabulary so downstream code (bench,
+// tests) can configure schedules without naming the crate separately.
+pub use s3a_faults::{
+    FaultEvent, FaultKind, FaultParams, FaultReport, ServerOutage, ServerSlowdown,
+};

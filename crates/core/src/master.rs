@@ -6,26 +6,100 @@
 //! write (`WW-*`). It is deliberately single-threaded and blocking in the
 //! same places the paper's pseudo-code blocks: most importantly, while
 //! the MW master writes, it cannot answer work requests.
+//!
+//! With crash injection armed the master switches to a polling event loop
+//! that additionally watches worker heartbeats: a worker silent for
+//! longer than the detection timeout is declared dead, its in-flight and
+//! revoked tasks are requeued for survivors, and any writes it still owed
+//! for already-laid-out batches are handed to a survivor as repair
+//! bundles — so the run completes with the exact same output extents a
+//! fault-free run would produce.
 
+use std::collections::{HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
 use std::rc::Rc;
+use std::task::{Context, Poll};
 
-use s3a_des::{JoinHandle, Sim};
-use s3a_mpi::{waitall_sends, Comm, RecvRequest, SendRequest, Source};
+use s3a_des::{JoinHandle, Sim, SimTime, Sleep};
+use s3a_faults::FaultKind;
+use s3a_mpi::{waitall_sends, Comm, Message, RecvRequest, SendRequest, Source};
 use s3a_mpiio::File;
+use s3a_pvfs::Region;
 use s3a_workload::Workload;
 
-use crate::offsets::BatchState;
-use crate::resume::CommitTracker;
+use crate::offsets::{BatchState, WorkerPlan};
 use crate::params::{SimParams, Strategy};
 use crate::phase::{Phase, PhaseBreakdown, PhaseTimer};
-use crate::trace::TraceSink;
 use crate::protocol::{
-    Assign, OffsetsMsg, ScoresMsg, ASSIGN_BYTES, TAG_ASSIGN, TAG_OFFSETS, TAG_SCORES,
-    TAG_WORK_REQ,
+    Assign, OffsetsMsg, ScoresMsg, ASSIGN_BYTES, TAG_ASSIGN, TAG_HEARTBEAT, TAG_OFFSETS,
+    TAG_SCORES, TAG_WORK_REQ,
 };
+use crate::resume::CommitTracker;
+use crate::runner::FaultCtx;
+use crate::trace::TraceSink;
+
+/// Scheduling state shared by the fault-free and fault-tolerant paths,
+/// prepared once (resume-aware) after setup.
+struct MasterState {
+    nworkers: usize,
+    nq: usize,
+    gran: usize,
+    nbatches: usize,
+    /// Undistributed tasks; the faulty path also pushes requeued ones.
+    tasks: VecDeque<(usize, usize)>,
+    /// `None` = already written (completed this run, or durable from the
+    /// checkpoint a resumed run starts from).
+    batches: Vec<Option<BatchState>>,
+    batches_left: usize,
+    /// Next free byte of the output file.
+    cursor: u64,
+}
+
+impl MasterState {
+    fn prepare(params: &SimParams, workload: &Workload, nworkers: usize) -> MasterState {
+        let nq = workload.queries.len();
+        let nf = workload.params.fragments;
+        let gran = params.write_every_n_queries.min(nq);
+        let nbatches = nq.div_ceil(gran);
+        let resume = params.resume_from.clone().unwrap_or_default();
+
+        let batches: Vec<Option<BatchState>> = (0..nbatches)
+            .map(|b| {
+                if resume.done_batches.contains(&b) {
+                    None
+                } else {
+                    let queries: Vec<usize> = (b * gran..((b + 1) * gran).min(nq)).collect();
+                    Some(BatchState::new(b, queries, nf))
+                }
+            })
+            .collect();
+        let batches_left = batches.iter().filter(|b| b.is_some()).count();
+        let tasks: VecDeque<(usize, usize)> = (0..nq)
+            .filter(|q| !resume.done_batches.contains(&(q / gran)))
+            .flat_map(|q| (0..nf).map(move |f| (q, f)))
+            .collect();
+
+        MasterState {
+            nworkers,
+            nq,
+            gran,
+            nbatches,
+            tasks,
+            batches,
+            batches_left,
+            cursor: resume.base_offset,
+        }
+    }
+
+    fn batch_queries(&self, b: usize) -> usize {
+        ((b + 1) * self.gran).min(self.nq) - b * self.gran
+    }
+}
 
 /// Run the master on `comm` (the world communicator, rank 0). `file` must
 /// be opened on a master-only communicator; it is used only by MW.
+#[allow(clippy::too_many_arguments)]
 pub async fn run_master(
     sim: Sim,
     comm: Comm,
@@ -34,6 +108,7 @@ pub async fn run_master(
     file: File,
     trace: TraceSink,
     commits: CommitTracker,
+    faults: Option<FaultCtx>,
 ) -> PhaseBreakdown {
     let timer = PhaseTimer::with_trace(&sim, 0, trace);
 
@@ -42,27 +117,35 @@ pub async fn run_master(
         .track(Phase::Setup, comm.bcast(0, Some(()), 1024))
         .await;
 
-    let nworkers = comm.size() - 1;
-    let nq = workload.queries.len();
-    let nf = workload.params.fragments;
-    let gran = params.write_every_n_queries.min(nq);
-    let nbatches = nq.div_ceil(gran);
+    let st = MasterState::prepare(&params, &workload, comm.size() - 1);
+    let crash_mode = faults
+        .as_ref()
+        .is_some_and(|f| f.schedule.params().crashes());
+    if crash_mode {
+        let ctx = faults.as_ref().expect("checked above");
+        run_master_faulty(&sim, &comm, &params, st, &file, &timer, &commits, ctx).await;
+    } else {
+        run_master_normal(&sim, &comm, &params, st, &file, &timer, &commits).await;
+        // Step 20/21: final synchronization before exit (fault-free runs
+        // only — a dead worker can never arrive at a barrier).
+        timer.track(Phase::Sync, comm.barrier()).await;
+    }
 
-    let tasks: Vec<(usize, usize)> = (0..nq)
-        .flat_map(|q| (0..nf).map(move |f| (q, f)))
-        .collect();
-    let mut next_task = 0usize;
+    let mut bd = timer.snapshot();
+    bd.close_to(sim.now());
+    bd
+}
+
+async fn run_master_normal(
+    sim: &Sim,
+    comm: &Comm,
+    params: &SimParams,
+    mut st: MasterState,
+    file: &File,
+    timer: &PhaseTimer,
+    commits: &CommitTracker,
+) {
     let mut done_workers = 0usize;
-
-    let mut batches: Vec<Option<BatchState>> = (0..nbatches)
-        .map(|b| {
-            let queries: Vec<usize> = (b * gran..((b + 1) * gran).min(nq)).collect();
-            Some(BatchState::new(b, queries, nf))
-        })
-        .collect();
-    let mut batches_left = nbatches;
-    let mut cursor = 0u64;
-
     let mut pending_scores: Vec<RecvRequest> = Vec::new();
     let mut offset_sends: Vec<SendRequest> = Vec::new();
     // MW with nonblocking I/O: at most one batch write in flight.
@@ -79,38 +162,28 @@ pub async fn run_master(
                 Some(msg) => {
                     let req = pending_scores.swap_remove(k);
                     drop(req);
-                    record_scores(&mut batches, msg, gran);
+                    record_scores(&mut st.batches, msg, st.gran);
                 }
                 None => k += 1,
             }
         }
 
-        #[allow(clippy::needless_range_loop)] // b is the batch id, not just an index
-        for b in 0..nbatches {
-            let complete = batches[b].as_ref().is_some_and(BatchState::is_complete);
+        for b in 0..st.nbatches {
+            let complete = st.batches[b].as_ref().is_some_and(BatchState::is_complete);
             if !complete {
                 continue;
             }
-            let batch = batches[b].take().expect("checked above");
-            batches_left -= 1;
-            let (per_worker, total) = batch.assign_offsets(cursor);
-            let base = cursor;
-            cursor += total;
-            let batch_queries = ((b + 1) * gran).min(nq) - b * gran;
-            if params.strategy == Strategy::Mw {
-                commits.expect(b, usize::from(total > 0), batch_queries, total, sim.now());
-            } else {
-                commits.expect(
-                    b,
-                    batch.contributing_workers().len(),
-                    batch_queries,
-                    total,
-                    sim.now(),
-                );
-            }
+            let batch = st.batches[b].take().expect("checked above");
+            st.batches_left -= 1;
+            let (plans, total) = batch.assign_offsets(st.cursor);
+            let base = st.cursor;
+            st.cursor += total;
+            let batch_queries = st.batch_queries(b);
 
             match params.strategy {
                 Strategy::Mw => {
+                    let writers = if total > 0 { vec![0] } else { Vec::new() };
+                    commits.expect(b, writers, batch_queries, total, base, sim.now());
                     // Step 18: the master writes the batch contiguously and
                     // syncs. With blocking I/O (the default, as in the
                     // paper) it cannot serve requests meanwhile; with the
@@ -127,18 +200,28 @@ pub async fn run_master(
                             let commits2 = commits.clone();
                             let sim3 = sim.clone();
                             pending_io = Some(sim.spawn("mw-bg-io", async move {
-                                fh.write_contiguous(ep, base, total).await;
-                                fh.sync(ep).await;
-                                commits2.complete_one(b, sim3.now());
+                                fh.write_contiguous(ep, base, total)
+                                    .await
+                                    .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
+                                fh.sync(ep)
+                                    .await
+                                    .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
+                                commits2.complete_by(b, 0, sim3.now());
                             }));
                         } else {
-                            timer.track(Phase::Io, file.write_at(base, total)).await;
-                            timer.track(Phase::Io, file.sync()).await;
-                            commits.complete_one(b, sim.now());
+                            timer
+                                .track(Phase::Io, file.write_at(base, total))
+                                .await
+                                .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
+                            timer
+                                .track(Phase::Io, file.sync())
+                                .await
+                                .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
+                            commits.complete_by(b, 0, sim.now());
                         }
                     }
                     if params.query_sync {
-                        for w in 1..=nworkers {
+                        for w in 1..=st.nworkers {
                             let msg = OffsetsMsg {
                                 batch: b,
                                 offsets: Vec::new(),
@@ -149,14 +232,22 @@ pub async fn run_master(
                     }
                 }
                 _ => {
+                    commits.expect(
+                        b,
+                        batch.contributing_workers(),
+                        batch_queries,
+                        total,
+                        base,
+                        sim.now(),
+                    );
                     // Step 15: hand out the location lists.
                     let targets: Vec<usize> = if notify_all {
-                        (1..=nworkers).collect()
+                        (1..=st.nworkers).collect()
                     } else {
                         batch.contributing_workers()
                     };
                     for w in targets {
-                        let offsets = per_worker.get(&w).cloned().unwrap_or_default();
+                        let offsets = plans.get(&w).map(|p| p.offsets.clone()).unwrap_or_default();
                         let msg = OffsetsMsg { batch: b, offsets };
                         let bytes = msg.wire_bytes();
                         offset_sends.push(comm.isend(w, TAG_OFFSETS, msg, bytes));
@@ -166,7 +257,7 @@ pub async fn run_master(
         }
 
         // Steps 3–9: answer one work request, or wind down.
-        if next_task < tasks.len() || done_workers < nworkers {
+        if !st.tasks.is_empty() || done_workers < st.nworkers {
             let req = timer
                 .track(
                     Phase::DataDistribution,
@@ -174,9 +265,7 @@ pub async fn run_master(
                 )
                 .await;
             let w = req.status.source;
-            if next_task < tasks.len() {
-                let (q, f) = tasks[next_task];
-                next_task += 1;
+            if let Some((q, f)) = st.tasks.pop_front() {
                 // Step 8: post the receive for this task's scores first so
                 // the progress engine can match it whenever it arrives.
                 pending_scores.push(comm.irecv(w, TAG_SCORES));
@@ -206,11 +295,14 @@ pub async fn run_master(
         } else if let Some(req) = pending_scores.pop() {
             // Everything is scheduled; block for the stragglers' results.
             let msg = timer.track(Phase::GatherResults, req.wait()).await;
-            record_scores(&mut batches, msg, gran);
-        } else if batches_left == 0 {
+            record_scores(&mut st.batches, msg, st.gran);
+        } else if st.batches_left == 0 {
             break;
         } else {
-            unreachable!("no pending results but {batches_left} batches incomplete");
+            unreachable!(
+                "no pending results but {} batches incomplete",
+                st.batches_left
+            );
         }
     }
 
@@ -220,19 +312,364 @@ pub async fn run_master(
     timer
         .track(Phase::GatherResults, waitall_sends(&offset_sends))
         .await;
-    // Step 20/21: final synchronization before exit.
-    timer.track(Phase::Sync, comm.barrier()).await;
-
-    let mut bd = timer.snapshot();
-    bd.close_to(sim.now());
-    bd
 }
 
-fn record_scores(batches: &mut [Option<BatchState>], msg: s3a_mpi::Message, gran: usize) {
+/// A dead worker's write obligation for one batch, handed to a survivor.
+#[derive(Clone)]
+struct RepairBundle {
+    batch: usize,
+    for_worker: usize,
+    tasks: usize,
+    bytes: u64,
+    regions: Vec<Region>,
+}
+
+/// Suspends the master until its mailbox sees activity or a tick elapses.
+/// All master-bound traffic (work requests, heartbeats, scores) lands in
+/// one mailbox, so a single watch registration covers every wake source.
+struct NextEvent<'a> {
+    wr: &'a RecvRequest,
+    hb: &'a RecvRequest,
+    scores: &'a [(usize, RecvRequest)],
+    sleep: Sleep,
+}
+
+impl Future for NextEvent<'_> {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        if this.wr.ready() || this.hb.ready() || this.scores.iter().any(|(_, r)| r.ready()) {
+            return Poll::Ready(());
+        }
+        this.wr.watch();
+        Pin::new(&mut this.sleep).poll(cx)
+    }
+}
+
+/// The crash-tolerant master loop. Event-driven polling instead of a
+/// blocking receive: the master must keep observing heartbeats (and the
+/// detection clock) even while no work request is in flight.
+#[allow(clippy::too_many_arguments)]
+async fn run_master_faulty(
+    sim: &Sim,
+    comm: &Comm,
+    params: &SimParams,
+    mut st: MasterState,
+    file: &File,
+    timer: &PhaseTimer,
+    commits: &CommitTracker,
+    ctx: &FaultCtx,
+) {
+    let fp = ctx.schedule.params().clone();
+    let nworkers = st.nworkers;
+    let tick = fp.heartbeat_interval;
+
+    // Index 0 (the master itself) is unused in these per-rank tables.
+    let mut alive = vec![true; nworkers + 1];
+    let mut done = vec![false; nworkers + 1];
+    let mut last_seen = vec![sim.now(); nworkers + 1];
+    let mut in_flight: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
+    let mut in_flight_repairs: HashMap<usize, Vec<RepairBundle>> = HashMap::new();
+    let mut repairs: VecDeque<RepairBundle> = VecDeque::new();
+    // Per-batch per-worker write layouts, kept so a casualty's share can
+    // be reconstructed into a repair bundle.
+    let mut saved_plans: HashMap<usize, HashMap<usize, WorkerPlan>> = HashMap::new();
+    let mut pending_scores: Vec<(usize, RecvRequest)> = Vec::new();
+    let mut offset_sends: Vec<SendRequest> = Vec::new();
+
+    let mut wr_rx = comm.irecv(Source::Any, TAG_WORK_REQ);
+    let mut hb_rx = comm.irecv(Source::Any, TAG_HEARTBEAT);
+
+    loop {
+        // Heartbeats refresh liveness.
+        drain_heartbeats(comm, &mut hb_rx, &mut last_seen, sim);
+
+        // Results.
+        let mut k = 0;
+        while k < pending_scores.len() {
+            if let Some(m) = pending_scores[k].1.test() {
+                let (w, req) = pending_scores.swap_remove(k);
+                drop(req);
+                let (scores, _) = m.into_parts::<ScoresMsg>();
+                if let Some(v) = in_flight.get_mut(&w) {
+                    v.retain(|&t| t != (scores.query, scores.fragment));
+                }
+                let b = scores.query / st.gran;
+                st.batches[b]
+                    .as_mut()
+                    .unwrap_or_else(|| panic!("scores for already-written batch {b}"))
+                    .record(scores.query, scores.fragment, w, &scores.hits);
+            } else {
+                k += 1;
+            }
+        }
+
+        // A repair is finished once its batch no longer owes the dead
+        // rank's write (the survivor completes it through the shared
+        // tracker, so no acknowledgement message is needed).
+        for v in in_flight_repairs.values_mut() {
+            v.retain(|r| commits.unfinished_for(r.for_worker).contains(&r.batch));
+        }
+
+        // Completed batches: lay out offsets, remember each worker's
+        // share, write (MW) or notify the contributors (WW).
+        for b in 0..st.nbatches {
+            let complete = st.batches[b].as_ref().is_some_and(BatchState::is_complete);
+            if !complete {
+                continue;
+            }
+            let batch = st.batches[b].take().expect("checked above");
+            st.batches_left -= 1;
+            let (plans, total) = batch.assign_offsets(st.cursor);
+            let base = st.cursor;
+            st.cursor += total;
+            let batch_queries = st.batch_queries(b);
+
+            if params.strategy == Strategy::Mw {
+                let writers = if total > 0 { vec![0] } else { Vec::new() };
+                commits.expect(b, writers, batch_queries, total, base, sim.now());
+                if total > 0 {
+                    timer
+                        .track(Phase::Io, file.write_at(base, total))
+                        .await
+                        .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
+                    timer
+                        .track(Phase::Io, file.sync())
+                        .await
+                        .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
+                    commits.complete_by(b, 0, sim.now());
+                }
+            } else {
+                let writers = batch.contributing_workers();
+                commits.expect(b, writers.clone(), batch_queries, total, base, sim.now());
+                // A writer that died a moment ago (not yet detected) gets
+                // its message absorbed by the failed mailbox; detection
+                // will turn its share into a repair bundle.
+                for w in writers {
+                    let plan = &plans[&w];
+                    let msg = OffsetsMsg {
+                        batch: b,
+                        offsets: plan.offsets.clone(),
+                    };
+                    let bytes = msg.wire_bytes();
+                    offset_sends.push(comm.isend(w, TAG_OFFSETS, msg, bytes));
+                }
+                saved_plans.insert(b, plans);
+            }
+        }
+
+        // Failure detection: silence beyond the timeout is death. Drain
+        // heartbeats again first — the MW write above can block the
+        // master for longer than the timeout, and heartbeats that arrived
+        // during its own blindness must not read as worker silence.
+        drain_heartbeats(comm, &mut hb_rx, &mut last_seen, sim);
+        for w in 1..=nworkers {
+            if alive[w] && !done[w] && sim.now().saturating_sub(last_seen[w]) > fp.detection_timeout
+            {
+                on_death(
+                    w,
+                    sim,
+                    params,
+                    ctx,
+                    &mut alive,
+                    &mut st,
+                    &mut in_flight,
+                    &mut in_flight_repairs,
+                    &mut repairs,
+                    &saved_plans,
+                    &mut pending_scores,
+                    commits,
+                );
+            }
+        }
+
+        let resolved = st.tasks.is_empty()
+            && repairs.is_empty()
+            && in_flight.values().all(Vec::is_empty)
+            && in_flight_repairs.values().all(Vec::is_empty)
+            && st.batches_left == 0
+            && commits.pending_empty();
+
+        if (1..=nworkers).all(|w| !alive[w]) && !resolved {
+            panic!("all workers failed; the run cannot complete");
+        }
+
+        // Work requests: repairs take priority over fresh tasks so the
+        // output's durable prefix closes as early as possible.
+        if let Some(m) = wr_rx.test() {
+            let (_, status) = m.into_parts::<()>();
+            let w = status.source;
+            wr_rx = comm.irecv(Source::Any, TAG_WORK_REQ);
+            if alive[w] && !done[w] {
+                last_seen[w] = sim.now();
+                let assign = if let Some(r) = repairs.pop_front() {
+                    ctx.log.record(
+                        sim.now(),
+                        FaultKind::BatchRepaired {
+                            batch: r.batch,
+                            bytes: r.bytes,
+                        },
+                    );
+                    in_flight_repairs.entry(w).or_default().push(r.clone());
+                    Assign::Repair {
+                        batch: r.batch,
+                        for_worker: r.for_worker,
+                        tasks: r.tasks,
+                        bytes: r.bytes,
+                        regions: r.regions,
+                    }
+                } else if let Some((q, f)) = st.tasks.pop_front() {
+                    in_flight.entry(w).or_default().push((q, f));
+                    pending_scores.push((w, comm.irecv(w, TAG_SCORES)));
+                    Assign::Task {
+                        query: q,
+                        fragment: f,
+                    }
+                } else if resolved {
+                    done[w] = true;
+                    Assign::Done
+                } else {
+                    Assign::Wait
+                };
+                let bytes = assign.wire_bytes();
+                timer
+                    .track(
+                        Phase::DataDistribution,
+                        comm.send(w, TAG_ASSIGN, assign, bytes),
+                    )
+                    .await;
+            }
+            continue;
+        }
+
+        if (1..=nworkers).all(|w| done[w] || !alive[w]) {
+            break;
+        }
+
+        // Idle: wait for mailbox activity, or a tick to re-check the
+        // detection clock.
+        timer
+            .track(
+                Phase::DataDistribution,
+                NextEvent {
+                    wr: &wr_rx,
+                    hb: &hb_rx,
+                    scores: &pending_scores,
+                    sleep: sim.sleep(tick),
+                },
+            )
+            .await;
+    }
+
+    debug_assert!(pending_scores.is_empty(), "scores pending after shutdown");
+    timer
+        .track(Phase::GatherResults, waitall_sends(&offset_sends))
+        .await;
+    // No final barrier: the dead cannot arrive at one.
+}
+
+/// Consume every queued heartbeat, refreshing the senders' liveness.
+/// Called again right before the detection scan because loop iterations
+/// can block (MW batch writes) for longer than the detection timeout.
+fn drain_heartbeats(comm: &Comm, hb_rx: &mut RecvRequest, last_seen: &mut [SimTime], sim: &Sim) {
+    while let Some(m) = hb_rx.test() {
+        let (_, status) = m.into_parts::<()>();
+        last_seen[status.source] = sim.now();
+        *hb_rx = comm.irecv(Source::Any, TAG_HEARTBEAT);
+    }
+}
+
+/// Declare worker `w` dead and fold its obligations back into the
+/// schedule: in-flight and revoked tasks are requeued, owed batch writes
+/// become repair bundles for survivors.
+#[allow(clippy::too_many_arguments)]
+fn on_death(
+    w: usize,
+    sim: &Sim,
+    params: &SimParams,
+    ctx: &FaultCtx,
+    alive: &mut [bool],
+    st: &mut MasterState,
+    in_flight: &mut HashMap<usize, Vec<(usize, usize)>>,
+    in_flight_repairs: &mut HashMap<usize, Vec<RepairBundle>>,
+    repairs: &mut VecDeque<RepairBundle>,
+    saved_plans: &HashMap<usize, HashMap<usize, WorkerPlan>>,
+    pending_scores: &mut Vec<(usize, RecvRequest)>,
+    commits: &CommitTracker,
+) {
+    let now = sim.now();
+    alive[w] = false;
+    ctx.log.record(now, FaultKind::WorkerDetected { rank: w });
+
+    // A score message from the dead rank may still be on the wire. Leak
+    // its posted receives rather than cancel them, so a rendezvous
+    // transfer in flight can still match and complete; nobody reads it.
+    let mut i = 0;
+    while i < pending_scores.len() {
+        if pending_scores[i].0 == w {
+            let (_, req) = pending_scores.swap_remove(i);
+            std::mem::forget(req);
+        } else {
+            i += 1;
+        }
+    }
+
+    // Tasks assigned but never reported.
+    for (q, f) in in_flight.remove(&w).unwrap_or_default() {
+        ctx.log.record(
+            now,
+            FaultKind::TaskReassigned {
+                query: q,
+                fragment: f,
+            },
+        );
+        st.tasks.push_back((q, f));
+    }
+    // Repairs it was performing for earlier casualties.
+    for r in in_flight_repairs.remove(&w).unwrap_or_default() {
+        repairs.push_back(r);
+    }
+
+    // WW: reported scores reference result data that only existed in the
+    // dead worker's memory — revoke and redo them. (MW keeps them: the
+    // data rode along with the scores and is safe at the master.)
+    if params.strategy.workers_write() {
+        for slot in st.batches.iter_mut().flatten() {
+            for (q, f) in slot.revoke(w) {
+                ctx.log.record(
+                    now,
+                    FaultKind::TaskReassigned {
+                        query: q,
+                        fragment: f,
+                    },
+                );
+                st.tasks.push_back((q, f));
+            }
+        }
+    }
+
+    // Writes it still owed for batches whose layout was already fixed.
+    for b in commits.unfinished_for(w) {
+        let plan = saved_plans
+            .get(&b)
+            .and_then(|m| m.get(&w))
+            .cloned()
+            .unwrap_or_else(|| panic!("no saved plan for batch {b} writer {w}"));
+        repairs.push_back(RepairBundle {
+            batch: b,
+            for_worker: w,
+            tasks: plan.tasks,
+            bytes: plan.bytes,
+            regions: plan.regions,
+        });
+    }
+}
+
+fn record_scores(batches: &mut [Option<BatchState>], msg: Message, gran: usize) {
     let (scores, status) = msg.into_parts::<ScoresMsg>();
     let b = scores.query / gran;
     batches[b]
         .as_mut()
         .unwrap_or_else(|| panic!("scores for already-written batch {b}"))
-        .record(scores.query, status.source, &scores.hits);
+        .record(scores.query, scores.fragment, status.source, &scores.hits);
 }

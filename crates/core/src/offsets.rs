@@ -13,6 +13,7 @@
 
 use std::collections::HashMap;
 
+use s3a_pvfs::Region;
 use s3a_workload::Hit;
 
 use crate::protocol::{hit_order, merge_sorted_hits};
@@ -29,6 +30,9 @@ pub struct BatchState {
     /// `per_query[i][worker]` = that worker's merged hits for queries[i],
     /// sorted by [`hit_order`].
     per_query: Vec<HashMap<usize, Vec<Hit>>>,
+    /// Every `(query, fragment, worker)` report received, so a dead
+    /// worker's contributions can be revoked and its tasks requeued.
+    reported: Vec<(usize, usize, usize)>,
 }
 
 impl BatchState {
@@ -41,14 +45,21 @@ impl BatchState {
             queries,
             remaining_tasks: n * fragments,
             per_query: (0..n).map(|_| HashMap::new()).collect(),
+            reported: Vec::new(),
         }
     }
 
-    /// Record one task's hits from `worker`. `hits` must be sorted by
-    /// [`hit_order`] (workers sort before sending, offloading the master).
-    pub fn record(&mut self, query: usize, worker: usize, hits: &[Hit]) {
-        assert!(self.remaining_tasks > 0, "batch {} over-reported", self.batch);
+    /// Record the hits of task `(query, fragment)` from `worker`. `hits`
+    /// must be sorted by [`hit_order`] (workers sort before sending,
+    /// offloading the master).
+    pub fn record(&mut self, query: usize, fragment: usize, worker: usize, hits: &[Hit]) {
+        assert!(
+            self.remaining_tasks > 0,
+            "batch {} over-reported",
+            self.batch
+        );
         self.remaining_tasks -= 1;
+        self.reported.push((query, fragment, worker));
         if hits.is_empty() {
             return;
         }
@@ -63,6 +74,28 @@ impl BatchState {
         } else {
             *slot = merge_sorted_hits(slot, hits);
         }
+    }
+
+    /// Erase every contribution `worker` made to this (incomplete) batch,
+    /// returning the `(query, fragment)` tasks that must be redone by a
+    /// survivor. Used when the worker died before the batch's results
+    /// reached the master durably (WW strategies: the score message
+    /// carried no data, so the result bytes died with the worker).
+    pub fn revoke(&mut self, worker: usize) -> Vec<(usize, usize)> {
+        let mut redo = Vec::new();
+        self.reported.retain(|&(q, f, w)| {
+            if w == worker {
+                redo.push((q, f));
+                false
+            } else {
+                true
+            }
+        });
+        self.remaining_tasks += redo.len();
+        for qmap in &mut self.per_query {
+            qmap.remove(&worker);
+        }
+        redo
     }
 
     /// True once every task of every query in the batch has reported.
@@ -94,12 +127,15 @@ impl BatchState {
 
     /// Assign file offsets for the whole batch starting at `base`.
     ///
-    /// Returns `(per-worker offset lists, total bytes)`. Each worker's
-    /// list concatenates its queries in ascending order; within a query
-    /// the offsets follow the worker's local `(score desc, size desc)`
-    /// hit order — i.e. the exact order the worker will zip them with.
-    pub fn assign_offsets(&self, base: u64) -> (HashMap<usize, Vec<u64>>, u64) {
-        let mut per_worker: HashMap<usize, Vec<u64>> = HashMap::new();
+    /// Returns `(per-worker write plans, total bytes)`. Each worker's
+    /// offset list concatenates its queries in ascending order; within a
+    /// query the offsets follow the worker's local `(score desc, size
+    /// desc)` hit order — i.e. the exact order the worker will zip them
+    /// with. The plan also carries the concrete file regions (so the
+    /// master can hand a dead worker's write to a survivor) and the task
+    /// count behind them (for the repair cost model).
+    pub fn assign_offsets(&self, base: u64) -> (HashMap<usize, WorkerPlan>, u64) {
+        let mut per_worker: HashMap<usize, WorkerPlan> = HashMap::new();
         let mut cursor = base;
         for qmap in &self.per_query {
             // Globally order this query's hits across workers.
@@ -109,12 +145,33 @@ impl BatchState {
                 .collect();
             all.sort_by(|(wa, a), (wb, b)| hit_order(a, b).then(wa.cmp(wb)));
             for (w, h) in all {
-                per_worker.entry(w).or_default().push(cursor);
+                let plan = per_worker.entry(w).or_default();
+                plan.offsets.push(cursor);
+                plan.regions.push(Region::new(cursor, h.size));
+                plan.bytes += h.size;
                 cursor += h.size;
+            }
+        }
+        for &(_, _, w) in &self.reported {
+            if let Some(plan) = per_worker.get_mut(&w) {
+                plan.tasks += 1;
             }
         }
         (per_worker, cursor - base)
     }
+}
+
+/// One worker's share of a completed batch's output layout.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerPlan {
+    /// File offsets in the worker's local merged hit order.
+    pub offsets: Vec<u64>,
+    /// The same write targets as `(offset, len)` regions.
+    pub regions: Vec<Region>,
+    /// `(query, fragment)` tasks this worker reported into the batch.
+    pub tasks: usize,
+    /// Total bytes of the worker's share.
+    pub bytes: u64,
 }
 
 #[cfg(test)]
@@ -129,11 +186,11 @@ mod tests {
     fn completion_counts_tasks() {
         let mut b = BatchState::new(0, vec![0, 1], 2);
         assert!(!b.is_complete());
-        b.record(0, 1, &[h(5, 10)]);
-        b.record(0, 2, &[]);
-        b.record(1, 1, &[h(7, 20)]);
+        b.record(0, 0, 1, &[h(5, 10)]);
+        b.record(0, 1, 2, &[]);
+        b.record(1, 0, 1, &[h(7, 20)]);
         assert!(!b.is_complete());
-        b.record(1, 2, &[h(6, 30)]);
+        b.record(1, 1, 2, &[h(6, 30)]);
         assert!(b.is_complete());
         assert_eq!(b.total_bytes(), 60);
         assert_eq!(b.contributing_workers(), vec![1, 2]);
@@ -143,32 +200,40 @@ mod tests {
     #[should_panic(expected = "over-reported")]
     fn over_reporting_panics() {
         let mut b = BatchState::new(0, vec![0], 1);
-        b.record(0, 1, &[]);
-        b.record(0, 1, &[]);
+        b.record(0, 0, 1, &[]);
+        b.record(0, 0, 1, &[]);
     }
 
     #[test]
     fn offsets_follow_global_score_order() {
         let mut b = BatchState::new(0, vec![3], 2);
         // Worker 1: scores 9 (sz 10), 5 (sz 20); worker 2: score 7 (sz 30).
-        b.record(3, 1, &[h(9, 10), h(5, 20)]);
-        b.record(3, 2, &[h(7, 30)]);
+        b.record(3, 0, 1, &[h(9, 10), h(5, 20)]);
+        b.record(3, 1, 2, &[h(7, 30)]);
         let (per_worker, total) = b.assign_offsets(1000);
         assert_eq!(total, 60);
         // Global layout: w1@1000 (sz10), w2@1010 (sz30), w1@1040 (sz20).
-        assert_eq!(per_worker[&1], vec![1000, 1040]);
-        assert_eq!(per_worker[&2], vec![1010]);
+        assert_eq!(per_worker[&1].offsets, vec![1000, 1040]);
+        assert_eq!(per_worker[&2].offsets, vec![1010]);
+        // Plans mirror the offsets as concrete regions with task counts.
+        assert_eq!(
+            per_worker[&1].regions,
+            vec![Region::new(1000, 10), Region::new(1040, 20)]
+        );
+        assert_eq!(per_worker[&1].tasks, 1);
+        assert_eq!(per_worker[&1].bytes, 30);
+        assert_eq!(per_worker[&2].bytes, 30);
     }
 
     #[test]
     fn offsets_span_queries_in_ascending_order() {
         let mut b = BatchState::new(0, vec![0, 1], 1);
-        b.record(1, 1, &[h(100, 5)]); // higher score but later query
-        b.record(0, 1, &[h(1, 7)]);
+        b.record(1, 0, 1, &[h(100, 5)]); // higher score but later query
+        b.record(0, 0, 1, &[h(1, 7)]);
         let (per_worker, total) = b.assign_offsets(0);
         assert_eq!(total, 12);
         // Query 0's results come first regardless of score.
-        assert_eq!(per_worker[&1], vec![0, 7]);
+        assert_eq!(per_worker[&1].offsets, vec![0, 7]);
     }
 
     #[test]
@@ -178,27 +243,28 @@ mod tests {
         let f1 = vec![h(9, 1), h(4, 2)];
         let f2 = vec![h(7, 3), h(2, 4)];
         let mut b = BatchState::new(0, vec![0], 2);
-        b.record(0, 5, &f1);
-        b.record(0, 5, &f2);
+        b.record(0, 0, 5, &f1);
+        b.record(0, 1, 5, &f2);
         let worker_local = merge_sorted_hits(&f1, &f2);
         let (per_worker, _) = b.assign_offsets(0);
         // Reconstruct the master's layout: offsets are ascending in global
         // score order and all hits belong to worker 5, so zipping the
         // worker's local order with the returned list must give sizes
         // consistent with the cumulative layout.
-        let offsets = &per_worker[&5];
+        let offsets = &per_worker[&5].offsets;
         assert_eq!(offsets.len(), worker_local.len());
         let mut expect = 0u64;
         for (off, hit) in offsets.iter().zip(&worker_local) {
             assert_eq!(*off, expect, "layout mismatch");
             expect += hit.size;
         }
+        assert_eq!(per_worker[&5].tasks, 2);
     }
 
     #[test]
     fn empty_batch_assigns_nothing() {
         let mut b = BatchState::new(0, vec![0], 1);
-        b.record(0, 1, &[]);
+        b.record(0, 0, 1, &[]);
         assert!(b.is_complete());
         let (per_worker, total) = b.assign_offsets(0);
         assert!(per_worker.is_empty());
@@ -212,12 +278,34 @@ mod tests {
         // worker) while each worker only sees its own hits — sizes equal
         // ties are harmless, different sizes order deterministically.
         let mut b = BatchState::new(0, vec![0], 2);
-        b.record(0, 1, &[h(5, 10)]);
-        b.record(0, 2, &[h(5, 30)]);
+        b.record(0, 0, 1, &[h(5, 10)]);
+        b.record(0, 1, 2, &[h(5, 30)]);
         let (per_worker, total) = b.assign_offsets(0);
         assert_eq!(total, 40);
         // size 30 sorts first (desc size).
-        assert_eq!(per_worker[&2], vec![0]);
-        assert_eq!(per_worker[&1], vec![30]);
+        assert_eq!(per_worker[&2].offsets, vec![0]);
+        assert_eq!(per_worker[&1].offsets, vec![30]);
+    }
+
+    #[test]
+    fn revoke_requeues_a_dead_workers_tasks() {
+        let mut b = BatchState::new(0, vec![0, 1], 2);
+        b.record(0, 0, 1, &[h(5, 10)]);
+        b.record(0, 1, 2, &[h(4, 20)]);
+        b.record(1, 0, 1, &[h(3, 5)]);
+        // Worker 1 dies with one task of the batch still unreported.
+        let redo = b.revoke(1);
+        assert_eq!(redo, vec![(0, 0), (1, 0)]);
+        assert!(!b.is_complete());
+        assert_eq!(b.contributing_workers(), vec![2]);
+        // A survivor redoes the revoked tasks plus the never-reported one.
+        b.record(0, 0, 3, &[h(5, 10)]);
+        b.record(1, 0, 3, &[h(3, 5)]);
+        b.record(1, 1, 3, &[]);
+        assert!(b.is_complete());
+        let (per_worker, total) = b.assign_offsets(0);
+        assert_eq!(total, 35);
+        assert!(!per_worker.contains_key(&1));
+        assert_eq!(per_worker[&3].tasks, 3);
     }
 }

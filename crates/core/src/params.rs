@@ -2,10 +2,13 @@
 //! the modeled testbed.
 
 use s3a_des::SimTime;
+use s3a_faults::FaultParams;
 use s3a_mpi::MpiConfig;
 use s3a_net::{Bandwidth, NetConfig};
 use s3a_pvfs::PvfsConfig;
 use s3a_workload::WorkloadParams;
+
+use crate::resume::ResumePoint;
 
 /// The result-writing strategy (paper §2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -31,8 +34,12 @@ pub enum Strategy {
 
 impl Strategy {
     /// All strategies the paper evaluates, in its presentation order.
-    pub const PAPER_SET: [Strategy; 4] =
-        [Strategy::Mw, Strategy::WwPosix, Strategy::WwList, Strategy::WwColl];
+    pub const PAPER_SET: [Strategy; 4] = [
+        Strategy::Mw,
+        Strategy::WwPosix,
+        Strategy::WwList,
+        Strategy::WwColl,
+    ];
 
     /// True for the strategies in which workers write their own results.
     pub fn workers_write(self) -> bool {
@@ -165,6 +172,12 @@ pub struct SimParams {
     /// Record a per-rank phase timeline (MPE/Jumpshot-style; see
     /// [`crate::trace`]).
     pub trace: bool,
+    /// Deterministic fault injection: worker crashes, message faults, and
+    /// file-server misbehaviour (all off by default).
+    pub faults: FaultParams,
+    /// Restart from a prior run's durable checkpoint: the listed batches
+    /// are skipped and output starts at the recorded base offset.
+    pub resume_from: Option<ResumePoint>,
     /// The synthetic search workload.
     pub workload: WorkloadParams,
     /// Cluster and compute-model constants.
@@ -187,6 +200,8 @@ impl Default for SimParams {
             segmentation: Segmentation::Database,
             mw_nonblocking_io: false,
             trace: false,
+            faults: FaultParams::default(),
+            resume_from: None,
             workload: WorkloadParams::default(),
             testbed: Testbed::default(),
         }
@@ -230,6 +245,28 @@ impl SimParams {
         assert!(self.compute_speed > 0.0, "compute speed must be positive");
         assert!(self.write_every_n_queries >= 1, "batch size must be >= 1");
         assert!(self.cb_buffer_size > 0, "cb_buffer_size must be nonzero");
+        if self.faults.crashes() {
+            assert!(
+                !self.query_sync && !self.strategy.inherently_synchronizing(),
+                "crash injection needs free-running workers: query-sync and \
+                 collective strategies recover via checkpoint-restart instead"
+            );
+            assert!(
+                self.faults.worker_crashes.len() < self.workers(),
+                "at least one worker must survive the injected crashes"
+            );
+            for &(rank, _) in &self.faults.worker_crashes {
+                assert!(
+                    (1..self.procs).contains(&rank),
+                    "crash rank {rank} is not a worker (1..{})",
+                    self.procs
+                );
+            }
+            assert!(
+                self.faults.heartbeat_interval < self.faults.detection_timeout,
+                "heartbeat interval must undercut the detection timeout"
+            );
+        }
     }
 }
 

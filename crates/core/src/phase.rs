@@ -29,12 +29,15 @@ pub enum Phase {
     Io,
     /// End-of-run barrier and, with query sync on, the per-batch barriers.
     Sync,
+    /// Fault-tolerance overhead: waiting out failure detection and
+    /// performing repair work for crashed peers (zero in fault-free runs).
+    Recovery,
     /// Everything not attributed above.
     Other,
 }
 
 /// All phases, indexable order.
-pub const PHASES: [Phase; 8] = [
+pub const PHASES: [Phase; 9] = [
     Phase::Setup,
     Phase::DataDistribution,
     Phase::Compute,
@@ -42,6 +45,7 @@ pub const PHASES: [Phase; 8] = [
     Phase::GatherResults,
     Phase::Io,
     Phase::Sync,
+    Phase::Recovery,
     Phase::Other,
 ];
 
@@ -56,7 +60,8 @@ impl Phase {
             Phase::GatherResults => 4,
             Phase::Io => 5,
             Phase::Sync => 6,
-            Phase::Other => 7,
+            Phase::Recovery => 7,
+            Phase::Other => 8,
         }
     }
 
@@ -70,6 +75,7 @@ impl Phase {
             Phase::GatherResults => "Gather Results",
             Phase::Io => "I/O",
             Phase::Sync => "Sync",
+            Phase::Recovery => "Recovery",
             Phase::Other => "Other",
         }
     }
@@ -84,7 +90,7 @@ impl fmt::Display for Phase {
 /// A process's accumulated time per phase.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PhaseBreakdown {
-    times: [SimTime; 8],
+    times: [SimTime; 9],
 }
 
 impl PhaseBreakdown {
@@ -170,7 +176,8 @@ impl PhaseTimer {
     pub fn add(&self, phase: Phase, dt: SimTime) {
         self.acc.borrow_mut().add(phase, dt);
         let now = self.sim.now();
-        self.sink.record(self.rank, phase, now.saturating_sub(dt), now);
+        self.sink
+            .record(self.rank, phase, now.saturating_sub(dt), now);
     }
 
     /// Snapshot of the accumulated breakdown.
@@ -234,7 +241,8 @@ mod tests {
         let t = timer.clone();
         let s = sim.clone();
         sim.spawn("p", async move {
-            t.track(Phase::Compute, s.sleep(SimTime::from_secs(5))).await;
+            t.track(Phase::Compute, s.sleep(SimTime::from_secs(5)))
+                .await;
             t.track(Phase::Io, s.sleep(SimTime::from_secs(2))).await;
             t.add(Phase::Sync, SimTime::from_millis(500));
         });

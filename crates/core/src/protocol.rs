@@ -1,6 +1,7 @@
 //! Message types and tags exchanged between the master and workers.
 
 use s3a_mpi::Tag;
+use s3a_pvfs::Region;
 use s3a_workload::Hit;
 
 /// Worker → master: request for work (Algorithm 2, step 3).
@@ -14,18 +15,23 @@ pub const TAG_SCORES: Tag = 3;
 /// 1, step 15); doubles as the "batch written" notification in MW runs
 /// with query sync.
 pub const TAG_OFFSETS: Tag = 4;
+/// Worker → master: liveness beacon, sent periodically by a sibling task
+/// whenever crash injection is armed. Only its arrival time matters.
+pub const TAG_HEARTBEAT: Tag = 5;
 
 /// Wire size of a work request.
 pub const WORK_REQ_BYTES: u64 = 16;
 /// Wire size of an assignment message.
 pub const ASSIGN_BYTES: u64 = 32;
+/// Wire size of a heartbeat message.
+pub const HEARTBEAT_BYTES: u64 = 8;
 /// Wire bytes per hit in a scores message (score + size).
 pub const SCORE_ENTRY_BYTES: u64 = 16;
 /// Wire bytes per entry in an offset list (one 64-bit offset).
 pub const OFFSET_ENTRY_BYTES: u64 = 8;
 
 /// Master → worker response to a work request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Assign {
     /// Search `query` against `fragment`.
     Task {
@@ -34,8 +40,37 @@ pub enum Assign {
         /// Database fragment index.
         fragment: usize,
     },
+    /// No task is available right now, but the run is not over (tasks may
+    /// be requeued if a peer dies). Re-request after a short sleep. Only
+    /// sent when crash injection is armed.
+    Wait,
+    /// Write a dead peer's already-assigned output regions on its behalf
+    /// (checkpoint repair). Only sent when crash injection is armed.
+    Repair {
+        /// Batch whose commit the dead worker still owed.
+        batch: usize,
+        /// The dead worker's rank (whose commit obligation this clears).
+        for_worker: usize,
+        /// Number of (query, fragment) results backing the regions (for
+        /// the compute-cost model of re-deriving the data).
+        tasks: usize,
+        /// Total output bytes to write.
+        bytes: u64,
+        /// The exact file regions the dead worker was told to write.
+        regions: Vec<Region>,
+    },
     /// All queries have been scheduled; no more work will come.
     Done,
+}
+
+impl Assign {
+    /// Simulated wire size of this assignment.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            Assign::Repair { regions, .. } => ASSIGN_BYTES + 16 * regions.len() as u64,
+            _ => ASSIGN_BYTES,
+        }
+    }
 }
 
 /// Worker → master: the outcome of one (query, fragment) search, hits

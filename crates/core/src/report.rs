@@ -1,6 +1,7 @@
 //! Run reports: per-phase breakdowns, verification, and text rendering.
 
 use s3a_des::{Sim, SimStats, SimTime};
+use s3a_faults::FaultReport;
 use s3a_mpi::{MpiStats, World};
 use s3a_pvfs::{FileHandle, FileSystem, FsStats};
 use s3a_workload::Workload;
@@ -52,6 +53,8 @@ pub struct RunReport {
     pub trace: Option<Trace>,
     /// When each batch of results became durable (resumability analysis).
     pub commits: CommitLog,
+    /// What the fault injector did (and what recovery cost), when armed.
+    pub faults: Option<FaultReport>,
 }
 
 impl RunReport {
@@ -70,8 +73,16 @@ impl RunReport {
         fs: &FileSystem,
         world: &World,
         sim: &Sim,
+        faults: Option<FaultReport>,
     ) -> RunReport {
         let worker_mean = PhaseBreakdown::mean(&workers);
+        // A resumed run only owes the bytes above its checkpoint; the
+        // durable prefix below it belongs to the interrupted run's file.
+        let resumed_base = params
+            .resume_from
+            .as_ref()
+            .map(|r| r.base_offset)
+            .unwrap_or(0);
         RunReport {
             strategy: params.strategy,
             procs: params.procs,
@@ -82,7 +93,7 @@ impl RunReport {
             workers,
             worker_mean,
             worker_stats,
-            expected_bytes: workload.total_bytes(),
+            expected_bytes: workload.total_bytes() - resumed_base,
             covered_bytes: out.covered_bytes(),
             overlap_bytes: out.overlap_bytes(),
             extent_count: out.extent_count(),
@@ -92,6 +103,7 @@ impl RunReport {
             engine: sim.stats(),
             trace,
             commits,
+            faults,
         }
     }
 
@@ -105,7 +117,10 @@ impl RunReport {
             ));
         }
         if self.overlap_bytes != 0 {
-            return Err(format!("{} bytes written more than once", self.overlap_bytes));
+            return Err(format!(
+                "{} bytes written more than once",
+                self.overlap_bytes
+            ));
         }
         if self.expected_bytes > 0 && self.extent_count != 1 {
             return Err(format!(
@@ -137,7 +152,11 @@ impl RunReport {
             self.compute_speed,
             self.overall.as_secs_f64()
         );
-        let _ = writeln!(s, "  {:<18} {:>12} {:>12}", "phase", "worker-mean", "master");
+        let _ = writeln!(
+            s,
+            "  {:<18} {:>12} {:>12}",
+            "phase", "worker-mean", "master"
+        );
         for p in PHASES {
             let _ = writeln!(
                 s,
@@ -146,6 +165,9 @@ impl RunReport {
                 self.worker_mean.get(p).as_secs_f64(),
                 self.master.get(p).as_secs_f64()
             );
+        }
+        if let Some(f) = &self.faults {
+            let _ = writeln!(s, "  faults: {f}");
         }
         s
     }

@@ -26,6 +26,8 @@ pub struct CommitEntry {
     pub queries: usize,
     /// Result bytes committed.
     pub bytes: u64,
+    /// File offset where the batch's extent starts.
+    pub base: u64,
     /// Virtual time at which the batch was durable on disk.
     pub committed_at: SimTime,
 }
@@ -49,7 +51,10 @@ impl CommitLog {
 
     /// Batches durable at (or before) `t`.
     pub fn committed_by(&self, t: SimTime) -> usize {
-        self.entries.iter().take_while(|e| e.committed_at <= t).count()
+        self.entries
+            .iter()
+            .take_while(|e| e.committed_at <= t)
+            .count()
     }
 
     /// Bytes durable at `t`.
@@ -136,10 +141,13 @@ pub fn expected_lost_time(log: &CommitLog, overall: SimTime) -> SimTime {
 }
 
 /// Shared, simulation-side recorder that turns distributed batch
-/// completions into a [`CommitLog`]. The master registers how many
-/// writers each batch has; each writer reports completion after its
+/// completions into a [`CommitLog`]. The master registers *which ranks*
+/// must write each batch; each writer reports completion after its
 /// write+sync; the batch commits when the last one finishes (immediately,
-/// for MW, where the master is the only writer).
+/// for MW, where the master — rank 0 — is the only writer). Tracking
+/// writer identity (not just a count) lets the master see exactly which
+/// batches a crashed worker still owed and hand those writes to a
+/// survivor, which completes them *on the dead rank's behalf*.
 #[derive(Clone, Default)]
 pub struct CommitTracker {
     inner: std::rc::Rc<std::cell::RefCell<TrackerInner>>,
@@ -148,7 +156,14 @@ pub struct CommitTracker {
 #[derive(Default)]
 struct TrackerInner {
     log: Vec<CommitEntry>,
-    pending: std::collections::HashMap<usize, (usize, usize, u64)>, // batch -> (remaining, queries, bytes)
+    pending: std::collections::HashMap<usize, PendingBatch>,
+}
+
+struct PendingBatch {
+    writers: Vec<usize>,
+    queries: usize,
+    bytes: u64,
+    base: u64,
 }
 
 impl CommitTracker {
@@ -157,30 +172,84 @@ impl CommitTracker {
         Self::default()
     }
 
-    /// Declare a batch with `writers` outstanding writers. A batch with
-    /// no writers (no results) is durable immediately.
-    pub fn expect(&self, batch: usize, writers: usize, queries: usize, bytes: u64, now: SimTime) {
+    /// Declare a batch whose extent starts at `base` with the given
+    /// outstanding writer ranks. A batch with no writers (no results) is
+    /// durable immediately.
+    pub fn expect(
+        &self,
+        batch: usize,
+        writers: Vec<usize>,
+        queries: usize,
+        bytes: u64,
+        base: u64,
+        now: SimTime,
+    ) {
         let mut t = self.inner.borrow_mut();
-        if writers == 0 {
-            t.log.push(CommitEntry { batch, queries, bytes, committed_at: now });
+        if writers.is_empty() {
+            t.log.push(CommitEntry {
+                batch,
+                queries,
+                bytes,
+                base,
+                committed_at: now,
+            });
         } else {
-            t.pending.insert(batch, (writers, queries, bytes));
+            t.pending.insert(
+                batch,
+                PendingBatch {
+                    writers,
+                    queries,
+                    bytes,
+                    base,
+                },
+            );
         }
     }
 
-    /// One writer finished its durable write for `batch`.
-    pub fn complete_one(&self, batch: usize, now: SimTime) {
+    /// Rank `writer`'s share of `batch` is durable (written by the rank
+    /// itself, or by a survivor repairing after its crash).
+    pub fn complete_by(&self, batch: usize, writer: usize, now: SimTime) {
         let mut t = self.inner.borrow_mut();
-        let (remaining, queries, bytes) = *t
+        let p = t
             .pending
-            .get(&batch)
+            .get_mut(&batch)
             .unwrap_or_else(|| panic!("completion for undeclared batch {batch}"));
-        if remaining == 1 {
-            t.pending.remove(&batch);
-            t.log.push(CommitEntry { batch, queries, bytes, committed_at: now });
-        } else {
-            t.pending.insert(batch, (remaining - 1, queries, bytes));
+        let pos = p
+            .writers
+            .iter()
+            .position(|&w| w == writer)
+            .unwrap_or_else(|| {
+                panic!("rank {writer} is not an outstanding writer of batch {batch}")
+            });
+        p.writers.swap_remove(pos);
+        if p.writers.is_empty() {
+            let p = t.pending.remove(&batch).unwrap();
+            t.log.push(CommitEntry {
+                batch,
+                queries: p.queries,
+                bytes: p.bytes,
+                base: p.base,
+                committed_at: now,
+            });
         }
+    }
+
+    /// Batches still awaiting a durable write from `writer`, ascending.
+    pub fn unfinished_for(&self, writer: usize) -> Vec<usize> {
+        let t = self.inner.borrow();
+        let mut out: Vec<usize> = t
+            .pending
+            .iter()
+            .filter(|(_, p)| p.writers.contains(&writer))
+            .map(|(&b, _)| b)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// True when no declared batch is still awaiting a writer.
+    pub fn pending_empty(&self) -> bool {
+        self.inner.borrow().pending.is_empty()
     }
 
     /// Extract the commit log (entries sorted by commit time).
@@ -201,6 +270,43 @@ impl CommitTracker {
     }
 }
 
+/// Where a killed run can restart from: the durable, gapless prefix of
+/// the output file plus the batches it covers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResumePoint {
+    /// Batches whose output survives in the durable prefix (ascending).
+    pub done_batches: Vec<usize>,
+    /// First byte the restarted run must produce; everything below is on
+    /// disk and verified contiguous.
+    pub base_offset: u64,
+}
+
+/// Compute the restart point of a run killed at `at`.
+///
+/// Batches may commit out of file order (free-running workers finish
+/// late-assigned batches first), so the durable set can have holes. A
+/// restart can only trust the longest extent prefix that is contiguous
+/// from byte 0 — a committed batch above a hole is redone, because the
+/// hole's batch will rewrite the bytes in between on the second run.
+pub fn restart_point(log: &CommitLog, at: SimTime) -> ResumePoint {
+    let mut durable: Vec<&CommitEntry> = log
+        .entries()
+        .iter()
+        .take_while(|e| e.committed_at <= at)
+        .collect();
+    durable.sort_by_key(|e| e.base);
+    let mut point = ResumePoint::default();
+    for e in durable {
+        if e.base != point.base_offset {
+            break; // hole (or overlap): the prefix ends here
+        }
+        point.done_batches.push(e.batch);
+        point.base_offset += e.bytes;
+    }
+    point.done_batches.sort_unstable();
+    point
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,9 +317,27 @@ mod tests {
 
     fn log3() -> CommitLog {
         let mut log = CommitLog::default();
-        log.push(CommitEntry { batch: 0, queries: 2, bytes: 100, committed_at: s(10) });
-        log.push(CommitEntry { batch: 1, queries: 2, bytes: 150, committed_at: s(25) });
-        log.push(CommitEntry { batch: 2, queries: 2, bytes: 120, committed_at: s(60) });
+        log.push(CommitEntry {
+            batch: 0,
+            queries: 2,
+            bytes: 100,
+            base: 0,
+            committed_at: s(10),
+        });
+        log.push(CommitEntry {
+            batch: 1,
+            queries: 2,
+            bytes: 150,
+            base: 100,
+            committed_at: s(25),
+        });
+        log.push(CommitEntry {
+            batch: 2,
+            queries: 2,
+            bytes: 120,
+            base: 250,
+            committed_at: s(60),
+        });
         log
     }
 
@@ -235,7 +359,7 @@ mod tests {
         assert_eq!(r.resumable_queries, 4);
         assert_eq!(r.lost_queries, 2);
         assert_eq!(r.lost_time, s(5)); // last commit at 25
-        // Crash before any commit loses everything.
+                                       // Crash before any commit loses everything.
         let r0 = log.crash_at(s(9), s(60), 6);
         assert_eq!(r0.resumable_queries, 0);
         assert_eq!(r0.lost_queries, 6);
@@ -255,20 +379,32 @@ mod tests {
     #[should_panic(expected = "time order")]
     fn out_of_order_commit_rejected() {
         let mut log = log3();
-        log.push(CommitEntry { batch: 3, queries: 1, bytes: 1, committed_at: s(1) });
+        log.push(CommitEntry {
+            batch: 3,
+            queries: 1,
+            bytes: 1,
+            base: 370,
+            committed_at: s(1),
+        });
     }
 
     #[test]
     fn expected_lost_time_favours_frequent_commits() {
         // One commit halfway vs none at all.
         let mut sparse = CommitLog::default();
-        sparse.push(CommitEntry { batch: 0, queries: 1, bytes: 1, committed_at: s(30) });
+        sparse.push(CommitEntry {
+            batch: 0,
+            queries: 1,
+            bytes: 1,
+            base: 0,
+            committed_at: s(30),
+        });
         let none = CommitLog::default();
         let e_sparse = expected_lost_time(&sparse, s(60));
         let e_none = expected_lost_time(&none, s(60));
         assert!(e_sparse < e_none);
         assert_eq!(e_none, s(30)); // uniform crash over [0,60): mean 30
-        // Frequent commits shrink it further.
+                                   // Frequent commits shrink it further.
         let dense = log3();
         assert!(expected_lost_time(&dense, s(60)) < e_sparse);
     }
@@ -276,22 +412,101 @@ mod tests {
     #[test]
     fn tracker_commits_when_last_writer_finishes() {
         let tr = CommitTracker::new();
-        tr.expect(0, 2, 1, 50, s(1));
-        tr.expect(1, 0, 1, 0, s(2)); // empty batch commits immediately
-        tr.complete_one(0, s(5));
-        tr.complete_one(0, s(9));
+        tr.expect(0, vec![1, 2], 1, 50, 0, s(1));
+        tr.expect(1, vec![], 1, 0, 50, s(2)); // empty batch commits immediately
+        tr.complete_by(0, 2, s(5));
+        assert!(!tr.pending_empty());
+        tr.complete_by(0, 1, s(9));
+        assert!(tr.pending_empty());
         let log = tr.finish();
         assert_eq!(log.entries().len(), 2);
         assert_eq!(log.entries()[0].batch, 1);
         assert_eq!(log.entries()[1].committed_at, s(9));
+        assert_eq!(log.entries()[1].base, 0);
     }
 
     #[test]
     #[should_panic(expected = "never committed")]
     fn tracker_detects_missing_completions() {
         let tr = CommitTracker::new();
-        tr.expect(0, 1, 1, 10, s(0));
+        tr.expect(0, vec![1], 1, 10, 0, s(0));
         tr.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "not an outstanding writer")]
+    fn tracker_rejects_unknown_writer() {
+        let tr = CommitTracker::new();
+        tr.expect(0, vec![1], 1, 10, 0, s(0));
+        tr.complete_by(0, 7, s(1));
+    }
+
+    #[test]
+    fn tracker_reports_a_dead_workers_debts() {
+        let tr = CommitTracker::new();
+        tr.expect(0, vec![1, 2], 1, 10, 0, s(0));
+        tr.expect(1, vec![2], 1, 10, 10, s(0));
+        tr.expect(2, vec![1], 1, 10, 20, s(0));
+        tr.complete_by(2, 1, s(1));
+        assert_eq!(tr.unfinished_for(1), vec![0]);
+        assert_eq!(tr.unfinished_for(2), vec![0, 1]);
+        // A survivor clears rank 2's debts on its behalf.
+        tr.complete_by(0, 1, s(2));
+        tr.complete_by(0, 2, s(3));
+        tr.complete_by(1, 2, s(3));
+        assert!(tr.unfinished_for(2).is_empty());
+        assert_eq!(tr.finish().entries().len(), 3);
+    }
+
+    #[test]
+    fn restart_point_takes_contiguous_prefix() {
+        let log = log3();
+        // Killed between commits 2 and 3: two batches durable, contiguous.
+        let p = restart_point(&log, s(30));
+        assert_eq!(p.done_batches, vec![0, 1]);
+        assert_eq!(p.base_offset, 250);
+        // Killed before anything committed.
+        assert_eq!(restart_point(&log, s(5)), ResumePoint::default());
+        // Killed after the end: everything durable.
+        let p = restart_point(&log, s(100));
+        assert_eq!(p.done_batches, vec![0, 1, 2]);
+        assert_eq!(p.base_offset, 370);
+    }
+
+    #[test]
+    fn restart_point_stops_at_extent_hole() {
+        // Batch 2 (extent [250,370)) committed before batch 1 ([100,250))
+        // — free-running workers finish out of order. A crash after batch
+        // 2's commit but before batch 1's can only trust batch 0's bytes.
+        let mut log = CommitLog::default();
+        log.push(CommitEntry {
+            batch: 0,
+            queries: 1,
+            bytes: 100,
+            base: 0,
+            committed_at: s(10),
+        });
+        log.push(CommitEntry {
+            batch: 2,
+            queries: 1,
+            bytes: 120,
+            base: 250,
+            committed_at: s(20),
+        });
+        log.push(CommitEntry {
+            batch: 1,
+            queries: 1,
+            bytes: 150,
+            base: 100,
+            committed_at: s(40),
+        });
+        let p = restart_point(&log, s(25));
+        assert_eq!(p.done_batches, vec![0]);
+        assert_eq!(p.base_offset, 100);
+        // Once batch 1 lands the hole closes and all three count.
+        let p = restart_point(&log, s(40));
+        assert_eq!(p.done_batches, vec![0, 1, 2]);
+        assert_eq!(p.base_offset, 370);
     }
 
     #[test]

@@ -3,7 +3,8 @@
 
 use std::rc::Rc;
 
-use s3a_des::Sim;
+use s3a_des::{Sim, SimTime};
+use s3a_faults::{FaultLog, FaultParams, FaultSchedule};
 use s3a_mpi::World;
 use s3a_mpiio::{File, Hints};
 use s3a_net::Fabric;
@@ -13,9 +14,20 @@ use s3a_workload::Workload;
 use crate::master::run_master;
 use crate::params::{Segmentation, SimParams};
 use crate::report::RunReport;
-use crate::resume::CommitTracker;
+use crate::resume::{restart_point, CommitTracker, ResumePoint};
 use crate::trace::TraceSink;
 use crate::worker::{run_worker, WorkerStats};
+
+/// The per-run fault machinery handed to the master and workers: the
+/// deterministic schedule (what fails, when) and the shared event log
+/// (what actually happened, for the recovery-tax report).
+#[derive(Clone)]
+pub struct FaultCtx {
+    /// Immutable, seed-derived fault plan.
+    pub schedule: Rc<FaultSchedule>,
+    /// Append-only record of injections, detections, and repairs.
+    pub log: FaultLog,
+}
 
 /// Name of the simulated output file.
 pub const OUTPUT_FILE: &str = "s3asim.out";
@@ -58,7 +70,19 @@ pub fn run(params: &SimParams) -> RunReport {
     let compute_nodes = params.procs.div_ceil(tb.mpi.ranks_per_node);
     let fabric = Rc::new(Fabric::new(compute_nodes + tb.pvfs.servers, tb.net));
     let world = World::with_fabric(&sim, params.procs, tb.mpi, Rc::clone(&fabric), 0);
-    let fs = FileSystem::new(&sim, tb.pvfs, fabric, compute_nodes);
+    let fs = FileSystem::new(&sim, tb.pvfs, Rc::clone(&fabric), compute_nodes);
+
+    // Arm the fault machinery. Message faults live in the fabric, server
+    // faults in the file system; crash handling lives in the master and
+    // worker loops, which receive the whole context.
+    let faults_ctx = params.faults.any().then(|| FaultCtx {
+        schedule: FaultSchedule::new(params.faults.clone()),
+        log: FaultLog::new(),
+    });
+    if let Some(ctx) = &faults_ctx {
+        fabric.set_faults(Rc::clone(&ctx.schedule), ctx.log.clone());
+        fs.set_faults(Rc::clone(&ctx.schedule), ctx.log.clone());
+    }
 
     let hints = Hints {
         cb_nodes: if params.cb_nodes == 0 {
@@ -86,9 +110,10 @@ pub fn run(params: &SimParams) -> RunReport {
         let sim2 = sim.clone();
         let p = Rc::clone(&params);
         let w = Rc::clone(&workload);
+        let fx = faults_ctx.clone();
         sim.spawn(
             "master",
-            run_master(sim2, comm, p, w, file, sink.clone(), commits.clone()),
+            run_master(sim2, comm, p, w, file, sink.clone(), commits.clone(), fx),
         )
     };
 
@@ -118,6 +143,7 @@ pub fn run(params: &SimParams) -> RunReport {
                     database,
                     sink.clone(),
                     commits.clone(),
+                    faults_ctx.clone(),
                 ),
             )
         })
@@ -165,5 +191,61 @@ pub fn run(params: &SimParams) -> RunReport {
         &fs,
         &world,
         &sim,
+        faults_ctx.as_ref().map(|c| c.log.report()),
     )
+}
+
+/// Outcome of a kill-and-restart experiment: the interrupted run, the
+/// checkpoint recovered from its commit log, and the resumed run.
+#[derive(Debug)]
+pub struct RestartOutcome {
+    /// The first run's report (in the experiment's fiction, this run was
+    /// killed at `kill_at`; determinism makes its prefix identical to the
+    /// completed run, so the commit log up to `kill_at` is exactly what a
+    /// real crash would have left on disk).
+    pub first: RunReport,
+    /// The durable state recovered from the commit log at `kill_at`.
+    pub resume: ResumePoint,
+    /// The resumed run, started from `resume` with faults disarmed.
+    pub second: RunReport,
+}
+
+impl RestartOutcome {
+    /// Check that the restart produced a complete output: the resumed
+    /// run's single extent sits exactly on top of the checkpoint's
+    /// durable prefix and together they cover the whole expected output.
+    pub fn verify(&self) -> Result<(), String> {
+        self.second.verify()?;
+        let total = self.first.expected_bytes;
+        let covered = self.resume.base_offset + self.second.covered_bytes;
+        if covered != total {
+            return Err(format!(
+                "restart hole: durable prefix {} + resumed {} != expected {}",
+                self.resume.base_offset, self.second.covered_bytes, total
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Simulate a checkpoint-restart: run once (with whatever faults `params`
+/// arms), pretend the process was killed at `kill_at`, recover the
+/// durable prefix from the commit log, and run again resuming from it.
+///
+/// The whole experiment is deterministic: the first run's behavior up to
+/// `kill_at` does not depend on anything after it, so its commit log
+/// truncated at `kill_at` is byte-for-byte what a genuinely killed run
+/// would have left behind.
+pub fn run_with_restart(params: &SimParams, kill_at: SimTime) -> RestartOutcome {
+    let first = run(params);
+    let resume = restart_point(&first.commits, kill_at);
+    let mut resumed = params.clone();
+    resumed.faults = FaultParams::default();
+    resumed.resume_from = Some(resume.clone());
+    let second = run(&resumed);
+    RestartOutcome {
+        first,
+        resume,
+        second,
+    }
 }

@@ -79,8 +79,7 @@ impl TraceSink {
             let mut t = Rc::try_unwrap(rc)
                 .map(RefCell::into_inner)
                 .unwrap_or_else(|rc| rc.borrow().clone());
-            t.events
-                .sort_by_key(|e| (e.start, e.rank, e.end));
+            t.events.sort_by_key(|e| (e.start, e.rank, e.end));
             t
         })
     }
@@ -144,13 +143,14 @@ impl Trace {
             Phase::GatherResults => 'g',
             Phase::Io => 'W',
             Phase::Sync => 's',
+            Phase::Recovery => 'R',
             Phase::Other => '.',
         };
 
         let mut out = String::new();
         for rank in 0..ranks {
             // Dominant phase per cell.
-            let mut cells: Vec<[u64; 8]> = vec![[0; 8]; width];
+            let mut cells: Vec<[u64; 9]> = vec![[0; 9]; width];
             for e in self.rank_events(rank) {
                 let first = (e.start.as_nanos() / cell) as usize;
                 let last = (((e.end.as_nanos()).saturating_sub(1)) / cell) as usize;

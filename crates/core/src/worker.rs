@@ -8,24 +8,32 @@
 //! writing strategies keep taking new tasks while waiting for location
 //! lists; the collective strategy must stop and synchronize, which is
 //! exactly the cost the paper sets out to measure.
+//!
+//! With crash injection armed a worker additionally runs a heartbeat
+//! sibling task, answers `Wait`/`Repair` assignments (idle back-off and
+//! redoing a dead peer's writes), and — if it is itself scheduled to
+//! crash — fail-stops at the top of its main loop: heartbeats cease, its
+//! mailbox starts absorbing traffic, and the process simply returns.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
-use s3a_des::Sim;
+use s3a_des::{Flag, Sim};
+use s3a_faults::FaultKind;
 use s3a_mpi::{Comm, Message, SendRequest};
 use s3a_mpiio::{File, WriteMethod};
 use s3a_pvfs::{FileHandle, Region};
 use s3a_workload::{Hit, Workload};
 
 use crate::params::{Segmentation, SimParams, Strategy};
-use crate::resume::CommitTracker;
 use crate::phase::{Phase, PhaseBreakdown, PhaseTimer};
-use crate::trace::TraceSink;
 use crate::protocol::{
-    merge_sorted_hits, Assign, OffsetsMsg, ScoresMsg, SCORE_ENTRY_BYTES, TAG_ASSIGN,
-    TAG_OFFSETS, TAG_SCORES, TAG_WORK_REQ, WORK_REQ_BYTES,
+    merge_sorted_hits, Assign, OffsetsMsg, ScoresMsg, HEARTBEAT_BYTES, SCORE_ENTRY_BYTES,
+    TAG_ASSIGN, TAG_HEARTBEAT, TAG_OFFSETS, TAG_SCORES, TAG_WORK_REQ, WORK_REQ_BYTES,
 };
+use crate::resume::CommitTracker;
+use crate::runner::FaultCtx;
+use crate::trace::TraceSink;
 
 struct WorkerState {
     /// Merged hits per batch, keyed by query (ascending), each list in
@@ -64,6 +72,7 @@ pub async fn run_worker(
     database: Option<FileHandle>,
     trace: TraceSink,
     commits: CommitTracker,
+    faults: Option<FaultCtx>,
 ) -> (PhaseBreakdown, WorkerStats) {
     let timer = PhaseTimer::with_trace(&sim, comm.rank(), trace);
 
@@ -86,7 +95,52 @@ pub async fn run_worker(
     let mut result_sends: VecDeque<SendRequest> = VecDeque::new();
     let is_mw = params.strategy == Strategy::Mw;
 
+    let crash_mode = faults
+        .as_ref()
+        .is_some_and(|f| f.schedule.params().crashes());
+    let my_crash = faults
+        .as_ref()
+        .and_then(|f| f.schedule.crash_time(comm.rank()));
+    let tick = faults
+        .as_ref()
+        .map(|f| f.schedule.params().heartbeat_interval)
+        .unwrap_or(s3a_des::SimTime::ZERO);
+
+    // Heartbeat sibling: proof of life to the master, every tick, until
+    // this worker finishes — or crashes.
+    let hb_stop = Flag::new(&sim);
+    if crash_mode {
+        let hb_comm = comm.clone();
+        let stop = hb_stop.clone();
+        let hb_sim = sim.clone();
+        sim.spawn(format!("heartbeat-{}", comm.rank()), async move {
+            while !stop.is_set() {
+                let _ = hb_comm.isend(0, TAG_HEARTBEAT, (), HEARTBEAT_BYTES);
+                hb_sim.sleep(tick).await;
+            }
+        });
+    }
+
+    let mut crashed = false;
     loop {
+        // Fail-stop point: a scheduled crash takes effect at the top of
+        // the loop, the worker's only obligation-free moment.
+        if let Some(t) = my_crash {
+            if sim.now() >= t {
+                hb_stop.set();
+                if let Some(f) = &faults {
+                    f.log
+                        .record(sim.now(), FaultKind::WorkerCrashed { rank: comm.rank() });
+                }
+                // From now on traffic addressed to this rank is absorbed
+                // (fires flow control, discards payload) so no sender or
+                // rendezvous transfer ever hangs on the dead process.
+                comm.mark_failed();
+                crashed = true;
+                break;
+            }
+        }
+
         // Steps 3–4: ask for work.
         timer
             .track(
@@ -111,11 +165,9 @@ pub async fn run_worker(
                 if let Some(db) = &database {
                     let reload = params.db_reload_bytes();
                     timer
-                        .track(
-                            Phase::Io,
-                            db.read_contiguous(file.endpoint(), 0, reload),
-                        )
-                        .await;
+                        .track(Phase::Io, db.read_contiguous(file.endpoint(), 0, reload))
+                        .await
+                        .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
                 }
                 let startups = match params.segmentation {
                     Segmentation::Database => 1,
@@ -132,8 +184,7 @@ pub async fn run_worker(
 
                 // Step 8: merge into the per-query list (parallel I/O only).
                 if params.strategy.workers_write() && !hits.is_empty() {
-                    let merge_time =
-                        params.testbed.merge_per_hit * hits.len() as u64;
+                    let merge_time = params.testbed.merge_per_hit * hits.len() as u64;
                     timer
                         .track(Phase::MergeResults, sim.sleep(merge_time))
                         .await;
@@ -153,14 +204,65 @@ pub async fn run_worker(
                     let oldest = result_sends.pop_front().expect("nonempty");
                     timer.track(Phase::GatherResults, oldest.wait()).await;
                 }
-                let wire = SCORE_ENTRY_BYTES * hits.len() as u64
-                    + if is_mw { bytes } else { 0 };
+                let wire = SCORE_ENTRY_BYTES * hits.len() as u64 + if is_mw { bytes } else { 0 };
                 let msg = ScoresMsg {
                     query,
                     fragment,
                     hits: hits.clone(),
                 };
                 result_sends.push_back(comm.isend(0, TAG_SCORES, msg, wire));
+            }
+            Assign::Wait => {
+                // The master has no task for us yet (it is waiting out a
+                // failure detection or stragglers). Use the idle time to
+                // write any batches whose offsets have arrived, then back
+                // off one tick before asking again.
+                while let Some(m) = offs_rx.test() {
+                    offs_rx = comm.irecv(0, TAG_OFFSETS);
+                    handle_offsets(
+                        &timer,
+                        &params,
+                        &workers_comm,
+                        &file,
+                        &mut state,
+                        &commits,
+                        comm.rank(),
+                        m,
+                    )
+                    .await;
+                }
+                timer.track(Phase::Recovery, sim.sleep(tick)).await;
+            }
+            Assign::Repair {
+                batch,
+                for_worker,
+                tasks,
+                bytes,
+                regions,
+            } => {
+                // Redo a dead peer's share of a batch: recompute its
+                // results (same cost model as the original searches) and
+                // write them into the exact regions the layout reserved.
+                let redo = params.compute_time_multi(bytes, tasks.max(1));
+                timer.track(Phase::Recovery, sim.sleep(redo)).await;
+                let method = match params.strategy {
+                    Strategy::WwPosix => WriteMethod::Posix,
+                    _ => WriteMethod::ListIo,
+                };
+                let t0 = sim.now();
+                file.write_regions(&regions, method)
+                    .await
+                    .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
+                file.sync()
+                    .await
+                    .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
+                timer.add(Phase::Recovery, sim.now().saturating_sub(t0));
+                state.stats.regions_written += regions.len();
+                state.stats.bytes_written += bytes;
+                // Credit the ORIGINAL writer: the batch's ledger entry
+                // named the dead rank, and exactly-once accounting must
+                // close that entry, not invent a new one.
+                commits.complete_by(batch, for_worker, sim.now());
             }
             Assign::Done => break,
         }
@@ -173,34 +275,66 @@ pub async fn run_worker(
         // worker keeps computing — taking new tasks has priority over
         // writing already-located results, which keeps the task (and
         // therefore result) distribution balanced across workers — and
-        // drains its I/O backlog once the master has no more work.
-        let prompt_io = params.query_sync || params.strategy.inherently_synchronizing();
+        // drains its I/O backlog once the master has no more work. Crash
+        // runs also drain eagerly: prompt writes shrink the window in
+        // which this worker's death would orphan a batch.
+        let prompt_io =
+            params.query_sync || params.strategy.inherently_synchronizing() || crash_mode;
         if prompt_io {
             while let Some(m) = offs_rx.test() {
                 offs_rx = comm.irecv(0, TAG_OFFSETS);
-                handle_offsets(&timer, &params, &workers_comm, &file, &mut state, &commits, m)
-                    .await;
+                handle_offsets(
+                    &timer,
+                    &params,
+                    &workers_comm,
+                    &file,
+                    &mut state,
+                    &commits,
+                    comm.rank(),
+                    m,
+                )
+                .await;
             }
         }
     }
 
-    // Drain: every batch we still owe I/O (or synchronization) for.
-    let expected = expected_offset_messages(&params, &state);
-    while state.offsets_handled < expected {
-        let m = timer
-            .track(Phase::DataDistribution, offs_rx.wait())
-            .await;
-        offs_rx = comm.irecv(0, TAG_OFFSETS);
-        handle_offsets(&timer, &params, &workers_comm, &file, &mut state, &commits, m).await;
+    if !crashed {
+        hb_stop.set();
+        if !crash_mode {
+            // Drain: every batch we still owe I/O (or synchronization)
+            // for. (In crash runs the master only says Done once every
+            // commit is closed, so nothing can be owed here.)
+            let expected = expected_offset_messages(&params, &state);
+            while state.offsets_handled < expected {
+                let m = timer.track(Phase::DataDistribution, offs_rx.wait()).await;
+                offs_rx = comm.irecv(0, TAG_OFFSETS);
+                handle_offsets(
+                    &timer,
+                    &params,
+                    &workers_comm,
+                    &file,
+                    &mut state,
+                    &commits,
+                    comm.rank(),
+                    m,
+                )
+                .await;
+            }
+        }
     }
 
-    // Step 15 (final): make sure our result sends completed.
+    // Step 15 (final): make sure our result sends completed. Even a
+    // crashed worker's in-flight transfers finish (the data was already
+    // handed to the fabric before the fail-stop point).
     while let Some(s) = result_sends.pop_front() {
         timer.track(Phase::GatherResults, s.wait()).await;
     }
 
-    // Step 20/21: final synchronization.
-    timer.track(Phase::Sync, comm.barrier()).await;
+    // Step 20/21: final synchronization — impossible with crashes (a dead
+    // worker can never arrive), so crash runs skip it.
+    if !crash_mode {
+        timer.track(Phase::Sync, comm.barrier()).await;
+    }
 
     let mut bd = timer.snapshot();
     bd.close_to(sim.now());
@@ -210,8 +344,15 @@ pub async fn run_worker(
 /// How many TAG_OFFSETS messages the master will send this worker.
 fn expected_offset_messages(params: &SimParams, state: &WorkerState) -> usize {
     let nbatches = state.have_results.len();
+    // A resumed run never re-announces batches that were durable at the
+    // checkpoint.
+    let skipped = params
+        .resume_from
+        .as_ref()
+        .map(|r| r.done_batches.len())
+        .unwrap_or(0);
     if params.strategy.inherently_synchronizing() || params.query_sync {
-        nbatches
+        nbatches - skipped
     } else if params.strategy == Strategy::Mw {
         0
     } else {
@@ -227,6 +368,7 @@ async fn handle_offsets(
     file: &File,
     state: &mut WorkerState,
     commits: &CommitTracker,
+    world_rank: usize,
     msg: Message,
 ) {
     let OffsetsMsg { batch, offsets } = msg.downcast();
@@ -261,31 +403,45 @@ async fn handle_offsets(
             if !regions.is_empty() {
                 timer
                     .track(Phase::Io, file.write_regions(&regions, WriteMethod::Posix))
-                    .await;
-                timer.track(Phase::Io, file.sync()).await;
+                    .await
+                    .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
+                timer
+                    .track(Phase::Io, file.sync())
+                    .await
+                    .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
             }
         }
         Strategy::WwList | Strategy::WwCollList => {
             if !regions.is_empty() {
                 timer
                     .track(Phase::Io, file.write_regions(&regions, WriteMethod::ListIo))
-                    .await;
-                timer.track(Phase::Io, file.sync()).await;
+                    .await
+                    .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
+                timer
+                    .track(Phase::Io, file.sync())
+                    .await
+                    .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
             }
         }
         Strategy::WwColl => {
             // Two-phase collective: every worker participates. The wait
             // for the slowest participant surfaces, as in the paper, in
             // the data-distribution time; the exchange and write are I/O.
-            let t = file.write_at_all_timed(&regions).await;
+            let t = file
+                .write_at_all_timed(&regions)
+                .await
+                .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
             timer.add(Phase::DataDistribution, t.synchronize);
             timer.add(Phase::Io, t.exchange_and_write);
-            timer.track(Phase::Io, file.sync()).await;
+            timer
+                .track(Phase::Io, file.sync())
+                .await
+                .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
         }
     }
 
     if wrote && params.strategy != Strategy::Mw {
-        commits.complete_one(batch, workers_comm.sim().now());
+        commits.complete_by(batch, world_rank, workers_comm.sim().now());
     }
     let forced_sync = params.query_sync || params.strategy == Strategy::WwCollList;
     if forced_sync {

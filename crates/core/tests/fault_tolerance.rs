@@ -1,0 +1,254 @@
+//! End-to-end fault-injection tests: crashed workers must not change
+//! *what* the run produces (a complete, dense, score-ordered output
+//! file), only *when* — and every run must stay deterministic, fault
+//! schedule included.
+
+use proptest::prelude::*;
+
+use s3a_des::SimTime;
+use s3a_workload::WorkloadParams;
+use s3asim::{
+    run, run_with_restart, FaultParams, ServerOutage, ServerSlowdown, SimParams, Strategy,
+};
+
+fn small(strategy: Strategy) -> SimParams {
+    SimParams {
+        procs: 5,
+        strategy,
+        write_every_n_queries: 2,
+        workload: WorkloadParams {
+            queries: 8,
+            fragments: 8,
+            min_results: 30,
+            max_results: 80,
+            ..WorkloadParams::default()
+        },
+        ..SimParams::default()
+    }
+}
+
+fn crash(rank: usize, at_ms: u64) -> FaultParams {
+    FaultParams {
+        worker_crashes: vec![(rank, SimTime::from_millis(at_ms))],
+        heartbeat_interval: SimTime::from_millis(50),
+        detection_timeout: SimTime::from_millis(400),
+        ..FaultParams::default()
+    }
+}
+
+#[test]
+fn crashed_worker_is_detected_and_its_work_recovered() {
+    for strategy in [Strategy::Mw, Strategy::WwPosix, Strategy::WwList] {
+        let mut params = small(strategy);
+        params.faults = crash(2, 40);
+        let report = run(&params);
+        report
+            .verify()
+            .unwrap_or_else(|e| panic!("{strategy}: {e}"));
+        let f = report.faults.expect("fault report present");
+        assert_eq!(f.crashes, 1, "{strategy}");
+        assert_eq!(f.detections, 1, "{strategy}");
+        if strategy.workers_write() {
+            // By 40ms the victim had completed at least one task, so its
+            // contribution was either revoked and redone (batch still
+            // open at detection) or repaired (batch already laid out).
+            assert!(
+                f.tasks_reassigned + f.batches_repaired > 0,
+                "{strategy}: a WW victim's results must need recovery"
+            );
+        }
+    }
+}
+
+#[test]
+fn two_crashes_still_complete() {
+    let mut params = small(Strategy::WwList);
+    params.faults = crash(1, 30);
+    params
+        .faults
+        .worker_crashes
+        .push((3, SimTime::from_millis(90)));
+    let report = run(&params);
+    report.verify().expect("output complete despite two deaths");
+    let f = report.faults.expect("fault report");
+    assert_eq!(f.crashes, 2);
+    assert_eq!(f.detections, 2);
+}
+
+#[test]
+fn crash_runs_are_deterministic() {
+    let mut params = small(Strategy::WwPosix);
+    params.faults = crash(3, 60);
+    let a = run(&params);
+    let b = run(&params);
+    assert_eq!(a.phase_table(), b.phase_table());
+    assert_eq!(a.csv_row(), b.csv_row());
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.commits.entries(), b.commits.entries());
+}
+
+#[test]
+fn crash_changes_time_but_not_bytes() {
+    let clean = run(&small(Strategy::WwList));
+    let mut params = small(Strategy::WwList);
+    params.faults = crash(2, 40);
+    let faulty = run(&params);
+    assert_eq!(clean.covered_bytes, faulty.covered_bytes);
+    assert!(
+        faulty.overall > clean.overall,
+        "recovery must cost time: {} vs {}",
+        faulty.overall,
+        clean.overall
+    );
+}
+
+#[test]
+fn message_faults_delay_but_do_not_corrupt() {
+    let mut params = small(Strategy::WwList);
+    params.faults = FaultParams {
+        seed: 7,
+        msg_loss_per_mille: 60,
+        msg_dup_per_mille: 40,
+        msg_delay_per_mille: 80,
+        ..FaultParams::default()
+    };
+    let a = run(&params);
+    a.verify().expect("lossy fabric must not corrupt output");
+    let f = a.faults.expect("fault report");
+    assert!(f.msg_lost + f.msg_duplicated + f.msg_delayed > 0);
+    let b = run(&params);
+    assert_eq!(a.csv_row(), b.csv_row(), "same seed, same run");
+    assert_eq!(a.faults, b.faults);
+}
+
+#[test]
+fn limping_and_flaky_servers_only_cost_time() {
+    let mut params = small(Strategy::WwPosix);
+    params.faults = FaultParams {
+        server_slowdowns: vec![ServerSlowdown {
+            server: 0,
+            from: SimTime::ZERO,
+            until: SimTime::from_secs(1000),
+            factor: 4.0,
+        }],
+        server_outages: vec![ServerOutage {
+            server: 1,
+            from: SimTime::from_millis(20),
+            until: SimTime::from_millis(120),
+        }],
+        ..FaultParams::default()
+    };
+    let report = run(&params);
+    report
+        .verify()
+        .expect("server faults must not corrupt output");
+    let clean = run(&small(Strategy::WwPosix));
+    assert!(report.overall > clean.overall);
+}
+
+#[test]
+fn kill_and_restart_resumes_from_durable_prefix() {
+    for strategy in [Strategy::Mw, Strategy::WwPosix, Strategy::WwColl] {
+        let params = small(strategy);
+        let full = run(&params);
+        // Kill just after the first extent (base 0) became durable:
+        // guaranteed partial progress, guaranteed unfinished work.
+        let entries = full.commits.entries();
+        let first_extent_at = entries
+            .iter()
+            .find(|e| e.base == 0)
+            .expect("some batch starts the file")
+            .committed_at;
+        let last_at = entries
+            .iter()
+            .map(|e| e.committed_at)
+            .max()
+            .expect("nonempty");
+        assert!(
+            first_extent_at < last_at,
+            "{strategy}: commits should be spread over time"
+        );
+        let outcome = run_with_restart(&params, first_extent_at);
+        outcome
+            .verify()
+            .unwrap_or_else(|e| panic!("{strategy}: {e}"));
+        assert!(
+            !outcome.resume.done_batches.is_empty(),
+            "{strategy}: the first extent was durable at the kill"
+        );
+        assert!(
+            outcome.resume.base_offset < full.expected_bytes,
+            "{strategy}: work should remain after the kill"
+        );
+    }
+}
+
+#[test]
+fn restart_at_time_zero_replays_the_whole_run() {
+    let params = small(Strategy::WwList);
+    let outcome = run_with_restart(&params, SimTime::ZERO);
+    assert!(outcome.resume.done_batches.is_empty());
+    assert_eq!(outcome.resume.base_offset, 0);
+    outcome.verify().expect("full replay");
+    let clean = run(&params);
+    assert_eq!(outcome.second.csv_row(), clean.csv_row());
+}
+
+#[test]
+fn crash_then_restart_combines_into_a_complete_file() {
+    // The hardest composition: the first run limps through a worker crash,
+    // is then killed, and the resumed run finishes the remainder.
+    let mut params = small(Strategy::WwList);
+    params.faults = crash(2, 40);
+    let full = run(&params);
+    let outcome = run_with_restart(&params, full.overall / 2);
+    outcome.verify().expect("crash + restart still exact");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Output-extent verification holds for ANY crash interleaving.
+    #[test]
+    fn any_crash_schedule_yields_exact_output(
+        rank in 1usize..5,
+        at_ms in 0u64..400,
+        strategy_ix in 0usize..3,
+    ) {
+        let strategy = [Strategy::Mw, Strategy::WwPosix, Strategy::WwList][strategy_ix];
+        let mut params = small(strategy);
+        params.faults = crash(rank, at_ms);
+        let report = run(&params);
+        prop_assert!(report.verify().is_ok(), "{}", report.verify().unwrap_err());
+        prop_assert_eq!(report.faults.expect("report").crashes, 1);
+    }
+
+    /// Same seed + same fault schedule ⇒ byte-identical report.
+    #[test]
+    fn fault_runs_are_replayable(
+        rank in 1usize..5,
+        at_ms in 0u64..300,
+        seed in 0u64..1000,
+    ) {
+        let mut params = small(Strategy::WwPosix);
+        params.faults = crash(rank, at_ms);
+        params.faults.seed = seed;
+        params.faults.msg_loss_per_mille = 30;
+        params.faults.msg_delay_per_mille = 30;
+        let a = run(&params);
+        let b = run(&params);
+        prop_assert_eq!(a.phase_table(), b.phase_table());
+        prop_assert_eq!(a.csv_row(), b.csv_row());
+        prop_assert_eq!(a.faults, b.faults);
+    }
+
+    /// Any kill time produces a valid checkpoint and a complete restart.
+    #[test]
+    fn any_kill_time_restarts_exactly(permille in 0u64..1000) {
+        let params = small(Strategy::WwPosix);
+        let full = run(&params);
+        let kill = SimTime::from_nanos(full.overall.as_nanos() / 1000 * permille);
+        let outcome = run_with_restart(&params, kill);
+        prop_assert!(outcome.verify().is_ok(), "{}", outcome.verify().unwrap_err());
+    }
+}

@@ -46,8 +46,8 @@ proptest! {
     fn offsets_are_disjoint_dense_and_ordered(case in query_case(), base in 0u64..1_000_000) {
         let fragments = case.tasks.len();
         let mut batch = BatchState::new(0, vec![0], fragments);
-        for (w, hits) in &case.tasks {
-            batch.record(0, *w, hits);
+        for (frag, (w, hits)) in case.tasks.iter().enumerate() {
+            batch.record(0, frag, *w, hits);
         }
         prop_assert!(batch.is_complete());
 
@@ -78,7 +78,10 @@ proptest! {
         // Pair offsets with local hit orders and collect all regions.
         let mut regions: Vec<(u64, u64, u64)> = Vec::new(); // (off, len, score)
         for (w, hits) in &local {
-            let offsets = per_worker.get(w).cloned().unwrap_or_default();
+            let offsets = per_worker
+                .get(w)
+                .map(|p| p.offsets.clone())
+                .unwrap_or_default();
             prop_assert_eq!(
                 offsets.len(),
                 hits.len(),
@@ -134,8 +137,8 @@ proptest! {
         };
         let h0 = mk(&sizes_q0, 1);
         let h1 = mk(&sizes_q1, 2);
-        batch.record(4, 1, &h0);
-        batch.record(5, 1, &h1);
+        batch.record(4, 0, 1, &h0);
+        batch.record(5, 0, 1, &h1);
         let (per_worker, total) = batch.assign_offsets(0);
         let b0: u64 = sizes_q0.iter().sum();
         let b1: u64 = sizes_q1.iter().sum();
@@ -143,7 +146,7 @@ proptest! {
         // Worker 1 holds everything; its offsets must be grouped: all of
         // query 4's region offsets precede query 5's.
         let offs = &per_worker[&1];
-        let (q0_offs, q1_offs) = offs.split_at(h0.len());
+        let (q0_offs, q1_offs) = offs.offsets.split_at(h0.len());
         let max0 = q0_offs.iter().max().copied().unwrap_or(0);
         let min1 = q1_offs.iter().min().copied().unwrap_or(u64::MAX);
         prop_assert!(max0 < min1, "query extents interleaved");

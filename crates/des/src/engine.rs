@@ -78,6 +78,10 @@ struct Slot {
     name: String,
     gen: u32,
     done: bool,
+    /// What the task is parked on, reported by the leaf future that
+    /// registered the task in a waiter list (see [`Sim::note_blocked`]).
+    /// Cleared at every poll; used to explain deadlocks.
+    blocked_on: Option<&'static str>,
 }
 
 /// Counters describing how much work the engine performed.
@@ -100,6 +104,24 @@ pub struct Deadlock {
     pub at: SimTime,
     /// Names of the live (parked) tasks.
     pub parked: Vec<String>,
+    /// For each parked task, the primitive it is blocked on (`"queue pop"`,
+    /// `"barrier arrive"`, ...) as reported by the leaf future, parallel to
+    /// `parked`. `None` when the task parked without registering a reason.
+    pub blocked_on: Vec<Option<&'static str>>,
+}
+
+impl Deadlock {
+    /// One human-readable line per parked task: `name (blocked on X)`.
+    pub fn details(&self) -> Vec<String> {
+        self.parked
+            .iter()
+            .zip(&self.blocked_on)
+            .map(|(name, what)| match what {
+                Some(w) => format!("{name} (blocked on {w})"),
+                None => format!("{name} (blocked, no reason recorded)"),
+            })
+            .collect()
+    }
 }
 
 impl fmt::Display for Deadlock {
@@ -109,7 +131,7 @@ impl fmt::Display for Deadlock {
             "simulation deadlocked at {} with {} parked task(s): {}",
             self.at,
             self.parked.len(),
-            self.parked.join(", ")
+            self.details().join(", ")
         )
     }
 }
@@ -211,10 +233,8 @@ impl Sim {
                     slot.future = Some(boxed);
                     slot.name = name.into();
                     slot.done = false;
-                    TaskId {
-                        idx,
-                        gen: slot.gen,
-                    }
+                    slot.blocked_on = None;
+                    TaskId { idx, gen: slot.gen }
                 }
                 None => {
                     let idx = c.slots.len() as u32;
@@ -223,6 +243,7 @@ impl Sim {
                         name: name.into(),
                         gen: 0,
                         done: false,
+                        blocked_on: None,
                     });
                     TaskId { idx, gen: 0 }
                 }
@@ -245,7 +266,23 @@ impl Sim {
         let at = at.max(c.now);
         let seq = c.seq;
         c.seq += 1;
-        c.heap.push(Reverse(WakeEvent { time: at, seq, task }));
+        c.heap.push(Reverse(WakeEvent {
+            time: at,
+            seq,
+            task,
+        }));
+    }
+
+    /// Record what `task` is parked on. Called by leaf futures right after
+    /// they register the task in a waiter list; the note is cleared the
+    /// next time the task is polled, and surfaces in [`Deadlock`] reports.
+    pub fn note_blocked(&self, task: TaskId, what: &'static str) {
+        let mut c = self.core.borrow_mut();
+        if let Some(slot) = c.slots.get_mut(task.idx as usize) {
+            if slot.gen == task.gen && !slot.done {
+                slot.blocked_on = Some(what);
+            }
+        }
     }
 
     /// Make `task` runnable at the current time (end of the ready queue).
@@ -292,6 +329,7 @@ impl Sim {
             }
             match slot.future.take() {
                 Some(f) => {
+                    slot.blocked_on = None; // re-recorded if it parks again
                     c.stats.polls += 1;
                     f
                 }
@@ -350,13 +388,18 @@ impl Sim {
                         ev.task
                     }
                     None => {
-                        let parked = c
+                        let stuck: Vec<&Slot> = c
                             .slots
                             .iter()
                             .filter(|s| !s.done && s.future.is_some())
-                            .map(|s| s.name.clone())
                             .collect();
-                        return Err(Deadlock { at: c.now, parked });
+                        let parked = stuck.iter().map(|s| s.name.clone()).collect();
+                        let blocked_on = stuck.iter().map(|s| s.blocked_on).collect();
+                        return Err(Deadlock {
+                            at: c.now,
+                            parked,
+                            blocked_on,
+                        });
                     }
                 }
             };
@@ -446,7 +489,7 @@ impl<T> JoinHandle<T> {
     pub fn join(self) -> Join<T> {
         Join {
             state: self.state,
-            _sim: self.sim,
+            sim: self.sim,
         }
     }
 }
@@ -454,7 +497,7 @@ impl<T> JoinHandle<T> {
 /// Future returned by [`JoinHandle::join`].
 pub struct Join<T> {
     state: Rc<RefCell<JoinInner<T>>>,
-    _sim: Sim,
+    sim: Sim,
 }
 
 impl<T> Future for Join<T> {
@@ -468,6 +511,7 @@ impl<T> Future for Join<T> {
             if !s.waiters.contains(&me) {
                 s.waiters.push(me);
             }
+            self.sim.note_blocked(me, "task join");
             Poll::Pending
         }
     }
@@ -606,6 +650,16 @@ mod tests {
         assert!(err.parked.iter().any(|n| n == "stuck-forever"));
         assert!(err.parked.iter().any(|n| n == "never"));
         assert_eq!(err.at, SimTime::ZERO);
+        // The joiner reports what it is blocked on; the raw pending future
+        // never registered, so it has no reason.
+        let details = err.details();
+        assert!(
+            details
+                .iter()
+                .any(|d| d == "stuck-forever (blocked on task join)"),
+            "details: {details:?}"
+        );
+        assert!(err.to_string().contains("blocked on task join"));
     }
 
     #[test]

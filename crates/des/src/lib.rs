@@ -31,7 +31,9 @@ pub mod engine;
 pub mod sync;
 pub mod time;
 
-pub use engine::{current_task, Deadlock, Join, JoinHandle, Sim, SimStats, Sleep, TaskId, YieldNow};
+pub use engine::{
+    current_task, Deadlock, Join, JoinHandle, Sim, SimStats, Sleep, TaskId, YieldNow,
+};
 pub use sync::{
     Acquire, Arrive, Barrier, Flag, OneShot, Pop, Queue, Semaphore, Signal, Take, Timeline,
     WaitFlag, WaitSignal,

@@ -17,11 +17,12 @@ use std::task::{Context, Poll};
 use crate::engine::{current_task, Sim, TaskId};
 use crate::time::SimTime;
 
-fn register(waiters: &mut Vec<TaskId>) {
+fn register(sim: &Sim, waiters: &mut Vec<TaskId>, what: &'static str) {
     let me = current_task();
     if !waiters.contains(&me) {
         waiters.push(me);
     }
+    sim.note_blocked(me, what);
 }
 
 fn wake_all(sim: &Sim, waiters: &mut Vec<TaskId>) {
@@ -83,7 +84,9 @@ impl<T> Queue<T> {
 
     /// Wait for and remove the oldest item.
     pub fn pop(&self) -> Pop<T> {
-        Pop { queue: self.clone() }
+        Pop {
+            queue: self.clone(),
+        }
     }
 
     /// Number of queued items.
@@ -109,7 +112,7 @@ impl<T> Future for Pop<T> {
         match q.items.pop_front() {
             Some(v) => Poll::Ready(v),
             None => {
-                register(&mut q.waiters);
+                register(&self.queue.sim, &mut q.waiters, "queue pop");
                 Poll::Pending
             }
         }
@@ -192,7 +195,7 @@ impl<T> Future for Take<T> {
         if c.set {
             Poll::Ready(c.value.take().expect("OneShot value taken twice"))
         } else {
-            register(&mut c.waiters);
+            register(&self.cell.sim, &mut c.waiters, "oneshot take");
             Poll::Pending
         }
     }
@@ -260,7 +263,7 @@ impl Future for WaitFlag {
         if f.set {
             Poll::Ready(())
         } else {
-            register(&mut f.waiters);
+            register(&self.flag.sim, &mut f.waiters, "flag wait");
             Poll::Pending
         }
     }
@@ -327,7 +330,7 @@ impl Future for WaitSignal {
         if s.generation >= target {
             Poll::Ready(())
         } else {
-            register(&mut s.waiters);
+            register(&this.signal.sim, &mut s.waiters, "signal wait");
             Poll::Pending
         }
     }
@@ -403,7 +406,7 @@ impl Future for Arrive {
                     Poll::Ready(())
                 } else {
                     this.entered = Some(my_gen);
-                    register(&mut b.waiters);
+                    register(&this.barrier.sim, &mut b.waiters, "barrier arrive");
                     Poll::Pending
                 }
             }
@@ -411,7 +414,7 @@ impl Future for Arrive {
                 if b.generation > my_gen {
                     Poll::Ready(())
                 } else {
-                    register(&mut b.waiters);
+                    register(&this.barrier.sim, &mut b.waiters, "barrier arrive");
                     Poll::Pending
                 }
             }
@@ -544,7 +547,7 @@ impl Future for Acquire {
             s.permits -= self.n;
             Poll::Ready(())
         } else {
-            register(&mut s.waiters);
+            register(&self.sem.sim, &mut s.waiters, "semaphore acquire");
             Poll::Pending
         }
     }
@@ -818,7 +821,10 @@ mod tests {
         });
         sim.run().unwrap();
         assert_eq!(tl.total_busy(), SimTime::from_millis(10));
-        assert_eq!(tl.next_free(), SimTime::from_millis(10) + SimTime::from_secs(1));
+        assert_eq!(
+            tl.next_free(),
+            SimTime::from_millis(10) + SimTime::from_secs(1)
+        );
     }
 
     #[test]

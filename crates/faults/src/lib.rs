@@ -1,0 +1,525 @@
+//! # s3a-faults — deterministic fault injection
+//!
+//! A fault run is described entirely by a [`FaultParams`] value: which
+//! workers crash and when (virtual time), the per-message probabilities of
+//! loss / duplication / extra delay on the fabric, and per-server slowdown
+//! ("limping server") and outage windows on the PVFS side. Given the same
+//! parameters the injected fault pattern is bit-for-bit identical across
+//! runs — message-level decisions are drawn from a counted hash stream per
+//! (src, dst) endpoint pair, not from shared mutable RNG state, so they do
+//! not depend on scheduling order of unrelated traffic.
+//!
+//! Two runtime objects are built from the parameters:
+//!
+//! * [`FaultSchedule`] — the decision oracle the network and file-system
+//!   layers consult ("does this message get lost?", "is server 3 down at
+//!   t?").
+//! * [`FaultLog`] — a shared recorder; every injection, detection, retry
+//!   and reassignment lands here as a timestamped [`FaultEvent`], and
+//!   [`FaultLog::report`] folds the log into the per-run "recovery tax"
+//!   summary ([`FaultReport`]).
+
+use s3a_des::SimTime;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// A window during which one PVFS server runs slow by a constant factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerSlowdown {
+    /// Server index (0-based).
+    pub server: usize,
+    /// Start of the slow window (inclusive).
+    pub from: SimTime,
+    /// End of the slow window (exclusive).
+    pub until: SimTime,
+    /// Service-time multiplier (> 1.0 = slower).
+    pub factor: f64,
+}
+
+/// A window during which one PVFS server does not answer at all. Clients
+/// retry with a fixed backoff until the window ends or their retry budget
+/// is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerOutage {
+    /// Server index (0-based).
+    pub server: usize,
+    /// Start of the outage (inclusive).
+    pub from: SimTime,
+    /// End of the outage (exclusive).
+    pub until: SimTime,
+}
+
+/// Complete description of the faults injected into one run. The default
+/// value injects nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultParams {
+    /// Seed for the per-message fault decisions. Two runs with the same
+    /// seed and traffic pattern draw identical decisions.
+    pub seed: u64,
+    /// `(worker_rank, crash_time)`: the worker fail-stops at the first
+    /// obligation-free point at or after `crash_time`.
+    pub worker_crashes: Vec<(usize, SimTime)>,
+    /// Per-mille probability that a message is lost on the wire and must
+    /// be retransmitted by the transport.
+    pub msg_loss_per_mille: u16,
+    /// Per-mille probability that a message is duplicated (the copy burns
+    /// fabric resources; delivery is deduplicated).
+    pub msg_dup_per_mille: u16,
+    /// Per-mille probability that a message is held up by
+    /// [`FaultParams::msg_extra_delay`] before delivery.
+    pub msg_delay_per_mille: u16,
+    /// Extra in-flight delay applied to delayed messages.
+    pub msg_extra_delay: SimTime,
+    /// How long the transport waits before retransmitting a lost message.
+    pub msg_retransmit_timeout: SimTime,
+    /// Slow-server windows.
+    pub server_slowdowns: Vec<ServerSlowdown>,
+    /// Server outage windows.
+    pub server_outages: Vec<ServerOutage>,
+    /// How often live workers heartbeat the master.
+    pub heartbeat_interval: SimTime,
+    /// Silence threshold after which the master declares a worker dead.
+    pub detection_timeout: SimTime,
+    /// How many times a client retries a request into an outage window
+    /// before giving up with an error.
+    pub max_io_retries: u32,
+    /// Pause between outage retries.
+    pub io_retry_backoff: SimTime,
+}
+
+impl Default for FaultParams {
+    fn default() -> Self {
+        FaultParams {
+            seed: 0,
+            worker_crashes: Vec::new(),
+            msg_loss_per_mille: 0,
+            msg_dup_per_mille: 0,
+            msg_delay_per_mille: 0,
+            msg_extra_delay: SimTime::from_millis(5),
+            msg_retransmit_timeout: SimTime::from_millis(1),
+            server_slowdowns: Vec::new(),
+            server_outages: Vec::new(),
+            heartbeat_interval: SimTime::from_millis(250),
+            detection_timeout: SimTime::from_secs(3),
+            max_io_retries: 64,
+            io_retry_backoff: SimTime::from_millis(20),
+        }
+    }
+}
+
+impl FaultParams {
+    /// True if any fault source is configured.
+    pub fn any(&self) -> bool {
+        !self.worker_crashes.is_empty()
+            || self.msg_loss_per_mille > 0
+            || self.msg_dup_per_mille > 0
+            || self.msg_delay_per_mille > 0
+            || !self.server_slowdowns.is_empty()
+            || !self.server_outages.is_empty()
+    }
+
+    /// True if any worker crash is scheduled (this is what switches the
+    /// master into its polling / failure-detection mode).
+    pub fn crashes(&self) -> bool {
+        !self.worker_crashes.is_empty()
+    }
+
+    /// True if any message-level fault is configured.
+    pub fn message_faults(&self) -> bool {
+        self.msg_loss_per_mille > 0 || self.msg_dup_per_mille > 0 || self.msg_delay_per_mille > 0
+    }
+}
+
+/// The fate of a single message, decided by [`FaultSchedule::message_fault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgFault {
+    /// Delivered normally.
+    None,
+    /// Dropped on the wire; the transport retransmits after its timeout.
+    Lose,
+    /// A spurious copy also occupies the fabric; delivery is deduplicated.
+    Duplicate,
+    /// Delivery is held up by the configured extra delay.
+    Delay,
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit hash.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Decision oracle built from [`FaultParams`]. Shared (behind `Rc`) by the
+/// fabric, the file system, and the master/worker logic.
+pub struct FaultSchedule {
+    params: FaultParams,
+    /// Per-(src, dst) message counters: the n-th message on a pair always
+    /// gets the n-th decision of that pair's hash stream, independent of
+    /// what other pairs are doing.
+    pair_counters: RefCell<HashMap<(usize, usize), u64>>,
+}
+
+impl FaultSchedule {
+    /// Build the oracle for one run.
+    pub fn new(params: FaultParams) -> Rc<FaultSchedule> {
+        Rc::new(FaultSchedule {
+            params,
+            pair_counters: RefCell::new(HashMap::new()),
+        })
+    }
+
+    /// The parameters this schedule was built from.
+    pub fn params(&self) -> &FaultParams {
+        &self.params
+    }
+
+    /// When (if ever) the worker with this world rank is scheduled to
+    /// crash.
+    pub fn crash_time(&self, rank: usize) -> Option<SimTime> {
+        self.params
+            .worker_crashes
+            .iter()
+            .find(|(r, _)| *r == rank)
+            .map(|&(_, t)| t)
+    }
+
+    /// Decide the fate of the next message from `src` to `dst`. Draws one
+    /// decision from the pair's deterministic stream, so callers must call
+    /// this exactly once per logical message.
+    pub fn message_fault(&self, src: usize, dst: usize) -> MsgFault {
+        let p = &self.params;
+        if !p.message_faults() {
+            return MsgFault::None;
+        }
+        let n = {
+            let mut counters = self.pair_counters.borrow_mut();
+            let c = counters.entry((src, dst)).or_insert(0);
+            *c += 1;
+            *c
+        };
+        let key = p
+            .seed
+            .wrapping_add((src as u64) << 42)
+            .wrapping_add((dst as u64) << 21)
+            .wrapping_add(n);
+        let roll = (splitmix64(key) % 1000) as u16;
+        let lose = p.msg_loss_per_mille;
+        let dup = lose + p.msg_dup_per_mille;
+        let delay = dup + p.msg_delay_per_mille;
+        if roll < lose {
+            MsgFault::Lose
+        } else if roll < dup {
+            MsgFault::Duplicate
+        } else if roll < delay {
+            MsgFault::Delay
+        } else {
+            MsgFault::None
+        }
+    }
+
+    /// Service-time multiplier for `server` at time `now` (1.0 = healthy).
+    pub fn server_delay_factor(&self, server: usize, now: SimTime) -> f64 {
+        self.params
+            .server_slowdowns
+            .iter()
+            .filter(|s| s.server == server && s.from <= now && now < s.until)
+            .map(|s| s.factor)
+            .fold(1.0, f64::max)
+    }
+
+    /// If `server` is inside an outage window at `now`, the time the
+    /// window ends.
+    pub fn server_outage_until(&self, server: usize, now: SimTime) -> Option<SimTime> {
+        self.params
+            .server_outages
+            .iter()
+            .filter(|o| o.server == server && o.from <= now && now < o.until)
+            .map(|o| o.until)
+            .max()
+    }
+}
+
+/// One recorded fault-related occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A message was dropped on the wire (and will be retransmitted).
+    MsgLost { src: usize, dst: usize },
+    /// A spurious duplicate occupied the fabric.
+    MsgDuplicated { src: usize, dst: usize },
+    /// A message was held up by the configured extra delay.
+    MsgDelayed { src: usize, dst: usize },
+    /// A client backed off and retried a request into a server outage.
+    IoRetry { server: usize },
+    /// A worker fail-stopped.
+    WorkerCrashed { rank: usize },
+    /// The master's failure detector declared a worker dead.
+    WorkerDetected { rank: usize },
+    /// An in-flight or revoked `(query, fragment)` task went back on the
+    /// queue for a surviving worker.
+    TaskReassigned { query: usize, fragment: usize },
+    /// A committed-offset batch lost with a dead worker was bundled for
+    /// recomputation and rewrite by a survivor.
+    BatchRepaired { batch: usize, bytes: u64 },
+}
+
+/// A timestamped [`FaultKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Virtual time at which the event was recorded.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: FaultKind,
+}
+
+/// Shared, append-only event recorder. Cloning shares the underlying log.
+#[derive(Clone, Default)]
+pub struct FaultLog {
+    events: Rc<RefCell<Vec<FaultEvent>>>,
+}
+
+impl FaultLog {
+    /// An empty log.
+    pub fn new() -> FaultLog {
+        FaultLog::default()
+    }
+
+    /// Append one event.
+    pub fn record(&self, at: SimTime, kind: FaultKind) {
+        self.events.borrow_mut().push(FaultEvent { at, kind });
+    }
+
+    /// Snapshot of all events recorded so far, in record order.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        self.events.borrow().clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.borrow().is_empty()
+    }
+
+    /// Fold the log into the per-run recovery-tax summary.
+    pub fn report(&self) -> FaultReport {
+        let mut r = FaultReport::default();
+        let mut crash_at: HashMap<usize, SimTime> = HashMap::new();
+        for ev in self.events.borrow().iter() {
+            match ev.kind {
+                FaultKind::MsgLost { .. } => r.msg_lost += 1,
+                FaultKind::MsgDuplicated { .. } => r.msg_duplicated += 1,
+                FaultKind::MsgDelayed { .. } => r.msg_delayed += 1,
+                FaultKind::IoRetry { .. } => r.io_retries += 1,
+                FaultKind::WorkerCrashed { rank } => {
+                    r.crashes += 1;
+                    crash_at.insert(rank, ev.at);
+                }
+                FaultKind::WorkerDetected { rank } => {
+                    r.detections += 1;
+                    if let Some(&t) = crash_at.get(&rank) {
+                        r.detection_latency += ev.at.saturating_sub(t);
+                    }
+                }
+                FaultKind::TaskReassigned { .. } => r.tasks_reassigned += 1,
+                FaultKind::BatchRepaired { batch: _, bytes } => {
+                    r.batches_repaired += 1;
+                    r.bytes_repaired += bytes;
+                }
+            }
+        }
+        r
+    }
+}
+
+/// Aggregated fault / recovery counters for one run — the "recovery tax"
+/// breakdown alongside the run's phase times.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Messages lost on the wire (each cost one retransmission).
+    pub msg_lost: u64,
+    /// Spurious duplicate copies injected.
+    pub msg_duplicated: u64,
+    /// Messages held up by the extra-delay fault.
+    pub msg_delayed: u64,
+    /// Outage-window retries paid by PVFS clients.
+    pub io_retries: u64,
+    /// Workers that fail-stopped.
+    pub crashes: u64,
+    /// Dead workers the master's detector caught.
+    pub detections: u64,
+    /// Sum over detected workers of (detection time - crash time).
+    pub detection_latency: SimTime,
+    /// `(query, fragment)` tasks requeued from dead workers.
+    pub tasks_reassigned: u64,
+    /// Committed batches a survivor had to recompute and rewrite.
+    pub batches_repaired: u64,
+    /// Output bytes rewritten through batch repair.
+    pub bytes_repaired: u64,
+}
+
+impl fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "crashes={} detected={} (latency {}) reassigned={} repaired={} ({} B) \
+             msg lost/dup/delayed={}/{}/{} io-retries={}",
+            self.crashes,
+            self.detections,
+            self.detection_latency,
+            self.tasks_reassigned,
+            self.batches_repaired,
+            self.bytes_repaired,
+            self.msg_lost,
+            self.msg_duplicated,
+            self.msg_delayed,
+            self.io_retries,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg_params() -> FaultParams {
+        FaultParams {
+            seed: 42,
+            msg_loss_per_mille: 100,
+            msg_dup_per_mille: 50,
+            msg_delay_per_mille: 100,
+            ..FaultParams::default()
+        }
+    }
+
+    #[test]
+    fn default_injects_nothing() {
+        let p = FaultParams::default();
+        assert!(!p.any());
+        let s = FaultSchedule::new(p);
+        for i in 0..100 {
+            assert_eq!(s.message_fault(0, i), MsgFault::None);
+        }
+        assert_eq!(s.crash_time(3), None);
+        assert_eq!(s.server_delay_factor(0, SimTime::from_secs(1)), 1.0);
+        assert_eq!(s.server_outage_until(0, SimTime::from_secs(1)), None);
+    }
+
+    #[test]
+    fn message_decisions_replay_identically() {
+        let a = FaultSchedule::new(msg_params());
+        let b = FaultSchedule::new(msg_params());
+        let seq_a: Vec<MsgFault> = (0..500).map(|i| a.message_fault(i % 7, i % 5)).collect();
+        let seq_b: Vec<MsgFault> = (0..500).map(|i| b.message_fault(i % 7, i % 5)).collect();
+        assert_eq!(seq_a, seq_b);
+        // Roughly the configured 25% of messages should be faulted.
+        let faulted = seq_a.iter().filter(|f| **f != MsgFault::None).count();
+        assert!((50..250).contains(&faulted), "faulted = {faulted}");
+    }
+
+    #[test]
+    fn pair_streams_are_independent_of_interleaving() {
+        // Pair (0,1)'s n-th decision does not depend on traffic on (2,3).
+        let a = FaultSchedule::new(msg_params());
+        let b = FaultSchedule::new(msg_params());
+        let seq_a: Vec<MsgFault> = (0..100).map(|_| a.message_fault(0, 1)).collect();
+        let seq_b: Vec<MsgFault> = (0..100)
+            .map(|_| {
+                b.message_fault(2, 3); // interleaved unrelated traffic
+                b.message_fault(0, 1)
+            })
+            .collect();
+        assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn crash_lookup() {
+        let p = FaultParams {
+            worker_crashes: vec![(2, SimTime::from_secs(1)), (5, SimTime::from_secs(2))],
+            ..FaultParams::default()
+        };
+        assert!(p.crashes() && p.any());
+        let s = FaultSchedule::new(p);
+        assert_eq!(s.crash_time(2), Some(SimTime::from_secs(1)));
+        assert_eq!(s.crash_time(5), Some(SimTime::from_secs(2)));
+        assert_eq!(s.crash_time(1), None);
+    }
+
+    #[test]
+    fn server_windows() {
+        let p = FaultParams {
+            server_slowdowns: vec![ServerSlowdown {
+                server: 1,
+                from: SimTime::from_secs(1),
+                until: SimTime::from_secs(2),
+                factor: 8.0,
+            }],
+            server_outages: vec![ServerOutage {
+                server: 0,
+                from: SimTime::from_secs(3),
+                until: SimTime::from_secs(4),
+            }],
+            ..FaultParams::default()
+        };
+        let s = FaultSchedule::new(p);
+        assert_eq!(s.server_delay_factor(1, SimTime::from_millis(500)), 1.0);
+        assert_eq!(s.server_delay_factor(1, SimTime::from_millis(1500)), 8.0);
+        assert_eq!(s.server_delay_factor(1, SimTime::from_secs(2)), 1.0);
+        assert_eq!(s.server_delay_factor(0, SimTime::from_millis(1500)), 1.0);
+        assert_eq!(
+            s.server_outage_until(0, SimTime::from_millis(3500)),
+            Some(SimTime::from_secs(4))
+        );
+        assert_eq!(s.server_outage_until(0, SimTime::from_secs(4)), None);
+        assert_eq!(s.server_outage_until(1, SimTime::from_millis(3500)), None);
+    }
+
+    #[test]
+    fn log_folds_into_report() {
+        let log = FaultLog::new();
+        let t = SimTime::from_secs;
+        log.record(t(1), FaultKind::WorkerCrashed { rank: 3 });
+        log.record(t(2), FaultKind::WorkerDetected { rank: 3 });
+        log.record(
+            t(2),
+            FaultKind::TaskReassigned {
+                query: 0,
+                fragment: 1,
+            },
+        );
+        log.record(
+            t(2),
+            FaultKind::TaskReassigned {
+                query: 0,
+                fragment: 2,
+            },
+        );
+        log.record(
+            t(2),
+            FaultKind::BatchRepaired {
+                batch: 0,
+                bytes: 128,
+            },
+        );
+        log.record(t(3), FaultKind::MsgLost { src: 1, dst: 0 });
+        log.record(t(3), FaultKind::IoRetry { server: 2 });
+        let r = log.report();
+        assert_eq!(r.crashes, 1);
+        assert_eq!(r.detections, 1);
+        assert_eq!(r.detection_latency, t(1));
+        assert_eq!(r.tasks_reassigned, 2);
+        assert_eq!(r.batches_repaired, 1);
+        assert_eq!(r.bytes_repaired, 128);
+        assert_eq!(r.msg_lost, 1);
+        assert_eq!(r.io_retries, 1);
+        assert_eq!(log.len(), 7);
+        // The Display form is a stable single line.
+        assert!(r.to_string().contains("crashes=1"));
+    }
+}

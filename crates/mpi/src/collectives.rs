@@ -122,7 +122,10 @@ impl Comm {
             let origin = (me + n - s) % n;
             let (v, b) = out[origin].clone().expect("block to forward is present");
             let sreq = self.isend_raw(right, tag, (origin, v), b);
-            let m = self.irecv_raw(Source::Rank(left), TagSel::Tag(tag)).wait().await;
+            let m = self
+                .irecv_raw(Source::Rank(left), TagSel::Tag(tag))
+                .wait()
+                .await;
             let bytes_in = m.status.bytes;
             let (o, v_in) = m.downcast::<(Rank, T)>();
             assert!(out[o].is_none(), "duplicate allgather block");

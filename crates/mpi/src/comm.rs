@@ -94,6 +94,18 @@ struct Mailbox {
     arrived: VecDeque<Envelope>,
     posted: Vec<Rc<RefCell<PostedRecv>>>,
     waiters: Vec<TaskId>,
+    /// The rank fail-stopped: arriving messages are absorbed (rendezvous
+    /// senders granted and discarded) instead of buffered, so traffic in
+    /// flight toward a dead process can always complete on the wire.
+    failed: bool,
+}
+
+/// Discard a message addressed to a failed rank, granting its rendezvous
+/// sender (if any) so the sender-side transfer task can finish.
+fn absorb(env: Envelope) {
+    if let Some(cts) = env.cts {
+        cts.set(());
+    }
 }
 
 struct WorldInner {
@@ -131,10 +143,28 @@ impl WorldInner {
         }
     }
 
+    /// Fail-stop `rank`: absorb everything queued at its mailbox and every
+    /// future arrival.
+    fn fail(&self, rank: Rank) {
+        let drained: Vec<Envelope> = {
+            let mut mb = self.mailboxes[rank].borrow_mut();
+            mb.failed = true;
+            mb.arrived.drain(..).collect()
+        };
+        for env in drained {
+            absorb(env);
+        }
+    }
+
     /// Match-or-buffer an envelope that has just arrived at `dst`.
     fn deliver(self: &Rc<Self>, dst: Rank, env: Envelope) {
         let matched = {
             let mut mb = self.mailboxes[dst].borrow_mut();
+            if mb.failed {
+                drop(mb);
+                absorb(env);
+                return;
+            }
             let pos = mb.posted.iter().position(|p| {
                 let p = p.borrow();
                 p.envelope.is_none()
@@ -235,9 +265,7 @@ impl WorldInner {
             let header = self.cfg.header_bytes;
             // Book the RTS *now*, not inside the spawned task: wire order
             // must equal isend order or same-pair messages could overtake.
-            let rts = self
-                .fabric
-                .book_transfer(sim.now(), src_ep, dst_ep, header);
+            let rts = self.fabric.book_transfer(sim.now(), src_ep, dst_ep, header);
             let s = sim.clone();
             sim.spawn("mpi-rndv", async move {
                 s.sleep_until(rts.delivered).await;
@@ -308,6 +336,7 @@ impl World {
                             arrived: VecDeque::new(),
                             posted: Vec::new(),
                             waiters: Vec::new(),
+                            failed: false,
                         })
                     })
                     .collect(),
@@ -384,6 +413,24 @@ pub struct Comm {
     coll_seq: Cell<u32>,
 }
 
+/// A clone is a second handle to the same communicator, fit for
+/// point-to-point traffic from a sibling task (e.g. a heartbeat sender).
+///
+/// The collective sequence counter is forked at clone time, so the clone
+/// and the original must not both issue collectives afterwards — their
+/// tags would collide. S3aSim's sibling tasks only ever send.
+impl Clone for Comm {
+    fn clone(&self) -> Comm {
+        Comm {
+            world: Rc::clone(&self.world),
+            context: self.context,
+            rank: self.rank,
+            members: Rc::clone(&self.members),
+            coll_seq: Cell::new(self.coll_seq.get()),
+        }
+    }
+}
+
 impl Comm {
     /// This process's rank in the communicator.
     pub fn rank(&self) -> Rank {
@@ -414,6 +461,14 @@ impl Comm {
     /// The fabric this communicator's world runs on.
     pub fn fabric(&self) -> Rc<Fabric> {
         Rc::clone(&self.world.fabric)
+    }
+
+    /// Declare this rank fail-stopped (crash simulation). Messages already
+    /// queued for it and every later arrival are absorbed: rendezvous
+    /// senders are granted and their payloads discarded, so no transfer
+    /// toward the dead rank can wedge the simulation. Irreversible.
+    pub fn mark_failed(&self) {
+        self.world.fail(self.members[self.rank]);
     }
 
     /// Create a sub-communicator containing `local_members` (local ranks of
@@ -572,10 +627,7 @@ pub struct RecvRequest {
 impl RecvRequest {
     fn try_complete(&self) -> Option<Message> {
         let mut p = self.state.borrow_mut();
-        let ready = p
-            .envelope
-            .as_ref()
-            .is_some_and(|e| e.data_arrived.get());
+        let ready = p.envelope.as_ref().is_some_and(|e| e.data_arrived.get());
         if !ready {
             return None;
         }
@@ -598,6 +650,25 @@ impl RecvRequest {
     /// `MPI_Test`: completes the receive if the message has fully arrived.
     pub fn test(&self) -> Option<Message> {
         self.try_complete()
+    }
+
+    /// True once the message has fully arrived, without consuming it
+    /// (peek; a subsequent [`RecvRequest::test`] will return it).
+    pub fn ready(&self) -> bool {
+        self.state
+            .borrow()
+            .envelope
+            .as_ref()
+            .is_some_and(|e| e.data_arrived.get())
+    }
+
+    /// Register the calling task to be woken at this rank's next mailbox
+    /// activity. Building block for timeout/race receives: poll-style
+    /// code calls `watch()` after a failed [`RecvRequest::test`], then
+    /// suspends on a timer; an arrival wakes it early. Wake-ups are
+    /// one-shot and may be spurious — re-test after each.
+    pub fn watch(&self) {
+        self.world.register_waiter(self.me_world);
     }
 
     /// `MPI_Wait`: suspend until the message arrives, then return it.

@@ -110,7 +110,9 @@ impl Message {
 
 impl fmt::Debug for Message {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Message").field("status", &self.status).finish()
+        f.debug_struct("Message")
+            .field("status", &self.status)
+            .finish()
     }
 }
 
@@ -137,7 +139,11 @@ mod tests {
     #[test]
     fn message_downcast_roundtrip() {
         let m = Message::new(
-            Status { source: 1, tag: 2, bytes: 3 },
+            Status {
+                source: 1,
+                tag: 2,
+                bytes: 3,
+            },
             Box::new(vec![1u32, 2, 3]),
         );
         let (v, st) = m.into_parts::<Vec<u32>>();
@@ -148,7 +154,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "type mismatch")]
     fn message_downcast_wrong_type_panics() {
-        let m = Message::new(Status { source: 0, tag: 0, bytes: 0 }, Box::new(1u8));
+        let m = Message::new(
+            Status {
+                source: 0,
+                tag: 0,
+                bytes: 0,
+            },
+            Box::new(1u8),
+        );
         let _: String = m.downcast();
     }
 }

@@ -286,9 +286,7 @@ fn barrier_releases_at_last_arrival() {
     run_ranks(5, fast_cfg(), move |rank, comm| {
         let t = Rc::clone(&t);
         async move {
-            comm.sim()
-                .sleep(SimTime::from_secs(rank as u64))
-                .await;
+            comm.sim().sleep(SimTime::from_secs(rank as u64)).await;
             comm.barrier().await;
             t.borrow_mut().push(comm.sim().now());
         }
@@ -308,7 +306,11 @@ fn bcast_delivers_to_all_from_any_root() {
     for n in [1usize, 2, 3, 7, 8] {
         for root in [0, n - 1] {
             run_ranks(n, fast_cfg(), move |rank, comm| async move {
-                let v = if rank == root { Some(rank as u64 + 1000) } else { None };
+                let v = if rank == root {
+                    Some(rank as u64 + 1000)
+                } else {
+                    None
+                };
                 let got = comm.bcast(root, v, 1024).await;
                 assert_eq!(got, root as u64 + 1000);
             });
@@ -463,7 +465,10 @@ fn shared_nic_serializes_ranks_on_same_node() {
     let t1 = finish.iter().find(|(r, _)| *r == 1).expect("rank1 done").1;
     // One of the two sends must wait ~1s for the shared tx link.
     let (a, b) = (t0.min(t1), t0.max(t1));
-    assert!(b >= a + SimTime::from_millis(900), "sends were not serialized: {a} vs {b}");
+    assert!(
+        b >= a + SimTime::from_millis(900),
+        "sends were not serialized: {a} vs {b}"
+    );
 }
 
 #[test]

@@ -23,7 +23,7 @@
 
 use s3a_mpi::Comm;
 use s3a_net::EndpointId;
-use s3a_pvfs::{FileHandle, FileSystem, Region};
+use s3a_pvfs::{FileHandle, FileSystem, PvfsError, Region};
 
 /// How [`File::write_regions`] maps a noncontiguous region list onto
 /// file-system requests.
@@ -96,35 +96,38 @@ impl File {
     }
 
     /// Independent contiguous write (`MPI_File_write_at`).
-    pub async fn write_at(&self, offset: u64, len: u64) {
-        self.fh.write_contiguous(self.ep, offset, len).await;
+    pub async fn write_at(&self, offset: u64, len: u64) -> Result<(), PvfsError> {
+        self.fh.write_contiguous(self.ep, offset, len).await
     }
 
     /// Independent noncontiguous write of `regions` using `method`.
-    pub async fn write_regions(&self, regions: &[Region], method: WriteMethod) {
+    pub async fn write_regions(
+        &self,
+        regions: &[Region],
+        method: WriteMethod,
+    ) -> Result<(), PvfsError> {
         match method {
             WriteMethod::Posix => {
                 for r in regions {
-                    self.fh.write_contiguous(self.ep, r.offset, r.len).await;
+                    self.fh.write_contiguous(self.ep, r.offset, r.len).await?;
                 }
+                Ok(())
             }
-            WriteMethod::ListIo => {
-                self.fh.write_regions(self.ep, regions).await;
-            }
+            WriteMethod::ListIo => self.fh.write_regions(self.ep, regions).await,
         }
     }
 
     /// Flush to stable storage (`MPI_File_sync`).
-    pub async fn sync(&self) {
-        self.fh.sync(self.ep).await;
+    pub async fn sync(&self) -> Result<(), PvfsError> {
+        self.fh.sync(self.ep).await
     }
 
     /// Collective two-phase write (`MPI_File_write_at_all`). Every rank of
     /// the file's communicator must participate, passing its own (possibly
     /// empty) region list. Returns only when the collective completes on
     /// this rank.
-    pub async fn write_at_all(&self, my_regions: &[Region]) {
-        self.write_at_all_timed(my_regions).await;
+    pub async fn write_at_all(&self, my_regions: &[Region]) -> Result<(), PvfsError> {
+        self.write_at_all_timed(my_regions).await.map(|_| ())
     }
 
     /// [`File::write_at_all`], additionally reporting how the time split
@@ -132,7 +135,10 @@ impl File {
     /// extent allgather, which blocks until the slowest participant
     /// arrives) and the exchange+write work that follows. This is the
     /// instrumentation the paper's phase analysis needs.
-    pub async fn write_at_all_timed(&self, my_regions: &[Region]) -> CollectiveTiming {
+    pub async fn write_at_all_timed(
+        &self,
+        my_regions: &[Region],
+    ) -> Result<CollectiveTiming, PvfsError> {
         let t0 = self.comm.sim().now();
         let n = self.comm.size();
         let naggs = if self.hints.cb_nodes == 0 {
@@ -148,21 +154,17 @@ impl File {
         let synchronize = self.comm.sim().now() - t0;
         let t1 = self.comm.sim().now();
 
-        let lo = all_regions
-            .iter()
-            .flatten()
-            .map(|r| r.offset)
-            .min();
+        let lo = all_regions.iter().flatten().map(|r| r.offset).min();
         let hi = all_regions.iter().flatten().map(|r| r.end()).max();
         let (lo, hi) = match (lo, hi) {
             (Some(l), Some(h)) if h > l => (l, h),
             _ => {
                 // Nothing to write anywhere: just synchronize.
                 self.comm.barrier().await;
-                return CollectiveTiming {
+                return Ok(CollectiveTiming {
                     synchronize,
                     exchange_and_write: self.comm.sim().now() - t1,
-                };
+                });
             }
         };
 
@@ -177,6 +179,9 @@ impl File {
 
         let rounds = fd_size.div_ceil(self.hints.cb_buffer_size).max(1);
         let me = self.comm.rank();
+        // An I/O failure must not desynchronize the collective: remember it
+        // and keep exchanging until the completion barrier, then report.
+        let mut io_result: Result<(), PvfsError> = Ok(());
 
         for round in 0..rounds {
             // The window of each aggregator's domain handled this round.
@@ -228,17 +233,22 @@ impl File {
                     received.into_iter().flat_map(|(_, regs)| regs).collect();
                 regions.sort_by_key(|r| r.offset);
                 let merged = merge_regions(&regions);
-                self.fh.write_regions(self.ep, &merged).await;
+                if let Err(e) = self.fh.write_regions(self.ep, &merged).await {
+                    if io_result.is_ok() {
+                        io_result = Err(e);
+                    }
+                }
             }
         }
 
         // Collective completion: nobody leaves before the data of every
         // rank has been written.
         self.comm.barrier().await;
-        CollectiveTiming {
+        io_result?;
+        Ok(CollectiveTiming {
             synchronize,
             exchange_and_write: self.comm.sim().now() - t1,
-        }
+        })
     }
 }
 

@@ -70,8 +70,8 @@ fn individual_contiguous_write_covers_file() {
     let comm = c.world.comm(0);
     c.sim.spawn("r0", async move {
         let f = File::open(&comm, &fs, "out", Hints::default());
-        f.write_at(0, 100_000).await;
-        f.sync().await;
+        f.write_at(0, 100_000).await.unwrap();
+        f.sync().await.unwrap();
         assert_eq!(f.handle().covered_bytes(), 100_000);
         assert_eq!(f.handle().overlap_bytes(), 0);
         assert_eq!(f.handle().dirty_bytes(), 0);
@@ -90,7 +90,7 @@ fn posix_and_list_methods_write_identical_data() {
             c.sim.spawn(format!("r{rank}"), async move {
                 let f = File::open(&comm, &fs, "out", Hints::default());
                 let regions = interleaved(rank, 2, 10, 1000);
-                f.write_regions(&regions, method).await;
+                f.write_regions(&regions, method).await.unwrap();
             });
         }
         c.sim.run().unwrap();
@@ -113,7 +113,7 @@ fn list_io_issues_fewer_requests_and_is_faster() {
             let f = File::open(&comm, &fs, "out", Hints::default());
             // 64 small scattered regions.
             let regions: Vec<Region> = (0..64).map(|i| Region::new(i * 4096, 512)).collect();
-            f.write_regions(&regions, method).await;
+            f.write_regions(&regions, method).await.unwrap();
             d.set(comm.sim().now());
         });
         c.sim.run().unwrap();
@@ -141,7 +141,7 @@ fn two_phase_writes_everything_exactly_once() {
                     };
                     let f = File::open(&comm, &fs, "out", hints);
                     let regions = interleaved(rank, n, 8, 700);
-                    f.write_at_all(&regions).await;
+                    f.write_at_all(&regions).await.unwrap();
                 });
             }
             c.sim.run().unwrap();
@@ -172,7 +172,7 @@ fn two_phase_multiple_rounds_small_cb_buffer() {
             };
             let f = File::open(&comm, &fs, "out", hints);
             let regions = interleaved(rank, n, 16, 4096);
-            f.write_at_all(&regions).await;
+            f.write_at_all(&regions).await.unwrap();
         });
     }
     c.sim.run().unwrap();
@@ -198,7 +198,7 @@ fn two_phase_with_empty_contributors() {
             } else {
                 Vec::new()
             };
-            f.write_at_all(&regions).await;
+            f.write_at_all(&regions).await.unwrap();
         });
     }
     c.sim.run().unwrap();
@@ -217,7 +217,7 @@ fn two_phase_all_empty_still_completes() {
         let fs = fs.clone();
         c.sim.spawn(format!("r{rank}"), async move {
             let f = File::open(&comm, &fs, "out", Hints::default());
-            f.write_at_all(&[]).await;
+            f.write_at_all(&[]).await.unwrap();
         });
     }
     c.sim.run().unwrap();
@@ -242,7 +242,7 @@ fn two_phase_synchronizes_participants() {
             }
             let f = File::open(&comm, &fs, "out", Hints::default());
             let regions = interleaved(rank, n, 4, 512);
-            f.write_at_all(&regions).await;
+            f.write_at_all(&regions).await.unwrap();
             lt.borrow_mut().push(comm.sim().now());
         });
     }
@@ -268,8 +268,8 @@ fn repeated_collective_writes_advance_offsets() {
                 let regions: Vec<Region> = (0..5)
                     .map(|i| Region::new(base + ((i * n + rank) as u64) * 800, 800))
                     .collect();
-                f.write_at_all(&regions).await;
-                f.sync().await;
+                f.write_at_all(&regions).await.unwrap();
+                f.sync().await.unwrap();
             }
         });
     }
@@ -297,7 +297,7 @@ fn collective_and_user_traffic_do_not_cross_match() {
             }
             let f = File::open(&comm, &fs, "out", Hints::default());
             let regions = interleaved(rank, n, 4, 256);
-            f.write_at_all(&regions).await;
+            f.write_at_all(&regions).await.unwrap();
             if rank == 1 {
                 let m = comm.recv(0, 3).await;
                 assert_eq!(m.downcast::<u32>(), 777);

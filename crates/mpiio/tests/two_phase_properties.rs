@@ -86,8 +86,8 @@ proptest! {
                     cb_buffer_size: cb_buffer,
                 };
                 let f = File::open(&comm, &fs2, "out", hints);
-                f.write_at_all(&mine).await;
-                f.sync().await;
+                f.write_at_all(&mine).await.unwrap();
+                f.sync().await.unwrap();
             });
         }
         sim.run().expect("collective deadlocked");
@@ -132,9 +132,9 @@ proptest! {
                 sim.spawn(format!("r{rank}"), async move {
                     let f = File::open(&comm, &fs2, "out", Hints::default());
                     if collective {
-                        f.write_at_all(&mine).await;
+                        f.write_at_all(&mine).await.unwrap();
                     } else {
-                        f.write_regions(&mine, s3a_mpiio::WriteMethod::ListIo).await;
+                        f.write_regions(&mine, s3a_mpiio::WriteMethod::ListIo).await.unwrap();
                     }
                 });
             }

@@ -10,7 +10,10 @@ pub struct Bandwidth(f64);
 impl Bandwidth {
     /// Construct from bytes per second. Must be finite and positive.
     pub fn bytes_per_sec(b: f64) -> Self {
-        assert!(b.is_finite() && b > 0.0, "bandwidth must be positive, got {b}");
+        assert!(
+            b.is_finite() && b > 0.0,
+            "bandwidth must be positive, got {b}"
+        );
         Bandwidth(b)
     }
 

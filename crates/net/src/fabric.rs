@@ -1,7 +1,9 @@
 //! The fabric: endpoints plus a flat latency/bandwidth interconnect.
 
 use s3a_des::{Sim, SimTime, Timeline};
-use std::cell::Cell;
+use s3a_faults::{FaultKind, FaultLog, FaultSchedule, MsgFault};
+use std::cell::{Cell, RefCell};
+use std::fmt;
 use std::rc::Rc;
 
 use crate::bandwidth::Bandwidth;
@@ -50,6 +52,34 @@ struct Endpoint {
     rx: Timeline,
 }
 
+/// Typed fabric errors, replacing panics on the booking path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetError {
+    /// An endpoint index was outside this fabric.
+    EndpointOutOfRange {
+        /// The offending endpoint index.
+        endpoint: usize,
+        /// Number of endpoints in the fabric.
+        fabric_len: usize,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            NetError::EndpointOutOfRange {
+                endpoint,
+                fabric_len,
+            } => write!(
+                f,
+                "endpoint {endpoint} out of range for fabric with {fabric_len} endpoints"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
 /// The timing plan for one message, produced by [`Fabric::book_transfer`].
 ///
 /// Booking is split from waiting so callers can model MPI semantics: an
@@ -75,6 +105,14 @@ pub struct Fabric {
     endpoints: Vec<Endpoint>,
     messages: Rc<Cell<u64>>,
     bytes: Rc<Cell<u64>>,
+    faults: RefCell<Option<FaultInjector>>,
+}
+
+/// Message-fault oracle plus the shared event log, installed with
+/// [`Fabric::set_faults`].
+struct FaultInjector {
+    schedule: Rc<FaultSchedule>,
+    log: FaultLog,
 }
 
 impl Fabric {
@@ -90,7 +128,15 @@ impl Fabric {
                 .collect(),
             messages: Rc::new(Cell::new(0)),
             bytes: Rc::new(Cell::new(0)),
+            faults: RefCell::new(None),
         }
+    }
+
+    /// Install a fault schedule: every subsequent non-loopback booking
+    /// consults it for loss / duplication / delay, recording each injected
+    /// fault in `log`.
+    pub fn set_faults(&self, schedule: Rc<FaultSchedule>, log: FaultLog) {
+        *self.faults.borrow_mut() = Some(FaultInjector { schedule, log });
     }
 
     /// Number of endpoints.
@@ -121,6 +167,28 @@ impl Fabric {
         dst: EndpointId,
         bytes: u64,
     ) -> TransferPlan {
+        self.try_book_transfer(now, src, dst, bytes)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Fabric::book_transfer`], returning a typed error
+    /// instead of panicking on an out-of-range endpoint.
+    pub fn try_book_transfer(
+        &self,
+        now: SimTime,
+        src: EndpointId,
+        dst: EndpointId,
+        bytes: u64,
+    ) -> Result<TransferPlan, NetError> {
+        let n = self.endpoints.len();
+        for ep in [src.0, dst.0] {
+            if ep >= n {
+                return Err(NetError::EndpointOutOfRange {
+                    endpoint: ep,
+                    fabric_len: n,
+                });
+            }
+        }
         let wire = self.cfg.bandwidth.transfer_time(bytes);
         let per_msg = self.cfg.per_message_overhead;
         self.messages.set(self.messages.get() + 1);
@@ -129,17 +197,73 @@ impl Fabric {
         if src == dst {
             // Local delivery: modeled as a memory copy on the shared NIC/OS
             // path — one serialized occupation, no propagation latency.
+            // Exempt from message faults (nothing crosses the wire).
             let (_, end) = self.endpoints[src.0].tx.reserve(now, per_msg + wire);
-            return TransferPlan {
+            return Ok(TransferPlan {
                 tx_done: end,
                 delivered: end,
-            };
+            });
         }
 
-        let (_, tx_done) = self.endpoints[src.0].tx.reserve(now, per_msg + wire);
-        let arrival = tx_done + self.cfg.latency;
+        let faults = self.faults.borrow();
+        // A lost message is retransmitted by the transport after its
+        // timeout; the retransmission draws a fresh fault decision. Each
+        // attempt occupies the sender's NIC for the full message.
+        let mut attempt_start = now;
+        let (tx_done, fate) = loop {
+            let (_, txd) = self.endpoints[src.0]
+                .tx
+                .reserve(attempt_start, per_msg + wire);
+            let fate = match faults.as_ref() {
+                Some(inj) => inj.schedule.message_fault(src.0, dst.0),
+                None => MsgFault::None,
+            };
+            if fate == MsgFault::Lose {
+                if let Some(inj) = faults.as_ref() {
+                    inj.log.record(
+                        txd,
+                        FaultKind::MsgLost {
+                            src: src.0,
+                            dst: dst.0,
+                        },
+                    );
+                    attempt_start = txd + inj.schedule.params().msg_retransmit_timeout;
+                }
+                continue;
+            }
+            break (txd, fate);
+        };
+
+        let mut arrival = tx_done + self.cfg.latency;
+        if fate == MsgFault::Delay {
+            if let Some(inj) = faults.as_ref() {
+                arrival += inj.schedule.params().msg_extra_delay;
+                inj.log.record(
+                    arrival,
+                    FaultKind::MsgDelayed {
+                        src: src.0,
+                        dst: dst.0,
+                    },
+                );
+            }
+        }
         let (_, delivered) = self.endpoints[dst.0].rx.reserve(arrival, per_msg + wire);
-        TransferPlan { tx_done, delivered }
+        if fate == MsgFault::Duplicate {
+            // The spurious copy burns a slot at both ends; the receiver
+            // deduplicates, so delivery time is the first copy's.
+            self.endpoints[src.0].tx.reserve(tx_done, per_msg + wire);
+            self.endpoints[dst.0].rx.reserve(arrival, per_msg + wire);
+            if let Some(inj) = faults.as_ref() {
+                inj.log.record(
+                    tx_done,
+                    FaultKind::MsgDuplicated {
+                        src: src.0,
+                        dst: dst.0,
+                    },
+                );
+            }
+        }
+        Ok(TransferPlan { tx_done, delivered })
     }
 
     /// Send `bytes` from `src` to `dst`, waiting until delivery completes.
@@ -195,7 +319,9 @@ mod tests {
         let s = sim.clone();
         let f = Rc::clone(&fab);
         sim.spawn("sender", async move {
-            let plan = f.transfer(&s, EndpointId(0), EndpointId(1), 1024 * 1024).await;
+            let plan = f
+                .transfer(&s, EndpointId(0), EndpointId(1), 1024 * 1024)
+                .await;
             // 1 MiB at 1 MiB/s = 1s tx, 10us latency, 1s rx.
             assert_eq!(plan.tx_done, SimTime::from_secs(1));
             assert_eq!(
@@ -220,7 +346,9 @@ mod tests {
             let f = Rc::clone(&fab);
             let done = Rc::clone(&done);
             sim.spawn(format!("s{src}"), async move {
-                let plan = f.transfer(&s, EndpointId(src), EndpointId(2), 1024 * 1024).await;
+                let plan = f
+                    .transfer(&s, EndpointId(src), EndpointId(2), 1024 * 1024)
+                    .await;
                 done.borrow_mut().push(plan.delivered);
             });
         }
@@ -242,7 +370,9 @@ mod tests {
             let f = Rc::clone(&fab);
             let done = Rc::clone(&done);
             sim.spawn(format!("s{src}"), async move {
-                let plan = f.transfer(&s, EndpointId(src), EndpointId(dst), 1024 * 1024).await;
+                let plan = f
+                    .transfer(&s, EndpointId(src), EndpointId(dst), 1024 * 1024)
+                    .await;
                 done.borrow_mut().push(plan.delivered);
             });
         }
@@ -279,11 +409,106 @@ mod tests {
         let s = sim.clone();
         let f = Rc::clone(&fab);
         sim.spawn("self-send", async move {
-            let plan = f.transfer(&s, EndpointId(0), EndpointId(0), 1024 * 1024).await;
+            let plan = f
+                .transfer(&s, EndpointId(0), EndpointId(0), 1024 * 1024)
+                .await;
             assert_eq!(plan.delivered, SimTime::from_secs(1));
             assert_eq!(plan.tx_done, plan.delivered);
         });
         sim.run().unwrap();
+    }
+
+    #[test]
+    fn out_of_range_endpoint_is_a_typed_error() {
+        let fab = Fabric::new(2, test_cfg());
+        let err = fab
+            .try_book_transfer(SimTime::ZERO, EndpointId(0), EndpointId(5), 64)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            NetError::EndpointOutOfRange {
+                endpoint: 5,
+                fabric_len: 2
+            }
+        );
+        assert!(err.to_string().contains("endpoint 5"));
+    }
+
+    #[test]
+    fn lost_message_is_retransmitted_and_logged() {
+        use s3a_faults::{FaultParams, FaultSchedule};
+        let fab = Fabric::new(2, test_cfg());
+        let log = FaultLog::new();
+        // Loss probability 1000/1000: every attempt would be lost, so use a
+        // schedule where the first roll loses and later ones cannot.
+        // Instead: always-delay schedule checks the delay path; for loss we
+        // use a high-but-not-certain probability and scan for a logged loss.
+        let params = FaultParams {
+            seed: 7,
+            msg_loss_per_mille: 500,
+            msg_retransmit_timeout: SimTime::from_millis(1),
+            ..FaultParams::default()
+        };
+        fab.set_faults(FaultSchedule::new(params), log.clone());
+        let mut base = SimTime::ZERO;
+        for _ in 0..50 {
+            let plan = fab.book_transfer(base, EndpointId(0), EndpointId(1), 1024);
+            base = plan.delivered;
+        }
+        let report = log.report();
+        assert!(report.msg_lost > 0, "expected some losses: {report}");
+        // Every booking still produced a delivery plan (retransmission,
+        // not silent drop), so all 50 messages were counted once.
+        assert_eq!(fab.stats().messages, 50);
+    }
+
+    #[test]
+    fn delayed_message_arrives_later() {
+        use s3a_faults::{FaultParams, FaultSchedule};
+        let cfg = test_cfg();
+        let clean = Fabric::new(2, cfg);
+        let faulty = Fabric::new(2, cfg);
+        let log = FaultLog::new();
+        let params = FaultParams {
+            seed: 1,
+            msg_delay_per_mille: 1000,
+            msg_extra_delay: SimTime::from_millis(7),
+            ..FaultParams::default()
+        };
+        faulty.set_faults(FaultSchedule::new(params), log.clone());
+        let a = clean.book_transfer(SimTime::ZERO, EndpointId(0), EndpointId(1), 1024);
+        let b = faulty.book_transfer(SimTime::ZERO, EndpointId(0), EndpointId(1), 1024);
+        assert_eq!(b.tx_done, a.tx_done);
+        assert_eq!(b.delivered, a.delivered + SimTime::from_millis(7));
+        assert_eq!(log.report().msg_delayed, 1);
+    }
+
+    #[test]
+    fn duplicate_burns_fabric_but_delivers_once() {
+        use s3a_faults::{FaultParams, FaultSchedule};
+        let cfg = test_cfg();
+        let clean = Fabric::new(2, cfg);
+        let faulty = Fabric::new(2, cfg);
+        let log = FaultLog::new();
+        let params = FaultParams {
+            seed: 1,
+            msg_dup_per_mille: 1000,
+            ..FaultParams::default()
+        };
+        faulty.set_faults(FaultSchedule::new(params), log.clone());
+        let a = clean.book_transfer(SimTime::ZERO, EndpointId(0), EndpointId(1), 1024 * 1024);
+        let b = faulty.book_transfer(SimTime::ZERO, EndpointId(0), EndpointId(1), 1024 * 1024);
+        assert_eq!(b.delivered, a.delivered);
+        // The spurious copy doubled the busy time at both ends.
+        assert_eq!(
+            faulty.tx_busy(EndpointId(0)),
+            clean.tx_busy(EndpointId(0)) * 2
+        );
+        assert_eq!(
+            faulty.rx_busy(EndpointId(1)),
+            clean.rx_busy(EndpointId(1)) * 2
+        );
+        assert_eq!(log.report().msg_duplicated, 1);
     }
 
     #[test]
@@ -293,7 +518,8 @@ mod tests {
         let s = sim.clone();
         let f = Rc::clone(&fab);
         sim.spawn("sender", async move {
-            f.transfer(&s, EndpointId(0), EndpointId(1), 2 * 1024 * 1024).await;
+            f.transfer(&s, EndpointId(0), EndpointId(1), 2 * 1024 * 1024)
+                .await;
         });
         sim.run().unwrap();
         assert_eq!(fab.tx_busy(EndpointId(0)), SimTime::from_secs(2));

@@ -15,4 +15,4 @@ mod bandwidth;
 mod fabric;
 
 pub use bandwidth::Bandwidth;
-pub use fabric::{EndpointId, Fabric, NetConfig, NetStats, TransferPlan};
+pub use fabric::{EndpointId, Fabric, NetConfig, NetError, NetStats, TransferPlan};

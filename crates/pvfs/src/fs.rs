@@ -28,12 +28,41 @@
 
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
+use std::fmt;
 use std::rc::Rc;
 
 use s3a_des::{Semaphore, Sim, SimTime, Timeline};
+use s3a_faults::{FaultKind, FaultLog, FaultSchedule};
 use s3a_net::{Bandwidth, EndpointId, Fabric};
 
 use crate::layout::{Layout, Region};
+
+/// Typed errors for file-system operations. The only runtime failure the
+/// model produces today is a server outage outlasting the client's retry
+/// budget; callers decide whether that is fatal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PvfsError {
+    /// A server stayed unavailable through every allowed retry.
+    ServerUnavailable {
+        /// The unresponsive server.
+        server: usize,
+        /// How many retries were spent before giving up.
+        retries: u32,
+    },
+}
+
+impl fmt::Display for PvfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PvfsError::ServerUnavailable { server, retries } => write!(
+                f,
+                "PVFS server {server} unavailable after {retries} retries"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PvfsError {}
 
 /// Parameters of the simulated file system. Defaults are calibrated to
 /// reproduce the paper's PVFS2 deployment behaviour (see EXPERIMENTS.md).
@@ -176,11 +205,28 @@ struct FsInner {
     servers: Vec<Server>,
     files: RefCell<HashMap<String, Rc<RefCell<FileMeta>>>>,
     stats: Cell<FsStats>,
+    faults: RefCell<Option<FsFaults>>,
+}
+
+/// Server-degradation oracle plus the shared event log, installed with
+/// [`FileSystem::set_faults`].
+struct FsFaults {
+    schedule: Rc<FaultSchedule>,
+    log: FaultLog,
 }
 
 impl FsInner {
     fn server_ep(&self, s: usize) -> EndpointId {
         EndpointId(self.endpoint_base + s)
+    }
+
+    /// Snapshot the installed fault hooks (cloned out so no `RefCell`
+    /// borrow is held across an await point).
+    fn fault_hooks(&self) -> Option<(Rc<FaultSchedule>, FaultLog)> {
+        self.faults
+            .borrow()
+            .as_ref()
+            .map(|f| (Rc::clone(&f.schedule), f.log.clone()))
     }
 
     fn layout(&self) -> Layout {
@@ -227,8 +273,17 @@ impl FileSystem {
                     .collect(),
                 files: RefCell::new(HashMap::new()),
                 stats: Cell::new(FsStats::default()),
+                faults: RefCell::new(None),
             }),
         }
+    }
+
+    /// Install a fault schedule: subsequent requests consult it for server
+    /// slowdown windows (service time is scaled) and outage windows
+    /// (clients back off and retry up to the configured budget, recording
+    /// each retry in `log`).
+    pub fn set_faults(&self, schedule: Rc<FaultSchedule>, log: FaultLog) {
+        *self.inner.faults.borrow_mut() = Some(FsFaults { schedule, log });
     }
 
     /// Convenience for unit tests: a private fabric holding one client
@@ -296,17 +351,16 @@ fn pack_requests(
     let mut out = Vec::new();
     let mut cur: Vec<Region> = Vec::new();
     let mut cur_bytes = 0u64;
-    let flush =
-        |cur: &mut Vec<Region>, cur_bytes: &mut u64, out: &mut Vec<ServerRequest>| {
-            if !cur.is_empty() {
-                out.push(ServerRequest {
-                    server,
-                    regions: std::mem::take(cur),
-                    bytes: *cur_bytes,
-                });
-                *cur_bytes = 0;
-            }
-        };
+    let flush = |cur: &mut Vec<Region>, cur_bytes: &mut u64, out: &mut Vec<ServerRequest>| {
+        if !cur.is_empty() {
+            out.push(ServerRequest {
+                server,
+                regions: std::mem::take(cur),
+                bytes: *cur_bytes,
+            });
+            *cur_bytes = 0;
+        }
+    };
     for &r in regions {
         let mut off = r.offset;
         let mut remaining = r.len;
@@ -336,16 +390,25 @@ pub struct FileHandle {
 
 impl FileHandle {
     /// Write one contiguous region from the client at `client_ep`.
-    pub async fn write_contiguous(&self, client_ep: EndpointId, offset: u64, len: u64) {
+    pub async fn write_contiguous(
+        &self,
+        client_ep: EndpointId,
+        offset: u64,
+        len: u64,
+    ) -> Result<(), PvfsError> {
         self.write_regions(client_ep, &[Region::new(offset, len)])
-            .await;
+            .await
     }
 
     /// Write a set of (noncontiguous) regions as a single operation —
     /// PVFS2's list-I/O path when the region list is longer than one.
     /// Regions are packed into per-server requests honouring the flow unit
     /// and region cap, then issued with the configured client window.
-    pub async fn write_regions(&self, client_ep: EndpointId, regions: &[Region]) {
+    pub async fn write_regions(
+        &self,
+        client_ep: EndpointId,
+        regions: &[Region],
+    ) -> Result<(), PvfsError> {
         let cfg = &self.fs.cfg;
         let layout = self.fs.layout();
         let per_server = layout.map_regions(regions);
@@ -373,7 +436,7 @@ impl FileHandle {
             }
         }
         if requests.is_empty() {
-            return;
+            return Ok(());
         }
 
         let sim = self.fs.sim.clone();
@@ -385,13 +448,19 @@ impl FileHandle {
             let win = window.clone();
             let s = sim.clone();
             joins.push(sim.spawn("pvfs-req", async move {
-                run_write_request(&fs, &s, client_ep, req).await;
+                let r = run_write_request(&fs, &s, client_ep, req).await;
                 win.release(1);
+                r
             }));
         }
+        let mut result = Ok(());
         for j in joins {
-            j.join().await;
+            let r = j.join().await;
+            if result.is_ok() {
+                result = r;
+            }
         }
+        result
     }
 
     /// Read one contiguous range from the client at `client_ep` —
@@ -399,7 +468,12 @@ impl FileHandle {
     /// chunked at the flow unit and pipelined `read_window` deep; each
     /// chunk pays the server's request overhead plus ingest-bandwidth
     /// time, and the response carries the data back over the fabric.
-    pub async fn read_contiguous(&self, client_ep: EndpointId, offset: u64, len: u64) {
+    pub async fn read_contiguous(
+        &self,
+        client_ep: EndpointId,
+        offset: u64,
+        len: u64,
+    ) -> Result<(), PvfsError> {
         let cfg = &self.fs.cfg;
         let layout = self.fs.layout();
         let per_server = layout.map_regions(&[Region::new(offset, len)]);
@@ -415,7 +489,7 @@ impl FileHandle {
             }
         }
         if requests.is_empty() {
-            return;
+            return Ok(());
         }
         let sim = self.fs.sim.clone();
         let window = Semaphore::new(&sim, cfg.read_window);
@@ -426,13 +500,19 @@ impl FileHandle {
             let win = window.clone();
             let s = sim.clone();
             joins.push(sim.spawn("pvfs-read", async move {
-                run_read_request(&fs, &s, client_ep, req).await;
+                let r = run_read_request(&fs, &s, client_ep, req).await;
                 win.release(1);
+                r
             }));
         }
+        let mut result = Ok(());
         for j in joins {
-            j.join().await;
+            let r = j.join().await;
+            if result.is_ok() {
+                result = r;
+            }
         }
+        result
     }
 
     /// Flush this file to stable storage (an `MPI_File_sync`-style
@@ -441,7 +521,7 @@ impl FileHandle {
     /// dirty bytes to disk — even when a server has nothing dirty, which
     /// is what makes frequent syncing from many clients expensive.
     /// Requests to distinct servers proceed in parallel.
-    pub async fn sync(&self, client_ep: EndpointId) {
+    pub async fn sync(&self, client_ep: EndpointId) -> Result<(), PvfsError> {
         let dirty: Vec<u64> = {
             let mut meta = self.meta.borrow_mut();
             let d = meta.dirty.clone();
@@ -461,7 +541,7 @@ impl FileHandle {
                     .transfer(&sm, client_ep, fs.server_ep(s), cfg.req_header_bytes)
                     .await;
                 let service = cfg.sync_overhead + cfg.disk_bw.transfer_time(bytes);
-                fs.servers[s].queue.serve(&sm, service).await;
+                serve_with_faults(&fs, &sm, s, service).await?;
                 fs.fabric
                     .transfer(&sm, fs.server_ep(s), client_ep, cfg.req_header_bytes)
                     .await;
@@ -469,11 +549,17 @@ impl FileHandle {
                     st.syncs += 1;
                     st.bytes_flushed += bytes;
                 });
+                Ok(())
             }));
         }
+        let mut result = Ok(());
         for j in joins {
-            j.join().await;
+            let r = j.join().await;
+            if result.is_ok() {
+                result = r;
+            }
         }
+        result
     }
 
     /// Bytes covered by at least one write.
@@ -502,12 +588,47 @@ impl FileHandle {
     }
 }
 
+/// Wait out any outage window on `server` (backing off up to the retry
+/// budget), then serve `service` scaled by any active slowdown window.
+/// This is the single choke point through which every server request
+/// experiences injected degradation.
+async fn serve_with_faults(
+    fs: &Rc<FsInner>,
+    sim: &Sim,
+    server: usize,
+    service: SimTime,
+) -> Result<(), PvfsError> {
+    let hooks = fs.fault_hooks();
+    let service = if let Some((sched, log)) = &hooks {
+        let p = sched.params();
+        let mut retries = 0u32;
+        while sched.server_outage_until(server, sim.now()).is_some() {
+            if retries >= p.max_io_retries {
+                return Err(PvfsError::ServerUnavailable { server, retries });
+            }
+            retries += 1;
+            log.record(sim.now(), FaultKind::IoRetry { server });
+            sim.sleep(p.io_retry_backoff).await;
+        }
+        let factor = sched.server_delay_factor(server, sim.now());
+        if factor > 1.0 {
+            SimTime::from_secs_f64(service.as_secs_f64() * factor)
+        } else {
+            service
+        }
+    } else {
+        service
+    };
+    fs.servers[server].queue.serve(sim, service).await;
+    Ok(())
+}
+
 async fn run_write_request(
     fs: &Rc<FsInner>,
     sim: &Sim,
     client_ep: EndpointId,
     req: ServerRequest,
-) {
+) -> Result<(), PvfsError> {
     let cfg = &fs.cfg;
     // Client-side transport stall and region-list marshaling before the
     // request goes out.
@@ -520,7 +641,7 @@ async fn run_write_request(
     let service = cfg.request_overhead
         + cfg.region_overhead * req.regions.len() as u64
         + cfg.ingest_bw.transfer_time(req.bytes);
-    fs.servers[req.server].queue.serve(sim, service).await;
+    serve_with_faults(fs, sim, req.server, service).await?;
     fs.servers[req.server]
         .requests
         .set(fs.servers[req.server].requests.get() + 1);
@@ -530,8 +651,14 @@ async fn run_write_request(
         st.bytes_written += req.bytes;
     });
     fs.fabric
-        .transfer(sim, fs.server_ep(req.server), client_ep, cfg.req_header_bytes)
+        .transfer(
+            sim,
+            fs.server_ep(req.server),
+            client_ep,
+            cfg.req_header_bytes,
+        )
         .await;
+    Ok(())
 }
 
 async fn run_read_request(
@@ -539,7 +666,7 @@ async fn run_read_request(
     sim: &Sim,
     client_ep: EndpointId,
     req: ServerRequest,
-) {
+) -> Result<(), PvfsError> {
     let cfg = &fs.cfg;
     // Request out: header + region descriptors only.
     let wire_out = cfg.req_header_bytes + cfg.region_desc_bytes * req.regions.len() as u64;
@@ -549,7 +676,7 @@ async fn run_read_request(
     let service = cfg.request_overhead
         + cfg.region_overhead * req.regions.len() as u64
         + cfg.ingest_bw.transfer_time(req.bytes);
-    fs.servers[req.server].queue.serve(sim, service).await;
+    serve_with_faults(fs, sim, req.server, service).await?;
     fs.servers[req.server]
         .requests
         .set(fs.servers[req.server].requests.get() + 1);
@@ -566,6 +693,7 @@ async fn run_read_request(
             cfg.req_header_bytes + req.bytes,
         )
         .await;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -644,9 +772,9 @@ mod tests {
         let fh = fs.open("out");
         let f2 = fh.clone();
         sim.spawn("writer", async move {
-            f2.write_contiguous(client, 0, 500).await;
-            f2.write_contiguous(client, 500, 500).await;
-            f2.write_contiguous(client, 2000, 100).await;
+            f2.write_contiguous(client, 0, 500).await.unwrap();
+            f2.write_contiguous(client, 500, 500).await.unwrap();
+            f2.write_contiguous(client, 2000, 100).await.unwrap();
         });
         sim.run().unwrap();
         assert_eq!(fh.covered_bytes(), 1100);
@@ -663,8 +791,8 @@ mod tests {
         let fh = fs.open("out");
         let f2 = fh.clone();
         sim.spawn("writer", async move {
-            f2.write_contiguous(client, 0, 100).await;
-            f2.write_contiguous(client, 50, 100).await;
+            f2.write_contiguous(client, 0, 100).await.unwrap();
+            f2.write_contiguous(client, 50, 100).await.unwrap();
         });
         sim.run().unwrap();
         assert_eq!(fh.overlap_bytes(), 50);
@@ -683,11 +811,15 @@ mod tests {
         let d = Rc::clone(&done);
         let s = sim.clone();
         sim.spawn("writer", async move {
-            fh.write_contiguous(client, 0, 10_000).await;
+            fh.write_contiguous(client, 0, 10_000).await.unwrap();
             d.set(s.now());
         });
         sim.run().unwrap();
-        assert!(done.get() >= SimTime::from_millis(30), "too fast: {}", done.get());
+        assert!(
+            done.get() >= SimTime::from_millis(30),
+            "too fast: {}",
+            done.get()
+        );
         assert_eq!(fs.stats().requests, 10);
     }
 
@@ -703,7 +835,7 @@ mod tests {
             let done = Rc::new(Cell::new(SimTime::ZERO));
             let d = Rc::clone(&done);
             sim.spawn("writer", async move {
-                fh.write_contiguous(client, 0, 12_000).await;
+                fh.write_contiguous(client, 0, 12_000).await.unwrap();
                 d.set(s.now());
             });
             sim.run().unwrap();
@@ -729,7 +861,7 @@ mod tests {
             let fh = fs.open("a");
             let s = sim.clone();
             sim.spawn("w0", async move {
-                fh.write_contiguous(c0, 0, 8000).await;
+                fh.write_contiguous(c0, 0, 8000).await.unwrap();
             });
             let _ = s;
             sim.run().unwrap()
@@ -741,7 +873,9 @@ mod tests {
             for c in 0..2u64 {
                 let fh = fs.open(if c == 0 { "a" } else { "b" });
                 sim.spawn(format!("w{c}"), async move {
-                    fh.write_contiguous(EndpointId(c as usize), 0, 8000).await;
+                    fh.write_contiguous(EndpointId(c as usize), 0, 8000)
+                        .await
+                        .unwrap();
                 });
             }
             sim.run().unwrap()
@@ -759,7 +893,7 @@ mod tests {
         let regions: Vec<Region> = (0..16).map(|i| Region::new(i * 50, 20)).collect();
         let f2 = fh.clone();
         sim.spawn("writer", async move {
-            f2.write_regions(client, &regions).await;
+            f2.write_regions(client, &regions).await.unwrap();
         });
         sim.run().unwrap();
         assert_eq!(fs.stats().requests, 2);
@@ -776,10 +910,10 @@ mod tests {
         let sync_time = Rc::new(Cell::new(SimTime::ZERO));
         let st = Rc::clone(&sync_time);
         sim.spawn("writer", async move {
-            f2.write_contiguous(client, 0, 4000).await;
+            f2.write_contiguous(client, 0, 4000).await.unwrap();
             assert_eq!(f2.dirty_bytes(), 4000);
             let t0 = s.now();
-            f2.sync(client).await;
+            f2.sync(client).await.unwrap();
             st.set(s.now() - t0);
             assert_eq!(f2.dirty_bytes(), 0);
         });
@@ -796,7 +930,7 @@ mod tests {
         let (fs, client) = FileSystem::standalone(&sim, quick_cfg(), net());
         let fh = fs.open("out");
         sim.spawn("writer", async move {
-            fh.sync(client).await;
+            fh.sync(client).await.unwrap();
         });
         sim.run().unwrap();
         assert_eq!(fs.stats().syncs, 4);
@@ -810,7 +944,7 @@ mod tests {
         let a = fs.open("shared");
         let b = fs.open("shared");
         sim.spawn("writer", async move {
-            a.write_contiguous(client, 0, 100).await;
+            a.write_contiguous(client, 0, 100).await.unwrap();
         });
         sim.run().unwrap();
         assert_eq!(b.covered_bytes(), 100);
@@ -822,7 +956,7 @@ mod tests {
         let (fs, client) = FileSystem::standalone(&sim, quick_cfg(), net());
         let fh = fs.open("db");
         sim.spawn("reader", async move {
-            fh.read_contiguous(client, 0, 10_000).await;
+            fh.read_contiguous(client, 0, 10_000).await.unwrap();
         });
         sim.run().unwrap();
         assert_eq!(fs.stats().bytes_read, 10_000);
@@ -838,17 +972,113 @@ mod tests {
             let sim = Sim::new();
             let (fs, client) = FileSystem::standalone(&sim, quick_cfg(), net());
             let fh = fs.open("db");
-            sim.spawn("r", async move { fh.read_contiguous(client, 0, 20_000).await; });
+            sim.spawn("r", async move {
+                fh.read_contiguous(client, 0, 20_000).await.unwrap();
+            });
             sim.run().unwrap()
         };
         let t_write = {
             let sim = Sim::new();
             let (fs, client) = FileSystem::standalone(&sim, quick_cfg(), net());
             let fh = fs.open("db");
-            sim.spawn("w", async move { fh.write_contiguous(client, 0, 20_000).await; });
+            sim.spawn("w", async move {
+                fh.write_contiguous(client, 0, 20_000).await.unwrap();
+            });
             sim.run().unwrap()
         };
-        assert!(t_read < t_write, "read {t_read} should beat write {t_write}");
+        assert!(
+            t_read < t_write,
+            "read {t_read} should beat write {t_write}"
+        );
+    }
+
+    #[test]
+    fn limping_server_slows_its_requests() {
+        use s3a_faults::{FaultParams, FaultSchedule, ServerSlowdown};
+        let run = |slow: bool| {
+            let sim = Sim::new();
+            let (fs, client) = FileSystem::standalone(&sim, quick_cfg(), net());
+            if slow {
+                let params = FaultParams {
+                    server_slowdowns: vec![ServerSlowdown {
+                        server: 0,
+                        from: SimTime::ZERO,
+                        until: SimTime::from_secs(100),
+                        factor: 10.0,
+                    }],
+                    ..FaultParams::default()
+                };
+                fs.set_faults(FaultSchedule::new(params), FaultLog::new());
+            }
+            let fh = fs.open("out");
+            sim.spawn("writer", async move {
+                fh.write_contiguous(client, 0, 8000).await.unwrap();
+            });
+            sim.run().unwrap()
+        };
+        let healthy = run(false);
+        let limping = run(true);
+        assert!(
+            limping > healthy,
+            "slowdown should cost time: {limping} vs {healthy}"
+        );
+    }
+
+    #[test]
+    fn outage_is_retried_and_eventually_succeeds() {
+        use s3a_faults::{FaultParams, FaultSchedule, ServerOutage};
+        let sim = Sim::new();
+        let (fs, client) = FileSystem::standalone(&sim, quick_cfg(), net());
+        let log = FaultLog::new();
+        let params = FaultParams {
+            server_outages: vec![ServerOutage {
+                server: 0,
+                from: SimTime::ZERO,
+                until: SimTime::from_millis(200),
+            }],
+            io_retry_backoff: SimTime::from_millis(20),
+            max_io_retries: 64,
+            ..FaultParams::default()
+        };
+        fs.set_faults(FaultSchedule::new(params), log.clone());
+        let fh = fs.open("out");
+        sim.spawn("writer", async move {
+            // Strip 0 lives on server 0, which is down until t=200ms.
+            fh.write_contiguous(client, 0, 500).await.unwrap();
+        });
+        let end = sim.run().unwrap();
+        assert!(end >= SimTime::from_millis(200), "ended at {end}");
+        assert!(log.report().io_retries > 0);
+    }
+
+    #[test]
+    fn outage_outlasting_retries_is_a_typed_error() {
+        use s3a_faults::{FaultParams, FaultSchedule, ServerOutage};
+        let sim = Sim::new();
+        let (fs, client) = FileSystem::standalone(&sim, quick_cfg(), net());
+        let params = FaultParams {
+            server_outages: vec![ServerOutage {
+                server: 0,
+                from: SimTime::ZERO,
+                until: SimTime::from_secs(1000),
+            }],
+            io_retry_backoff: SimTime::from_millis(1),
+            max_io_retries: 3,
+            ..FaultParams::default()
+        };
+        fs.set_faults(FaultSchedule::new(params), FaultLog::new());
+        let fh = fs.open("out");
+        sim.spawn("writer", async move {
+            let err = fh.write_contiguous(client, 0, 500).await.unwrap_err();
+            assert_eq!(
+                err,
+                PvfsError::ServerUnavailable {
+                    server: 0,
+                    retries: 3
+                }
+            );
+        });
+        sim.run().unwrap();
     }
 
     #[test]
@@ -857,7 +1087,7 @@ mod tests {
         let (fs, client) = FileSystem::standalone(&sim, quick_cfg(), net());
         let fh = fs.open("out");
         sim.spawn("writer", async move {
-            fh.write_contiguous(client, 0, 4000).await;
+            fh.write_contiguous(client, 0, 4000).await.unwrap();
         });
         sim.run().unwrap();
         for s in 0..4 {

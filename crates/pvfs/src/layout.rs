@@ -44,7 +44,10 @@ impl Layout {
     pub fn new(strip_size: u64, servers: usize) -> Self {
         assert!(strip_size > 0, "strip size must be nonzero");
         assert!(servers > 0, "need at least one server");
-        Layout { strip_size, servers }
+        Layout {
+            strip_size,
+            servers,
+        }
     }
 
     /// The server that stores file byte `offset`.

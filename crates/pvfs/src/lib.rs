@@ -16,5 +16,5 @@
 mod fs;
 mod layout;
 
-pub use fs::{FileHandle, FileSystem, FsStats, PvfsConfig};
+pub use fs::{FileHandle, FileSystem, FsStats, PvfsConfig, PvfsError};
 pub use layout::{Layout, Region};

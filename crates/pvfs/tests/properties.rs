@@ -108,7 +108,7 @@ proptest! {
             let writes = writes.clone();
             sim.spawn("writer", async move {
                 for (off, len) in writes {
-                    fh.write_contiguous(client, off, len).await;
+                    fh.write_contiguous(client, off, len).await.unwrap();
                 }
             });
         }
@@ -187,7 +187,7 @@ proptest! {
             let fh = fh.clone();
             let regs = regs.clone();
             sim.spawn("writer", async move {
-                fh.write_regions(client, &regs).await;
+                fh.write_regions(client, &regs).await.unwrap();
             });
         }
         sim.run().expect("no deadlock");
@@ -219,11 +219,11 @@ proptest! {
             sim.spawn("writer", async move {
                 let mut off = 0;
                 for len in chunks {
-                    fh.write_contiguous(client, off, len).await;
+                    fh.write_contiguous(client, off, len).await.unwrap();
                     off += len;
                 }
-                fh.sync(client).await;
-                fh.sync(client).await; // second sync flushes nothing new
+                fh.sync(client).await.unwrap();
+                fh.sync(client).await.unwrap(); // second sync flushes nothing new
             });
         }
         sim.run().expect("no deadlock");

@@ -40,12 +40,19 @@ impl BoxHistogram {
             );
         }
         let total_weight = boxes.iter().map(|b| b.weight).sum();
-        BoxHistogram { boxes, total_weight }
+        BoxHistogram {
+            boxes,
+            total_weight,
+        }
     }
 
     /// A single uniform range.
     pub fn uniform(lo: u64, hi: u64) -> Self {
-        Self::new(vec![Box { lo, hi, weight: 1.0 }])
+        Self::new(vec![Box {
+            lo,
+            hi,
+            weight: 1.0,
+        }])
     }
 
     /// A point mass at `v`.
@@ -95,15 +102,51 @@ impl BoxHistogram {
     /// compute-time variance the paper's sync analysis leans on.
     pub fn nt_database() -> Self {
         Self::new(vec![
-            Box { lo: 6, hi: 200, weight: 0.14 },
-            Box { lo: 200, hi: 1_000, weight: 0.30 },
-            Box { lo: 1_000, hi: 2_000, weight: 0.25 },
-            Box { lo: 2_000, hi: 4_000, weight: 0.16 },
-            Box { lo: 4_000, hi: 8_000, weight: 0.09 },
-            Box { lo: 8_000, hi: 16_000, weight: 0.04 },
-            Box { lo: 16_000, hi: 65_536, weight: 0.0145 },
-            Box { lo: 65_536, hi: 1_048_576, weight: 0.001 },
-            Box { lo: 1_048_576, hi: 43_000_000, weight: 0.00002 },
+            Box {
+                lo: 6,
+                hi: 200,
+                weight: 0.14,
+            },
+            Box {
+                lo: 200,
+                hi: 1_000,
+                weight: 0.30,
+            },
+            Box {
+                lo: 1_000,
+                hi: 2_000,
+                weight: 0.25,
+            },
+            Box {
+                lo: 2_000,
+                hi: 4_000,
+                weight: 0.16,
+            },
+            Box {
+                lo: 4_000,
+                hi: 8_000,
+                weight: 0.09,
+            },
+            Box {
+                lo: 8_000,
+                hi: 16_000,
+                weight: 0.04,
+            },
+            Box {
+                lo: 16_000,
+                hi: 65_536,
+                weight: 0.0145,
+            },
+            Box {
+                lo: 65_536,
+                hi: 1_048_576,
+                weight: 0.001,
+            },
+            Box {
+                lo: 1_048_576,
+                hi: 43_000_000,
+                weight: 0.00002,
+            },
         ])
     }
 
@@ -141,8 +184,16 @@ mod tests {
     #[test]
     fn weights_bias_selection() {
         let h = BoxHistogram::new(vec![
-            Box { lo: 0, hi: 10, weight: 9.0 },
-            Box { lo: 100, hi: 110, weight: 1.0 },
+            Box {
+                lo: 0,
+                hi: 10,
+                weight: 9.0,
+            },
+            Box {
+                lo: 100,
+                hi: 110,
+                weight: 1.0,
+            },
         ]);
         let mut rng = StdRng::seed_from_u64(7);
         let n = 10_000;
@@ -164,7 +215,10 @@ mod tests {
         // Empirical mean of 20 queries ≈ 86 KB total: check the analytic
         // mean implies 20 queries land in tens-of-KB territory.
         let total20 = mean * 20.0;
-        assert!((60_000.0..130_000.0).contains(&total20), "20 queries ≈ {total20} B");
+        assert!(
+            (60_000.0..130_000.0).contains(&total20),
+            "20 queries ≈ {total20} B"
+        );
     }
 
     #[test]
@@ -181,7 +235,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "bounds inverted")]
     fn inverted_box_rejected() {
-        BoxHistogram::new(vec![Box { lo: 5, hi: 5, weight: 1.0 }]);
+        BoxHistogram::new(vec![Box {
+            lo: 5,
+            hi: 5,
+            weight: 1.0,
+        }]);
     }
 
     #[test]

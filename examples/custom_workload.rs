@@ -15,18 +15,34 @@ fn main() {
     // Protein sequences are far shorter than nucleotide ones: median a few
     // hundred residues, tail around a few thousand.
     let protein_db = BoxHistogram::new(vec![
-        Box { lo: 50, hi: 200, weight: 0.35 },
-        Box { lo: 200, hi: 500, weight: 0.40 },
-        Box { lo: 500, hi: 1500, weight: 0.20 },
-        Box { lo: 1500, hi: 8000, weight: 0.05 },
+        Box {
+            lo: 50,
+            hi: 200,
+            weight: 0.35,
+        },
+        Box {
+            lo: 200,
+            hi: 500,
+            weight: 0.40,
+        },
+        Box {
+            lo: 500,
+            hi: 1500,
+            weight: 0.20,
+        },
+        Box {
+            lo: 1500,
+            hi: 8000,
+            weight: 0.05,
+        },
     ]);
 
     let workload = WorkloadParams {
-        queries: 64,             // a big batch of newly sequenced proteins
-        fragments: 64,           // database segmented across 64 fragments
+        queries: 64,   // a big batch of newly sequenced proteins
+        fragments: 64, // database segmented across 64 fragments
         query_hist: protein_db.clone(),
         db_hist: protein_db,
-        min_results: 200,        // hits per query across the database
+        min_results: 200, // hits per query across the database
         max_results: 600,
         min_result_size: 96,
         database_bytes: 512 * 1024 * 1024, // a small protein database

@@ -17,10 +17,7 @@ const ALL: [Strategy; 5] = [
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let procs: usize = args
-        .iter()
-        .find_map(|a| a.parse().ok())
-        .unwrap_or(32);
+    let procs: usize = args.iter().find_map(|a| a.parse().ok()).unwrap_or(32);
     let sync = args.iter().any(|a| a == "--sync");
 
     println!(

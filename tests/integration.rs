@@ -282,7 +282,10 @@ fn query_segmentation_parallelism_capped_by_query_count() {
     let r = run(&p);
     r.verify().expect("exact output");
     let active = r.worker_stats.iter().filter(|s| s.tasks > 0).count();
-    assert!(active <= 3, "{active} workers computed for 3 whole-query tasks");
+    assert!(
+        active <= 3,
+        "{active} workers computed for 3 whole-query tasks"
+    );
 }
 
 #[test]
@@ -309,8 +312,8 @@ fn trace_records_consistent_timeline() {
     let trace = r.trace.as_ref().expect("tracing was enabled");
     assert!(!trace.events().is_empty());
     // Trace totals agree with the phase breakdown for every rank/phase.
-    for (rank, bd) in std::iter::once((0, &r.master))
-        .chain(r.workers.iter().enumerate().map(|(i, w)| (i + 1, w)))
+    for (rank, bd) in
+        std::iter::once((0, &r.master)).chain(r.workers.iter().enumerate().map(|(i, w)| (i + 1, w)))
     {
         for ph in s3asim::PHASES {
             if ph == Phase::Other {

@@ -28,7 +28,10 @@ fn no_sync_ordering_at_scale() {
     let list = paper_point(procs, Strategy::WwList, false).overall;
     let coll = paper_point(procs, Strategy::WwColl, false).overall;
 
-    assert!(list < posix, "WW-List ({list}) should beat WW-POSIX ({posix})");
+    assert!(
+        list < posix,
+        "WW-List ({list}) should beat WW-POSIX ({posix})"
+    );
     assert!(list < coll, "WW-List ({list}) should beat WW-Coll ({coll})");
     assert!(list < mw, "WW-List ({list}) should beat MW ({mw})");
     assert!(posix < mw, "WW-POSIX ({posix}) should beat MW ({mw})");
@@ -68,7 +71,10 @@ fn forced_sync_sensitivity_ranking() {
     let mw = ratio(Strategy::Mw);
     let posix = ratio(Strategy::WwPosix);
     let coll = ratio(Strategy::WwColl);
-    assert!(mw < 1.25, "MW should barely react to query sync (got {mw:.2}x)");
+    assert!(
+        mw < 1.25,
+        "MW should barely react to query sync (got {mw:.2}x)"
+    );
     assert!(
         coll < posix,
         "WW-Coll's own synchronization should absorb the forced sync \
@@ -140,10 +146,19 @@ fn sync_reduces_io_phase_but_raises_overall() {
 /// once the I/O phase dominates (paper: around 32 processes).
 #[test]
 fn scaling_flattens_once_io_dominates() {
-    let t8 = paper_point(8, Strategy::WwList, false).overall.as_secs_f64();
-    let t32 = paper_point(32, Strategy::WwList, false).overall.as_secs_f64();
-    let t64 = paper_point(64, Strategy::WwList, false).overall.as_secs_f64();
-    assert!(t8 / t32 > 2.0, "8->32 procs should speed up well ({t8:.1} -> {t32:.1})");
+    let t8 = paper_point(8, Strategy::WwList, false)
+        .overall
+        .as_secs_f64();
+    let t32 = paper_point(32, Strategy::WwList, false)
+        .overall
+        .as_secs_f64();
+    let t64 = paper_point(64, Strategy::WwList, false)
+        .overall
+        .as_secs_f64();
+    assert!(
+        t8 / t32 > 2.0,
+        "8->32 procs should speed up well ({t8:.1} -> {t32:.1})"
+    );
     assert!(
         t32 / t64 < 2.0,
         "32->64 procs should show diminishing returns ({t32:.1} -> {t64:.1})"

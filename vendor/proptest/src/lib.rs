@@ -1,0 +1,469 @@
+//! Vendored, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to a crates registry, so this
+//! crate reimplements the slice of proptest the workspace uses: the
+//! [`proptest!`] macro (with `#![proptest_config(...)]`), the [`Strategy`]
+//! trait with `prop_map`, integer-range / tuple / `prop::collection::vec` /
+//! `prop::sample::select` / `any::<bool>()` strategies, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Unlike upstream proptest there is **no shrinking** and no persistence of
+//! regressions; failing cases report the test name, case index, and seed so
+//! they replay exactly (generation is deterministic per test name and case
+//! index). That trade keeps the stub small while preserving what the
+//! workspace's tests rely on: uniform coverage of the parameter space and
+//! bit-for-bit reproducibility.
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Deterministic RNG handed to strategies during generation.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// RNG for one test case: seeded from the test's name and case index so
+    /// every case is independent and replayable.
+    pub fn for_case(test_name: &str, case: u32) -> TestRng {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x9e37_79b9)),
+        }
+    }
+}
+
+impl Rng for TestRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the test fails.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(String),
+}
+
+/// Outcome of one generated case (Ok = passed).
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Test-runner configuration; only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every generated value with `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// Strategy yielding exactly one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u64, u32, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)*) = self;
+                ($($name.generate(rng),)*)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Uniform over `bool`.
+#[derive(Debug, Clone, Copy)]
+pub struct BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.random::<bool>()
+    }
+}
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+impl Arbitrary for bool {
+    type Strategy = BoolStrategy;
+    fn arbitrary() -> BoolStrategy {
+        BoolStrategy
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Combinator namespace, mirroring upstream's `proptest::prelude::prop`.
+pub mod prop {
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRng};
+
+        /// Strategy for `Vec`s whose length is drawn from `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// `Vec` of values from `element`, length in `size`
+        /// (a `usize` means exactly that many).
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = self.size.pick(rng);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+        use rand::RngExt;
+
+        /// Strategy drawing uniformly from a fixed set of options.
+        pub struct Select<T: Clone>(Vec<T>);
+
+        /// Uniform choice among `options` (panics on empty input).
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select() needs at least one option");
+            Select(options)
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.0[rng.random_range(0..self.0.len())].clone()
+            }
+        }
+    }
+}
+
+/// Acceptable lengths for a collection strategy.
+#[derive(Debug, Clone)]
+pub struct SizeRange(Range<usize>);
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.random_range(self.0.clone())
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange(r)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange(n..n + 1)
+    }
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Define property tests. Mirrors upstream syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u64..100, v in prop::collection::vec(0u32..4, 1..9)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!({ ($cfg).cases } $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!({ $crate::ProptestConfig::default().cases } $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ({ $cases:expr }) => {};
+    ({ $cases:expr } $(#[$meta:meta])* fn $name:ident ($($args:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_run!($cases, stringify!($name); ($($args)*) $body);
+        }
+        $crate::__proptest_tests!({ $cases } $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_run {
+    ($cases:expr, $name:expr; ($($arg:ident in $strat:expr),* $(,)?) $body:block) => {{
+        let __cases: u32 = $cases;
+        // Bind each strategy once, named after its argument; the per-case
+        // value below shadows it.
+        $(let $arg = $strat;)*
+        let mut __rejected: u32 = 0;
+        for __case in 0..__cases {
+            let mut __rng = $crate::TestRng::for_case($name, __case);
+            $(let $arg = $crate::Strategy::generate(&$arg, &mut __rng);)*
+            let __result: $crate::TestCaseResult = (|| {
+                $body
+                ::std::result::Result::Ok(())
+            })();
+            match __result {
+                ::std::result::Result::Ok(()) => {}
+                ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {
+                    __rejected += 1;
+                    assert!(
+                        __rejected < __cases * 16,
+                        "proptest {}: too many prop_assume! rejections",
+                        $name
+                    );
+                }
+                ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                    panic!(
+                        "proptest {} failed at case {}/{}:\n{}",
+                        $name, __case, __cases, __msg
+                    );
+                }
+            }
+        }
+    }};
+}
+
+/// Like `assert!`, but reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l,
+                    __r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(*__l == *__r, $($fmt)*);
+            }
+        }
+    };
+}
+
+/// Like `assert_ne!`, but reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: {} != {}\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(*__l != *__r, $($fmt)*);
+            }
+        }
+    };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 5u64..50, y in 0usize..3, f in (1u32..4, 0u64..10)) {
+            prop_assert!((5..50).contains(&x));
+            prop_assert!(y < 3);
+            prop_assert!(f.0 >= 1 && f.0 < 4 && f.1 < 10);
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(0u64..100, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for x in &v {
+                prop_assert!(*x < 100);
+            }
+        }
+
+        #[test]
+        fn exact_vec_size(v in prop::collection::vec(0u64..10, 4)) {
+            prop_assert_eq!(v.len(), 4);
+        }
+
+        #[test]
+        fn select_and_map(
+            k in prop::sample::select(vec![1u64, 2, 3]).prop_map(|v| v * 10),
+            b in any::<bool>(),
+        ) {
+            prop_assert!(k == 10 || k == 20 || k == 30);
+            prop_assert!(u8::from(b) <= 1);
+        }
+
+        #[test]
+        fn assume_skips(a in 0u64..10, b in 0u64..10) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name_and_case() {
+        use crate::{Strategy, TestRng};
+        let strat = 0u64..1_000_000;
+        let mut r1 = TestRng::for_case("some_test", 7);
+        let mut r2 = TestRng::for_case("some_test", 7);
+        let mut r3 = TestRng::for_case("other_test", 7);
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+        let _ = strat.generate(&mut r3); // different stream, must not panic
+    }
+
+    #[test]
+    fn just_yields_value() {
+        use crate::{Just, Strategy, TestRng};
+        let mut rng = TestRng::for_case("just", 0);
+        assert_eq!(Just(42u64).generate(&mut rng), 42);
+    }
+}

@@ -1,0 +1,248 @@
+//! Vendored, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the small slice of `rand`'s API it actually uses:
+//! [`SeedableRng::seed_from_u64`], [`rngs::StdRng`], the object-safe [`Rng`]
+//! core trait, and [`RngExt`] with `random_range` / `random`.
+//!
+//! `StdRng` here is xoshiro256++ seeded through SplitMix64 — a different
+//! stream than upstream `rand`, but the workspace only ever requires
+//! *determinism per seed*, never a specific stream. All sampling is uniform,
+//! matching the distributional assumptions of workload-generation tests.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Object-safe core RNG trait: a source of uniformly random `u64`s.
+pub trait Rng {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A type that can be sampled uniformly from an RNG (the subset of
+/// upstream's `StandardUniform` distribution the workspace needs).
+pub trait Random {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for u64 {
+    #[inline]
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    #[inline]
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Random for bool {
+    #[inline]
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A range a value can be drawn uniformly from.
+pub trait SampleRange<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Draw uniformly from `[0, span)`. `span == 0` encodes the full 2^64 range.
+#[inline]
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    // Rejection sampling (Lemire-style threshold) for exact uniformity.
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+/// Uniform f64 in `[0, 1)` from the top 53 bits.
+#[inline]
+fn unit_f64<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "empty range in random_range");
+                // hi - lo + 1 wraps to 0 for the full domain; uniform_below
+                // treats 0 as the full 2^64 span, which only a u64 range hits.
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                lo.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u64, u32, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in random_range");
+        let v = self.start + unit_f64(rng) * (self.end - self.start);
+        // Guard the open upper bound against round-up at the extreme.
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+/// Convenience sampling methods, available on every [`Rng`].
+pub trait RngExt: Rng {
+    /// Uniform draw from `range` (half-open or inclusive).
+    #[inline]
+    fn random_range<T, RA: SampleRange<T>>(&mut self, range: RA) -> T {
+        range.sample_from(self)
+    }
+
+    /// Uniform draw over `T`'s full domain.
+    #[inline]
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++,
+    /// state expanded from the seed with SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let va: Vec<u64> = (0..32).map(|_| a.random::<u64>()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.random::<u64>()).collect();
+        let vc: Vec<u64> = (0..32).map(|_| c.random::<u64>()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(5u64..=5);
+            assert_eq!(w, 5);
+            let x = rng.random_range(0usize..3);
+            assert!(x < 3);
+            let f = rng.random_range(0.0..2.5);
+            assert!((0.0..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_works() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // span wraps to zero; must not panic or loop forever.
+        let _ = rng.random_range(0u64..=u64::MAX);
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let mut buckets = [0u32; 10];
+        for _ in 0..n {
+            buckets[rng.random_range(0usize..10)] += 1;
+        }
+        for &b in &buckets {
+            let frac = b as f64 / n as f64;
+            assert!((0.08..0.12).contains(&frac), "bucket fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn object_safe_usage() {
+        fn draw(rng: &mut dyn super::Rng) -> u64 {
+            rng.random_range(0u64..100)
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(draw(&mut rng) < 100);
+    }
+}

@@ -1,0 +1,119 @@
+//! Sweep-executor and DES hot-path benchmarks.
+//!
+//! Two groups: `sweep_executor` times the same batch of simulations
+//! through `run_batch` at increasing thread counts (the parallel-executor
+//! speedup on a multi-core host), and `des_hot_path` times the engine
+//! micro-paths the optimization work targets — the timed-event poll loop
+//! and the waiter-list wake path.
+//!
+//! Besides the usual stdout report, measurements are written to
+//! `BENCH_sweep.json` at the workspace root. Set `S3ASIM_BENCH_QUICK=1`
+//! for a reduced smoke run (CI).
+
+use criterion::{BenchmarkId, Criterion};
+
+use s3a_bench::small_params;
+use s3a_des::{Queue, Sim, SimTime};
+use s3asim::{run_batch, SimParams, Strategy};
+
+fn quick() -> bool {
+    std::env::var("S3ASIM_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// The batch every executor benchmark runs: one small simulation per
+/// strategy and process count.
+fn batch_params() -> Vec<SimParams> {
+    let procs: &[usize] = if quick() { &[4] } else { &[4, 8, 16] };
+    let mut params = Vec::new();
+    for &strategy in &[
+        Strategy::Mw,
+        Strategy::WwPosix,
+        Strategy::WwList,
+        Strategy::WwColl,
+    ] {
+        for &p in procs {
+            params.push(small_params(p, strategy));
+        }
+    }
+    params
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let params = batch_params();
+    let mut g = c.benchmark_group("sweep_executor");
+    g.sample_size(if quick() { 1 } else { 5 });
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| b.iter(|| run_batch(&params, threads).expect("batch runs and verifies")),
+        );
+    }
+    g.finish();
+}
+
+fn bench_des_hot_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des_hot_path");
+    g.sample_size(if quick() { 2 } else { 10 });
+
+    // Timed-event churn: many tasks sleeping in short staggered bursts —
+    // exercises the heap pop -> direct poll path and the single-borrow
+    // sleep poll.
+    let (tasks, rounds) = if quick() { (50u64, 10u32) } else { (200, 50) };
+    g.bench_function("sleep_storm", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            for i in 0..tasks {
+                let s = sim.clone();
+                sim.spawn(format!("t{i}"), async move {
+                    for r in 0..rounds {
+                        s.sleep(SimTime::from_nanos(i % 7 + u64::from(r % 3) + 1))
+                            .await;
+                    }
+                });
+            }
+            sim.run().expect("no deadlock")
+        })
+    });
+
+    // Waiter-list churn: one producer feeding many blocked consumers —
+    // every push wakes the whole waiter list through the batched
+    // `ready_all` path.
+    let (consumers, items) = if quick() { (16u32, 128u32) } else { (64, 1024) };
+    g.bench_function("queue_wake_churn", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let q: Queue<u32> = Queue::new(&sim);
+            for i in 0..consumers {
+                let q = q.clone();
+                let n = items / consumers;
+                sim.spawn(format!("c{i}"), async move {
+                    let mut sum = 0u64;
+                    for _ in 0..n {
+                        sum += u64::from(q.pop().await);
+                    }
+                    sum
+                });
+            }
+            let s = sim.clone();
+            sim.spawn("producer", async move {
+                for i in 0..items {
+                    s.sleep(SimTime::from_nanos(1)).await;
+                    q.push(i);
+                }
+            });
+            sim.run().expect("no deadlock")
+        })
+    });
+
+    g.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_executor(&mut c);
+    bench_des_hot_path(&mut c);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    c.save_json(path).expect("write BENCH_sweep.json");
+    println!("wrote {path}");
+}

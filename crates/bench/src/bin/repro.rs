@@ -22,7 +22,20 @@ use std::fs;
 use std::path::Path;
 
 use s3a_bench::{paper, run_proc_sweep, run_speed_sweep, Point, Sweep};
-use s3asim::{run, Strategy};
+use s3asim::{default_threads, run_batch, try_run, RunReport, SimError, SimParams, Strategy};
+
+/// Report a typed failure and exit — no panic backtrace for predictable
+/// errors (bad parameters, deadlock diagnosis, verification mismatch).
+fn fail(context: &str, e: &SimError) -> ! {
+    eprintln!("repro: {context}: {e}");
+    std::process::exit(1);
+}
+
+/// Run one configuration, exiting with a readable error on failure. The
+/// report arrives verified (see [`try_run`]).
+fn run_or_exit(context: &str, params: &SimParams) -> RunReport {
+    try_run(params).unwrap_or_else(|e| fail(context, &e))
+}
 
 fn write_results(name: &str, contents: &str) {
     let dir = Path::new("results");
@@ -42,7 +55,7 @@ struct Cache {
 impl Cache {
     fn procs(&mut self) -> &Sweep {
         self.proc_sweep.get_or_insert_with(|| {
-            let s = run_proc_sweep(true);
+            let s = run_proc_sweep(true).unwrap_or_else(|e| fail("process sweep", &e));
             write_results("proc_sweep.csv", &s.csv());
             s
         })
@@ -50,7 +63,7 @@ impl Cache {
 
     fn speeds(&mut self) -> &Sweep {
         self.speed_sweep.get_or_insert_with(|| {
-            let s = run_speed_sweep(true);
+            let s = run_speed_sweep(true).unwrap_or_else(|e| fail("compute-speed sweep", &e));
             write_results("speed_sweep.csv", &s.csv());
             s
         })
@@ -178,24 +191,26 @@ fn colllist() {
         "{:>8} {:>12} {:>12} {:>9}",
         "procs", "WW-Coll", "WW-CollList", "speedup"
     );
+    let proc_counts = [16usize, 32, 64, 96];
+    let params: Vec<SimParams> = proc_counts
+        .iter()
+        .flat_map(|&procs| {
+            [Strategy::WwColl, Strategy::WwCollList].map(|strategy| {
+                s3a_bench::params_for(Point {
+                    procs,
+                    speed: 1.0,
+                    strategy,
+                    sync: false,
+                })
+            })
+        })
+        .collect();
+    let reports =
+        run_batch(&params, default_threads()).unwrap_or_else(|e| fail("colllist study", &e));
     let mut csv = String::from("procs,ww_coll_s,ww_colllist_s\n");
-    for procs in [16usize, 32, 64, 96] {
-        let coll = run(&s3a_bench::params_for(Point {
-            procs,
-            speed: 1.0,
-            strategy: Strategy::WwColl,
-            sync: false,
-        }));
-        coll.verify().expect("WW-Coll run is exact");
-        let cl = run(&s3a_bench::params_for(Point {
-            procs,
-            speed: 1.0,
-            strategy: Strategy::WwCollList,
-            sync: false,
-        }));
-        cl.verify().expect("WW-CollList run is exact");
-        let a = coll.overall.as_secs_f64();
-        let b = cl.overall.as_secs_f64();
+    for (pair, &procs) in reports.chunks(2).zip(&proc_counts) {
+        let a = pair[0].overall.as_secs_f64();
+        let b = pair[1].overall.as_secs_f64();
         println!("{procs:>8} {a:>11.2}s {b:>11.2}s {:>8.2}x", a / b);
         csv.push_str(&format!("{procs},{a:.3},{b:.3}\n"));
     }
@@ -206,7 +221,7 @@ fn colllist() {
 /// stops scaling when the database outgrows worker memory, and wastes
 /// processors when queries are few; database segmentation does neither.
 fn segmentation() {
-    use s3asim::{Segmentation, SimParams};
+    use s3asim::Segmentation;
     println!("==== Intro motivation: query vs database segmentation ====");
     println!("(1 GiB worker memory; WW-List writes; paper workload)\n");
     println!(
@@ -221,16 +236,21 @@ fn segmentation() {
                 ..SimParams::default()
             };
             base.workload.database_bytes = db_gib * 1024 * 1024 * 1024;
-            let db = run(&SimParams {
-                segmentation: Segmentation::Database,
-                ..base.clone()
-            });
-            db.verify().expect("db-seg exact");
-            let qs = run(&SimParams {
-                segmentation: Segmentation::Query,
-                ..base
-            });
-            qs.verify().expect("query-seg exact");
+            let pair = run_batch(
+                &[
+                    SimParams {
+                        segmentation: Segmentation::Database,
+                        ..base.clone()
+                    },
+                    SimParams {
+                        segmentation: Segmentation::Query,
+                        ..base
+                    },
+                ],
+                default_threads(),
+            )
+            .unwrap_or_else(|e| fail("segmentation study", &e));
+            let (db, qs) = (&pair[0], &pair[1]);
             println!(
                 "{:>6} {:>7}GiB {:>15.1}s {:>15.1}s {:>13.1}GB",
                 procs,
@@ -262,13 +282,21 @@ fn segmentation() {
 /// only cost time, never bytes.
 fn faults() {
     use s3a_des::SimTime;
-    use s3asim::{run_with_restart, FaultParams, ServerOutage, ServerSlowdown, SimParams};
+    use s3asim::{try_run_with_restart, FaultParams, ServerOutage, ServerSlowdown};
 
     let base = |strategy: Strategy| SimParams {
         procs: 16,
         strategy,
         write_every_n_queries: 2,
         ..SimParams::default()
+    };
+    let crashed = |strategy: Strategy| {
+        let mut p = base(strategy);
+        p.faults = FaultParams {
+            worker_crashes: vec![(3, SimTime::from_secs(2))],
+            ..FaultParams::default()
+        };
+        p
     };
     let mut csv = String::from(
         "strategy,fault,clean_s,faulty_s,tax_s,detect_ms,reassigned,repaired,repaired_kb,io_retries\n",
@@ -281,19 +309,19 @@ fn faults() {
         "{:>10} {:>9} {:>9} {:>7} {:>10} {:>6} {:>9} {:>11}",
         "strategy", "clean", "crashed", "tax", "detect", "reasgn", "repaired", "repaired-KB"
     );
-    for strategy in [Strategy::Mw, Strategy::WwPosix, Strategy::WwList] {
-        let clean = run(&base(strategy));
-        clean.verify().expect("clean run exact");
-        let mut p = base(strategy);
-        p.faults = FaultParams {
-            worker_crashes: vec![(3, SimTime::from_secs(2))],
-            ..FaultParams::default()
-        };
-        let faulty = run(&p);
-        faulty
-            .verify()
-            .unwrap_or_else(|e| panic!("{strategy} crash run: {e}"));
-        let f = faulty.faults.expect("fault report");
+    // One batch drives the whole table: for every strategy, the clean
+    // baseline, the crashed run, and its determinism replay run across
+    // the thread pool; reports come back in input order, already
+    // verified (faults may only cost time, never bytes).
+    let strategies = [Strategy::Mw, Strategy::WwPosix, Strategy::WwList];
+    let params: Vec<SimParams> = strategies
+        .iter()
+        .flat_map(|&s| [base(s), crashed(s), crashed(s)])
+        .collect();
+    let reports = run_batch(&params, default_threads()).unwrap_or_else(|e| fail("fault study", &e));
+    for (trio, &strategy) in reports.chunks(3).zip(&strategies) {
+        let (clean, faulty, again) = (&trio[0], &trio[1], &trio[2]);
+        let f = faulty.faults.as_ref().expect("fault report");
         assert_eq!(f.detections, 1, "{strategy}: detector missed the crash");
         let (a, b) = (clean.overall.as_secs_f64(), faulty.overall.as_secs_f64());
         println!(
@@ -317,8 +345,8 @@ fn faults() {
             f.bytes_repaired as f64 / 1024.0,
             f.io_retries
         ));
-        // Determinism spot-check: the same schedule must replay exactly.
-        let again = run(&p);
+        // Determinism spot-check: the same schedule must replay exactly
+        // even when the replay ran on a different worker thread.
         assert_eq!(
             faulty.csv_row(),
             again.csv_row(),
@@ -330,7 +358,6 @@ fn faults() {
 
     println!("---- lossy fabric: 3% loss, 2% duplication, 4% extra delay (WW-List) ----");
     {
-        let clean = run(&base(Strategy::WwList));
         let mut p = base(Strategy::WwList);
         p.faults = FaultParams {
             seed: 7,
@@ -339,9 +366,10 @@ fn faults() {
             msg_delay_per_mille: 40,
             ..FaultParams::default()
         };
-        let r = run(&p);
-        r.verify().expect("lossy fabric must not corrupt output");
-        let f = r.faults.expect("fault report");
+        let pair = run_batch(&[base(Strategy::WwList), p], default_threads())
+            .unwrap_or_else(|e| fail("lossy-fabric study", &e));
+        let (clean, r) = (&pair[0], &pair[1]);
+        let f = r.faults.as_ref().expect("fault report");
         let (a, b) = (clean.overall.as_secs_f64(), r.overall.as_secs_f64());
         println!(
             "  clean {a:.2}s, lossy {b:.2}s (Δ {:+.2}s); lost/dup/delayed = {}/{}/{}\n",
@@ -359,7 +387,6 @@ fn faults() {
 
     println!("---- degraded PVFS: server 0 at 1/4 speed, server 1 down 2-40s (WW-POSIX) ----");
     {
-        let clean = run(&base(Strategy::WwPosix));
         let mut p = base(Strategy::WwPosix);
         p.faults = FaultParams {
             server_slowdowns: vec![ServerSlowdown {
@@ -379,10 +406,10 @@ fn faults() {
             io_retry_backoff: SimTime::from_millis(500),
             ..FaultParams::default()
         };
-        let r = run(&p);
-        r.verify()
-            .expect("degraded servers must not corrupt output");
-        let f = r.faults.expect("fault report");
+        let pair = run_batch(&[base(Strategy::WwPosix), p], default_threads())
+            .unwrap_or_else(|e| fail("degraded-pvfs study", &e));
+        let (clean, r) = (&pair[0], &pair[1]);
+        let f = r.faults.as_ref().expect("fault report");
         let (a, b) = (clean.overall.as_secs_f64(), r.overall.as_secs_f64());
         println!(
             "  clean {a:.2}s, degraded {b:.2}s (tax {:.2}s); outage retries paid: {}\n",
@@ -404,14 +431,16 @@ fn faults() {
         "{:>10} {:>9} {:>11} {:>9} {:>13}",
         "strategy", "full", "durable-at", "resumed", "batches-kept"
     );
-    for strategy in [
+    let restart_strategies = [
         Strategy::Mw,
         Strategy::WwPosix,
         Strategy::WwList,
         Strategy::WwColl,
-    ] {
-        let p = base(strategy);
-        let full = run(&p);
+    ];
+    let restart_params: Vec<SimParams> = restart_strategies.iter().map(|&s| base(s)).collect();
+    let fulls = run_batch(&restart_params, default_threads())
+        .unwrap_or_else(|e| fail("restart baselines", &e));
+    for ((p, full), &strategy) in restart_params.iter().zip(&fulls).zip(&restart_strategies) {
         let kill = full
             .commits
             .entries()
@@ -419,10 +448,10 @@ fn faults() {
             .find(|e| e.base == 0)
             .expect("some batch starts the file")
             .committed_at;
-        let outcome = run_with_restart(&p, kill);
-        outcome
-            .verify()
-            .unwrap_or_else(|e| panic!("{strategy} restart: {e}"));
+        // `try_run_with_restart` verifies both runs and the merged
+        // coverage before returning the outcome.
+        let outcome = try_run_with_restart(p, kill)
+            .unwrap_or_else(|e| fail(&format!("{strategy} restart"), &e));
         println!(
             "{:>10} {:>8.2}s {:>9.1}KB {:>8.2}s {:>13}",
             strategy.label(),
@@ -445,7 +474,6 @@ fn faults() {
 /// Design-choice sensitivity studies (DESIGN.md §6): each varies one knob
 /// the paper holds fixed and reports the simulated overall time.
 fn ablations() {
-    use s3asim::SimParams;
     let base = |strategy: Strategy| SimParams {
         procs: 64,
         strategy,
@@ -455,7 +483,7 @@ fn ablations() {
     // §2's motivation for frequent writes: resumability. Expected redo
     // time for a crash at a uniformly random moment, per granularity.
     {
-        use s3asim::{expected_lost_time, SimParams};
+        use s3asim::expected_lost_time;
         println!("---- ablation: crash-resumability vs write granularity (WW-List) ----");
         for gran in [1usize, 5, 20] {
             let p = SimParams {
@@ -464,8 +492,7 @@ fn ablations() {
                 write_every_n_queries: gran,
                 ..SimParams::default()
             };
-            let r = run(&p);
-            r.verify().expect("exact");
+            let r = run_or_exit("crash-resumability ablation", &p);
             let loss = expected_lost_time(&r.commits, r.overall);
             println!(
                 "  every {:>2} queries: overall {:>7.2}s, expected redo after crash {:>6.2}s",
@@ -484,8 +511,7 @@ fn ablations() {
     let mut study = |name: &str, runs: Vec<(String, Strategy, SimParams)>| {
         println!("---- ablation: {name} ----");
         for (knob, strategy, params) in runs {
-            let r = run(&params);
-            r.verify().unwrap_or_else(|e| panic!("{name}/{knob}: {e}"));
+            let r = run_or_exit(&format!("{name}/{knob}"), &params);
             println!(
                 "  {:<24} {:<11} {:>9.2}s",
                 knob,

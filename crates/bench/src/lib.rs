@@ -8,7 +8,12 @@
 //! are encoded in [`paper::CLAIMS`] so the harness (and the test suite)
 //! can check each reproduced shape against the published one.
 
-use s3asim::{run, Phase, RunReport, SimParams, Strategy, PHASES};
+use s3asim::{Phase, RunReport, SimParams, Strategy};
+
+// The sweep machinery lives in the `s3asim` facade (crates/core); this
+// crate adds the paper's concrete sweeps on top and re-exports the types
+// so existing `s3a_bench::{Point, Sweep}` imports keep working.
+pub use s3asim::{Point, SimError, Sweep, SweepOptions};
 
 /// The process counts of the scaling suite (paper §3.3, Figures 2–4).
 pub const PROC_SWEEP: [usize; 8] = [2, 4, 8, 16, 32, 48, 64, 96];
@@ -18,27 +23,6 @@ pub const SPEED_SWEEP: [f64; 9] = [0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 6.4, 12.8, 25.6
 
 /// Process count used by the compute-speed suite.
 pub const SPEED_SUITE_PROCS: usize = 64;
-
-/// One run's coordinates within a sweep.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Point {
-    /// Total processes.
-    pub procs: usize,
-    /// Compute-speed multiplier.
-    pub speed: f64,
-    /// Strategy under test.
-    pub strategy: Strategy,
-    /// Query-sync option.
-    pub sync: bool,
-}
-
-/// A sweep's worth of completed runs.
-pub struct Sweep {
-    /// Human-readable name ("process scaling", ...).
-    pub name: &'static str,
-    /// The coordinates and their reports, in execution order.
-    pub runs: Vec<(Point, RunReport)>,
-}
 
 /// Build the [`SimParams`] for one sweep point (paper-default workload and
 /// testbed).
@@ -52,36 +36,8 @@ pub fn params_for(p: Point) -> SimParams {
     }
 }
 
-fn execute(name: &'static str, points: Vec<Point>, progress: bool) -> Sweep {
-    let total = points.len();
-    let runs = points
-        .into_iter()
-        .enumerate()
-        .map(|(i, p)| {
-            if progress {
-                eprintln!(
-                    "[{}/{}] {} procs={} speed={} sync={}",
-                    i + 1,
-                    total,
-                    p.strategy,
-                    p.procs,
-                    p.speed,
-                    p.sync
-                );
-            }
-            let report = run(&params_for(p));
-            report
-                .verify()
-                .unwrap_or_else(|e| panic!("verification failed at {p:?}: {e}"));
-            (p, report)
-        })
-        .collect();
-    Sweep { name, runs }
-}
-
-/// Run the full process-scaling suite (Figures 2–4): every strategy and
-/// sync mode at each process count.
-pub fn run_proc_sweep(progress: bool) -> Sweep {
+/// The points of the process-scaling suite, in presentation order.
+pub fn proc_sweep_points() -> Vec<Point> {
     let mut points = Vec::new();
     for sync in [false, true] {
         for strategy in Strategy::PAPER_SET {
@@ -95,11 +51,11 @@ pub fn run_proc_sweep(progress: bool) -> Sweep {
             }
         }
     }
-    execute("process scaling (Figures 2-4)", points, progress)
+    points
 }
 
-/// Run the full compute-speed suite (Figures 5–7) at 64 processes.
-pub fn run_speed_sweep(progress: bool) -> Sweep {
+/// The points of the compute-speed suite, in presentation order.
+pub fn speed_sweep_points() -> Vec<Point> {
     let mut points = Vec::new();
     for sync in [false, true] {
         for strategy in Strategy::PAPER_SET {
@@ -113,106 +69,34 @@ pub fn run_speed_sweep(progress: bool) -> Sweep {
             }
         }
     }
-    execute("compute-speed scaling (Figures 5-7)", points, progress)
+    points
 }
 
-impl Sweep {
-    /// Fetch one run.
-    pub fn get(&self, procs: usize, speed: f64, strategy: Strategy, sync: bool) -> &RunReport {
-        self.runs
-            .iter()
-            .find(|(p, _)| {
-                p.procs == procs && p.speed == speed && p.strategy == strategy && p.sync == sync
-            })
-            .map(|(_, r)| r)
-            .unwrap_or_else(|| {
-                panic!("no run for {strategy} procs={procs} speed={speed} sync={sync}")
-            })
-    }
+/// Run the full process-scaling suite (Figures 2–4): every strategy and
+/// sync mode at each process count, across the default thread pool.
+pub fn run_proc_sweep(progress: bool) -> Result<Sweep, SimError> {
+    Sweep::run(
+        "process scaling (Figures 2-4)",
+        proc_sweep_points(),
+        params_for,
+        SweepOptions {
+            progress,
+            ..SweepOptions::default()
+        },
+    )
+}
 
-    /// Render the Figure 2/5-style overall-time table: one row per x-axis
-    /// value, one column per (strategy, sync).
-    pub fn overall_table(&self, xaxis: &str) -> String {
-        use std::fmt::Write as _;
-        let mut s = String::new();
-        let _ = writeln!(s, "# {} — overall execution time (s)", self.name);
-        let _ = write!(s, "{xaxis:>8}");
-        let mut columns: Vec<(Strategy, bool)> = Vec::new();
-        for sync in [false, true] {
-            for strategy in Strategy::PAPER_SET {
-                columns.push((strategy, sync));
-                let _ = write!(
-                    s,
-                    " {:>14}",
-                    format!("{}{}", strategy, if sync { "/sync" } else { "" })
-                );
-            }
-        }
-        let _ = writeln!(s);
-        let mut xs: Vec<(usize, f64)> = self.runs.iter().map(|(p, _)| (p.procs, p.speed)).collect();
-        xs.dedup();
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        xs.dedup();
-        for (procs, speed) in xs {
-            if (PROC_SWEEP.len() > 1) && self.name.contains("process") {
-                let _ = write!(s, "{procs:>8}");
-            } else {
-                let _ = write!(s, "{speed:>8}");
-            }
-            for &(strategy, sync) in &columns {
-                let r = self.get(procs, speed, strategy, sync);
-                let _ = write!(s, " {:>14.2}", r.overall.as_secs_f64());
-            }
-            let _ = writeln!(s);
-        }
-        s
-    }
-
-    /// Render a Figure 3/4/6/7-style phase breakdown table for one
-    /// strategy and sync mode (worker-process means, stacked phases).
-    pub fn phase_table(&self, strategy: Strategy, sync: bool, xaxis: &str) -> String {
-        use std::fmt::Write as _;
-        let mut s = String::new();
-        let _ = writeln!(
-            s,
-            "# {} — {} ({}) worker phase breakdown (s)",
-            self.name,
-            strategy,
-            if sync { "sync" } else { "no-sync" }
-        );
-        let _ = write!(s, "{xaxis:>8}");
-        for p in PHASES {
-            let _ = write!(s, " {:>12}", p.name().replace(' ', "-"));
-        }
-        let _ = writeln!(s, " {:>12}", "overall");
-        for (point, r) in self
-            .runs
-            .iter()
-            .filter(|(p, _)| p.strategy == strategy && p.sync == sync)
-        {
-            if self.name.contains("process") {
-                let _ = write!(s, "{:>8}", point.procs);
-            } else {
-                let _ = write!(s, "{:>8}", point.speed);
-            }
-            for p in PHASES {
-                let _ = write!(s, " {:>12.3}", r.worker_mean.get(p).as_secs_f64());
-            }
-            let _ = writeln!(s, " {:>12.2}", r.overall.as_secs_f64());
-        }
-        s
-    }
-
-    /// All runs as CSV (header + one row per run).
-    pub fn csv(&self) -> String {
-        let mut s = RunReport::csv_header();
-        s.push('\n');
-        for (_, r) in &self.runs {
-            s.push_str(&r.csv_row());
-            s.push('\n');
-        }
-        s
-    }
+/// Run the full compute-speed suite (Figures 5–7) at 64 processes.
+pub fn run_speed_sweep(progress: bool) -> Result<Sweep, SimError> {
+    Sweep::run(
+        "compute-speed scaling (Figures 5-7)",
+        speed_sweep_points(),
+        params_for,
+        SweepOptions {
+            progress,
+            ..SweepOptions::default()
+        },
+    )
 }
 
 /// The paper's quantitative comparisons, used to score the reproduction.

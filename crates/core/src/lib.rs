@@ -18,25 +18,28 @@
 //! ## Quickstart
 //!
 //! ```
-//! use s3asim::{run, SimParams, Strategy};
-//! use s3a_workload::WorkloadParams;
+//! use s3asim::{try_run, SimParams, Strategy};
 //!
-//! let params = SimParams {
-//!     procs: 8,
-//!     strategy: Strategy::WwList,
-//!     workload: WorkloadParams {
-//!         queries: 4,
-//!         fragments: 16,
-//!         min_results: 50,
-//!         max_results: 100,
-//!         ..WorkloadParams::default()
-//!     },
-//!     ..SimParams::default()
-//! };
-//! let report = run(&params);
-//! report.verify().expect("output file is complete and exact");
+//! let params = SimParams::builder()
+//!     .procs(8)
+//!     .strategy(Strategy::WwList)
+//!     .with_workload(|w| {
+//!         w.queries = 4;
+//!         w.fragments = 16;
+//!         w.min_results = 50;
+//!         w.max_results = 100;
+//!     })
+//!     .build()
+//!     .expect("valid parameters");
+//! // `try_run` verifies the output file (every result byte written
+//! // exactly once, contiguously, flushed) before returning the report.
+//! let report = try_run(&params).expect("run completes and verifies");
 //! println!("{}", report.phase_table());
 //! ```
+//!
+//! Whole evaluation sweeps run in parallel — one isolated simulation per
+//! worker thread — through [`Sweep::run`] / [`run_batch`], with results
+//! assembled deterministically in input order.
 
 mod master;
 mod offsets;
@@ -46,11 +49,12 @@ mod protocol;
 mod report;
 mod resume;
 mod runner;
+pub mod sweep;
 pub mod trace;
 mod worker;
 
 pub use offsets::{BatchState, WorkerPlan};
-pub use params::{Segmentation, SimParams, Strategy, Testbed};
+pub use params::{ParamError, Segmentation, SimParams, SimParamsBuilder, Strategy, Testbed};
 pub use phase::{Phase, PhaseBreakdown, PhaseTimer, PHASES};
 pub use protocol::{hit_order, merge_sorted_hits, Assign, OffsetsMsg, ScoresMsg};
 pub use report::RunReport;
@@ -58,12 +62,18 @@ pub use resume::{
     expected_lost_time, restart_point, CommitEntry, CommitLog, CommitTracker, CrashReport,
     ResumePoint,
 };
-pub use runner::{run, run_with_restart, FaultCtx, RestartOutcome, DATABASE_FILE, OUTPUT_FILE};
+pub use runner::{
+    run, run_with_restart, try_run, try_run_with_restart, FaultCtx, RestartOutcome, SimError,
+    DATABASE_FILE, OUTPUT_FILE,
+};
+pub use sweep::{default_threads, run_batch, run_batch_with, Point, Sweep, SweepOptions};
 pub use trace::{Trace, TraceEvent, TraceSink};
 pub use worker::WorkerStats;
 
-// Re-export the fault-injection vocabulary so downstream code (bench,
-// tests) can configure schedules without naming the crate separately.
+// Re-export the fault-injection vocabulary and the engine's deadlock
+// diagnosis so downstream code (bench, tests, examples) imports from one
+// crate instead of four.
+pub use s3a_des::{Deadlock, SimTime};
 pub use s3a_faults::{
     FaultEvent, FaultKind, FaultParams, FaultReport, ServerOutage, ServerSlowdown,
 };

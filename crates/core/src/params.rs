@@ -238,35 +238,291 @@ impl SimParams {
             .saturating_sub(self.testbed.worker_memory)
     }
 
+    /// Start building a parameter set from the paper defaults. Every
+    /// setter is infallible; [`SimParamsBuilder::build`] checks the
+    /// combination and returns a typed [`ParamError`] instead of
+    /// panicking.
+    pub fn builder() -> SimParamsBuilder {
+        SimParamsBuilder::default()
+    }
+
+    /// Check the parameter combination, returning a typed error for every
+    /// nonsense configuration (fewer than 2 procs, zero batch size, ...).
+    pub fn try_validate(&self) -> Result<(), ParamError> {
+        if self.procs < 2 {
+            return Err(ParamError::TooFewProcs { procs: self.procs });
+        }
+        // NaN must be rejected too, hence the explicit is_nan check.
+        if self.compute_speed.is_nan() || self.compute_speed <= 0.0 {
+            return Err(ParamError::NonPositiveComputeSpeed {
+                speed: self.compute_speed,
+            });
+        }
+        if self.write_every_n_queries < 1 {
+            return Err(ParamError::ZeroBatchSize);
+        }
+        if self.cb_buffer_size == 0 {
+            return Err(ParamError::ZeroCbBufferSize);
+        }
+        if self.faults.crashes() {
+            if self.query_sync || self.strategy.inherently_synchronizing() {
+                return Err(ParamError::CrashesNeedFreeRunningWorkers {
+                    strategy: self.strategy,
+                    query_sync: self.query_sync,
+                });
+            }
+            if self.faults.worker_crashes.len() >= self.workers() {
+                return Err(ParamError::NoSurvivingWorker {
+                    crashes: self.faults.worker_crashes.len(),
+                    workers: self.workers(),
+                });
+            }
+            for &(rank, _) in &self.faults.worker_crashes {
+                if !(1..self.procs).contains(&rank) {
+                    return Err(ParamError::CrashRankNotWorker {
+                        rank,
+                        procs: self.procs,
+                    });
+                }
+            }
+            if self.faults.heartbeat_interval >= self.faults.detection_timeout {
+                return Err(ParamError::HeartbeatNotUnderTimeout {
+                    interval: self.faults.heartbeat_interval,
+                    timeout: self.faults.detection_timeout,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Validate the parameter combination, panicking with a clear message
     /// on nonsense (fewer than 2 procs, zero batch size, ...).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SimParams::builder().build()` or `try_validate()` for a typed error"
+    )]
     pub fn validate(&self) {
-        assert!(self.procs >= 2, "need at least 1 master + 1 worker");
-        assert!(self.compute_speed > 0.0, "compute speed must be positive");
-        assert!(self.write_every_n_queries >= 1, "batch size must be >= 1");
-        assert!(self.cb_buffer_size > 0, "cb_buffer_size must be nonzero");
-        if self.faults.crashes() {
-            assert!(
-                !self.query_sync && !self.strategy.inherently_synchronizing(),
-                "crash injection needs free-running workers: query-sync and \
-                 collective strategies recover via checkpoint-restart instead"
-            );
-            assert!(
-                self.faults.worker_crashes.len() < self.workers(),
-                "at least one worker must survive the injected crashes"
-            );
-            for &(rank, _) in &self.faults.worker_crashes {
-                assert!(
-                    (1..self.procs).contains(&rank),
-                    "crash rank {rank} is not a worker (1..{})",
-                    self.procs
-                );
-            }
-            assert!(
-                self.faults.heartbeat_interval < self.faults.detection_timeout,
-                "heartbeat interval must undercut the detection timeout"
-            );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
         }
+    }
+}
+
+/// Why a parameter combination was rejected — one variant per invariant
+/// the old panicking `validate()` asserted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamError {
+    /// Fewer than 2 processes: a run needs at least 1 master + 1 worker.
+    TooFewProcs {
+        /// The rejected process count.
+        procs: usize,
+    },
+    /// Compute speed must be positive (and finite enough to compare).
+    NonPositiveComputeSpeed {
+        /// The rejected multiplier.
+        speed: f64,
+    },
+    /// `write_every_n_queries` must be at least 1.
+    ZeroBatchSize,
+    /// The two-phase collective buffer cannot be empty.
+    ZeroCbBufferSize,
+    /// Crash injection needs free-running workers: query-sync and
+    /// collective strategies recover via checkpoint-restart instead.
+    CrashesNeedFreeRunningWorkers {
+        /// The synchronizing strategy (or any strategy with query-sync).
+        strategy: Strategy,
+        /// Whether the query-sync option triggered the rejection.
+        query_sync: bool,
+    },
+    /// Every worker was scheduled to crash; at least one must survive.
+    NoSurvivingWorker {
+        /// Crashes scheduled.
+        crashes: usize,
+        /// Workers available.
+        workers: usize,
+    },
+    /// A crash was scheduled for a rank outside `1..procs`.
+    CrashRankNotWorker {
+        /// The offending rank.
+        rank: usize,
+        /// Total processes (valid worker ranks are `1..procs`).
+        procs: usize,
+    },
+    /// The heartbeat interval must undercut the detection timeout or the
+    /// detector can never distinguish silence from death.
+    HeartbeatNotUnderTimeout {
+        /// Configured heartbeat interval.
+        interval: SimTime,
+        /// Configured detection timeout.
+        timeout: SimTime,
+    },
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamError::TooFewProcs { procs } => {
+                write!(f, "need at least 1 master + 1 worker, got {procs} procs")
+            }
+            ParamError::NonPositiveComputeSpeed { speed } => {
+                write!(f, "compute speed must be positive, got {speed}")
+            }
+            ParamError::ZeroBatchSize => write!(f, "batch size must be >= 1"),
+            ParamError::ZeroCbBufferSize => write!(f, "cb_buffer_size must be nonzero"),
+            ParamError::CrashesNeedFreeRunningWorkers {
+                strategy,
+                query_sync,
+            } => write!(
+                f,
+                "crash injection needs free-running workers: {} recovers via \
+                 checkpoint-restart instead",
+                if *query_sync {
+                    "query-sync".to_string()
+                } else {
+                    format!("the {strategy} collective strategy")
+                }
+            ),
+            ParamError::NoSurvivingWorker { crashes, workers } => write!(
+                f,
+                "at least one worker must survive the injected crashes \
+                 ({crashes} crashes for {workers} workers)"
+            ),
+            ParamError::CrashRankNotWorker { rank, procs } => {
+                write!(f, "crash rank {rank} is not a worker (1..{procs})")
+            }
+            ParamError::HeartbeatNotUnderTimeout { interval, timeout } => write!(
+                f,
+                "heartbeat interval {interval} must undercut the detection \
+                 timeout {timeout}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Fluent constructor for [`SimParams`]: every setter overrides one field
+/// of the paper-default configuration, and [`SimParamsBuilder::build`]
+/// performs the validation the old panicking `validate()` did — returning
+/// a typed [`ParamError`] instead.
+///
+/// ```
+/// use s3asim::{SimParams, Strategy};
+/// let params = SimParams::builder()
+///     .procs(32)
+///     .strategy(Strategy::WwList)
+///     .query_sync(true)
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(params.procs, 32);
+/// assert!(SimParams::builder().procs(1).build().is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimParamsBuilder {
+    params: SimParams,
+}
+
+impl SimParamsBuilder {
+    /// Total MPI processes (1 master + `procs - 1` workers).
+    pub fn procs(mut self, procs: usize) -> Self {
+        self.params.procs = procs;
+        self
+    }
+
+    /// The result-writing strategy under test.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.params.strategy = strategy;
+        self
+    }
+
+    /// Force all workers to synchronize after each batch's I/O (§3.3).
+    pub fn query_sync(mut self, on: bool) -> Self {
+        self.params.query_sync = on;
+        self
+    }
+
+    /// Relative compute speed (the paper sweeps 0.1–25.6).
+    pub fn compute_speed(mut self, speed: f64) -> Self {
+        self.params.compute_speed = speed;
+        self
+    }
+
+    /// Write results after every `n` queries.
+    pub fn write_every_n_queries(mut self, n: usize) -> Self {
+        self.params.write_every_n_queries = n;
+        self
+    }
+
+    /// Two-phase collective aggregator count (0 = one per node).
+    pub fn cb_nodes(mut self, n: usize) -> Self {
+        self.params.cb_nodes = n;
+        self
+    }
+
+    /// Two-phase collective buffer size per aggregator per round.
+    pub fn cb_buffer_size(mut self, bytes: u64) -> Self {
+        self.params.cb_buffer_size = bytes;
+        self
+    }
+
+    /// Work-partitioning scheme (database vs. query segmentation).
+    pub fn segmentation(mut self, seg: Segmentation) -> Self {
+        self.params.segmentation = seg;
+        self
+    }
+
+    /// MW only: overlap the master's writes with task distribution.
+    pub fn mw_nonblocking_io(mut self, on: bool) -> Self {
+        self.params.mw_nonblocking_io = on;
+        self
+    }
+
+    /// Record a per-rank phase timeline.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.params.trace = on;
+        self
+    }
+
+    /// Deterministic fault injection plan.
+    pub fn faults(mut self, faults: FaultParams) -> Self {
+        self.params.faults = faults;
+        self
+    }
+
+    /// Resume from a prior run's durable checkpoint.
+    pub fn resume_from(mut self, resume: ResumePoint) -> Self {
+        self.params.resume_from = Some(resume);
+        self
+    }
+
+    /// The synthetic search workload.
+    pub fn workload(mut self, workload: WorkloadParams) -> Self {
+        self.params.workload = workload;
+        self
+    }
+
+    /// Mutate the workload in place (keeps the other workload defaults).
+    pub fn with_workload(mut self, f: impl FnOnce(&mut WorkloadParams)) -> Self {
+        f(&mut self.params.workload);
+        self
+    }
+
+    /// Cluster and compute-model constants.
+    pub fn testbed(mut self, testbed: Testbed) -> Self {
+        self.params.testbed = testbed;
+        self
+    }
+
+    /// Mutate the testbed in place (keeps the other testbed defaults).
+    pub fn with_testbed(mut self, f: impl FnOnce(&mut Testbed)) -> Self {
+        f(&mut self.params.testbed);
+        self
+    }
+
+    /// Validate the combination and produce the parameter set.
+    pub fn build(self) -> Result<SimParams, ParamError> {
+        self.params.try_validate()?;
+        Ok(self.params)
     }
 }
 
@@ -331,6 +587,194 @@ mod tests {
             procs: 1,
             ..SimParams::default()
         };
+        #[allow(deprecated)]
         p.validate();
+    }
+
+    #[test]
+    fn builder_defaults_match_default_params() {
+        let built = SimParams::builder().build().expect("defaults are valid");
+        let dflt = SimParams::default();
+        assert_eq!(built.procs, dflt.procs);
+        assert_eq!(built.strategy, dflt.strategy);
+        assert_eq!(built.compute_speed, dflt.compute_speed);
+        assert_eq!(built.write_every_n_queries, dflt.write_every_n_queries);
+        assert_eq!(built.cb_nodes, dflt.cb_nodes);
+        assert_eq!(built.segmentation, dflt.segmentation);
+    }
+
+    #[test]
+    fn builder_rejects_too_few_procs() {
+        for procs in [0usize, 1] {
+            assert_eq!(
+                SimParams::builder().procs(procs).build().unwrap_err(),
+                ParamError::TooFewProcs { procs }
+            );
+        }
+    }
+
+    #[test]
+    fn builder_rejects_nonpositive_compute_speed() {
+        for speed in [0.0, -1.5, f64::NAN] {
+            let err = SimParams::builder()
+                .compute_speed(speed)
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(err, ParamError::NonPositiveComputeSpeed { .. }),
+                "speed {speed}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_rejects_zero_batch_size() {
+        assert_eq!(
+            SimParams::builder()
+                .write_every_n_queries(0)
+                .build()
+                .unwrap_err(),
+            ParamError::ZeroBatchSize
+        );
+    }
+
+    #[test]
+    fn builder_rejects_zero_cb_buffer() {
+        assert_eq!(
+            SimParams::builder().cb_buffer_size(0).build().unwrap_err(),
+            ParamError::ZeroCbBufferSize
+        );
+    }
+
+    fn one_crash() -> FaultParams {
+        FaultParams {
+            worker_crashes: vec![(3, SimTime::from_secs(1))],
+            ..FaultParams::default()
+        }
+    }
+
+    #[test]
+    fn builder_rejects_crashes_under_sync_or_collectives() {
+        let err = SimParams::builder()
+            .faults(one_crash())
+            .query_sync(true)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ParamError::CrashesNeedFreeRunningWorkers {
+                query_sync: true,
+                ..
+            }
+        ));
+        let err = SimParams::builder()
+            .faults(one_crash())
+            .strategy(Strategy::WwColl)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ParamError::CrashesNeedFreeRunningWorkers {
+                strategy: Strategy::WwColl,
+                query_sync: false,
+            }
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_crashing_every_worker() {
+        let faults = FaultParams {
+            worker_crashes: vec![(1, SimTime::ZERO), (2, SimTime::ZERO)],
+            ..FaultParams::default()
+        };
+        assert_eq!(
+            SimParams::builder()
+                .procs(3)
+                .faults(faults)
+                .build()
+                .unwrap_err(),
+            ParamError::NoSurvivingWorker {
+                crashes: 2,
+                workers: 2
+            }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_crash_rank_outside_workers() {
+        for rank in [0usize, 16, 99] {
+            let faults = FaultParams {
+                worker_crashes: vec![(rank, SimTime::ZERO)],
+                ..FaultParams::default()
+            };
+            assert_eq!(
+                SimParams::builder().faults(faults).build().unwrap_err(),
+                ParamError::CrashRankNotWorker { rank, procs: 16 }
+            );
+        }
+    }
+
+    #[test]
+    fn builder_rejects_heartbeat_at_or_over_timeout() {
+        let mut faults = one_crash();
+        faults.detection_timeout = faults.heartbeat_interval;
+        let err = SimParams::builder().faults(faults).build().unwrap_err();
+        assert!(matches!(err, ParamError::HeartbeatNotUnderTimeout { .. }));
+    }
+
+    #[test]
+    fn builder_accepts_a_valid_crash_plan() {
+        let p = SimParams::builder()
+            .procs(8)
+            .faults(one_crash())
+            .build()
+            .expect("valid crash plan");
+        assert!(p.faults.crashes());
+    }
+
+    #[test]
+    fn param_errors_render_the_old_messages() {
+        // The panicking shim must keep the message fragments callers (and
+        // the old tests) matched on.
+        assert!(ParamError::TooFewProcs { procs: 1 }
+            .to_string()
+            .contains("at least 1 master + 1 worker"));
+        assert!(ParamError::ZeroBatchSize
+            .to_string()
+            .contains("batch size must be >= 1"));
+        assert!(ParamError::CrashRankNotWorker { rank: 9, procs: 4 }
+            .to_string()
+            .contains("crash rank 9 is not a worker (1..4)"));
+    }
+
+    #[test]
+    fn builder_setters_cover_every_field() {
+        let p = SimParams::builder()
+            .procs(4)
+            .strategy(Strategy::Mw)
+            .query_sync(true)
+            .compute_speed(2.0)
+            .write_every_n_queries(3)
+            .cb_nodes(2)
+            .cb_buffer_size(1024)
+            .segmentation(Segmentation::Query)
+            .mw_nonblocking_io(true)
+            .trace(true)
+            .with_workload(|w| w.queries = 2)
+            .with_testbed(|t| t.pvfs.servers = 4)
+            .build()
+            .expect("valid");
+        assert_eq!(p.procs, 4);
+        assert_eq!(p.strategy, Strategy::Mw);
+        assert!(p.query_sync);
+        assert_eq!(p.compute_speed, 2.0);
+        assert_eq!(p.write_every_n_queries, 3);
+        assert_eq!(p.cb_nodes, 2);
+        assert_eq!(p.cb_buffer_size, 1024);
+        assert_eq!(p.segmentation, Segmentation::Query);
+        assert!(p.mw_nonblocking_io);
+        assert!(p.trace);
+        assert_eq!(p.workload.queries, 2);
+        assert_eq!(p.testbed.pvfs.servers, 4);
     }
 }

@@ -1,9 +1,10 @@
 //! Builds the simulated cluster, spawns the master and workers, drives
 //! the simulation, and assembles the run report.
 
+use std::fmt;
 use std::rc::Rc;
 
-use s3a_des::{Sim, SimTime};
+use s3a_des::{Deadlock, Sim, SimTime};
 use s3a_faults::{FaultLog, FaultParams, FaultSchedule};
 use s3a_mpi::World;
 use s3a_mpiio::{File, Hints};
@@ -12,7 +13,7 @@ use s3a_pvfs::FileSystem;
 use s3a_workload::Workload;
 
 use crate::master::run_master;
-use crate::params::{Segmentation, SimParams};
+use crate::params::{ParamError, Segmentation, SimParams};
 use crate::report::RunReport;
 use crate::resume::{restart_point, CommitTracker, ResumePoint};
 use crate::trace::TraceSink;
@@ -50,14 +51,78 @@ fn fold_for_query_segmentation(workload: &Workload) -> Workload {
     folded
 }
 
-/// Execute one S3aSim run and return its report.
+/// Why a run could not produce a report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The parameter combination was rejected before any simulation ran.
+    InvalidParams(ParamError),
+    /// The simulation stalled: no task could make progress. Carries the
+    /// engine's parked-task diagnosis.
+    Deadlock(Deadlock),
+    /// The run completed but its output file failed verification (a byte
+    /// missing, duplicated, or unflushed).
+    Verification(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidParams(e) => write!(f, "invalid parameters: {e}"),
+            SimError::Deadlock(d) => write!(f, "S3aSim run deadlocked: {d}"),
+            SimError::Verification(e) => write!(f, "output verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::InvalidParams(e) => Some(e),
+            SimError::Deadlock(d) => Some(d),
+            SimError::Verification(_) => None,
+        }
+    }
+}
+
+impl From<ParamError> for SimError {
+    fn from(e: ParamError) -> Self {
+        SimError::InvalidParams(e)
+    }
+}
+
+impl From<Deadlock> for SimError {
+    fn from(d: Deadlock) -> Self {
+        SimError::Deadlock(d)
+    }
+}
+
+/// Execute one S3aSim run and return its report, or a typed error when
+/// the parameters are invalid, the simulation deadlocks, or the produced
+/// output file fails verification.
 ///
 /// The cluster is assembled exactly once per run: compute nodes
 /// (`procs / ranks_per_node` NICs) and PVFS2 servers share one fabric, so
 /// MPI traffic and file traffic contend for the same links, as on the
 /// paper's testbed.
+pub fn try_run(params: &SimParams) -> Result<RunReport, SimError> {
+    let report = execute(params)?;
+    report.verify().map_err(SimError::Verification)?;
+    Ok(report)
+}
+
+/// Execute one S3aSim run and return its report.
+///
+/// Thin compatible wrapper over the fallible path: panics where
+/// [`try_run`] returns `Err` (except verification, which remains the
+/// caller's explicit step via [`RunReport::verify`], as it always was).
 pub fn run(params: &SimParams) -> RunReport {
-    params.validate();
+    execute(params).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The shared simulation body: validates, assembles the cluster, drives
+/// the engine, and assembles the report. Does not verify the output file.
+fn execute(params: &SimParams) -> Result<RunReport, SimError> {
+    params.try_validate()?;
     let params = Rc::new(params.clone());
     let sim = Sim::new();
     let generated = Workload::generate(&params.workload);
@@ -169,8 +234,7 @@ pub fn run(params: &SimParams) -> RunReport {
         })
     };
 
-    sim.run()
-        .unwrap_or_else(|d| panic!("S3aSim run deadlocked: {d}"));
+    sim.run()?;
     let (overall, master, workers, worker_stats) = collector
         .take_output()
         .expect("collector finishes with the simulation");
@@ -178,7 +242,7 @@ pub fn run(params: &SimParams) -> RunReport {
     let out = fs.open(OUTPUT_FILE);
     let trace = sink.finish();
     let commits = commits.finish();
-    RunReport::assemble(
+    Ok(RunReport::assemble(
         trace,
         commits,
         &params,
@@ -192,7 +256,7 @@ pub fn run(params: &SimParams) -> RunReport {
         &world,
         &sim,
         faults_ctx.as_ref().map(|c| c.log.report()),
-    )
+    ))
 }
 
 /// Outcome of a kill-and-restart experiment: the interrupted run, the
@@ -237,15 +301,27 @@ impl RestartOutcome {
 /// truncated at `kill_at` is byte-for-byte what a genuinely killed run
 /// would have left behind.
 pub fn run_with_restart(params: &SimParams, kill_at: SimTime) -> RestartOutcome {
-    let first = run(params);
+    try_run_with_restart(params, kill_at).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`run_with_restart`]: both runs and the final
+/// restart-coverage check report through [`SimError`] instead of
+/// panicking.
+pub fn try_run_with_restart(
+    params: &SimParams,
+    kill_at: SimTime,
+) -> Result<RestartOutcome, SimError> {
+    let first = execute(params)?;
     let resume = restart_point(&first.commits, kill_at);
     let mut resumed = params.clone();
     resumed.faults = FaultParams::default();
     resumed.resume_from = Some(resume.clone());
-    let second = run(&resumed);
-    RestartOutcome {
+    let second = execute(&resumed)?;
+    let outcome = RestartOutcome {
         first,
         resume,
         second,
-    }
+    };
+    outcome.verify().map_err(SimError::Verification)?;
+    Ok(outcome)
 }

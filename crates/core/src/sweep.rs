@@ -1,0 +1,385 @@
+//! Parallel sweep execution.
+//!
+//! A sweep is a list of independent simulation points — every
+//! `(procs, speed, strategy, sync)` combination is its own deterministic
+//! run with its own [`s3a_des::Sim`], so the points can execute on a pool
+//! of OS threads without any shared simulation state. The `Rc`-based
+//! engine never crosses a thread boundary: each worker thread builds,
+//! drives, and tears down one complete simulation per point, and only the
+//! plain-data [`RunReport`] travels back.
+//!
+//! Result assembly is deterministic and execution-order-independent:
+//! reports are stored into a slot indexed by the point's position in the
+//! input list, so the assembled [`Sweep`] is byte-identical to a serial
+//! run of the same points regardless of thread count or scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::params::{SimParams, Strategy};
+use crate::phase::PHASES;
+use crate::report::RunReport;
+use crate::runner::{try_run, SimError};
+
+// The executor hands `&SimParams` to worker threads and carries
+// `RunReport`s back; both must stay plain data (no `Rc` smuggled in).
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_sync::<SimParams>();
+    assert_send::<RunReport>();
+    assert_send::<SimError>();
+};
+
+/// One run's coordinates within a sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Total processes.
+    pub procs: usize,
+    /// Compute-speed multiplier.
+    pub speed: f64,
+    /// Strategy under test.
+    pub strategy: Strategy,
+    /// Query-sync option.
+    pub sync: bool,
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} procs={} speed={} sync={}",
+            self.strategy, self.procs, self.speed, self.sync
+        )
+    }
+}
+
+/// How a sweep executes: worker-thread count and progress reporting.
+///
+/// The default runs quietly on the auto thread count.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepOptions {
+    /// Worker threads to run points on. `0` means auto: the
+    /// `S3ASIM_THREADS` environment variable if set, otherwise
+    /// [`std::thread::available_parallelism`].
+    pub threads: usize,
+    /// Print one progress line per point to stderr as it starts.
+    pub progress: bool,
+}
+
+impl SweepOptions {
+    /// Options for a serial, quiet run (the reference path the parallel
+    /// executor must match byte-for-byte).
+    pub fn serial() -> Self {
+        SweepOptions {
+            threads: 1,
+            progress: false,
+        }
+    }
+
+    /// Resolve `threads == 0` to the auto thread count.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            default_threads()
+        }
+    }
+}
+
+/// The auto thread count: `S3ASIM_THREADS` if set to a positive integer,
+/// otherwise the machine's available parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("S3ASIM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run every parameter set and return the reports in input order.
+///
+/// Points are claimed from a shared counter by `threads` worker threads;
+/// each claimed point runs a complete, isolated simulation via
+/// [`try_run`] (which also verifies the output file). Reports land in a
+/// per-index slot, so the returned order — and therefore every downstream
+/// table and CSV — is independent of which thread finished first. With
+/// `threads <= 1` (or a single parameter set) no threads are spawned at
+/// all.
+pub fn run_batch(params: &[SimParams], threads: usize) -> Result<Vec<RunReport>, SimError> {
+    run_batch_with(params, threads, |_| {})
+}
+
+/// [`run_batch`] with a per-point start hook (used for progress lines).
+/// The hook runs on the worker thread that claims the point.
+pub fn run_batch_with(
+    params: &[SimParams],
+    threads: usize,
+    on_start: impl Fn(usize) + Sync,
+) -> Result<Vec<RunReport>, SimError> {
+    let threads = threads.clamp(1, params.len().max(1));
+    if threads == 1 {
+        return params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                on_start(i);
+                try_run(p)
+            })
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<RunReport, SimError>>>> =
+        params.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(p) = params.get(i) else { break };
+                on_start(i);
+                let result = try_run(p);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index was claimed by a worker")
+        })
+        .collect()
+}
+
+/// A sweep's worth of completed runs.
+pub struct Sweep {
+    /// Human-readable name ("process scaling", ...).
+    pub name: &'static str,
+    /// The coordinates and their reports, in input order.
+    pub runs: Vec<(Point, RunReport)>,
+}
+
+impl Sweep {
+    /// Execute `points` (mapped to parameters by `to_params`) across the
+    /// configured thread pool and assemble the completed sweep.
+    ///
+    /// Every point's report is verified; the first failure aborts the
+    /// sweep with a [`SimError`] naming the offending point.
+    pub fn run(
+        name: &'static str,
+        points: Vec<Point>,
+        to_params: impl Fn(Point) -> SimParams + Sync,
+        opts: SweepOptions,
+    ) -> Result<Sweep, SimError> {
+        let params: Vec<SimParams> = points.iter().map(|&p| to_params(p)).collect();
+        let total = points.len();
+        let reports = run_batch_with(&params, opts.effective_threads(), |i| {
+            if opts.progress {
+                eprintln!("[{}/{}] {}", i + 1, total, points[i]);
+            }
+        })
+        .map_err(|e| match e {
+            // Deadlocks and invalid params carry their own diagnosis; a
+            // verification failure is only useful with its coordinates.
+            SimError::Verification(msg) => SimError::Verification(format!("sweep '{name}': {msg}")),
+            other => other,
+        })?;
+        Ok(Sweep {
+            name,
+            runs: points.into_iter().zip(reports).collect(),
+        })
+    }
+
+    /// Fetch one run.
+    pub fn get(&self, procs: usize, speed: f64, strategy: Strategy, sync: bool) -> &RunReport {
+        self.runs
+            .iter()
+            .find(|(p, _)| {
+                p.procs == procs && p.speed == speed && p.strategy == strategy && p.sync == sync
+            })
+            .map(|(_, r)| r)
+            .unwrap_or_else(|| {
+                panic!("no run for {strategy} procs={procs} speed={speed} sync={sync}")
+            })
+    }
+
+    /// Render the Figure 2/5-style overall-time table: one row per x-axis
+    /// value, one column per (strategy, sync).
+    pub fn overall_table(&self, xaxis: &str) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "# {} — overall execution time (s)", self.name);
+        let _ = write!(s, "{xaxis:>8}");
+        let mut columns: Vec<(Strategy, bool)> = Vec::new();
+        for sync in [false, true] {
+            for strategy in Strategy::PAPER_SET {
+                columns.push((strategy, sync));
+                let _ = write!(
+                    s,
+                    " {:>14}",
+                    format!("{}{}", strategy, if sync { "/sync" } else { "" })
+                );
+            }
+        }
+        let _ = writeln!(s);
+        let mut xs: Vec<(usize, f64)> = self.runs.iter().map(|(p, _)| (p.procs, p.speed)).collect();
+        xs.dedup();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        xs.dedup();
+        for (procs, speed) in xs {
+            if self.name.contains("process") {
+                let _ = write!(s, "{procs:>8}");
+            } else {
+                let _ = write!(s, "{speed:>8}");
+            }
+            for &(strategy, sync) in &columns {
+                let r = self.get(procs, speed, strategy, sync);
+                let _ = write!(s, " {:>14.2}", r.overall.as_secs_f64());
+            }
+            let _ = writeln!(s);
+        }
+        s
+    }
+
+    /// Render a Figure 3/4/6/7-style phase breakdown table for one
+    /// strategy and sync mode (worker-process means, stacked phases).
+    pub fn phase_table(&self, strategy: Strategy, sync: bool, xaxis: &str) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "# {} — {} ({}) worker phase breakdown (s)",
+            self.name,
+            strategy,
+            if sync { "sync" } else { "no-sync" }
+        );
+        let _ = write!(s, "{xaxis:>8}");
+        for p in PHASES {
+            let _ = write!(s, " {:>12}", p.name().replace(' ', "-"));
+        }
+        let _ = writeln!(s, " {:>12}", "overall");
+        for (point, r) in self
+            .runs
+            .iter()
+            .filter(|(p, _)| p.strategy == strategy && p.sync == sync)
+        {
+            if self.name.contains("process") {
+                let _ = write!(s, "{:>8}", point.procs);
+            } else {
+                let _ = write!(s, "{:>8}", point.speed);
+            }
+            for p in PHASES {
+                let _ = write!(s, " {:>12.3}", r.worker_mean.get(p).as_secs_f64());
+            }
+            let _ = writeln!(s, " {:>12.2}", r.overall.as_secs_f64());
+        }
+        s
+    }
+
+    /// All runs as CSV (header + one row per run).
+    pub fn csv(&self) -> String {
+        let mut s = RunReport::csv_header();
+        s.push('\n');
+        for (_, r) in &self.runs {
+            s.push_str(&r.csv_row());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s3a_workload::WorkloadParams;
+
+    fn tiny(p: Point) -> SimParams {
+        SimParams {
+            procs: p.procs,
+            strategy: p.strategy,
+            query_sync: p.sync,
+            compute_speed: p.speed,
+            workload: WorkloadParams {
+                queries: 2,
+                fragments: 8,
+                min_results: 40,
+                max_results: 80,
+                ..WorkloadParams::default()
+            },
+            ..SimParams::default()
+        }
+    }
+
+    fn tiny_points() -> Vec<Point> {
+        let mut points = Vec::new();
+        for strategy in [Strategy::Mw, Strategy::WwList, Strategy::WwColl] {
+            for procs in [3usize, 5] {
+                points.push(Point {
+                    procs,
+                    speed: 1.0,
+                    strategy,
+                    sync: false,
+                });
+            }
+        }
+        points
+    }
+
+    #[test]
+    fn parallel_matches_serial_byte_for_byte() {
+        let serial = Sweep::run("t", tiny_points(), tiny, SweepOptions::serial()).unwrap();
+        let parallel = Sweep::run(
+            "t",
+            tiny_points(),
+            tiny,
+            SweepOptions {
+                threads: 4,
+                progress: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.csv(), parallel.csv());
+        for ((ps, rs), (pp, rp)) in serial.runs.iter().zip(&parallel.runs) {
+            assert_eq!(ps, pp);
+            assert_eq!(rs.overall, rp.overall);
+            assert_eq!(rs.engine, rp.engine);
+        }
+    }
+
+    #[test]
+    fn run_batch_preserves_input_order() {
+        let params: Vec<SimParams> = tiny_points().into_iter().map(tiny).collect();
+        let reports = run_batch(&params, 3).unwrap();
+        assert_eq!(reports.len(), params.len());
+        for (p, r) in params.iter().zip(&reports) {
+            assert_eq!(r.procs, p.procs);
+            assert_eq!(r.strategy, p.strategy);
+        }
+    }
+
+    #[test]
+    fn run_batch_surfaces_invalid_params() {
+        let p = tiny(Point {
+            procs: 1,
+            speed: 1.0,
+            strategy: Strategy::WwList,
+            sync: false,
+        });
+        let err = run_batch(std::slice::from_ref(&p), 2).unwrap_err();
+        assert!(matches!(err, SimError::InvalidParams(_)), "{err:?}");
+    }
+
+    #[test]
+    fn thread_knobs_resolve() {
+        assert_eq!(SweepOptions::serial().effective_threads(), 1);
+        assert!(SweepOptions::default().effective_threads() >= 1);
+        assert!(default_threads() >= 1);
+    }
+}

@@ -217,9 +217,7 @@ impl Sim {
                 s.finished = true;
                 std::mem::take(&mut s.waiters)
             };
-            for w in waiters {
-                sim.ready_now(w);
-            }
+            sim.ready_all(waiters);
         };
 
         let tid = {
@@ -293,6 +291,43 @@ impl Sim {
                 c.ready.push_back(task);
             }
         }
+    }
+
+    /// Make every task in `tasks` runnable, in order, under a single
+    /// engine borrow — the wake-all fast path for waiter lists. Stale ids
+    /// (completed tasks, recycled slots) are skipped exactly as in
+    /// [`Sim::ready_now`].
+    pub fn ready_all(&self, tasks: impl IntoIterator<Item = TaskId>) {
+        let mut c = self.core.borrow_mut();
+        for task in tasks {
+            if let Some(slot) = c.slots.get(task.idx as usize) {
+                if slot.gen == task.gen && !slot.done {
+                    c.ready.push_back(task);
+                }
+            }
+        }
+    }
+
+    /// The [`Sleep`] poll body under a single engine borrow: returns
+    /// `true` once `deadline` has been reached; otherwise books the timed
+    /// wake-up for `task` (at most once, tracked by `scheduled`) and
+    /// returns `false`.
+    pub(crate) fn sleep_poll(&self, task: TaskId, deadline: SimTime, scheduled: &mut bool) -> bool {
+        let mut c = self.core.borrow_mut();
+        if c.now >= deadline {
+            return true;
+        }
+        if !*scheduled {
+            let seq = c.seq;
+            c.seq += 1;
+            c.heap.push(Reverse(WakeEvent {
+                time: deadline,
+                seq,
+                task,
+            }));
+            *scheduled = true;
+        }
+        false
     }
 
     /// Sleep for a duration of virtual time.
@@ -403,8 +438,10 @@ impl Sim {
                     }
                 }
             };
-            // Validity (generation, done) is re-checked inside poll_task.
-            self.core.borrow_mut().ready.push_back(next);
+            // Poll the woken task directly instead of cycling it through
+            // the ready queue; validity (generation, done) is re-checked
+            // inside poll_task, so stale wake-ups fall out for free.
+            self.poll_task(next);
         }
     }
 }
@@ -420,13 +457,12 @@ impl Future for Sleep {
     type Output = ();
     fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
         let this = self.get_mut();
-        if this.sim.now() >= this.deadline {
+        if this
+            .sim
+            .sleep_poll(current_task(), this.deadline, &mut this.scheduled)
+        {
             Poll::Ready(())
         } else {
-            if !this.scheduled {
-                this.sim.schedule_wake(current_task(), this.deadline);
-                this.scheduled = true;
-            }
             Poll::Pending
         }
     }
@@ -701,6 +737,27 @@ mod tests {
             assert_eq!(h2.join().await, "done");
         });
         assert_eq!(sim.run().unwrap(), SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn ready_all_skips_stale_ids_and_tolerates_spurious_wakes() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn("driver", async move {
+            let h = s.spawn("short", async {});
+            let stale = h.id();
+            h.join().await;
+            // The slot is recycled by a sleeping task; a batched wake
+            // containing the stale id must skip it, and the spurious poll
+            // of the live sleeper must not complete it early.
+            let s2 = s.clone();
+            let h2 = s.spawn("reuser", async move {
+                s2.sleep(SimTime::from_secs(1)).await;
+            });
+            s.ready_all([stale, h2.id()]);
+            h2.join().await;
+        });
+        assert_eq!(sim.run().unwrap(), SimTime::from_secs(1));
     }
 
     #[test]

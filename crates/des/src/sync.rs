@@ -26,9 +26,9 @@ fn register(sim: &Sim, waiters: &mut Vec<TaskId>, what: &'static str) {
 }
 
 fn wake_all(sim: &Sim, waiters: &mut Vec<TaskId>) {
-    for t in waiters.drain(..) {
-        sim.ready_now(t);
-    }
+    // One engine borrow for the whole waiter list (see `Sim::ready_all`);
+    // the drained Vec keeps its capacity for the next round of waiters.
+    sim.ready_all(waiters.drain(..));
 }
 
 // ---------------------------------------------------------------------------

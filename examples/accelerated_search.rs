@@ -12,7 +12,7 @@
 //! cargo run --release --example accelerated_search
 //! ```
 
-use s3asim::{run, SimParams, Strategy};
+use s3asim::{try_run, SimParams, Strategy};
 
 fn main() {
     let procs = 32;
@@ -32,14 +32,13 @@ fn main() {
     for strategy in strategies {
         let mut times = Vec::new();
         for speed in speeds {
-            let params = SimParams {
-                procs,
-                strategy,
-                compute_speed: speed,
-                ..SimParams::default()
-            };
-            let r = run(&params);
-            r.verify().expect("exact output");
+            let params = SimParams::builder()
+                .procs(procs)
+                .strategy(strategy)
+                .compute_speed(speed)
+                .build()
+                .expect("valid parameters");
+            let r = try_run(&params).expect("run completes and verifies");
             times.push(r.overall.as_secs_f64());
         }
         // Ideal: compute shrinks by speeds ratio; "kept" compares achieved

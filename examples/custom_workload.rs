@@ -9,7 +9,7 @@
 //! ```
 
 use s3a_workload::{Box, BoxHistogram, Workload, WorkloadParams};
-use s3asim::{run, SimParams, Strategy};
+use s3asim::{try_run, SimParams, Strategy};
 
 fn main() {
     // Protein sequences are far shorter than nucleotide ones: median a few
@@ -62,15 +62,14 @@ fn main() {
     // Write results in groups of 8 queries (mpiBLAST 1.4's "every n
     // queries" mode) instead of after every query.
     for write_every in [1usize, 8, 64] {
-        let params = SimParams {
-            procs: 24,
-            strategy: Strategy::WwList,
-            write_every_n_queries: write_every,
-            workload: workload.clone(),
-            ..SimParams::default()
-        };
-        let r = run(&params);
-        r.verify().expect("exact output");
+        let params = SimParams::builder()
+            .procs(24)
+            .strategy(Strategy::WwList)
+            .write_every_n_queries(write_every)
+            .workload(workload.clone())
+            .build()
+            .expect("valid parameters");
+        let r = try_run(&params).expect("run completes and verifies");
         println!(
             "write every {:>2} queries: overall {:>7.2}s, {} fs requests, {} syncs",
             write_every,

@@ -5,23 +5,22 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use s3asim::{run, SimParams, Strategy};
+use s3asim::{try_run, SimParams, Strategy};
 
 fn main() {
     // 16 MPI processes (1 master + 15 workers) searching the paper's
     // default workload — 20 queries against a 128-fragment NT-like
     // database, ~208 MB of results — writing with individual list I/O.
-    let params = SimParams {
-        procs: 16,
-        strategy: Strategy::WwList,
-        ..SimParams::default()
-    };
-
-    let report = run(&params);
+    let params = SimParams::builder()
+        .procs(16)
+        .strategy(Strategy::WwList)
+        .build()
+        .expect("valid parameters");
 
     // Every run is verifiable: each result byte lands in the output file
-    // exactly once, contiguously, and flushed to disk.
-    report.verify().expect("output file is complete and exact");
+    // exactly once, contiguously, and flushed to disk — `try_run` checks
+    // this before returning the report.
+    let report = try_run(&params).expect("run completes and verifies");
 
     println!("{}", report.phase_table());
     println!(

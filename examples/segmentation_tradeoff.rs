@@ -11,7 +11,7 @@
 //! cargo run --release --example segmentation_tradeoff
 //! ```
 
-use s3asim::{run, Phase, Segmentation, SimParams, Strategy};
+use s3asim::{try_run, Phase, Segmentation, SimParams, Strategy};
 
 fn main() {
     let procs = 32;
@@ -30,15 +30,14 @@ fn main() {
         ("query-seg, 1 GiB db", Segmentation::Query, 1),
         ("query-seg, 4 GiB db", Segmentation::Query, 4),
     ] {
-        let mut params = SimParams {
-            procs,
-            strategy: Strategy::WwList,
-            segmentation: seg,
-            ..SimParams::default()
-        };
-        params.workload.database_bytes = db_gib * 1024 * 1024 * 1024;
-        let r = run(&params);
-        r.verify().expect("exact output");
+        let params = SimParams::builder()
+            .procs(procs)
+            .strategy(Strategy::WwList)
+            .segmentation(seg)
+            .with_workload(|w| w.database_bytes = db_gib * 1024 * 1024 * 1024)
+            .build()
+            .expect("valid parameters");
+        let r = try_run(&params).expect("run completes and verifies");
         println!(
             "{:<22} {:>9.1}s {:>9.1}s {:>11.1}s {:>11.1} GB",
             label,

@@ -5,7 +5,7 @@
 //! cargo run --release --example strategy_faceoff [procs] [--sync]
 //! ```
 
-use s3asim::{run, Phase, SimParams, Strategy};
+use s3asim::{default_threads, run_batch, Phase, SimParams, Strategy};
 
 const ALL: [Strategy; 5] = [
     Strategy::Mw,
@@ -29,18 +29,24 @@ fn main() {
         "strategy", "overall", "compute", "i/o", "waiting", "sync"
     );
 
-    let mut results = Vec::new();
-    for strategy in ALL {
-        let params = SimParams {
-            procs,
-            strategy,
-            query_sync: sync,
-            ..SimParams::default()
-        };
-        let r = run(&params);
-        r.verify().expect("exact output");
-        results.push((strategy, r));
-    }
+    // One batch across the thread pool: each strategy runs as its own
+    // isolated simulation, and reports come back in input order.
+    let params: Vec<SimParams> = ALL
+        .iter()
+        .map(|&strategy| {
+            SimParams::builder()
+                .procs(procs)
+                .strategy(strategy)
+                .query_sync(sync)
+                .build()
+                .expect("valid parameters")
+        })
+        .collect();
+    let reports = run_batch(&params, default_threads()).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let results: Vec<_> = ALL.into_iter().zip(reports).collect();
 
     let best = results
         .iter()

@@ -10,27 +10,24 @@
 //! cargo run --release --example timeline
 //! ```
 
-use s3a_workload::WorkloadParams;
-use s3asim::{run, SimParams, Strategy};
+use s3asim::{try_run, SimParams, Strategy};
 
 fn main() {
     let procs = 6;
     for strategy in [Strategy::Mw, Strategy::WwList, Strategy::WwColl] {
-        let params = SimParams {
-            procs,
-            strategy,
-            trace: true,
-            workload: WorkloadParams {
-                queries: 4,
-                fragments: 12,
-                min_results: 150,
-                max_results: 250,
-                ..WorkloadParams::default()
-            },
-            ..SimParams::default()
-        };
-        let report = run(&params);
-        report.verify().expect("exact output");
+        let params = SimParams::builder()
+            .procs(procs)
+            .strategy(strategy)
+            .trace(true)
+            .with_workload(|w| {
+                w.queries = 4;
+                w.fragments = 12;
+                w.min_results = 150;
+                w.max_results = 250;
+            })
+            .build()
+            .expect("valid parameters");
+        let report = try_run(&params).expect("run completes and verifies");
         let trace = report.trace.as_ref().expect("tracing enabled");
         println!(
             "=== {strategy} — {:.2}s simulated, {} trace events ===",

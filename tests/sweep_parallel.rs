@@ -1,0 +1,152 @@
+//! Tier-1: the parallel sweep executor must be invisible in the results.
+//!
+//! Every table, CSV row, and fault report produced by a thread-pool run
+//! must be byte-identical to a serial run of the same points — including
+//! a faults-armed configuration whose crash recovery exercises the
+//! deterministic fault schedule on a worker thread.
+
+use s3a_des::SimTime;
+use s3asim::{run_batch, FaultParams, Point, SimParams, Strategy, Sweep, SweepOptions};
+
+fn tiny(procs: usize, strategy: Strategy, sync: bool) -> SimParams {
+    SimParams::builder()
+        .procs(procs)
+        .strategy(strategy)
+        .query_sync(sync)
+        .with_workload(|w| {
+            w.queries = 4;
+            w.fragments = 8;
+            w.min_results = 40;
+            w.max_results = 90;
+        })
+        .build()
+        .expect("tiny configuration is valid")
+}
+
+/// A small cross-section of the paper's sweep space.
+fn points() -> Vec<Point> {
+    let mut points = Vec::new();
+    for sync in [false, true] {
+        for strategy in Strategy::PAPER_SET {
+            for procs in [3usize, 6] {
+                points.push(Point {
+                    procs,
+                    speed: 1.0,
+                    strategy,
+                    sync,
+                });
+            }
+        }
+    }
+    points
+}
+
+fn to_params(p: Point) -> SimParams {
+    tiny(p.procs, p.strategy, p.sync)
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    let serial = Sweep::run("tier1", points(), to_params, SweepOptions::serial())
+        .expect("serial sweep completes");
+    let parallel = Sweep::run(
+        "tier1",
+        points(),
+        to_params,
+        SweepOptions {
+            threads: 4,
+            progress: false,
+        },
+    )
+    .expect("parallel sweep completes");
+
+    // The machine-readable artifact and every rendered table must match
+    // byte for byte.
+    assert_eq!(serial.csv(), parallel.csv());
+    assert_eq!(
+        serial.overall_table("procs"),
+        parallel.overall_table("procs")
+    );
+    for (point, _) in &serial.runs {
+        assert_eq!(
+            serial.phase_table(point.strategy, point.sync, "procs"),
+            parallel.phase_table(point.strategy, point.sync, "procs")
+        );
+    }
+    for ((ps, rs), (pp, rp)) in serial.runs.iter().zip(&parallel.runs) {
+        assert_eq!(ps, pp, "input order must be preserved");
+        assert_eq!(rs.overall, rp.overall, "{ps}");
+        assert_eq!(
+            rs.engine, rp.engine,
+            "{ps}: engine work must replay exactly"
+        );
+    }
+}
+
+#[test]
+fn faults_armed_point_replays_identically_across_the_pool() {
+    // One clean run and one crash-armed run per strategy, plus a replay
+    // of the crashed configuration — all in a single batch.
+    let crashy = |strategy: Strategy| {
+        let mut p = tiny(5, strategy, false);
+        p.write_every_n_queries = 2;
+        p.faults = FaultParams {
+            worker_crashes: vec![(2, SimTime::from_millis(40))],
+            heartbeat_interval: SimTime::from_millis(50),
+            detection_timeout: SimTime::from_millis(400),
+            ..FaultParams::default()
+        };
+        p
+    };
+    let params: Vec<SimParams> = [Strategy::Mw, Strategy::WwList]
+        .iter()
+        .flat_map(|&s| [tiny(5, s, false), crashy(s), crashy(s)])
+        .collect();
+
+    let serial = run_batch(&params, 1).expect("serial batch completes");
+    let parallel = run_batch(&params, 4).expect("parallel batch completes");
+
+    assert_eq!(serial.len(), parallel.len());
+    for ((p, rs), rp) in params.iter().zip(&serial).zip(&parallel) {
+        assert_eq!(
+            rs.csv_row(),
+            rp.csv_row(),
+            "{} procs={}: parallel row differs from serial",
+            p.strategy,
+            p.procs
+        );
+        assert_eq!(rs.faults, rp.faults, "{}: fault reports differ", p.strategy);
+    }
+    // The armed points really did crash and recover (not a no-op plan),
+    // and the in-batch replay matched its sibling.
+    for trio in parallel.chunks(3) {
+        assert!(trio[0].faults.is_none());
+        let f = trio[1].faults.as_ref().expect("fault report");
+        assert_eq!(f.crashes, 1);
+        assert_eq!(f.detections, 1);
+        assert_eq!(trio[1].csv_row(), trio[2].csv_row());
+        assert_eq!(trio[1].faults, trio[2].faults);
+    }
+}
+
+#[test]
+fn builder_and_batch_reject_invalid_points_with_typed_errors() {
+    use s3asim::{ParamError, SimError};
+
+    // The builder refuses to construct the invalid configuration...
+    let err = SimParams::builder().procs(1).build().unwrap_err();
+    assert!(matches!(err, ParamError::TooFewProcs { procs: 1 }));
+
+    // ...and a hand-built invalid parameter set surfaces as a typed
+    // error from the batch executor instead of a panic.
+    let mut bad = tiny(3, Strategy::WwList, false);
+    bad.compute_speed = 0.0;
+    let err = run_batch(std::slice::from_ref(&bad), 2).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            SimError::InvalidParams(ParamError::NonPositiveComputeSpeed { .. })
+        ),
+        "{err:?}"
+    );
+}

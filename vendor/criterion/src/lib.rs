@@ -11,7 +11,20 @@
 
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
+use std::path::Path;
 use std::time::{Duration, Instant};
+
+/// One completed benchmark: its full id, iteration count, and mean
+/// wall-clock time per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// `group/benchmark` (or the bare id for top-level benchmarks).
+    pub id: String,
+    /// Timed iterations contributing to the mean.
+    pub iters: u64,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+}
 
 /// Re-export of `std::hint::black_box` under criterion's name.
 pub fn black_box<T>(x: T) -> T {
@@ -95,13 +108,18 @@ impl Bencher {
         }
     }
 
-    fn report(&self, label: &str) {
+    fn report(&self, label: &str) -> Option<Measurement> {
         if self.iters == 0 {
             println!("{label:<48} (no measurement)");
-            return;
+            return None;
         }
         let per_iter = self.total / self.iters as u32;
         println!("{label:<48} {per_iter:>12.2?}/iter  ({} iters)", self.iters);
+        Some(Measurement {
+            id: label.to_string(),
+            iters: self.iters,
+            mean_ns: self.total.as_nanos() as f64 / self.iters as f64,
+        })
     }
 }
 
@@ -109,7 +127,7 @@ impl Bencher {
 pub struct BenchmarkGroup<'a> {
     name: String,
     samples: u64,
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -122,7 +140,9 @@ impl BenchmarkGroup<'_> {
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
         let mut b = Bencher::new(self.samples);
         f(&mut b);
-        b.report(&format!("{}/{}", self.name, id));
+        self.criterion
+            .measurements
+            .extend(b.report(&format!("{}/{}", self.name, id)));
     }
 
     pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
@@ -133,7 +153,9 @@ impl BenchmarkGroup<'_> {
     ) {
         let mut b = Bencher::new(self.samples);
         f(&mut b, input);
-        b.report(&format!("{}/{}", self.name, id));
+        self.criterion
+            .measurements
+            .extend(b.report(&format!("{}/{}", self.name, id)));
     }
 
     pub fn finish(self) {}
@@ -142,11 +164,15 @@ impl BenchmarkGroup<'_> {
 /// Top-level harness handle.
 pub struct Criterion {
     samples: u64,
+    measurements: Vec<Measurement>,
 }
 
 impl Default for Criterion {
     fn default() -> Criterion {
-        Criterion { samples: 10 }
+        Criterion {
+            samples: 10,
+            measurements: Vec::new(),
+        }
     }
 }
 
@@ -163,14 +189,46 @@ impl Criterion {
         BenchmarkGroup {
             name,
             samples: self.samples,
-            _criterion: self,
+            criterion: self,
         }
     }
 
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
         let mut b = Bencher::new(self.samples);
         f(&mut b);
-        b.report(&id.to_string());
+        self.measurements.extend(b.report(&id.to_string()));
+    }
+
+    /// Every measurement recorded through this handle, in run order.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// The recorded measurements as a JSON document:
+    /// `{"benchmarks": [{"id": ..., "iters": ..., "mean_ns": ...}, ...]}`.
+    pub fn json(&self) -> String {
+        let mut s = String::from("{\n  \"benchmarks\": [\n");
+        for (i, m) in self.measurements.iter().enumerate() {
+            let id = m.id.replace('\\', "\\\\").replace('"', "\\\"");
+            s.push_str(&format!(
+                "    {{\"id\": \"{}\", \"iters\": {}, \"mean_ns\": {:.1}}}{}\n",
+                id,
+                m.iters,
+                m.mean_ns,
+                if i + 1 < self.measurements.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Write [`Criterion::json`] to `path`.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.json())
     }
 
     /// Runs pending reports; a no-op in this harness.
@@ -226,6 +284,25 @@ mod tests {
     #[test]
     fn group_runs_all_targets() {
         benches();
+    }
+
+    #[test]
+    fn measurements_are_recorded_and_serialized() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("solo", |b| b.iter(|| 2 + 2));
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(2);
+            g.bench_function("inner", |b| b.iter(|| 3 * 3));
+            g.finish();
+        }
+        let ids: Vec<&str> = c.measurements().iter().map(|m| m.id.as_str()).collect();
+        assert_eq!(ids, ["solo", "grp/inner"]);
+        assert!(c.measurements().iter().all(|m| m.iters == 2));
+        let json = c.json();
+        assert!(json.contains("\"benchmarks\""));
+        assert!(json.contains("\"id\": \"grp/inner\""));
+        assert!(json.trim_end().ends_with('}'));
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Benchmark regression gate for CI.
+//!
+//! ```text
+//! bench_gate <baseline.json> <current.json> [tolerance_pct]
+//! ```
+//!
+//! Compares a fresh `BENCH_sweep.json` (written by `cargo bench --bench
+//! sweep`) against the checked-in `BENCH_baseline.json`. Every benchmark
+//! id present in the baseline must exist in the current run and its
+//! `mean_ns` must not exceed the baseline by more than the tolerance
+//! (default 25%). Ids new in the current run are reported but never fail
+//! the gate. Exit status: 0 = within tolerance, 1 = regression or missing
+//! id, 2 = usage/parse error.
+//!
+//! Timings in CI are noisy; the tolerance is deliberately wide so the
+//! gate only catches order-of-magnitude mistakes (an accidentally
+//! quadratic wake path, a lost fast path), not scheduler jitter.
+
+use std::process::exit;
+
+use s3a_obs::json::{self, Value};
+
+fn usage() -> ! {
+    eprintln!("usage: bench_gate <baseline.json> <current.json> [tolerance_pct]");
+    exit(2);
+}
+
+/// Extract `id -> mean_ns` from a criterion-style `{"benchmarks": [...]}`
+/// document.
+fn load(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_gate: cannot read {path}: {e}");
+        exit(2);
+    });
+    let doc = json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_gate: {path} is not valid JSON: {e}");
+        exit(2);
+    });
+    let Some(benches) = doc.get("benchmarks").and_then(Value::as_arr) else {
+        eprintln!("bench_gate: {path}: missing \"benchmarks\" array");
+        exit(2);
+    };
+    let mut out = Vec::new();
+    for b in benches {
+        let (Some(id), Some(mean)) = (
+            b.get("id").and_then(Value::as_str),
+            b.get("mean_ns").and_then(Value::as_num),
+        ) else {
+            eprintln!("bench_gate: {path}: entry without id/mean_ns");
+            exit(2);
+        };
+        out.push((id.to_string(), mean));
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(base_path), Some(cur_path)) = (args.first(), args.get(1)) else {
+        usage();
+    };
+    let tolerance_pct: f64 = match args.get(2) {
+        None => 25.0,
+        Some(t) => t.parse().unwrap_or_else(|_| usage()),
+    };
+
+    let baseline = load(base_path);
+    let current = load(cur_path);
+    let limit = 1.0 + tolerance_pct / 100.0;
+    let mut failures = 0usize;
+
+    println!(
+        "{:<34} {:>12} {:>12} {:>8}  verdict",
+        "benchmark", "baseline", "current", "ratio"
+    );
+    for (id, base_mean) in &baseline {
+        let Some((_, cur_mean)) = current.iter().find(|(cid, _)| cid == id) else {
+            println!("{id:<34} {base_mean:>12.0} {:>12} {:>8}  MISSING", "-", "-");
+            failures += 1;
+            continue;
+        };
+        let ratio = if *base_mean > 0.0 {
+            cur_mean / base_mean
+        } else {
+            1.0
+        };
+        let regressed = ratio > limit;
+        println!(
+            "{id:<34} {base_mean:>12.0} {cur_mean:>12.0} {ratio:>7.2}x  {}",
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+        if regressed {
+            failures += 1;
+        }
+    }
+    for (id, cur_mean) in &current {
+        if !baseline.iter().any(|(bid, _)| bid == id) {
+            println!(
+                "{id:<34} {:>12} {cur_mean:>12.0} {:>8}  new (ignored)",
+                "-", "-"
+            );
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "bench_gate: {failures} benchmark(s) regressed beyond {tolerance_pct:.0}% or went missing"
+        );
+        exit(1);
+    }
+    println!(
+        "bench_gate: all {} benchmarks within {tolerance_pct:.0}% of baseline",
+        baseline.len()
+    );
+}

@@ -10,8 +10,13 @@
 //! repro claims    score the paper's headline ratios against this build
 //! repro colllist  the conclusion's proposed list-I/O collective vs. WW-Coll
 //! repro faults    recovery tax per strategy under injected faults
+//! repro trace     request-level observability capture (Chrome trace + metrics)
 //! repro all       everything above (figures share sweep runs)
 //! ```
+//!
+//! `--trace-out FILE` (valid anywhere on the command line) redirects the
+//! `trace` command's Chrome JSON; giving the flag with no subcommand
+//! implies `trace`.
 //!
 //! Tables are printed to stdout; machine-readable CSVs land in
 //! `results/`. Absolute times are simulated seconds on the calibrated
@@ -21,8 +26,11 @@
 use std::fs;
 use std::path::Path;
 
-use s3a_bench::{paper, run_proc_sweep, run_speed_sweep, Point, Sweep};
-use s3asim::{default_threads, run_batch, try_run, RunReport, SimError, SimParams, Strategy};
+use s3a_bench::{paper, run_proc_sweep, run_speed_sweep, small_params, Point, Sweep};
+use s3asim::{
+    default_threads, export_chrome, export_metrics_csv, run_batch, try_run, RunReport, SimError,
+    SimParams, Strategy,
+};
 
 /// Report a typed failure and exit — no panic backtrace for predictable
 /// errors (bad parameters, deadlock diagnosis, verification mismatch).
@@ -634,9 +642,80 @@ fn ablations() {
     write_results("ablations.csv", &csv);
 }
 
+/// Capture request-level observability for the four paper strategies and
+/// export it: Chrome `trace_event` JSON (one process group per strategy,
+/// one track per rank and per PVFS server), a metrics-registry CSV, and
+/// the usual report CSV. Runs go through the parallel sweep pool, so the
+/// export also demonstrates that recording is replay-deterministic across
+/// thread counts (the CI determinism job `cmp`s two captures).
+fn trace_capture(out: Option<&str>) {
+    let params: Vec<SimParams> = Strategy::PAPER_SET
+        .iter()
+        .map(|&strategy| SimParams {
+            trace: true,
+            observe: true,
+            ..small_params(6, strategy)
+        })
+        .collect();
+    let reports = run_batch(&params, default_threads()).unwrap_or_else(|e| fail("trace", &e));
+    let runs: Vec<(&str, &RunReport)> = Strategy::PAPER_SET
+        .iter()
+        .map(|s| s.label())
+        .zip(&reports)
+        .collect();
+
+    println!("==== Request-level trace: 6 procs, small workload ====");
+    for (label, report) in &runs {
+        println!(
+            "---- {label}: {:.3}s simulated ----",
+            report.overall.as_secs_f64()
+        );
+        print!("{}", s3asim::observe::summarize(report));
+    }
+
+    let chrome = export_chrome(&runs);
+    match out {
+        Some(path) => {
+            if let Some(dir) = Path::new(path)
+                .parent()
+                .filter(|d| !d.as_os_str().is_empty())
+            {
+                let _ = fs::create_dir_all(dir);
+            }
+            match fs::write(path, &chrome) {
+                Ok(()) => eprintln!("wrote {path}"),
+                Err(e) => {
+                    eprintln!("repro: cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => write_results("trace.json", &chrome),
+    }
+    write_results("trace_metrics.csv", &export_metrics_csv(&runs));
+    let mut report_csv = RunReport::csv_header();
+    report_csv.push('\n');
+    for r in &reports {
+        report_csv.push_str(&r.csv_row());
+        report_csv.push('\n');
+    }
+    write_results("trace_report.csv", &report_csv);
+    println!("(open the JSON in chrome://tracing or ui.perfetto.dev)");
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map(String::as_str).unwrap_or("all");
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_out: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--trace-out") {
+        if i + 1 >= args.len() {
+            eprintln!("repro: --trace-out needs a file argument");
+            std::process::exit(2);
+        }
+        trace_out = Some(args.remove(i + 1));
+        args.remove(i);
+    }
+    let default_cmd = if trace_out.is_some() { "trace" } else { "all" };
+    let what = args.first().map(String::as_str).unwrap_or(default_cmd);
     let mut cache = Cache {
         proc_sweep: None,
         speed_sweep: None,
@@ -653,6 +732,7 @@ fn main() {
         "ablate" => ablations(),
         "faults" => faults(),
         "segmentation" => segmentation(),
+        "trace" => trace_capture(trace_out.as_deref()),
         "all" => {
             fig2(&mut cache);
             fig3(&mut cache);
@@ -665,10 +745,11 @@ fn main() {
             segmentation();
             ablations();
             faults();
+            trace_capture(trace_out.as_deref());
         }
         other => {
             eprintln!("unknown target '{other}'");
-            eprintln!("usage: repro [fig2|fig3|fig4|fig5|fig6|fig7|claims|colllist|segmentation|ablate|faults|all]");
+            eprintln!("usage: repro [--trace-out FILE] [fig2|fig3|fig4|fig5|fig6|fig7|claims|colllist|segmentation|ablate|faults|trace|all]");
             std::process::exit(2);
         }
     }

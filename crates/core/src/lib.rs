@@ -42,6 +42,7 @@
 //! assembled deterministically in input order.
 
 mod master;
+pub mod observe;
 mod offsets;
 mod params;
 mod phase;
@@ -53,6 +54,7 @@ pub mod sweep;
 pub mod trace;
 mod worker;
 
+pub use observe::{export_chrome, export_metrics_csv};
 pub use offsets::{BatchState, WorkerPlan};
 pub use params::{ParamError, Segmentation, SimParams, SimParamsBuilder, Strategy, Testbed};
 pub use phase::{Phase, PhaseBreakdown, PhaseTimer, PHASES};
@@ -70,10 +72,11 @@ pub use sweep::{default_threads, run_batch, run_batch_with, Point, Sweep, SweepO
 pub use trace::{Trace, TraceEvent, TraceSink};
 pub use worker::WorkerStats;
 
-// Re-export the fault-injection vocabulary and the engine's deadlock
-// diagnosis so downstream code (bench, tests, examples) imports from one
-// crate instead of four.
+// Re-export the fault-injection vocabulary, the observability vocabulary,
+// and the engine's deadlock diagnosis so downstream code (bench, tests,
+// examples) imports from one crate instead of four.
 pub use s3a_des::{Deadlock, SimTime};
 pub use s3a_faults::{
     FaultEvent, FaultKind, FaultParams, FaultReport, ServerOutage, ServerSlowdown,
 };
+pub use s3a_obs::{CounterSample, Histogram, ObsReport, ObsSink, SpanEvent, Track};

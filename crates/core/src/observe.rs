@@ -1,0 +1,120 @@
+//! Exporters for the request-level observability recording: Chrome
+//! `trace_event` JSON (loadable in `chrome://tracing` / Perfetto) and a
+//! metrics CSV.
+//!
+//! Both exporters take `(label, report)` pairs so a trace file can hold
+//! several runs side by side — e.g. the four paper strategies, one
+//! process group per strategy. Output is deterministic: the same reports
+//! always serialise to the same bytes (see `s3a_obs::chrome`).
+
+use s3a_obs::chrome::ChromeTrace;
+use s3a_obs::{Histogram, ObsReport, Track};
+
+use crate::report::RunReport;
+
+/// Spacing between the pid blocks of consecutive runs in one trace file.
+const PID_STRIDE: u64 = 10;
+
+/// Export one or more runs as a Chrome `trace_event` JSON document. Each
+/// run contributes two "processes" — `"<label> ranks"` (one track per MPI
+/// rank: coarse phase intervals plus collective exchange rounds) and
+/// `"<label> servers"` (one track per PVFS server: per-request lifecycle
+/// spans, queue-depth and dirty-byte counter series).
+///
+/// Runs whose `obs` is `None` (observability disabled) still contribute
+/// their coarse phase timeline when `trace` was recorded.
+pub fn export_chrome(runs: &[(&str, &RunReport)]) -> String {
+    let mut trace = ChromeTrace::new();
+    let empty = ObsReport::default();
+    for (i, (label, report)) in runs.iter().enumerate() {
+        let phases: Vec<(usize, &'static str, s3a_des::SimTime, s3a_des::SimTime)> = report
+            .trace
+            .as_ref()
+            .map(|t| {
+                t.events()
+                    .iter()
+                    .map(|e| (e.rank, e.phase.name(), e.start, e.end))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let obs = report.obs.as_ref().unwrap_or(&empty);
+        trace.export_report(i as u64 * PID_STRIDE, label, obs, &phases);
+    }
+    trace.finish()
+}
+
+/// Export the metrics registries of one or more runs as CSV with columns
+/// `run,kind,name,value,count,sum,min,max`: counters and gauges fill
+/// `value`; histograms fill `count`/`sum`/`min`/`max` and leave `value`
+/// empty.
+pub fn export_metrics_csv(runs: &[(&str, &RunReport)]) -> String {
+    let mut out = String::from("run,kind,name,value,count,sum,min,max\n");
+    for (label, report) in runs {
+        let Some(obs) = report.obs.as_ref() else {
+            continue;
+        };
+        for (name, v) in &obs.metrics.counters {
+            out.push_str(&format!("{label},counter,{name},{v},,,,\n"));
+        }
+        for (name, v) in &obs.metrics.gauges {
+            out.push_str(&format!("{label},gauge,{name},{v},,,,\n"));
+        }
+        for (name, h) in &obs.metrics.histograms {
+            out.push_str(&format!(
+                "{label},histogram,{name},,{},{},{},{}\n",
+                h.count, h.sum, h.min, h.max
+            ));
+        }
+    }
+    out
+}
+
+/// A short human-readable digest of one run's recording: top-level
+/// counters plus the latency/size histograms with their log₂ bucket
+/// spread. Used by the `repro` binary's trace summary output.
+pub fn summarize(report: &RunReport) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let Some(obs) = report.obs.as_ref() else {
+        s.push_str("  (observability disabled)\n");
+        return s;
+    };
+    let servers = obs
+        .tracks()
+        .iter()
+        .filter(|t| matches!(t, Track::Server(_)))
+        .count();
+    let _ = writeln!(
+        s,
+        "  {} spans, {} samples across {} tracks ({} server)",
+        obs.spans.len(),
+        obs.samples.len(),
+        obs.tracks().len(),
+        servers
+    );
+    for (name, v) in &obs.metrics.counters {
+        let _ = writeln!(s, "  {name} = {v}");
+    }
+    for (name, h) in &obs.metrics.histograms {
+        let _ = writeln!(
+            s,
+            "  {name}: n={} mean={:.0} min={} max={}",
+            h.count,
+            h.mean(),
+            h.min,
+            h.max
+        );
+    }
+    s
+}
+
+/// The non-empty log₂ buckets of a histogram as `(lower_bound, count)`
+/// pairs — handy for rendering a textual latency distribution.
+pub fn histogram_buckets(h: &Histogram) -> Vec<(u64, u64)> {
+    h.buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| **c > 0)
+        .map(|(i, c)| (Histogram::bucket_lo(i), *c))
+        .collect()
+}

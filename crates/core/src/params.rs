@@ -172,6 +172,11 @@ pub struct SimParams {
     /// Record a per-rank phase timeline (MPE/Jumpshot-style; see
     /// [`crate::trace`]).
     pub trace: bool,
+    /// Record request-level observability: per-request lifecycle spans,
+    /// collective exchange rounds, queue-depth series, and the metrics
+    /// registry (see [`crate::observe`]). Off by default — a disabled sink
+    /// costs nothing on the hot path.
+    pub observe: bool,
     /// Deterministic fault injection: worker crashes, message faults, and
     /// file-server misbehaviour (all off by default).
     pub faults: FaultParams,
@@ -200,6 +205,7 @@ impl Default for SimParams {
             segmentation: Segmentation::Database,
             mw_nonblocking_io: false,
             trace: false,
+            observe: false,
             faults: FaultParams::default(),
             resume_from: None,
             workload: WorkloadParams::default(),
@@ -483,6 +489,12 @@ impl SimParamsBuilder {
         self
     }
 
+    /// Record request-level observability (spans, series, metrics).
+    pub fn observe(mut self, on: bool) -> Self {
+        self.params.observe = on;
+        self
+    }
+
     /// Deterministic fault injection plan.
     pub fn faults(mut self, faults: FaultParams) -> Self {
         self.params.faults = faults;
@@ -581,14 +593,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least 1 master")]
     fn validate_rejects_single_proc() {
         let p = SimParams {
             procs: 1,
             ..SimParams::default()
         };
-        #[allow(deprecated)]
-        p.validate();
+        let err = p.try_validate().unwrap_err();
+        assert_eq!(err, ParamError::TooFewProcs { procs: 1 });
+        assert!(err.to_string().contains("at least 1 master"));
     }
 
     #[test]
@@ -760,6 +772,7 @@ mod tests {
             .segmentation(Segmentation::Query)
             .mw_nonblocking_io(true)
             .trace(true)
+            .observe(true)
             .with_workload(|w| w.queries = 2)
             .with_testbed(|t| t.pvfs.servers = 4)
             .build()
@@ -774,6 +787,7 @@ mod tests {
         assert_eq!(p.segmentation, Segmentation::Query);
         assert!(p.mw_nonblocking_io);
         assert!(p.trace);
+        assert!(p.observe);
         assert_eq!(p.workload.queries, 2);
         assert_eq!(p.testbed.pvfs.servers, 4);
     }

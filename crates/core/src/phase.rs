@@ -174,10 +174,17 @@ impl PhaseTimer {
 
     /// Attribute an already-measured duration ending now to `phase`.
     pub fn add(&self, phase: Phase, dt: SimTime) {
-        self.acc.borrow_mut().add(phase, dt);
         let now = self.sim.now();
-        self.sink
-            .record(self.rank, phase, now.saturating_sub(dt), now);
+        self.add_interval(phase, now.saturating_sub(dt), now);
+    }
+
+    /// Attribute the measured interval `[start, end)` to `phase`. Use
+    /// this instead of two [`PhaseTimer::add`] calls when one awaited
+    /// operation splits into consecutive sub-phases: retroactive `add`s
+    /// would both end "now" and overlap on the trace timeline.
+    pub fn add_interval(&self, phase: Phase, start: SimTime, end: SimTime) {
+        self.acc.borrow_mut().add(phase, end.saturating_sub(start));
+        self.sink.record(self.rank, phase, start, end);
     }
 
     /// Snapshot of the accumulated breakdown.

@@ -3,6 +3,7 @@
 use s3a_des::{Sim, SimStats, SimTime};
 use s3a_faults::FaultReport;
 use s3a_mpi::{MpiStats, World};
+use s3a_obs::ObsReport;
 use s3a_pvfs::{FileHandle, FileSystem, FsStats};
 use s3a_workload::Workload;
 
@@ -51,6 +52,9 @@ pub struct RunReport {
     pub engine: SimStats,
     /// Per-rank phase timeline, when `SimParams::trace` was set.
     pub trace: Option<Trace>,
+    /// Request-level observability recording, when `SimParams::observe`
+    /// was set (see [`crate::observe`] for the exporters).
+    pub obs: Option<ObsReport>,
     /// When each batch of results became durable (resumability analysis).
     pub commits: CommitLog,
     /// What the fault injector did (and what recovery cost), when armed.
@@ -62,6 +66,7 @@ impl RunReport {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         trace: Option<Trace>,
+        obs: Option<ObsReport>,
         commits: CommitLog,
         params: &SimParams,
         workload: &Workload,
@@ -102,6 +107,7 @@ impl RunReport {
             mpi: world.stats(),
             engine: sim.stats(),
             trace,
+            obs,
             commits,
             faults,
         }

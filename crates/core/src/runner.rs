@@ -9,6 +9,7 @@ use s3a_faults::{FaultLog, FaultParams, FaultSchedule};
 use s3a_mpi::World;
 use s3a_mpiio::{File, Hints};
 use s3a_net::Fabric;
+use s3a_obs::ObsSink;
 use s3a_pvfs::FileSystem;
 use s3a_workload::Workload;
 
@@ -149,6 +150,20 @@ fn execute(params: &SimParams) -> Result<RunReport, SimError> {
         fs.set_faults(Rc::clone(&ctx.schedule), ctx.log.clone());
     }
 
+    // Arm observability before any `File::open` (files inherit the file
+    // system's sink at open time). Recording never changes virtual-time
+    // behaviour, so report numbers are identical either way.
+    let obs_sink = if params.observe {
+        ObsSink::recording()
+    } else {
+        ObsSink::disabled()
+    };
+    if params.observe {
+        fabric.set_obs(obs_sink.clone());
+        fs.set_obs(obs_sink.clone());
+        world.set_obs(obs_sink.clone());
+    }
+
     let hints = Hints {
         cb_nodes: if params.cb_nodes == 0 {
             compute_nodes
@@ -241,9 +256,11 @@ fn execute(params: &SimParams) -> Result<RunReport, SimError> {
 
     let out = fs.open(OUTPUT_FILE);
     let trace = sink.finish();
+    let obs = obs_sink.finish();
     let commits = commits.finish();
     Ok(RunReport::assemble(
         trace,
+        obs,
         commits,
         &params,
         &workload,

@@ -431,8 +431,13 @@ async fn handle_offsets(
                 .write_at_all_timed(&regions)
                 .await
                 .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
-            timer.add(Phase::DataDistribution, t.synchronize);
-            timer.add(Phase::Io, t.exchange_and_write);
+            // The collective ran synchronize-then-exchange back to back;
+            // record the two sub-intervals where they actually happened.
+            let now = workers_comm.sim().now();
+            let io_start = now.saturating_sub(t.exchange_and_write);
+            let sync_start = io_start.saturating_sub(t.synchronize);
+            timer.add_interval(Phase::DataDistribution, sync_start, io_start);
+            timer.add_interval(Phase::Io, io_start, now);
             timer
                 .track(Phase::Io, file.sync())
                 .await

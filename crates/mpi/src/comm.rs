@@ -30,6 +30,7 @@ use std::task::{Context, Poll};
 
 use s3a_des::{current_task, Flag, OneShot, Sim, SimTime, TaskId};
 use s3a_net::{EndpointId, Fabric, NetConfig};
+use s3a_obs::ObsSink;
 
 use crate::message::{Message, Rank, Source, Status, Tag, TagSel, COLL_TAG_BASE};
 
@@ -118,6 +119,7 @@ struct WorldInner {
     contexts: RefCell<HashMap<String, u32>>,
     next_context: Cell<u32>,
     stats: Cell<MpiStats>,
+    obs: RefCell<ObsSink>,
 }
 
 impl WorldInner {
@@ -208,6 +210,14 @@ impl WorldInner {
             s.rendezvous += 1;
         }
         self.stats.set(s);
+        let obs = self.obs.borrow();
+        if obs.is_recording() {
+            obs.add("mpi.messages", 1);
+            obs.observe("mpi.msg_bytes", bytes);
+            if rendezvous {
+                obs.add("mpi.rendezvous", 1);
+            }
+        }
     }
 
     /// Start the wire protocol for one message; returns the send request.
@@ -343,8 +353,16 @@ impl World {
                 contexts: RefCell::new(HashMap::new()),
                 next_context: Cell::new(1), // 0 is the world context
                 stats: Cell::new(MpiStats::default()),
+                obs: RefCell::new(ObsSink::disabled()),
             }),
         }
+    }
+
+    /// Install an observability sink: every subsequent point-to-point
+    /// message bumps `mpi.messages` (and `mpi.rendezvous`) and feeds the
+    /// `mpi.msg_bytes` payload-size histogram.
+    pub fn set_obs(&self, sink: ObsSink) {
+        *self.inner.obs.borrow_mut() = sink;
     }
 
     /// Number of ranks.

@@ -23,6 +23,7 @@
 
 use s3a_mpi::Comm;
 use s3a_net::EndpointId;
+use s3a_obs::{ObsSink, Track};
 use s3a_pvfs::{FileHandle, FileSystem, PvfsError, Region};
 
 /// How [`File::write_regions`] maps a noncontiguous region list onto
@@ -61,6 +62,10 @@ pub struct File {
     fh: FileHandle,
     hints: Hints,
     ep: EndpointId,
+    /// Observability sink inherited from the file system at open time.
+    obs: ObsSink,
+    /// This rank's world rank — the track collective spans land on.
+    world_rank: usize,
 }
 
 impl File {
@@ -71,11 +76,14 @@ impl File {
         let members: Vec<usize> = (0..comm.size()).collect();
         let dup = comm.sub(&members, &format!("mpiio:{name}"));
         let ep = comm.endpoint();
+        let world_rank = comm.world_rank(comm.rank());
         File {
             comm: dup,
             fh: fs.open(name),
             hints,
             ep,
+            obs: fs.obs(),
+            world_rank,
         }
     }
 
@@ -153,6 +161,18 @@ impl File {
             self.comm.allgather(my_regions.to_vec(), desc_bytes).await;
         let synchronize = self.comm.sim().now() - t0;
         let t1 = self.comm.sim().now();
+        if self.obs.is_recording() {
+            self.obs.span(
+                Track::Rank(self.world_rank),
+                "coll.allgather",
+                t0,
+                t1,
+                &[
+                    ("my_regions", my_regions.len() as u64),
+                    ("desc_bytes", desc_bytes),
+                ],
+            );
+        }
 
         let lo = all_regions.iter().flatten().map(|r| r.offset).min();
         let hi = all_regions.iter().flatten().map(|r| r.end()).max();
@@ -225,6 +245,10 @@ impl File {
                 0
             };
 
+            let round_start = self.comm.sim().now();
+            let send_bytes: u64 = sends.iter().map(|(_, _, wire)| wire).sum();
+            let send_count = sends.len() as u64;
+
             let received = self.comm.alltoallv_sparse(sends, recv_count).await;
 
             // Phase 3: aggregators coalesce and write their window.
@@ -238,6 +262,25 @@ impl File {
                         io_result = Err(e);
                     }
                 }
+            }
+
+            if self.obs.is_recording() {
+                self.obs.span(
+                    Track::Rank(self.world_rank),
+                    "coll.round",
+                    round_start,
+                    self.comm.sim().now(),
+                    &[
+                        ("round", round),
+                        ("cb_nodes", naggs as u64),
+                        ("cb_buffer_size", self.hints.cb_buffer_size),
+                        ("sends", send_count),
+                        ("send_bytes", send_bytes),
+                        ("recv_count", recv_count as u64),
+                    ],
+                );
+                self.obs.add("coll.rounds", 1);
+                self.obs.observe("coll.exchange_bytes", send_bytes);
             }
         }
 

@@ -2,6 +2,7 @@
 
 use s3a_des::{Sim, SimTime, Timeline};
 use s3a_faults::{FaultKind, FaultLog, FaultSchedule, MsgFault};
+use s3a_obs::ObsSink;
 use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::rc::Rc;
@@ -106,6 +107,7 @@ pub struct Fabric {
     messages: Rc<Cell<u64>>,
     bytes: Rc<Cell<u64>>,
     faults: RefCell<Option<FaultInjector>>,
+    obs: RefCell<ObsSink>,
 }
 
 /// Message-fault oracle plus the shared event log, installed with
@@ -129,7 +131,14 @@ impl Fabric {
             messages: Rc::new(Cell::new(0)),
             bytes: Rc::new(Cell::new(0)),
             faults: RefCell::new(None),
+            obs: RefCell::new(ObsSink::disabled()),
         }
+    }
+
+    /// Install an observability sink: every subsequent booking bumps the
+    /// `net.messages` counter and feeds the `net.msg_bytes` size histogram.
+    pub fn set_obs(&self, sink: ObsSink) {
+        *self.obs.borrow_mut() = sink;
     }
 
     /// Install a fault schedule: every subsequent non-loopback booking
@@ -193,6 +202,13 @@ impl Fabric {
         let per_msg = self.cfg.per_message_overhead;
         self.messages.set(self.messages.get() + 1);
         self.bytes.set(self.bytes.get() + bytes);
+        {
+            let obs = self.obs.borrow();
+            if obs.is_recording() {
+                obs.add("net.messages", 1);
+                obs.observe("net.msg_bytes", bytes);
+            }
+        }
 
         if src == dst {
             // Local delivery: modeled as a memory copy on the shared NIC/OS

@@ -1,0 +1,297 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Produces the JSON Array/Object format understood by `chrome://tracing`
+//! and Perfetto: `"X"` complete events for spans, `"C"` counter events for
+//! virtual-time series, and `"M"` metadata events naming processes and
+//! threads. Each exported run becomes two "processes" — one holding a
+//! thread (track) per MPI rank, one holding a track per PVFS server — so
+//! several runs (e.g. the four strategies) can live side by side in one
+//! trace file.
+//!
+//! Determinism: timestamps are microseconds rendered with exactly three
+//! fractional digits using integer math on the underlying nanosecond
+//! counts, and events are stably sorted by `(pid, tid, ts, insertion)`,
+//! so the same recording always serialises to the same bytes.
+
+use s3a_des::SimTime;
+
+use crate::json::escape;
+use crate::{ObsReport, Track};
+
+/// Render a virtual time as Chrome-trace microseconds (`ns / 1000` with
+/// three fractional digits), using only integer math so the output is
+/// byte-stable across platforms.
+pub fn micros(t: SimTime) -> String {
+    let ns = t.as_nanos();
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+struct Event {
+    pid: u64,
+    tid: u64,
+    /// Metadata events sort before timed events on the same track.
+    kind: u8,
+    ts: u64,
+    json: String,
+}
+
+/// Builder for one Chrome trace file.
+#[derive(Default)]
+pub struct ChromeTrace {
+    events: Vec<Event>,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Name a process (one per run × side, e.g. `"mw ranks"`).
+    pub fn meta_process(&mut self, pid: u64, name: &str) {
+        self.events.push(Event {
+            pid,
+            tid: 0,
+            kind: 0,
+            ts: 0,
+            json: format!(
+                r#"{{"name":"process_name","ph":"M","pid":{pid},"tid":0,"args":{{"name":"{}"}}}}"#,
+                escape(name)
+            ),
+        });
+    }
+
+    /// Name a thread (track) inside a process (e.g. `"rank 3"`).
+    pub fn meta_thread(&mut self, pid: u64, tid: u64, name: &str) {
+        self.events.push(Event {
+            pid,
+            tid,
+            kind: 0,
+            ts: 0,
+            json: format!(
+                r#"{{"name":"thread_name","ph":"M","pid":{pid},"tid":{tid},"args":{{"name":"{}"}}}}"#,
+                escape(name)
+            ),
+        });
+    }
+
+    /// An `"X"` complete event: a named interval with numeric arguments.
+    pub fn complete(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        name: &str,
+        start: SimTime,
+        end: SimTime,
+        args: &[(&'static str, u64)],
+    ) {
+        let dur = SimTime::from_nanos(end.as_nanos().saturating_sub(start.as_nanos()));
+        let mut body = format!(
+            r#"{{"name":"{}","ph":"X","pid":{pid},"tid":{tid},"ts":{},"dur":{}"#,
+            escape(name),
+            micros(start),
+            micros(dur),
+        );
+        if !args.is_empty() {
+            body.push_str(r#","args":{"#);
+            for (i, (k, v)) in args.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str(&format!(r#""{}":{v}"#, escape(k)));
+            }
+            body.push('}');
+        }
+        body.push('}');
+        self.events.push(Event {
+            pid,
+            tid,
+            kind: 1,
+            ts: start.as_nanos(),
+            json: body,
+        });
+    }
+
+    /// A `"C"` counter event: one sample of a virtual-time series.
+    pub fn counter(&mut self, pid: u64, tid: u64, name: &str, time: SimTime, value: u64) {
+        self.events.push(Event {
+            pid,
+            tid,
+            kind: 1,
+            ts: time.as_nanos(),
+            json: format!(
+                r#"{{"name":"{}","ph":"C","pid":{pid},"tid":{tid},"ts":{},"args":{{"value":{value}}}}}"#,
+                escape(name),
+                micros(time),
+            ),
+        });
+    }
+
+    /// Export one run's observability report (plus its coarse per-rank
+    /// phase intervals) under a pid pair derived from `pid_base`: ranks at
+    /// `pid_base + 1`, PVFS servers at `pid_base + 2`. Use a distinct
+    /// `pid_base` (e.g. `run_index * 10`) and `label` per run.
+    pub fn export_report(
+        &mut self,
+        pid_base: u64,
+        label: &str,
+        obs: &ObsReport,
+        phases: &[(usize, &'static str, SimTime, SimTime)],
+    ) {
+        let rank_pid = pid_base + 1;
+        let server_pid = pid_base + 2;
+        let place = |track: Track| -> (u64, u64) {
+            match track {
+                Track::Rank(r) => (rank_pid, r as u64),
+                Track::Server(s) => (server_pid, s as u64),
+            }
+        };
+
+        let mut ranks: Vec<u64> = phases.iter().map(|p| p.0 as u64).collect();
+        let mut servers: Vec<u64> = Vec::new();
+        for t in obs.tracks() {
+            match t {
+                Track::Rank(r) => ranks.push(r as u64),
+                Track::Server(s) => servers.push(s as u64),
+            }
+        }
+        ranks.sort_unstable();
+        ranks.dedup();
+        servers.sort_unstable();
+        servers.dedup();
+
+        if !ranks.is_empty() {
+            self.meta_process(rank_pid, &format!("{label} ranks"));
+            for r in ranks {
+                self.meta_thread(rank_pid, r, &format!("rank {r}"));
+            }
+        }
+        if !servers.is_empty() {
+            self.meta_process(server_pid, &format!("{label} servers"));
+            for s in servers {
+                self.meta_thread(server_pid, s, &format!("server {s}"));
+            }
+        }
+
+        for (rank, name, start, end) in phases {
+            self.complete(rank_pid, *rank as u64, name, *start, *end, &[]);
+        }
+        for span in &obs.spans {
+            let (pid, tid) = place(span.track);
+            self.complete(pid, tid, span.name, span.start, span.end, &span.args);
+        }
+        for sample in &obs.samples {
+            let (pid, tid) = place(sample.track);
+            // Chrome groups counter series by name within a process, so
+            // fold the track into the series name to keep them apart.
+            let name = match sample.track {
+                Track::Rank(r) => format!("{} r{r}", sample.name),
+                Track::Server(s) => format!("{} s{s}", sample.name),
+            };
+            self.counter(pid, tid, &name, sample.time, sample.value);
+        }
+    }
+
+    /// Serialise to the Chrome JSON Object format
+    /// (`{"traceEvents":[...]}`).
+    pub fn finish(mut self) -> String {
+        self.events.sort_by_key(|e| (e.pid, e.tid, e.kind, e.ts));
+        let mut out = String::from("{\"traceEvents\":[\n");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&e.json);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Value};
+    use crate::ObsSink;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn micros_uses_integer_math() {
+        assert_eq!(micros(SimTime::from_nanos(0)), "0.000");
+        assert_eq!(micros(SimTime::from_nanos(1)), "0.001");
+        assert_eq!(micros(SimTime::from_nanos(1_234_567)), "1234.567");
+        assert_eq!(micros(SimTime::from_micros(5)), "5.000");
+    }
+
+    #[test]
+    fn export_parses_and_is_monotone_per_track() {
+        let sink = ObsSink::recording();
+        sink.span(
+            Track::Server(0),
+            "pvfs.write",
+            t(30),
+            t(40),
+            &[("bytes", 64)],
+        );
+        sink.span(Track::Server(0), "pvfs.write", t(10), t(20), &[]);
+        sink.span(Track::Rank(1), "coll.round", t(5), t(25), &[("round", 0)]);
+        sink.sample(Track::Server(0), "pvfs.queue_depth", t(10), 1);
+        let report = sink.finish().expect("recording");
+
+        let mut trace = ChromeTrace::new();
+        trace.export_report(0, "mw", &report, &[(0, "compute", t(0), t(50))]);
+        let text = trace.finish();
+
+        let doc = parse(&text).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+
+        // Timed events must be time-ordered within each (pid, tid) track.
+        let mut last: std::collections::BTreeMap<(u64, u64), f64> = Default::default();
+        let mut names = Vec::new();
+        for e in events {
+            let ph = e.get("ph").and_then(Value::as_str).expect("ph");
+            names.push(e.get("name").and_then(Value::as_str).unwrap().to_string());
+            if ph == "M" {
+                continue;
+            }
+            let pid = e.get("pid").and_then(Value::as_num).unwrap() as u64;
+            let tid = e.get("tid").and_then(Value::as_num).unwrap() as u64;
+            let ts = e.get("ts").and_then(Value::as_num).expect("numeric ts");
+            let prev = last.insert((pid, tid), ts);
+            if let Some(p) = prev {
+                assert!(ts >= p, "ts went backwards on track ({pid},{tid})");
+            }
+        }
+        for expected in [
+            "process_name",
+            "thread_name",
+            "pvfs.write",
+            "coll.round",
+            "compute",
+        ] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}");
+        }
+        assert!(names.iter().any(|n| n == "pvfs.queue_depth s0"));
+    }
+
+    #[test]
+    fn same_report_exports_identical_bytes() {
+        let sink = ObsSink::recording();
+        sink.span(Track::Rank(0), "a", t(1), t(2), &[("k", 7)]);
+        sink.sample(Track::Server(2), "d", t(3), 9);
+        let report = sink.finish().expect("recording");
+        let render = |r: &ObsReport| {
+            let mut tr = ChromeTrace::new();
+            tr.export_report(10, "run", r, &[]);
+            tr.finish()
+        };
+        assert_eq!(render(&report), render(&report.clone()));
+    }
+}

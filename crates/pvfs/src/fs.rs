@@ -34,6 +34,7 @@ use std::rc::Rc;
 use s3a_des::{Semaphore, Sim, SimTime, Timeline};
 use s3a_faults::{FaultKind, FaultLog, FaultSchedule};
 use s3a_net::{Bandwidth, EndpointId, Fabric};
+use s3a_obs::{ObsSink, Track};
 
 use crate::layout::{Layout, Region};
 
@@ -148,6 +149,8 @@ pub struct FsStats {
 struct Server {
     queue: Timeline,
     requests: Cell<u64>,
+    /// Requests currently queued or in service (observability only).
+    depth: Cell<u64>,
 }
 
 struct FileMeta {
@@ -206,6 +209,7 @@ struct FsInner {
     files: RefCell<HashMap<String, Rc<RefCell<FileMeta>>>>,
     stats: Cell<FsStats>,
     faults: RefCell<Option<FsFaults>>,
+    obs: RefCell<ObsSink>,
 }
 
 /// Server-degradation oracle plus the shared event log, installed with
@@ -238,6 +242,12 @@ impl FsInner {
         f(&mut s);
         self.stats.set(s);
     }
+
+    /// Snapshot the installed observability sink (cloned out so no
+    /// `RefCell` borrow is held across an await point).
+    fn obs(&self) -> ObsSink {
+        self.obs.borrow().clone()
+    }
 }
 
 /// Handle to the simulated parallel file system. Cheap to clone.
@@ -269,13 +279,28 @@ impl FileSystem {
                     .map(|_| Server {
                         queue: Timeline::new(),
                         requests: Cell::new(0),
+                        depth: Cell::new(0),
                     })
                     .collect(),
                 files: RefCell::new(HashMap::new()),
                 stats: Cell::new(FsStats::default()),
                 faults: RefCell::new(None),
+                obs: RefCell::new(ObsSink::disabled()),
             }),
         }
+    }
+
+    /// Install an observability sink: every subsequent request publishes a
+    /// per-request lifecycle span on its server's track, queue-depth and
+    /// dirty-byte series, and latency histograms.
+    pub fn set_obs(&self, sink: ObsSink) {
+        *self.inner.obs.borrow_mut() = sink;
+    }
+
+    /// The installed observability sink (disabled unless
+    /// [`FileSystem::set_obs`] was called).
+    pub fn obs(&self) -> ObsSink {
+        self.inner.obs()
     }
 
     /// Install a fault schedule: subsequent requests consult it for server
@@ -422,6 +447,15 @@ impl FileHandle {
             for (s, (_, bytes)) in per_server.iter().enumerate() {
                 meta.dirty[s] += bytes;
             }
+            let obs = self.fs.obs();
+            if obs.is_recording() {
+                let now = self.fs.sim.now();
+                for (s, (_, bytes)) in per_server.iter().enumerate() {
+                    if *bytes > 0 {
+                        obs.sample(Track::Server(s), "pvfs.dirty_bytes", now, meta.dirty[s]);
+                    }
+                }
+            }
         }
 
         let mut requests: Vec<ServerRequest> = Vec::new();
@@ -541,7 +575,8 @@ impl FileHandle {
                     .transfer(&sm, client_ep, fs.server_ep(s), cfg.req_header_bytes)
                     .await;
                 let service = cfg.sync_overhead + cfg.disk_bw.transfer_time(bytes);
-                serve_with_faults(&fs, &sm, s, service).await?;
+                let info = serve_with_faults(&fs, &sm, s, service).await?;
+                let t_served = sm.now();
                 fs.fabric
                     .transfer(&sm, fs.server_ep(s), client_ep, cfg.req_header_bytes)
                     .await;
@@ -549,6 +584,21 @@ impl FileHandle {
                     st.syncs += 1;
                     st.bytes_flushed += bytes;
                 });
+                let obs = fs.obs();
+                if obs.is_recording() {
+                    obs.span(
+                        Track::Server(s),
+                        "pvfs.sync",
+                        t_served - info.service,
+                        t_served,
+                        &[("bytes", bytes), ("queue_ns", info.queue_wait.as_nanos())],
+                    );
+                    obs.add("pvfs.sync_requests", 1);
+                    if bytes > 0 {
+                        // The flush drained this server's write-back cache.
+                        obs.sample(Track::Server(s), "pvfs.dirty_bytes", t_served, 0);
+                    }
+                }
                 Ok(())
             }));
         }
@@ -588,16 +638,24 @@ impl FileHandle {
     }
 }
 
+/// How one request's time at the server broke down: wait in the FIFO
+/// queue, then the (possibly slowdown-scaled) service itself.
+struct ServeInfo {
+    queue_wait: SimTime,
+    service: SimTime,
+}
+
 /// Wait out any outage window on `server` (backing off up to the retry
 /// budget), then serve `service` scaled by any active slowdown window.
 /// This is the single choke point through which every server request
-/// experiences injected degradation.
+/// experiences injected degradation — and through which observability
+/// sees every queue entry/exit.
 async fn serve_with_faults(
     fs: &Rc<FsInner>,
     sim: &Sim,
     server: usize,
     service: SimTime,
-) -> Result<(), PvfsError> {
+) -> Result<ServeInfo, PvfsError> {
     let hooks = fs.fault_hooks();
     let service = if let Some((sched, log)) = &hooks {
         let p = sched.params();
@@ -619,8 +677,33 @@ async fn serve_with_faults(
     } else {
         service
     };
-    fs.servers[server].queue.serve(sim, service).await;
-    Ok(())
+    let obs = fs.obs();
+    if obs.is_recording() {
+        let srv = &fs.servers[server];
+        srv.depth.set(srv.depth.get() + 1);
+        obs.sample(
+            Track::Server(server),
+            "pvfs.queue_depth",
+            sim.now(),
+            srv.depth.get(),
+        );
+    }
+    let queue_wait = fs.servers[server].queue.serve(sim, service).await;
+    if obs.is_recording() {
+        let srv = &fs.servers[server];
+        srv.depth.set(srv.depth.get() - 1);
+        obs.sample(
+            Track::Server(server),
+            "pvfs.queue_depth",
+            sim.now(),
+            srv.depth.get(),
+        );
+        obs.observe_time("pvfs.queue_wait_ns", queue_wait);
+    }
+    Ok(ServeInfo {
+        queue_wait,
+        service,
+    })
 }
 
 async fn run_write_request(
@@ -630,18 +713,22 @@ async fn run_write_request(
     req: ServerRequest,
 ) -> Result<(), PvfsError> {
     let cfg = &fs.cfg;
+    let t_issue = sim.now();
     // Client-side transport stall and region-list marshaling before the
     // request goes out.
     sim.sleep(cfg.client_request_turnaround + cfg.client_per_region * req.regions.len() as u64)
         .await;
+    let t_sent = sim.now();
     let wire = cfg.req_header_bytes + cfg.region_desc_bytes * req.regions.len() as u64 + req.bytes;
     fs.fabric
         .transfer(sim, client_ep, fs.server_ep(req.server), wire)
         .await;
+    let t_arrived = sim.now();
     let service = cfg.request_overhead
         + cfg.region_overhead * req.regions.len() as u64
         + cfg.ingest_bw.transfer_time(req.bytes);
-    serve_with_faults(fs, sim, req.server, service).await?;
+    let info = serve_with_faults(fs, sim, req.server, service).await?;
+    let t_served = sim.now();
     fs.servers[req.server]
         .requests
         .set(fs.servers[req.server].requests.get() + 1);
@@ -658,6 +745,28 @@ async fn run_write_request(
             cfg.req_header_bytes,
         )
         .await;
+    let obs = fs.obs();
+    if obs.is_recording() {
+        let t_acked = sim.now();
+        obs.span(
+            Track::Server(req.server),
+            "pvfs.write",
+            t_served - info.service,
+            t_served,
+            &[
+                ("client_ep", client_ep.0 as u64),
+                ("regions", req.regions.len() as u64),
+                ("bytes", req.bytes),
+                ("turnaround_ns", (t_sent - t_issue).as_nanos()),
+                ("wire_ns", (t_arrived - t_sent).as_nanos()),
+                ("queue_ns", info.queue_wait.as_nanos()),
+                ("service_ns", info.service.as_nanos()),
+                ("ack_ns", (t_acked - t_served).as_nanos()),
+            ],
+        );
+        obs.add("pvfs.write_requests", 1);
+        obs.observe_time("pvfs.request_latency_ns", t_acked - t_issue);
+    }
     Ok(())
 }
 
@@ -668,15 +777,18 @@ async fn run_read_request(
     req: ServerRequest,
 ) -> Result<(), PvfsError> {
     let cfg = &fs.cfg;
+    let t_issue = sim.now();
     // Request out: header + region descriptors only.
     let wire_out = cfg.req_header_bytes + cfg.region_desc_bytes * req.regions.len() as u64;
     fs.fabric
         .transfer(sim, client_ep, fs.server_ep(req.server), wire_out)
         .await;
+    let t_arrived = sim.now();
     let service = cfg.request_overhead
         + cfg.region_overhead * req.regions.len() as u64
         + cfg.ingest_bw.transfer_time(req.bytes);
-    serve_with_faults(fs, sim, req.server, service).await?;
+    let info = serve_with_faults(fs, sim, req.server, service).await?;
+    let t_served = sim.now();
     fs.servers[req.server]
         .requests
         .set(fs.servers[req.server].requests.get() + 1);
@@ -693,6 +805,27 @@ async fn run_read_request(
             cfg.req_header_bytes + req.bytes,
         )
         .await;
+    let obs = fs.obs();
+    if obs.is_recording() {
+        let t_done = sim.now();
+        obs.span(
+            Track::Server(req.server),
+            "pvfs.read",
+            t_served - info.service,
+            t_served,
+            &[
+                ("client_ep", client_ep.0 as u64),
+                ("regions", req.regions.len() as u64),
+                ("bytes", req.bytes),
+                ("wire_ns", (t_arrived - t_issue).as_nanos()),
+                ("queue_ns", info.queue_wait.as_nanos()),
+                ("service_ns", info.service.as_nanos()),
+                ("response_ns", (t_done - t_served).as_nanos()),
+            ],
+        );
+        obs.add("pvfs.read_requests", 1);
+        obs.observe_time("pvfs.request_latency_ns", t_done - t_issue);
+    }
     Ok(())
 }
 

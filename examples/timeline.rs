@@ -6,19 +6,27 @@
 //! data distribution), and the collective's synchronized write phases
 //! line up across workers.
 //!
+//! Alongside the text chart it captures the request-level observability
+//! recording (`SimParams::observe`) and exports a Chrome `trace_event`
+//! JSON — the same timelines, but zoomable, with per-request PVFS spans
+//! and collective exchange rounds underneath the coarse phases.
+//!
 //! ```sh
 //! cargo run --release --example timeline
 //! ```
 
-use s3asim::{try_run, SimParams, Strategy};
+use s3asim::{export_chrome, export_metrics_csv, try_run, RunReport, SimParams, Strategy};
 
 fn main() {
     let procs = 6;
-    for strategy in [Strategy::Mw, Strategy::WwList, Strategy::WwColl] {
+    let strategies = [Strategy::Mw, Strategy::WwList, Strategy::WwColl];
+    let mut reports: Vec<RunReport> = Vec::new();
+    for strategy in strategies {
         let params = SimParams::builder()
             .procs(procs)
             .strategy(strategy)
             .trace(true)
+            .observe(true)
             .with_workload(|w| {
                 w.queries = 4;
                 w.fragments = 12;
@@ -36,6 +44,20 @@ fn main() {
         );
         print!("{}", trace.gantt(procs, 96));
         println!();
+        reports.push(report);
     }
-    println!("(export machine-readable timelines with Trace::to_csv)");
+    let runs: Vec<(&str, &RunReport)> =
+        strategies.iter().map(|s| s.label()).zip(&reports).collect();
+    let _ = std::fs::create_dir_all("results");
+    for (path, contents) in [
+        ("results/timeline_trace.json", export_chrome(&runs)),
+        ("results/timeline_metrics.csv", export_metrics_csv(&runs)),
+    ] {
+        match std::fs::write(path, contents) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("cannot write {path}: {e}"),
+        }
+    }
+    println!("(export machine-readable timelines with Trace::to_csv;");
+    println!(" open results/timeline_trace.json in chrome://tracing)");
 }

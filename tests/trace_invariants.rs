@@ -1,0 +1,185 @@
+//! Invariants of the request-level observability layer: recorded spans
+//! form sane timelines, the Chrome export round-trips through a JSON
+//! parser, and recording never perturbs the simulation it observes.
+
+use s3asim::{export_chrome, export_metrics_csv, try_run, RunReport, SimParams, Strategy, Track};
+
+fn observed(strategy: Strategy) -> SimParams {
+    SimParams::builder()
+        .procs(6)
+        .strategy(strategy)
+        .trace(true)
+        .observe(true)
+        .with_workload(|w| {
+            w.queries = 4;
+            w.fragments = 16;
+            w.min_results = 100;
+            w.max_results = 200;
+        })
+        .build()
+        .expect("valid parameters")
+}
+
+fn run_observed(strategy: Strategy) -> RunReport {
+    try_run(&observed(strategy)).expect("run completes and verifies")
+}
+
+/// The coarse per-rank phase timeline must tile: a rank is in at most one
+/// phase at a time, so sorted by start, each interval begins at or after
+/// the previous one ends.
+#[test]
+fn phase_intervals_never_overlap_per_rank() {
+    for strategy in Strategy::PAPER_SET {
+        let report = run_observed(strategy);
+        let trace = report.trace.as_ref().expect("tracing enabled");
+        for rank in 0..report.procs {
+            let mut spans: Vec<_> = trace
+                .events()
+                .iter()
+                .filter(|e| e.rank == rank)
+                .map(|e| (e.start, e.end))
+                .collect();
+            spans.sort();
+            for pair in spans.windows(2) {
+                assert!(
+                    pair[1].0 >= pair[0].1,
+                    "{strategy} rank {rank}: phase intervals overlap: {pair:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Observability spans live on real tracks and carry well-formed
+/// intervals; request spans appear for every strategy, collective rounds
+/// only for WW-Coll.
+#[test]
+fn obs_spans_are_well_formed() {
+    for strategy in Strategy::PAPER_SET {
+        let report = run_observed(strategy);
+        let obs = report.obs.as_ref().expect("observability enabled");
+        assert!(!obs.spans.is_empty(), "{strategy}: no spans recorded");
+        for s in &obs.spans {
+            assert!(s.end > s.start, "{strategy}: empty span {}", s.name);
+        }
+        let has_writes = obs.spans.iter().any(|s| s.name == "pvfs.write");
+        assert!(has_writes, "{strategy}: no pvfs.write request spans");
+        let rounds = obs.spans.iter().filter(|s| s.name == "coll.round").count();
+        if strategy == Strategy::WwColl {
+            assert!(rounds > 0, "WW-Coll: no collective exchange rounds");
+            assert_eq!(obs.metrics.counter("coll.rounds"), rounds as u64);
+        } else {
+            assert_eq!(rounds, 0, "{strategy}: unexpected collective rounds");
+        }
+        assert_eq!(
+            obs.metrics.counter("pvfs.write_requests"),
+            obs.spans.iter().filter(|s| s.name == "pvfs.write").count() as u64,
+            "{strategy}: write counter disagrees with write spans"
+        );
+        // Every queue-depth series steps by ±1 and returns to zero.
+        for track in obs.tracks() {
+            if !matches!(track, Track::Server(_)) {
+                continue;
+            }
+            let mut depth = 0i64;
+            for s in &obs.samples {
+                if s.track == track && s.name == "pvfs.queue_depth" {
+                    let v = s.value as i64;
+                    assert!(
+                        (v - depth).abs() == 1,
+                        "{strategy} {track:?}: queue depth jumped {depth} -> {v}"
+                    );
+                    depth = v;
+                }
+            }
+            assert_eq!(depth, 0, "{strategy} {track:?}: queue never drained");
+        }
+    }
+}
+
+/// The Chrome export is valid JSON (checked with an actual parser, not a
+/// substring), and within every (pid, tid) track the complete events are
+/// sorted by timestamp.
+#[test]
+fn chrome_export_round_trips_and_is_monotone() {
+    use s3asim::ObsReport;
+
+    let reports: Vec<(Strategy, RunReport)> = Strategy::PAPER_SET
+        .iter()
+        .map(|&s| (s, run_observed(s)))
+        .collect();
+    let runs: Vec<(&str, &RunReport)> = reports.iter().map(|(s, r)| (s.label(), r)).collect();
+    let text = export_chrome(&runs);
+
+    let doc = s3a_obs::json::parse(&text).expect("export parses as JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut last_ts: std::collections::BTreeMap<(u64, u64), f64> = Default::default();
+    let mut complete = 0usize;
+    for e in events {
+        let ph = e.get("ph").and_then(|v| v.as_str()).expect("ph field");
+        let pid = e.get("pid").and_then(|v| v.as_num()).expect("pid") as u64;
+        let tid = e.get("tid").and_then(|v| v.as_num()).expect("tid") as u64;
+        match ph {
+            "M" => continue,
+            "X" | "C" => {
+                let ts = e.get("ts").and_then(|v| v.as_num()).expect("ts");
+                let prev = last_ts.insert((pid, tid), ts).unwrap_or(f64::MIN);
+                assert!(ts >= prev, "track ({pid},{tid}): ts went backwards");
+                if ph == "X" {
+                    assert!(e.get("dur").and_then(|v| v.as_num()).is_some());
+                    complete += 1;
+                }
+            }
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    // Every recorded span (plus the coarse phase intervals) made it out.
+    let spans: usize = reports
+        .iter()
+        .map(|(_, r)| r.obs.as_ref().map_or(0, |o: &ObsReport| o.spans.len()))
+        .sum();
+    assert!(
+        complete >= spans,
+        "export dropped spans: {complete} < {spans}"
+    );
+
+    // Determinism: a second capture of the same seeds exports the same
+    // bytes, and metrics CSV likewise.
+    let again: Vec<(Strategy, RunReport)> = Strategy::PAPER_SET
+        .iter()
+        .map(|&s| (s, run_observed(s)))
+        .collect();
+    let runs2: Vec<(&str, &RunReport)> = again.iter().map(|(s, r)| (s.label(), r)).collect();
+    assert_eq!(text, export_chrome(&runs2), "chrome export not replayable");
+    assert_eq!(
+        export_metrics_csv(&runs),
+        export_metrics_csv(&runs2),
+        "metrics export not replayable"
+    );
+}
+
+/// Turning the recorder on must not change what it records: all report
+/// numbers — virtual times, per-phase breakdowns, fs/mpi counters — are
+/// identical with observability on and off.
+#[test]
+fn observability_does_not_perturb_the_run() {
+    for strategy in Strategy::PAPER_SET {
+        let on = run_observed(strategy);
+        let mut params = observed(strategy);
+        params.observe = false;
+        let off = try_run(&params).expect("run completes and verifies");
+        assert!(on.obs.is_some() && off.obs.is_none());
+        assert_eq!(on.overall, off.overall, "{strategy}: overall changed");
+        assert_eq!(on.csv_row(), off.csv_row(), "{strategy}: report changed");
+        assert_eq!(on.master, off.master, "{strategy}: master phases changed");
+        assert_eq!(on.workers, off.workers, "{strategy}: worker phases changed");
+        assert_eq!(on.fs, off.fs, "{strategy}: fs stats changed");
+        assert_eq!(on.mpi, off.mpi, "{strategy}: mpi stats changed");
+        assert_eq!(on.engine, off.engine, "{strategy}: engine stats changed");
+    }
+}

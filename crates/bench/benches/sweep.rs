@@ -25,12 +25,7 @@ fn quick() -> bool {
 fn batch_params() -> Vec<SimParams> {
     let procs: &[usize] = if quick() { &[4] } else { &[4, 8, 16] };
     let mut params = Vec::new();
-    for &strategy in &[
-        Strategy::Mw,
-        Strategy::WwPosix,
-        Strategy::WwList,
-        Strategy::WwColl,
-    ] {
+    for &strategy in &Strategy::EXTENDED_SET {
         for &p in procs {
             params.push(small_params(p, strategy));
         }
@@ -48,6 +43,21 @@ fn bench_executor(c: &mut Criterion) {
             &threads,
             |b, &threads| b.iter(|| run_batch(&params, threads).expect("batch runs and verifies")),
         );
+    }
+    g.finish();
+}
+
+/// Single-strategy end-to-end runs: the unoptimized POSIX path vs. the
+/// locked read-modify-write sieve path, so the regression gate watches
+/// the new lock-manager and sieve code on its own.
+fn bench_strategy_io(c: &mut Criterion) {
+    let mut g = c.benchmark_group("strategy_io");
+    g.sample_size(if quick() { 1 } else { 5 });
+    for strategy in [Strategy::WwPosix, Strategy::WwSieve] {
+        let params = small_params(8, strategy);
+        g.bench_function(strategy.label(), |b| {
+            b.iter(|| run_batch(std::slice::from_ref(&params), 1).expect("run verifies"))
+        });
     }
     g.finish();
 }
@@ -112,6 +122,7 @@ fn bench_des_hot_path(c: &mut Criterion) {
 fn main() {
     let mut c = Criterion::default();
     bench_executor(&mut c);
+    bench_strategy_io(&mut c);
     bench_des_hot_path(&mut c);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
     c.save_json(path).expect("write BENCH_sweep.json");

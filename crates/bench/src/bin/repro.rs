@@ -9,6 +9,7 @@
 //! repro fig7      phase breakdowns vs. speed: WW-List and WW-Coll
 //! repro claims    score the paper's headline ratios against this build
 //! repro colllist  the conclusion's proposed list-I/O collective vs. WW-Coll
+//! repro sieve     data-sieving crossover: WW-DS vs. WW-POSIX over worker count
 //! repro faults    recovery tax per strategy under injected faults
 //! repro trace     request-level observability capture (Chrome trace + metrics)
 //! repro all       everything above (figures share sweep runs)
@@ -26,7 +27,10 @@
 use std::fs;
 use std::path::Path;
 
-use s3a_bench::{paper, run_proc_sweep, run_speed_sweep, small_params, Point, Sweep};
+use s3a_bench::{
+    paper, run_proc_sweep, run_sieve_sweep, run_speed_sweep, small_params, Point, Sweep,
+    SIEVE_PROC_SWEEP,
+};
 use s3asim::{
     default_threads, export_chrome, export_metrics_csv, run_batch, try_run, RunReport, SimError,
     SimParams, Strategy,
@@ -225,6 +229,40 @@ fn colllist() {
     write_results("colllist.csv", &csv);
 }
 
+/// The data-sieving follow-up (Thakur, Gropp & Lusk): WW-DS vs. the
+/// unoptimized WW-POSIX over worker count. Each query's output is
+/// interleaved across workers, so worker count controls how dense one
+/// worker's regions sit in the file — the knob the crossover turns on.
+fn sieve() {
+    println!("==== Data sieving: WW-DS vs. WW-POSIX over worker count ====");
+    println!("(few workers = dense regions: one locked read-modify-write");
+    println!(" replaces many requests; many workers = sparse regions and");
+    println!(" contended locks: the read-back and serialization lose)\n");
+    let s = run_sieve_sweep(true).unwrap_or_else(|e| fail("sieve sweep", &e));
+    write_results("sieve_sweep.csv", &s.csv());
+    println!("{}", s.overall_table("procs"));
+    println!(
+        "{:>6} {:>12} {:>12} {:>9} {:>9}",
+        "procs", "WW-POSIX", "WW-DS", "ratio", "winner"
+    );
+    for procs in SIEVE_PROC_SWEEP {
+        let posix = s
+            .get(procs, 1.0, Strategy::WwPosix, false)
+            .overall
+            .as_secs_f64();
+        let ds = s
+            .get(procs, 1.0, Strategy::WwSieve, false)
+            .overall
+            .as_secs_f64();
+        println!(
+            "{procs:>6} {posix:>11.2}s {ds:>11.2}s {:>8.2}x {:>9}",
+            posix / ds,
+            if ds < posix { "WW-DS" } else { "WW-POSIX" }
+        );
+    }
+    println!();
+}
+
 /// Reproduce the introduction's motivation (§1): query segmentation
 /// stops scaling when the database outgrows worker memory, and wastes
 /// processors when queries are few; database segmentation does neither.
@@ -321,7 +359,12 @@ fn faults() {
     // baseline, the crashed run, and its determinism replay run across
     // the thread pool; reports come back in input order, already
     // verified (faults may only cost time, never bytes).
-    let strategies = [Strategy::Mw, Strategy::WwPosix, Strategy::WwList];
+    let strategies = [
+        Strategy::Mw,
+        Strategy::WwPosix,
+        Strategy::WwList,
+        Strategy::WwSieve,
+    ];
     let params: Vec<SimParams> = strategies
         .iter()
         .flat_map(|&s| [base(s), crashed(s), crashed(s)])
@@ -642,14 +685,14 @@ fn ablations() {
     write_results("ablations.csv", &csv);
 }
 
-/// Capture request-level observability for the four paper strategies and
+/// Capture request-level observability for all five strategies and
 /// export it: Chrome `trace_event` JSON (one process group per strategy,
 /// one track per rank and per PVFS server), a metrics-registry CSV, and
 /// the usual report CSV. Runs go through the parallel sweep pool, so the
 /// export also demonstrates that recording is replay-deterministic across
 /// thread counts (the CI determinism job `cmp`s two captures).
 fn trace_capture(out: Option<&str>) {
-    let params: Vec<SimParams> = Strategy::PAPER_SET
+    let params: Vec<SimParams> = Strategy::EXTENDED_SET
         .iter()
         .map(|&strategy| SimParams {
             trace: true,
@@ -658,7 +701,7 @@ fn trace_capture(out: Option<&str>) {
         })
         .collect();
     let reports = run_batch(&params, default_threads()).unwrap_or_else(|e| fail("trace", &e));
-    let runs: Vec<(&str, &RunReport)> = Strategy::PAPER_SET
+    let runs: Vec<(&str, &RunReport)> = Strategy::EXTENDED_SET
         .iter()
         .map(|s| s.label())
         .zip(&reports)
@@ -729,6 +772,7 @@ fn main() {
         "fig7" => fig7(&mut cache),
         "claims" => claims(&mut cache),
         "colllist" => colllist(),
+        "sieve" => sieve(),
         "ablate" => ablations(),
         "faults" => faults(),
         "segmentation" => segmentation(),
@@ -742,6 +786,7 @@ fn main() {
             fig7(&mut cache);
             claims(&mut cache);
             colllist();
+            sieve();
             segmentation();
             ablations();
             faults();
@@ -749,7 +794,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown target '{other}'");
-            eprintln!("usage: repro [--trace-out FILE] [fig2|fig3|fig4|fig5|fig6|fig7|claims|colllist|segmentation|ablate|faults|trace|all]");
+            eprintln!("usage: repro [--trace-out FILE] [fig2|fig3|fig4|fig5|fig6|fig7|claims|colllist|sieve|segmentation|ablate|faults|trace|all]");
             std::process::exit(2);
         }
     }

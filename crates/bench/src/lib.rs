@@ -99,6 +99,66 @@ pub fn run_speed_sweep(progress: bool) -> Result<Sweep, SimError> {
     )
 }
 
+/// The process counts of the data-sieving crossover suite. Worker count
+/// controls region density: each query's output is interleaved across
+/// workers, so a worker's share of a batch is dense at 2 procs and
+/// hole-riddled at 64.
+pub const SIEVE_PROC_SWEEP: [usize; 6] = [2, 4, 8, 16, 32, 64];
+
+/// Parameters for one point of the data-sieving crossover suite: the
+/// paper-structure workload with larger per-hit results, so a worker's
+/// batch spans enough bytes for request amortization vs. read-back waste
+/// to trade blows as density falls.
+pub fn sieve_params_for(p: Point) -> SimParams {
+    use s3a_workload::WorkloadParams;
+    SimParams {
+        procs: p.procs,
+        strategy: p.strategy,
+        query_sync: p.sync,
+        compute_speed: p.speed,
+        workload: WorkloadParams {
+            queries: 6,
+            fragments: 32,
+            min_results: 2000,
+            max_results: 4000,
+            ..WorkloadParams::default()
+        },
+        ..SimParams::default()
+    }
+}
+
+/// The points of the crossover suite: WW-POSIX vs. WW-DS at each process
+/// count (Thakur et al.'s data-sieving comparison, applied to the
+/// paper's workload shape).
+pub fn sieve_sweep_points() -> Vec<Point> {
+    let mut points = Vec::new();
+    for strategy in [Strategy::WwPosix, Strategy::WwSieve] {
+        for procs in SIEVE_PROC_SWEEP {
+            points.push(Point {
+                procs,
+                speed: 1.0,
+                strategy,
+                sync: false,
+            });
+        }
+    }
+    points
+}
+
+/// Run the data-sieving crossover suite (WW-DS vs. WW-POSIX over worker
+/// count; see EXPERIMENTS.md).
+pub fn run_sieve_sweep(progress: bool) -> Result<Sweep, SimError> {
+    Sweep::run(
+        "data-sieving crossover (WW-DS vs WW-POSIX)",
+        sieve_sweep_points(),
+        sieve_params_for,
+        SweepOptions {
+            progress,
+            ..SweepOptions::default()
+        },
+    )
+}
+
 /// The paper's quantitative comparisons, used to score the reproduction.
 pub mod paper {
     use super::*;

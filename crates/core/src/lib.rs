@@ -5,7 +5,9 @@
 //! Tools with S3aSim*, HPDC 2006): a master/worker database-segmentation
 //! search skeleton used to compare result-writing strategies —
 //! master-writing (MW), individual worker-writing with POSIX or list I/O
-//! (WW-POSIX / WW-List), and collective worker-writing (WW-Coll) — on a
+//! (WW-POSIX / WW-List), collective worker-writing (WW-Coll), and
+//! ROMIO-style data sieving (WW-DS, the locked read-modify-write path
+//! real ROMIO uses for independent noncontiguous writes) — on a
 //! PVFS2-like parallel file system.
 //!
 //! The entire stack is simulated deterministically in virtual time on a

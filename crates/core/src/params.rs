@@ -30,6 +30,13 @@ pub enum Strategy {
     /// every batch — the "collective implemented with list I/O" the
     /// paper's conclusion proposes as a better collective method.
     WwCollList,
+    /// Worker-writing with ROMIO-style data sieving (Thakur, Gropp &
+    /// Lusk): per covering block of at most `ind_wr_buffer_size` bytes,
+    /// lock the block, read it back, patch the holes, and write it out
+    /// as one contiguous request — real ROMIO's independent
+    /// noncontiguous path, which the paper's WW-POSIX deliberately
+    /// leaves unoptimized.
+    WwSieve,
 }
 
 impl Strategy {
@@ -39,6 +46,16 @@ impl Strategy {
         Strategy::WwPosix,
         Strategy::WwList,
         Strategy::WwColl,
+    ];
+
+    /// The paper's strategies plus the data-sieving extension — the set
+    /// the repro harness runs end to end.
+    pub const EXTENDED_SET: [Strategy; 5] = [
+        Strategy::Mw,
+        Strategy::WwPosix,
+        Strategy::WwList,
+        Strategy::WwColl,
+        Strategy::WwSieve,
     ];
 
     /// True for the strategies in which workers write their own results.
@@ -60,6 +77,7 @@ impl Strategy {
             Strategy::WwList => "WW-List",
             Strategy::WwColl => "WW-Coll",
             Strategy::WwCollList => "WW-CollList",
+            Strategy::WwSieve => "WW-DS",
         }
     }
 }
@@ -160,6 +178,9 @@ pub struct SimParams {
     pub cb_nodes: usize,
     /// Two-phase collective buffer size per aggregator per round.
     pub cb_buffer_size: u64,
+    /// Data-sieving buffer size for WW-DS independent noncontiguous
+    /// writes (ROMIO's `ind_wr_buffer_size`; its default is 512 KiB).
+    pub ind_wr_buffer_size: u64,
     /// Work-partitioning scheme (database segmentation is the paper's
     /// subject; query segmentation reproduces the introduction's
     /// motivation).
@@ -202,6 +223,7 @@ impl Default for SimParams {
             // collective-buffering configuration (see EXPERIMENTS.md).
             cb_nodes: 6,
             cb_buffer_size: 4 * 1024 * 1024,
+            ind_wr_buffer_size: 512 * 1024,
             segmentation: Segmentation::Database,
             mw_nonblocking_io: false,
             trace: false,
@@ -270,6 +292,9 @@ impl SimParams {
         if self.cb_buffer_size == 0 {
             return Err(ParamError::ZeroCbBufferSize);
         }
+        if self.ind_wr_buffer_size == 0 {
+            return Err(ParamError::ZeroIndWrBuffer);
+        }
         if self.faults.crashes() {
             if self.query_sync || self.strategy.inherently_synchronizing() {
                 return Err(ParamError::CrashesNeedFreeRunningWorkers {
@@ -332,6 +357,8 @@ pub enum ParamError {
     ZeroBatchSize,
     /// The two-phase collective buffer cannot be empty.
     ZeroCbBufferSize,
+    /// The data-sieving buffer cannot be empty.
+    ZeroIndWrBuffer,
     /// Crash injection needs free-running workers: query-sync and
     /// collective strategies recover via checkpoint-restart instead.
     CrashesNeedFreeRunningWorkers {
@@ -375,6 +402,7 @@ impl std::fmt::Display for ParamError {
             }
             ParamError::ZeroBatchSize => write!(f, "batch size must be >= 1"),
             ParamError::ZeroCbBufferSize => write!(f, "cb_buffer_size must be nonzero"),
+            ParamError::ZeroIndWrBuffer => write!(f, "ind_wr_buffer_size must be nonzero"),
             ParamError::CrashesNeedFreeRunningWorkers {
                 strategy,
                 query_sync,
@@ -468,6 +496,12 @@ impl SimParamsBuilder {
     /// Two-phase collective buffer size per aggregator per round.
     pub fn cb_buffer_size(mut self, bytes: u64) -> Self {
         self.params.cb_buffer_size = bytes;
+        self
+    }
+
+    /// Data-sieving buffer size for WW-DS noncontiguous writes.
+    pub fn ind_wr_buffer_size(mut self, bytes: u64) -> Self {
+        self.params.ind_wr_buffer_size = bytes;
         self
     }
 
@@ -582,14 +616,23 @@ mod tests {
     #[test]
     fn strategy_properties() {
         assert!(!Strategy::Mw.workers_write());
-        for s in [Strategy::WwPosix, Strategy::WwList, Strategy::WwColl] {
+        for s in [
+            Strategy::WwPosix,
+            Strategy::WwList,
+            Strategy::WwColl,
+            Strategy::WwSieve,
+        ] {
             assert!(s.workers_write());
         }
         assert!(Strategy::WwColl.inherently_synchronizing());
         assert!(Strategy::WwCollList.inherently_synchronizing());
         assert!(!Strategy::WwList.inherently_synchronizing());
+        assert!(!Strategy::WwSieve.inherently_synchronizing());
         assert_eq!(Strategy::PAPER_SET.len(), 4);
+        assert_eq!(Strategy::EXTENDED_SET.len(), 5);
+        assert!(Strategy::EXTENDED_SET.starts_with(&Strategy::PAPER_SET));
         assert_eq!(Strategy::Mw.to_string(), "MW");
+        assert_eq!(Strategy::WwSieve.to_string(), "WW-DS");
     }
 
     #[test]
@@ -655,6 +698,17 @@ mod tests {
         assert_eq!(
             SimParams::builder().cb_buffer_size(0).build().unwrap_err(),
             ParamError::ZeroCbBufferSize
+        );
+    }
+
+    #[test]
+    fn builder_rejects_zero_sieve_buffer() {
+        assert_eq!(
+            SimParams::builder()
+                .ind_wr_buffer_size(0)
+                .build()
+                .unwrap_err(),
+            ParamError::ZeroIndWrBuffer
         );
     }
 
@@ -769,6 +823,7 @@ mod tests {
             .write_every_n_queries(3)
             .cb_nodes(2)
             .cb_buffer_size(1024)
+            .ind_wr_buffer_size(64 * 1024)
             .segmentation(Segmentation::Query)
             .mw_nonblocking_io(true)
             .trace(true)
@@ -784,6 +839,7 @@ mod tests {
         assert_eq!(p.write_every_n_queries, 3);
         assert_eq!(p.cb_nodes, 2);
         assert_eq!(p.cb_buffer_size, 1024);
+        assert_eq!(p.ind_wr_buffer_size, 64 * 1024);
         assert_eq!(p.segmentation, Segmentation::Query);
         assert!(p.mw_nonblocking_io);
         assert!(p.trace);

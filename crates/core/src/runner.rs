@@ -171,6 +171,7 @@ fn execute(params: &SimParams) -> Result<RunReport, SimError> {
             params.cb_nodes
         },
         cb_buffer_size: params.cb_buffer_size,
+        ind_wr_buffer_size: params.ind_wr_buffer_size,
     };
 
     let worker_ranks: Vec<usize> = (1..params.procs).collect();

@@ -217,16 +217,21 @@ impl Sweep {
         let mut s = String::new();
         let _ = writeln!(s, "# {} — overall execution time (s)", self.name);
         let _ = write!(s, "{xaxis:>8}");
+        // One column per (strategy, sync) pair the sweep actually ran, in
+        // first-appearance order — sparse sweeps (e.g. the two-strategy
+        // data-sieving suite) render without phantom columns.
         let mut columns: Vec<(Strategy, bool)> = Vec::new();
-        for sync in [false, true] {
-            for strategy in Strategy::PAPER_SET {
-                columns.push((strategy, sync));
-                let _ = write!(
-                    s,
-                    " {:>14}",
-                    format!("{}{}", strategy, if sync { "/sync" } else { "" })
-                );
+        for (p, _) in &self.runs {
+            if !columns.contains(&(p.strategy, p.sync)) {
+                columns.push((p.strategy, p.sync));
             }
+        }
+        for &(strategy, sync) in &columns {
+            let _ = write!(
+                s,
+                " {:>14}",
+                format!("{}{}", strategy, if sync { "/sync" } else { "" })
+            );
         }
         let _ = writeln!(s);
         let mut xs: Vec<(usize, f64)> = self.runs.iter().map(|(p, _)| (p.procs, p.speed)).collect();
@@ -234,7 +239,7 @@ impl Sweep {
         xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         xs.dedup();
         for (procs, speed) in xs {
-            if self.name.contains("process") {
+            if xaxis == "procs" {
                 let _ = write!(s, "{procs:>8}");
             } else {
                 let _ = write!(s, "{speed:>8}");
@@ -270,7 +275,7 @@ impl Sweep {
             .iter()
             .filter(|(p, _)| p.strategy == strategy && p.sync == sync)
         {
-            if self.name.contains("process") {
+            if xaxis == "procs" {
                 let _ = write!(s, "{:>8}", point.procs);
             } else {
                 let _ = write!(s, "{:>8}", point.speed);

@@ -247,6 +247,7 @@ pub async fn run_worker(
                 timer.track(Phase::Recovery, sim.sleep(redo)).await;
                 let method = match params.strategy {
                     Strategy::WwPosix => WriteMethod::Posix,
+                    Strategy::WwSieve => WriteMethod::DataSieve,
                     _ => WriteMethod::ListIo,
                 };
                 let t0 = sim.now();
@@ -415,6 +416,23 @@ async fn handle_offsets(
             if !regions.is_empty() {
                 timer
                     .track(Phase::Io, file.write_regions(&regions, WriteMethod::ListIo))
+                    .await
+                    .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
+                timer
+                    .track(Phase::Io, file.sync())
+                    .await
+                    .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
+            }
+        }
+        Strategy::WwSieve => {
+            // ROMIO data sieving: independent like WW-POSIX, but each
+            // covering block is one locked read-modify-write cycle.
+            if !regions.is_empty() {
+                timer
+                    .track(
+                        Phase::Io,
+                        file.write_regions(&regions, WriteMethod::DataSieve),
+                    )
                     .await
                     .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
                 timer

@@ -16,6 +16,7 @@ fn strategy_strategy() -> impl Strategy<Value = s3asim::Strategy> {
         s3asim::Strategy::WwList,
         s3asim::Strategy::WwColl,
         s3asim::Strategy::WwCollList,
+        s3asim::Strategy::WwSieve,
     ])
 }
 

@@ -11,6 +11,10 @@
 //! * [`File::write_regions`] with [`WriteMethod::ListIo`] — PVFS2 native
 //!   list I/O, batching an offset/length list per file-system request
 //!   (WW-List);
+//! * [`File::write_regions`] with [`WriteMethod::DataSieve`] — ROMIO's
+//!   actual independent noncontiguous path (WW-DS): lock a covering
+//!   block of at most `ind_wr_buffer_size` bytes, read it back, patch
+//!   the holes, and write it out as one contiguous request;
 //! * [`File::write_at_all`] — collective two-phase I/O (WW-Coll):
 //!   allgather of access extents, partition of the aggregate range into
 //!   file domains owned by `cb_nodes` aggregator ranks, `cb_buffer_size`-
@@ -34,6 +38,10 @@ pub enum WriteMethod {
     Posix,
     /// One operation carrying the full region list (PVFS2 list I/O).
     ListIo,
+    /// ROMIO data sieving: per covering block of at most
+    /// `ind_wr_buffer_size` bytes, lock the block, read it back, patch
+    /// the holes, and write it out as one contiguous request.
+    DataSieve,
 }
 
 /// MPI-IO hints controlling collective buffering (the `cb_*` hints ROMIO
@@ -45,6 +53,10 @@ pub struct Hints {
     pub cb_nodes: usize,
     /// Bytes of each aggregator's exchange buffer per two-phase round.
     pub cb_buffer_size: u64,
+    /// Bytes of the data-sieving buffer for independent noncontiguous
+    /// writes (ROMIO's `ind_wr_buffer_size`, default 512 KiB). Each
+    /// [`WriteMethod::DataSieve`] covering block is at most this large.
+    pub ind_wr_buffer_size: u64,
 }
 
 impl Default for Hints {
@@ -52,6 +64,7 @@ impl Default for Hints {
         Hints {
             cb_nodes: 0,
             cb_buffer_size: 4 * 1024 * 1024,
+            ind_wr_buffer_size: 512 * 1024,
         }
     }
 }
@@ -122,7 +135,81 @@ impl File {
                 Ok(())
             }
             WriteMethod::ListIo => self.fh.write_regions(self.ep, regions).await,
+            WriteMethod::DataSieve => self.write_data_sieved(regions).await,
         }
+    }
+
+    /// ROMIO-style data sieving for an independent noncontiguous write.
+    ///
+    /// The region list is sorted and merged, then walked in covering
+    /// blocks of at most `ind_wr_buffer_size` bytes. For each block the
+    /// rank takes a byte-range lock (other sievers patching the same
+    /// block would resurrect stale hole bytes), reads the block back if
+    /// it has holes, and writes it out as one contiguous request. The
+    /// win is request amortization when regions are dense; the cost is
+    /// read-back traffic for the holes plus lock serialization.
+    async fn write_data_sieved(&self, regions: &[Region]) -> Result<(), PvfsError> {
+        let mut sorted: Vec<Region> = regions.iter().copied().filter(|r| r.len > 0).collect();
+        if sorted.is_empty() {
+            return Ok(());
+        }
+        sorted.sort_by_key(|r| r.offset);
+        let merged = merge_regions(&sorted);
+        let buf = self.hints.ind_wr_buffer_size.max(1);
+        let sim = self.comm.sim();
+        let mut cur = merged[0].offset;
+        let end = merged.last().expect("nonempty").end();
+        while cur < end {
+            let wend = (cur + buf).min(end);
+            let clipped = clip_regions(&merged, cur, wend);
+            cur = wend;
+            if clipped.is_empty() {
+                continue;
+            }
+            // The covering block spans first data byte to last data byte
+            // of this window — ROMIO never sieves past what it writes.
+            let first = clipped.first().expect("nonempty");
+            let last = clipped.last().expect("nonempty");
+            let block = Region::new(first.offset, last.end() - first.offset);
+            let data: u64 = clipped.iter().map(|r| r.len).sum();
+
+            let t0 = sim.now();
+            let _lock = self.fh.lock_range(block.offset, block.len).await;
+            let t_lock = sim.now();
+            // Holes mean the block carries bytes this rank does not own:
+            // read-modify-write. A gapless block skips the read.
+            if data < block.len {
+                self.fh
+                    .read_contiguous(self.ep, block.offset, block.len)
+                    .await?;
+            }
+            let t_read = sim.now();
+            self.fh.write_sieved(self.ep, block, &clipped).await?;
+            if self.obs.is_recording() {
+                let t_write = sim.now();
+                let track = Track::Rank(self.world_rank);
+                self.obs
+                    .span(track, "sieve.lock", t0, t_lock, &[("len", block.len)]);
+                if t_read > t_lock {
+                    self.obs
+                        .span(track, "sieve.read", t_lock, t_read, &[("len", block.len)]);
+                }
+                self.obs.span(
+                    track,
+                    "sieve.write",
+                    t_read,
+                    t_write,
+                    &[
+                        ("len", block.len),
+                        ("data", data),
+                        ("holes", block.len - data),
+                    ],
+                );
+                self.obs.add("sieve.blocks", 1);
+                self.obs.observe("sieve.hole_bytes", block.len - data);
+            }
+        }
+        Ok(())
     }
 
     /// Flush to stable storage (`MPI_File_sync`).
@@ -285,9 +372,19 @@ impl File {
         }
 
         // Collective completion: nobody leaves before the data of every
-        // rank has been written.
-        self.comm.barrier().await;
-        io_result?;
+        // rank has been written, and everybody leaves with the *same*
+        // result — a rank that only aggregated successfully must still
+        // see its peers' failures, or the callers' next collective would
+        // mismatch. The allreduce (gather + bcast) subsumes the barrier;
+        // the rank-order fold makes the agreed error deterministic (the
+        // lowest-ranked failure wins).
+        let agreed = self
+            .comm
+            .allreduce(io_result.err(), 8, |a, b| a.or(b))
+            .await;
+        if let Some(e) = agreed {
+            return Err(e);
+        }
         Ok(CollectiveTiming {
             synchronize,
             exchange_and_write: self.comm.sim().now() - t1,

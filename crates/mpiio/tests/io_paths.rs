@@ -169,6 +169,7 @@ fn two_phase_multiple_rounds_small_cb_buffer() {
             let hints = Hints {
                 cb_nodes: 2,
                 cb_buffer_size: 8 * 1024, // force many exchange rounds
+                ..Hints::default()
             };
             let f = File::open(&comm, &fs, "out", hints);
             let regions = interleaved(rank, n, 16, 4096);
@@ -279,6 +280,158 @@ fn repeated_collective_writes_advance_offsets() {
     assert_eq!(fh.overlap_bytes(), 0);
     assert_eq!(fh.extent_count(), 3);
     assert_eq!(fh.dirty_bytes(), 0);
+}
+
+#[test]
+fn data_sieve_writes_identical_data() {
+    // Same workload as the POSIX/list test: the sieve path must land the
+    // same contiguous, non-overlapping coverage.
+    let c = cluster(2);
+    let fs = c.fs.clone();
+    for rank in 0..2 {
+        let comm = c.world.comm(rank);
+        let fs = fs.clone();
+        c.sim.spawn(format!("r{rank}"), async move {
+            let f = File::open(&comm, &fs, "out", Hints::default());
+            let regions = interleaved(rank, 2, 10, 1000);
+            f.write_regions(&regions, WriteMethod::DataSieve)
+                .await
+                .unwrap();
+        });
+    }
+    c.sim.run().unwrap();
+    let fh = c.fs.open("out");
+    assert_eq!(fh.covered_bytes(), 20_000);
+    assert_eq!(fh.overlap_bytes(), 0);
+    assert_eq!(fh.extent_count(), 1);
+}
+
+#[test]
+fn data_sieve_amortizes_requests_but_dirties_holes() {
+    // 64 scattered 512B regions within one 512 KiB sieve buffer: one
+    // locked read-modify-write replaces 64 independent writes, at the
+    // price of caching (and later flushing) the hole bytes too.
+    let run = |method: WriteMethod| -> (u64, u64) {
+        let c = cluster(1);
+        let fs = c.fs.clone();
+        let comm = c.world.comm(0);
+        c.sim.spawn("r0", async move {
+            let f = File::open(&comm, &fs, "out", Hints::default());
+            let regions: Vec<Region> = (0..64).map(|i| Region::new(i * 4096, 512)).collect();
+            f.write_regions(&regions, method).await.unwrap();
+            assert_eq!(f.handle().covered_bytes(), 64 * 512);
+            assert_eq!(f.handle().overlap_bytes(), 0);
+        });
+        c.sim.run().unwrap();
+        (c.fs.stats().requests, c.fs.open("out").dirty_bytes())
+    };
+    let (req_posix, dirty_posix) = run(WriteMethod::Posix);
+    let (req_sieve, dirty_sieve) = run(WriteMethod::DataSieve);
+    assert!(
+        req_sieve < req_posix,
+        "sieve {req_sieve} vs posix {req_posix}"
+    );
+    assert_eq!(dirty_posix, 64 * 512);
+    // The sieved block spans first to last byte written: 63*4096 + 512.
+    assert_eq!(dirty_sieve, 63 * 4096 + 512);
+}
+
+#[test]
+fn data_sieve_respects_buffer_size_hint() {
+    // A 4 KiB sieve buffer forces the 256 KiB span into many blocks; the
+    // result must still be exact.
+    let c = cluster(1);
+    let fs = c.fs.clone();
+    let comm = c.world.comm(0);
+    c.sim.spawn("r0", async move {
+        let hints = Hints {
+            ind_wr_buffer_size: 4096,
+            ..Hints::default()
+        };
+        let f = File::open(&comm, &fs, "out", hints);
+        let regions: Vec<Region> = (0..64).map(|i| Region::new(i * 4096, 512)).collect();
+        f.write_regions(&regions, WriteMethod::DataSieve)
+            .await
+            .unwrap();
+        assert_eq!(f.handle().covered_bytes(), 64 * 512);
+        assert_eq!(f.handle().overlap_bytes(), 0);
+        // Blocks never span past the buffer, so no hole bytes dirty the
+        // cache: each 512B region is its own gapless block.
+        assert_eq!(f.handle().dirty_bytes(), 64 * 512);
+    });
+    c.sim.run().unwrap();
+}
+
+#[test]
+fn data_sieve_contention_serializes_but_stays_correct() {
+    // Two ranks sieve interleaved regions whose covering blocks overlap:
+    // the byte-range lock serializes the read-modify-write cycles, so
+    // coverage stays exact and overlap stays zero.
+    let n = 2;
+    let c = cluster(n);
+    let fs = c.fs.clone();
+    for rank in 0..n {
+        let comm = c.world.comm(rank);
+        let fs = fs.clone();
+        c.sim.spawn(format!("r{rank}"), async move {
+            let f = File::open(&comm, &fs, "out", Hints::default());
+            let regions = interleaved(rank, n, 16, 256);
+            f.write_regions(&regions, WriteMethod::DataSieve)
+                .await
+                .unwrap();
+        });
+    }
+    c.sim.run().unwrap();
+    let fh = c.fs.open("out");
+    assert_eq!(fh.covered_bytes(), (n * 16 * 256) as u64);
+    assert_eq!(fh.overlap_bytes(), 0);
+    assert_eq!(fh.extent_count(), 1);
+}
+
+#[test]
+fn collective_failure_is_agreed_by_all_ranks() {
+    use s3a_faults::{FaultLog, FaultParams, FaultSchedule, ServerOutage};
+    // Server 0 is down past every retry; only aggregator ranks touch the
+    // file system, but *every* rank must leave the collective with the
+    // same error, or the callers' next collective would mismatch.
+    let n = 4;
+    let c = cluster(n);
+    let params = FaultParams {
+        server_outages: vec![ServerOutage {
+            server: 0,
+            from: SimTime::ZERO,
+            until: SimTime::from_secs(1000),
+        }],
+        io_retry_backoff: SimTime::from_millis(1),
+        max_io_retries: 2,
+        ..FaultParams::default()
+    };
+    c.fs.set_faults(FaultSchedule::new(params), FaultLog::new());
+    let fs = c.fs.clone();
+    let outcomes = Rc::new(std::cell::RefCell::new(Vec::new()));
+    for rank in 0..n {
+        let comm = c.world.comm(rank);
+        let fs = fs.clone();
+        let out = Rc::clone(&outcomes);
+        c.sim.spawn(format!("r{rank}"), async move {
+            let hints = Hints {
+                cb_nodes: 2,
+                ..Hints::default()
+            };
+            let f = File::open(&comm, &fs, "out", hints);
+            let regions = interleaved(rank, n, 8, 700);
+            let r = f.write_at_all(&regions).await;
+            out.borrow_mut().push((rank, r));
+        });
+    }
+    c.sim.run().unwrap();
+    let outcomes = outcomes.borrow();
+    assert_eq!(outcomes.len(), n);
+    let first = outcomes[0].1;
+    assert!(first.is_err(), "collective should fail: {first:?}");
+    for (rank, r) in outcomes.iter() {
+        assert_eq!(*r, first, "rank {rank} disagrees on the outcome");
+    }
 }
 
 #[test]

@@ -84,6 +84,7 @@ proptest! {
                 let hints = Hints {
                     cb_nodes,
                     cb_buffer_size: cb_buffer,
+                    ..Hints::default()
                 };
                 let f = File::open(&comm, &fs2, "out", hints);
                 f.write_at_all(&mine).await.unwrap();

@@ -37,6 +37,7 @@ use s3a_net::{Bandwidth, EndpointId, Fabric};
 use s3a_obs::{ObsSink, Track};
 
 use crate::layout::{Layout, Region};
+use crate::lock::{LockGuard, LockManager};
 
 /// Typed errors for file-system operations. The only runtime failure the
 /// model produces today is a server outage outlasting the client's retry
@@ -199,6 +200,13 @@ impl FileMeta {
     }
 }
 
+/// Everything the file system keeps per open file: the extent/dirty
+/// bookkeeping and the byte-range lock table data-sieving clients use.
+struct FileEntry {
+    meta: RefCell<FileMeta>,
+    locks: LockManager,
+}
+
 struct FsInner {
     sim: Sim,
     cfg: PvfsConfig,
@@ -206,7 +214,7 @@ struct FsInner {
     /// Fabric endpoint of server `i` is `endpoint_base + i`.
     endpoint_base: usize,
     servers: Vec<Server>,
-    files: RefCell<HashMap<String, Rc<RefCell<FileMeta>>>>,
+    files: RefCell<HashMap<String, Rc<FileEntry>>>,
     stats: Cell<FsStats>,
     faults: RefCell<Option<FsFaults>>,
     obs: RefCell<ObsSink>,
@@ -325,20 +333,23 @@ impl FileSystem {
 
     /// Open (creating if necessary) the named file.
     pub fn open(&self, name: &str) -> FileHandle {
-        let meta = {
+        let file = {
             let mut files = self.inner.files.borrow_mut();
             Rc::clone(files.entry(name.to_string()).or_insert_with(|| {
-                Rc::new(RefCell::new(FileMeta {
-                    extents: BTreeMap::new(),
-                    overlap_bytes: 0,
-                    dirty: vec![0; self.inner.cfg.servers],
-                    size: 0,
-                }))
+                Rc::new(FileEntry {
+                    meta: RefCell::new(FileMeta {
+                        extents: BTreeMap::new(),
+                        overlap_bytes: 0,
+                        dirty: vec![0; self.inner.cfg.servers],
+                        size: 0,
+                    }),
+                    locks: LockManager::new(),
+                })
             }))
         };
         FileHandle {
             fs: Rc::clone(&self.inner),
-            meta,
+            file,
         }
     }
 
@@ -410,7 +421,7 @@ fn pack_requests(
 #[derive(Clone)]
 pub struct FileHandle {
     fs: Rc<FsInner>,
-    meta: Rc<RefCell<FileMeta>>,
+    file: Rc<FileEntry>,
 }
 
 impl FileHandle {
@@ -434,29 +445,49 @@ impl FileHandle {
         client_ep: EndpointId,
         regions: &[Region],
     ) -> Result<(), PvfsError> {
+        self.write_and_record(client_ep, regions, regions).await
+    }
+
+    /// Data-sieving write-back: transfer the whole covering `block` as one
+    /// contiguous operation, but record only `data_regions` (which must
+    /// lie inside `block`) in the file's extent map. The hole bytes moved
+    /// alongside carry whatever the preceding read-back returned, so they
+    /// change no file content — but they *do* count as dirty cache bytes
+    /// (the next sync flushes the whole block) and as wire/ingest traffic,
+    /// which is exactly the overhead data sieving trades for fewer
+    /// requests.
+    pub async fn write_sieved(
+        &self,
+        client_ep: EndpointId,
+        block: Region,
+        data_regions: &[Region],
+    ) -> Result<(), PvfsError> {
+        debug_assert!(
+            data_regions
+                .iter()
+                .all(|r| r.offset >= block.offset && r.end() <= block.end()),
+            "sieve data regions must lie inside the covering block"
+        );
+        self.write_and_record(client_ep, &[block], data_regions)
+            .await
+    }
+
+    /// Shared write body: issue `transfer` as packed per-server requests
+    /// under the client window, then — only once every request has
+    /// succeeded — record `record` in the extent map and the transferred
+    /// bytes in the per-server dirty counters. A write that fails past the
+    /// retry budget therefore contributes nothing to `covered_bytes()` or
+    /// `dirty`: verification still sees the hole, and checkpoint-restart
+    /// knows the data must be re-written.
+    async fn write_and_record(
+        &self,
+        client_ep: EndpointId,
+        transfer: &[Region],
+        record: &[Region],
+    ) -> Result<(), PvfsError> {
         let cfg = &self.fs.cfg;
         let layout = self.fs.layout();
-        let per_server = layout.map_regions(regions);
-
-        // Record extents up front (data content is not simulated).
-        {
-            let mut meta = self.meta.borrow_mut();
-            for r in regions {
-                meta.note_write(r.offset, r.len);
-            }
-            for (s, (_, bytes)) in per_server.iter().enumerate() {
-                meta.dirty[s] += bytes;
-            }
-            let obs = self.fs.obs();
-            if obs.is_recording() {
-                let now = self.fs.sim.now();
-                for (s, (_, bytes)) in per_server.iter().enumerate() {
-                    if *bytes > 0 {
-                        obs.sample(Track::Server(s), "pvfs.dirty_bytes", now, meta.dirty[s]);
-                    }
-                }
-            }
-        }
+        let per_server = layout.map_regions(transfer);
 
         let mut requests: Vec<ServerRequest> = Vec::new();
         for (s, (regs, _)) in per_server.iter().enumerate() {
@@ -494,7 +525,49 @@ impl FileHandle {
                 result = r;
             }
         }
-        result
+        result?;
+
+        // Record on completion (data content is not simulated): the
+        // operation either lands in the extent map and the write-back
+        // cache as a whole, or — on any request failure — not at all.
+        {
+            let mut meta = self.file.meta.borrow_mut();
+            for r in record {
+                meta.note_write(r.offset, r.len);
+            }
+            for (s, (_, bytes)) in per_server.iter().enumerate() {
+                meta.dirty[s] += bytes;
+            }
+            let obs = self.fs.obs();
+            if obs.is_recording() {
+                let now = self.fs.sim.now();
+                for (s, (_, bytes)) in per_server.iter().enumerate() {
+                    if *bytes > 0 {
+                        obs.sample(Track::Server(s), "pvfs.dirty_bytes", now, meta.dirty[s]);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Acquire this file's byte-range lock over `[offset, offset+len)`,
+    /// waiting in virtual time behind every conflicting holder (FIFO, see
+    /// [`crate::lock`]). The wait lands in the `pvfs.lock_wait_ns`
+    /// histogram. The guard releases on drop.
+    pub async fn lock_range(&self, offset: u64, len: u64) -> LockGuard {
+        let t0 = self.fs.sim.now();
+        let guard = self
+            .file
+            .locks
+            .acquire(&self.fs.sim, Region::new(offset, len))
+            .await;
+        let obs = self.fs.obs();
+        if obs.is_recording() {
+            obs.add("pvfs.lock_acquires", 1);
+            obs.observe_time("pvfs.lock_wait_ns", self.fs.sim.now() - t0);
+        }
+        guard
     }
 
     /// Read one contiguous range from the client at `client_ep` —
@@ -556,8 +629,10 @@ impl FileHandle {
     /// is what makes frequent syncing from many clients expensive.
     /// Requests to distinct servers proceed in parallel.
     pub async fn sync(&self, client_ep: EndpointId) -> Result<(), PvfsError> {
+        // Claim the current dirty bytes up front so writes that land while
+        // the flush is in flight accumulate separately for the next sync.
         let dirty: Vec<u64> = {
-            let mut meta = self.meta.borrow_mut();
+            let mut meta = self.file.meta.borrow_mut();
             let d = meta.dirty.clone();
             for x in meta.dirty.iter_mut() {
                 *x = 0;
@@ -566,7 +641,7 @@ impl FileHandle {
         };
         let sim = self.fs.sim.clone();
         let mut joins = Vec::new();
-        for (s, bytes) in dirty.into_iter().enumerate() {
+        for (s, bytes) in dirty.iter().copied().enumerate() {
             let fs = Rc::clone(&self.fs);
             let sm = sim.clone();
             joins.push(sim.spawn("pvfs-sync", async move {
@@ -603,10 +678,16 @@ impl FileHandle {
             }));
         }
         let mut result = Ok(());
-        for j in joins {
-            let r = j.join().await;
-            if result.is_ok() {
-                result = r;
+        for (s, j) in joins.into_iter().enumerate() {
+            if let Err(e) = j.join().await {
+                // This server's flush never reached its disk: put the
+                // claimed bytes back so the retry (or the restart's sync)
+                // flushes them — and pays their full `disk_bw` time —
+                // instead of silently dropping them from accounting.
+                self.file.meta.borrow_mut().dirty[s] += dirty[s];
+                if result.is_ok() {
+                    result = Err(e);
+                }
             }
         }
         result
@@ -614,27 +695,27 @@ impl FileHandle {
 
     /// Bytes covered by at least one write.
     pub fn covered_bytes(&self) -> u64 {
-        self.meta.borrow().covered_bytes()
+        self.file.meta.borrow().covered_bytes()
     }
 
     /// Bytes written more than once (should stay 0 for S3aSim workloads).
     pub fn overlap_bytes(&self) -> u64 {
-        self.meta.borrow().overlap_bytes
+        self.file.meta.borrow().overlap_bytes
     }
 
     /// Number of maximal contiguous written extents.
     pub fn extent_count(&self) -> usize {
-        self.meta.borrow().extents.len()
+        self.file.meta.borrow().extents.len()
     }
 
     /// High-water mark of the file size.
     pub fn size(&self) -> u64 {
-        self.meta.borrow().size
+        self.file.meta.borrow().size
     }
 
     /// Unflushed bytes per server.
     pub fn dirty_bytes(&self) -> u64 {
-        self.meta.borrow().dirty.iter().sum()
+        self.file.meta.borrow().dirty.iter().sum()
     }
 }
 
@@ -880,6 +961,45 @@ mod tests {
         assert_eq!(reqs.len(), 3);
         assert_eq!(reqs[0].regions.len(), 8);
         assert_eq!(reqs[2].regions.len(), 4);
+    }
+
+    mod pack_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+            #[test]
+            fn pack_requests_respects_caps_and_conserves_bytes(
+                regions in prop::collection::vec(
+                    (0u64..1_000_000, 0u64..50_000).prop_map(|(o, l)| Region::new(o, l)),
+                    1..32,
+                ),
+                flow_unit in 1u64..20_000,
+                max_regions in 1usize..32,
+            ) {
+                let reqs = pack_requests(3, &regions, flow_unit, max_regions);
+                // Conservation: every input byte lands in exactly one
+                // packed region (zero-length inputs contribute nothing).
+                let want: u64 = regions.iter().map(|r| r.len).sum();
+                let got: u64 = reqs.iter().map(|r| r.bytes).sum();
+                prop_assert_eq!(got, want);
+                for req in &reqs {
+                    prop_assert_eq!(req.server, 3);
+                    prop_assert!(req.bytes <= flow_unit, "request over flow unit");
+                    prop_assert!(!req.regions.is_empty(), "empty request emitted");
+                    prop_assert!(
+                        req.regions.len() <= max_regions,
+                        "request over region cap"
+                    );
+                    for r in &req.regions {
+                        prop_assert!(r.len > 0, "zero-length region packed");
+                    }
+                    let sum: u64 = req.regions.iter().map(|r| r.len).sum();
+                    prop_assert_eq!(sum, req.bytes, "bytes field disagrees with regions");
+                }
+            }
+        }
     }
 
     #[test]
@@ -1212,6 +1332,115 @@ mod tests {
             );
         });
         sim.run().unwrap();
+    }
+
+    #[test]
+    fn failed_write_records_no_extents_or_dirty() {
+        use s3a_faults::{FaultParams, FaultSchedule, ServerOutage};
+        let sim = Sim::new();
+        let (fs, client) = FileSystem::standalone(&sim, quick_cfg(), net());
+        let params = FaultParams {
+            server_outages: vec![ServerOutage {
+                server: 0,
+                from: SimTime::ZERO,
+                until: SimTime::from_secs(1000),
+            }],
+            io_retry_backoff: SimTime::from_millis(1),
+            max_io_retries: 2,
+            ..FaultParams::default()
+        };
+        fs.set_faults(FaultSchedule::new(params), FaultLog::new());
+        let fh = fs.open("out");
+        let f2 = fh.clone();
+        sim.spawn("writer", async move {
+            // Spans all four servers; server 0 is permanently down.
+            let err = f2.write_contiguous(client, 0, 4000).await.unwrap_err();
+            assert!(matches!(
+                err,
+                PvfsError::ServerUnavailable { server: 0, .. }
+            ));
+        });
+        sim.run().unwrap();
+        // The failed operation must leave no trace in the bookkeeping:
+        // phantom extents would let verification pass over lost data, and
+        // phantom dirty bytes would charge a later sync for a flush that
+        // can never happen.
+        assert_eq!(fh.covered_bytes(), 0);
+        assert_eq!(fh.extent_count(), 0);
+        assert_eq!(fh.dirty_bytes(), 0);
+    }
+
+    #[test]
+    fn failed_sync_restores_unflushed_dirty_bytes() {
+        use s3a_faults::{FaultParams, FaultSchedule, ServerOutage};
+        let sim = Sim::new();
+        let (fs, client) = FileSystem::standalone(&sim, quick_cfg(), net());
+        let fh = fs.open("out");
+        let f2 = fh.clone();
+        let fs2 = fs.clone();
+        let s = sim.clone();
+        sim.spawn("writer", async move {
+            // 4000 bytes land evenly (1000/server) while everything is
+            // healthy.
+            f2.write_contiguous(client, 0, 4000).await.unwrap();
+            assert_eq!(f2.dirty_bytes(), 4000);
+            // Server 0 goes dark before the flush, outlasting the budget.
+            let params = FaultParams {
+                server_outages: vec![ServerOutage {
+                    server: 0,
+                    from: SimTime::ZERO,
+                    until: s.now() + SimTime::from_millis(100),
+                }],
+                io_retry_backoff: SimTime::from_millis(1),
+                max_io_retries: 2,
+                ..FaultParams::default()
+            };
+            fs2.set_faults(FaultSchedule::new(params), FaultLog::new());
+            let err = f2.sync(client).await.unwrap_err();
+            assert!(matches!(
+                err,
+                PvfsError::ServerUnavailable { server: 0, .. }
+            ));
+            // Servers 1-3 flushed; server 0's claim must be restored so a
+            // retry re-flushes (and re-charges disk time for) those bytes.
+            assert_eq!(f2.dirty_bytes(), 1000);
+            assert_eq!(fs2.stats().bytes_flushed, 3000);
+            s.sleep(SimTime::from_millis(200)).await;
+            f2.sync(client).await.unwrap();
+            assert_eq!(f2.dirty_bytes(), 0);
+            assert_eq!(fs2.stats().bytes_flushed, 4000);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn sieved_write_records_data_regions_but_dirties_whole_block() {
+        let sim = Sim::new();
+        let (fs, client) = FileSystem::standalone(&sim, quick_cfg(), net());
+        let fh = fs.open("out");
+        let f2 = fh.clone();
+        // 3 data regions of 100B inside a 1000B covering block.
+        let data = [
+            Region::new(0, 100),
+            Region::new(400, 100),
+            Region::new(900, 100),
+        ];
+        sim.spawn("writer", async move {
+            f2.write_sieved(client, Region::new(0, 1000), &data)
+                .await
+                .unwrap();
+        });
+        sim.run().unwrap();
+        // Extent map holds only the real data; the hole bytes are cache
+        // traffic, not file content.
+        assert_eq!(fh.covered_bytes(), 300);
+        assert_eq!(fh.extent_count(), 3);
+        assert_eq!(fh.overlap_bytes(), 0);
+        // The whole block moved and sits dirty in the write-back cache.
+        assert_eq!(fh.dirty_bytes(), 1000);
+        assert_eq!(fs.stats().bytes_written, 1000);
+        // One contiguous 1000B transfer = one request (strip 1000).
+        assert_eq!(fs.stats().requests, 1);
     }
 
     #[test]

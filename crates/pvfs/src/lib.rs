@@ -12,9 +12,17 @@
 //! Native list I/O is modeled: one request can carry a bounded list of
 //! `(offset, length)` regions, amortizing the per-request cost that makes
 //! region-at-a-time (POSIX-style) noncontiguous I/O slow.
+//!
+//! For clients that *opt in* to serialization — ROMIO's data-sieving
+//! read-modify-write cycle — each file carries a byte-range [`LockManager`]
+//! with deterministic FIFO grants (see [`lock`]); the sieving write-back
+//! itself goes through [`FileHandle::write_sieved`], which transfers the
+//! whole covering block but records only the caller's data regions.
 
 mod fs;
 mod layout;
+pub mod lock;
 
 pub use fs::{FileHandle, FileSystem, FsStats, PvfsConfig, PvfsError};
 pub use layout::{Layout, Region};
+pub use lock::{LockGuard, LockManager};

@@ -7,12 +7,13 @@
 
 use s3asim::{default_threads, run_batch, Phase, SimParams, Strategy};
 
-const ALL: [Strategy; 5] = [
+const ALL: [Strategy; 6] = [
     Strategy::Mw,
     Strategy::WwPosix,
     Strategy::WwList,
     Strategy::WwColl,
     Strategy::WwCollList,
+    Strategy::WwSieve,
 ];
 
 fn main() {

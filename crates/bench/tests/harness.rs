@@ -75,7 +75,7 @@ fn small_params_run_quickly_and_exactly() {
 #[test]
 fn major_phases_listed_once_each() {
     let phases = s3a_bench::major_phases();
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     for p in phases {
         assert!(seen.insert(p.index()), "duplicate phase {p}");
     }

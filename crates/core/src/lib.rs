@@ -82,3 +82,4 @@ pub use s3a_faults::{
     FaultEvent, FaultKind, FaultParams, FaultReport, ServerOutage, ServerSlowdown,
 };
 pub use s3a_obs::{CounterSample, Histogram, ObsReport, ObsSink, SpanEvent, Track};
+pub use s3a_pvfs::{Hazard, HazardKind, SanitizerReport, SimSanitizer};

@@ -15,7 +15,7 @@
 //! bundles — so the run completes with the exact same output extents a
 //! fault-free run would produce.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -368,12 +368,12 @@ async fn run_master_faulty(
     let mut alive = vec![true; nworkers + 1];
     let mut done = vec![false; nworkers + 1];
     let mut last_seen = vec![sim.now(); nworkers + 1];
-    let mut in_flight: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
-    let mut in_flight_repairs: HashMap<usize, Vec<RepairBundle>> = HashMap::new();
+    let mut in_flight: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
+    let mut in_flight_repairs: BTreeMap<usize, Vec<RepairBundle>> = BTreeMap::new();
     let mut repairs: VecDeque<RepairBundle> = VecDeque::new();
     // Per-batch per-worker write layouts, kept so a casualty's share can
     // be reconstructed into a repair bundle.
-    let mut saved_plans: HashMap<usize, HashMap<usize, WorkerPlan>> = HashMap::new();
+    let mut saved_plans: BTreeMap<usize, BTreeMap<usize, WorkerPlan>> = BTreeMap::new();
     let mut pending_scores: Vec<(usize, RecvRequest)> = Vec::new();
     let mut offset_sends: Vec<SendRequest> = Vec::new();
 
@@ -590,10 +590,10 @@ fn on_death(
     ctx: &FaultCtx,
     alive: &mut [bool],
     st: &mut MasterState,
-    in_flight: &mut HashMap<usize, Vec<(usize, usize)>>,
-    in_flight_repairs: &mut HashMap<usize, Vec<RepairBundle>>,
+    in_flight: &mut BTreeMap<usize, Vec<(usize, usize)>>,
+    in_flight_repairs: &mut BTreeMap<usize, Vec<RepairBundle>>,
     repairs: &mut VecDeque<RepairBundle>,
-    saved_plans: &HashMap<usize, HashMap<usize, WorkerPlan>>,
+    saved_plans: &BTreeMap<usize, BTreeMap<usize, WorkerPlan>>,
     pending_scores: &mut Vec<(usize, RecvRequest)>,
     commits: &CommitTracker,
 ) {

@@ -11,7 +11,7 @@
 //!   results, ordered the same way the worker ordered them locally, so a
 //!   flat `zip(local hits, offsets)` yields its write regions.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use s3a_pvfs::Region;
 use s3a_workload::Hit;
@@ -29,7 +29,7 @@ pub struct BatchState {
     remaining_tasks: usize,
     /// `per_query[i][worker]` = that worker's merged hits for queries[i],
     /// sorted by [`hit_order`].
-    per_query: Vec<HashMap<usize, Vec<Hit>>>,
+    per_query: Vec<BTreeMap<usize, Vec<Hit>>>,
     /// Every `(query, fragment, worker)` report received, so a dead
     /// worker's contributions can be revoked and its tasks requeued.
     reported: Vec<(usize, usize, usize)>,
@@ -44,7 +44,7 @@ impl BatchState {
             batch,
             queries,
             remaining_tasks: n * fragments,
-            per_query: (0..n).map(|_| HashMap::new()).collect(),
+            per_query: (0..n).map(|_| BTreeMap::new()).collect(),
             reported: Vec::new(),
         }
     }
@@ -134,8 +134,8 @@ impl BatchState {
     /// with. The plan also carries the concrete file regions (so the
     /// master can hand a dead worker's write to a survivor) and the task
     /// count behind them (for the repair cost model).
-    pub fn assign_offsets(&self, base: u64) -> (HashMap<usize, WorkerPlan>, u64) {
-        let mut per_worker: HashMap<usize, WorkerPlan> = HashMap::new();
+    pub fn assign_offsets(&self, base: u64) -> (BTreeMap<usize, WorkerPlan>, u64) {
+        let mut per_worker: BTreeMap<usize, WorkerPlan> = BTreeMap::new();
         let mut cursor = base;
         for qmap in &self.per_query {
             // Globally order this query's hits across workers.

@@ -198,6 +198,12 @@ pub struct SimParams {
     /// registry (see [`crate::observe`]). Off by default — a disabled sink
     /// costs nothing on the hot path.
     pub observe: bool,
+    /// Arm the simulated-cluster race sanitizer (`SimSanitizer`): flag
+    /// unlocked overlapping concurrent writes, reads of foreign unflushed
+    /// bytes, and partial collectives. Pure bookkeeping in virtual time —
+    /// a clean run's report is bit-identical with the sanitizer on or
+    /// off. Off by default.
+    pub sanitize: bool,
     /// Deterministic fault injection: worker crashes, message faults, and
     /// file-server misbehaviour (all off by default).
     pub faults: FaultParams,
@@ -228,6 +234,7 @@ impl Default for SimParams {
             mw_nonblocking_io: false,
             trace: false,
             observe: false,
+            sanitize: false,
             faults: FaultParams::default(),
             resume_from: None,
             workload: WorkloadParams::default(),
@@ -526,6 +533,12 @@ impl SimParamsBuilder {
     /// Record request-level observability (spans, series, metrics).
     pub fn observe(mut self, on: bool) -> Self {
         self.params.observe = on;
+        self
+    }
+
+    /// Arm the simulated-cluster race sanitizer.
+    pub fn sanitize(mut self, on: bool) -> Self {
+        self.params.sanitize = on;
         self
     }
 
@@ -828,6 +841,7 @@ mod tests {
             .mw_nonblocking_io(true)
             .trace(true)
             .observe(true)
+            .sanitize(true)
             .with_workload(|w| w.queries = 2)
             .with_testbed(|t| t.pvfs.servers = 4)
             .build()
@@ -844,6 +858,7 @@ mod tests {
         assert!(p.mw_nonblocking_io);
         assert!(p.trace);
         assert!(p.observe);
+        assert!(p.sanitize);
         assert_eq!(p.workload.queries, 2);
         assert_eq!(p.testbed.pvfs.servers, 4);
     }

@@ -4,7 +4,7 @@ use s3a_des::{Sim, SimStats, SimTime};
 use s3a_faults::FaultReport;
 use s3a_mpi::{MpiStats, World};
 use s3a_obs::ObsReport;
-use s3a_pvfs::{FileHandle, FileSystem, FsStats};
+use s3a_pvfs::{FileHandle, FileSystem, FsStats, SanitizerReport};
 use s3a_workload::Workload;
 
 use crate::params::{SimParams, Strategy};
@@ -59,10 +59,12 @@ pub struct RunReport {
     pub commits: CommitLog,
     /// What the fault injector did (and what recovery cost), when armed.
     pub faults: Option<FaultReport>,
+    /// Race-sanitizer findings, when `SimParams::sanitize` was set. A
+    /// clean run carries `Some` with an empty hazard list.
+    pub sanitizer: Option<SanitizerReport>,
 }
 
 impl RunReport {
-    #[allow(clippy::too_many_arguments)]
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         trace: Option<Trace>,
@@ -79,6 +81,7 @@ impl RunReport {
         world: &World,
         sim: &Sim,
         faults: Option<FaultReport>,
+        sanitizer: Option<SanitizerReport>,
     ) -> RunReport {
         let worker_mean = PhaseBreakdown::mean(&workers);
         // A resumed run only owes the bytes above its checkpoint; the
@@ -110,6 +113,7 @@ impl RunReport {
             obs,
             commits,
             faults,
+            sanitizer,
         }
     }
 

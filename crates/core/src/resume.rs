@@ -130,6 +130,7 @@ pub fn expected_lost_time(log: &CommitLog, overall: SimTime) -> SimTime {
             .filter(|&t| t <= overall),
     );
     points.push(overall);
+    // s3a-lint: allow(float-accum) -- derived report metric (expected lost time), never fed back into the virtual clock
     let total_ns: f64 = points
         .windows(2)
         .map(|w| {
@@ -156,7 +157,7 @@ pub struct CommitTracker {
 #[derive(Default)]
 struct TrackerInner {
     log: Vec<CommitEntry>,
-    pending: std::collections::HashMap<usize, PendingBatch>,
+    pending: std::collections::BTreeMap<usize, PendingBatch>,
 }
 
 struct PendingBatch {
@@ -305,6 +306,16 @@ pub fn restart_point(log: &CommitLog, at: SimTime) -> ResumePoint {
     }
     point.done_batches.sort_unstable();
     point
+}
+
+// Opaque Debug impls: these are shared handles (or futures) over
+// internal state; printing the state itself would be noisy and could
+// observe a mid-operation borrow.
+
+impl std::fmt::Debug for CommitTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommitTracker").finish_non_exhaustive()
+    }
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@ use s3a_mpi::World;
 use s3a_mpiio::{File, Hints};
 use s3a_net::Fabric;
 use s3a_obs::ObsSink;
-use s3a_pvfs::FileSystem;
+use s3a_pvfs::{FileSystem, SimSanitizer};
 use s3a_workload::Workload;
 
 use crate::master::run_master;
@@ -164,6 +164,21 @@ fn execute(params: &SimParams) -> Result<RunReport, SimError> {
         world.set_obs(obs_sink.clone());
     }
 
+    // Arm the race sanitizer, also before any `File::open` (files snapshot
+    // the file system's sanitizer at open time). Pure bookkeeping: it
+    // advances no virtual time, so the run is bit-identical either way.
+    let san = if params.sanitize {
+        SimSanitizer::armed()
+    } else {
+        SimSanitizer::disabled()
+    };
+    if params.sanitize {
+        if params.observe {
+            san.set_obs(obs_sink.clone());
+        }
+        fs.set_sanitizer(san.clone());
+    }
+
     let hints = Hints {
         cb_nodes: if params.cb_nodes == 0 {
             compute_nodes
@@ -274,6 +289,7 @@ fn execute(params: &SimParams) -> Result<RunReport, SimError> {
         &world,
         &sim,
         faults_ctx.as_ref().map(|c| c.log.report()),
+        san.finish(),
     ))
 }
 
@@ -342,4 +358,14 @@ pub fn try_run_with_restart(
     };
     outcome.verify().map_err(SimError::Verification)?;
     Ok(outcome)
+}
+
+// Opaque Debug impls: these are shared handles (or futures) over
+// internal state; printing the state itself would be noisy and could
+// observe a mid-operation borrow.
+
+impl std::fmt::Debug for FaultCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultCtx").finish_non_exhaustive()
+    }
 }

@@ -300,6 +300,16 @@ impl Sweep {
     }
 }
 
+// Opaque Debug impls: these are shared handles (or futures) over
+// internal state; printing the state itself would be noisy and could
+// observe a mid-operation borrow.
+
+impl std::fmt::Debug for Sweep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sweep").finish_non_exhaustive()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,7 +4,7 @@
 //! same bytes — disjointly, densely, and in global score order.
 
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use s3a_workload::Hit;
 use s3asim::{hit_order, merge_sorted_hits, BatchState};
@@ -62,7 +62,7 @@ proptest! {
 
         // Worker-side view: independently merge each worker's fragments
         // exactly the way the worker process does.
-        let mut local: HashMap<usize, Vec<Hit>> = HashMap::new();
+        let mut local: BTreeMap<usize, Vec<Hit>> = BTreeMap::new();
         for (w, hits) in &case.tasks {
             if hits.is_empty() {
                 continue;

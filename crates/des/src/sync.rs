@@ -553,6 +553,88 @@ impl Future for Acquire {
     }
 }
 
+// Opaque Debug impls: these are shared handles (or futures) over
+// internal state; printing the state itself would be noisy and could
+// observe a mid-operation borrow.
+
+impl std::fmt::Debug for Flag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Flag").finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for WaitFlag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WaitFlag").finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for Signal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Signal").finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for WaitSignal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WaitSignal").finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for Barrier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Barrier").finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for Arrive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Arrive").finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for Timeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Timeline").finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for Semaphore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Semaphore").finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for Acquire {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Acquire").finish_non_exhaustive()
+    }
+}
+
+impl<T> std::fmt::Debug for Queue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Queue").finish_non_exhaustive()
+    }
+}
+
+impl<T> std::fmt::Debug for Pop<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pop").finish_non_exhaustive()
+    }
+}
+
+impl<T> std::fmt::Debug for OneShot<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OneShot").finish_non_exhaustive()
+    }
+}
+
+impl<T> std::fmt::Debug for Take<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Take").finish_non_exhaustive()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -21,7 +21,7 @@
 
 use s3a_des::SimTime;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -160,7 +160,7 @@ pub struct FaultSchedule {
     /// Per-(src, dst) message counters: the n-th message on a pair always
     /// gets the n-th decision of that pair's hash stream, independent of
     /// what other pairs are doing.
-    pair_counters: RefCell<HashMap<(usize, usize), u64>>,
+    pair_counters: RefCell<BTreeMap<(usize, usize), u64>>,
 }
 
 impl FaultSchedule {
@@ -168,7 +168,7 @@ impl FaultSchedule {
     pub fn new(params: FaultParams) -> Rc<FaultSchedule> {
         Rc::new(FaultSchedule {
             params,
-            pair_counters: RefCell::new(HashMap::new()),
+            pair_counters: RefCell::new(BTreeMap::new()),
         })
     }
 
@@ -310,7 +310,7 @@ impl FaultLog {
     /// Fold the log into the per-run recovery-tax summary.
     pub fn report(&self) -> FaultReport {
         let mut r = FaultReport::default();
-        let mut crash_at: HashMap<usize, SimTime> = HashMap::new();
+        let mut crash_at: BTreeMap<usize, SimTime> = BTreeMap::new();
         for ev in self.events.borrow().iter() {
             match ev.kind {
                 FaultKind::MsgLost { .. } => r.msg_lost += 1,
@@ -381,6 +381,22 @@ impl fmt::Display for FaultReport {
             self.msg_delayed,
             self.io_retries,
         )
+    }
+}
+
+// Opaque Debug impls: these are shared handles (or futures) over
+// internal state; printing the state itself would be noisy and could
+// observe a mid-operation borrow.
+
+impl std::fmt::Debug for FaultSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultSchedule").finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for FaultLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultLog").finish_non_exhaustive()
     }
 }
 

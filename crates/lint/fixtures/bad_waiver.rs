@@ -1,0 +1,10 @@
+// Fixture: malformed waivers must trip `bad-waiver` AND fail to
+// suppress. Not compiled — scanned as text by the self-tests.
+
+// s3a-lint: allow(wall-clock)
+fn no_reason() {
+    let _ = Instant::now();
+}
+
+// s3a-lint: allow(no-such-rule) -- confidently wrong
+fn unknown_rule() {}

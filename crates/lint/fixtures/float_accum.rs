@@ -1,0 +1,17 @@
+// Fixture: float accumulation of converted time must trip `float-accum`.
+// Not compiled — scanned as text by the lint's self-tests.
+
+fn total_seconds(durations: &[SimTime]) -> f64 {
+    let mut total = 0.0;
+    for d in durations {
+        total += d.as_secs_f64();
+    }
+    total
+}
+
+fn total_ns(points: &[SimTime]) -> f64 {
+    points
+        .iter()
+        .map(|t| t.as_nanos() as f64)
+        .sum()
+}

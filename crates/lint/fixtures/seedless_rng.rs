@@ -1,0 +1,12 @@
+// Fixture: OS-entropy RNG constructors must trip `seedless-rng`.
+// Not compiled — scanned as text by the lint's self-tests.
+
+fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+fn seed() -> u64 {
+    let rng = rand::rngs::StdRng::from_entropy();
+    rand::random()
+}

@@ -1,0 +1,13 @@
+// Fixture: narrowing casts on time/byte counters must trip
+// `truncating-cast`. Not compiled — scanned as text by the self-tests.
+
+fn pack(t: SimTime, total_bytes: u64) -> (u32, u32) {
+    let wait_ns = t.as_nanos() as u32;
+    let bytes32 = total_bytes as u32;
+    (wait_ns, bytes32)
+}
+
+fn index(slots: &[u8]) -> u32 {
+    // Index cast with no counter marker: must NOT fire.
+    slots.len() as u32
+}

@@ -1,0 +1,15 @@
+// Fixture: hash-ordered collections feeding an output path must trip
+// `unordered-iter`. Not compiled — scanned as text by the self-tests.
+use std::collections::{HashMap, HashSet};
+
+fn report_rows(latency_by_rank: &HashMap<usize, u64>) -> Vec<String> {
+    let mut rows = Vec::new();
+    for (rank, ns) in latency_by_rank {
+        rows.push(format!("{rank},{ns}"));
+    }
+    rows
+}
+
+fn seen_offsets() -> HashSet<u64> {
+    HashSet::new()
+}

@@ -1,0 +1,13 @@
+// Fixture: every construct here must trip the `wall-clock` rule.
+// Not compiled — scanned as text by the lint's self-tests.
+use std::time::{Duration, Instant};
+
+fn elapsed() -> Duration {
+    let start = Instant::now();
+    start.elapsed()
+}
+
+fn epoch() -> u64 {
+    let now = std::time::SystemTime::now();
+    now.duration_since(std::time::UNIX_EPOCH).unwrap().as_secs()
+}

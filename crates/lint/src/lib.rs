@@ -1,0 +1,711 @@
+//! `s3a-lint`: a token/line-level determinism lint for the S3aSim
+//! workspace.
+//!
+//! The simulator's contract is bit-determinism: same parameters, same
+//! `RunReport`, byte for byte, on every run and every machine. The
+//! compiler cannot check that contract, and the three-run byte-compare in
+//! CI only catches a violation after it has already made a run
+//! irreproducible. This lint closes the gap with a handful of cheap,
+//! high-signal rules applied to the source text itself:
+//!
+//! | rule | what it catches |
+//! |------|-----------------|
+//! | `wall-clock` | `Instant`, `SystemTime`, `std::time` — host time leaking into virtual time |
+//! | `unordered-iter` | `HashMap` / `HashSet` — iteration order varies per process (RandomState) |
+//! | `seedless-rng` | `thread_rng`, `OsRng`, `from_entropy`, `getrandom`, `rand::random` — OS-entropy RNG |
+//! | `float-accum` | statements that accumulate (`+=` / `.sum(`) float-converted time — order-sensitive rounding |
+//! | `truncating-cast` | narrowing `as` casts on values whose names mark them as time or byte counters |
+//! | `bad-waiver` | malformed waiver comments (unknown rule, or missing reason) |
+//!
+//! These are deliberately *textual* rules, not a type-system analysis:
+//! the banned constructs have essentially no legitimate use anywhere in a
+//! deterministic simulator, so a token match is already high-confidence.
+//! The escape hatch for the rare justified use is an inline waiver that
+//! forces the author to write down *why*:
+//!
+//! ```text
+//! // s3a-lint: allow(float-accum) -- derived report metric, not clock arithmetic
+//! ```
+//!
+//! A waiver covers its own line and the line (or statement) immediately
+//! below it, and its reason is mandatory: `allow(...)` without a
+//! ` -- reason` tail is itself a violation (`bad-waiver`).
+//!
+//! Comments and string/char literals are masked before matching, so
+//! prose like "never call Instant::now here" does not trip the lint.
+//! Waiver comments are recognized from the *raw* line, before masking.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Identifiers of every rule, in reporting order.
+pub const RULES: [&str; 6] = [
+    "wall-clock",
+    "unordered-iter",
+    "seedless-rng",
+    "float-accum",
+    "truncating-cast",
+    "bad-waiver",
+];
+
+/// One finding, pointing at a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule identifier (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Path as given to the scanner (repo-relative in the CLI).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    {}",
+            self.file, self.line, self.rule, self.message, self.snippet
+        )
+    }
+}
+
+/// Outcome of a lint run over a set of files.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Every finding, in (file, line) order.
+    pub violations: Vec<Violation>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of waivers that suppressed a finding.
+    pub waivers_used: usize,
+}
+
+impl LintReport {
+    /// True when no rule fired.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Render findings as human-readable text diagnostics.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "s3a-lint: {} file(s) scanned, {} violation(s), {} waiver(s) used\n",
+            self.files_scanned,
+            self.violations.len(),
+            self.waivers_used
+        ));
+        out
+    }
+
+    /// Render findings as a JSON document (hand-rolled; no dependencies).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}}}",
+                json_str(v.rule),
+                json_str(&v.file),
+                v.line,
+                json_str(&v.message),
+                json_str(&v.snippet)
+            ));
+        }
+        if !self.violations.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"files_scanned\": {},\n  \"violations_total\": {},\n  \"waivers_used\": {}\n}}\n",
+            self.files_scanned,
+            self.violations.len(),
+            self.waivers_used
+        ));
+        out
+    }
+}
+
+/// Minimal JSON string escape.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A parsed waiver comment: which rule it suppresses and where.
+#[derive(Debug, Clone)]
+struct Waiver {
+    rule: String,
+    /// 1-based line the comment sits on; covers this line and the next.
+    line: usize,
+    used: bool,
+}
+
+const WAIVER_TAG: &str = "s3a-lint: allow(";
+
+/// Extract waivers from raw source lines. Malformed waivers (unknown
+/// rule, missing ` -- reason`) are reported as `bad-waiver` violations.
+fn collect_waivers(file: &str, raw_lines: &[&str]) -> (Vec<Waiver>, Vec<Violation>) {
+    let mut waivers = Vec::new();
+    let mut bad = Vec::new();
+    for (i, raw) in raw_lines.iter().enumerate() {
+        let line_no = i + 1;
+        let Some(tag) = raw.find(WAIVER_TAG) else {
+            continue;
+        };
+        let rest = &raw[tag + WAIVER_TAG.len()..];
+        let mut report = |message: String| {
+            bad.push(Violation {
+                rule: "bad-waiver",
+                file: file.to_string(),
+                line: line_no,
+                message,
+                snippet: raw.trim().to_string(),
+            });
+        };
+        let Some(close) = rest.find(')') else {
+            report("waiver is missing the closing ')'".to_string());
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        if !RULES.contains(&rule.as_str()) {
+            report(format!(
+                "waiver names unknown rule '{rule}' (known: {})",
+                RULES.join(", ")
+            ));
+            continue;
+        }
+        let tail = &rest[close + 1..];
+        let reason = tail.find("--").map(|p| tail[p + 2..].trim());
+        match reason {
+            Some(r) if !r.is_empty() => waivers.push(Waiver {
+                rule,
+                line: line_no,
+                used: false,
+            }),
+            _ => report(format!(
+                "waiver for '{rule}' has no reason; write `-- <why this is safe>`"
+            )),
+        }
+    }
+    (waivers, bad)
+}
+
+/// Strip comments and string/char literals from one source file,
+/// replacing their contents with spaces so line numbers and column
+/// positions survive. Handles `//`, nested `/* */`, `"..."` with
+/// escapes, raw strings `r"..."` / `r#"..."#`, and char literals
+/// (without swallowing lifetimes like `'a`).
+fn mask_source(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = vec![0u8; b.len()];
+    out.copy_from_slice(b);
+    let mut i = 0;
+    let blank = |out: &mut [u8], from: usize, to: usize| {
+        for c in &mut out[from..to] {
+            if *c != b'\n' {
+                *c = b' ';
+            }
+        }
+    };
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let end = b[i..]
+                    .iter()
+                    .position(|&c| c == b'\n')
+                    .map(|p| i + p)
+                    .unwrap_or(b.len());
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut out, start, i);
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' {
+                        i += 2;
+                    } else if b[i] == b'"' {
+                        i += 1;
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut out, start, i.min(b.len()));
+            }
+            b'r' if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
+                // Raw string r"..." or r#"..."# (any hash depth).
+                let start = i;
+                let mut j = i + 1;
+                let mut hashes = 0usize;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' {
+                    j += 1;
+                    'scan: while j < b.len() {
+                        if b[j] == b'"' {
+                            let mut k = j + 1;
+                            let mut seen = 0usize;
+                            while k < b.len() && b[k] == b'#' && seen < hashes {
+                                seen += 1;
+                                k += 1;
+                            }
+                            if seen == hashes {
+                                j = k;
+                                break 'scan;
+                            }
+                        }
+                        j += 1;
+                    }
+                    blank(&mut out, start, j.min(b.len()));
+                    i = j;
+                } else {
+                    i += 1; // identifier starting with 'r', not a raw string
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime. A char literal closes within a
+                // few bytes ('x', '\n', '\u{1F600}'); a lifetime never
+                // closes with a quote before a non-identifier character.
+                let rest = &b[i + 1..];
+                let close = rest
+                    .iter()
+                    .take(12)
+                    .position(|&c| c == b'\'')
+                    .map(|p| i + 1 + p);
+                let is_char = match close {
+                    // 'a' style: anything but an unescaped immediate quote.
+                    Some(c) if c > i + 1 => {
+                        // Reject `'a'` being a lifetime followed by another
+                        // lifetime's quote: lifetimes are `'ident` and
+                        // idents never contain `\\` or `{`; a two-or-more
+                        // byte span ending in a quote that starts with `\\`
+                        // or is exactly one char wide is a literal.
+                        c == i + 2 || b[i + 1] == b'\\' || rest.first() == Some(&b'{')
+                    }
+                    _ => false,
+                };
+                if let (true, Some(c)) = (is_char, close) {
+                    blank(&mut out, i, c + 1);
+                    i = c + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    String::from_utf8(out).expect("masking preserves UTF-8 (only ASCII replaced)")
+}
+
+/// Tokens whose presence on a masked line marks the value as a time or
+/// byte counter (used by `truncating-cast`).
+const COUNTER_MARKERS: [&str; 7] = [
+    "_ns", "nanos", "SimTime", "bytes", "byte_", "offset", "micros",
+];
+
+fn has_counter_marker(line: &str) -> bool {
+    COUNTER_MARKERS.iter().any(|m| line.contains(m))
+}
+
+/// Narrowing integer casts that can silently truncate a 64-bit counter.
+const NARROW_CASTS: [&str; 6] = ["as u8", "as u16", "as u32", "as i8", "as i16", "as i32"];
+
+/// True when `line` contains `pat` as a whole cast (not a prefix of a
+/// wider cast like `as u32` inside `as u320` — impossible in Rust, but
+/// also `as u8` must not match inside `as u86`).
+fn has_cast(line: &str, pat: &str) -> bool {
+    let mut from = 0;
+    while let Some(p) = line[from..].find(pat) {
+        let end = from + p + pat.len();
+        let boundary = line[end..]
+            .chars()
+            .next()
+            .map(|c| !c.is_ascii_alphanumeric() && c != '_')
+            .unwrap_or(true);
+        if boundary {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Line-level rules: (rule, trigger tokens, message).
+struct LineRule {
+    rule: &'static str,
+    tokens: &'static [&'static str],
+    message: &'static str,
+}
+
+const LINE_RULES: [LineRule; 3] = [
+    LineRule {
+        rule: "wall-clock",
+        tokens: &["Instant", "SystemTime", "std::time"],
+        message: "wall-clock time source; use the DES virtual clock (s3a_des::SimTime) instead",
+    },
+    LineRule {
+        rule: "unordered-iter",
+        tokens: &["HashMap", "HashSet"],
+        message:
+            "hash-ordered collection; iteration order is per-process random — use BTreeMap/BTreeSet",
+    },
+    LineRule {
+        rule: "seedless-rng",
+        tokens: &[
+            "thread_rng",
+            "from_entropy",
+            "OsRng",
+            "rand::random",
+            "getrandom",
+        ],
+        message: "OS-entropy RNG constructor; derive all randomness from the run seed",
+    },
+];
+
+/// True when a waiver for `rule` covers `line` (same line or the line
+/// directly above). Marks the waiver used.
+fn waived(waivers: &mut [Waiver], rule: &str, line: usize) -> bool {
+    for w in waivers.iter_mut() {
+        if w.rule == rule && (w.line == line || w.line + 1 == line) {
+            w.used = true;
+            return true;
+        }
+    }
+    false
+}
+
+/// Lint one file's source text. Returns the findings and the number of
+/// waivers that suppressed one.
+pub fn lint_source(file: &str, src: &str) -> (Vec<Violation>, usize) {
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let (mut waivers, mut violations) = collect_waivers(file, &raw_lines);
+    let masked = mask_source(src);
+    let masked_lines: Vec<&str> = masked.lines().collect();
+
+    let push = |violations: &mut Vec<Violation>,
+                waivers: &mut [Waiver],
+                rule: &'static str,
+                line_no: usize,
+                message: String,
+                suppressed: &mut usize| {
+        if waived(waivers, rule, line_no) {
+            *suppressed += 1;
+            return;
+        }
+        violations.push(Violation {
+            rule,
+            file: file.to_string(),
+            line: line_no,
+            message,
+            snippet: raw_lines
+                .get(line_no - 1)
+                .map(|l| l.trim().to_string())
+                .unwrap_or_default(),
+        });
+    };
+
+    let mut suppressed = 0usize;
+    for (i, line) in masked_lines.iter().enumerate() {
+        let line_no = i + 1;
+        for lr in &LINE_RULES {
+            if lr.tokens.iter().any(|t| line.contains(t)) {
+                let token = lr.tokens.iter().find(|t| line.contains(*t)).unwrap();
+                push(
+                    &mut violations,
+                    &mut waivers,
+                    lr.rule,
+                    line_no,
+                    format!("`{token}`: {}", lr.message),
+                    &mut suppressed,
+                );
+            }
+        }
+        if NARROW_CASTS.iter().any(|c| has_cast(line, c)) && has_counter_marker(line) {
+            let cast = NARROW_CASTS.iter().find(|c| has_cast(line, c)).unwrap();
+            push(
+                &mut violations,
+                &mut waivers,
+                "truncating-cast",
+                line_no,
+                format!(
+                    "`{cast}` on a time/byte counter can silently truncate; keep 64-bit width or use try_into"
+                ),
+                &mut suppressed,
+            );
+        }
+    }
+
+    // `float-accum` works on whole statements: the conversion and the
+    // accumulation are usually on different lines of one expression.
+    let mut stmt_start = 0usize; // 0-based index of first line in statement
+    let mut stmt = String::new();
+    let mut depth = 0isize; // net open parens/brackets across the statement
+    for (i, line) in masked_lines.iter().enumerate() {
+        if stmt.is_empty() {
+            stmt_start = i;
+        }
+        stmt.push_str(line);
+        stmt.push('\n');
+        for c in line.chars() {
+            match c {
+                '(' | '[' => depth += 1,
+                ')' | ']' => depth = (depth - 1).max(0),
+                _ => {}
+            }
+        }
+        let t = line.trim_end();
+        // A `;`, brace, or blank line ends the statement — but only at
+        // bracket depth zero: a `;` inside a closure argument does not
+        // end the enclosing expression.
+        let ends = depth == 0
+            && (t.ends_with(';') || t.ends_with('{') || t.ends_with('}') || t.is_empty());
+        if !ends && i + 1 < masked_lines.len() {
+            continue;
+        }
+        let accum = stmt.contains("+=") || stmt.contains(".sum(");
+        let float_time = stmt.contains("secs_f64")
+            || stmt.contains("as_nanos() as f64")
+            || stmt.contains("as_micros() as f64");
+        if accum && float_time {
+            // Point at the accumulating line within the statement.
+            let rel = masked_lines[stmt_start..=i]
+                .iter()
+                .position(|l| l.contains("+=") || l.contains(".sum("))
+                .unwrap_or(0);
+            let line_no = stmt_start + rel + 1;
+            // A waiver anywhere in the statement (or just above it) covers
+            // the whole statement.
+            let covered = (stmt_start.saturating_sub(0)..=i + 1)
+                .any(|ln| waived(&mut waivers, "float-accum", ln + 1))
+                || waived(&mut waivers, "float-accum", stmt_start + 1);
+            if covered {
+                suppressed += 1;
+            } else {
+                push(
+                    &mut violations,
+                    &mut waivers,
+                    "float-accum",
+                    line_no,
+                    "floating-point accumulation of converted time; rounding is order-sensitive — sum in integer nanoseconds".to_string(),
+                    &mut suppressed,
+                );
+            }
+        }
+        stmt.clear();
+    }
+
+    violations.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    (violations, suppressed)
+}
+
+/// Recursively collect `.rs` files under `root`, in sorted order, skipping
+/// directories that are not lint targets (`target`, `fixtures`, the lint
+/// crate itself, and vendored stand-ins).
+fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(root)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if matches!(name, "target" | "fixtures" | "vendor" | ".git" | "lint") {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every `.rs` file under the given roots (files are accepted too).
+pub fn lint_paths(roots: &[PathBuf]) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    for root in roots {
+        if root.is_dir() {
+            collect_rs_files(root, &mut files)?;
+        } else if root.is_file() {
+            files.push(root.clone());
+        } else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such file or directory: {}", root.display()),
+            ));
+        }
+    }
+    let mut report = LintReport::default();
+    for file in &files {
+        let src = fs::read_to_string(file)?;
+        let label = file.to_string_lossy().into_owned();
+        let (violations, suppressed) = lint_source(&label, &src);
+        report.violations.extend(violations);
+        report.waivers_used += suppressed;
+        report.files_scanned += 1;
+    }
+    report.violations.sort_by_key(|v| (v.file.clone(), v.line));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_hides_comments_and_strings() {
+        let src = "let a = 1; // Instant::now in prose\nlet b = \"SystemTime\";\n/* HashMap */ let c = 2;\n";
+        let masked = mask_source(src);
+        assert!(!masked.contains("Instant"));
+        assert!(!masked.contains("SystemTime"));
+        assert!(!masked.contains("HashMap"));
+        assert!(masked.contains("let a = 1;"));
+        assert!(masked.contains("let c = 2;"));
+    }
+
+    #[test]
+    fn masking_preserves_line_count_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str {\n    /* multi\n       line */ x\n}\n";
+        let masked = mask_source(src);
+        assert_eq!(src.lines().count(), masked.lines().count());
+        assert!(masked.contains("fn f<'a>(x: &'a str)"));
+    }
+
+    #[test]
+    fn char_literals_are_masked() {
+        let src = "let q = '\"'; let n = '\\n'; let x = \"HashMap\";";
+        let masked = mask_source(src);
+        assert!(!masked.contains("HashMap"), "masked: {masked}");
+    }
+
+    #[test]
+    fn raw_strings_are_masked() {
+        let src = "let s = r#\"Instant::now() \"quoted\" \"#; let t = 1;";
+        let masked = mask_source(src);
+        assert!(!masked.contains("Instant"));
+        assert!(masked.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn wall_clock_flagged_but_not_in_comment() {
+        let src = "// Instant::now is banned\nlet t = Instant::now();\n";
+        let (v, _) = lint_source("t.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "wall-clock");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn waiver_suppresses_and_is_counted() {
+        let src = "// s3a-lint: allow(unordered-iter) -- keys re-sorted before output\nuse std::collections::HashMap;\n";
+        let (v, suppressed) = lint_source("t.rs", src);
+        assert!(v.is_empty(), "unexpected: {v:?}");
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn waiver_without_reason_is_a_violation() {
+        let src = "// s3a-lint: allow(wall-clock)\nlet t = Instant::now();\n";
+        let (v, _) = lint_source("t.rs", src);
+        let rules: Vec<_> = v.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"bad-waiver"), "got {rules:?}");
+        assert!(
+            rules.contains(&"wall-clock"),
+            "reasonless waiver must not suppress: {rules:?}"
+        );
+    }
+
+    #[test]
+    fn waiver_for_unknown_rule_is_a_violation() {
+        let src = "// s3a-lint: allow(made-up) -- because\nlet x = 1;\n";
+        let (v, _) = lint_source("t.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "bad-waiver");
+    }
+
+    #[test]
+    fn float_accum_spans_statement_lines() {
+        let src = "let total: f64 = xs\n    .iter()\n    .map(|x| x.as_secs_f64())\n    .sum();\n";
+        let (v, _) = lint_source("t.rs", src);
+        assert_eq!(v.len(), 1, "got {v:?}");
+        assert_eq!(v[0].rule, "float-accum");
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn truncating_cast_needs_counter_marker() {
+        let clean = "let idx = slots.len() as u32;\n";
+        let (v, _) = lint_source("t.rs", clean);
+        assert!(v.is_empty(), "index cast must not fire: {v:?}");
+        let dirty = "let ns = t.as_nanos() as u32;\n";
+        let (v, _) = lint_source("t.rs", dirty);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "truncating-cast");
+    }
+
+    #[test]
+    fn cast_token_respects_word_boundary() {
+        assert!(has_cast("x as u8;", "as u8"));
+        assert!(has_cast("(x as u8)", "as u8"));
+        assert!(!has_cast("x as u86", "as u8"));
+    }
+
+    #[test]
+    fn json_output_escapes_and_counts() {
+        let (violations, _) = lint_source("a\"b.rs", "let t = SystemTime::now();\n");
+        let report = LintReport {
+            violations,
+            files_scanned: 1,
+            waivers_used: 0,
+        };
+        let json = report.render_json();
+        assert!(json.contains("\"violations_total\": 1"));
+        assert!(json.contains("a\\\"b.rs"));
+        assert!(json.contains("\"rule\": \"wall-clock\""));
+    }
+}

@@ -1,0 +1,80 @@
+//! CLI for the S3aSim determinism lint.
+//!
+//! ```text
+//! s3a-lint check [--format text|json] [PATH...]
+//! s3a-lint rules
+//! ```
+//!
+//! `check` with no paths scans the workspace's production and test code:
+//! `crates/` (excluding the lint itself and vendored stand-ins) and the
+//! repo-root `tests/`. Exit status: 0 clean, 1 violations found, 2 usage
+//! or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use s3a_lint::{lint_paths, RULES};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: s3a-lint check [--format text|json] [PATH...]");
+    eprintln!("       s3a-lint rules");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "rules" => {
+            for r in RULES {
+                println!("{r}");
+            }
+            ExitCode::SUCCESS
+        }
+        "check" => {
+            let mut json = false;
+            let mut paths: Vec<PathBuf> = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--format" => match it.next().map(String::as_str) {
+                        Some("json") => json = true,
+                        Some("text") => json = false,
+                        _ => return usage(),
+                    },
+                    "--format=json" => json = true,
+                    "--format=text" => json = false,
+                    flag if flag.starts_with('-') => return usage(),
+                    p => paths.push(PathBuf::from(p)),
+                }
+            }
+            if paths.is_empty() {
+                paths.push(PathBuf::from("crates"));
+                let root_tests = PathBuf::from("tests");
+                if root_tests.is_dir() {
+                    paths.push(root_tests);
+                }
+            }
+            let report = match lint_paths(&paths) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("s3a-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            if json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,129 @@
+//! Self-tests: run the lint over the known-bad fixture files and assert
+//! each rule fires where expected (and only there).
+
+use std::path::PathBuf;
+
+use s3a_lint::{lint_paths, lint_source, RULES};
+
+fn fixture(name: &str) -> (Vec<s3a_lint::Violation>, usize) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path).unwrap();
+    lint_source(name, &src)
+}
+
+fn rules_fired(name: &str) -> Vec<&'static str> {
+    let (violations, _) = fixture(name);
+    let mut rules: Vec<_> = violations.iter().map(|v| v.rule).collect();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn wall_clock_fixture_trips_only_wall_clock() {
+    let (v, _) = fixture("wall_clock.rs");
+    assert!(v.len() >= 3, "Instant + SystemTime + std::time: {v:?}");
+    assert!(v.iter().all(|v| v.rule == "wall-clock"), "{v:?}");
+    // Diagnostics carry file:line.
+    assert!(v.iter().all(|v| v.line > 0 && v.file == "wall_clock.rs"));
+}
+
+#[test]
+fn unordered_iter_fixture_trips_only_unordered_iter() {
+    let (v, _) = fixture("unordered_iter.rs");
+    assert!(v.len() >= 2, "HashMap + HashSet: {v:?}");
+    assert!(v.iter().all(|v| v.rule == "unordered-iter"), "{v:?}");
+}
+
+#[test]
+fn seedless_rng_fixture_trips_only_seedless_rng() {
+    let (v, _) = fixture("seedless_rng.rs");
+    assert!(v.len() >= 3, "thread_rng + from_entropy + random: {v:?}");
+    assert!(v.iter().all(|v| v.rule == "seedless-rng"), "{v:?}");
+}
+
+#[test]
+fn float_accum_fixture_trips_both_accumulation_forms() {
+    let (v, _) = fixture("float_accum.rs");
+    let lines: Vec<usize> = v
+        .iter()
+        .filter(|v| v.rule == "float-accum")
+        .map(|v| v.line)
+        .collect();
+    assert_eq!(lines.len(), 2, "`+=` form and `.sum()` form: {v:?}");
+}
+
+#[test]
+fn truncating_cast_fixture_fires_on_counters_not_indices() {
+    let (v, _) = fixture("truncating_cast.rs");
+    let casts: Vec<_> = v.iter().filter(|v| v.rule == "truncating-cast").collect();
+    assert_eq!(casts.len(), 2, "wait_ns + bytes32, not slots.len(): {v:?}");
+    assert!(casts.iter().all(|v| v.line <= 8), "index cast fired: {v:?}");
+}
+
+#[test]
+fn waived_fixture_is_clean_and_counts_waivers() {
+    let (v, suppressed) = fixture("waived.rs");
+    assert!(v.is_empty(), "waivers must suppress: {v:?}");
+    assert_eq!(suppressed, 2, "both waiver forms must be exercised");
+}
+
+#[test]
+fn bad_waiver_fixture_reports_and_does_not_suppress() {
+    let fired = rules_fired("bad_waiver.rs");
+    assert!(fired.contains(&"bad-waiver"), "{fired:?}");
+    assert!(
+        fired.contains(&"wall-clock"),
+        "reasonless waiver must not suppress: {fired:?}"
+    );
+}
+
+#[test]
+fn every_rule_has_at_least_one_firing_fixture() {
+    let fixtures = [
+        "wall_clock.rs",
+        "unordered_iter.rs",
+        "seedless_rng.rs",
+        "float_accum.rs",
+        "truncating_cast.rs",
+        "bad_waiver.rs",
+    ];
+    let mut fired: Vec<&str> = fixtures.iter().flat_map(|f| rules_fired(f)).collect();
+    fired.sort();
+    fired.dedup();
+    for rule in RULES {
+        assert!(fired.contains(&rule), "no fixture exercises rule '{rule}'");
+    }
+}
+
+#[test]
+fn workspace_scan_is_clean() {
+    // The lint's promise to CI: the shipped tree has zero unwaived
+    // violations. Walk up from this crate to the workspace root.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .unwrap()
+        .to_path_buf();
+    let roots = vec![root.join("crates"), root.join("tests")];
+    let report = lint_paths(&roots).unwrap();
+    assert!(
+        report.is_clean(),
+        "workspace has lint violations:\n{}",
+        report.render_text()
+    );
+    assert!(report.files_scanned > 30, "scan looks truncated");
+}
+
+#[test]
+fn json_format_lists_fixture_violations() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("wall_clock.rs");
+    let report = lint_paths(&[path]).unwrap();
+    let json = report.render_json();
+    assert!(json.contains("\"rule\": \"wall-clock\""));
+    assert!(json.contains("\"files_scanned\": 1"));
+    assert!(json.contains("wall_clock.rs"));
+}

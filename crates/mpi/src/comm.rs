@@ -22,7 +22,7 @@
 
 use std::any::Any;
 use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -116,7 +116,7 @@ struct WorldInner {
     endpoint_base: usize,
     cfg: MpiConfig,
     mailboxes: Vec<RefCell<Mailbox>>,
-    contexts: RefCell<HashMap<String, u32>>,
+    contexts: RefCell<BTreeMap<String, u32>>,
     next_context: Cell<u32>,
     stats: Cell<MpiStats>,
     obs: RefCell<ObsSink>,
@@ -350,7 +350,7 @@ impl World {
                         })
                     })
                     .collect(),
-                contexts: RefCell::new(HashMap::new()),
+                contexts: RefCell::new(BTreeMap::new()),
                 next_context: Cell::new(1), // 0 is the world context
                 stats: Cell::new(MpiStats::default()),
                 obs: RefCell::new(ObsSink::disabled()),
@@ -449,6 +449,16 @@ impl Clone for Comm {
     }
 }
 
+impl std::fmt::Debug for Comm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Comm")
+            .field("rank", &self.rank)
+            .field("size", &self.members.len())
+            .field("context", &self.context)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Comm {
     /// This process's rank in the communicator.
     pub fn rank(&self) -> Rank {
@@ -463,6 +473,13 @@ impl Comm {
     /// The simulation this communicator runs in.
     pub fn sim(&self) -> &Sim {
         &self.world.sim
+    }
+
+    /// The matching-context id of this communicator (0 for the world;
+    /// stable across ranks of the same communicator). Identifies the
+    /// communicator to diagnostics such as the race sanitizer.
+    pub fn context(&self) -> u32 {
+        self.context
     }
 
     /// Translate a local rank to a world rank.
@@ -732,4 +749,32 @@ pub async fn timed<F: Future>(sim: &Sim, fut: F) -> (F::Output, SimTime) {
     let start = sim.now();
     let out = fut.await;
     (out, sim.now() - start)
+}
+
+// Opaque Debug impls: these are shared handles (or futures) over
+// internal state; printing the state itself would be noisy and could
+// observe a mid-operation borrow.
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World").finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for SendRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SendRequest").finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for RecvRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecvRequest").finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for RecvWait {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecvWait").finish_non_exhaustive()
+    }
 }

@@ -28,7 +28,7 @@
 use s3a_mpi::Comm;
 use s3a_net::EndpointId;
 use s3a_obs::{ObsSink, Track};
-use s3a_pvfs::{FileHandle, FileSystem, PvfsError, Region};
+use s3a_pvfs::{FileHandle, FileSystem, PvfsError, Region, SimSanitizer};
 
 /// How [`File::write_regions`] maps a noncontiguous region list onto
 /// file-system requests.
@@ -77,6 +77,8 @@ pub struct File {
     ep: EndpointId,
     /// Observability sink inherited from the file system at open time.
     obs: ObsSink,
+    /// Race sanitizer inherited from the file system at open time.
+    san: SimSanitizer,
     /// This rank's world rank — the track collective spans land on.
     world_rank: usize,
 }
@@ -96,6 +98,7 @@ impl File {
             hints,
             ep,
             obs: fs.obs(),
+            san: fs.sanitizer(),
             world_rank,
         }
     }
@@ -174,7 +177,7 @@ impl File {
             let data: u64 = clipped.iter().map(|r| r.len).sum();
 
             let t0 = sim.now();
-            let _lock = self.fh.lock_range(block.offset, block.len).await;
+            let _lock = self.fh.lock_range(self.ep, block.offset, block.len).await;
             let t_lock = sim.now();
             // Holes mean the block carries bytes this rank does not own:
             // read-modify-write. A gapless block skips the read.
@@ -236,6 +239,13 @@ impl File {
     ) -> Result<CollectiveTiming, PvfsError> {
         let t0 = self.comm.sim().now();
         let n = self.comm.size();
+        if self.san.is_armed() {
+            // Participation check: a strict subset of ranks entering this
+            // collective deadlocks the allgather below; record the entry
+            // so the sanitizer can name the missing ranks afterwards.
+            self.san
+                .collective_enter(self.fh.name(), self.comm.context(), n, self.comm.rank(), t0);
+        }
         let naggs = if self.hints.cb_nodes == 0 {
             n
         } else {
@@ -432,6 +442,16 @@ fn merge_regions(sorted: &[Region]) -> Vec<Region> {
         out.push(r);
     }
     out
+}
+
+// Opaque Debug impls: these are shared handles (or futures) over
+// internal state; printing the state itself would be noisy and could
+// observe a mid-operation borrow.
+
+impl std::fmt::Debug for File {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("File").finish_non_exhaustive()
+    }
 }
 
 #[cfg(test)]

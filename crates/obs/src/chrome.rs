@@ -208,6 +208,16 @@ impl ChromeTrace {
     }
 }
 
+// Opaque Debug impls: these are shared handles (or futures) over
+// internal state; printing the state itself would be noisy and could
+// observe a mid-operation borrow.
+
+impl std::fmt::Debug for ChromeTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChromeTrace").finish_non_exhaustive()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

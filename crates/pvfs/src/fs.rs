@@ -27,7 +27,7 @@
 //! the servers' per-request overheads saturate.
 
 use std::cell::{Cell, RefCell};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -38,6 +38,7 @@ use s3a_obs::{ObsSink, Track};
 
 use crate::layout::{Layout, Region};
 use crate::lock::{LockGuard, LockManager};
+use crate::sanitizer::SimSanitizer;
 
 /// Typed errors for file-system operations. The only runtime failure the
 /// model produces today is a server outage outlasting the client's retry
@@ -214,10 +215,11 @@ struct FsInner {
     /// Fabric endpoint of server `i` is `endpoint_base + i`.
     endpoint_base: usize,
     servers: Vec<Server>,
-    files: RefCell<HashMap<String, Rc<FileEntry>>>,
+    files: RefCell<BTreeMap<String, Rc<FileEntry>>>,
     stats: Cell<FsStats>,
     faults: RefCell<Option<FsFaults>>,
     obs: RefCell<ObsSink>,
+    san: RefCell<SimSanitizer>,
 }
 
 /// Server-degradation oracle plus the shared event log, installed with
@@ -256,6 +258,11 @@ impl FsInner {
     fn obs(&self) -> ObsSink {
         self.obs.borrow().clone()
     }
+
+    /// Snapshot the installed sanitizer (same discipline as `obs`).
+    fn san(&self) -> SimSanitizer {
+        self.san.borrow().clone()
+    }
 }
 
 /// Handle to the simulated parallel file system. Cheap to clone.
@@ -290,10 +297,11 @@ impl FileSystem {
                         depth: Cell::new(0),
                     })
                     .collect(),
-                files: RefCell::new(HashMap::new()),
+                files: RefCell::new(BTreeMap::new()),
                 stats: Cell::new(FsStats::default()),
                 faults: RefCell::new(None),
                 obs: RefCell::new(ObsSink::disabled()),
+                san: RefCell::new(SimSanitizer::disabled()),
             }),
         }
     }
@@ -309,6 +317,21 @@ impl FileSystem {
     /// [`FileSystem::set_obs`] was called).
     pub fn obs(&self) -> ObsSink {
         self.inner.obs()
+    }
+
+    /// Install a race sanitizer: every subsequent client operation is
+    /// checked for unlocked overlapping writes and reads of foreign
+    /// unflushed bytes (see [`crate::sanitizer`]). Pure bookkeeping —
+    /// virtual time is never advanced, so a clean run is bit-identical
+    /// with the sanitizer on or off.
+    pub fn set_sanitizer(&self, san: SimSanitizer) {
+        *self.inner.san.borrow_mut() = san;
+    }
+
+    /// The installed sanitizer (disabled unless
+    /// [`FileSystem::set_sanitizer`] was called).
+    pub fn sanitizer(&self) -> SimSanitizer {
+        self.inner.san()
     }
 
     /// Install a fault schedule: subsequent requests consult it for server
@@ -350,6 +373,7 @@ impl FileSystem {
         FileHandle {
             fs: Rc::clone(&self.inner),
             file,
+            name: Rc::from(name),
         }
     }
 
@@ -422,9 +446,23 @@ fn pack_requests(
 pub struct FileHandle {
     fs: Rc<FsInner>,
     file: Rc<FileEntry>,
+    name: Rc<str>,
+}
+
+impl std::fmt::Debug for FileHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileHandle")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
 }
 
 impl FileHandle {
+    /// The name this handle was opened under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
     /// Write one contiguous region from the client at `client_ep`.
     pub async fn write_contiguous(
         &self,
@@ -504,6 +542,9 @@ impl FileHandle {
             return Ok(());
         }
 
+        let san = self.fs.san();
+        let op = san.write_begin(&self.name, client_ep, transfer, self.fs.sim.now());
+
         let sim = self.fs.sim.clone();
         let window = Semaphore::new(&sim, cfg.client_window);
         let mut joins = Vec::with_capacity(requests.len());
@@ -525,7 +566,10 @@ impl FileHandle {
                 result = r;
             }
         }
-        result?;
+        if let Err(e) = result {
+            san.write_end(&self.name, op, false, record, self.fs.sim.now());
+            return Err(e);
+        }
 
         // Record on completion (data content is not simulated): the
         // operation either lands in the extent map and the write-back
@@ -548,20 +592,27 @@ impl FileHandle {
                 }
             }
         }
+        san.write_end(&self.name, op, true, record, self.fs.sim.now());
         Ok(())
     }
 
-    /// Acquire this file's byte-range lock over `[offset, offset+len)`,
-    /// waiting in virtual time behind every conflicting holder (FIFO, see
-    /// [`crate::lock`]). The wait lands in the `pvfs.lock_wait_ns`
-    /// histogram. The guard releases on drop.
-    pub async fn lock_range(&self, offset: u64, len: u64) -> LockGuard {
+    /// Acquire this file's byte-range lock over `[offset, offset+len)`
+    /// for the client at `client_ep`, waiting in virtual time behind
+    /// every conflicting holder (FIFO, see [`crate::lock`]). The wait
+    /// lands in the `pvfs.lock_wait_ns` histogram. The guard releases on
+    /// drop.
+    pub async fn lock_range(&self, client_ep: EndpointId, offset: u64, len: u64) -> LockGuard {
         let t0 = self.fs.sim.now();
-        let guard = self
+        let mut guard = self
             .file
             .locks
             .acquire(&self.fs.sim, Region::new(offset, len))
             .await;
+        let san = self.fs.san();
+        if san.is_armed() {
+            let grant = san.grant_acquired(&self.name, client_ep, Region::new(offset, len));
+            guard.on_release(move || san.grant_released(grant));
+        }
         let obs = self.fs.obs();
         if obs.is_recording() {
             obs.add("pvfs.lock_acquires", 1);
@@ -581,6 +632,15 @@ impl FileHandle {
         offset: u64,
         len: u64,
     ) -> Result<(), PvfsError> {
+        let san = self.fs.san();
+        if san.is_armed() {
+            san.read_begin(
+                &self.name,
+                client_ep,
+                Region::new(offset, len),
+                self.fs.sim.now(),
+            );
+        }
         let cfg = &self.fs.cfg;
         let layout = self.fs.layout();
         let per_server = layout.map_regions(&[Region::new(offset, len)]);
@@ -629,6 +689,8 @@ impl FileHandle {
     /// is what makes frequent syncing from many clients expensive.
     /// Requests to distinct servers proceed in parallel.
     pub async fn sync(&self, client_ep: EndpointId) -> Result<(), PvfsError> {
+        let san = self.fs.san();
+        let claimed = san.sync_begin(&self.name);
         // Claim the current dirty bytes up front so writes that land while
         // the flush is in flight accumulate separately for the next sync.
         let dirty: Vec<u64> = {
@@ -690,6 +752,7 @@ impl FileHandle {
                 }
             }
         }
+        san.sync_end(&self.name, &claimed, result.is_ok());
         result
     }
 
@@ -908,6 +971,16 @@ async fn run_read_request(
         obs.observe_time("pvfs.request_latency_ns", t_done - t_issue);
     }
     Ok(())
+}
+
+// Opaque Debug impls: these are shared handles (or futures) over
+// internal state; printing the state itself would be noisy and could
+// observe a mid-operation borrow.
+
+impl std::fmt::Debug for FileSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileSystem").finish_non_exhaustive()
+    }
 }
 
 #[cfg(test)]

@@ -22,7 +22,9 @@
 mod fs;
 mod layout;
 pub mod lock;
+pub mod sanitizer;
 
 pub use fs::{FileHandle, FileSystem, FsStats, PvfsConfig, PvfsError};
 pub use layout::{Layout, Region};
 pub use lock::{LockGuard, LockManager};
+pub use sanitizer::{Hazard, HazardKind, SanitizerReport, SimSanitizer};

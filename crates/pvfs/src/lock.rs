@@ -146,6 +146,7 @@ impl LockManager {
         LockGuard {
             inner: Rc::clone(&self.inner),
             ticket,
+            hook: None,
         }
     }
 
@@ -165,11 +166,41 @@ impl LockManager {
 pub struct LockGuard {
     inner: Rc<RefCell<LockInner>>,
     ticket: u64,
+    /// Runs after the release (sanitizer grant bookkeeping).
+    hook: Option<Box<dyn FnOnce()>>,
+}
+
+impl std::fmt::Debug for LockGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockGuard")
+            .field("ticket", &self.ticket)
+            .finish()
+    }
+}
+
+impl LockGuard {
+    /// Register a callback to run when the guard releases its range.
+    pub fn on_release(&mut self, f: impl FnOnce() + 'static) {
+        self.hook = Some(Box::new(f));
+    }
 }
 
 impl Drop for LockGuard {
     fn drop(&mut self) {
         self.inner.borrow_mut().release(self.ticket);
+        if let Some(hook) = self.hook.take() {
+            hook();
+        }
+    }
+}
+
+// Opaque Debug impls: these are shared handles (or futures) over
+// internal state; printing the state itself would be noisy and could
+// observe a mid-operation borrow.
+
+impl std::fmt::Debug for LockManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockManager").finish_non_exhaustive()
     }
 }
 

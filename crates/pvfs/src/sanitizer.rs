@@ -1,0 +1,671 @@
+//! `SimSanitizer` — a ThreadSanitizer-analog for the simulated cluster.
+//!
+//! The DES runs single-threaded, so nothing here detects *host* races.
+//! What can still race is the modelled I/O: two clients whose write
+//! operations overlap in virtual time and touch the same file bytes have
+//! an outcome that depends on request interleaving — exactly the hazard
+//! ROMIO's data-sieving lock exists to exclude (Thakur et al., "Data
+//! Sieving and Collective I/O in ROMIO"). The sanitizer watches every
+//! client operation the file system executes and reports three hazard
+//! classes:
+//!
+//! * [`HazardKind::UnlockedOverlap`] — two operations from different
+//!   clients are in flight at the same virtual time and their byte
+//!   ranges intersect. The [`crate::LockManager`] serializes conflicting
+//!   lock holders, so any such overlap implies at least one side wrote
+//!   without a covering grant.
+//! * [`HazardKind::ReadAfterDirty`] — a client reads bytes another
+//!   client has written but not yet flushed, and the pair did not
+//!   coordinate through the lock manager (reader and writer both holding
+//!   covering grants — the data-sieving read-modify-write pattern — is
+//!   the sanctioned exception).
+//! * [`HazardKind::PartialCollective`] — a collective write epoch
+//!   (`write_at_all`) was entered by a strict subset of the
+//!   communicator's ranks. In a real MPI program this deadlocks or
+//!   corrupts the file domain exchange; the simulator's allgather
+//!   deadlocks too, and the sanitizer names the missing ranks.
+//!
+//! Like [`s3a_obs::ObsSink`], the handle is a cheap clone around shared
+//! state and every probe is a no-op when the sanitizer is disarmed, so a
+//! run with the sanitizer off pays nothing and a clean run with it on is
+//! bit-identical (the probes read simulation state but never advance
+//! virtual time or schedule events).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+use s3a_des::SimTime;
+use s3a_net::EndpointId;
+use s3a_obs::ObsSink;
+
+use crate::layout::Region;
+
+/// The three classes of simulated-cluster race the sanitizer detects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HazardKind {
+    /// Concurrent byte-overlapping writes from different clients with no
+    /// serializing lock grant.
+    UnlockedOverlap,
+    /// A read of another client's dirty (unflushed) bytes without
+    /// lock-manager coordination.
+    ReadAfterDirty,
+    /// A collective entered by a strict subset of its communicator.
+    PartialCollective,
+}
+
+impl HazardKind {
+    /// Stable machine-readable name (also the obs counter suffix).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HazardKind::UnlockedOverlap => "unlocked-overlap",
+            HazardKind::ReadAfterDirty => "read-after-dirty",
+            HazardKind::PartialCollective => "partial-collective",
+        }
+    }
+
+    fn counter(self) -> &'static str {
+        match self {
+            HazardKind::UnlockedOverlap => "sanitizer.unlocked_overlap",
+            HazardKind::ReadAfterDirty => "sanitizer.read_after_dirty",
+            HazardKind::PartialCollective => "sanitizer.partial_collective",
+        }
+    }
+}
+
+impl fmt::Display for HazardKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One detected race.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hazard {
+    /// Which class of race.
+    pub kind: HazardKind,
+    /// File the conflicting accesses hit.
+    pub file: String,
+    /// Virtual time of detection.
+    pub time: SimTime,
+    /// The conflicting byte range (zero-length for collective hazards).
+    pub range: Region,
+    /// The parties involved: fabric endpoint ids for byte-range hazards,
+    /// communicator ranks (the ones that *did* arrive) for collectives.
+    pub actors: Vec<usize>,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl fmt::Display for Hazard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} @ {}: {}",
+            self.kind, self.file, self.time, self.detail
+        )
+    }
+}
+
+/// Everything the sanitizer found in one run, in virtual-time order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SanitizerReport {
+    /// Detected hazards, sorted by detection time.
+    pub hazards: Vec<Hazard>,
+}
+
+impl SanitizerReport {
+    /// True when no hazard of any class was detected.
+    pub fn is_clean(&self) -> bool {
+        self.hazards.is_empty()
+    }
+
+    /// Hazards of one class.
+    pub fn count_of(&self, kind: HazardKind) -> usize {
+        self.hazards.iter().filter(|h| h.kind == kind).count()
+    }
+}
+
+/// A client write operation currently in flight (in virtual time).
+struct ActiveWrite {
+    id: u64,
+    client: EndpointId,
+    regions: Vec<Region>,
+    /// Whether every transferred region sat under a lock grant the
+    /// writing client held at operation start.
+    locked: bool,
+}
+
+/// Unflushed bytes a client wrote, awaiting a successful sync.
+struct DirtyRange {
+    id: u64,
+    client: EndpointId,
+    region: Region,
+    /// Whether the producing write held a covering lock grant.
+    locked: bool,
+}
+
+#[derive(Default)]
+struct FileSan {
+    active: Vec<ActiveWrite>,
+    dirty: Vec<DirtyRange>,
+}
+
+/// A lock grant currently held (registered by `FileHandle::lock_range`).
+struct Grant {
+    id: u64,
+    file: String,
+    client: EndpointId,
+    region: Region,
+}
+
+/// One collective's participation bookkeeping, keyed by
+/// `(file, communicator context)`.
+struct CollSan {
+    /// Ranks that entered the current epoch (cleared when all arrive).
+    entered: Vec<usize>,
+    size: usize,
+    last_entry: SimTime,
+}
+
+struct SanState {
+    next_id: u64,
+    files: BTreeMap<String, FileSan>,
+    grants: Vec<Grant>,
+    colls: BTreeMap<(String, u32), CollSan>,
+    hazards: Vec<Hazard>,
+    obs: ObsSink,
+}
+
+impl SanState {
+    fn push_hazard(&mut self, hazard: Hazard) {
+        if self.obs.is_recording() {
+            self.obs.add("sanitizer.hazards", 1);
+            self.obs.add(hazard.kind.counter(), 1);
+        }
+        self.hazards.push(hazard);
+    }
+
+    /// True when `client` holds grants on `file` such that every region
+    /// in `regions` lies entirely inside a single grant.
+    fn covered(&self, file: &str, client: EndpointId, regions: &[Region]) -> bool {
+        regions.iter().all(|r| {
+            r.len == 0
+                || self.grants.iter().any(|g| {
+                    g.file == file
+                        && g.client == client
+                        && g.region.offset <= r.offset
+                        && r.end() <= g.region.end()
+                })
+        })
+    }
+}
+
+/// First intersection between two region lists, if any.
+fn first_overlap(a: &[Region], b: &[Region]) -> Option<Region> {
+    for ra in a {
+        for rb in b {
+            let lo = ra.offset.max(rb.offset);
+            let hi = ra.end().min(rb.end());
+            if hi > lo {
+                return Some(Region::new(lo, hi - lo));
+            }
+        }
+    }
+    None
+}
+
+/// Race detector for the simulated cluster. Cheap to clone; clones share
+/// state. Construct with [`SimSanitizer::armed`] to record or
+/// [`SimSanitizer::disabled`] for a zero-cost stub, exactly like
+/// [`ObsSink`].
+#[derive(Clone)]
+pub struct SimSanitizer {
+    inner: Option<Rc<RefCell<SanState>>>,
+}
+
+impl fmt::Debug for SimSanitizer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimSanitizer")
+            .field("armed", &self.is_armed())
+            .finish()
+    }
+}
+
+impl Default for SimSanitizer {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl SimSanitizer {
+    /// A recording sanitizer.
+    pub fn armed() -> Self {
+        SimSanitizer {
+            inner: Some(Rc::new(RefCell::new(SanState {
+                next_id: 1,
+                files: BTreeMap::new(),
+                grants: Vec::new(),
+                colls: BTreeMap::new(),
+                hazards: Vec::new(),
+                obs: ObsSink::disabled(),
+            }))),
+        }
+    }
+
+    /// A no-op stub: every probe returns immediately.
+    pub fn disabled() -> Self {
+        SimSanitizer { inner: None }
+    }
+
+    /// Whether probes record anything.
+    pub fn is_armed(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Mirror hazard counts into an observability sink (the
+    /// `sanitizer.*` counters on the metrics registry).
+    pub fn set_obs(&self, sink: ObsSink) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().obs = sink;
+        }
+    }
+
+    /// A write operation from `client` begins, transferring `regions`.
+    /// Returns an operation id for [`SimSanitizer::write_end`].
+    pub fn write_begin(
+        &self,
+        file: &str,
+        client: EndpointId,
+        regions: &[Region],
+        now: SimTime,
+    ) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        let mut st = inner.borrow_mut();
+        let id = st.next_id;
+        st.next_id += 1;
+        let locked = st.covered(file, client, regions);
+        let mut found: Vec<Hazard> = Vec::new();
+        if let Some(fsan) = st.files.get(file) {
+            for aw in &fsan.active {
+                if aw.client == client {
+                    continue;
+                }
+                if let Some(overlap) = first_overlap(&aw.regions, regions) {
+                    found.push(Hazard {
+                        kind: HazardKind::UnlockedOverlap,
+                        file: file.to_string(),
+                        time: now,
+                        range: overlap,
+                        actors: vec![aw.client.0, client.0],
+                        detail: format!(
+                            "concurrent writes from endpoints {} (locked: {}) and {} \
+                             (locked: {}) overlap at [{}, {})",
+                            aw.client.0,
+                            aw.locked,
+                            client.0,
+                            locked,
+                            overlap.offset,
+                            overlap.end(),
+                        ),
+                    });
+                }
+            }
+        }
+        for h in found {
+            st.push_hazard(h);
+        }
+        st.files
+            .entry(file.to_string())
+            .or_default()
+            .active
+            .push(ActiveWrite {
+                id,
+                client,
+                regions: regions.to_vec(),
+                locked,
+            });
+        id
+    }
+
+    /// The write operation `op` finished. On success, `record` becomes
+    /// dirty (unflushed) bytes owned by the writing client.
+    pub fn write_end(&self, file: &str, op: u64, ok: bool, record: &[Region], now: SimTime) {
+        let _ = now;
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.borrow_mut();
+        let Some(fsan) = st.files.get_mut(file) else {
+            return;
+        };
+        let Some(pos) = fsan.active.iter().position(|a| a.id == op) else {
+            return;
+        };
+        let aw = fsan.active.remove(pos);
+        if !ok {
+            return;
+        }
+        for r in record {
+            if r.len == 0 {
+                continue;
+            }
+            let id = st.next_id;
+            st.next_id += 1;
+            st.files
+                .get_mut(file)
+                .expect("entry exists")
+                .dirty
+                .push(DirtyRange {
+                    id,
+                    client: aw.client,
+                    region: *r,
+                    locked: aw.locked,
+                });
+        }
+    }
+
+    /// A read of `region` by `client` begins. Flags intersections with
+    /// other clients' dirty bytes unless both sides coordinated through
+    /// the lock manager.
+    pub fn read_begin(&self, file: &str, client: EndpointId, region: Region, now: SimTime) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.borrow_mut();
+        let mut found: Option<Hazard> = None;
+        if let Some(fsan) = st.files.get(file) {
+            for d in &fsan.dirty {
+                if d.client == client {
+                    continue;
+                }
+                let lo = d.region.offset.max(region.offset);
+                let hi = d.region.end().min(region.end());
+                if hi <= lo {
+                    continue;
+                }
+                let inter = Region::new(lo, hi - lo);
+                let reader_locked = st.covered(file, client, &[inter]);
+                if reader_locked && d.locked {
+                    // Sanctioned read-modify-write: both sides serialized
+                    // through the lock manager (data sieving).
+                    continue;
+                }
+                found = Some(Hazard {
+                    kind: HazardKind::ReadAfterDirty,
+                    file: file.to_string(),
+                    time: now,
+                    range: inter,
+                    actors: vec![d.client.0, client.0],
+                    detail: format!(
+                        "endpoint {} reads [{}, {}) while endpoint {}'s bytes there \
+                         are unflushed (writer locked: {}, reader locked: {})",
+                        client.0,
+                        inter.offset,
+                        inter.end(),
+                        d.client.0,
+                        d.locked,
+                        reader_locked,
+                    ),
+                });
+                break;
+            }
+        }
+        if let Some(h) = found {
+            st.push_hazard(h);
+        }
+    }
+
+    /// A sync of `file` starts: claim the dirty ranges it will flush.
+    pub fn sync_begin(&self, file: &str) -> Vec<u64> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let st = inner.borrow();
+        st.files
+            .get(file)
+            .map(|f| f.dirty.iter().map(|d| d.id).collect())
+            .unwrap_or_default()
+    }
+
+    /// The sync finished: on success the claimed ranges are durable.
+    pub fn sync_end(&self, file: &str, claimed: &[u64], ok: bool) {
+        let Some(inner) = &self.inner else { return };
+        if !ok {
+            return;
+        }
+        let mut st = inner.borrow_mut();
+        if let Some(fsan) = st.files.get_mut(file) {
+            fsan.dirty.retain(|d| !claimed.contains(&d.id));
+        }
+    }
+
+    /// `client` acquired a lock grant over `region`. Returns a grant id
+    /// for [`SimSanitizer::grant_released`].
+    pub fn grant_acquired(&self, file: &str, client: EndpointId, region: Region) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        let mut st = inner.borrow_mut();
+        let id = st.next_id;
+        st.next_id += 1;
+        st.grants.push(Grant {
+            id,
+            file: file.to_string(),
+            client,
+            region,
+        });
+        id
+    }
+
+    /// The grant `id` was released (its guard dropped).
+    pub fn grant_released(&self, id: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.borrow_mut();
+        st.grants.retain(|g| g.id != id);
+    }
+
+    /// Rank `rank` of a `size`-rank communicator (context id `context`)
+    /// entered a collective write on `file`.
+    pub fn collective_enter(
+        &self,
+        file: &str,
+        context: u32,
+        size: usize,
+        rank: usize,
+        now: SimTime,
+    ) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.borrow_mut();
+        let c = st
+            .colls
+            .entry((file.to_string(), context))
+            .or_insert(CollSan {
+                entered: Vec::new(),
+                size,
+                last_entry: now,
+            });
+        c.size = size;
+        c.last_entry = now;
+        if !c.entered.contains(&rank) {
+            c.entered.push(rank);
+        }
+        if c.entered.len() == c.size {
+            // Full participation: the epoch completes cleanly.
+            c.entered.clear();
+        }
+    }
+
+    /// Close out the run: report any collective epoch still waiting on
+    /// ranks, and return everything found, sorted by detection time.
+    /// Returns `None` when disarmed.
+    pub fn finish(&self) -> Option<SanitizerReport> {
+        let inner = self.inner.as_ref()?;
+        let mut st = inner.borrow_mut();
+        let partials: Vec<Hazard> = st
+            .colls
+            .iter()
+            .filter(|(_, c)| !c.entered.is_empty())
+            .map(|((file, context), c)| {
+                let mut entered = c.entered.clone();
+                entered.sort_unstable();
+                let missing: Vec<usize> = (0..c.size).filter(|r| !entered.contains(r)).collect();
+                Hazard {
+                    kind: HazardKind::PartialCollective,
+                    file: file.clone(),
+                    time: c.last_entry,
+                    range: Region::new(0, 0),
+                    actors: entered.clone(),
+                    detail: format!(
+                        "collective on context {} entered by {} of {} ranks \
+                         ({:?}); missing {:?}",
+                        context,
+                        entered.len(),
+                        c.size,
+                        entered,
+                        missing,
+                    ),
+                }
+            })
+            .collect();
+        for h in partials {
+            st.push_hazard(h);
+        }
+        st.colls.clear();
+        let mut hazards = std::mem::take(&mut st.hazards);
+        hazards.sort_by_key(|h| h.time);
+        Some(SanitizerReport { hazards })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: &str = "out";
+
+    fn ep(i: usize) -> EndpointId {
+        EndpointId(i)
+    }
+
+    #[test]
+    fn disabled_probes_are_noops() {
+        let san = SimSanitizer::disabled();
+        assert!(!san.is_armed());
+        let op = san.write_begin(F, ep(0), &[Region::new(0, 10)], SimTime::ZERO);
+        assert_eq!(op, 0);
+        san.write_end(F, op, true, &[Region::new(0, 10)], SimTime::ZERO);
+        assert!(san.finish().is_none());
+    }
+
+    #[test]
+    fn concurrent_overlapping_writes_flagged() {
+        let san = SimSanitizer::armed();
+        let a = san.write_begin(F, ep(1), &[Region::new(0, 100)], SimTime::ZERO);
+        let b = san.write_begin(F, ep(2), &[Region::new(50, 100)], SimTime::from_millis(1));
+        san.write_end(F, a, true, &[Region::new(0, 100)], SimTime::from_millis(2));
+        san.write_end(F, b, true, &[Region::new(50, 100)], SimTime::from_millis(3));
+        let report = san.finish().expect("armed");
+        assert_eq!(report.count_of(HazardKind::UnlockedOverlap), 1);
+        let h = &report.hazards[0];
+        assert_eq!(h.range, Region::new(50, 50));
+        assert_eq!(h.actors, vec![1, 2]);
+    }
+
+    #[test]
+    fn serialized_overlapping_writes_are_clean() {
+        // Same bytes, but the ops never coexist in virtual time.
+        let san = SimSanitizer::armed();
+        let a = san.write_begin(F, ep(1), &[Region::new(0, 100)], SimTime::ZERO);
+        san.write_end(F, a, true, &[Region::new(0, 100)], SimTime::from_millis(1));
+        let b = san.write_begin(F, ep(2), &[Region::new(0, 100)], SimTime::from_millis(2));
+        san.write_end(F, b, true, &[Region::new(0, 100)], SimTime::from_millis(3));
+        assert_eq!(
+            san.finish()
+                .expect("armed")
+                .count_of(HazardKind::UnlockedOverlap),
+            0
+        );
+    }
+
+    #[test]
+    fn concurrent_disjoint_writes_are_clean() {
+        let san = SimSanitizer::armed();
+        let a = san.write_begin(F, ep(1), &[Region::new(0, 50)], SimTime::ZERO);
+        let b = san.write_begin(F, ep(2), &[Region::new(50, 50)], SimTime::ZERO);
+        san.write_end(F, a, true, &[Region::new(0, 50)], SimTime::from_millis(1));
+        san.write_end(F, b, true, &[Region::new(50, 50)], SimTime::from_millis(1));
+        assert!(san.finish().expect("armed").is_clean());
+    }
+
+    #[test]
+    fn read_of_foreign_dirty_bytes_flagged() {
+        let san = SimSanitizer::armed();
+        let a = san.write_begin(F, ep(1), &[Region::new(0, 100)], SimTime::ZERO);
+        san.write_end(F, a, true, &[Region::new(0, 100)], SimTime::from_millis(1));
+        san.read_begin(F, ep(2), Region::new(40, 20), SimTime::from_millis(2));
+        let report = san.finish().expect("armed");
+        assert_eq!(report.count_of(HazardKind::ReadAfterDirty), 1);
+        assert_eq!(report.hazards[0].range, Region::new(40, 20));
+    }
+
+    #[test]
+    fn sync_clears_dirty_and_unflags_reads() {
+        let san = SimSanitizer::armed();
+        let a = san.write_begin(F, ep(1), &[Region::new(0, 100)], SimTime::ZERO);
+        san.write_end(F, a, true, &[Region::new(0, 100)], SimTime::from_millis(1));
+        let claimed = san.sync_begin(F);
+        san.sync_end(F, &claimed, true);
+        san.read_begin(F, ep(2), Region::new(0, 100), SimTime::from_millis(3));
+        assert!(san.finish().expect("armed").is_clean());
+    }
+
+    #[test]
+    fn failed_sync_keeps_bytes_dirty() {
+        let san = SimSanitizer::armed();
+        let a = san.write_begin(F, ep(1), &[Region::new(0, 100)], SimTime::ZERO);
+        san.write_end(F, a, true, &[Region::new(0, 100)], SimTime::from_millis(1));
+        let claimed = san.sync_begin(F);
+        san.sync_end(F, &claimed, false);
+        san.read_begin(F, ep(2), Region::new(0, 100), SimTime::from_millis(3));
+        assert_eq!(
+            san.finish()
+                .expect("armed")
+                .count_of(HazardKind::ReadAfterDirty),
+            1
+        );
+    }
+
+    #[test]
+    fn locked_sieve_pattern_is_sanctioned() {
+        // Writer held a covering grant when it dirtied the bytes; reader
+        // holds one over its read. That is data sieving, not a race.
+        let san = SimSanitizer::armed();
+        let g1 = san.grant_acquired(F, ep(1), Region::new(0, 200));
+        let a = san.write_begin(F, ep(1), &[Region::new(0, 200)], SimTime::ZERO);
+        san.write_end(F, a, true, &[Region::new(0, 100)], SimTime::from_millis(1));
+        san.grant_released(g1);
+        let g2 = san.grant_acquired(F, ep(2), Region::new(0, 200));
+        san.read_begin(F, ep(2), Region::new(0, 200), SimTime::from_millis(2));
+        san.grant_released(g2);
+        assert!(san.finish().expect("armed").is_clean());
+    }
+
+    #[test]
+    fn partial_collective_reported_with_missing_ranks() {
+        let san = SimSanitizer::armed();
+        san.collective_enter(F, 7, 4, 0, SimTime::ZERO);
+        san.collective_enter(F, 7, 4, 2, SimTime::from_millis(1));
+        let report = san.finish().expect("armed");
+        assert_eq!(report.count_of(HazardKind::PartialCollective), 1);
+        let h = &report.hazards[0];
+        assert_eq!(h.actors, vec![0, 2]);
+        assert!(h.detail.contains("missing [1, 3]"), "detail: {}", h.detail);
+    }
+
+    #[test]
+    fn full_collective_epochs_are_clean() {
+        let san = SimSanitizer::armed();
+        for epoch in 0..3u64 {
+            for rank in 0..4 {
+                san.collective_enter(F, 7, 4, rank, SimTime::from_millis(epoch));
+            }
+        }
+        assert!(san.finish().expect("armed").is_clean());
+    }
+}

@@ -1,0 +1,256 @@
+//! The simulated-cluster race sanitizer, end to end: deliberately-raced
+//! fixtures trip each hazard class, every shipped strategy runs clean
+//! under it (including WW-DS under fault injection), and arming it never
+//! perturbs the run it watches.
+
+use std::rc::Rc;
+
+use s3a_des::{Sim, SimTime};
+use s3a_mpi::{MpiConfig, World};
+use s3a_mpiio::{File, Hints};
+use s3a_net::{EndpointId, Fabric, NetConfig};
+use s3a_pvfs::{FileSystem, HazardKind, PvfsConfig, Region, SimSanitizer};
+use s3asim::{try_run, FaultParams, RunReport, SimParams, Strategy};
+
+fn small_cfg() -> PvfsConfig {
+    PvfsConfig {
+        servers: 4,
+        ..PvfsConfig::default()
+    }
+}
+
+/// A private cluster with two client endpoints (ids 0 and 1, servers
+/// above) and the sanitizer armed.
+fn two_client_fs(sim: &Sim) -> (FileSystem, SimSanitizer) {
+    let cfg = small_cfg();
+    let fabric = Rc::new(Fabric::new(2 + cfg.servers, NetConfig::default()));
+    let fs = FileSystem::new(sim, cfg, fabric, 2);
+    let san = SimSanitizer::armed();
+    fs.set_sanitizer(san.clone());
+    (fs, san)
+}
+
+/// Hazard class (a): two clients write overlapping byte ranges with
+/// overlapping virtual-time intervals and no lock grant. The sanitizer
+/// must name both actors and the file.
+#[test]
+fn unlocked_overlapping_writes_are_reported() {
+    let sim = Sim::new();
+    let (fs, san) = two_client_fs(&sim);
+    for client in 0..2usize {
+        let fh = fs.open("raced.out");
+        sim.spawn(format!("client{client}"), async move {
+            // Both start at t=0; service takes virtual time, so the two
+            // operations are concurrent and overlap on [4096, 8192).
+            let off = client as u64 * 4096;
+            fh.write_contiguous(EndpointId(client), off, 8192)
+                .await
+                .expect("write completes");
+        });
+    }
+    sim.run().expect("no deadlock");
+    let report = san.finish().expect("armed sanitizer yields a report");
+    assert!(!report.is_clean());
+    assert!(report.count_of(HazardKind::UnlockedOverlap) >= 1);
+    let h = report
+        .hazards
+        .iter()
+        .find(|h| h.kind == HazardKind::UnlockedOverlap)
+        .unwrap();
+    assert_eq!(h.file, "raced.out");
+    assert_eq!(h.actors, vec![0, 1], "both clients must be named");
+    assert!(h.range.len > 0, "conflicting byte range must be reported");
+}
+
+/// The same write pattern under lock grants is the sanctioned sieve
+/// pattern: serialized by the LockManager, hence never concurrent, hence
+/// clean.
+#[test]
+fn locked_overlapping_writes_are_clean() {
+    let sim = Sim::new();
+    let (fs, san) = two_client_fs(&sim);
+    for client in 0..2usize {
+        let fh = fs.open("locked.out");
+        sim.spawn(format!("client{client}"), async move {
+            let off = client as u64 * 4096;
+            let _guard = fh.lock_range(EndpointId(client), off, 8192).await;
+            fh.write_contiguous(EndpointId(client), off, 8192)
+                .await
+                .expect("write completes");
+        });
+    }
+    sim.run().expect("no deadlock");
+    let report = san.finish().expect("report");
+    assert!(
+        report.is_clean(),
+        "lock-serialized writes flagged: {:?}",
+        report.hazards
+    );
+}
+
+/// Hazard class (b): one client reads bytes another client has written
+/// but not yet synced — in the real system the reader may see either
+/// version depending on cache timing.
+#[test]
+fn read_of_unflushed_foreign_bytes_is_reported() {
+    let sim = Sim::new();
+    let (fs, san) = two_client_fs(&sim);
+    {
+        let fh = fs.open("dirty.out");
+        let s = sim.clone();
+        sim.spawn("writer", async move {
+            fh.write_contiguous(EndpointId(0), 0, 8192)
+                .await
+                .expect("write completes");
+            // No sync: the bytes stay dirty in the server-side cache.
+            s.sleep(SimTime::from_secs_f64(5.0)).await;
+        });
+    }
+    {
+        let fh = fs.open("dirty.out");
+        let s = sim.clone();
+        sim.spawn("reader", async move {
+            // Start well after the write has completed: the hazard is the
+            // missing sync, not timing overlap.
+            s.sleep(SimTime::from_secs_f64(2.0)).await;
+            fh.read_contiguous(EndpointId(1), 4096, 2048)
+                .await
+                .expect("read completes");
+            // After a sync the same read is sanctioned.
+            fh.sync(EndpointId(1)).await.expect("sync completes");
+            fh.read_contiguous(EndpointId(1), 4096, 2048)
+                .await
+                .expect("read completes");
+        });
+    }
+    sim.run().expect("no deadlock");
+    let report = san.finish().expect("report");
+    assert_eq!(
+        report.count_of(HazardKind::ReadAfterDirty),
+        1,
+        "exactly the pre-sync read must be flagged: {:?}",
+        report.hazards
+    );
+    assert!(report.count_of(HazardKind::UnlockedOverlap) == 0);
+}
+
+/// Hazard class (c): a strict subset of ranks enters `write_at_all`. The
+/// allgather deadlocks the run (as it would hang real MPI), and the
+/// sanitizer's report names the collective and the missing ranks.
+#[test]
+fn partial_collective_is_reported_with_missing_ranks() {
+    let sim = Sim::new();
+    let cfg = small_cfg();
+    let mpi = MpiConfig::default();
+    let nranks = 4usize;
+    let nodes = nranks.div_ceil(mpi.ranks_per_node);
+    let fabric = Rc::new(Fabric::new(nodes + cfg.servers, NetConfig::default()));
+    let world = World::with_fabric(&sim, nranks, mpi, Rc::clone(&fabric), 0);
+    let fs = FileSystem::new(&sim, cfg, fabric, nodes);
+    let san = SimSanitizer::armed();
+    fs.set_sanitizer(san.clone());
+
+    for rank in 0..nranks {
+        let comm = world.comm(rank);
+        let file = File::open(&comm, &fs, "coll.out", Hints::default());
+        sim.spawn(format!("rank{rank}"), async move {
+            if rank % 2 == 0 {
+                // Ranks 1 and 3 never show up: the collective hangs.
+                let _ = file
+                    .write_at_all(&[Region::new(rank as u64 * 1024, 1024)])
+                    .await;
+            }
+        });
+    }
+    let err = sim.run();
+    assert!(err.is_err(), "partial collective must deadlock the run");
+
+    let report = san.finish().expect("report");
+    assert_eq!(report.count_of(HazardKind::PartialCollective), 1);
+    let h = report
+        .hazards
+        .iter()
+        .find(|h| h.kind == HazardKind::PartialCollective)
+        .unwrap();
+    assert_eq!(h.file, "coll.out");
+    assert_eq!(h.actors, vec![0, 2], "entered ranks");
+    assert!(
+        h.detail.contains("missing [1, 3]"),
+        "absent ranks must be named: {}",
+        h.detail
+    );
+}
+
+fn sanitized(strategy: Strategy) -> SimParams {
+    SimParams::builder()
+        .procs(6)
+        .strategy(strategy)
+        .sanitize(true)
+        .with_workload(|w| {
+            w.queries = 4;
+            w.fragments = 16;
+            w.min_results = 100;
+            w.max_results = 200;
+        })
+        .build()
+        .expect("valid parameters")
+}
+
+/// Every shipped strategy — including WW-DS, whose sieve read-back and
+/// overlapping block write-backs are exactly what hazards (a) and (b)
+/// pattern-match — runs clean under the sanitizer.
+#[test]
+fn all_strategies_run_clean_under_the_sanitizer() {
+    for strategy in Strategy::EXTENDED_SET {
+        let report = try_run(&sanitized(strategy)).expect("run completes and verifies");
+        let san = report
+            .sanitizer
+            .as_ref()
+            .expect("sanitize=true yields a report");
+        assert!(
+            san.is_clean(),
+            "{strategy}: sanitizer flagged a verified-correct run: {:?}",
+            san.hazards
+        );
+    }
+}
+
+/// WW-DS with a worker crash and recovery: repair rewrites overlap the
+/// crashed worker's committed work, all under locks and syncs — still
+/// clean.
+#[test]
+fn ww_ds_under_fault_injection_is_clean() {
+    let mut p = sanitized(Strategy::WwSieve);
+    p.write_every_n_queries = 2;
+    p.faults = FaultParams {
+        worker_crashes: vec![(2, SimTime::from_millis(40))],
+        heartbeat_interval: SimTime::from_millis(50),
+        detection_timeout: SimTime::from_millis(400),
+        ..FaultParams::default()
+    };
+    let report = try_run(&p).expect("run recovers and verifies");
+    let faults = report.faults.as_ref().expect("fault report");
+    assert_eq!(faults.crashes, 1, "the crash must actually have happened");
+    let san = report.sanitizer.as_ref().expect("sanitizer report");
+    assert!(san.is_clean(), "recovery I/O flagged: {:?}", san.hazards);
+}
+
+/// Arming the sanitizer must not change what it watches: every report
+/// number is identical with it on and off.
+#[test]
+fn sanitizer_does_not_perturb_the_run() {
+    for strategy in Strategy::EXTENDED_SET {
+        let on: RunReport = try_run(&sanitized(strategy)).expect("run completes");
+        let mut params = sanitized(strategy);
+        params.sanitize = false;
+        let off = try_run(&params).expect("run completes");
+        assert!(on.sanitizer.is_some() && off.sanitizer.is_none());
+        assert_eq!(on.overall, off.overall, "{strategy}: overall changed");
+        assert_eq!(on.csv_row(), off.csv_row(), "{strategy}: report changed");
+        assert_eq!(on.master, off.master, "{strategy}: master phases changed");
+        assert_eq!(on.workers, off.workers, "{strategy}: worker phases changed");
+        assert_eq!(on.fs, off.fs, "{strategy}: fs stats changed");
+        assert_eq!(on.mpi, off.mpi, "{strategy}: mpi stats changed");
+        assert_eq!(on.engine, off.engine, "{strategy}: engine stats changed");
+    }
+}

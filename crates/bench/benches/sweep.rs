@@ -62,6 +62,27 @@ fn bench_strategy_io(c: &mut Criterion) {
     g.finish();
 }
 
+/// Replication-overhead series: the same WW-List run at r=1, r=2, r=3.
+/// The r=1 entry must stay on the exact pre-replication fast path — the
+/// regression gate pins it against the checked-in baseline — while the
+/// replicated entries price the quorum writes and block tracking.
+fn bench_replication(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replication_overhead");
+    g.sample_size(if quick() { 1 } else { 5 });
+    for replicas in [1usize, 2, 3] {
+        let mut params = small_params(8, Strategy::WwList);
+        if replicas > 1 {
+            params.testbed.pvfs.replicas = replicas;
+            params.testbed.pvfs.write_quorum = 2;
+            params.testbed.pvfs.failure_domains = 4;
+        }
+        g.bench_with_input(BenchmarkId::new("replicas", replicas), &params, |b, p| {
+            b.iter(|| run_batch(std::slice::from_ref(p), 1).expect("run verifies"))
+        });
+    }
+    g.finish();
+}
+
 fn bench_des_hot_path(c: &mut Criterion) {
     let mut g = c.benchmark_group("des_hot_path");
     g.sample_size(if quick() { 2 } else { 10 });
@@ -123,6 +144,7 @@ fn main() {
     let mut c = Criterion::default();
     bench_executor(&mut c);
     bench_strategy_io(&mut c);
+    bench_replication(&mut c);
     bench_des_hot_path(&mut c);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
     c.save_json(path).expect("write BENCH_sweep.json");

@@ -11,9 +11,16 @@
 //! repro colllist  the conclusion's proposed list-I/O collective vs. WW-Coll
 //! repro sieve     data-sieving crossover: WW-DS vs. WW-POSIX over worker count
 //! repro faults    recovery tax per strategy under injected faults
+//! repro replication  durability vs. write amplification: replicated PVFS under domain death
 //! repro trace     request-level observability capture (Chrome trace + metrics)
 //! repro all       everything above (figures share sweep runs)
 //! ```
+//!
+//! Exit codes distinguish the typed failure classes: `1` for generic
+//! failures (deadlock, verification, outage past the retry budget),
+//! `2` for usage/parameter errors, `3` when a read found every copy of
+//! a block corrupt (checksum mismatch), `4` when a write could not
+//! reach its replica quorum.
 //!
 //! `--trace-out FILE` (valid anywhere on the command line) redirects the
 //! `trace` command's Chrome JSON; giving the flag with no subcommand
@@ -32,15 +39,27 @@ use s3a_bench::{
     SIEVE_PROC_SWEEP,
 };
 use s3asim::{
-    default_threads, export_chrome, export_metrics_csv, run_batch, try_run, RunReport, SimError,
-    SimParams, Strategy,
+    default_threads, export_chrome, export_metrics_csv, run_batch, try_run, PvfsError, RunReport,
+    SimError, SimParams, Strategy,
 };
 
+/// Map a typed failure to a distinct process exit code so scripts can
+/// tell an unreachable server from rotten data from a missed quorum.
+fn exit_code(e: &SimError) -> i32 {
+    match e {
+        SimError::InvalidParams(_) => 2,
+        SimError::Io(PvfsError::ChecksumMismatch { .. }) => 3,
+        SimError::Io(PvfsError::InsufficientReplicas { .. }) => 4,
+        _ => 1,
+    }
+}
+
 /// Report a typed failure and exit — no panic backtrace for predictable
-/// errors (bad parameters, deadlock diagnosis, verification mismatch).
+/// errors (bad parameters, deadlock diagnosis, verification mismatch,
+/// unrecoverable I/O).
 fn fail(context: &str, e: &SimError) -> ! {
     eprintln!("repro: {context}: {e}");
-    std::process::exit(1);
+    std::process::exit(exit_code(e));
 }
 
 /// Run one configuration, exiting with a readable error on failure. The
@@ -522,6 +541,145 @@ fn faults() {
     write_results("faults.csv", &csv);
 }
 
+/// Replication study: durability vs. write amplification. For every
+/// strategy, four configurations run on the same workload — plain
+/// `r=1`, replicated `r=2` and `r=3` (`w=2`) over 4 failure domains,
+/// and `r=3` with one whole domain (4 of the 16 servers) losing power
+/// permanently mid-run. The replicated runs must survive the domain
+/// death with zero lost blocks and replay byte-identically; an `r=1`
+/// run on the same fault schedule must fail with the typed outage error
+/// instead of fabricating output.
+fn replication() {
+    use s3a_des::SimTime;
+    use s3asim::{DomainOutage, FaultParams};
+
+    let base = |strategy: Strategy, replicas: usize| {
+        let mut p = SimParams {
+            procs: 16,
+            strategy,
+            write_every_n_queries: 2,
+            ..SimParams::default()
+        };
+        if replicas > 1 {
+            p.testbed.pvfs.replicas = replicas;
+            p.testbed.pvfs.write_quorum = 2;
+            p.testbed.pvfs.failure_domains = 4;
+        }
+        p
+    };
+    let domain_death = || FaultParams {
+        domain_outages: vec![DomainOutage {
+            domain: 1,
+            from: SimTime::from_secs(2),
+            until: SimTime::from_secs(1_000_000),
+        }],
+        detection_timeout: SimTime::from_millis(500),
+        max_io_retries: 8,
+        io_retry_backoff: SimTime::from_millis(20),
+        ..FaultParams::default()
+    };
+
+    println!("==== Replication: durability vs. write amplification ====");
+    println!("(r=3, w=2 over 4 failure domains; at t=2s domain 1 — 4 of the");
+    println!(" 16 servers — loses power for good; background re-replication");
+    println!(" rebuilds every under-replicated block over the shared fabric)\n");
+    println!(
+        "{:>10} {:>9} {:>9} {:>9} {:>7} {:>10} {:>9} {:>8} {:>6} {:>6}",
+        "strategy",
+        "r=1",
+        "r=2",
+        "r=3",
+        "amp",
+        "r=3+death",
+        "repair-KB",
+        "repaired",
+        "dead",
+        "lost"
+    );
+
+    // Per strategy: r=1/2/3 clean, r=3 + domain death, and the death run
+    // again (the determinism replay) — all across the pool.
+    let params: Vec<SimParams> = Strategy::EXTENDED_SET
+        .iter()
+        .flat_map(|&s| {
+            let mut died = base(s, 3);
+            died.faults = domain_death();
+            [base(s, 1), base(s, 2), base(s, 3), died.clone(), died]
+        })
+        .collect();
+    let reports =
+        run_batch(&params, default_threads()).unwrap_or_else(|e| fail("replication study", &e));
+    let mut csv = String::from(
+        "strategy,config,overall_s,bytes_written,replica_bytes,repair_bytes,\
+         repaired_blocks,lost_blocks,servers_declared_dead\n",
+    );
+    for (set, &strategy) in reports.chunks(5).zip(Strategy::EXTENDED_SET.iter()) {
+        let (r1, r2, r3, died, again) = (&set[0], &set[1], &set[2], &set[3], &set[4]);
+        let f = died.faults.as_ref().expect("fault report");
+        assert_eq!(
+            died.fs.lost_blocks, 0,
+            "{strategy}: a domain death under r=3 must lose nothing"
+        );
+        assert_eq!(
+            died.csv_row(),
+            again.csv_row(),
+            "{strategy}: recovery must replay byte-identically"
+        );
+        assert_eq!(
+            died.fs, again.fs,
+            "{strategy}: recovery must replay byte-identically"
+        );
+        let amp =
+            (r3.fs.bytes_written + r3.fs.replica_bytes_written) as f64 / r3.fs.bytes_written as f64;
+        println!(
+            "{:>10} {:>8.2}s {:>8.2}s {:>8.2}s {:>6.2}x {:>9.2}s {:>9.0} {:>8} {:>6} {:>6}",
+            strategy.label(),
+            r1.overall.as_secs_f64(),
+            r2.overall.as_secs_f64(),
+            r3.overall.as_secs_f64(),
+            amp,
+            died.overall.as_secs_f64(),
+            died.fs.repair_bytes as f64 / 1024.0,
+            died.fs.repaired_blocks,
+            f.servers_declared_dead,
+            died.fs.lost_blocks
+        );
+        for (config, r) in [
+            ("r1", r1),
+            ("r2", r2),
+            ("r3", r3),
+            ("r3+domain-death", died),
+        ] {
+            let rf = r.faults.as_ref();
+            csv.push_str(&format!(
+                "{},{config},{:.3},{},{},{},{},{},{}\n",
+                strategy.label(),
+                r.overall.as_secs_f64(),
+                r.fs.bytes_written,
+                r.fs.replica_bytes_written,
+                r.fs.repair_bytes,
+                r.fs.repaired_blocks,
+                r.fs.lost_blocks,
+                rf.map_or(0, |f| f.servers_declared_dead)
+            ));
+        }
+    }
+    println!("  (each death run re-ran byte-identical: recovery is deterministic)\n");
+
+    println!("---- the same domain death without replication (WW-List, r=1) ----");
+    let mut honest = base(Strategy::WwList, 1);
+    honest.faults = domain_death();
+    match try_run(&honest) {
+        Err(e @ SimError::Io(_)) => println!(
+            "  fails honestly: {e}\n  (repro would exit with code {})\n",
+            exit_code(&e)
+        ),
+        Ok(_) => panic!("an unreplicated run cannot survive a permanent domain death"),
+        Err(e) => fail("unreplicated domain death", &e),
+    }
+    write_results("replication.csv", &csv);
+}
+
 /// Design-choice sensitivity studies (DESIGN.md §6): each varies one knob
 /// the paper holds fixed and reports the simulated overall time.
 fn ablations() {
@@ -747,6 +905,16 @@ fn trace_capture(out: Option<&str>) {
 }
 
 fn main() {
+    // A fatal simulated I/O error unwinds as a typed payload that the
+    // fallible runner entry points catch; when one still reaches a
+    // thread boundary, the default "panicked at ..." noise adds nothing
+    // to the typed message `fail` prints — suppress it for this payload.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if info.payload().downcast_ref::<s3asim::IoFailure>().is_none() {
+            default_hook(info);
+        }
+    }));
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut trace_out: Option<String> = None;
     if let Some(i) = args.iter().position(|a| a == "--trace-out") {
@@ -775,6 +943,7 @@ fn main() {
         "sieve" => sieve(),
         "ablate" => ablations(),
         "faults" => faults(),
+        "replication" => replication(),
         "segmentation" => segmentation(),
         "trace" => trace_capture(trace_out.as_deref()),
         "all" => {
@@ -790,11 +959,12 @@ fn main() {
             segmentation();
             ablations();
             faults();
+            replication();
             trace_capture(trace_out.as_deref());
         }
         other => {
             eprintln!("unknown target '{other}'");
-            eprintln!("usage: repro [--trace-out FILE] [fig2|fig3|fig4|fig5|fig6|fig7|claims|colllist|sieve|segmentation|ablate|faults|trace|all]");
+            eprintln!("usage: repro [--trace-out FILE] [fig2|fig3|fig4|fig5|fig6|fig7|claims|colllist|sieve|segmentation|ablate|faults|replication|trace|all]");
             std::process::exit(2);
         }
     }

@@ -67,8 +67,8 @@ pub use resume::{
     ResumePoint,
 };
 pub use runner::{
-    run, run_with_restart, try_run, try_run_with_restart, FaultCtx, RestartOutcome, SimError,
-    DATABASE_FILE, OUTPUT_FILE,
+    run, run_with_restart, try_run, try_run_with_restart, FaultCtx, IoFailure, RestartOutcome,
+    SimError, DATABASE_FILE, OUTPUT_FILE,
 };
 pub use sweep::{default_threads, run_batch, run_batch_with, Point, Sweep, SweepOptions};
 pub use trace::{Trace, TraceEvent, TraceSink};
@@ -79,7 +79,8 @@ pub use worker::WorkerStats;
 // examples) imports from one crate instead of four.
 pub use s3a_des::{Deadlock, SimTime};
 pub use s3a_faults::{
-    FaultEvent, FaultKind, FaultParams, FaultReport, ServerOutage, ServerSlowdown,
+    DomainOutage, FaultEvent, FaultKind, FaultParams, FaultReport, ServerCorruption, ServerOutage,
+    ServerSlowdown,
 };
 pub use s3a_obs::{CounterSample, Histogram, ObsReport, ObsSink, SpanEvent, Track};
-pub use s3a_pvfs::{Hazard, HazardKind, SanitizerReport, SimSanitizer};
+pub use s3a_pvfs::{Hazard, HazardKind, PvfsError, SanitizerReport, SimSanitizer};

@@ -202,21 +202,21 @@ async fn run_master_normal(
                             pending_io = Some(sim.spawn("mw-bg-io", async move {
                                 fh.write_contiguous(ep, base, total)
                                     .await
-                                    .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
+                                    .unwrap_or_else(|e| crate::runner::io_failure(e));
                                 fh.sync(ep)
                                     .await
-                                    .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
+                                    .unwrap_or_else(|e| crate::runner::io_failure(e));
                                 commits2.complete_by(b, 0, sim3.now());
                             }));
                         } else {
                             timer
                                 .track(Phase::Io, file.write_at(base, total))
                                 .await
-                                .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
+                                .unwrap_or_else(|e| crate::runner::io_failure(e));
                             timer
                                 .track(Phase::Io, file.sync())
                                 .await
-                                .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
+                                .unwrap_or_else(|e| crate::runner::io_failure(e));
                             commits.complete_by(b, 0, sim.now());
                         }
                     }
@@ -432,11 +432,11 @@ async fn run_master_faulty(
                     timer
                         .track(Phase::Io, file.write_at(base, total))
                         .await
-                        .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
+                        .unwrap_or_else(|e| crate::runner::io_failure(e));
                     timer
                         .track(Phase::Io, file.sync())
                         .await
-                        .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
+                        .unwrap_or_else(|e| crate::runner::io_failure(e));
                     commits.complete_by(b, 0, sim.now());
                 }
             } else {

@@ -302,6 +302,26 @@ impl SimParams {
         if self.ind_wr_buffer_size == 0 {
             return Err(ParamError::ZeroIndWrBuffer);
         }
+        let pv = &self.testbed.pvfs;
+        if pv.replicas == 0 {
+            return Err(ParamError::ZeroReplicas);
+        }
+        if pv.write_quorum == 0 || pv.write_quorum > pv.replicas {
+            return Err(ParamError::InvalidWriteQuorum {
+                quorum: pv.write_quorum,
+                replicas: pv.replicas,
+            });
+        }
+        let domains = s3a_pvfs::effective_domains(pv.servers, pv.failure_domains);
+        if pv.replicas > domains {
+            return Err(ParamError::ReplicasExceedDomains {
+                replicas: pv.replicas,
+                domains,
+            });
+        }
+        if self.faults.max_io_retries == 0 {
+            return Err(ParamError::ZeroRetryLimit);
+        }
         if self.faults.crashes() {
             if self.query_sync || self.strategy.inherently_synchronizing() {
                 return Err(ParamError::CrashesNeedFreeRunningWorkers {
@@ -396,6 +416,27 @@ pub enum ParamError {
         /// Configured detection timeout.
         timeout: SimTime,
     },
+    /// The replication factor cannot be zero — even an unreplicated file
+    /// has its one primary copy.
+    ZeroReplicas,
+    /// The write quorum must satisfy `1 <= w <= replicas`.
+    InvalidWriteQuorum {
+        /// The rejected quorum.
+        quorum: usize,
+        /// The configured replication factor.
+        replicas: usize,
+    },
+    /// Replica placement needs at least as many failure domains as
+    /// replicas — otherwise two copies would share a domain.
+    ReplicasExceedDomains {
+        /// The configured replication factor.
+        replicas: usize,
+        /// Effective failure-domain count (`0` config = one per server).
+        domains: usize,
+    },
+    /// The I/O retry limit cannot be zero: a single outage tick would
+    /// fail every request instantly with no backoff at all.
+    ZeroRetryLimit,
 }
 
 impl std::fmt::Display for ParamError {
@@ -436,6 +477,18 @@ impl std::fmt::Display for ParamError {
                 "heartbeat interval {interval} must undercut the detection \
                  timeout {timeout}"
             ),
+            ParamError::ZeroReplicas => write!(f, "replicas must be >= 1"),
+            ParamError::InvalidWriteQuorum { quorum, replicas } => write!(
+                f,
+                "write quorum must satisfy 1 <= w <= replicas, got w={quorum} \
+                 with r={replicas}"
+            ),
+            ParamError::ReplicasExceedDomains { replicas, domains } => write!(
+                f,
+                "replicas ({replicas}) exceed the {domains} effective failure \
+                 domains — two copies would share a domain"
+            ),
+            ParamError::ZeroRetryLimit => write!(f, "retry limit must be >= 1"),
         }
     }
 }
@@ -542,7 +595,51 @@ impl SimParamsBuilder {
         self
     }
 
+    /// Replication factor `r`: copies of every PVFS block, each in a
+    /// distinct failure domain. 1 = the paper's unreplicated store.
+    pub fn replicas(mut self, r: usize) -> Self {
+        self.params.testbed.pvfs.replicas = r;
+        self
+    }
+
+    /// Write quorum `w <= r`: block copies that must land before a write
+    /// reports success.
+    pub fn write_quorum(mut self, w: usize) -> Self {
+        self.params.testbed.pvfs.write_quorum = w;
+        self
+    }
+
+    /// Simulated failure domains the PVFS servers are grouped into
+    /// (0 = every server its own domain).
+    pub fn failure_domains(mut self, domains: usize) -> Self {
+        self.params.testbed.pvfs.failure_domains = domains;
+        self
+    }
+
+    /// Background checksum-scrub period (`SimTime::ZERO` disables it).
+    pub fn scrub_interval(mut self, interval: SimTime) -> Self {
+        self.params.testbed.pvfs.scrub_interval = interval;
+        self
+    }
+
+    /// I/O retry budget for server-outage windows — replaces the
+    /// schedule's default retry constant. Zero is rejected at build time.
+    pub fn retry_limit(mut self, retries: u32) -> Self {
+        self.params.faults.max_io_retries = retries;
+        self
+    }
+
+    /// Backoff between I/O retries during a server outage.
+    pub fn backoff_base(mut self, backoff: SimTime) -> Self {
+        self.params.faults.io_retry_backoff = backoff;
+        self
+    }
+
     /// Deterministic fault injection plan.
+    ///
+    /// Overwrites the whole plan — call [`SimParamsBuilder::retry_limit`]
+    /// / [`SimParamsBuilder::backoff_base`] *after* this to adjust the
+    /// retry policy of an injected plan.
     pub fn faults(mut self, faults: FaultParams) -> Self {
         self.params.faults = faults;
         self
@@ -824,6 +921,76 @@ mod tests {
         assert!(ParamError::CrashRankNotWorker { rank: 9, procs: 4 }
             .to_string()
             .contains("crash rank 9 is not a worker (1..4)"));
+    }
+
+    #[test]
+    fn builder_rejects_bad_replication_configs() {
+        assert_eq!(
+            SimParams::builder().replicas(0).build().unwrap_err(),
+            ParamError::ZeroReplicas
+        );
+        assert_eq!(
+            SimParams::builder()
+                .replicas(2)
+                .write_quorum(3)
+                .build()
+                .unwrap_err(),
+            ParamError::InvalidWriteQuorum {
+                quorum: 3,
+                replicas: 2
+            }
+        );
+        assert_eq!(
+            SimParams::builder()
+                .replicas(2)
+                .write_quorum(0)
+                .build()
+                .unwrap_err(),
+            ParamError::InvalidWriteQuorum {
+                quorum: 0,
+                replicas: 2
+            }
+        );
+        // 16 servers in 4 domains cannot hold 5 domain-disjoint copies.
+        assert_eq!(
+            SimParams::builder()
+                .replicas(5)
+                .write_quorum(1)
+                .failure_domains(4)
+                .build()
+                .unwrap_err(),
+            ParamError::ReplicasExceedDomains {
+                replicas: 5,
+                domains: 4
+            }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_zero_retry_limit() {
+        assert_eq!(
+            SimParams::builder().retry_limit(0).build().unwrap_err(),
+            ParamError::ZeroRetryLimit
+        );
+    }
+
+    #[test]
+    fn builder_replication_and_retry_setters_land_in_params() {
+        let p = SimParams::builder()
+            .replicas(3)
+            .write_quorum(2)
+            .failure_domains(4)
+            .scrub_interval(SimTime::from_secs(5))
+            .retry_limit(7)
+            .backoff_base(SimTime::from_millis(3))
+            .build()
+            .expect("valid replicated config");
+        assert_eq!(p.testbed.pvfs.replicas, 3);
+        assert_eq!(p.testbed.pvfs.write_quorum, 2);
+        assert_eq!(p.testbed.pvfs.failure_domains, 4);
+        assert_eq!(p.testbed.pvfs.scrub_interval, SimTime::from_secs(5));
+        assert_eq!(p.faults.max_io_retries, 7);
+        assert_eq!(p.faults.io_retry_backoff, SimTime::from_millis(3));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use s3a_mpi::World;
 use s3a_mpiio::{File, Hints};
 use s3a_net::Fabric;
 use s3a_obs::ObsSink;
-use s3a_pvfs::{FileSystem, SimSanitizer};
+use s3a_pvfs::{FileSystem, PvfsError, SimSanitizer};
 use s3a_workload::Workload;
 
 use crate::master::run_master;
@@ -63,6 +63,10 @@ pub enum SimError {
     /// The run completed but its output file failed verification (a byte
     /// missing, duplicated, or unflushed).
     Verification(String),
+    /// A rank hit an unrecoverable file-system error — an outage past
+    /// the retry budget, a write below its replica quorum, or a block
+    /// with every copy rotten.
+    Io(PvfsError),
 }
 
 impl fmt::Display for SimError {
@@ -71,6 +75,7 @@ impl fmt::Display for SimError {
             SimError::InvalidParams(e) => write!(f, "invalid parameters: {e}"),
             SimError::Deadlock(d) => write!(f, "S3aSim run deadlocked: {d}"),
             SimError::Verification(e) => write!(f, "output verification failed: {e}"),
+            SimError::Io(e) => write!(f, "PVFS I/O failed: {e}"),
         }
     }
 }
@@ -81,7 +86,42 @@ impl std::error::Error for SimError {
             SimError::InvalidParams(e) => Some(e),
             SimError::Deadlock(d) => Some(d),
             SimError::Verification(_) => None,
+            SimError::Io(e) => Some(e),
         }
+    }
+}
+
+/// Panic payload a master/worker task throws on an unrecoverable PVFS
+/// error (simulated MPI has no error returns across ranks — a fatal I/O
+/// error aborts the "job", exactly like `MPI_Abort`). The fallible entry
+/// points catch it and surface [`SimError::Io`]; `repro` additionally
+/// installs a panic hook that suppresses the default backtrace for this
+/// payload.
+pub struct IoFailure(
+    /// The typed file-system error that aborted the run.
+    pub PvfsError,
+);
+
+impl fmt::Debug for IoFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IoFailure({})", self.0)
+    }
+}
+
+/// Abort the simulated job with a typed I/O error (see [`IoFailure`]).
+pub(crate) fn io_failure(e: PvfsError) -> ! {
+    std::panic::panic_any(IoFailure(e))
+}
+
+/// Run `execute`, converting an [`IoFailure`] unwind back into a typed
+/// [`SimError::Io`]. Any other panic (a genuine bug) keeps unwinding.
+fn execute_caught(params: &SimParams) -> Result<RunReport, SimError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute(params))) {
+        Ok(r) => r,
+        Err(payload) => match payload.downcast::<IoFailure>() {
+            Ok(io) => Err(SimError::Io(io.0)),
+            Err(other) => std::panic::resume_unwind(other),
+        },
     }
 }
 
@@ -106,7 +146,7 @@ impl From<Deadlock> for SimError {
 /// MPI traffic and file traffic contend for the same links, as on the
 /// paper's testbed.
 pub fn try_run(params: &SimParams) -> Result<RunReport, SimError> {
-    let report = execute(params)?;
+    let report = execute_caught(params)?;
     report.verify().map_err(SimError::Verification)?;
     Ok(report)
 }
@@ -117,7 +157,7 @@ pub fn try_run(params: &SimParams) -> Result<RunReport, SimError> {
 /// [`try_run`] returns `Err` (except verification, which remains the
 /// caller's explicit step via [`RunReport::verify`], as it always was).
 pub fn run(params: &SimParams) -> RunReport {
-    execute(params).unwrap_or_else(|e| panic!("{e}"))
+    execute_caught(params).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// The shared simulation body: validates, assembles the cluster, drives
@@ -140,15 +180,27 @@ fn execute(params: &SimParams) -> Result<RunReport, SimError> {
 
     // Arm the fault machinery. Message faults live in the fabric, server
     // faults in the file system; crash handling lives in the master and
-    // worker loops, which receive the whole context.
-    let faults_ctx = params.faults.any().then(|| FaultCtx {
-        schedule: FaultSchedule::new(params.faults.clone()),
+    // worker loops, which receive the whole context. Domain-scoped
+    // outages are expanded into per-server outages here, where the
+    // testbed shape (server count, failure-domain count) is known.
+    let faults = params
+        .faults
+        .expand_domains(tb.pvfs.servers, tb.pvfs.failure_domains);
+    let faults_ctx = faults.any().then(|| FaultCtx {
+        schedule: FaultSchedule::new(faults.clone()),
         log: FaultLog::new(),
     });
     if let Some(ctx) = &faults_ctx {
         fabric.set_faults(Rc::clone(&ctx.schedule), ctx.log.clone());
         fs.set_faults(Rc::clone(&ctx.schedule), ctx.log.clone());
     }
+
+    // Background maintenance (failure detection, repair, scrub) only
+    // runs when the file system tracks block replicas; plain runs keep
+    // the exact pre-replication task set, byte for byte.
+    let maint = (tb.pvfs.replicas > 1 || tb.pvfs.scrub_interval > SimTime::ZERO)
+        .then(|| fs.spawn_maintenance(faults.heartbeat_interval));
+    let replicated = tb.pvfs.replicas > 1;
 
     // Arm observability before any `File::open` (files inherit the file
     // system's sink at open time). Recording never changes virtual-time
@@ -248,6 +300,7 @@ fn execute(params: &SimParams) -> Result<RunReport, SimError> {
     // Drive to completion; collect per-rank breakdowns.
     let collector = {
         let sim2 = sim.clone();
+        let fs2 = fs.clone();
         sim.spawn("collector", async move {
             let master = master_join.join().await;
             let mut workers = Vec::with_capacity(worker_joins.len());
@@ -261,6 +314,17 @@ fn execute(params: &SimParams) -> Result<RunReport, SimError> {
             // engine may drain a few in-flight transfer bookkeeping tasks
             // a moment longer; those are not application time.)
             let overall = sim2.now();
+            // Recovery epilogue: stop the perpetual maintenance loop so
+            // the engine can terminate, then drain any re-replication
+            // still outstanding so the report shows final block health.
+            // Happens after `overall` is taken — the epilogue is repair
+            // tax, not application time.
+            if let Some(m) = &maint {
+                m.stop();
+            }
+            if replicated {
+                fs2.drain_repairs().await;
+            }
             (overall, master, workers, worker_stats)
         })
     };
@@ -345,12 +409,12 @@ pub fn try_run_with_restart(
     params: &SimParams,
     kill_at: SimTime,
 ) -> Result<RestartOutcome, SimError> {
-    let first = execute(params)?;
+    let first = execute_caught(params)?;
     let resume = restart_point(&first.commits, kill_at);
     let mut resumed = params.clone();
     resumed.faults = FaultParams::default();
     resumed.resume_from = Some(resume.clone());
-    let second = execute(&resumed)?;
+    let second = execute_caught(&resumed)?;
     let outcome = RestartOutcome {
         first,
         resume,

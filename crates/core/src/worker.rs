@@ -167,7 +167,7 @@ pub async fn run_worker(
                     timer
                         .track(Phase::Io, db.read_contiguous(file.endpoint(), 0, reload))
                         .await
-                        .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
+                        .unwrap_or_else(|e| crate::runner::io_failure(e));
                 }
                 let startups = match params.segmentation {
                     Segmentation::Database => 1,
@@ -253,10 +253,10 @@ pub async fn run_worker(
                 let t0 = sim.now();
                 file.write_regions(&regions, method)
                     .await
-                    .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
+                    .unwrap_or_else(|e| crate::runner::io_failure(e));
                 file.sync()
                     .await
-                    .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
+                    .unwrap_or_else(|e| crate::runner::io_failure(e));
                 timer.add(Phase::Recovery, sim.now().saturating_sub(t0));
                 state.stats.regions_written += regions.len();
                 state.stats.bytes_written += bytes;
@@ -405,11 +405,11 @@ async fn handle_offsets(
                 timer
                     .track(Phase::Io, file.write_regions(&regions, WriteMethod::Posix))
                     .await
-                    .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
+                    .unwrap_or_else(|e| crate::runner::io_failure(e));
                 timer
                     .track(Phase::Io, file.sync())
                     .await
-                    .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
+                    .unwrap_or_else(|e| crate::runner::io_failure(e));
             }
         }
         Strategy::WwList | Strategy::WwCollList => {
@@ -417,11 +417,11 @@ async fn handle_offsets(
                 timer
                     .track(Phase::Io, file.write_regions(&regions, WriteMethod::ListIo))
                     .await
-                    .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
+                    .unwrap_or_else(|e| crate::runner::io_failure(e));
                 timer
                     .track(Phase::Io, file.sync())
                     .await
-                    .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
+                    .unwrap_or_else(|e| crate::runner::io_failure(e));
             }
         }
         Strategy::WwSieve => {
@@ -434,11 +434,11 @@ async fn handle_offsets(
                         file.write_regions(&regions, WriteMethod::DataSieve),
                     )
                     .await
-                    .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
+                    .unwrap_or_else(|e| crate::runner::io_failure(e));
                 timer
                     .track(Phase::Io, file.sync())
                     .await
-                    .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
+                    .unwrap_or_else(|e| crate::runner::io_failure(e));
             }
         }
         Strategy::WwColl => {
@@ -448,7 +448,7 @@ async fn handle_offsets(
             let t = file
                 .write_at_all_timed(&regions)
                 .await
-                .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
+                .unwrap_or_else(|e| crate::runner::io_failure(e));
             // The collective ran synchronize-then-exchange back to back;
             // record the two sub-intervals where they actually happened.
             let now = workers_comm.sim().now();
@@ -459,7 +459,7 @@ async fn handle_offsets(
             timer
                 .track(Phase::Io, file.sync())
                 .await
-                .unwrap_or_else(|e| panic!("PVFS I/O failed: {e}"));
+                .unwrap_or_else(|e| crate::runner::io_failure(e));
         }
     }
 

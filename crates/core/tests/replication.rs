@@ -1,0 +1,179 @@
+//! End-to-end replication tests: a replicated run must survive a
+//! permanent failure-domain death with zero lost blocks and stay
+//! byte-identical across replays, while an unreplicated run on the same
+//! fault schedule must report the failure honestly as a typed error.
+
+use s3a_workload::WorkloadParams;
+use s3asim::{
+    try_run, DomainOutage, FaultParams, PvfsError, ServerCorruption, SimError, SimParams, SimTime,
+    Strategy,
+};
+
+fn small(strategy: Strategy) -> SimParams {
+    SimParams {
+        procs: 5,
+        strategy,
+        write_every_n_queries: 2,
+        workload: WorkloadParams {
+            queries: 8,
+            fragments: 8,
+            min_results: 30,
+            max_results: 80,
+            ..WorkloadParams::default()
+        },
+        ..SimParams::default()
+    }
+}
+
+/// One failure domain loses power forever at `at_ms`; failure detection
+/// and the retry budget are tightened so the run reacts within the short
+/// simulated workload.
+fn domain_death(domain: usize, at_ms: u64) -> FaultParams {
+    FaultParams {
+        domain_outages: vec![DomainOutage {
+            domain,
+            from: SimTime::from_millis(at_ms),
+            until: SimTime::from_secs(1_000_000),
+        }],
+        detection_timeout: SimTime::from_millis(5),
+        max_io_retries: 4,
+        io_retry_backoff: SimTime::from_millis(1),
+        ..FaultParams::default()
+    }
+}
+
+fn replicated(strategy: Strategy) -> SimParams {
+    let mut params = small(strategy);
+    params.testbed.pvfs.replicas = 3;
+    params.testbed.pvfs.write_quorum = 2;
+    params.testbed.pvfs.failure_domains = 4;
+    params
+}
+
+#[test]
+fn replicated_run_survives_permanent_domain_death_with_zero_lost_blocks() {
+    for strategy in [Strategy::Mw, Strategy::WwPosix, Strategy::WwList] {
+        let mut params = replicated(strategy);
+        params.faults = domain_death(1, 30);
+        let report = try_run(&params).unwrap_or_else(|e| panic!("{strategy}: {e}"));
+        report
+            .verify()
+            .unwrap_or_else(|e| panic!("{strategy}: {e}"));
+        // A quarter of the 16 servers (domain 1) died for good...
+        let f = report.faults.as_ref().expect("fault report present");
+        assert_eq!(f.servers_declared_dead, 4, "{strategy}");
+        // ...yet no block lost its last copy, and the repair planner
+        // rebuilt the missing copies over the fabric.
+        assert_eq!(report.fs.lost_blocks, 0, "{strategy}");
+        assert!(report.fs.repaired_blocks > 0, "{strategy}");
+        assert!(report.fs.repair_bytes > 0, "{strategy}");
+        assert_eq!(
+            f.blocks_re_replicated, report.fs.repaired_blocks,
+            "{strategy}"
+        );
+    }
+}
+
+#[test]
+fn replicated_domain_death_replays_byte_identically() {
+    let mut params = replicated(Strategy::WwList);
+    params.faults = domain_death(1, 30);
+    let a = try_run(&params).expect("first replay");
+    let b = try_run(&params).expect("second replay");
+    assert_eq!(a.csv_row(), b.csv_row());
+    assert_eq!(a.fs, b.fs);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.phase_table(), b.phase_table());
+}
+
+#[test]
+fn unreplicated_run_reports_domain_death_honestly() {
+    // Same fault schedule, replicas = 1: the run cannot limp through a
+    // permanent domain death. It must fail with the typed outage error —
+    // not hang, not fabricate a complete output.
+    let mut params = small(Strategy::WwList);
+    params.faults = domain_death(1, 30);
+    match try_run(&params) {
+        Err(SimError::Io(PvfsError::ServerUnavailable { .. })) => {}
+        other => panic!("expected a typed outage error, got {other:?}"),
+    }
+}
+
+#[test]
+fn below_quorum_write_surfaces_typed_error() {
+    // Both members of a 2-way placement cannot be reached at quorum 2
+    // once an entire half of the domains is dark from t=0.
+    let mut params = small(Strategy::Mw);
+    params.testbed.pvfs.replicas = 2;
+    params.testbed.pvfs.write_quorum = 2;
+    params.testbed.pvfs.failure_domains = 2;
+    params.faults = domain_death(0, 0);
+    params.faults.detection_timeout = SimTime::from_millis(1);
+    match try_run(&params) {
+        Err(SimError::Io(PvfsError::InsufficientReplicas { got, need, .. })) => {
+            assert_eq!(need, 2);
+            assert!(got < 2);
+        }
+        Err(SimError::Io(PvfsError::ServerUnavailable { .. })) => {
+            // Equally honest: the write died retrying into the outage
+            // before the failure detector fenced the domain.
+        }
+        other => panic!("expected a typed quorum/outage error, got {other:?}"),
+    }
+}
+
+#[test]
+fn replication_tax_is_time_not_bytes_lost() {
+    // Clean runs: r=3 writes 3x the block bytes (write amplification)
+    // but produces the same verified output as r=1.
+    let clean1 = try_run(&small(Strategy::WwList)).expect("r=1 clean");
+    let clean3 = try_run(&replicated(Strategy::WwList)).expect("r=3 clean");
+    assert_eq!(clean1.covered_bytes, clean3.covered_bytes);
+    assert_eq!(clean1.fs.replica_bytes_written, 0);
+    assert!(
+        clean3.fs.replica_bytes_written >= 2 * clean3.fs.bytes_written,
+        "two extra copies per block: {} replica bytes vs {} primary",
+        clean3.fs.replica_bytes_written,
+        clean3.fs.bytes_written
+    );
+    assert_eq!(clean3.fs.lost_blocks, 0);
+    assert_eq!(clean3.fs.repaired_blocks, 0, "nothing to repair cleanly");
+}
+
+#[test]
+fn scrub_and_repair_heal_silent_corruption_during_a_run() {
+    let mut params = replicated(Strategy::WwList);
+    // The workload runs ~5 virtual seconds with scrub on; rot sets in
+    // mid-run so there are replicas written before it (only those can
+    // rot) and scrub passes after it (only those can catch it).
+    params.testbed.pvfs.scrub_interval = SimTime::from_millis(100);
+    params.faults = FaultParams {
+        server_corruptions: vec![ServerCorruption {
+            server: 2,
+            at: SimTime::from_millis(3000),
+            per_mille: 1000,
+        }],
+        ..FaultParams::default()
+    };
+    let report = try_run(&params).expect("corruption under r=3 is survivable");
+    report.verify().expect("output still exact");
+    assert!(report.fs.scrubbed_blocks > 0, "scrub ran");
+    assert!(
+        report.fs.checksum_failures > 0,
+        "rot on server 2 must be detected"
+    );
+    assert!(report.fs.repaired_blocks > 0, "detected rot must be healed");
+    assert_eq!(report.fs.lost_blocks, 0);
+}
+
+#[test]
+fn unreplicated_runs_keep_their_exact_legacy_behaviour() {
+    // The replication machinery must be invisible at r=1: same bytes,
+    // zero new counters.
+    let report = try_run(&small(Strategy::WwPosix)).expect("clean r=1");
+    assert_eq!(report.fs.replica_bytes_written, 0);
+    assert_eq!(report.fs.repair_bytes, 0);
+    assert_eq!(report.fs.checksum_failures, 0);
+    assert_eq!(report.fs.scrubbed_blocks, 0);
+    assert_eq!(report.fs.lost_blocks, 0);
+}

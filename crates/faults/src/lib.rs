@@ -51,6 +51,39 @@ pub struct ServerOutage {
     pub until: SimTime,
 }
 
+/// A window during which *every* server in one failure domain is
+/// unavailable — the "rack loses power" case replicated placement is
+/// built to survive. Domains are resolved to concrete servers by
+/// [`FaultParams::expand_domains`] (a server belongs to domain
+/// `server % failure_domains`), because only the file-system layer knows
+/// the server count and domain count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DomainOutage {
+    /// Failure-domain index (0-based).
+    pub domain: usize,
+    /// Start of the outage (inclusive).
+    pub from: SimTime,
+    /// End of the outage (exclusive). Use a far-future time for a
+    /// permanent domain death.
+    pub until: SimTime,
+}
+
+/// Latent silent corruption on one server: from `at` onward, each block
+/// replica written to the server *before* `at` is corrupt with
+/// probability `per_mille`/1000 (decided by a deterministic per-block
+/// hash, so replays see the same rot). The corruption is silent — it is
+/// only *observed* when a checksum verification (read or scrub) touches
+/// the replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerCorruption {
+    /// Server index (0-based).
+    pub server: usize,
+    /// When the rot sets in.
+    pub at: SimTime,
+    /// Per-mille probability that a given resident block is corrupted.
+    pub per_mille: u16,
+}
+
 /// Complete description of the faults injected into one run. The default
 /// value injects nothing.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,6 +111,12 @@ pub struct FaultParams {
     pub server_slowdowns: Vec<ServerSlowdown>,
     /// Server outage windows.
     pub server_outages: Vec<ServerOutage>,
+    /// Whole-failure-domain outage windows (see [`DomainOutage`]); the
+    /// runner expands these into per-server outages once the server and
+    /// domain counts are known.
+    pub domain_outages: Vec<DomainOutage>,
+    /// Latent silent-corruption windows (see [`ServerCorruption`]).
+    pub server_corruptions: Vec<ServerCorruption>,
     /// How often live workers heartbeat the master.
     pub heartbeat_interval: SimTime,
     /// Silence threshold after which the master declares a worker dead.
@@ -101,6 +140,8 @@ impl Default for FaultParams {
             msg_retransmit_timeout: SimTime::from_millis(1),
             server_slowdowns: Vec::new(),
             server_outages: Vec::new(),
+            domain_outages: Vec::new(),
+            server_corruptions: Vec::new(),
             heartbeat_interval: SimTime::from_millis(250),
             detection_timeout: SimTime::from_secs(3),
             max_io_retries: 64,
@@ -118,6 +159,38 @@ impl FaultParams {
             || self.msg_delay_per_mille > 0
             || !self.server_slowdowns.is_empty()
             || !self.server_outages.is_empty()
+            || !self.domain_outages.is_empty()
+            || !self.server_corruptions.is_empty()
+    }
+
+    /// Resolve every [`DomainOutage`] into per-server [`ServerOutage`]
+    /// windows for a deployment of `servers` servers grouped into
+    /// `failure_domains` domains (`failure_domains == 0` means each
+    /// server is its own domain). Pure: the result is a new parameter
+    /// set with `domain_outages` drained into `server_outages`, in
+    /// ascending server order so replays stay identical.
+    pub fn expand_domains(&self, servers: usize, failure_domains: usize) -> FaultParams {
+        let mut out = self.clone();
+        if out.domain_outages.is_empty() {
+            return out;
+        }
+        let domains = if failure_domains == 0 {
+            servers
+        } else {
+            failure_domains.min(servers)
+        };
+        for d in std::mem::take(&mut out.domain_outages) {
+            for server in 0..servers {
+                if domains > 0 && server % domains == d.domain {
+                    out.server_outages.push(ServerOutage {
+                        server,
+                        from: d.from,
+                        until: d.until,
+                    });
+                }
+            }
+        }
+        out
     }
 
     /// True if any worker crash is scheduled (this is what switches the
@@ -145,8 +218,11 @@ pub enum MsgFault {
     Delay,
 }
 
-/// SplitMix64 finalizer: a cheap, well-mixed 64-bit hash.
-fn splitmix64(mut z: u64) -> u64 {
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit hash. Public because
+/// it is the repo's one sanctioned seeded hash: the replica placement
+/// layer reuses it for rendezvous scores so placement decisions replay
+/// bit-identically.
+pub fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -241,6 +317,33 @@ impl FaultSchedule {
             .map(|o| o.until)
             .max()
     }
+
+    /// Silent-corruption oracle: is the replica of block `block` (of the
+    /// file identified by `salt`) that was written to `server` at
+    /// `written_at` corrupt when inspected at `now`? Deterministic — the
+    /// per-block coin is a hash of (seed, salt, block, server), so a
+    /// replay, a read, and a scrub all see the same rot.
+    pub fn block_corrupted(
+        &self,
+        server: usize,
+        salt: u64,
+        block: u64,
+        written_at: SimTime,
+        now: SimTime,
+    ) -> bool {
+        self.params.server_corruptions.iter().any(|c| {
+            if c.server != server || written_at >= c.at || now < c.at {
+                return false;
+            }
+            let key = self
+                .params
+                .seed
+                .wrapping_add(splitmix64(salt))
+                .wrapping_add(splitmix64(block.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+                .wrapping_add((server as u64) << 17);
+            ((splitmix64(key) % 1000) as u16) < c.per_mille
+        })
+    }
 }
 
 /// One recorded fault-related occurrence.
@@ -264,6 +367,14 @@ pub enum FaultKind {
     /// A committed-offset batch lost with a dead worker was bundled for
     /// recomputation and rewrite by a survivor.
     BatchRepaired { batch: usize, bytes: u64 },
+    /// The repair planner declared a PVFS server permanently dead (its
+    /// outage window outlasts the failure detector's patience).
+    ServerDeclaredDead { server: usize },
+    /// A checksum verification (read-path or scrub) caught a corrupt
+    /// block replica on a server.
+    BlockCorruptionDetected { server: usize, block: u64 },
+    /// The repair planner re-replicated one block replica onto a server.
+    BlockReplicated { server: usize, bytes: u64 },
 }
 
 /// A timestamped [`FaultKind`].
@@ -332,6 +443,12 @@ impl FaultLog {
                     r.batches_repaired += 1;
                     r.bytes_repaired += bytes;
                 }
+                FaultKind::ServerDeclaredDead { .. } => r.servers_declared_dead += 1,
+                FaultKind::BlockCorruptionDetected { .. } => r.corruptions_detected += 1,
+                FaultKind::BlockReplicated { server: _, bytes } => {
+                    r.blocks_re_replicated += 1;
+                    r.bytes_re_replicated += bytes;
+                }
             }
         }
         r
@@ -362,6 +479,14 @@ pub struct FaultReport {
     pub batches_repaired: u64,
     /// Output bytes rewritten through batch repair.
     pub bytes_repaired: u64,
+    /// PVFS servers the repair planner declared permanently dead.
+    pub servers_declared_dead: u64,
+    /// Corrupt block replicas caught by checksum verification.
+    pub corruptions_detected: u64,
+    /// Block replicas rebuilt by background re-replication.
+    pub blocks_re_replicated: u64,
+    /// Bytes moved by background re-replication (the recovery storm).
+    pub bytes_re_replicated: u64,
 }
 
 impl fmt::Display for FaultReport {
@@ -369,7 +494,8 @@ impl fmt::Display for FaultReport {
         write!(
             f,
             "crashes={} detected={} (latency {}) reassigned={} repaired={} ({} B) \
-             msg lost/dup/delayed={}/{}/{} io-retries={}",
+             msg lost/dup/delayed={}/{}/{} io-retries={} dead-servers={} \
+             corruptions={} re-replicated={} ({} B)",
             self.crashes,
             self.detections,
             self.detection_latency,
@@ -380,6 +506,10 @@ impl fmt::Display for FaultReport {
             self.msg_duplicated,
             self.msg_delayed,
             self.io_retries,
+            self.servers_declared_dead,
+            self.corruptions_detected,
+            self.blocks_re_replicated,
+            self.bytes_re_replicated,
         )
     }
 }
@@ -494,6 +624,116 @@ mod tests {
         );
         assert_eq!(s.server_outage_until(0, SimTime::from_secs(4)), None);
         assert_eq!(s.server_outage_until(1, SimTime::from_millis(3500)), None);
+    }
+
+    #[test]
+    fn domain_outage_expands_to_member_servers() {
+        let p = FaultParams {
+            domain_outages: vec![DomainOutage {
+                domain: 1,
+                from: SimTime::from_secs(1),
+                until: SimTime::from_secs(9),
+            }],
+            ..FaultParams::default()
+        };
+        assert!(p.any());
+        // 8 servers in 4 domains: domain 1 = servers {1, 5}.
+        let e = p.expand_domains(8, 4);
+        assert!(e.domain_outages.is_empty());
+        let down: Vec<usize> = e.server_outages.iter().map(|o| o.server).collect();
+        assert_eq!(down, vec![1, 5]);
+        for o in &e.server_outages {
+            assert_eq!(o.from, SimTime::from_secs(1));
+            assert_eq!(o.until, SimTime::from_secs(9));
+        }
+        // failure_domains == 0: every server is its own domain.
+        let solo = p.expand_domains(8, 0);
+        let down: Vec<usize> = solo.server_outages.iter().map(|o| o.server).collect();
+        assert_eq!(down, vec![1]);
+    }
+
+    #[test]
+    fn corruption_oracle_is_deterministic_and_windowed() {
+        let p = FaultParams {
+            seed: 7,
+            server_corruptions: vec![ServerCorruption {
+                server: 2,
+                at: SimTime::from_secs(5),
+                per_mille: 1000, // every resident block rots
+            }],
+            ..FaultParams::default()
+        };
+        assert!(p.any());
+        let s = FaultSchedule::new(p);
+        let early = SimTime::from_secs(1);
+        let late = SimTime::from_secs(6);
+        // Written before the rot, inspected after it: corrupt.
+        assert!(s.block_corrupted(2, 99, 0, early, late));
+        // Inspected before the rot sets in: still clean.
+        assert!(!s.block_corrupted(2, 99, 0, early, SimTime::from_secs(2)));
+        // Written after the rot (e.g. a repair rewrite): clean.
+        assert!(!s.block_corrupted(2, 99, 0, late, late));
+        // Different server: untouched.
+        assert!(!s.block_corrupted(1, 99, 0, early, late));
+        // Replays agree.
+        for blk in 0..32 {
+            let a = s.block_corrupted(2, 123, blk, early, late);
+            let b = s.block_corrupted(2, 123, blk, early, late);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn corruption_oracle_respects_per_mille() {
+        let p = FaultParams {
+            seed: 11,
+            server_corruptions: vec![ServerCorruption {
+                server: 0,
+                at: SimTime::from_secs(1),
+                per_mille: 300,
+            }],
+            ..FaultParams::default()
+        };
+        let s = FaultSchedule::new(p);
+        let hit = (0..1000u64)
+            .filter(|&b| s.block_corrupted(0, 5, b, SimTime::ZERO, SimTime::from_secs(2)))
+            .count();
+        assert!((150..450).contains(&hit), "corrupted {hit}/1000");
+    }
+
+    #[test]
+    fn replication_events_fold_into_report() {
+        let log = FaultLog::new();
+        let t = SimTime::from_secs;
+        log.record(t(1), FaultKind::ServerDeclaredDead { server: 3 });
+        log.record(
+            t(2),
+            FaultKind::BlockCorruptionDetected {
+                server: 1,
+                block: 7,
+            },
+        );
+        log.record(
+            t(3),
+            FaultKind::BlockReplicated {
+                server: 4,
+                bytes: 65536,
+            },
+        );
+        log.record(
+            t(4),
+            FaultKind::BlockReplicated {
+                server: 5,
+                bytes: 1024,
+            },
+        );
+        let r = log.report();
+        assert_eq!(r.servers_declared_dead, 1);
+        assert_eq!(r.corruptions_detected, 1);
+        assert_eq!(r.blocks_re_replicated, 2);
+        assert_eq!(r.bytes_re_replicated, 66560);
+        assert!(r.to_string().contains("dead-servers=1"));
+        assert!(r.to_string().contains("re-replicated=2"));
     }
 
     #[test]

@@ -1,0 +1,32 @@
+// Fixture: the tempting-but-wrong repair/scrub implementation. Tracking
+// degraded blocks in hash-ordered collections makes the repair queue's
+// drain order per-process random, and picking replacement replicas with
+// an OS-entropy RNG makes placement unreproducible — the shipped modules
+// (crates/pvfs/src/replica.rs, fs.rs) use BTree maps and the seeded
+// rendezvous hash instead. Not compiled — scanned as text by the
+// self-tests.
+use std::collections::{HashMap, HashSet};
+
+struct RepairPlanner {
+    degraded: HashMap<u64, Vec<usize>>,
+    scrubbed: HashSet<u64>,
+}
+
+impl RepairPlanner {
+    fn drain(&mut self) -> Vec<u64> {
+        let mut queue = Vec::new();
+        for (block, _survivors) in &self.degraded {
+            queue.push(*block);
+        }
+        queue
+    }
+
+    fn pick_target(&self, live: &[usize]) -> usize {
+        let mut rng = rand::thread_rng();
+        live[rng.gen_range(0..live.len())]
+    }
+
+    fn scrub_order(&self) -> Vec<u64> {
+        self.scrubbed.iter().copied().collect()
+    }
+}

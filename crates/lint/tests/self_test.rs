@@ -80,6 +80,45 @@ fn bad_waiver_fixture_reports_and_does_not_suppress() {
 }
 
 #[test]
+fn raced_repair_fixture_trips_unordered_iter_and_seedless_rng() {
+    let (v, suppressed) = fixture("raced_repair.rs");
+    let unordered = v.iter().filter(|v| v.rule == "unordered-iter").count();
+    let seedless = v.iter().filter(|v| v.rule == "seedless-rng").count();
+    assert!(unordered >= 3, "HashMap field + HashSet + import: {v:?}");
+    assert!(seedless >= 1, "thread_rng target pick: {v:?}");
+    assert!(
+        v.iter()
+            .all(|v| v.rule == "unordered-iter" || v.rule == "seedless-rng"),
+        "{v:?}"
+    );
+    assert_eq!(suppressed, 0, "the bad sketch must not hide behind waivers");
+}
+
+/// The real repair planner and scrub task the fixture caricatures: the
+/// shipped pvfs modules (replica placement, block tracking, repair queue,
+/// scrub loop) pass the determinism rules outright — BTree maps and the
+/// seeded rendezvous hash, zero waivers.
+#[test]
+fn shipped_repair_and_scrub_modules_lint_clean_without_waivers() {
+    let pvfs_src = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .join("pvfs")
+        .join("src");
+    for module in ["replica.rs", "fs.rs"] {
+        let path = pvfs_src.join(module);
+        assert!(path.is_file(), "missing module {}", path.display());
+        let report = lint_paths(std::slice::from_ref(&path)).unwrap();
+        assert!(
+            report.is_clean(),
+            "{module} has violations:\n{}",
+            report.render_text()
+        );
+        assert_eq!(report.waivers_used, 0, "{module} leans on a waiver");
+    }
+}
+
+#[test]
 fn every_rule_has_at_least_one_firing_fixture() {
     let fixtures = [
         "wall_clock.rs",

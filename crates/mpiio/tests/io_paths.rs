@@ -47,6 +47,7 @@ fn cluster(nranks: usize) -> Cluster {
         req_header_bytes: 64,
         region_desc_bytes: 16,
         read_window: 4,
+        ..PvfsConfig::default()
     };
     let nodes = nranks.div_ceil(mpi_cfg.ranks_per_node);
     let fabric = Rc::new(Fabric::new(nodes + pvfs_cfg.servers, net));

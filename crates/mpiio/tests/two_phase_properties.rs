@@ -38,6 +38,7 @@ fn fast_pvfs() -> PvfsConfig {
         req_header_bytes: 32,
         region_desc_bytes: 16,
         read_window: 4,
+        ..PvfsConfig::default()
     }
 }
 

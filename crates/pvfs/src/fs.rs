@@ -27,7 +27,7 @@
 //! the servers' per-request overheads saturate.
 
 use std::cell::{Cell, RefCell};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::rc::Rc;
 
@@ -38,11 +38,14 @@ use s3a_obs::{ObsSink, Track};
 
 use crate::layout::{Layout, Region};
 use crate::lock::{LockGuard, LockManager};
+use crate::replica::{
+    self, expected_checksum, file_salt, place_block, repair_target, BlockReplica, BlockState,
+    ReplicaHealth,
+};
 use crate::sanitizer::SimSanitizer;
 
-/// Typed errors for file-system operations. The only runtime failure the
-/// model produces today is a server outage outlasting the client's retry
-/// budget; callers decide whether that is fatal.
+/// Typed errors for file-system operations; callers decide whether each
+/// is fatal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PvfsError {
     /// A server stayed unavailable through every allowed retry.
@@ -52,6 +55,24 @@ pub enum PvfsError {
         /// How many retries were spent before giving up.
         retries: u32,
     },
+    /// Every stored replica of a block failed CRC32 verification on
+    /// read — the data is present but provably rotten.
+    ChecksumMismatch {
+        /// The server whose copy failed verification last.
+        server: usize,
+        /// The affected block (strip) index.
+        block: u64,
+    },
+    /// A write could not reach its configured quorum: fewer than
+    /// `write_quorum` replicas of a block landed.
+    InsufficientReplicas {
+        /// The affected block (strip) index.
+        block: u64,
+        /// Replicas that actually landed.
+        got: usize,
+        /// The configured write quorum.
+        need: usize,
+    },
 }
 
 impl fmt::Display for PvfsError {
@@ -60,6 +81,16 @@ impl fmt::Display for PvfsError {
             PvfsError::ServerUnavailable { server, retries } => write!(
                 f,
                 "PVFS server {server} unavailable after {retries} retries"
+            ),
+            PvfsError::ChecksumMismatch { server, block } => write!(
+                f,
+                "checksum mismatch on block {block}: every replica corrupt \
+                 (last read from server {server})"
+            ),
+            PvfsError::InsufficientReplicas { block, got, need } => write!(
+                f,
+                "block {block} reached only {got} of the {need} replicas \
+                 required by the write quorum"
             ),
         }
     }
@@ -105,6 +136,19 @@ pub struct PvfsConfig {
     /// pipeline far better than the era's sync-after-every-write writes,
     /// so this window is larger than `client_window`.
     pub read_window: u64,
+    /// Replication factor `r`: copies of every block, each in a distinct
+    /// failure domain (see [`crate::replica`]). 1 = the paper's
+    /// unreplicated PVFS.
+    pub replicas: usize,
+    /// Write quorum `w <= r`: replicas of every block that must land
+    /// before a write reports success.
+    pub write_quorum: usize,
+    /// Simulated failure domains servers are grouped into (domain of
+    /// server `s` is `s % failure_domains`). 0 = every server is its own
+    /// domain.
+    pub failure_domains: usize,
+    /// Background scrub period; `SimTime::ZERO` disables scrubbing.
+    pub scrub_interval: SimTime,
 }
 
 impl Default for PvfsConfig {
@@ -125,6 +169,10 @@ impl Default for PvfsConfig {
             req_header_bytes: 64,
             region_desc_bytes: 16,
             read_window: 8,
+            replicas: 1,
+            write_quorum: 1,
+            failure_domains: 0,
+            scrub_interval: SimTime::ZERO,
         }
     }
 }
@@ -146,6 +194,22 @@ pub struct FsStats {
     pub read_requests: u64,
     /// Payload bytes read.
     pub bytes_read: u64,
+    /// Extra payload bytes written to non-primary replicas — the write
+    /// amplification of `replicas > 1`.
+    pub replica_bytes_written: u64,
+    /// Bytes moved by background re-replication.
+    pub repair_bytes: u64,
+    /// Blocks rebuilt by the repair planner.
+    pub repaired_blocks: u64,
+    /// Replica copies that failed checksum verification (read or scrub).
+    pub checksum_failures: u64,
+    /// Replica copies verified by the background scrub.
+    pub scrubbed_blocks: u64,
+    /// Blocks left with zero intact replicas — unrecoverable data loss.
+    pub lost_blocks: u64,
+    /// Dirty bytes whose flush was abandoned because their server was
+    /// declared dead; the data survives only through other replicas.
+    pub lost_flush_bytes: u64,
 }
 
 struct Server {
@@ -206,6 +270,11 @@ impl FileMeta {
 struct FileEntry {
     meta: RefCell<FileMeta>,
     locks: LockManager,
+    /// Deterministic per-file salt for replica placement and checksums.
+    salt: u64,
+    /// Replica state per block index; populated only when the run tracks
+    /// blocks (`replicas > 1`, a scrub interval, or corruption faults).
+    blocks: RefCell<BTreeMap<u64, BlockState>>,
 }
 
 struct FsInner {
@@ -220,6 +289,15 @@ struct FsInner {
     faults: RefCell<Option<FsFaults>>,
     obs: RefCell<ObsSink>,
     san: RefCell<SimSanitizer>,
+    /// Blocks awaiting repair: (file name, block index).
+    repair_queue: RefCell<BTreeSet<(String, u64)>>,
+    /// Servers the repair planner has declared dead (fenced: requests to
+    /// them fail immediately instead of burning the retry budget).
+    dead: RefCell<BTreeSet<usize>>,
+    /// Blocks currently below their replication target.
+    degraded: Cell<u64>,
+    /// Blocks with no intact copy left, each counted once.
+    lost: RefCell<BTreeSet<(String, u64)>>,
 }
 
 /// Server-degradation oracle plus the shared event log, installed with
@@ -263,6 +341,58 @@ impl FsInner {
     fn san(&self) -> SimSanitizer {
         self.san.borrow().clone()
     }
+
+    /// Whether this run keeps per-block replica/checksum state. False for
+    /// a plain `replicas = 1` run with no scrub and no corruption faults,
+    /// which therefore takes exactly the pre-replication code paths.
+    fn tracks_blocks(&self) -> bool {
+        self.cfg.replicas > 1
+            || self.cfg.scrub_interval > SimTime::ZERO
+            || self
+                .faults
+                .borrow()
+                .as_ref()
+                .is_some_and(|f| !f.schedule.params().server_corruptions.is_empty())
+    }
+
+    /// True when the planner has declared `server` dead, or the fault
+    /// schedule shows it unresponsive past the detection timeout (the
+    /// planner just hasn't polled yet).
+    fn presumed_dead(&self, server: usize) -> bool {
+        if self.dead.borrow().contains(&server) {
+            return true;
+        }
+        self.fault_hooks().is_some_and(|(sched, _)| {
+            let p = sched.params();
+            let now = self.sim.now();
+            p.server_outages.iter().any(|o| {
+                o.server == server
+                    && o.from <= now
+                    && now < o.until
+                    && now - o.from >= p.detection_timeout
+            })
+        })
+    }
+
+    /// Account a block's degraded-state transition: entering degradation
+    /// queues it for repair; leaving (overwrite or repair) dequeues it.
+    fn note_block_transition(&self, name: &str, block: u64, was: bool, is: bool) {
+        if !was && is {
+            self.degraded.set(self.degraded.get() + 1);
+            self.repair_queue
+                .borrow_mut()
+                .insert((name.to_string(), block));
+            let obs = self.obs();
+            if obs.is_recording() {
+                obs.add("pvfs.degraded_blocks", 1);
+            }
+        } else if was && !is {
+            self.degraded.set(self.degraded.get().saturating_sub(1));
+            self.repair_queue
+                .borrow_mut()
+                .remove(&(name.to_string(), block));
+        }
+    }
 }
 
 /// Handle to the simulated parallel file system. Cheap to clone.
@@ -284,6 +414,18 @@ impl FileSystem {
             endpoint_base
         );
         assert!(cfg.flow_unit > 0 && cfg.list_io_max_regions > 0 && cfg.client_window > 0);
+        assert!(
+            cfg.replicas >= 1 && cfg.write_quorum >= 1 && cfg.write_quorum <= cfg.replicas,
+            "need 1 <= write_quorum ({}) <= replicas ({})",
+            cfg.write_quorum,
+            cfg.replicas
+        );
+        assert!(
+            cfg.replicas <= replica::effective_domains(cfg.servers, cfg.failure_domains),
+            "replicas ({}) must fit in {} failure domains",
+            cfg.replicas,
+            replica::effective_domains(cfg.servers, cfg.failure_domains)
+        );
         FileSystem {
             inner: Rc::new(FsInner {
                 sim: sim.clone(),
@@ -302,6 +444,10 @@ impl FileSystem {
                 faults: RefCell::new(None),
                 obs: RefCell::new(ObsSink::disabled()),
                 san: RefCell::new(SimSanitizer::disabled()),
+                repair_queue: RefCell::new(BTreeSet::new()),
+                dead: RefCell::new(BTreeSet::new()),
+                degraded: Cell::new(0),
+                lost: RefCell::new(BTreeSet::new()),
             }),
         }
     }
@@ -367,6 +513,8 @@ impl FileSystem {
                         size: 0,
                     }),
                     locks: LockManager::new(),
+                    salt: file_salt(name),
+                    blocks: RefCell::new(BTreeMap::new()),
                 })
             }))
         };
@@ -391,6 +539,86 @@ impl FileSystem {
     pub fn server_requests(&self, s: usize) -> u64 {
         self.inner.servers[s].requests.get()
     }
+
+    /// Blocks currently below their replication target.
+    pub fn degraded_blocks(&self) -> u64 {
+        self.inner.degraded.get()
+    }
+
+    /// Servers the repair planner has declared dead.
+    pub fn dead_servers(&self) -> Vec<usize> {
+        self.inner.dead.borrow().iter().copied().collect()
+    }
+
+    /// Spawn the background maintenance task: every `poll` of virtual
+    /// time it runs the failure-detection planner (declaring servers dead
+    /// once an outage outlives the detection timeout and marking their
+    /// replicas `Missing`), drains the repair queue by re-replicating
+    /// degraded blocks through the normal fabric, and — when
+    /// `scrub_interval` is set — periodically re-reads and re-verifies
+    /// every resident replica. Call [`MaintenanceHandle::stop`] when the
+    /// workload finishes so the simulation can terminate.
+    pub fn spawn_maintenance(&self, poll: SimTime) -> MaintenanceHandle {
+        assert!(poll > SimTime::ZERO, "maintenance poll must be positive");
+        let stop = Rc::new(Cell::new(false));
+        let flag = Rc::clone(&stop);
+        let inner = Rc::clone(&self.inner);
+        let sim = self.inner.sim.clone();
+        let mut next_scrub =
+            (inner.cfg.scrub_interval > SimTime::ZERO).then(|| inner.cfg.scrub_interval);
+        self.inner.sim.spawn("pvfs-maint", async move {
+            loop {
+                sim.sleep(poll).await;
+                if flag.get() {
+                    break;
+                }
+                planner_pass(&inner);
+                repair_pass(&inner, &sim).await;
+                if let Some(t) = next_scrub {
+                    if sim.now() >= t {
+                        scrub_pass(&inner, &sim).await;
+                        next_scrub = Some(sim.now() + inner.cfg.scrub_interval);
+                    }
+                }
+                if flag.get() {
+                    break;
+                }
+            }
+        });
+        MaintenanceHandle { stop }
+    }
+
+    /// Run the repair planner to completion right now: declare dead
+    /// servers, then re-replicate degraded blocks until the queue is
+    /// empty or no further repair can make progress. Returns the number
+    /// of blocks rebuilt. This is the runner's post-workload repair
+    /// phase; the background task spawned by
+    /// [`FileSystem::spawn_maintenance`] does the same work
+    /// incrementally.
+    pub async fn drain_repairs(&self) -> u64 {
+        planner_pass(&self.inner);
+        repair_pass(&self.inner, &self.inner.sim.clone()).await
+    }
+}
+
+/// Stop flag for the background maintenance task spawned by
+/// [`FileSystem::spawn_maintenance`]. Without a stop the perpetual
+/// maintenance loop would keep the simulation from terminating.
+pub struct MaintenanceHandle {
+    stop: Rc<Cell<bool>>,
+}
+
+impl MaintenanceHandle {
+    /// Ask the maintenance loop to exit at its next wake-up.
+    pub fn stop(&self) {
+        self.stop.set(true);
+    }
+}
+
+impl std::fmt::Debug for MaintenanceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MaintenanceHandle").finish_non_exhaustive()
+    }
 }
 
 /// One request bound for one server.
@@ -398,6 +626,9 @@ struct ServerRequest {
     server: usize,
     regions: Vec<Region>,
     bytes: u64,
+    /// Carries a non-primary replica copy; its payload counts as write
+    /// amplification rather than foreground bytes.
+    replica: bool,
 }
 
 /// Pack a per-server region list into requests bounded by the flow unit
@@ -417,6 +648,7 @@ fn pack_requests(
                 server,
                 regions: std::mem::take(cur),
                 bytes: *cur_bytes,
+                replica: false,
             });
             *cur_bytes = 0;
         }
@@ -526,16 +758,64 @@ impl FileHandle {
         let cfg = &self.fs.cfg;
         let layout = self.fs.layout();
         let per_server = layout.map_regions(transfer);
+        let tracking = self.fs.tracks_blocks();
+        let r = cfg.replicas;
+
+        // Block bookkeeping: bytes landing in each touched block, the
+        // placement of each block, and — for `r > 1` — the replica
+        // regions mirrored onto the placement's secondary servers.
+        let mut blocks_touched: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut placements: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        let mut rep_regions: BTreeMap<usize, Vec<Region>> = BTreeMap::new();
+        if tracking {
+            for reg in transfer {
+                let mut off = reg.offset;
+                let end = reg.end();
+                while off < end {
+                    let block = off / cfg.strip_size;
+                    let len = ((block + 1) * cfg.strip_size).min(end) - off;
+                    *blocks_touched.entry(block).or_insert(0) += len;
+                    let pl = placements.entry(block).or_insert_with(|| {
+                        place_block(self.file.salt, block, cfg.servers, cfg.failure_domains, r)
+                    });
+                    for &t in pl.iter().skip(1) {
+                        let list = rep_regions.entry(t).or_default();
+                        match list.last_mut() {
+                            Some(last) if last.end() == off => last.len += len,
+                            _ => list.push(Region::new(off, len)),
+                        }
+                    }
+                    off += len;
+                }
+            }
+        }
+
+        // Fencing: once the planner has declared a server dead, writes
+        // stop addressing it — its copies go straight to Missing and the
+        // quorum check decides whether the operation still succeeds.
+        let dead: BTreeSet<usize> = if r > 1 {
+            self.fs.dead.borrow().clone()
+        } else {
+            BTreeSet::new()
+        };
 
         let mut requests: Vec<ServerRequest> = Vec::new();
         for (s, (regs, _)) in per_server.iter().enumerate() {
-            if !regs.is_empty() {
+            if !regs.is_empty() && !dead.contains(&s) {
                 requests.extend(pack_requests(
                     s,
                     regs,
                     cfg.flow_unit,
                     cfg.list_io_max_regions,
                 ));
+            }
+        }
+        for (&t, regs) in &rep_regions {
+            if !dead.contains(&t) {
+                for mut req in pack_requests(t, regs, cfg.flow_unit, cfg.list_io_max_regions) {
+                    req.replica = true;
+                    requests.push(req);
+                }
             }
         }
         if requests.is_empty() {
@@ -553,43 +833,118 @@ impl FileHandle {
             let fs = Rc::clone(&self.fs);
             let win = window.clone();
             let s = sim.clone();
-            joins.push(sim.spawn("pvfs-req", async move {
-                let r = run_write_request(&fs, &s, client_ep, req).await;
-                win.release(1);
-                r
-            }));
+            let srv = req.server;
+            joins.push((
+                srv,
+                sim.spawn("pvfs-req", async move {
+                    let r = run_write_request(&fs, &s, client_ep, req).await;
+                    win.release(1);
+                    r
+                }),
+            ));
         }
-        let mut result = Ok(());
-        for j in joins {
-            let r = j.join().await;
-            if result.is_ok() {
-                result = r;
+        // Server-granular failure attribution: any failed request on a
+        // server marks every copy that server was receiving as failed.
+        let mut failed: BTreeSet<usize> = dead;
+        let mut first_err: Option<PvfsError> = None;
+        for (srv, j) in joins {
+            if let Err(e) = j.join().await {
+                failed.insert(srv);
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
             }
         }
-        if let Err(e) = result {
+
+        // Completion rule. Unreplicated: all-or-nothing exactly as
+        // before. Replicated: each block must land on at least
+        // `write_quorum` of its `r` placements; the operation fails
+        // whole if any block misses quorum.
+        let op_err = if r == 1 {
+            first_err
+        } else {
+            blocks_touched.keys().find_map(|&block| {
+                let got = placements[&block]
+                    .iter()
+                    .filter(|s| !failed.contains(s))
+                    .count();
+                (got < cfg.write_quorum).then_some(PvfsError::InsufficientReplicas {
+                    block,
+                    got,
+                    need: cfg.write_quorum,
+                })
+            })
+        };
+        if let Some(e) = op_err {
             san.write_end(&self.name, op, false, record, self.fs.sim.now());
             return Err(e);
         }
 
         // Record on completion (data content is not simulated): the
-        // operation either lands in the extent map and the write-back
-        // cache as a whole, or — on any request failure — not at all.
+        // operation either lands in the extent map as a whole or — on
+        // quorum failure — not at all. Dirty bytes are honest per
+        // server: a copy that never reached its server's cache is not
+        // dirty there; its block is queued for repair instead.
         {
             let mut meta = self.file.meta.borrow_mut();
             for r in record {
                 meta.note_write(r.offset, r.len);
             }
+            let mut dirty_delta: Vec<u64> = vec![0; cfg.servers];
             for (s, (_, bytes)) in per_server.iter().enumerate() {
-                meta.dirty[s] += bytes;
+                if !failed.contains(&s) {
+                    dirty_delta[s] += bytes;
+                }
+            }
+            for (&t, regs) in &rep_regions {
+                if !failed.contains(&t) {
+                    dirty_delta[t] += regs.iter().map(|r| r.len).sum::<u64>();
+                }
+            }
+            for (s, d) in dirty_delta.iter().enumerate() {
+                meta.dirty[s] += *d;
             }
             let obs = self.fs.obs();
             if obs.is_recording() {
                 let now = self.fs.sim.now();
-                for (s, (_, bytes)) in per_server.iter().enumerate() {
-                    if *bytes > 0 {
+                for (s, d) in dirty_delta.iter().enumerate() {
+                    if *d > 0 {
                         obs.sample(Track::Server(s), "pvfs.dirty_bytes", now, meta.dirty[s]);
                     }
                 }
+            }
+        }
+        if tracking {
+            let now = self.fs.sim.now();
+            let salt = self.file.salt;
+            let mut blocks = self.file.blocks.borrow_mut();
+            for (&block, &len) in &blocks_touched {
+                let pl = &placements[&block];
+                let prev = blocks.get(&block);
+                let was = prev.is_some_and(|st| st.degraded());
+                let bytes = prev
+                    .map_or(0, |st| st.bytes)
+                    .saturating_add(len)
+                    .min(cfg.strip_size);
+                let state = BlockState {
+                    replicas: pl
+                        .iter()
+                        .map(|&s| BlockReplica {
+                            server: s,
+                            health: if failed.contains(&s) {
+                                ReplicaHealth::Missing
+                            } else {
+                                ReplicaHealth::Clean
+                            },
+                            written_at: now,
+                            checksum: expected_checksum(salt, block),
+                        })
+                        .collect(),
+                    bytes,
+                };
+                let is = state.degraded();
+                blocks.insert(block, state);
+                self.fs.note_block_transition(&self.name, block, was, is);
             }
         }
         san.write_end(&self.name, op, true, record, self.fs.sim.now());
@@ -641,6 +996,9 @@ impl FileHandle {
                 self.fs.sim.now(),
             );
         }
+        if self.fs.tracks_blocks() {
+            return self.read_verified(client_ep, offset, len).await;
+        }
         let cfg = &self.fs.cfg;
         let layout = self.fs.layout();
         let per_server = layout.map_regions(&[Region::new(offset, len)]);
@@ -668,6 +1026,58 @@ impl FileHandle {
             let s = sim.clone();
             joins.push(sim.spawn("pvfs-read", async move {
                 let r = run_read_request(&fs, &s, client_ep, req).await;
+                win.release(1);
+                r
+            }));
+        }
+        let mut result = Ok(());
+        for j in joins {
+            let r = j.join().await;
+            if result.is_ok() {
+                result = r;
+            }
+        }
+        result
+    }
+
+    /// Checksum-verified read path, used whenever the run tracks block
+    /// state. The range is split at block (strip) boundaries; each block
+    /// reads from its first intact replica, verifies the stored checksum
+    /// against the block's identity (and the corruption oracle), and on
+    /// a mismatch marks the copy `Corrupt`, queues it for repair, and
+    /// fails over to the next replica. Only when every copy is rotten or
+    /// unreachable does the read return an error.
+    async fn read_verified(
+        &self,
+        client_ep: EndpointId,
+        offset: u64,
+        len: u64,
+    ) -> Result<(), PvfsError> {
+        if len == 0 {
+            return Ok(());
+        }
+        let cfg = &self.fs.cfg;
+        let mut pieces: Vec<(u64, Region)> = Vec::new();
+        let mut off = offset;
+        let end = offset + len;
+        while off < end {
+            let block = off / cfg.strip_size;
+            let take = ((block + 1) * cfg.strip_size).min(end) - off;
+            pieces.push((block, Region::new(off, take)));
+            off += take;
+        }
+        let sim = self.fs.sim.clone();
+        let window = Semaphore::new(&sim, cfg.read_window);
+        let mut joins = Vec::with_capacity(pieces.len());
+        for (block, piece) in pieces {
+            window.acquire(1).await;
+            let fs = Rc::clone(&self.fs);
+            let file = Rc::clone(&self.file);
+            let name = Rc::clone(&self.name);
+            let win = window.clone();
+            let s = sim.clone();
+            joins.push(sim.spawn("pvfs-read", async move {
+                let r = read_block_verified(&fs, &s, &file, &name, client_ep, block, piece).await;
                 win.release(1);
                 r
             }));
@@ -742,6 +1152,15 @@ impl FileHandle {
         let mut result = Ok(());
         for (s, j) in joins.into_iter().enumerate() {
             if let Err(e) = j.join().await {
+                if self.fs.cfg.replicas > 1 && self.fs.presumed_dead(s) {
+                    // The server is dead, not slow: its cache — and these
+                    // dirty bytes — are gone for good. Retrying the flush
+                    // would lie about durability; the data survives only
+                    // through the other replicas, which the repair
+                    // planner re-spreads.
+                    self.fs.bump(|st| st.lost_flush_bytes += dirty[s]);
+                    continue;
+                }
                 // This server's flush never reached its disk: put the
                 // claimed bytes back so the retry (or the restart's sync)
                 // flushes them — and pays their full `disk_bw` time —
@@ -780,6 +1199,34 @@ impl FileHandle {
     pub fn dirty_bytes(&self) -> u64 {
         self.file.meta.borrow().dirty.iter().sum()
     }
+
+    /// Minimum intact-replica count over this file's tracked blocks —
+    /// the file's effective replication factor. `None` when no block is
+    /// tracked (unreplicated runs, or nothing written yet).
+    pub fn min_clean_replicas(&self) -> Option<usize> {
+        self.file
+            .blocks
+            .borrow()
+            .values()
+            .map(|s| s.clean_count())
+            .min()
+    }
+
+    /// Tracked blocks of this file currently below their replication
+    /// target.
+    pub fn degraded_block_count(&self) -> u64 {
+        self.file
+            .blocks
+            .borrow()
+            .values()
+            .filter(|s| s.degraded())
+            .count() as u64
+    }
+
+    /// Blocks with per-replica state tracked for this file.
+    pub fn tracked_blocks(&self) -> u64 {
+        self.file.blocks.borrow().len() as u64
+    }
 }
 
 /// How one request's time at the server broke down: wait in the FIFO
@@ -800,6 +1247,13 @@ async fn serve_with_faults(
     server: usize,
     service: SimTime,
 ) -> Result<ServeInfo, PvfsError> {
+    // Fencing: a server the planner declared dead fails fast instead of
+    // burning the whole retry/backoff budget. The set is only ever
+    // populated by the replicated-mode planner, so unreplicated runs
+    // never take this branch.
+    if fs.dead.borrow().contains(&server) {
+        return Err(PvfsError::ServerUnavailable { server, retries: 0 });
+    }
     let hooks = fs.fault_hooks();
     let service = if let Some((sched, log)) = &hooks {
         let p = sched.params();
@@ -879,7 +1333,11 @@ async fn run_write_request(
     fs.bump(|st| {
         st.requests += 1;
         st.regions += req.regions.len() as u64;
-        st.bytes_written += req.bytes;
+        if req.replica {
+            st.replica_bytes_written += req.bytes;
+        } else {
+            st.bytes_written += req.bytes;
+        }
     });
     fs.fabric
         .transfer(
@@ -973,6 +1431,375 @@ async fn run_read_request(
     Ok(())
 }
 
+/// Read one block's piece from its first intact replica, verifying and
+/// failing over (see [`FileHandle::read_contiguous`]).
+async fn read_block_verified(
+    fs: &Rc<FsInner>,
+    sim: &Sim,
+    file: &Rc<FileEntry>,
+    name: &str,
+    client_ep: EndpointId,
+    block: u64,
+    piece: Region,
+) -> Result<(), PvfsError> {
+    let cfg = &fs.cfg;
+    let salt = file.salt;
+    let mut tried: BTreeSet<usize> = BTreeSet::new();
+    let mut last_err: Option<PvfsError> = None;
+    loop {
+        // Next candidate: first intact, untried, live replica — or, for a
+        // block never written (no state), the striping primary, read
+        // unverified exactly as the legacy path would.
+        let cand: Option<(usize, SimTime, u32, bool)> = {
+            let blocks = file.blocks.borrow();
+            match blocks.get(&block) {
+                Some(st) => st
+                    .replicas
+                    .iter()
+                    .find(|r| {
+                        r.health == ReplicaHealth::Clean
+                            && !tried.contains(&r.server)
+                            && !fs.dead.borrow().contains(&r.server)
+                    })
+                    .map(|r| (r.server, r.written_at, r.checksum, true)),
+                None => {
+                    // A hole has no data anywhere; any server of the
+                    // block's would-be placement can serve the zeros.
+                    // Primary first — identical to the legacy path —
+                    // then failover so a fenced primary (data sieving
+                    // reads whole covering blocks, holes included)
+                    // does not fail the read.
+                    place_block(salt, block, cfg.servers, cfg.failure_domains, cfg.replicas)
+                        .into_iter()
+                        .find(|s| !tried.contains(s) && !fs.dead.borrow().contains(s))
+                        .map(|s| (s, SimTime::ZERO, 0, false))
+                }
+            }
+        };
+        let Some((server, written_at, stored, verify)) = cand else {
+            return Err(last_err.unwrap_or(PvfsError::ChecksumMismatch {
+                server: (block % cfg.servers as u64) as usize,
+                block,
+            }));
+        };
+        tried.insert(server);
+        let mut attempt = Ok(());
+        for req in pack_requests(server, &[piece], cfg.flow_unit, cfg.list_io_max_regions) {
+            if let Err(e) = run_read_request(fs, sim, client_ep, req).await {
+                attempt = Err(e);
+                break;
+            }
+        }
+        if let Err(e) = attempt {
+            last_err = Some(e);
+            continue;
+        }
+        if verify {
+            let now = sim.now();
+            let rotten = fs.fault_hooks().is_some_and(|(sched, _)| {
+                sched.block_corrupted(server, salt, block, written_at, now)
+            }) || stored != expected_checksum(salt, block);
+            if rotten {
+                mark_corrupt(fs, name, block, server, now);
+                last_err = Some(PvfsError::ChecksumMismatch { server, block });
+                continue;
+            }
+        }
+        return Ok(());
+    }
+}
+
+/// Demote one replica to `Corrupt` after a failed verification, queueing
+/// its block for repair and recording the detection everywhere that
+/// counts (stats, obs, fault log).
+fn mark_corrupt(fs: &Rc<FsInner>, name: &str, block: u64, server: usize, now: SimTime) {
+    let Some(entry) = fs.files.borrow().get(name).map(Rc::clone) else {
+        return;
+    };
+    let (was, is) = {
+        let mut blocks = entry.blocks.borrow_mut();
+        let Some(st) = blocks.get_mut(&block) else {
+            return;
+        };
+        let was = st.degraded();
+        let Some(rep) = st
+            .replicas
+            .iter_mut()
+            .find(|r| r.server == server && r.health == ReplicaHealth::Clean)
+        else {
+            return;
+        };
+        rep.health = ReplicaHealth::Corrupt;
+        // The stored checksum is now provably wrong; repair rewrites it.
+        rep.checksum = !rep.checksum;
+        (was, st.degraded())
+    };
+    fs.note_block_transition(name, block, was, is);
+    fs.bump(|s| s.checksum_failures += 1);
+    if let Some((_, log)) = fs.fault_hooks() {
+        log.record(now, FaultKind::BlockCorruptionDetected { server, block });
+    }
+    let obs = fs.obs();
+    if obs.is_recording() {
+        obs.add("pvfs.checksum_failures", 1);
+    }
+}
+
+/// Failure detection: declare servers dead once the fault schedule shows
+/// them unresponsive past the detection timeout, and mark every replica
+/// they held `Missing` so the repair queue picks those blocks up. A
+/// declaration is permanent — the planner fences the server even if its
+/// outage window later ends.
+fn planner_pass(fs: &Rc<FsInner>) {
+    if fs.cfg.replicas <= 1 {
+        return;
+    }
+    let Some((_, log)) = fs.fault_hooks() else {
+        return;
+    };
+    let now = fs.sim.now();
+    let newly_dead: Vec<usize> = (0..fs.cfg.servers)
+        .filter(|s| !fs.dead.borrow().contains(s) && fs.presumed_dead(*s))
+        .collect();
+    for s in newly_dead {
+        fs.dead.borrow_mut().insert(s);
+        log.record(now, FaultKind::ServerDeclaredDead { server: s });
+        let files: Vec<(String, Rc<FileEntry>)> = fs
+            .files
+            .borrow()
+            .iter()
+            .map(|(n, e)| (n.clone(), Rc::clone(e)))
+            .collect();
+        for (name, entry) in files {
+            let mut blocks = entry.blocks.borrow_mut();
+            for (&block, st) in blocks.iter_mut() {
+                let was = st.degraded();
+                let mut hit = false;
+                for rep in st.replicas.iter_mut() {
+                    if rep.server == s && rep.health != ReplicaHealth::Missing {
+                        rep.health = ReplicaHealth::Missing;
+                        hit = true;
+                    }
+                }
+                if hit {
+                    fs.note_block_transition(&name, block, was, st.degraded());
+                }
+            }
+        }
+    }
+}
+
+/// Drain the repair queue: rebuild each degraded block from a surviving
+/// intact copy onto a rendezvous-chosen live server, paying real fabric
+/// and server time so the recovery storm competes with foreground I/O.
+/// Loops until the queue is empty or a full sweep makes no progress
+/// (e.g. every remaining block is unrecoverable). Returns blocks rebuilt.
+async fn repair_pass(fs: &Rc<FsInner>, sim: &Sim) -> u64 {
+    if fs.cfg.replicas <= 1 {
+        return 0;
+    }
+    let mut repaired = 0u64;
+    loop {
+        let batch: Vec<(String, u64)> = fs.repair_queue.borrow().iter().cloned().collect();
+        if batch.is_empty() {
+            break;
+        }
+        let mut progressed = false;
+        for (name, block) in batch {
+            if repair_one(fs, sim, &name, block).await {
+                progressed = true;
+                repaired += 1;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    repaired
+}
+
+/// Rebuild one degraded block: read it from a live intact replica,
+/// ship it over the fabric, and write it to the repair target's disk.
+/// Returns true when a copy was actually rebuilt.
+async fn repair_one(fs: &Rc<FsInner>, sim: &Sim, name: &str, block: u64) -> bool {
+    let key = (name.to_string(), block);
+    let Some(entry) = fs.files.borrow().get(name).map(Rc::clone) else {
+        fs.repair_queue.borrow_mut().remove(&key);
+        return false;
+    };
+    let dead = fs.dead.borrow().clone();
+    let salt = entry.salt;
+    let Some(state) = entry.blocks.borrow().get(&block).cloned() else {
+        fs.repair_queue.borrow_mut().remove(&key);
+        return false;
+    };
+    if !state.degraded() {
+        fs.repair_queue.borrow_mut().remove(&key);
+        return false;
+    }
+    let src = state
+        .replicas
+        .iter()
+        .find(|r| r.health == ReplicaHealth::Clean && !dead.contains(&r.server))
+        .map(|r| r.server);
+    let Some(src) = src else {
+        // No intact copy anywhere: the block is lost. Count it once and
+        // stop retrying — honesty over optimism.
+        if fs.lost.borrow_mut().insert(key.clone()) {
+            fs.bump(|st| st.lost_blocks += 1);
+        }
+        fs.repair_queue.borrow_mut().remove(&key);
+        return false;
+    };
+    let Some(target) = repair_target(
+        salt,
+        block,
+        fs.cfg.servers,
+        fs.cfg.failure_domains,
+        &state,
+        &dead,
+    ) else {
+        return false;
+    };
+    let cfg = &fs.cfg;
+    let bytes = state.bytes;
+    // Source disk read, wire transfer, target ingest + disk write — all
+    // through the same queues foreground requests use.
+    let read_service = cfg.request_overhead + cfg.disk_bw.transfer_time(bytes);
+    if serve_with_faults(fs, sim, src, read_service).await.is_err() {
+        return false;
+    }
+    let t0 = sim.now();
+    fs.fabric
+        .transfer(
+            sim,
+            fs.server_ep(src),
+            fs.server_ep(target),
+            cfg.req_header_bytes + bytes,
+        )
+        .await;
+    let write_service = cfg.request_overhead
+        + cfg.ingest_bw.transfer_time(bytes)
+        + cfg.disk_bw.transfer_time(bytes);
+    if serve_with_faults(fs, sim, target, write_service)
+        .await
+        .is_err()
+    {
+        return false;
+    }
+    let now = sim.now();
+    let (was, is) = {
+        let mut blocks = entry.blocks.borrow_mut();
+        let Some(st) = blocks.get_mut(&block) else {
+            return false;
+        };
+        let was = st.degraded();
+        let Some(rep) = st
+            .replicas
+            .iter_mut()
+            .find(|r| r.health != ReplicaHealth::Clean)
+        else {
+            return false;
+        };
+        rep.server = target;
+        rep.health = ReplicaHealth::Clean;
+        rep.written_at = now;
+        rep.checksum = expected_checksum(salt, block);
+        (was, st.degraded())
+    };
+    fs.note_block_transition(name, block, was, is);
+    fs.bump(|st| {
+        st.repair_bytes += bytes;
+        st.repaired_blocks += 1;
+    });
+    if let Some((_, log)) = fs.fault_hooks() {
+        log.record(
+            now,
+            FaultKind::BlockReplicated {
+                server: target,
+                bytes,
+            },
+        );
+    }
+    let obs = fs.obs();
+    if obs.is_recording() {
+        obs.add("pvfs.repair_bytes", bytes);
+        obs.span(
+            Track::Server(target),
+            "pvfs.repair",
+            t0,
+            now,
+            &[("block", block), ("bytes", bytes), ("src", src as u64)],
+        );
+    }
+    true
+}
+
+/// Background scrub: per live server, re-read every resident intact
+/// replica from disk in one batched pass and re-verify its checksum
+/// against the block identity and the corruption oracle. Rotten copies
+/// are demoted and queued for repair.
+async fn scrub_pass(fs: &Rc<FsInner>, sim: &Sim) {
+    let cfg = &fs.cfg;
+    let dead = fs.dead.borrow().clone();
+    let hooks = fs.fault_hooks();
+    let files: Vec<(String, Rc<FileEntry>)> = fs
+        .files
+        .borrow()
+        .iter()
+        .map(|(n, e)| (n.clone(), Rc::clone(e)))
+        .collect();
+    // (name, block, salt, written_at, stored checksum, bytes) per server.
+    type ScrubItem = (String, u64, u64, SimTime, u32, u64);
+    let mut per_server: BTreeMap<usize, Vec<ScrubItem>> = BTreeMap::new();
+    for (name, entry) in &files {
+        let blocks = entry.blocks.borrow();
+        for (&block, st) in blocks.iter() {
+            for rep in &st.replicas {
+                if rep.health == ReplicaHealth::Clean && !dead.contains(&rep.server) {
+                    per_server.entry(rep.server).or_default().push((
+                        name.clone(),
+                        block,
+                        entry.salt,
+                        rep.written_at,
+                        rep.checksum,
+                        st.bytes,
+                    ));
+                }
+            }
+        }
+    }
+    for (server, items) in per_server {
+        let total: u64 = items.iter().map(|i| i.5).sum();
+        let service = cfg.request_overhead + cfg.disk_bw.transfer_time(total);
+        let t0 = sim.now();
+        if serve_with_faults(fs, sim, server, service).await.is_err() {
+            continue; // unreachable this round; the next scrub retries
+        }
+        let now = sim.now();
+        let verified = items.len() as u64;
+        for (name, block, salt, written_at, stored, _bytes) in items {
+            let rotten = hooks.as_ref().is_some_and(|(sched, _)| {
+                sched.block_corrupted(server, salt, block, written_at, now)
+            }) || stored != expected_checksum(salt, block);
+            if rotten {
+                mark_corrupt(fs, &name, block, server, now);
+            }
+        }
+        fs.bump(|st| st.scrubbed_blocks += verified);
+        let obs = fs.obs();
+        if obs.is_recording() {
+            obs.span(
+                Track::Server(server),
+                "pvfs.scrub",
+                t0,
+                now,
+                &[("replicas", verified), ("bytes", total)],
+            );
+        }
+    }
+}
+
 // Opaque Debug impls: these are shared handles (or futures) over
 // internal state; printing the state itself would be noisy and could
 // observe a mid-operation borrow.
@@ -1006,6 +1833,10 @@ mod tests {
             req_header_bytes: 64,
             region_desc_bytes: 16,
             read_window: 4,
+            replicas: 1,
+            write_quorum: 1,
+            failure_domains: 0,
+            scrub_interval: SimTime::ZERO,
         }
     }
 
@@ -1514,6 +2345,233 @@ mod tests {
         assert_eq!(fs.stats().bytes_written, 1000);
         // One contiguous 1000B transfer = one request (strip 1000).
         assert_eq!(fs.stats().requests, 1);
+    }
+
+    #[test]
+    fn replicated_write_amplifies_onto_distinct_servers() {
+        let mut cfg = quick_cfg();
+        cfg.replicas = 2;
+        cfg.write_quorum = 2;
+        let sim = Sim::new();
+        let (fs, client) = FileSystem::standalone(&sim, cfg, net());
+        let fh = fs.open("out");
+        let f2 = fh.clone();
+        sim.spawn("writer", async move {
+            f2.write_contiguous(client, 0, 4000).await.unwrap();
+        });
+        sim.run().unwrap();
+        // Foreground bytes unchanged; each block's second copy is pure
+        // write amplification, and it sits dirty on its own server.
+        assert_eq!(fs.stats().bytes_written, 4000);
+        assert_eq!(fs.stats().replica_bytes_written, 4000);
+        assert_eq!(fh.dirty_bytes(), 8000);
+        assert_eq!(fh.tracked_blocks(), 4);
+        assert_eq!(fh.min_clean_replicas(), Some(2));
+        assert_eq!(fh.degraded_block_count(), 0);
+        assert_eq!(fs.degraded_blocks(), 0);
+    }
+
+    #[test]
+    fn quorum_write_survives_server_death_and_repair_restores_factor() {
+        use s3a_faults::{FaultParams, FaultSchedule, ServerOutage};
+        let mut cfg = quick_cfg();
+        cfg.replicas = 2;
+        cfg.write_quorum = 1;
+        let sim = Sim::new();
+        let (fs, client) = FileSystem::standalone(&sim, cfg, net());
+        let log = FaultLog::new();
+        let params = FaultParams {
+            server_outages: vec![ServerOutage {
+                server: 0,
+                from: SimTime::ZERO,
+                until: SimTime::from_secs(1_000_000),
+            }],
+            io_retry_backoff: SimTime::from_millis(1),
+            max_io_retries: 2,
+            detection_timeout: SimTime::from_millis(5),
+            ..FaultParams::default()
+        };
+        fs.set_faults(FaultSchedule::new(params), log.clone());
+        let fh = fs.open("out");
+        let f2 = fh.clone();
+        let fs2 = fs.clone();
+        let s = sim.clone();
+        sim.spawn("writer", async move {
+            // Server 0 is permanently dark; with w=1 every block still
+            // reaches quorum through its surviving copy.
+            f2.write_contiguous(client, 0, 4000).await.unwrap();
+            assert_eq!(f2.covered_bytes(), 4000);
+            assert!(f2.degraded_block_count() >= 1);
+            // Past the detection timeout the planner declares the server
+            // dead and the repair phase re-spreads its blocks.
+            s.sleep(SimTime::from_millis(50)).await;
+            let repaired = fs2.drain_repairs().await;
+            assert!(repaired >= 1, "nothing repaired");
+            assert_eq!(fs2.dead_servers(), vec![0]);
+            assert_eq!(f2.min_clean_replicas(), Some(2));
+            assert_eq!(f2.degraded_block_count(), 0);
+        });
+        sim.run().unwrap();
+        assert_eq!(fs.degraded_blocks(), 0);
+        assert!(fs.stats().repair_bytes > 0);
+        assert!(fs.stats().repaired_blocks >= 1);
+        assert_eq!(fs.stats().lost_blocks, 0);
+        let report = log.report();
+        assert_eq!(report.servers_declared_dead, 1);
+        assert!(report.blocks_re_replicated >= 1);
+    }
+
+    #[test]
+    fn below_quorum_write_is_a_typed_error_with_no_bookkeeping() {
+        use s3a_faults::{FaultParams, FaultSchedule, ServerOutage};
+        let mut cfg = quick_cfg();
+        cfg.replicas = 2;
+        cfg.write_quorum = 2;
+        let sim = Sim::new();
+        let (fs, client) = FileSystem::standalone(&sim, cfg, net());
+        let params = FaultParams {
+            server_outages: vec![ServerOutage {
+                server: 0,
+                from: SimTime::ZERO,
+                until: SimTime::from_secs(1_000_000),
+            }],
+            io_retry_backoff: SimTime::from_millis(1),
+            max_io_retries: 2,
+            ..FaultParams::default()
+        };
+        fs.set_faults(FaultSchedule::new(params), FaultLog::new());
+        let fh = fs.open("out");
+        let f2 = fh.clone();
+        sim.spawn("writer", async move {
+            // Block 0's primary lives on the dead server: one of its two
+            // required copies cannot land.
+            let err = f2.write_contiguous(client, 0, 4000).await.unwrap_err();
+            assert_eq!(
+                err,
+                PvfsError::InsufficientReplicas {
+                    block: 0,
+                    got: 1,
+                    need: 2
+                }
+            );
+        });
+        sim.run().unwrap();
+        // Same all-or-nothing accounting as the unreplicated failure path.
+        assert_eq!(fh.covered_bytes(), 0);
+        assert_eq!(fh.extent_count(), 0);
+        assert_eq!(fh.dirty_bytes(), 0);
+        assert_eq!(fh.tracked_blocks(), 0);
+        assert_eq!(fs.degraded_blocks(), 0);
+    }
+
+    #[test]
+    fn corrupt_replica_fails_over_on_read() {
+        use s3a_faults::{FaultParams, FaultSchedule, ServerCorruption};
+        let mut cfg = quick_cfg();
+        cfg.replicas = 2;
+        let sim = Sim::new();
+        let (fs, client) = FileSystem::standalone(&sim, cfg, net());
+        let params = FaultParams {
+            server_corruptions: vec![ServerCorruption {
+                server: 0,
+                at: SimTime::from_secs(1),
+                per_mille: 1000,
+            }],
+            ..FaultParams::default()
+        };
+        fs.set_faults(FaultSchedule::new(params), FaultLog::new());
+        let fh = fs.open("out");
+        let f2 = fh.clone();
+        let s = sim.clone();
+        sim.spawn("rw", async move {
+            // Block 0's primary is server 0; its copy rots at t=1s.
+            f2.write_contiguous(client, 0, 1000).await.unwrap();
+            s.sleep(SimTime::from_secs(2)).await;
+            // The read detects the rot, demotes the copy, and serves the
+            // data from the surviving replica.
+            f2.read_contiguous(client, 0, 1000).await.unwrap();
+            assert_eq!(f2.degraded_block_count(), 1);
+        });
+        sim.run().unwrap();
+        assert_eq!(fs.stats().checksum_failures, 1);
+        assert_eq!(fs.degraded_blocks(), 1);
+    }
+
+    #[test]
+    fn unreplicated_corruption_is_a_typed_checksum_error() {
+        use s3a_faults::{FaultParams, FaultSchedule, ServerCorruption};
+        let sim = Sim::new();
+        let (fs, client) = FileSystem::standalone(&sim, quick_cfg(), net());
+        let params = FaultParams {
+            server_corruptions: vec![ServerCorruption {
+                server: 0,
+                at: SimTime::from_secs(1),
+                per_mille: 1000,
+            }],
+            ..FaultParams::default()
+        };
+        fs.set_faults(FaultSchedule::new(params), FaultLog::new());
+        let fh = fs.open("out");
+        let s = sim.clone();
+        sim.spawn("rw", async move {
+            fh.write_contiguous(client, 0, 1000).await.unwrap();
+            s.sleep(SimTime::from_secs(2)).await;
+            // r=1: no replica to fail over to — the loss is reported
+            // honestly instead of returning rotten data.
+            let err = fh.read_contiguous(client, 0, 1000).await.unwrap_err();
+            assert_eq!(
+                err,
+                PvfsError::ChecksumMismatch {
+                    server: 0,
+                    block: 0
+                }
+            );
+        });
+        sim.run().unwrap();
+        assert_eq!(fs.stats().checksum_failures, 1);
+    }
+
+    #[test]
+    fn background_scrub_detects_rot_and_repair_heals_it() {
+        use s3a_faults::{FaultParams, FaultSchedule, ServerCorruption};
+        let mut cfg = quick_cfg();
+        cfg.replicas = 2;
+        cfg.scrub_interval = SimTime::from_millis(50);
+        let sim = Sim::new();
+        let (fs, client) = FileSystem::standalone(&sim, cfg, net());
+        let log = FaultLog::new();
+        let params = FaultParams {
+            server_corruptions: vec![ServerCorruption {
+                server: 0,
+                at: SimTime::from_secs(1),
+                per_mille: 1000,
+            }],
+            ..FaultParams::default()
+        };
+        fs.set_faults(FaultSchedule::new(params), log.clone());
+        let maint = fs.spawn_maintenance(SimTime::from_millis(10));
+        let fh = fs.open("out");
+        let f2 = fh.clone();
+        let s = sim.clone();
+        sim.spawn("writer", async move {
+            f2.write_contiguous(client, 0, 2000).await.unwrap();
+            // Let the rot land at 1s and give the scrub/repair loop time
+            // to find and heal it, then stop the maintenance task so the
+            // simulation can drain.
+            s.sleep(SimTime::from_millis(2500)).await;
+            assert_eq!(f2.min_clean_replicas(), Some(2));
+            assert_eq!(f2.degraded_block_count(), 0);
+            maint.stop();
+        });
+        sim.run().unwrap();
+        let st = fs.stats();
+        assert!(st.scrubbed_blocks > 0, "scrub never ran");
+        assert!(st.checksum_failures >= 1, "rot never detected");
+        assert!(st.repaired_blocks >= 1, "rot never repaired");
+        assert_eq!(fs.degraded_blocks(), 0);
+        let report = log.report();
+        assert!(report.corruptions_detected >= 1);
+        assert!(report.blocks_re_replicated >= 1);
     }
 
     #[test]

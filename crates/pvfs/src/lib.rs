@@ -18,13 +18,27 @@
 //! with deterministic FIFO grants (see [`lock`]); the sieving write-back
 //! itself goes through [`FileHandle::write_sieved`], which transfers the
 //! whole covering block but records only the caller's data regions.
+//!
+//! With `replicas > 1` the file system becomes a replicated,
+//! self-healing store (see [`replica`]): each block lands on `r` servers
+//! in distinct failure domains (deterministic rendezvous hashing), every
+//! block carries a CRC32 checksum verified on read and by a background
+//! virtual-time scrub, writes complete at a configurable quorum
+//! `w <= r`, and a repair planner re-replicates under-replicated blocks
+//! through the normal fabric — so recovery storms compete with
+//! foreground I/O and their tax is measurable per strategy.
 
 mod fs;
 mod layout;
 pub mod lock;
+pub mod replica;
 pub mod sanitizer;
 
-pub use fs::{FileHandle, FileSystem, FsStats, PvfsConfig, PvfsError};
+pub use fs::{FileHandle, FileSystem, FsStats, MaintenanceHandle, PvfsConfig, PvfsError};
 pub use layout::{Layout, Region};
 pub use lock::{LockGuard, LockManager};
+pub use replica::{
+    crc32, domain_of, effective_domains, expected_checksum, file_salt, place_block, repair_target,
+    BlockReplica, BlockState, ReplicaHealth,
+};
 pub use sanitizer::{Hazard, HazardKind, SanitizerReport, SimSanitizer};

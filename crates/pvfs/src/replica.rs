@@ -1,0 +1,364 @@
+//! Replica placement, failure domains, and block checksums.
+//!
+//! With `replicas = r > 1`, every 64 KiB block (strip) of a file is
+//! stored on `r` servers in *distinct failure domains* (a server belongs
+//! to domain `server % failure_domains`, modeling racks sharing a power
+//! feed or switch). The primary copy stays on the round-robin server the
+//! striping [`crate::Layout`] picks — so an `r = 1` run is byte-identical
+//! to the unreplicated file system — and the `r - 1` extra copies are
+//! chosen by **rendezvous (highest-random-weight) hashing**: every
+//! `(file, block, server)` triple hashes to a score via the repo's
+//! sanctioned seeded hash ([`s3a_faults::splitmix64`]), and the
+//! highest-scoring servers in still-unused domains win. Placement is a
+//! pure function of `(file, block, config)` — no state, no RNG — so
+//! replays, repairs, and property tests all agree on where a block
+//! belongs.
+//!
+//! Every block carries a CRC32 checksum. Data content is not simulated,
+//! so the "content" of a block is its identity `(file salt, block
+//! index)`: the expected checksum is the CRC32 of those 16 bytes, and a
+//! corrupt replica is one whose *stored* checksum no longer matches
+//! (flipped by the deterministic corruption oracle in `s3a-faults`).
+//! Verification on read and scrub compares stored vs. expected, exactly
+//! as a real system would hash the bytes it just read.
+
+use std::collections::BTreeSet;
+
+use s3a_des::SimTime;
+use s3a_faults::splitmix64;
+
+/// Health of one stored block replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaHealth {
+    /// Present and (as far as anyone has checked) intact.
+    Clean,
+    /// Present but failed checksum verification; awaiting repair.
+    Corrupt,
+    /// Not on the server (the write failed, or the server died).
+    Missing,
+}
+
+/// One stored copy of a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockReplica {
+    /// The server holding (or supposed to hold) this copy.
+    pub server: usize,
+    /// Current health.
+    pub health: ReplicaHealth,
+    /// Virtual time of the last write/repair that produced this copy
+    /// (the corruption oracle only rots copies written before its onset).
+    pub written_at: SimTime,
+    /// Stored checksum; diverges from the expected checksum when the
+    /// corruption oracle has rotted this copy.
+    pub checksum: u32,
+}
+
+/// Everything the file system tracks per written block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockState {
+    /// The copies, primary first. Length stays `replicas`; repair swaps a
+    /// `Missing` entry's server for a fresh target.
+    pub replicas: Vec<BlockReplica>,
+    /// Bytes of real data written into this block (≤ strip size).
+    pub bytes: u64,
+}
+
+impl BlockState {
+    /// Copies currently believed intact.
+    pub fn clean_count(&self) -> usize {
+        self.replicas
+            .iter()
+            .filter(|r| r.health == ReplicaHealth::Clean)
+            .count()
+    }
+
+    /// True when at least one copy is not `Clean` — the block is below
+    /// its target replication factor and belongs in the repair queue.
+    pub fn degraded(&self) -> bool {
+        self.replicas
+            .iter()
+            .any(|r| r.health != ReplicaHealth::Clean)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, the PKZIP/Ethernet polynomial), bitwise —
+/// self-contained so the simulator needs no external hashing crate.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// The checksum a block's content is *supposed* to have: the CRC32 of
+/// its identity (file salt, block index), since the simulator does not
+/// model payload bytes.
+pub fn expected_checksum(salt: u64, block: u64) -> u32 {
+    let mut id = [0u8; 16];
+    id[..8].copy_from_slice(&salt.to_le_bytes());
+    id[8..].copy_from_slice(&block.to_le_bytes());
+    crc32(&id)
+}
+
+/// Deterministic per-file salt: a hash of the file name, folded with the
+/// repo's sanctioned seeded hash so placement and checksums replay.
+pub fn file_salt(name: &str) -> u64 {
+    let mut acc: u64 = 0x5EED_5A17_0F11_E5A1;
+    for chunk in name.as_bytes().chunks(8) {
+        let mut bytes = [0u8; 8];
+        bytes[..chunk.len()].copy_from_slice(chunk);
+        acc = splitmix64(acc ^ u64::from_le_bytes(bytes));
+    }
+    acc
+}
+
+/// The failure domain of a server.
+pub fn domain_of(server: usize, domains: usize) -> usize {
+    debug_assert!(domains > 0);
+    server % domains
+}
+
+/// Resolve a configured domain count against the server count:
+/// `0` means "each server is its own domain", and a domain count above
+/// the server count degenerates to the same thing.
+pub fn effective_domains(servers: usize, failure_domains: usize) -> usize {
+    if failure_domains == 0 {
+        servers
+    } else {
+        failure_domains.min(servers)
+    }
+}
+
+/// Rendezvous score of `server` for `(salt, block)` — higher wins.
+fn score(salt: u64, block: u64, server: usize) -> u64 {
+    splitmix64(
+        salt.wrapping_add(splitmix64(block.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            .wrapping_add((server as u64) << 13),
+    )
+}
+
+/// Place block `block` of the file with salt `salt` on `replicas`
+/// servers in distinct failure domains. The first entry is always the
+/// striping layout's round-robin primary (`block % servers`); the rest
+/// are the highest-rendezvous-scoring servers whose domains are not yet
+/// used. Pure function of its arguments.
+///
+/// `replicas` must not exceed `effective_domains(servers,
+/// failure_domains)` — validated at parameter-build time; asserted here.
+pub fn place_block(
+    salt: u64,
+    block: u64,
+    servers: usize,
+    failure_domains: usize,
+    replicas: usize,
+) -> Vec<usize> {
+    let domains = effective_domains(servers, failure_domains);
+    assert!(
+        replicas >= 1 && replicas <= domains && replicas <= servers,
+        "replicas {replicas} must fit in {domains} domains over {servers} servers"
+    );
+    let primary = (block % servers as u64) as usize;
+    let mut chosen = vec![primary];
+    let mut used_domains: BTreeSet<usize> = BTreeSet::new();
+    used_domains.insert(domain_of(primary, domains));
+    while chosen.len() < replicas {
+        let best = (0..servers)
+            .filter(|&s| !used_domains.contains(&domain_of(s, domains)))
+            .max_by_key(|&s| (score(salt, block, s), s))
+            .expect("replicas <= domains guarantees a free domain");
+        used_domains.insert(domain_of(best, domains));
+        chosen.push(best);
+    }
+    chosen
+}
+
+/// Pick the server to rebuild a lost/corrupt copy of `(salt, block)`
+/// onto: the highest-rendezvous-scoring server that is alive, does not
+/// already hold a copy, and — when possible — sits in a domain holding
+/// no intact copy. Falls back to sharing a domain (better one rack of
+/// redundancy than none) only when every free domain is dead.
+pub fn repair_target(
+    salt: u64,
+    block: u64,
+    servers: usize,
+    failure_domains: usize,
+    state: &BlockState,
+    dead: &BTreeSet<usize>,
+) -> Option<usize> {
+    let domains = effective_domains(servers, failure_domains);
+    let holders: BTreeSet<usize> = state
+        .replicas
+        .iter()
+        .filter(|r| r.health != ReplicaHealth::Missing)
+        .map(|r| r.server)
+        .collect();
+    let clean_domains: BTreeSet<usize> = state
+        .replicas
+        .iter()
+        .filter(|r| r.health == ReplicaHealth::Clean)
+        .map(|r| domain_of(r.server, domains))
+        .collect();
+    let eligible = |spread: bool| {
+        (0..servers)
+            .filter(|s| !dead.contains(s) && !holders.contains(s))
+            .filter(|&s| !spread || !clean_domains.contains(&domain_of(s, domains)))
+            .max_by_key(|&s| (score(salt, block, s), s))
+    };
+    eligible(true).or_else(|| eligible(false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_answers() {
+        // Standard CRC-32/IEEE check values.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn expected_checksum_distinguishes_blocks_and_files() {
+        let a = expected_checksum(1, 0);
+        assert_eq!(a, expected_checksum(1, 0));
+        assert_ne!(a, expected_checksum(1, 1));
+        assert_ne!(a, expected_checksum(2, 0));
+    }
+
+    #[test]
+    fn file_salt_is_stable_and_name_sensitive() {
+        assert_eq!(file_salt("s3asim.out"), file_salt("s3asim.out"));
+        assert_ne!(file_salt("s3asim.out"), file_salt("database.db"));
+        assert_ne!(file_salt("a"), file_salt("b"));
+    }
+
+    #[test]
+    fn placement_primary_matches_round_robin() {
+        for block in 0..64u64 {
+            let p = place_block(7, block, 16, 4, 3);
+            assert_eq!(p[0], (block % 16) as usize);
+        }
+    }
+
+    #[test]
+    fn placement_uses_distinct_domains() {
+        for block in 0..128u64 {
+            let p = place_block(99, block, 16, 4, 3);
+            let doms: BTreeSet<usize> = p.iter().map(|&s| domain_of(s, 4)).collect();
+            assert_eq!(doms.len(), 3, "domains collide for block {block}: {p:?}");
+            let uniq: BTreeSet<usize> = p.iter().copied().collect();
+            assert_eq!(uniq.len(), 3, "server repeated for block {block}: {p:?}");
+        }
+    }
+
+    #[test]
+    fn placement_is_pure() {
+        for block in [0u64, 1, 17, 1000] {
+            assert_eq!(
+                place_block(42, block, 16, 4, 3),
+                place_block(42, block, 16, 4, 3)
+            );
+        }
+    }
+
+    #[test]
+    fn single_replica_is_just_the_primary() {
+        for block in 0..8u64 {
+            assert_eq!(place_block(0, block, 4, 0, 1), vec![(block % 4) as usize]);
+        }
+    }
+
+    #[test]
+    fn repair_target_avoids_dead_holders_and_clean_domains() {
+        // 8 servers, 4 domains: domain(s) = s % 4. Block held clean on
+        // servers 0 (dom 0) and 5 (dom 1); its third copy on server 2
+        // (dom 2) is Missing because server 2 died.
+        let state = BlockState {
+            replicas: vec![
+                BlockReplica {
+                    server: 0,
+                    health: ReplicaHealth::Clean,
+                    written_at: SimTime::ZERO,
+                    checksum: 1,
+                },
+                BlockReplica {
+                    server: 5,
+                    health: ReplicaHealth::Clean,
+                    written_at: SimTime::ZERO,
+                    checksum: 1,
+                },
+                BlockReplica {
+                    server: 2,
+                    health: ReplicaHealth::Missing,
+                    written_at: SimTime::ZERO,
+                    checksum: 1,
+                },
+            ],
+            bytes: 1000,
+        };
+        let dead: BTreeSet<usize> = [2, 6].into_iter().collect(); // all of domain 2
+        let t = repair_target(3, 0, 8, 4, &state, &dead).expect("a target exists");
+        // Domains 0 and 1 hold clean copies; domain 2 is dead; so the
+        // target must land in domain 3.
+        assert_eq!(domain_of(t, 4), 3);
+        assert!(!dead.contains(&t));
+
+        // With domain 3 also dead, the spread rule must relax rather than
+        // give up: any live non-holder will do.
+        let dead_all: BTreeSet<usize> = [2, 6, 3, 7].into_iter().collect();
+        let t = repair_target(3, 0, 8, 4, &state, &dead_all).expect("fallback target");
+        assert!(!dead_all.contains(&t));
+        assert!(t != 0 && t != 5);
+    }
+
+    #[test]
+    fn repair_target_none_when_everything_is_dead_or_holding() {
+        let state = BlockState {
+            replicas: vec![BlockReplica {
+                server: 0,
+                health: ReplicaHealth::Clean,
+                written_at: SimTime::ZERO,
+                checksum: 1,
+            }],
+            bytes: 10,
+        };
+        let dead: BTreeSet<usize> = [1].into_iter().collect();
+        assert_eq!(repair_target(0, 0, 2, 0, &state, &dead), None);
+    }
+
+    #[test]
+    fn block_state_health_queries() {
+        let mut state = BlockState {
+            replicas: vec![
+                BlockReplica {
+                    server: 0,
+                    health: ReplicaHealth::Clean,
+                    written_at: SimTime::ZERO,
+                    checksum: 0,
+                },
+                BlockReplica {
+                    server: 1,
+                    health: ReplicaHealth::Clean,
+                    written_at: SimTime::ZERO,
+                    checksum: 0,
+                },
+            ],
+            bytes: 0,
+        };
+        assert_eq!(state.clean_count(), 2);
+        assert!(!state.degraded());
+        state.replicas[1].health = ReplicaHealth::Missing;
+        assert_eq!(state.clean_count(), 1);
+        assert!(state.degraded());
+    }
+}

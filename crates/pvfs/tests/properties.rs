@@ -5,8 +5,9 @@
 use proptest::prelude::*;
 
 use s3a_des::{Sim, SimTime};
+use s3a_faults::{FaultLog, FaultParams, FaultSchedule, ServerOutage};
 use s3a_net::{Bandwidth, NetConfig};
-use s3a_pvfs::{FileSystem, Layout, PvfsConfig, Region};
+use s3a_pvfs::{domain_of, effective_domains, place_block, FileSystem, Layout, PvfsConfig, Region};
 
 fn layout_strategy() -> impl Strategy<Value = Layout> {
     (1u64..200_000, 1usize..32).prop_map(|(strip, servers)| Layout::new(strip, servers))
@@ -95,6 +96,10 @@ proptest! {
             req_header_bytes: 1,
             region_desc_bytes: 1,
             read_window: 4,
+            replicas: 1,
+            write_quorum: 1,
+            failure_domains: 0,
+            scrub_interval: SimTime::ZERO,
         };
         let net = NetConfig {
             latency: SimTime::from_nanos(1),
@@ -165,6 +170,10 @@ proptest! {
             req_header_bytes: 8,
             region_desc_bytes: 8,
             read_window: 4,
+            replicas: 1,
+            write_quorum: 1,
+            failure_domains: 0,
+            scrub_interval: SimTime::ZERO,
         };
         let net = NetConfig {
             latency: SimTime::from_nanos(5),
@@ -198,6 +207,114 @@ proptest! {
         // Each request obeys both caps: regions ≤ max, bytes ≤ flow unit.
         // (Aggregate check: at least ceil(bytes / flow_unit) requests.)
         prop_assert!(st.requests >= expected.div_ceil(flow_unit.max(1)).min(st.regions));
+    }
+
+    /// Replica placement never co-locates two copies of a block in one
+    /// failure domain, never repeats a server, and always honours the
+    /// striping primary.
+    #[test]
+    fn placement_never_colocates_a_failure_domain(
+        salt in 0u64..u64::MAX,
+        block in 0u64..1_000_000,
+        servers in 1usize..64,
+        failure_domains in 0usize..16,
+        replicas in 1usize..5,
+    ) {
+        let domains = effective_domains(servers, failure_domains);
+        prop_assume!(replicas <= domains);
+        let pl = place_block(salt, block, servers, failure_domains, replicas);
+        prop_assert_eq!(pl.len(), replicas);
+        prop_assert_eq!(pl[0], (block % servers as u64) as usize);
+        let mut seen_servers = std::collections::BTreeSet::new();
+        let mut seen_domains = std::collections::BTreeSet::new();
+        for &s in &pl {
+            prop_assert!(s < servers);
+            prop_assert!(seen_servers.insert(s), "server {} placed twice", s);
+            prop_assert!(
+                seen_domains.insert(domain_of(s, domains)),
+                "two replicas share failure domain {}",
+                domain_of(s, domains)
+            );
+        }
+    }
+
+    /// Placement is a pure function of (file, block, config): recomputing
+    /// it — in any order, interleaved with other blocks — never changes it.
+    #[test]
+    fn placement_is_pure(
+        salt in 0u64..u64::MAX,
+        blocks in prop::collection::vec(0u64..100_000, 1..20),
+        servers in 1usize..40,
+        failure_domains in 0usize..10,
+        replicas in 1usize..4,
+    ) {
+        prop_assume!(replicas <= effective_domains(servers, failure_domains));
+        let first: Vec<_> = blocks
+            .iter()
+            .map(|&b| place_block(salt, b, servers, failure_domains, replicas))
+            .collect();
+        let again: Vec<_> = blocks
+            .iter()
+            .rev()
+            .map(|&b| place_block(salt, b, servers, failure_domains, replicas))
+            .collect();
+        for (a, b) in first.iter().zip(again.iter().rev()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// After a permanent server death and a repair drain, every block
+    /// whose data survives is back at full replication factor on live
+    /// servers — under ANY generated write pattern and outage schedule.
+    #[test]
+    fn repair_restores_replication_factor(
+        writes in prop::collection::vec((0u64..200_000, 1u64..30_000), 1..12),
+        victim in 0usize..8,
+        outage_at_us in 1u64..500,
+    ) {
+        let sim = Sim::new();
+        let cfg = PvfsConfig {
+            servers: 8,
+            replicas: 2,
+            write_quorum: 1,
+            failure_domains: 4,
+            scrub_interval: SimTime::ZERO,
+            ..PvfsConfig::default()
+        };
+        let schedule = FaultSchedule::new(FaultParams {
+            server_outages: vec![ServerOutage {
+                server: victim,
+                from: SimTime::from_micros(outage_at_us),
+                until: SimTime::from_secs(1_000_000),
+            }],
+            detection_timeout: SimTime::from_micros(50),
+            max_io_retries: 2,
+            io_retry_backoff: SimTime::from_micros(10),
+            ..FaultParams::default()
+        });
+        let (fs, client) = FileSystem::standalone(&sim, cfg, NetConfig::default());
+        fs.set_faults(schedule, FaultLog::new());
+        let fh = fs.open("f");
+        {
+            let fh = fh.clone();
+            let fs = fs.clone();
+            let sim2 = sim.clone();
+            sim.spawn("writer", async move {
+                for (off, len) in writes {
+                    // Quorum 1 tolerates the victim; anything else is a bug.
+                    fh.write_contiguous(client, off, len).await.unwrap();
+                }
+                // Let the detection timeout pass, then heal.
+                sim2.sleep(SimTime::from_millis(10)).await;
+                fs.drain_repairs().await;
+            });
+        }
+        sim.run().expect("no deadlock");
+        // Post-repair: every tracked block is at full factor on live
+        // servers (no copy left on the victim), or was honestly lost.
+        prop_assert_eq!(fs.stats().lost_blocks, 0, "one death under r=2 loses nothing");
+        prop_assert_eq!(fh.degraded_block_count(), 0);
+        prop_assert_eq!(fh.min_clean_replicas(), Some(2));
     }
 
     /// Sync always clears all dirty bytes and flushes exactly what was

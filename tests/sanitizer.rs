@@ -235,6 +235,51 @@ fn ww_ds_under_fault_injection_is_clean() {
     assert!(san.is_clean(), "recovery I/O flagged: {:?}", san.hazards);
 }
 
+/// The replicated faceoff: every strategy at r=3 over 4 failure domains
+/// with one domain lost for good mid-run and background scrub on.
+/// Failure detection, re-replication, and scrub traffic interleave with
+/// foreground I/O — all of it must stay hazard-free, verified, and
+/// lossless.
+#[test]
+fn replicated_faceoff_with_domain_outage_is_clean() {
+    use s3asim::DomainOutage;
+    for strategy in Strategy::EXTENDED_SET {
+        let mut p = sanitized(strategy);
+        p.testbed.pvfs.replicas = 3;
+        p.testbed.pvfs.write_quorum = 2;
+        p.testbed.pvfs.failure_domains = 4;
+        p.testbed.pvfs.scrub_interval = SimTime::from_millis(50);
+        p.faults = FaultParams {
+            domain_outages: vec![DomainOutage {
+                domain: 2,
+                from: SimTime::from_millis(40),
+                until: SimTime::from_secs(1_000_000),
+            }],
+            detection_timeout: SimTime::from_millis(20),
+            max_io_retries: 4,
+            io_retry_backoff: SimTime::from_millis(1),
+            ..FaultParams::default()
+        };
+        let report = try_run(&p).unwrap_or_else(|e| panic!("{strategy}: {e}"));
+        let san = report.sanitizer.as_ref().expect("sanitizer report");
+        assert!(
+            san.is_clean(),
+            "{strategy}: replicated recovery I/O flagged: {:?}",
+            san.hazards
+        );
+        assert_eq!(report.fs.lost_blocks, 0, "{strategy}: blocks lost");
+        assert!(
+            report.fs.repaired_blocks > 0,
+            "{strategy}: nothing repaired"
+        );
+        let f = report.faults.as_ref().expect("fault report");
+        assert_eq!(
+            f.servers_declared_dead, 4,
+            "{strategy}: 4 servers in domain 2"
+        );
+    }
+}
+
 /// Arming the sanitizer must not change what it watches: every report
 /// number is identical with it on and off.
 #[test]

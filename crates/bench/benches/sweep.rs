@@ -14,7 +14,7 @@ use criterion::{BenchmarkId, Criterion};
 
 use s3a_bench::small_params;
 use s3a_des::{Queue, Sim, SimTime};
-use s3asim::{run_batch, SimParams, Strategy};
+use s3asim::{run_batch, ArrivalProcess, RunMode, SchedPolicy, ServiceParams, SimParams, Strategy};
 
 fn quick() -> bool {
     std::env::var("S3ASIM_BENCH_QUICK").is_ok_and(|v| v != "0")
@@ -83,6 +83,33 @@ fn bench_replication(c: &mut Criterion) {
     g.finish();
 }
 
+/// Open-loop service runs: the master's admission/scheduling loop and
+/// per-query commit tracking on top of the same small workload, once per
+/// scheduling policy. Prices the service-mode event loop (arrival wake-ups,
+/// per-query batches, policy picks) against the batch-mode baseline above.
+fn bench_service_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("service_latency");
+    g.sample_size(if quick() { 1 } else { 5 });
+    for policy in SchedPolicy::ALL {
+        let mut params = small_params(8, Strategy::WwList);
+        params.workload.queries = 24;
+        params.mode = RunMode::Service(ServiceParams {
+            arrivals: ArrivalProcess::Poisson { rate: 6.0 },
+            policy,
+            tenants: 2,
+            queue_capacity: 12,
+            arrival_seed: 11,
+            poll_interval: SimTime::from_millis(5),
+        });
+        g.bench_with_input(
+            BenchmarkId::new("policy", policy.label()),
+            &params,
+            |b, p| b.iter(|| run_batch(std::slice::from_ref(p), 1).expect("service run verifies")),
+        );
+    }
+    g.finish();
+}
+
 fn bench_des_hot_path(c: &mut Criterion) {
     let mut g = c.benchmark_group("des_hot_path");
     g.sample_size(if quick() { 2 } else { 10 });
@@ -145,6 +172,7 @@ fn main() {
     bench_executor(&mut c);
     bench_strategy_io(&mut c);
     bench_replication(&mut c);
+    bench_service_latency(&mut c);
     bench_des_hot_path(&mut c);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
     c.save_json(path).expect("write BENCH_sweep.json");

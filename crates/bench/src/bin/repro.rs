@@ -12,6 +12,7 @@
 //! repro sieve     data-sieving crossover: WW-DS vs. WW-POSIX over worker count
 //! repro faults    recovery tax per strategy under injected faults
 //! repro replication  durability vs. write amplification: replicated PVFS under domain death
+//! repro service   open-loop service mode: tail latency per strategy × scheduling policy
 //! repro trace     request-level observability capture (Chrome trace + metrics)
 //! repro all       everything above (figures share sweep runs)
 //! ```
@@ -39,8 +40,9 @@ use s3a_bench::{
     SIEVE_PROC_SWEEP,
 };
 use s3asim::{
-    default_threads, export_chrome, export_metrics_csv, run_batch, try_run, PvfsError, RunReport,
-    SimError, SimParams, Strategy,
+    default_threads, export_chrome, export_metrics_csv, run_batch, try_run, ArrivalProcess,
+    Columns, PvfsError, RunReport, SchedPolicy, ServiceParams, SimError, SimParams, SimTime,
+    Strategy,
 };
 
 /// Map a typed failure to a distinct process exit code so scripts can
@@ -609,10 +611,7 @@ fn replication() {
         .collect();
     let reports =
         run_batch(&params, default_threads()).unwrap_or_else(|e| fail("replication study", &e));
-    let mut csv = String::from(
-        "strategy,config,overall_s,bytes_written,replica_bytes,repair_bytes,\
-         repaired_blocks,lost_blocks,servers_declared_dead\n",
-    );
+    let mut csv = String::new();
     for (set, &strategy) in reports.chunks(5).zip(Strategy::EXTENDED_SET.iter()) {
         let (r1, r2, r3, died, again) = (&set[0], &set[1], &set[2], &set[3], &set[4]);
         let f = died.faults.as_ref().expect("fault report");
@@ -651,17 +650,25 @@ fn replication() {
             ("r3+domain-death", died),
         ] {
             let rf = r.faults.as_ref();
-            csv.push_str(&format!(
-                "{},{config},{:.3},{},{},{},{},{},{}\n",
-                strategy.label(),
-                r.overall.as_secs_f64(),
-                r.fs.bytes_written,
-                r.fs.replica_bytes_written,
-                r.fs.repair_bytes,
-                r.fs.repaired_blocks,
-                r.fs.lost_blocks,
-                rf.map_or(0, |f| f.servers_declared_dead)
-            ));
+            let mut cols = Columns::new();
+            cols.push("strategy", strategy.label())
+                .push("config", config)
+                .push("overall_s", format!("{:.3}", r.overall.as_secs_f64()))
+                .push("bytes_written", r.fs.bytes_written)
+                .push("replica_bytes", r.fs.replica_bytes_written)
+                .push("repair_bytes", r.fs.repair_bytes)
+                .push("repaired_blocks", r.fs.repaired_blocks)
+                .push("lost_blocks", r.fs.lost_blocks)
+                .push(
+                    "servers_declared_dead",
+                    rf.map_or(0, |f| f.servers_declared_dead),
+                );
+            if csv.is_empty() {
+                csv.push_str(&cols.header());
+                csv.push('\n');
+            }
+            csv.push_str(&cols.row());
+            csv.push('\n');
         }
     }
     println!("  (each death run re-ran byte-identical: recovery is deterministic)\n");
@@ -894,14 +901,101 @@ fn trace_capture(out: Option<&str>) {
         None => write_results("trace.json", &chrome),
     }
     write_results("trace_metrics.csv", &export_metrics_csv(&runs));
-    let mut report_csv = RunReport::csv_header();
-    report_csv.push('\n');
-    for r in &reports {
-        report_csv.push_str(&r.csv_row());
+    let mut report_csv = String::new();
+    for (i, r) in reports.iter().enumerate() {
+        let cols = r.columns();
+        if i == 0 {
+            report_csv.push_str(&cols.header());
+            report_csv.push('\n');
+        }
+        report_csv.push_str(&cols.row());
         report_csv.push('\n');
     }
     write_results("trace_report.csv", &report_csv);
     println!("(open the JSON in chrome://tracing or ui.perfetto.dev)");
+}
+
+/// Open-loop service mode: every strategy × scheduling policy at two
+/// offered loads, reporting per-query tail latency and shed counts.
+fn service() {
+    let loads: [f64; 2] = [2.0, 8.0];
+    let config = |strategy: Strategy, policy: SchedPolicy, rate: f64| {
+        SimParams::builder()
+            .procs(8)
+            .strategy(strategy)
+            .with_workload(|w| {
+                w.queries = 48;
+                w.fragments = 8;
+                w.min_results = 50;
+                w.max_results = 400;
+            })
+            .service(ServiceParams {
+                arrivals: ArrivalProcess::Poisson { rate },
+                policy,
+                tenants: 2,
+                queue_capacity: 12,
+                arrival_seed: 11,
+                poll_interval: SimTime::from_millis(5),
+            })
+            .build()
+            .unwrap_or_else(|e| {
+                eprintln!("repro: service params: {e}");
+                std::process::exit(2);
+            })
+    };
+
+    println!("==== Service mode: open-loop tail latency per strategy × policy ====");
+    println!("(Poisson arrivals at two offered loads; 8 procs, 48 queries, 2 tenants,");
+    println!(" queue capacity 12; latency = client submission → durable reply)\n");
+
+    let params: Vec<SimParams> = loads
+        .iter()
+        .flat_map(|&rate| {
+            SchedPolicy::ALL.iter().flat_map(move |&policy| {
+                Strategy::EXTENDED_SET
+                    .iter()
+                    .map(move |&s| config(s, policy, rate))
+            })
+        })
+        .collect();
+    let reports =
+        run_batch(&params, default_threads()).unwrap_or_else(|e| fail("service study", &e));
+
+    let mut csv = String::new();
+    let mut it = reports.iter();
+    for &rate in &loads {
+        println!("---- offered load {rate} queries/s ----");
+        println!(
+            "{:>10} {:>6} {:>9} {:>9} {:>9} {:>9} {:>5} {:>5}",
+            "strategy", "policy", "p50", "p99", "p999", "wait-p99", "shed", "peak"
+        );
+        for _policy in &SchedPolicy::ALL {
+            for _strategy in Strategy::EXTENDED_SET.iter() {
+                let r = it.next().expect("one report per configuration");
+                let svc = r.service.as_ref().expect("service report");
+                println!(
+                    "{:>10} {:>6} {:>8.3}s {:>8.3}s {:>8.3}s {:>8.3}s {:>5} {:>5}",
+                    r.strategy.label(),
+                    svc.policy.label(),
+                    svc.latency.p50.as_secs_f64(),
+                    svc.latency.p99.as_secs_f64(),
+                    svc.latency.p999.as_secs_f64(),
+                    svc.wait.p99.as_secs_f64(),
+                    svc.shed,
+                    svc.queue_peak
+                );
+                let cols = r.service_columns().expect("service columns");
+                if csv.is_empty() {
+                    csv.push_str(&cols.header());
+                    csv.push('\n');
+                }
+                csv.push_str(&cols.row());
+                csv.push('\n');
+            }
+        }
+        println!();
+    }
+    write_results("service.csv", &csv);
 }
 
 fn main() {
@@ -945,6 +1039,7 @@ fn main() {
         "faults" => faults(),
         "replication" => replication(),
         "segmentation" => segmentation(),
+        "service" => service(),
         "trace" => trace_capture(trace_out.as_deref()),
         "all" => {
             fig2(&mut cache);
@@ -960,11 +1055,12 @@ fn main() {
             ablations();
             faults();
             replication();
+            service();
             trace_capture(trace_out.as_deref());
         }
         other => {
             eprintln!("unknown target '{other}'");
-            eprintln!("usage: repro [--trace-out FILE] [fig2|fig3|fig4|fig5|fig6|fig7|claims|colllist|sieve|segmentation|ablate|faults|replication|trace|all]");
+            eprintln!("usage: repro [--trace-out FILE] [fig2|fig3|fig4|fig5|fig6|fig7|claims|colllist|sieve|segmentation|ablate|faults|replication|service|trace|all]");
             std::process::exit(2);
         }
     }

@@ -52,16 +52,20 @@ mod protocol;
 mod report;
 mod resume;
 mod runner;
+mod service;
 pub mod sweep;
 pub mod trace;
 mod worker;
 
 pub use observe::{export_chrome, export_metrics_csv};
 pub use offsets::{BatchState, WorkerPlan};
-pub use params::{ParamError, Segmentation, SimParams, SimParamsBuilder, Strategy, Testbed};
+pub use params::{
+    ParamError, RunMode, SchedPolicy, Segmentation, ServiceParams, SimParams, SimParamsBuilder,
+    Strategy, Testbed, MAX_TENANTS,
+};
 pub use phase::{Phase, PhaseBreakdown, PhaseTimer, PHASES};
 pub use protocol::{hit_order, merge_sorted_hits, Assign, OffsetsMsg, ScoresMsg};
-pub use report::RunReport;
+pub use report::{Columns, LatencyStats, QueryRecord, RunReport, ServiceReport};
 pub use resume::{
     expected_lost_time, restart_point, CommitEntry, CommitLog, CommitTracker, CrashReport,
     ResumePoint,
@@ -84,3 +88,4 @@ pub use s3a_faults::{
 };
 pub use s3a_obs::{CounterSample, Histogram, ObsReport, ObsSink, SpanEvent, Track};
 pub use s3a_pvfs::{Hazard, HazardKind, PvfsError, SanitizerReport, SimSanitizer};
+pub use s3a_workload::{Arrival, ArrivalProcess};

@@ -29,7 +29,7 @@ use s3a_pvfs::Region;
 use s3a_workload::Workload;
 
 use crate::offsets::{BatchState, WorkerPlan};
-use crate::params::{SimParams, Strategy};
+use crate::params::{SchedPolicy, SimParams, Strategy};
 use crate::phase::{Phase, PhaseBreakdown, PhaseTimer};
 use crate::protocol::{
     Assign, OffsetsMsg, ScoresMsg, ASSIGN_BYTES, TAG_ASSIGN, TAG_HEARTBEAT, TAG_OFFSETS,
@@ -37,6 +37,7 @@ use crate::protocol::{
 };
 use crate::resume::CommitTracker;
 use crate::runner::FaultCtx;
+use crate::service::{ServedEvent, ServiceTracker, ShedEvent};
 use crate::trace::TraceSink;
 
 /// Scheduling state shared by the fault-free and fault-tolerant paths,
@@ -109,6 +110,7 @@ pub async fn run_master(
     trace: TraceSink,
     commits: CommitTracker,
     faults: Option<FaultCtx>,
+    service: Option<ServiceTracker>,
 ) -> PhaseBreakdown {
     let timer = PhaseTimer::with_trace(&sim, 0, trace);
 
@@ -117,14 +119,23 @@ pub async fn run_master(
         .track(Phase::Setup, comm.bcast(0, Some(()), 1024))
         .await;
 
-    let st = MasterState::prepare(&params, &workload, comm.size() - 1);
     let crash_mode = faults
         .as_ref()
         .is_some_and(|f| f.schedule.params().crashes());
-    if crash_mode {
+    if let Some(svc) = &service {
+        // Service mode never combines with crashes (rejected by
+        // validation), so the final barrier is always reachable.
+        run_master_service(
+            &sim, &comm, &params, &workload, &file, &timer, &commits, svc,
+        )
+        .await;
+        timer.track(Phase::Sync, comm.barrier()).await;
+    } else if crash_mode {
+        let st = MasterState::prepare(&params, &workload, comm.size() - 1);
         let ctx = faults.as_ref().expect("checked above");
         run_master_faulty(&sim, &comm, &params, st, &file, &timer, &commits, ctx).await;
     } else {
+        let st = MasterState::prepare(&params, &workload, comm.size() - 1);
         run_master_normal(&sim, &comm, &params, st, &file, &timer, &commits).await;
         // Step 20/21: final synchronization before exit (fault-free runs
         // only — a dead worker can never arrive at a barrier).
@@ -304,6 +315,340 @@ async fn run_master_normal(
                 st.batches_left
             );
         }
+    }
+
+    if let Some(h) = pending_io.take() {
+        timer.track(Phase::Io, h.join()).await;
+    }
+    timer
+        .track(Phase::GatherResults, waitall_sends(&offset_sends))
+        .await;
+}
+
+/// Per-query scheduling state in service mode, created at admission.
+struct SvcQuery {
+    tenant: usize,
+    arrival: SimTime,
+    admitted: SimTime,
+    /// Set when the first fragment is handed to a worker.
+    dispatched: Option<SimTime>,
+    /// Total result bytes (the SJF size oracle).
+    bytes: u64,
+    /// Next fragment to hand out; the query is fully dispatched at `nf`.
+    next_fragment: usize,
+}
+
+/// Suspends the service master until its mailbox sees activity, the next
+/// client arrival is due, or a poll tick elapses. Same single-mailbox
+/// argument as [`NextEvent`]: one watch registration covers every wake
+/// source.
+struct SvcEvent<'a> {
+    wr: &'a RecvRequest,
+    scores: &'a [RecvRequest],
+    sleep: Sleep,
+}
+
+impl Future for SvcEvent<'_> {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        if this.wr.ready() || this.scores.iter().any(|r| r.ready()) {
+            return Poll::Ready(());
+        }
+        this.wr.watch();
+        Pin::new(&mut this.sleep).poll(cx)
+    }
+}
+
+/// The open-loop service master: admit arriving queries into a bounded
+/// queue (shedding when it is full), pick the next task by the configured
+/// scheduling policy, and flush each query's output the moment its last
+/// fragment is merged (service runs write per query).
+///
+/// Event-driven polling like the crash-tolerant loop — the master must
+/// keep observing the arrival clock even when no worker is asking for
+/// work — but without heartbeats or repair: service mode rejects worker
+/// crashes at validation.
+#[allow(clippy::too_many_arguments)]
+async fn run_master_service(
+    sim: &Sim,
+    comm: &Comm,
+    params: &SimParams,
+    workload: &Workload,
+    file: &File,
+    timer: &PhaseTimer,
+    commits: &CommitTracker,
+    svc: &ServiceTracker,
+) {
+    let sp = params.service().expect("service mode");
+    let nworkers = comm.size() - 1;
+    let nq = workload.queries.len();
+    let nf = workload.params.fragments;
+    // The arrival stream is drawn up front from its own seed: scheduling
+    // can never perturb who arrives when.
+    let arrivals = sp.arrivals.generate(nq, sp.tenants, sp.arrival_seed);
+    let bytes_of: Vec<u64> = workload
+        .queries
+        .iter()
+        .map(|q| q.hits.iter().flatten().map(|h| h.size).sum())
+        .collect();
+
+    // One batch per query: the reply is durable per query, which is what
+    // per-query latency means.
+    let mut batches: Vec<Option<BatchState>> = (0..nq)
+        .map(|q| Some(BatchState::new(q, vec![q], nf)))
+        .collect();
+    let mut batches_left = nq;
+    let mut cursor = 0u64;
+
+    let mut queries: Vec<Option<SvcQuery>> = (0..nq).map(|_| None).collect();
+    let mut next_arrival = 0usize;
+    // Admitted queries not yet first-dispatched (the bounded queue).
+    let mut queued = 0usize;
+    // Fragments admitted but not yet handed out.
+    let mut ready_fragments = 0usize;
+    // Result bytes dispatched per tenant (the fair-share ledger).
+    let mut tenant_bytes = vec![0u64; sp.tenants];
+    // TAG_OFFSETS messages sent per worker, carried in the shutdown
+    // assignment so workers know exactly how many to drain (shed queries
+    // make the count underivable from the workload).
+    let mut sent_offsets = vec![0usize; nworkers + 1];
+    let mut done = vec![false; nworkers + 1];
+    let mut pending_scores: Vec<RecvRequest> = Vec::new();
+    let mut offset_sends: Vec<SendRequest> = Vec::new();
+    // MW with nonblocking I/O: at most one query write in flight.
+    let mut pending_io: Option<JoinHandle<()>> = None;
+    let notify_all = params.strategy.inherently_synchronizing() || params.query_sync;
+
+    let mut wr_rx = comm.irecv(Source::Any, TAG_WORK_REQ);
+
+    loop {
+        // Admission: process every client submission that is due. When the
+        // master was blind for a while (an MW write), the backlog is
+        // handled in arrival order, each against the queue depth at its
+        // own admission instant — a full queue sheds honestly.
+        while next_arrival < nq && SimTime::from_nanos(arrivals[next_arrival].at_ns) <= sim.now() {
+            let a = arrivals[next_arrival];
+            let q = next_arrival;
+            next_arrival += 1;
+            if queued >= sp.queue_capacity {
+                svc.shed(ShedEvent {
+                    query: q,
+                    tenant: a.tenant,
+                    arrival: SimTime::from_nanos(a.at_ns),
+                });
+                batches[q] = None;
+                batches_left -= 1;
+                continue;
+            }
+            queries[q] = Some(SvcQuery {
+                tenant: a.tenant,
+                arrival: SimTime::from_nanos(a.at_ns),
+                admitted: sim.now(),
+                dispatched: None,
+                bytes: bytes_of[q],
+                next_fragment: 0,
+            });
+            queued += 1;
+            ready_fragments += nf;
+            svc.queue_depth(queued);
+        }
+
+        // Drain results that have arrived.
+        let mut k = 0;
+        while k < pending_scores.len() {
+            match pending_scores[k].test() {
+                Some(msg) => {
+                    let req = pending_scores.swap_remove(k);
+                    drop(req);
+                    record_scores(&mut batches, msg, 1);
+                }
+                None => k += 1,
+            }
+        }
+
+        // Flush queries whose last fragment is merged: lay out the output,
+        // write (MW) or notify the writers (WW), and record the lifecycle.
+        for b in 0..nq {
+            let complete = batches[b].as_ref().is_some_and(BatchState::is_complete);
+            if !complete {
+                continue;
+            }
+            let batch = batches[b].take().expect("checked above");
+            batches_left -= 1;
+            let (plans, total) = batch.assign_offsets(cursor);
+            let base = cursor;
+            cursor += total;
+            let sq = queries[b].as_ref().expect("complete query was admitted");
+            svc.serve(ServedEvent {
+                query: b,
+                tenant: sq.tenant,
+                arrival: sq.arrival,
+                admitted: sq.admitted,
+                dispatched: sq.dispatched.expect("complete query was dispatched"),
+                merged: sim.now(),
+                bytes: sq.bytes,
+            });
+
+            match params.strategy {
+                Strategy::Mw => {
+                    let writers = if total > 0 { vec![0] } else { Vec::new() };
+                    commits.expect(b, writers, 1, total, base, sim.now());
+                    if total > 0 {
+                        if params.mw_nonblocking_io {
+                            if let Some(h) = pending_io.take() {
+                                timer.track(Phase::Io, h.join()).await;
+                            }
+                            let fh = file.handle().clone();
+                            let ep = file.endpoint();
+                            let commits2 = commits.clone();
+                            let sim3 = sim.clone();
+                            pending_io = Some(sim.spawn("mw-bg-io", async move {
+                                fh.write_contiguous(ep, base, total)
+                                    .await
+                                    .unwrap_or_else(|e| crate::runner::io_failure(e));
+                                fh.sync(ep)
+                                    .await
+                                    .unwrap_or_else(|e| crate::runner::io_failure(e));
+                                commits2.complete_by(b, 0, sim3.now());
+                            }));
+                        } else {
+                            timer
+                                .track(Phase::Io, file.write_at(base, total))
+                                .await
+                                .unwrap_or_else(|e| crate::runner::io_failure(e));
+                            timer
+                                .track(Phase::Io, file.sync())
+                                .await
+                                .unwrap_or_else(|e| crate::runner::io_failure(e));
+                            commits.complete_by(b, 0, sim.now());
+                        }
+                    }
+                    if params.query_sync {
+                        for (w, sent) in sent_offsets.iter_mut().enumerate().skip(1) {
+                            let msg = OffsetsMsg {
+                                batch: b,
+                                offsets: Vec::new(),
+                            };
+                            let bytes = msg.wire_bytes();
+                            offset_sends.push(comm.isend(w, TAG_OFFSETS, msg, bytes));
+                            *sent += 1;
+                        }
+                    }
+                }
+                _ => {
+                    commits.expect(b, batch.contributing_workers(), 1, total, base, sim.now());
+                    let targets: Vec<usize> = if notify_all {
+                        (1..=nworkers).collect()
+                    } else {
+                        batch.contributing_workers()
+                    };
+                    for w in targets {
+                        let offsets = plans.get(&w).map(|p| p.offsets.clone()).unwrap_or_default();
+                        let msg = OffsetsMsg { batch: b, offsets };
+                        let bytes = msg.wire_bytes();
+                        offset_sends.push(comm.isend(w, TAG_OFFSETS, msg, bytes));
+                        sent_offsets[w] += 1;
+                    }
+                }
+            }
+        }
+
+        // The run is resolved once every arrival was admitted or shed,
+        // every admitted fragment was dispatched and reported back, every
+        // query's output was flushed, and every write is durable.
+        let resolved = next_arrival == nq
+            && ready_fragments == 0
+            && pending_scores.is_empty()
+            && batches_left == 0
+            && commits.pending_empty();
+
+        // Answer one work request.
+        if let Some(m) = wr_rx.test() {
+            let (_, status) = m.into_parts::<()>();
+            let w = status.source;
+            wr_rx = comm.irecv(Source::Any, TAG_WORK_REQ);
+            let candidate = match sp.policy {
+                // FIFO: arrival order is query-index order (the stream is
+                // sorted and arrival i carries query i).
+                SchedPolicy::Fifo => {
+                    (0..nq).find(|&q| queries[q].as_ref().is_some_and(|s| s.next_fragment < nf))
+                }
+                // SJF: smallest total result volume first (the master
+                // knows each query's size from the workload oracle).
+                SchedPolicy::Sjf => (0..nq)
+                    .filter(|&q| queries[q].as_ref().is_some_and(|s| s.next_fragment < nf))
+                    .min_by_key(|&q| (bytes_of[q], q)),
+                // Fair share: the tenant with the least dispatched bytes
+                // goes first; FIFO within the tenant.
+                SchedPolicy::FairShare => (0..nq)
+                    .filter(|&q| queries[q].as_ref().is_some_and(|s| s.next_fragment < nf))
+                    .min_by_key(|&q| {
+                        let t = queries[q].as_ref().expect("filtered").tenant;
+                        (tenant_bytes[t], t, q)
+                    }),
+            };
+            let assign = if let Some(q) = candidate {
+                let frag_bytes: u64 = workload.queries[q].hits[queries[q]
+                    .as_ref()
+                    .expect("candidate is admitted")
+                    .next_fragment]
+                    .iter()
+                    .map(|h| h.size)
+                    .sum();
+                let sq = queries[q].as_mut().expect("candidate is admitted");
+                let f = sq.next_fragment;
+                sq.next_fragment += 1;
+                if sq.dispatched.is_none() {
+                    sq.dispatched = Some(sim.now());
+                    queued -= 1;
+                }
+                tenant_bytes[sq.tenant] += frag_bytes;
+                ready_fragments -= 1;
+                pending_scores.push(comm.irecv(w, TAG_SCORES));
+                Assign::Task {
+                    query: q,
+                    fragment: f,
+                }
+            } else if resolved {
+                done[w] = true;
+                Assign::Shutdown {
+                    offsets: sent_offsets[w],
+                }
+            } else {
+                Assign::Wait
+            };
+            let bytes = assign.wire_bytes();
+            timer
+                .track(
+                    Phase::DataDistribution,
+                    comm.send(w, TAG_ASSIGN, assign, bytes),
+                )
+                .await;
+            continue;
+        }
+
+        if (1..=nworkers).all(|w| done[w]) {
+            break;
+        }
+
+        // Idle: wake on mailbox activity, the next arrival, or a poll
+        // tick (whichever is first).
+        let mut delay = sp.poll_interval;
+        if next_arrival < nq {
+            let due = SimTime::from_nanos(arrivals[next_arrival].at_ns);
+            delay = delay.min(due.saturating_sub(sim.now()));
+        }
+        timer
+            .track(
+                Phase::DataDistribution,
+                SvcEvent {
+                    wr: &wr_rx,
+                    scores: &pending_scores,
+                    sleep: sim.sleep(delay),
+                },
+            )
+            .await;
     }
 
     if let Some(h) = pending_io.take() {

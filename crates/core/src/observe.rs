@@ -8,9 +8,10 @@
 //! always serialise to the same bytes (see `s3a_obs::chrome`).
 
 use s3a_obs::chrome::ChromeTrace;
-use s3a_obs::{Histogram, ObsReport, Track};
+use s3a_obs::{Histogram, ObsReport, ObsSink, Track};
 
-use crate::report::RunReport;
+use crate::params::MAX_TENANTS;
+use crate::report::{RunReport, ServiceReport};
 
 /// Spacing between the pid blocks of consecutive runs in one trace file.
 const PID_STRIDE: u64 = 10;
@@ -106,6 +107,44 @@ pub fn summarize(report: &RunReport) -> String {
         );
     }
     s
+}
+
+/// Per-tenant latency histogram names (histogram names must be
+/// `&'static str`, which is why tenant counts are capped at
+/// [`MAX_TENANTS`]).
+const TENANT_LATENCY: [&str; MAX_TENANTS] = [
+    "svc.latency.t0",
+    "svc.latency.t1",
+    "svc.latency.t2",
+    "svc.latency.t3",
+    "svc.latency.t4",
+    "svc.latency.t5",
+    "svc.latency.t6",
+    "svc.latency.t7",
+];
+
+/// Publish a service run's measurements into the observability recording:
+/// one span per query lifecycle stage on the master's track (queued →
+/// admitted → dispatched → merged → replied), log₂ latency histograms
+/// (overall, scheduling wait, and per tenant), and the admission
+/// counters. Called by the runner after the simulation, before the sink
+/// is sealed — post-hoc publication never perturbs virtual time.
+pub(crate) fn publish_service_obs(sink: &ObsSink, svc: &ServiceReport) {
+    for r in &svc.queries {
+        let args: [(&'static str, u64); 2] =
+            [("query", r.query as u64), ("tenant", r.tenant as u64)];
+        sink.span(Track::Rank(0), "svc.queued", r.arrival, r.admitted, &args);
+        sink.span(Track::Rank(0), "svc.sched", r.admitted, r.dispatched, &args);
+        sink.span(Track::Rank(0), "svc.run", r.dispatched, r.merged, &args);
+        sink.span(Track::Rank(0), "svc.reply", r.merged, r.replied, &args);
+        sink.observe_time("svc.latency", r.latency());
+        sink.observe_time("svc.wait", r.wait());
+        sink.observe_time(TENANT_LATENCY[r.tenant], r.latency());
+    }
+    sink.add("svc.offered", svc.offered as u64);
+    sink.add("svc.admitted", svc.admitted as u64);
+    sink.add("svc.shed", svc.shed as u64);
+    sink.add("svc.completed", svc.completed as u64);
 }
 
 /// The non-empty log₂ buckets of a histogram as `(lower_bound, count)`

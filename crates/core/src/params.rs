@@ -6,9 +6,14 @@ use s3a_faults::FaultParams;
 use s3a_mpi::MpiConfig;
 use s3a_net::{Bandwidth, NetConfig};
 use s3a_pvfs::PvfsConfig;
-use s3a_workload::WorkloadParams;
+use s3a_workload::{ArrivalProcess, WorkloadParams};
 
 use crate::resume::ResumePoint;
+
+/// Most tenants a service run may model. Per-tenant latency series carry
+/// `&'static` metric names in the observability registry, so the tenant
+/// space is a small fixed set rather than an open-ended one.
+pub const MAX_TENANTS: usize = 8;
 
 /// The result-writing strategy (paper §2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -86,6 +91,92 @@ impl std::fmt::Display for Strategy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
     }
+}
+
+/// How the master picks the next task when a worker asks for work in
+/// service mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedPolicy {
+    /// Serve admitted queries strictly in arrival order.
+    #[default]
+    Fifo,
+    /// Shortest job first: among admitted queries, dispatch the one with
+    /// the smallest total result volume (the simulator's size oracle
+    /// stands in for a production size estimator). Classic tail-latency
+    /// winner under heavy-tailed job sizes; starves the largest jobs
+    /// under overload.
+    Sjf,
+    /// Fair share across tenants: pick the tenant with the least result
+    /// bytes dispatched so far, then its earliest-arrived query.
+    FairShare,
+}
+
+impl SchedPolicy {
+    /// Every policy, in presentation order.
+    pub const ALL: [SchedPolicy; 3] = [SchedPolicy::Fifo, SchedPolicy::Sjf, SchedPolicy::FairShare];
+
+    /// Short label used in reports and CSV rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedPolicy::Fifo => "FIFO",
+            SchedPolicy::Sjf => "SJF",
+            SchedPolicy::FairShare => "FAIR",
+        }
+    }
+}
+
+impl std::fmt::Display for SchedPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Service-mode knobs: the arrival stream, the scheduling policy, and the
+/// admission queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceParams {
+    /// How simulated clients submit queries over virtual time.
+    pub arrivals: ArrivalProcess,
+    /// Master-side scheduling policy.
+    pub policy: SchedPolicy,
+    /// Tenants sharing the service (`1..=MAX_TENANTS`); each arrival is
+    /// attributed to one tenant by the seeded stream.
+    pub tenants: usize,
+    /// Bounded admission queue: most queries that may sit admitted but
+    /// not yet dispatched. An arrival that finds the queue full is shed
+    /// (counted, never run) instead of growing the backlog without bound.
+    pub queue_capacity: usize,
+    /// Seed for the arrival stream (independent of the workload seed, so
+    /// the same queries can be replayed under a different traffic trace).
+    pub arrival_seed: u64,
+    /// Idle back-off: how long a worker waits after a `Wait` assignment
+    /// before asking for work again (no arrival may be due yet).
+    pub poll_interval: SimTime,
+}
+
+impl Default for ServiceParams {
+    fn default() -> Self {
+        ServiceParams {
+            arrivals: ArrivalProcess::Poisson { rate: 4.0 },
+            policy: SchedPolicy::Fifo,
+            tenants: 2,
+            queue_capacity: 64,
+            arrival_seed: 7,
+            poll_interval: SimTime::from_millis(5),
+        }
+    }
+}
+
+/// What one run models: a closed batch (the paper's setting) or an
+/// open-loop service under client traffic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum RunMode {
+    /// All queries are present at time zero; the run measures makespan.
+    #[default]
+    Batch,
+    /// Queries arrive over virtual time; the run measures per-query
+    /// latency under admission control and a scheduling policy.
+    Service(ServiceParams),
 }
 
 /// How the search is partitioned across workers (paper §1).
@@ -210,6 +301,8 @@ pub struct SimParams {
     /// Restart from a prior run's durable checkpoint: the listed batches
     /// are skipped and output starts at the recorded base offset.
     pub resume_from: Option<ResumePoint>,
+    /// Batch (default) or open-loop service mode.
+    pub mode: RunMode,
     /// The synthetic search workload.
     pub workload: WorkloadParams,
     /// Cluster and compute-model constants.
@@ -237,6 +330,7 @@ impl Default for SimParams {
             sanitize: false,
             faults: FaultParams::default(),
             resume_from: None,
+            mode: RunMode::Batch,
             workload: WorkloadParams::default(),
             testbed: Testbed::default(),
         }
@@ -262,6 +356,30 @@ impl SimParams {
         let base = self.testbed.compute_startup.as_secs_f64() * startups as f64
             + self.testbed.compute_per_result_byte.as_secs_f64() * result_bytes as f64;
         SimTime::from_secs_f64(base / self.compute_speed)
+    }
+
+    /// The service-mode parameters, when this run is a service run.
+    pub fn service(&self) -> Option<&ServiceParams> {
+        match &self.mode {
+            RunMode::Batch => None,
+            RunMode::Service(sp) => Some(sp),
+        }
+    }
+
+    /// Is this an open-loop service run?
+    pub fn is_service(&self) -> bool {
+        matches!(self.mode, RunMode::Service(_))
+    }
+
+    /// Queries per write batch for a workload of `nq` queries. Service
+    /// runs always write per query — each query's reply time is its own
+    /// batch commit — while batch runs group `write_every_n_queries`.
+    pub fn batch_granularity(&self, nq: usize) -> usize {
+        if self.is_service() {
+            1
+        } else {
+            self.write_every_n_queries.min(nq)
+        }
     }
 
     /// Bytes a query-segmentation worker must re-read from the file
@@ -350,19 +468,55 @@ impl SimParams {
                 });
             }
         }
-        Ok(())
-    }
-
-    /// Validate the parameter combination, panicking with a clear message
-    /// on nonsense (fewer than 2 procs, zero batch size, ...).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `SimParams::builder().build()` or `try_validate()` for a typed error"
-    )]
-    pub fn validate(&self) {
-        if let Err(e) = self.try_validate() {
-            panic!("{e}");
+        if let Some(sp) = self.service() {
+            let rates = match sp.arrivals {
+                ArrivalProcess::Poisson { rate } => [rate, rate],
+                ArrivalProcess::Bursty {
+                    base_rate,
+                    burst_rate,
+                    ..
+                } => [base_rate, burst_rate],
+                ArrivalProcess::Diurnal {
+                    trough_rate,
+                    peak_rate,
+                    ..
+                } => [trough_rate, peak_rate],
+            };
+            for rate in rates {
+                if rate.is_nan() || rate <= 0.0 {
+                    return Err(ParamError::ZeroArrivalRate { rate });
+                }
+            }
+            let shape: Option<(&'static str, f64)> = match &sp.arrivals {
+                ArrivalProcess::Poisson { .. } => None,
+                ArrivalProcess::Bursty { mean_dwell, .. } => Some(("mean_dwell", *mean_dwell)),
+                ArrivalProcess::Diurnal { period, .. } => Some(("period", *period)),
+            };
+            if let Some((what, value)) = shape {
+                if value.is_nan() || value <= 0.0 {
+                    return Err(ParamError::NonPositiveArrivalShape { what, value });
+                }
+            }
+            if sp.queue_capacity == 0 {
+                return Err(ParamError::ZeroServiceQueue);
+            }
+            if sp.tenants == 0 || sp.tenants > MAX_TENANTS {
+                return Err(ParamError::TenantsOutOfRange {
+                    tenants: sp.tenants,
+                    max: MAX_TENANTS,
+                });
+            }
+            if sp.poll_interval == SimTime::ZERO {
+                return Err(ParamError::ZeroPollInterval);
+            }
+            if self.faults.crashes() {
+                return Err(ParamError::ServiceCrashesUnsupported);
+            }
+            if self.resume_from.is_some() {
+                return Err(ParamError::ServiceResumeUnsupported);
+            }
         }
+        Ok(())
     }
 }
 
@@ -437,6 +591,39 @@ pub enum ParamError {
     /// The I/O retry limit cannot be zero: a single outage tick would
     /// fail every request instantly with no backoff at all.
     ZeroRetryLimit,
+    /// A service-mode arrival rate must be positive and finite.
+    ZeroArrivalRate {
+        /// The rejected rate (queries per second).
+        rate: f64,
+    },
+    /// A service-mode arrival-shape parameter (burst dwell, diurnal
+    /// period) must be positive and finite.
+    NonPositiveArrivalShape {
+        /// Which parameter was rejected.
+        what: &'static str,
+        /// The rejected value (seconds).
+        value: f64,
+    },
+    /// The service admission queue must hold at least one query —
+    /// capacity zero would shed every arrival.
+    ZeroServiceQueue,
+    /// The tenant count must be in `1..=MAX_TENANTS` (per-tenant metric
+    /// names are a small fixed set).
+    TenantsOutOfRange {
+        /// The rejected tenant count.
+        tenants: usize,
+        /// The largest supported count ([`MAX_TENANTS`]).
+        max: usize,
+    },
+    /// The service idle poll interval cannot be zero: an idle worker
+    /// would re-request work at the same virtual instant forever.
+    ZeroPollInterval,
+    /// Service mode does not support worker-crash injection (message and
+    /// server faults are fine); crash recovery is a batch-mode facility.
+    ServiceCrashesUnsupported,
+    /// Service mode does not support resuming from a checkpoint: arrivals
+    /// are a traffic trace, not a resumable batch.
+    ServiceResumeUnsupported,
 }
 
 impl std::fmt::Display for ParamError {
@@ -489,6 +676,31 @@ impl std::fmt::Display for ParamError {
                  domains — two copies would share a domain"
             ),
             ParamError::ZeroRetryLimit => write!(f, "retry limit must be >= 1"),
+            ParamError::ZeroArrivalRate { rate } => {
+                write!(f, "arrival rate must be positive, got {rate}")
+            }
+            ParamError::NonPositiveArrivalShape { what, value } => {
+                write!(f, "arrival {what} must be positive, got {value}")
+            }
+            ParamError::ZeroServiceQueue => {
+                write!(f, "service admission queue capacity must be >= 1")
+            }
+            ParamError::TenantsOutOfRange { tenants, max } => {
+                write!(f, "tenants must be in 1..={max}, got {tenants}")
+            }
+            ParamError::ZeroPollInterval => {
+                write!(f, "service poll interval must be nonzero")
+            }
+            ParamError::ServiceCrashesUnsupported => write!(
+                f,
+                "service mode does not support worker-crash injection; \
+                 use batch mode for crash-recovery experiments"
+            ),
+            ParamError::ServiceResumeUnsupported => write!(
+                f,
+                "service mode cannot resume from a checkpoint; arrivals \
+                 are a traffic trace, not a resumable batch"
+            ),
         }
     }
 }
@@ -648,6 +860,32 @@ impl SimParamsBuilder {
     /// Resume from a prior run's durable checkpoint.
     pub fn resume_from(mut self, resume: ResumePoint) -> Self {
         self.params.resume_from = Some(resume);
+        self
+    }
+
+    /// Batch (default) or open-loop service mode.
+    pub fn mode(mut self, mode: RunMode) -> Self {
+        self.params.mode = mode;
+        self
+    }
+
+    /// Run as an open-loop service with these knobs (shorthand for
+    /// [`SimParamsBuilder::mode`] with [`RunMode::Service`]).
+    pub fn service(mut self, service: ServiceParams) -> Self {
+        self.params.mode = RunMode::Service(service);
+        self
+    }
+
+    /// Mutate the service knobs in place, switching to service mode if
+    /// the builder was still in batch mode (keeps the other
+    /// [`ServiceParams`] defaults).
+    pub fn with_service(mut self, f: impl FnOnce(&mut ServiceParams)) -> Self {
+        let mut sp = match self.params.mode {
+            RunMode::Service(sp) => sp,
+            RunMode::Batch => ServiceParams::default(),
+        };
+        f(&mut sp);
+        self.params.mode = RunMode::Service(sp);
         self
     }
 
@@ -991,6 +1229,122 @@ mod tests {
         assert_eq!(p.testbed.pvfs.scrub_interval, SimTime::from_secs(5));
         assert_eq!(p.faults.max_io_retries, 7);
         assert_eq!(p.faults.io_retry_backoff, SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn builder_rejects_bad_service_configs() {
+        let err = SimParams::builder()
+            .with_service(|s| s.arrivals = ArrivalProcess::Poisson { rate: 0.0 })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ParamError::ZeroArrivalRate { rate: 0.0 });
+        let err = SimParams::builder()
+            .with_service(|s| {
+                s.arrivals = ArrivalProcess::Bursty {
+                    base_rate: 1.0,
+                    burst_rate: -2.0,
+                    mean_dwell: 1.0,
+                }
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ParamError::ZeroArrivalRate { rate: -2.0 });
+        let err = SimParams::builder()
+            .with_service(|s| {
+                s.arrivals = ArrivalProcess::Diurnal {
+                    trough_rate: 1.0,
+                    peak_rate: 2.0,
+                    period: 0.0,
+                }
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ParamError::NonPositiveArrivalShape {
+                what: "period",
+                value: 0.0
+            }
+        );
+        assert_eq!(
+            SimParams::builder()
+                .with_service(|s| s.queue_capacity = 0)
+                .build()
+                .unwrap_err(),
+            ParamError::ZeroServiceQueue
+        );
+        for tenants in [0usize, MAX_TENANTS + 1] {
+            assert_eq!(
+                SimParams::builder()
+                    .with_service(|s| s.tenants = tenants)
+                    .build()
+                    .unwrap_err(),
+                ParamError::TenantsOutOfRange {
+                    tenants,
+                    max: MAX_TENANTS
+                }
+            );
+        }
+        assert_eq!(
+            SimParams::builder()
+                .with_service(|s| s.poll_interval = SimTime::ZERO)
+                .build()
+                .unwrap_err(),
+            ParamError::ZeroPollInterval
+        );
+        assert_eq!(
+            SimParams::builder()
+                .procs(8)
+                .faults(one_crash())
+                .service(ServiceParams::default())
+                .build()
+                .unwrap_err(),
+            ParamError::ServiceCrashesUnsupported
+        );
+        assert_eq!(
+            SimParams::builder()
+                .resume_from(ResumePoint::default())
+                .service(ServiceParams::default())
+                .build()
+                .unwrap_err(),
+            ParamError::ServiceResumeUnsupported
+        );
+    }
+
+    #[test]
+    fn service_mode_helpers_and_defaults() {
+        let batch = SimParams::builder().build().expect("valid");
+        assert!(!batch.is_service());
+        assert!(batch.service().is_none());
+        assert_eq!(batch.mode, RunMode::Batch);
+        // Batch granularity unchanged by the mode machinery.
+        assert_eq!(batch.batch_granularity(20), 1);
+        let grouped = SimParams::builder()
+            .write_every_n_queries(5)
+            .build()
+            .expect("valid");
+        assert_eq!(grouped.batch_granularity(20), 5);
+        assert_eq!(grouped.batch_granularity(3), 3);
+
+        let svc = SimParams::builder()
+            .service(ServiceParams::default())
+            .write_every_n_queries(5)
+            .build()
+            .expect("service defaults are valid");
+        assert!(svc.is_service());
+        let sp = svc.service().expect("service params");
+        assert_eq!(sp.policy, SchedPolicy::Fifo);
+        assert_eq!(sp.tenants, 2);
+        // Service runs always write per query.
+        assert_eq!(svc.batch_granularity(20), 1);
+    }
+
+    #[test]
+    fn sched_policy_labels() {
+        assert_eq!(SchedPolicy::ALL.len(), 3);
+        assert_eq!(SchedPolicy::Fifo.to_string(), "FIFO");
+        assert_eq!(SchedPolicy::Sjf.to_string(), "SJF");
+        assert_eq!(SchedPolicy::FairShare.to_string(), "FAIR");
     }
 
     #[test]

@@ -59,8 +59,19 @@ pub enum Assign {
         /// The exact file regions the dead worker was told to write.
         regions: Vec<Region>,
     },
-    /// All queries have been scheduled; no more work will come.
+    /// All queries have been scheduled; no more work will come. In
+    /// service mode the master additionally tells the worker how many
+    /// offset messages it will ultimately receive, because shed queries
+    /// make that count impossible to derive locally from the workload.
     Done,
+    /// Service-mode end-of-work: like [`Assign::Done`], but carries the
+    /// total number of [`TAG_OFFSETS`] messages the master has sent (or
+    /// will send) this worker, so the worker can drain exactly that many
+    /// before leaving.
+    Shutdown {
+        /// Total offset messages addressed to this worker over the run.
+        offsets: usize,
+    },
 }
 
 impl Assign {

@@ -1,5 +1,8 @@
 //! Run reports: per-phase breakdowns, verification, and text rendering.
 
+use std::collections::BTreeMap;
+use std::fmt;
+
 use s3a_des::{Sim, SimStats, SimTime};
 use s3a_faults::FaultReport;
 use s3a_mpi::{MpiStats, World};
@@ -7,11 +10,277 @@ use s3a_obs::ObsReport;
 use s3a_pvfs::{FileHandle, FileSystem, FsStats, SanitizerReport};
 use s3a_workload::Workload;
 
-use crate::params::{SimParams, Strategy};
+use crate::params::{SchedPolicy, ServiceParams, SimParams, Strategy};
 use crate::phase::{Phase, PhaseBreakdown, PHASES};
 use crate::resume::CommitLog;
+use crate::service::ServiceLog;
 use crate::trace::Trace;
 use crate::worker::WorkerStats;
+
+/// A typed column set: names paired with rendered values, appended
+/// together so a CSV surface can never emit a header that disagrees with
+/// its rows. Every table the crate writes — batch sweep tables,
+/// `results/replication.csv`, `results/service.csv` — derives both its
+/// header line and its data rows from one `Columns` value.
+#[derive(Debug, Clone, Default)]
+pub struct Columns {
+    cols: Vec<(String, String)>,
+}
+
+impl Columns {
+    /// An empty column set.
+    pub fn new() -> Columns {
+        Columns::default()
+    }
+
+    /// Append one column, rendering the value with `Display`.
+    pub fn push(&mut self, name: impl Into<String>, value: impl fmt::Display) -> &mut Columns {
+        self.cols.push((name.into(), value.to_string()));
+        self
+    }
+
+    /// Append one virtual-time column in seconds, fixed at six decimals
+    /// (the format every table in this crate uses for durations).
+    pub fn push_secs(&mut self, name: impl Into<String>, t: SimTime) -> &mut Columns {
+        self.cols
+            .push((name.into(), format!("{:.6}", t.as_secs_f64())));
+        self
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// True when no column was appended.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Column names.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.cols.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// The CSV header line (names joined by commas).
+    pub fn header(&self) -> String {
+        self.cols
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// One CSV data row (values joined by commas).
+    pub fn row(&self) -> String {
+        self.cols
+            .iter()
+            .map(|(_, v)| v.as_str())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// Percentile summary of one latency population (nearest-rank, exact —
+/// computed from the recorded per-query values, not from histogram
+/// buckets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Population size.
+    pub count: usize,
+    /// Median.
+    pub p50: SimTime,
+    /// 99th percentile.
+    pub p99: SimTime,
+    /// 99.9th percentile.
+    pub p999: SimTime,
+    /// Arithmetic mean.
+    pub mean: SimTime,
+    /// Worst observation.
+    pub max: SimTime,
+}
+
+impl Default for LatencyStats {
+    fn default() -> LatencyStats {
+        LatencyStats {
+            count: 0,
+            p50: SimTime::ZERO,
+            p99: SimTime::ZERO,
+            p999: SimTime::ZERO,
+            mean: SimTime::ZERO,
+            max: SimTime::ZERO,
+        }
+    }
+}
+
+impl LatencyStats {
+    /// Summarize a population of nanosecond observations. Percentiles use
+    /// the nearest-rank definition: the smallest observation such that at
+    /// least `q` of the population is at or below it.
+    pub fn from_ns(mut ns: Vec<u64>) -> LatencyStats {
+        if ns.is_empty() {
+            return LatencyStats::default();
+        }
+        ns.sort_unstable();
+        let n = ns.len();
+        let pick = |q: f64| {
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            SimTime::from_nanos(ns[rank - 1])
+        };
+        let sum: u128 = ns.iter().map(|&v| v as u128).sum();
+        LatencyStats {
+            count: n,
+            p50: pick(0.50),
+            p99: pick(0.99),
+            p999: pick(0.999),
+            mean: SimTime::from_nanos((sum / n as u128) as u64),
+            max: SimTime::from_nanos(ns[n - 1]),
+        }
+    }
+}
+
+/// One completed query's full service lifecycle, in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryRecord {
+    /// Query index (also its batch index: service runs write per query).
+    pub query: usize,
+    /// Submitting tenant.
+    pub tenant: usize,
+    /// Scheduled client submission instant.
+    pub arrival: SimTime,
+    /// When the master accepted it into the bounded queue.
+    pub admitted: SimTime,
+    /// When its first fragment was handed to a worker.
+    pub dispatched: SimTime,
+    /// When the master merged the last fragment's scores and laid out the
+    /// output.
+    pub merged: SimTime,
+    /// When its result bytes were durable on disk (the reply).
+    pub replied: SimTime,
+    /// Total result bytes.
+    pub bytes: u64,
+}
+
+impl QueryRecord {
+    /// End-to-end latency: submission to durable reply.
+    pub fn latency(&self) -> SimTime {
+        self.replied.saturating_sub(self.arrival)
+    }
+
+    /// Scheduling delay: submission to first dispatch.
+    pub fn wait(&self) -> SimTime {
+        self.dispatched.saturating_sub(self.arrival)
+    }
+}
+
+/// What a service-mode run measured: admission accounting and per-query
+/// tail latency, riding along inside [`RunReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceReport {
+    /// Arrival-process label (`poisson` / `bursty` / `diurnal`).
+    pub arrival: &'static str,
+    /// Long-run mean offered rate, queries per second.
+    pub offered_rate: f64,
+    /// Scheduling policy the master used.
+    pub policy: SchedPolicy,
+    /// Tenant count.
+    pub tenants: usize,
+    /// Bounded admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Queries the clients submitted.
+    pub offered: usize,
+    /// Queries accepted into the queue.
+    pub admitted: usize,
+    /// Queries turned away at a full queue.
+    pub shed: usize,
+    /// Queries served to a durable reply (every admitted query).
+    pub completed: usize,
+    /// Highest queue depth observed.
+    pub queue_peak: usize,
+    /// Indices of shed queries, ascending.
+    pub shed_queries: Vec<usize>,
+    /// Completed queries with full lifecycle timestamps, by query index.
+    pub queries: Vec<QueryRecord>,
+    /// End-to-end latency summary over all completed queries.
+    pub latency: LatencyStats,
+    /// Scheduling-delay summary over all completed queries.
+    pub wait: LatencyStats,
+    /// Per-tenant end-to-end latency summaries (`tenants` entries).
+    pub per_tenant: Vec<LatencyStats>,
+}
+
+impl ServiceReport {
+    /// Join the master's milestones with the commit log (which knows when
+    /// each query's bytes became durable) into the final report.
+    pub(crate) fn assemble(
+        sp: &ServiceParams,
+        log: ServiceLog,
+        commits: &CommitLog,
+    ) -> ServiceReport {
+        let committed: BTreeMap<usize, SimTime> = commits
+            .entries()
+            .iter()
+            .map(|e| (e.batch, e.committed_at))
+            .collect();
+        let mut queries: Vec<QueryRecord> = log
+            .served
+            .iter()
+            .map(|ev| QueryRecord {
+                query: ev.query,
+                tenant: ev.tenant,
+                arrival: ev.arrival,
+                admitted: ev.admitted,
+                dispatched: ev.dispatched,
+                merged: ev.merged,
+                replied: *committed
+                    .get(&ev.query)
+                    .unwrap_or_else(|| panic!("served query {} never committed", ev.query)),
+                bytes: ev.bytes,
+            })
+            .collect();
+        queries.sort_by_key(|r| r.query);
+        let mut shed_queries: Vec<usize> = log.shed.iter().map(|s| s.query).collect();
+        shed_queries.sort_unstable();
+
+        let latency =
+            LatencyStats::from_ns(queries.iter().map(|r| r.latency().as_nanos()).collect());
+        let wait = LatencyStats::from_ns(queries.iter().map(|r| r.wait().as_nanos()).collect());
+        let per_tenant = (0..sp.tenants)
+            .map(|t| {
+                LatencyStats::from_ns(
+                    queries
+                        .iter()
+                        .filter(|r| r.tenant == t)
+                        .map(|r| r.latency().as_nanos())
+                        .collect(),
+                )
+            })
+            .collect();
+
+        ServiceReport {
+            arrival: sp.arrivals.label(),
+            offered_rate: sp.arrivals.mean_rate(),
+            policy: sp.policy,
+            tenants: sp.tenants,
+            queue_capacity: sp.queue_capacity,
+            offered: queries.len() + shed_queries.len(),
+            admitted: queries.len(),
+            shed: shed_queries.len(),
+            completed: queries.len(),
+            queue_peak: log.queue_peak,
+            shed_queries,
+            queries,
+            latency,
+            wait,
+            per_tenant,
+        }
+    }
+
+    /// Total result bytes the completed (non-shed) queries produced.
+    pub fn completed_bytes(&self) -> u64 {
+        self.queries.iter().map(|r| r.bytes).sum()
+    }
+}
 
 /// Everything measured in one S3aSim run.
 #[derive(Debug, Clone)]
@@ -62,6 +331,9 @@ pub struct RunReport {
     /// Race-sanitizer findings, when `SimParams::sanitize` was set. A
     /// clean run carries `Some` with an empty hazard list.
     pub sanitizer: Option<SanitizerReport>,
+    /// Service-mode measurements (admission accounting, tail latency),
+    /// when the run used [`crate::params::RunMode::Service`].
+    pub service: Option<ServiceReport>,
 }
 
 impl RunReport {
@@ -82,6 +354,7 @@ impl RunReport {
         sim: &Sim,
         faults: Option<FaultReport>,
         sanitizer: Option<SanitizerReport>,
+        service: Option<ServiceReport>,
     ) -> RunReport {
         let worker_mean = PhaseBreakdown::mean(&workers);
         // A resumed run only owes the bytes above its checkpoint; the
@@ -91,6 +364,12 @@ impl RunReport {
             .as_ref()
             .map(|r| r.base_offset)
             .unwrap_or(0);
+        // A service run only owes the bytes of the queries it admitted;
+        // shed queries produce no output by design.
+        let expected_bytes = match &service {
+            Some(svc) => svc.completed_bytes(),
+            None => workload.total_bytes() - resumed_base,
+        };
         RunReport {
             strategy: params.strategy,
             procs: params.procs,
@@ -101,7 +380,7 @@ impl RunReport {
             workers,
             worker_mean,
             worker_stats,
-            expected_bytes: workload.total_bytes() - resumed_base,
+            expected_bytes,
             covered_bytes: out.covered_bytes(),
             overlap_bytes: out.overlap_bytes(),
             extent_count: out.extent_count(),
@@ -114,6 +393,7 @@ impl RunReport {
             commits,
             faults,
             sanitizer,
+            service,
         }
     }
 
@@ -182,40 +462,115 @@ impl RunReport {
         s
     }
 
+    /// The typed column set of the batch report: strategy identity, the
+    /// overall time, the worker-mean phase breakdown, and I/O counters.
+    /// Both [`RunReport::csv_header`] and [`RunReport::csv_row`] derive
+    /// from this one definition.
+    pub fn columns(&self) -> Columns {
+        let mut cols = Columns::new();
+        cols.push("strategy", self.strategy.label())
+            .push("procs", self.procs)
+            .push("sync", if self.query_sync { "sync" } else { "no-sync" })
+            .push("compute_speed", self.compute_speed)
+            .push_secs("overall_s", self.overall);
+        for p in PHASES {
+            cols.push_secs(
+                format!("{}_s", p.name().to_lowercase().replace([' ', '/'], "_")),
+                self.worker_mean.get(p),
+            );
+        }
+        cols.push("bytes", self.covered_bytes)
+            .push("fs_requests", self.fs.requests);
+        cols
+    }
+
     /// One CSV row of the full report (see [`RunReport::csv_header`]).
     pub fn csv_row(&self) -> String {
-        let mut cols = vec![
-            self.strategy.label().to_string(),
-            self.procs.to_string(),
-            if self.query_sync { "sync" } else { "no-sync" }.to_string(),
-            format!("{}", self.compute_speed),
-            format!("{:.6}", self.overall.as_secs_f64()),
-        ];
-        for p in PHASES {
-            cols.push(format!("{:.6}", self.worker_mean.get(p).as_secs_f64()));
-        }
-        cols.push(self.covered_bytes.to_string());
-        cols.push(self.fs.requests.to_string());
-        cols.join(",")
+        self.columns().row()
     }
 
     /// Column names for [`RunReport::csv_row`].
-    pub fn csv_header() -> String {
-        let mut cols = vec![
-            "strategy".to_string(),
-            "procs".to_string(),
-            "sync".to_string(),
-            "compute_speed".to_string(),
-            "overall_s".to_string(),
-        ];
-        for p in PHASES {
-            cols.push(format!(
-                "{}_s",
-                p.name().to_lowercase().replace([' ', '/'], "_")
-            ));
-        }
-        cols.push("bytes".to_string());
-        cols.push("fs_requests".to_string());
-        cols.join(",")
+    pub fn csv_header(&self) -> String {
+        self.columns().header()
+    }
+
+    /// The typed column set for service-mode tables: run identity plus
+    /// the admission accounting and latency percentiles. `None` for batch
+    /// runs.
+    pub fn service_columns(&self) -> Option<Columns> {
+        let svc = self.service.as_ref()?;
+        let mut cols = Columns::new();
+        cols.push("strategy", self.strategy.label())
+            .push("policy", svc.policy.label())
+            .push("arrival", svc.arrival)
+            .push("rate_qps", svc.offered_rate)
+            .push("procs", self.procs)
+            .push("offered", svc.offered)
+            .push("admitted", svc.admitted)
+            .push("shed", svc.shed)
+            .push("completed", svc.completed)
+            .push("queue_peak", svc.queue_peak)
+            .push_secs("latency_p50_s", svc.latency.p50)
+            .push_secs("latency_p99_s", svc.latency.p99)
+            .push_secs("latency_p999_s", svc.latency.p999)
+            .push_secs("latency_mean_s", svc.latency.mean)
+            .push_secs("latency_max_s", svc.latency.max)
+            .push_secs("wait_p50_s", svc.wait.p50)
+            .push_secs("wait_p99_s", svc.wait.p99);
+        Some(cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_keep_names_and_values_paired() {
+        let mut c = Columns::new();
+        c.push("a", 1)
+            .push("b", "x")
+            .push_secs("t_s", SimTime::from_millis(1500));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.header(), "a,b,t_s");
+        assert_eq!(c.row(), "1,x,1.500000");
+        assert_eq!(c.names().collect::<Vec<_>>(), vec!["a", "b", "t_s"]);
+        assert!(Columns::new().is_empty());
+    }
+
+    #[test]
+    fn latency_stats_nearest_rank() {
+        // 1..=1000 ns: nearest-rank percentiles are exact values.
+        let s = LatencyStats::from_ns((1..=1000).collect());
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.p50, SimTime::from_nanos(500));
+        assert_eq!(s.p99, SimTime::from_nanos(990));
+        assert_eq!(s.p999, SimTime::from_nanos(999));
+        assert_eq!(s.max, SimTime::from_nanos(1000));
+        assert_eq!(s.mean, SimTime::from_nanos(500)); // 500.5 floored
+
+        // A single observation is every percentile.
+        let one = LatencyStats::from_ns(vec![7]);
+        assert_eq!(one.p50, SimTime::from_nanos(7));
+        assert_eq!(one.p999, SimTime::from_nanos(7));
+        assert_eq!(one.max, SimTime::from_nanos(7));
+
+        assert_eq!(LatencyStats::from_ns(Vec::new()), LatencyStats::default());
+    }
+
+    #[test]
+    fn query_record_latency_and_wait() {
+        let r = QueryRecord {
+            query: 3,
+            tenant: 1,
+            arrival: SimTime::from_millis(10),
+            admitted: SimTime::from_millis(12),
+            dispatched: SimTime::from_millis(15),
+            merged: SimTime::from_millis(40),
+            replied: SimTime::from_millis(45),
+            bytes: 64,
+        };
+        assert_eq!(r.latency(), SimTime::from_millis(35));
+        assert_eq!(r.wait(), SimTime::from_millis(5));
     }
 }

@@ -14,9 +14,11 @@ use s3a_pvfs::{FileSystem, PvfsError, SimSanitizer};
 use s3a_workload::Workload;
 
 use crate::master::run_master;
+use crate::observe::publish_service_obs;
 use crate::params::{ParamError, Segmentation, SimParams};
-use crate::report::RunReport;
+use crate::report::{RunReport, ServiceReport};
 use crate::resume::{restart_point, CommitTracker, ResumePoint};
+use crate::service::ServiceTracker;
 use crate::trace::TraceSink;
 use crate::worker::{run_worker, WorkerStats};
 
@@ -248,6 +250,7 @@ fn execute(params: &SimParams) -> Result<RunReport, SimError> {
         TraceSink::disabled()
     };
     let commits = CommitTracker::new();
+    let service_tracker = params.is_service().then(ServiceTracker::new);
 
     // Master (world rank 0). Its file handle lives on a single-rank
     // communicator: MW writes are independent operations.
@@ -259,9 +262,20 @@ fn execute(params: &SimParams) -> Result<RunReport, SimError> {
         let p = Rc::clone(&params);
         let w = Rc::clone(&workload);
         let fx = faults_ctx.clone();
+        let svc = service_tracker.clone();
         sim.spawn(
             "master",
-            run_master(sim2, comm, p, w, file, sink.clone(), commits.clone(), fx),
+            run_master(
+                sim2,
+                comm,
+                p,
+                w,
+                file,
+                sink.clone(),
+                commits.clone(),
+                fx,
+                svc,
+            ),
         )
     };
 
@@ -336,8 +350,20 @@ fn execute(params: &SimParams) -> Result<RunReport, SimError> {
 
     let out = fs.open(OUTPUT_FILE);
     let trace = sink.finish();
-    let obs = obs_sink.finish();
     let commits = commits.finish();
+    // Join the master's service milestones with the commit log (when each
+    // query's bytes became durable) and publish the latency series into
+    // the observability recording before it is sealed.
+    let service = service_tracker.map(|t| {
+        let sp = params
+            .service()
+            .expect("tracker exists only in service mode");
+        ServiceReport::assemble(sp, t.finish(), &commits)
+    });
+    if let Some(svc) = &service {
+        publish_service_obs(&obs_sink, svc);
+    }
+    let obs = obs_sink.finish();
     Ok(RunReport::assemble(
         trace,
         obs,
@@ -354,6 +380,7 @@ fn execute(params: &SimParams) -> Result<RunReport, SimError> {
         &sim,
         faults_ctx.as_ref().map(|c| c.log.report()),
         san.finish(),
+        service,
     ))
 }
 
@@ -409,6 +436,14 @@ pub fn try_run_with_restart(
     params: &SimParams,
     kill_at: SimTime,
 ) -> Result<RestartOutcome, SimError> {
+    // Service runs shed load, so "the durable prefix covers batches
+    // 0..k" no longer implies the restart owes exactly the rest — the
+    // coverage check would be unsound. Typed rejection up front.
+    if params.is_service() {
+        return Err(SimError::InvalidParams(
+            ParamError::ServiceResumeUnsupported,
+        ));
+    }
     let first = execute_caught(params)?;
     let resume = restart_point(&first.commits, kill_at);
     let mut resumed = params.clone();

@@ -1,0 +1,137 @@
+//! Service-mode bookkeeping shared between the master loop and the
+//! runner.
+//!
+//! The master records what it alone can see — when each query arrived,
+//! was admitted (or shed), first dispatched, and fully merged — plus the
+//! peak admission-queue depth. The runner later joins these milestones
+//! with the commit log (which knows when each query's bytes became
+//! durable) to produce the [`crate::report::ServiceReport`] with true
+//! end-to-end latencies.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use s3a_des::SimTime;
+
+/// Master-side milestones of one query that completed service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ServedEvent {
+    /// Query index (also the batch index: service runs write per query).
+    pub query: usize,
+    /// Submitting tenant.
+    pub tenant: usize,
+    /// Scheduled client submission instant.
+    pub arrival: SimTime,
+    /// When the master saw the arrival and accepted it into the queue.
+    pub admitted: SimTime,
+    /// When the first fragment of the query was handed to a worker.
+    pub dispatched: SimTime,
+    /// When the last fragment's scores were merged and the output laid
+    /// out (the reply is durable once the commit log closes the batch).
+    pub merged: SimTime,
+    /// Total result bytes of the query.
+    pub bytes: u64,
+}
+
+/// One rejected arrival: the bounded queue was full when the master
+/// processed the submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ShedEvent {
+    /// Query index that was turned away.
+    pub query: usize,
+    /// Submitting tenant.
+    pub tenant: usize,
+    /// Scheduled client submission instant.
+    pub arrival: SimTime,
+}
+
+/// Everything the master recorded over one service run.
+#[derive(Debug, Default)]
+pub(crate) struct ServiceLog {
+    /// Completed queries, in completion (merge) order.
+    pub served: Vec<ServedEvent>,
+    /// Rejected arrivals, in arrival order.
+    pub shed: Vec<ShedEvent>,
+    /// Highest admission-queue depth observed (admitted, not yet
+    /// dispatched).
+    pub queue_peak: usize,
+}
+
+/// Shared handle the runner gives the master so the recorded log
+/// survives the master task's exit.
+#[derive(Clone, Default)]
+pub(crate) struct ServiceTracker {
+    inner: Rc<RefCell<ServiceLog>>,
+}
+
+impl ServiceTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn serve(&self, ev: ServedEvent) {
+        self.inner.borrow_mut().served.push(ev);
+    }
+
+    pub fn shed(&self, ev: ShedEvent) {
+        self.inner.borrow_mut().shed.push(ev);
+    }
+
+    /// Report the current queue depth; the peak is kept.
+    pub fn queue_depth(&self, depth: usize) {
+        let mut log = self.inner.borrow_mut();
+        log.queue_peak = log.queue_peak.max(depth);
+    }
+
+    /// Extract the log once the simulation has finished.
+    pub fn finish(self) -> ServiceLog {
+        Rc::try_unwrap(self.inner)
+            .map(RefCell::into_inner)
+            .unwrap_or_else(|rc| {
+                let b = rc.borrow();
+                ServiceLog {
+                    served: b.served.clone(),
+                    shed: b.shed.clone(),
+                    queue_peak: b.queue_peak,
+                }
+            })
+    }
+}
+
+impl std::fmt::Debug for ServiceTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceTracker").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_accumulates_and_keeps_peak() {
+        let tr = ServiceTracker::new();
+        tr.queue_depth(2);
+        tr.queue_depth(5);
+        tr.queue_depth(1);
+        tr.serve(ServedEvent {
+            query: 0,
+            tenant: 1,
+            arrival: SimTime::from_millis(1),
+            admitted: SimTime::from_millis(2),
+            dispatched: SimTime::from_millis(3),
+            merged: SimTime::from_millis(9),
+            bytes: 128,
+        });
+        tr.shed(ShedEvent {
+            query: 1,
+            tenant: 0,
+            arrival: SimTime::from_millis(2),
+        });
+        let log = tr.finish();
+        assert_eq!(log.served.len(), 1);
+        assert_eq!(log.shed.len(), 1);
+        assert_eq!(log.queue_peak, 5);
+        assert_eq!(log.served[0].bytes, 128);
+    }
+}

@@ -288,12 +288,18 @@ impl Sweep {
         s
     }
 
-    /// All runs as CSV (header + one row per run).
+    /// All runs as CSV (header + one row per run). Header and rows come
+    /// from the same typed [`crate::Columns`] definition, so they can
+    /// never disagree.
     pub fn csv(&self) -> String {
-        let mut s = RunReport::csv_header();
-        s.push('\n');
-        for (_, r) in &self.runs {
-            s.push_str(&r.csv_row());
+        let mut s = String::new();
+        for (i, (_, r)) in self.runs.iter().enumerate() {
+            let cols = r.columns();
+            if i == 0 {
+                s.push_str(&cols.header());
+                s.push('\n');
+            }
+            s.push_str(&cols.row());
             s.push('\n');
         }
         s

@@ -82,7 +82,7 @@ pub async fn run_worker(
         .await;
 
     let nq = workload.queries.len();
-    let gran = params.write_every_n_queries.min(nq);
+    let gran = params.batch_granularity(nq);
     let nbatches = nq.div_ceil(gran);
 
     let mut state = WorkerState {
@@ -101,10 +101,17 @@ pub async fn run_worker(
     let my_crash = faults
         .as_ref()
         .and_then(|f| f.schedule.crash_time(comm.rank()));
-    let tick = faults
-        .as_ref()
-        .map(|f| f.schedule.params().heartbeat_interval)
-        .unwrap_or(s3a_des::SimTime::ZERO);
+    // How long to back off on a `Wait` assignment: the service poll
+    // interval (service masters answer `Wait` while the queue is empty),
+    // or the heartbeat interval when crash injection is armed.
+    let tick = if let Some(sp) = params.service() {
+        sp.poll_interval
+    } else {
+        faults
+            .as_ref()
+            .map(|f| f.schedule.params().heartbeat_interval)
+            .unwrap_or(s3a_des::SimTime::ZERO)
+    };
 
     // Heartbeat sibling: proof of life to the master, every tick, until
     // this worker finishes — or crashes.
@@ -122,6 +129,8 @@ pub async fn run_worker(
     }
 
     let mut crashed = false;
+    // Service shutdown carries the exact offset-message count to drain.
+    let mut drain_target: Option<usize> = None;
     loop {
         // Fail-stop point: a scheduled crash takes effect at the top of
         // the loop, the worker's only obligation-free moment.
@@ -214,9 +223,12 @@ pub async fn run_worker(
             }
             Assign::Wait => {
                 // The master has no task for us yet (it is waiting out a
-                // failure detection or stragglers). Use the idle time to
-                // write any batches whose offsets have arrived, then back
-                // off one tick before asking again.
+                // failure detection, stragglers, or — in service mode —
+                // the next client arrival). Use the idle time to write any
+                // batches whose offsets have arrived, then back off one
+                // tick before asking again. Idle time waiting for work is
+                // data-distribution time; only crash runs book it as
+                // recovery overhead.
                 while let Some(m) = offs_rx.test() {
                     offs_rx = comm.irecv(0, TAG_OFFSETS);
                     handle_offsets(
@@ -231,7 +243,12 @@ pub async fn run_worker(
                     )
                     .await;
                 }
-                timer.track(Phase::Recovery, sim.sleep(tick)).await;
+                let idle_phase = if crash_mode {
+                    Phase::Recovery
+                } else {
+                    Phase::DataDistribution
+                };
+                timer.track(idle_phase, sim.sleep(tick)).await;
             }
             Assign::Repair {
                 batch,
@@ -266,6 +283,10 @@ pub async fn run_worker(
                 commits.complete_by(batch, for_worker, sim.now());
             }
             Assign::Done => break,
+            Assign::Shutdown { offsets } => {
+                drain_target = Some(offsets);
+                break;
+            }
         }
 
         // Steps 16–18: handle any location lists that have arrived.
@@ -279,8 +300,10 @@ pub async fn run_worker(
         // drains its I/O backlog once the master has no more work. Crash
         // runs also drain eagerly: prompt writes shrink the window in
         // which this worker's death would orphan a batch.
-        let prompt_io =
-            params.query_sync || params.strategy.inherently_synchronizing() || crash_mode;
+        let prompt_io = params.query_sync
+            || params.strategy.inherently_synchronizing()
+            || crash_mode
+            || params.is_service();
         if prompt_io {
             while let Some(m) = offs_rx.test() {
                 offs_rx = comm.irecv(0, TAG_OFFSETS);
@@ -304,8 +327,11 @@ pub async fn run_worker(
         if !crash_mode {
             // Drain: every batch we still owe I/O (or synchronization)
             // for. (In crash runs the master only says Done once every
-            // commit is closed, so nothing can be owed here.)
-            let expected = expected_offset_messages(&params, &state);
+            // commit is closed, so nothing can be owed here.) A service
+            // shutdown carries the exact count — shed queries make it
+            // underivable from the workload alone.
+            let expected =
+                drain_target.unwrap_or_else(|| expected_offset_messages(&params, &state));
             while state.offsets_handled < expected {
                 let m = timer.track(Phase::DataDistribution, offs_rx.wait()).await;
                 offs_rx = comm.irecv(0, TAG_OFFSETS);

@@ -150,6 +150,15 @@ impl Histogram {
         }
     }
 
+    /// Exclusive upper bound of bucket `i` (`u64::MAX` for the last).
+    pub fn bucket_hi(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
     /// Mean observation (0.0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -157,6 +166,28 @@ impl Histogram {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Estimate the `q`-quantile (`0.0 < q <= 1.0`) from the log₂
+    /// buckets: the upper bound of the bucket holding the nearest-rank
+    /// observation, clamped to the observed `[min, max]` range. Within a
+    /// bucket the true value is known to a factor of two — adequate for
+    /// tail-latency reporting (p50/p99/p999). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank: the smallest k with cumulative count >= ceil(q*n).
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_hi(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
     }
 }
 
@@ -460,6 +491,37 @@ mod tests {
         assert_eq!(h.buckets[1], 1); // 1
         assert_eq!(h.buckets[2], 2); // 2, 3
         assert_eq!(h.buckets[3], 1); // 4
+    }
+
+    #[test]
+    fn quantile_estimates_from_buckets() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0);
+        // 99 fast observations around 1000 ns, one slow at 1_000_000.
+        for _ in 0..99 {
+            h.observe(1000);
+        }
+        h.observe(1_000_000);
+        // p50 lands in the 1000-bucket [512, 1024): upper bound 1023.
+        assert_eq!(h.quantile(0.5), 1023);
+        // p99 is still the 99th fast observation.
+        assert_eq!(h.quantile(0.99), 1023);
+        // p999 (rank 100 of 100) reaches the slow one; clamped to max.
+        assert_eq!(h.quantile(0.999), 1_000_000);
+        assert_eq!(h.quantile(1.0), 1_000_000);
+        // Single observation: every quantile is that observation.
+        let mut one = Histogram::default();
+        one.observe(7);
+        assert_eq!(one.quantile(0.5), 7);
+        assert_eq!(one.quantile(0.999), 7);
+    }
+
+    #[test]
+    fn bucket_hi_bounds() {
+        assert_eq!(Histogram::bucket_hi(0), 0);
+        assert_eq!(Histogram::bucket_hi(1), 1);
+        assert_eq!(Histogram::bucket_hi(3), 7);
+        assert_eq!(Histogram::bucket_hi(64), u64::MAX);
     }
 
     #[test]

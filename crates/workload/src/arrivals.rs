@@ -1,0 +1,278 @@
+//! Open-loop arrival processes for service-mode runs.
+//!
+//! A batch run hands the simulator every query at time zero; a service
+//! run instead models clients submitting queries over virtual time. The
+//! arrival process assigns each pre-generated query an arrival instant
+//! and a tenant, drawn up front from one seed — exactly like the rest of
+//! the workload, the stream is independent of how the simulation later
+//! schedules anything, so service runs replay byte-identically.
+//!
+//! Three client populations are modeled:
+//!
+//! * [`ArrivalProcess::Poisson`] — memoryless open-loop traffic at a
+//!   constant offered rate (exponential inter-arrival gaps).
+//! * [`ArrivalProcess::Bursty`] — a two-state Markov-modulated Poisson
+//!   process (MMPP-2): the stream dwells in a base-rate state and a
+//!   burst-rate state, switching after exponentially distributed dwell
+//!   times.
+//! * [`ArrivalProcess::Diurnal`] — a sinusoidal day/night rate swing
+//!   between a trough and a peak, sampled by Lewis–Shedler thinning
+//!   against the peak rate.
+//!
+//! All time arithmetic accumulates in integer nanoseconds; floats only
+//! appear inside single-gap sampling, so no order-sensitive rounding can
+//! leak into the virtual clock.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One client submission: when the query arrives and which tenant sent
+/// it. Produced in nondecreasing time order; arrival `i` carries query
+/// `i` of the pre-generated workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Arrival instant in virtual nanoseconds.
+    pub at_ns: u64,
+    /// Submitting tenant, in `0..tenants`.
+    pub tenant: usize,
+}
+
+/// How simulated clients submit queries over virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Constant-rate memoryless traffic: `rate` arrivals per second.
+    Poisson {
+        /// Offered arrival rate, queries per second.
+        rate: f64,
+    },
+    /// Two-state MMPP: base-rate traffic punctuated by bursts.
+    Bursty {
+        /// Arrival rate (queries/s) in the quiet state.
+        base_rate: f64,
+        /// Arrival rate (queries/s) in the burst state.
+        burst_rate: f64,
+        /// Mean dwell time in each state, seconds (exponentially
+        /// distributed).
+        mean_dwell: f64,
+    },
+    /// Sinusoidal day/night swing between `trough_rate` and `peak_rate`
+    /// with the given period (seconds).
+    Diurnal {
+        /// Lowest arrival rate (queries/s), at the start of each period.
+        trough_rate: f64,
+        /// Highest arrival rate (queries/s), half a period in.
+        peak_rate: f64,
+        /// Cycle length in seconds.
+        period: f64,
+    },
+}
+
+/// Convert a positive gap in seconds to whole nanoseconds.
+fn gap_to_ns(secs: f64) -> u64 {
+    (secs * 1e9) as u64
+}
+
+/// One exponential gap at `rate` events per second.
+fn exp_gap_ns(rng: &mut StdRng, rate: f64) -> u64 {
+    let u: f64 = rng.random_range(0.0..1.0);
+    // 1 - u is in (0, 1], so the log is finite and the gap nonnegative.
+    gap_to_ns(-(1.0 - u).ln() / rate)
+}
+
+impl ArrivalProcess {
+    /// Short label used in reports and CSV rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Poisson { .. } => "poisson",
+            ArrivalProcess::Bursty { .. } => "bursty",
+            ArrivalProcess::Diurnal { .. } => "diurnal",
+        }
+    }
+
+    /// Long-run mean offered rate, queries per second (reporting only).
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate } => rate,
+            // Equal mean dwell in both states: the average of the rates.
+            ArrivalProcess::Bursty {
+                base_rate,
+                burst_rate,
+                ..
+            } => 0.5 * (base_rate + burst_rate),
+            ArrivalProcess::Diurnal {
+                trough_rate,
+                peak_rate,
+                ..
+            } => 0.5 * (trough_rate + peak_rate),
+        }
+    }
+
+    /// Draw `count` arrivals for `tenants` tenants from `seed`.
+    ///
+    /// The result is sorted by time (ties keep query order) and depends
+    /// only on the arguments — never on wall-clock time or scheduling.
+    pub fn generate(&self, count: usize, tenants: usize, seed: u64) -> Vec<Arrival> {
+        assert!(tenants > 0, "need at least one tenant");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(count);
+        let mut t_ns: u64 = 0;
+
+        match *self {
+            ArrivalProcess::Poisson { rate } => {
+                assert!(rate > 0.0, "arrival rate must be positive");
+                for _ in 0..count {
+                    t_ns = t_ns.saturating_add(exp_gap_ns(&mut rng, rate));
+                    out.push(Arrival {
+                        at_ns: t_ns,
+                        tenant: rng.random_range(0..tenants),
+                    });
+                }
+            }
+            ArrivalProcess::Bursty {
+                base_rate,
+                burst_rate,
+                mean_dwell,
+            } => {
+                assert!(
+                    base_rate > 0.0 && burst_rate > 0.0 && mean_dwell > 0.0,
+                    "bursty parameters must be positive"
+                );
+                let mut in_burst = false;
+                let mut dwell_left = exp_gap_ns(&mut rng, 1.0 / mean_dwell);
+                while out.len() < count {
+                    let rate = if in_burst { burst_rate } else { base_rate };
+                    let gap = exp_gap_ns(&mut rng, rate);
+                    if gap <= dwell_left {
+                        // The next arrival lands inside the current state.
+                        dwell_left -= gap;
+                        t_ns = t_ns.saturating_add(gap);
+                        out.push(Arrival {
+                            at_ns: t_ns,
+                            tenant: rng.random_range(0..tenants),
+                        });
+                    } else {
+                        // The state flips first; restart the gap in the
+                        // new state (the exponential is memoryless, so
+                        // discarding the partial gap is exact).
+                        t_ns = t_ns.saturating_add(dwell_left);
+                        dwell_left = exp_gap_ns(&mut rng, 1.0 / mean_dwell);
+                        in_burst = !in_burst;
+                    }
+                }
+            }
+            ArrivalProcess::Diurnal {
+                trough_rate,
+                peak_rate,
+                period,
+            } => {
+                assert!(
+                    trough_rate > 0.0 && peak_rate > 0.0 && period > 0.0,
+                    "diurnal parameters must be positive"
+                );
+                // Lewis–Shedler thinning against the majorant rate.
+                let majorant = peak_rate.max(trough_rate);
+                let lo = peak_rate.min(trough_rate);
+                let swing = majorant - lo;
+                while out.len() < count {
+                    t_ns = t_ns.saturating_add(exp_gap_ns(&mut rng, majorant));
+                    let phase = (t_ns as f64 / 1e9) / period;
+                    let rate_now =
+                        lo + swing * 0.5 * (1.0 - (2.0 * std::f64::consts::PI * phase).cos());
+                    let u: f64 = rng.random_range(0.0..1.0);
+                    if u * majorant < rate_now {
+                        out.push(Arrival {
+                            at_ns: t_ns,
+                            tenant: rng.random_range(0..tenants),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn procs() -> [ArrivalProcess; 3] {
+        [
+            ArrivalProcess::Poisson { rate: 50.0 },
+            ArrivalProcess::Bursty {
+                base_rate: 20.0,
+                burst_rate: 200.0,
+                mean_dwell: 0.5,
+            },
+            ArrivalProcess::Diurnal {
+                trough_rate: 10.0,
+                peak_rate: 100.0,
+                period: 4.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        for p in procs() {
+            let a = p.generate(200, 3, 42);
+            let b = p.generate(200, 3, 42);
+            assert_eq!(a, b, "{}", p.label());
+            let c = p.generate(200, 3, 43);
+            assert_ne!(a, c, "{} must depend on the seed", p.label());
+        }
+    }
+
+    #[test]
+    fn streams_are_sorted_and_tenants_in_range() {
+        for p in procs() {
+            let s = p.generate(500, 4, 7);
+            assert_eq!(s.len(), 500);
+            for w in s.windows(2) {
+                assert!(w[0].at_ns <= w[1].at_ns, "{} out of order", p.label());
+            }
+            assert!(s.iter().all(|a| a.tenant < 4));
+            // Every tenant shows up over 500 draws.
+            for t in 0..4 {
+                assert!(s.iter().any(|a| a.tenant == t), "tenant {t} never drew");
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_rate_roughly_matches() {
+        let p = ArrivalProcess::Poisson { rate: 100.0 };
+        let s = p.generate(2000, 1, 9);
+        let span_secs = s.last().unwrap().at_ns as f64 / 1e9;
+        let measured = 2000.0 / span_secs;
+        assert!(
+            (60.0..140.0).contains(&measured),
+            "measured rate {measured}"
+        );
+    }
+
+    #[test]
+    fn bursty_has_heavier_gap_tail_than_poisson_of_same_mean() {
+        let mean = 60.0;
+        let pois = ArrivalProcess::Poisson { rate: mean }.generate(2000, 1, 5);
+        let burst = ArrivalProcess::Bursty {
+            base_rate: 20.0,
+            burst_rate: 100.0,
+            mean_dwell: 0.25,
+        }
+        .generate(2000, 1, 5);
+        let max_gap = |s: &[Arrival]| s.windows(2).map(|w| w[1].at_ns - w[0].at_ns).max().unwrap();
+        assert!(max_gap(&burst) > max_gap(&pois));
+    }
+
+    #[test]
+    fn labels_and_mean_rates() {
+        let [p, b, d] = procs();
+        assert_eq!(p.label(), "poisson");
+        assert_eq!(b.label(), "bursty");
+        assert_eq!(d.label(), "diurnal");
+        assert_eq!(p.mean_rate(), 50.0);
+        assert_eq!(b.mean_rate(), 110.0);
+        assert_eq!(d.mean_rate(), 55.0);
+    }
+}

@@ -7,8 +7,10 @@
 //! size and score so results are identical regardless of process count or
 //! scheduling.
 
+mod arrivals;
 mod generate;
 mod histogram;
 
+pub use arrivals::{Arrival, ArrivalProcess};
 pub use generate::{Hit, QueryWork, Workload, WorkloadParams};
 pub use histogram::{Box, BoxHistogram};

@@ -388,7 +388,7 @@ fn finer_write_granularity_lowers_expected_crash_loss() {
 #[test]
 fn report_csv_row_matches_header_arity() {
     let r = run(&small(4, Strategy::WwList, false));
-    let header = s3asim::RunReport::csv_header();
+    let header = r.csv_header();
     let row = r.csv_row();
     assert_eq!(
         header.split(',').count(),

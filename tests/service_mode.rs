@@ -1,0 +1,329 @@
+//! Tier-1: open-loop service mode.
+//!
+//! Service runs must replay byte-identically (serially and across the
+//! sweep thread pool), the scheduling policies must actually change tail
+//! latency the way queueing theory says they should, bounded-queue
+//! shedding must be counted honestly against the verified output file,
+//! and invalid service configurations must be rejected with typed errors
+//! at build time.
+
+use s3a_workload::{Box, BoxHistogram};
+use s3asim::{
+    run_batch, try_run, try_run_with_restart, ArrivalProcess, FaultParams, ParamError, ResumePoint,
+    SchedPolicy, ServiceParams, SimError, SimParams, SimTime, Strategy, Track, MAX_TENANTS,
+};
+
+/// A small service configuration: 48 queries offered to 8 processes.
+fn service(rate: f64, policy: SchedPolicy, queue_capacity: usize) -> SimParams {
+    SimParams::builder()
+        .procs(8)
+        .strategy(Strategy::WwList)
+        .with_workload(|w| {
+            w.queries = 48;
+            w.fragments = 8;
+            w.min_results = 50;
+            w.max_results = 400;
+        })
+        .service(ServiceParams {
+            arrivals: ArrivalProcess::Poisson { rate },
+            policy,
+            tenants: 2,
+            queue_capacity,
+            arrival_seed: 11,
+            poll_interval: SimTime::from_millis(5),
+        })
+        .build()
+        .expect("valid service configuration")
+}
+
+#[test]
+fn poisson_run_replays_byte_identically_serial_vs_pooled() {
+    // The same configuration twice per arrival process, so the batch
+    // contains an in-batch replay; run the batch serially and on the
+    // thread pool and demand byte-identical service rows throughout.
+    let mut params = Vec::new();
+    for arrivals in [
+        ArrivalProcess::Poisson { rate: 4.0 },
+        ArrivalProcess::Bursty {
+            base_rate: 2.0,
+            burst_rate: 12.0,
+            mean_dwell: 2.0,
+        },
+        ArrivalProcess::Diurnal {
+            trough_rate: 1.0,
+            peak_rate: 8.0,
+            period: 6.0,
+        },
+    ] {
+        for _ in 0..2 {
+            let mut p = service(4.0, SchedPolicy::Sjf, 12);
+            p.mode = s3asim::RunMode::Service(ServiceParams {
+                arrivals: arrivals.clone(),
+                ..p.service().expect("service mode").clone()
+            });
+            params.push(p);
+        }
+    }
+
+    let serial = run_batch(&params, 1).expect("serial batch completes");
+    let pooled = run_batch(&params, 4).expect("pooled batch completes");
+
+    assert_eq!(serial.len(), pooled.len());
+    for (rs, rp) in serial.iter().zip(&pooled) {
+        let cs = rs.service_columns().expect("service row");
+        let cp = rp.service_columns().expect("service row");
+        assert_eq!(cs.header(), cp.header());
+        assert_eq!(cs.row(), cp.row(), "pooled service row differs from serial");
+        assert_eq!(rs.engine, rp.engine, "engine work must replay exactly");
+        assert_eq!(
+            format!("{:?}", rs.service),
+            format!("{:?}", rp.service),
+            "full service report must replay exactly"
+        );
+    }
+    // The in-batch duplicates agree too (same seed, same arrivals).
+    for pair in serial.chunks(2) {
+        assert_eq!(
+            format!("{:?}", pair[0].service),
+            format!("{:?}", pair[1].service)
+        );
+    }
+}
+
+#[test]
+fn sjf_beats_fifo_on_p99_for_heavy_tailed_sizes() {
+    // A cleanly bimodal heavy tail: every small query produces exactly
+    // the same output bytes (query length 40 caps each hit's size at the
+    // 128-byte record minimum, and the hit count is pinned), while two
+    // rare giants each carry ~20 MB — thousands of times a small. SJF
+    // then ties on every small and falls back to arrival order among
+    // them, so the ONLY reordering it applies is deferring the giants.
+    // Under FIFO a giant at the head of the queue stalls most of the
+    // cluster and everything behind it queues for seconds; under SJF the
+    // smalls flow past and only the two giants — exactly the population
+    // beyond the p99 rank at n=200 — finish late.
+    let heavy = |policy: SchedPolicy| {
+        SimParams::builder()
+            .procs(6)
+            .strategy(Strategy::WwList)
+            .with_workload(|w| {
+                w.queries = 200;
+                w.fragments = 4;
+                w.min_results = 48;
+                w.max_results = 48;
+                // Pin database-sequence lengths so the per-hit size cap
+                // (3 × the longer sequence) is driven by query length
+                // alone.
+                w.db_hist = BoxHistogram::constant(8);
+                w.query_hist = BoxHistogram::new(vec![
+                    Box {
+                        lo: 40,
+                        hi: 41,
+                        weight: 99.5,
+                    },
+                    Box {
+                        lo: 200_000,
+                        hi: 300_000,
+                        weight: 0.5,
+                    },
+                ]);
+                w.seed = 17;
+            })
+            .service(ServiceParams {
+                arrivals: ArrivalProcess::Poisson { rate: 14.0 },
+                policy,
+                tenants: 1,
+                queue_capacity: 400, // never shed: both policies see identical work
+                arrival_seed: 5,
+                poll_interval: SimTime::from_millis(5),
+            })
+            .build()
+            .expect("valid heavy-tailed configuration")
+    };
+
+    // The premise: this seed draws exactly two giants, the number the
+    // nearest-rank p99 excludes at n=200.
+    let workload = s3a_workload::Workload::generate(&heavy(SchedPolicy::Fifo).workload);
+    let giants = workload
+        .queries
+        .iter()
+        .filter(|q| q.query_len > 10_000)
+        .count();
+    assert_eq!(giants, 2, "seed 17 must draw exactly two giant queries");
+
+    let fifo = try_run(&heavy(SchedPolicy::Fifo)).expect("FIFO run completes");
+    let sjf = try_run(&heavy(SchedPolicy::Sjf)).expect("SJF run completes");
+    let fifo = fifo.service.expect("service report");
+    let sjf = sjf.service.expect("service report");
+
+    // Identical admitted populations — the comparison is pure policy.
+    assert_eq!(fifo.offered, 200);
+    assert_eq!(fifo.shed, 0);
+    assert_eq!(sjf.shed, 0);
+    assert_eq!(fifo.admitted, sjf.admitted);
+
+    assert!(
+        sjf.latency.p99 < fifo.latency.p99,
+        "SJF p99 ({:?}) should beat FIFO p99 ({:?}) on a heavy-tailed workload",
+        sjf.latency.p99,
+        fifo.latency.p99
+    );
+    assert!(
+        sjf.latency.p50 < fifo.latency.p50,
+        "SJF p50 ({:?}) should beat FIFO p50 ({:?})",
+        sjf.latency.p50,
+        fifo.latency.p50
+    );
+}
+
+#[test]
+fn bounded_queue_shedding_is_counted_honestly() {
+    // Overload a tiny queue so admission control must turn queries away,
+    // then check the books: every offered query is either admitted or
+    // shed, every admitted query completes, and the verified output file
+    // covers exactly the completed queries' bytes (try_run would fail
+    // verification otherwise).
+    let report = try_run(&service(40.0, SchedPolicy::Fifo, 4)).expect("overloaded run verifies");
+    let svc = report.service.expect("service report");
+
+    assert!(svc.shed > 0, "overload against capacity 4 must shed");
+    assert_eq!(svc.offered, 48);
+    assert_eq!(svc.offered, svc.admitted + svc.shed);
+    assert_eq!(
+        svc.completed, svc.admitted,
+        "no admitted query may be dropped"
+    );
+    assert_eq!(svc.queries.len(), svc.completed);
+    assert_eq!(svc.shed_queries.len(), svc.shed);
+    assert!(svc.queue_peak <= 4, "queue depth may never exceed capacity");
+
+    // Shed and completed sets partition the offered queries.
+    let completed: Vec<usize> = svc.queries.iter().map(|q| q.query).collect();
+    for q in &svc.shed_queries {
+        assert!(!completed.contains(q), "query {q} both shed and served");
+    }
+    assert_eq!(completed.len() + svc.shed_queries.len(), svc.offered);
+
+    // The output file was verified against completed bytes only.
+    assert_eq!(report.expected_bytes, report.covered_bytes);
+    assert_eq!(report.overlap_bytes, 0);
+
+    // Lifecycle timestamps are ordered for every completed query.
+    for q in &svc.queries {
+        assert!(q.arrival <= q.admitted, "query {}", q.query);
+        assert!(q.admitted <= q.dispatched, "query {}", q.query);
+        assert!(q.dispatched <= q.merged, "query {}", q.query);
+        assert!(q.merged <= q.replied, "query {}", q.query);
+    }
+}
+
+#[test]
+fn service_run_is_sanitizer_clean_and_publishes_latency_series() {
+    let mut p = service(6.0, SchedPolicy::FairShare, 12);
+    p.observe = true;
+    p.sanitize = true;
+    let report = try_run(&p).expect("observed service run verifies");
+
+    let san = report.sanitizer.expect("sanitize=true yields a report");
+    assert!(san.is_clean(), "service run raced: {:?}", san.hazards);
+
+    let svc = report.service.as_ref().expect("service report");
+    let obs = report.obs.expect("observe=true yields a report");
+    let latency = obs
+        .metrics
+        .histogram("svc.latency")
+        .expect("latency histogram");
+    assert_eq!(latency.count, svc.completed as u64);
+    assert_eq!(obs.metrics.counter("svc.offered"), svc.offered as u64);
+    assert_eq!(obs.metrics.counter("svc.admitted"), svc.admitted as u64);
+    assert_eq!(obs.metrics.counter("svc.shed"), svc.shed as u64);
+
+    // One queued→sched→run→reply span chain per completed query on the
+    // master's track.
+    let runs = obs
+        .track_spans(Track::Rank(0))
+        .filter(|s| s.name == "svc.run")
+        .count();
+    assert_eq!(runs, svc.completed);
+}
+
+#[test]
+fn builder_rejects_invalid_service_configs_with_typed_errors() {
+    let base = |sp: ServiceParams| {
+        SimParams::builder()
+            .procs(4)
+            .with_workload(|w| {
+                w.queries = 4;
+                w.fragments = 8;
+                w.min_results = 50;
+                w.max_results = 100;
+            })
+            .service(sp)
+    };
+
+    let err = base(ServiceParams {
+        arrivals: ArrivalProcess::Poisson { rate: 0.0 },
+        ..ServiceParams::default()
+    })
+    .build()
+    .unwrap_err();
+    assert!(matches!(err, ParamError::ZeroArrivalRate { .. }), "{err:?}");
+
+    let err = base(ServiceParams {
+        queue_capacity: 0,
+        ..ServiceParams::default()
+    })
+    .build()
+    .unwrap_err();
+    assert_eq!(err, ParamError::ZeroServiceQueue);
+
+    let err = base(ServiceParams {
+        tenants: MAX_TENANTS + 1,
+        ..ServiceParams::default()
+    })
+    .build()
+    .unwrap_err();
+    assert!(
+        matches!(err, ParamError::TenantsOutOfRange { .. }),
+        "{err:?}"
+    );
+
+    let err = base(ServiceParams {
+        poll_interval: SimTime::ZERO,
+        ..ServiceParams::default()
+    })
+    .build()
+    .unwrap_err();
+    assert_eq!(err, ParamError::ZeroPollInterval);
+
+    // Service mode composes with neither crash-fault injection...
+    let err = base(ServiceParams::default())
+        .faults(FaultParams {
+            worker_crashes: vec![(1, SimTime::from_millis(10))],
+            ..FaultParams::default()
+        })
+        .build()
+        .unwrap_err();
+    assert_eq!(err, ParamError::ServiceCrashesUnsupported);
+
+    // ...nor checkpoint-resume — whether passed to the builder or to the
+    // restart driver.
+    let err = base(ServiceParams::default())
+        .resume_from(ResumePoint::default())
+        .build()
+        .unwrap_err();
+    assert_eq!(err, ParamError::ServiceResumeUnsupported);
+
+    let err = try_run_with_restart(
+        &service(4.0, SchedPolicy::Fifo, 12),
+        SimTime::from_millis(50),
+    )
+    .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            SimError::InvalidParams(ParamError::ServiceResumeUnsupported)
+        ),
+        "{err:?}"
+    );
+}

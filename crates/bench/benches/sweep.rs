@@ -10,7 +10,7 @@
 //! `BENCH_sweep.json` at the workspace root. Set `S3ASIM_BENCH_QUICK=1`
 //! for a reduced smoke run (CI).
 
-use criterion::{BenchmarkId, Criterion};
+use criterion::{BenchmarkId, Criterion, Stopwatch};
 
 use s3a_bench::small_params;
 use s3a_des::{Queue, Sim, SimTime};
@@ -112,7 +112,10 @@ fn bench_service_latency(c: &mut Criterion) {
 
 fn bench_des_hot_path(c: &mut Criterion) {
     let mut g = c.benchmark_group("des_hot_path");
-    g.sample_size(if quick() { 2 } else { 10 });
+    // The hot-path iterations are microseconds each; a quick sample of 2
+    // was noisy enough to trip the gate, so quick mode samples just as
+    // densely as the full run.
+    g.sample_size(10);
 
     // Timed-event churn: many tasks sleeping in short staggered bursts —
     // exercises the heap pop -> direct poll path and the single-borrow
@@ -165,6 +168,68 @@ fn bench_des_hot_path(c: &mut Criterion) {
     });
 
     g.finish();
+
+    // Engine throughput over a full-size sleep storm, reported as raw
+    // events/sec. `bench_gate` compares ids containing "events_per_sec"
+    // higher-is-better, so this entry holds a throughput floor rather
+    // than a latency ceiling.
+    let (tasks, rounds) = if quick() {
+        (200u64, 50u32)
+    } else {
+        (2000, 100)
+    };
+    let reps = 3u64;
+    let mut events = 0u64;
+    let sw = Stopwatch::new();
+    for _ in 0..reps {
+        let sim = Sim::new();
+        for i in 0..tasks {
+            let s = sim.clone();
+            sim.spawn(format!("t{i}"), async move {
+                for r in 0..rounds {
+                    s.sleep(SimTime::from_nanos(i % 7 + u64::from(r % 3) + 1))
+                        .await;
+                }
+            });
+        }
+        sim.run().expect("no deadlock");
+        events += sim.stats().events;
+    }
+    let eps = events as f64 / (sw.elapsed_ns().max(1) as f64 / 1e9);
+    c.record("des_hot_path/events_per_sec", reps, eps);
+}
+
+/// Engine-scaling series: the `repro scale` workload (64 queries x 512
+/// fragments against a 128-server PVFS) at 1k — and, outside quick mode,
+/// 4k and 10k — worker ranks, master/worker strategy, one timed run per
+/// point. Quick mode runs only the 1k point; the checked-in baseline
+/// carries only ids quick CI emits, so the larger points inform local
+/// runs without gating.
+fn bench_scale_ranks(c: &mut Criterion) {
+    use s3a_workload::WorkloadParams;
+    let rank_counts: &[usize] = if quick() {
+        &[1000]
+    } else {
+        &[1000, 4000, 10_000]
+    };
+    for &workers in rank_counts {
+        let mut p = SimParams {
+            procs: workers + 1,
+            strategy: Strategy::Mw,
+            workload: WorkloadParams {
+                queries: 64,
+                fragments: 512,
+                min_results: 100,
+                max_results: 200,
+                ..WorkloadParams::default()
+            },
+            ..SimParams::default()
+        };
+        p.testbed.pvfs.servers = 128;
+        let sw = Stopwatch::new();
+        run_batch(std::slice::from_ref(&p), 1).expect("scale run verifies");
+        c.record(format!("scale/ranks/{workers}"), 1, sw.elapsed_ns() as f64);
+    }
 }
 
 fn main() {
@@ -174,6 +239,7 @@ fn main() {
     bench_replication(&mut c);
     bench_service_latency(&mut c);
     bench_des_hot_path(&mut c);
+    bench_scale_ranks(&mut c);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
     c.save_json(path).expect("write BENCH_sweep.json");
     println!("wrote {path}");

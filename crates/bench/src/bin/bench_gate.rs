@@ -12,6 +12,11 @@
 //! the gate. Exit status: 0 = within tolerance, 1 = regression or missing
 //! id, 2 = usage/parse error.
 //!
+//! Most entries are latencies where lower is better. Ids containing
+//! `events_per_sec` are throughputs and are gated in the opposite
+//! direction: the current value must not fall below the baseline by more
+//! than the tolerance.
+//!
 //! Timings in CI are noisy; the tolerance is deliberately wide so the
 //! gate only catches order-of-magnitude mistakes (an accidentally
 //! quadratic wake path, a lost fast path), not scheduler jitter.
@@ -84,7 +89,13 @@ fn main() {
         } else {
             1.0
         };
-        let regressed = ratio > limit;
+        // Throughput series regress by falling, latency series by rising.
+        let higher_is_better = id.contains("events_per_sec");
+        let regressed = if higher_is_better {
+            ratio < 1.0 / limit
+        } else {
+            ratio > limit
+        };
         println!(
             "{id:<34} {base_mean:>12.0} {cur_mean:>12.0} {ratio:>7.2}x  {}",
             if regressed { "REGRESSED" } else { "ok" }

@@ -13,6 +13,7 @@
 //! repro faults    recovery tax per strategy under injected faults
 //! repro replication  durability vs. write amplification: replicated PVFS under domain death
 //! repro service   open-loop service mode: tail latency per strategy × scheduling policy
+//! repro scale     engine throughput at 1k/4k/10k ranks (--quick: 1k only)
 //! repro trace     request-level observability capture (Chrome trace + metrics)
 //! repro all       everything above (figures share sweep runs)
 //! ```
@@ -998,6 +999,112 @@ fn service() {
     write_results("service.csv", &csv);
 }
 
+/// Engine-scaling study: wall-clock throughput of the calendar-queue DES
+/// core at 1k/4k/10k worker ranks against a 128-server PVFS. Two output
+/// families with different determinism contracts:
+///
+/// * `results/scale.csv` — simulated quantities only (virtual time, event
+///   and message counts). Byte-identical across runs and thread counts;
+///   CI runs the study twice and `cmp`s the files.
+/// * `results/scale_wall.csv` + `results/scale_bench.json` — host
+///   wall-clock times and events/sec, inherently run-dependent. The JSON
+///   is criterion-shaped so `bench_gate` can assert an events/sec floor.
+///
+/// Points run sequentially (never through the sweep pool): each one is
+/// large, and a timed run sharing cores with its neighbors would report
+/// contention, not engine speed.
+fn scale(quick: bool) {
+    use s3a_workload::WorkloadParams;
+    let rank_counts: &[usize] = if quick {
+        &[1000]
+    } else {
+        &[1000, 4000, 10_000]
+    };
+    let strategies = [
+        Strategy::Mw,
+        Strategy::WwPosix,
+        Strategy::WwList,
+        Strategy::WwColl,
+    ];
+    let params_for = |workers: usize, strategy: Strategy| SimParams {
+        procs: workers + 1,
+        strategy,
+        workload: WorkloadParams {
+            queries: 64,
+            fragments: 512,
+            min_results: 100,
+            max_results: 200,
+            ..WorkloadParams::default()
+        },
+        ..SimParams::default()
+    };
+
+    println!("==== Engine scaling: ranks x strategy on a 128-server PVFS ====");
+    println!("(64 queries x 512 fragments; virtual quantities are deterministic,");
+    println!(" wall times and events/sec are host measurements)\n");
+    println!(
+        "{:>7} {:>9} {:>10} {:>12} {:>10} {:>12}",
+        "ranks", "strategy", "virtual", "events", "wall", "events/sec"
+    );
+
+    let mut sim_csv = String::new();
+    let mut wall_csv = String::from("ranks,strategy,wall_s,events_per_sec\n");
+    let mut bench = criterion::Criterion::default();
+    for &workers in rank_counts {
+        let mut ranks_wall_ns = 0u64;
+        let mut ranks_events = 0u64;
+        for &strategy in &strategies {
+            let mut p = params_for(workers, strategy);
+            p.testbed.pvfs.servers = 128;
+            let sw = criterion::Stopwatch::new();
+            let r = run_or_exit(&format!("scale {workers}x{strategy}"), &p);
+            let wall_ns = sw.elapsed_ns().max(1);
+            let wall_s = wall_ns as f64 / 1e9;
+            let eps = r.engine.events as f64 / wall_s;
+            ranks_wall_ns += wall_ns;
+            ranks_events += r.engine.events;
+            println!(
+                "{workers:>7} {:>9} {:>9.2}s {:>12} {:>9.2}s {:>12.0}",
+                strategy.label(),
+                r.overall.as_secs_f64(),
+                r.engine.events,
+                wall_s,
+                eps
+            );
+            let mut cols = Columns::new();
+            cols.push("ranks", workers)
+                .push("strategy", strategy.label())
+                .push("overall_s", format!("{:.3}", r.overall.as_secs_f64()))
+                .push("events", r.engine.events)
+                .push("polls", r.engine.polls)
+                .push("spawned", r.engine.spawned)
+                .push("mpi_messages", r.mpi.messages)
+                .push("mpi_payload_bytes", r.mpi.payload_bytes)
+                .push("fs_requests", r.fs.requests)
+                .push("fs_bytes_written", r.fs.bytes_written);
+            if sim_csv.is_empty() {
+                sim_csv.push_str(&cols.header());
+                sim_csv.push('\n');
+            }
+            sim_csv.push_str(&cols.row());
+            sim_csv.push('\n');
+            wall_csv.push_str(&format!(
+                "{workers},{},{wall_s:.3},{eps:.0}\n",
+                strategy.label()
+            ));
+        }
+        let ranks_eps = ranks_events as f64 / (ranks_wall_ns as f64 / 1e9);
+        bench.record(format!("scale/ranks/{workers}"), 1, ranks_wall_ns as f64);
+        bench.record(format!("scale/events_per_sec/{workers}"), 1, ranks_eps);
+    }
+    write_results("scale.csv", &sim_csv);
+    write_results("scale_wall.csv", &wall_csv);
+    if fs::create_dir_all("results").is_ok() && bench.save_json("results/scale_bench.json").is_ok()
+    {
+        eprintln!("wrote results/scale_bench.json");
+    }
+}
+
 fn main() {
     // A fatal simulated I/O error unwinds as a typed payload that the
     // fallible runner entry points catch; when one still reaches a
@@ -1040,6 +1147,7 @@ fn main() {
         "replication" => replication(),
         "segmentation" => segmentation(),
         "service" => service(),
+        "scale" => scale(args.iter().any(|a| a == "--quick")),
         "trace" => trace_capture(trace_out.as_deref()),
         "all" => {
             fig2(&mut cache);
@@ -1060,7 +1168,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown target '{other}'");
-            eprintln!("usage: repro [--trace-out FILE] [fig2|fig3|fig4|fig5|fig6|fig7|claims|colllist|sieve|segmentation|ablate|faults|replication|service|trace|all]");
+            eprintln!("usage: repro [--trace-out FILE] [fig2|fig3|fig4|fig5|fig6|fig7|claims|colllist|sieve|segmentation|ablate|faults|replication|service|scale [--quick]|trace|all]");
             std::process::exit(2);
         }
     }

@@ -15,6 +15,7 @@
 //! bundles — so the run completes with the exact same output extents a
 //! fault-free run would produce.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
@@ -23,7 +24,7 @@ use std::task::{Context, Poll};
 
 use s3a_des::{JoinHandle, Sim, SimTime, Sleep};
 use s3a_faults::FaultKind;
-use s3a_mpi::{waitall_sends, Comm, Message, RecvRequest, SendRequest, Source};
+use s3a_mpi::{waitall_sends, Comm, Message, ReadyQueue, RecvRequest, SendRequest, Source};
 use s3a_mpiio::File;
 use s3a_pvfs::Region;
 use s3a_workload::Workload;
@@ -98,6 +99,129 @@ impl MasterState {
     }
 }
 
+/// Completion-driven pool of the master's outstanding score receives.
+///
+/// The fault-free master used to `test()`-scan a `Vec<RecvRequest>` every
+/// loop iteration — O(outstanding) per work request, quadratic over a run
+/// and the dominant host cost at 10k workers. This pool drains in
+/// O(completions) instead, fed by the transport's
+/// [`RecvRequest::notify_ready`] hooks.
+///
+/// Byte-compatibility with the scan is load-bearing and deliberate:
+///
+/// * The *arrangement* of the old `Vec` leaks into simulated time through
+///   the endgame's `pop()` — which request the master blocks on decides
+///   when it resumes. `order` therefore mirrors the exact sequence of
+///   `swap_remove`s the scan would have performed, and [`ScoreBoard::pop`]
+///   returns exactly the request the old code would have popped.
+/// * Within one drain, processing order cannot change state:
+///   `record_scores` merges into per-query maps keyed by worker (equal
+///   hits merge to equal contents either way) and otherwise only
+///   decrements counters. The drain nevertheless visits ready positions
+///   in exactly the scan's order.
+/// * A hook fires at the same host instant the first successful `test()`
+///   would have observed, so the set of messages consumed per drain is
+///   identical.
+struct ScoreBoard {
+    /// token -> outstanding request (`None` = consumed or free).
+    slots: Vec<Option<RecvRequest>>,
+    free: Vec<u32>,
+    /// Mirror of the old `pending_scores` vector: token at each position.
+    order: Vec<u32>,
+    /// token -> current position in `order` (valid while outstanding).
+    pos: Vec<u32>,
+    /// Tokens whose receive became consumable, in completion order.
+    ready: ReadyQueue,
+}
+
+impl ScoreBoard {
+    fn new() -> ScoreBoard {
+        ScoreBoard {
+            slots: Vec::new(),
+            free: Vec::new(),
+            order: Vec::new(),
+            pos: Vec::new(),
+            ready: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    fn push(&mut self, req: RecvRequest) {
+        let token = match self.free.pop() {
+            Some(t) => t,
+            None => {
+                self.slots.push(None);
+                self.pos.push(0);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        req.notify_ready(&self.ready, token);
+        self.slots[token as usize] = Some(req);
+        self.pos[token as usize] = self.order.len() as u32;
+        self.order.push(token);
+    }
+
+    /// Remove `order[p]`, consume its message, and hand it to `f`.
+    fn consume_at(&mut self, p: usize, f: &mut impl FnMut(Message)) {
+        let t = self.order.swap_remove(p);
+        if p < self.order.len() {
+            self.pos[self.order[p] as usize] = p as u32;
+        }
+        let req = self.slots[t as usize].take().expect("token outstanding");
+        self.free.push(t);
+        f(req.test().expect("hook fired, message consumable"));
+    }
+
+    /// Consume every completed receive, replaying the old scan exactly:
+    /// visit positions in ascending order; a swap_remove moves the last
+    /// element down, and if that element is itself ready it is consumed
+    /// at the same position before moving on (the scan re-tested the
+    /// swapped-in element without advancing).
+    fn drain(&mut self, mut f: impl FnMut(Message)) {
+        let ready = std::mem::take(&mut *self.ready.borrow_mut());
+        if ready.is_empty() {
+            return;
+        }
+        let mut positions: Vec<u32> = Vec::with_capacity(ready.len());
+        for t in ready {
+            if self.slots[t as usize].is_some() {
+                positions.push(self.pos[t as usize]);
+            } else {
+                // Consumed by the endgame `pop()` after its hook fired;
+                // recycle the token now that its queue entry is spent.
+                self.free.push(t);
+            }
+        }
+        positions.sort_unstable();
+        // Two pointers: `i` walks ready positions in ascending order; `j`
+        // trims entries from the top as last elements get swapped down
+        // (the largest pending position is always the candidate to move).
+        let (mut i, mut j) = (0, positions.len());
+        while i < j {
+            let p = positions[i] as usize;
+            i += 1;
+            loop {
+                self.consume_at(p, &mut f);
+                // After the removal the vector's old last element sits at
+                // `p` — consume it in place if it was ready too.
+                if i < j && positions[j - 1] as usize == self.order.len() && p < self.order.len() {
+                    j -= 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The request the old code's `pending_scores.pop()` would return.
+    fn pop(&mut self) -> Option<RecvRequest> {
+        let t = self.order.pop()?;
+        // The slot is recycled when the token's ready entry is observed
+        // (every request's hook fires eventually), never here — so a
+        // token can't be reused while a stale queue entry still names it.
+        Some(self.slots[t as usize].take().expect("token outstanding"))
+    }
+}
+
 /// Run the master on `comm` (the world communicator, rank 0). `file` must
 /// be opened on a master-only communicator; it is used only by MW.
 #[allow(clippy::too_many_arguments)]
@@ -157,7 +281,7 @@ async fn run_master_normal(
     commits: &CommitTracker,
 ) {
     let mut done_workers = 0usize;
-    let mut pending_scores: Vec<RecvRequest> = Vec::new();
+    let mut pending_scores = ScoreBoard::new();
     let mut offset_sends: Vec<SendRequest> = Vec::new();
     // MW with nonblocking I/O: at most one batch write in flight.
     let mut pending_io: Option<JoinHandle<()>> = None;
@@ -167,17 +291,7 @@ async fn run_master_normal(
     loop {
         // Steps 10–19: drain any results that have arrived, then handle
         // batches that are now complete.
-        let mut k = 0;
-        while k < pending_scores.len() {
-            match pending_scores[k].test() {
-                Some(msg) => {
-                    let req = pending_scores.swap_remove(k);
-                    drop(req);
-                    record_scores(&mut st.batches, msg, st.gran);
-                }
-                None => k += 1,
-            }
-        }
+        pending_scores.drain(|msg| record_scores(&mut st.batches, msg, st.gran));
 
         for b in 0..st.nbatches {
             let complete = st.batches[b].as_ref().is_some_and(BatchState::is_complete);

@@ -245,17 +245,14 @@ impl ServiceReport {
         let latency =
             LatencyStats::from_ns(queries.iter().map(|r| r.latency().as_nanos()).collect());
         let wait = LatencyStats::from_ns(queries.iter().map(|r| r.wait().as_nanos()).collect());
-        let per_tenant = (0..sp.tenants)
-            .map(|t| {
-                LatencyStats::from_ns(
-                    queries
-                        .iter()
-                        .filter(|r| r.tenant == t)
-                        .map(|r| r.latency().as_nanos())
-                        .collect(),
-                )
-            })
-            .collect();
+        // Bucket latencies by tenant in one pass rather than rescanning
+        // the full query list per tenant; within a bucket the values keep
+        // the same query-index order the per-tenant scan produced.
+        let mut tenant_lat: Vec<Vec<u64>> = vec![Vec::new(); sp.tenants];
+        for r in &queries {
+            tenant_lat[r.tenant].push(r.latency().as_nanos());
+        }
+        let per_tenant = tenant_lat.into_iter().map(LatencyStats::from_ns).collect();
 
         ServiceReport {
             arrival: sp.arrivals.label(),

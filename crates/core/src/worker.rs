@@ -483,7 +483,7 @@ async fn handle_offsets(
             timer.add_interval(Phase::DataDistribution, sync_start, io_start);
             timer.add_interval(Phase::Io, io_start, now);
             timer
-                .track(Phase::Io, file.sync())
+                .track(Phase::Io, file.sync_collective())
                 .await
                 .unwrap_or_else(|e| crate::runner::io_failure(e));
         }

@@ -3,26 +3,28 @@
 //!
 //! Simulated processes are ordinary Rust futures. A process "blocks" by
 //! returning [`Poll::Pending`] from a leaf future that has registered a
-//! wake-up — either a timed event on the engine's event heap (e.g.
-//! [`Sim::sleep`]) or an entry in a synchronization primitive's waiter list
-//! (see [`crate::sync`]). The engine pops events in `(time, sequence)`
-//! order, so runs are bit-for-bit deterministic: same inputs, same event
-//! interleaving, same results.
+//! wake-up — either a timed event on the engine's timing wheel (e.g.
+//! [`Sim::sleep`], see [`crate::wheel`]) or an entry in a synchronization
+//! primitive's waiter list (see [`crate::sync`]). The engine pops events
+//! in `(time, sequence)` order, so runs are bit-for-bit deterministic:
+//! same inputs, same event interleaving, same results.
 //!
 //! Leaf futures must tolerate *spurious* polls (a stale timed wake-up may
 //! poll a task whose real wake condition has not arrived yet). All
 //! primitives in this crate follow that rule.
 
+use std::any::Any;
 use std::cell::{Cell, RefCell};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 use std::future::Future;
+use std::marker::PhantomData;
 use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
 use crate::time::SimTime;
+use crate::wheel::{TimerWheel, WakeEvent};
 
 /// Identifies a spawned simulation process.
 ///
@@ -32,6 +34,15 @@ use crate::time::SimTime;
 pub struct TaskId {
     idx: u32,
     gen: u32,
+}
+
+impl TaskId {
+    /// Test-only constructor so the wheel's property tests can fabricate
+    /// event payloads without spawning tasks.
+    #[cfg(test)]
+    pub(crate) const fn from_parts(idx: u32, gen: u32) -> Self {
+        TaskId { idx, gen }
+    }
 }
 
 impl fmt::Display for TaskId {
@@ -54,40 +65,30 @@ pub fn current_task() -> TaskId {
         .expect("des primitive polled outside a simulation task")
 }
 
-#[derive(PartialEq, Eq)]
-struct WakeEvent {
-    time: SimTime,
-    seq: u64,
-    task: TaskId,
-}
-
-impl Ord for WakeEvent {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
-impl PartialOrd for WakeEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 struct Slot {
     future: Option<Pin<Box<dyn Future<Output = ()>>>>,
     name: String,
     gen: u32,
     done: bool,
+    /// True while a [`JoinHandle`]/[`Join`] for this slot's task is alive.
+    /// The slot is recycled only once the task is done *and* the handle is
+    /// gone, so a live handle can always identify its task by generation.
+    handle_live: bool,
     /// What the task is parked on, reported by the leaf future that
     /// registered the task in a waiter list (see [`Sim::note_blocked`]).
     /// Cleared at every poll; used to explain deadlocks.
     blocked_on: Option<&'static str>,
+    /// The task's output, parked here (type-erased) between completion and
+    /// `join`/`take_output`. Only written when a handle is still live.
+    value: Option<Box<dyn Any>>,
+    /// Tasks awaiting [`Join`] on this slot's task.
+    join_waiters: Vec<TaskId>,
 }
 
 /// Counters describing how much work the engine performed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimStats {
-    /// Number of timed events popped from the heap.
+    /// Number of timed events popped from the wheel.
     pub events: u64,
     /// Number of future polls (including spurious ones).
     pub polls: u64,
@@ -138,10 +139,12 @@ impl fmt::Display for Deadlock {
 
 impl std::error::Error for Deadlock {}
 
+/// A task's boxed future as stored in (and polled out of) its slot.
+type TaskFut = Pin<Box<dyn Future<Output = ()>>>;
+
 struct Core {
-    now: SimTime,
     seq: u64,
-    heap: BinaryHeap<Reverse<WakeEvent>>,
+    wheel: TimerWheel,
     ready: VecDeque<TaskId>,
     slots: Vec<Slot>,
     free: Vec<u32>,
@@ -149,11 +152,43 @@ struct Core {
     stats: SimStats,
 }
 
+impl Core {
+    /// Take `tid`'s future out of its slot for polling, skipping stale
+    /// ids (completed tasks, recycled slots, duplicate ready entries).
+    #[inline]
+    fn take_future(&mut self, tid: TaskId) -> Option<Pin<Box<dyn Future<Output = ()>>>> {
+        let slot = self.slots.get_mut(tid.idx as usize)?;
+        if slot.gen != tid.gen || slot.done {
+            return None; // stale wake-up
+        }
+        let fut = slot.future.take()?;
+        slot.blocked_on = None; // re-recorded if it parks again
+        self.stats.polls += 1;
+        Some(fut)
+    }
+}
+
+/// What the engine should do next, decided under a single core borrow.
+enum Step {
+    Poll(TaskId, Pin<Box<dyn Future<Output = ()>>>),
+    Finished(SimTime),
+    Stuck(Deadlock),
+}
+
+/// The engine state behind a [`Sim`] handle. The virtual clock lives in a
+/// plain `Cell` *outside* the `RefCell`: reading `now` is the hottest
+/// engine query (every `sleep` creation and every completing sleep poll),
+/// and keeping it borrow-free means those paths never touch the core.
+struct Shared {
+    now: Cell<SimTime>,
+    core: RefCell<Core>,
+}
+
 /// Handle to a simulation. Cheap to clone; all clones refer to the same
 /// engine. `Sim` is single-threaded (`!Send`) by design.
 #[derive(Clone)]
 pub struct Sim {
-    core: Rc<RefCell<Core>>,
+    sh: Rc<Shared>,
 }
 
 impl Default for Sim {
@@ -166,62 +201,60 @@ impl Sim {
     /// Create a fresh simulation at time zero with no tasks.
     pub fn new() -> Self {
         Sim {
-            core: Rc::new(RefCell::new(Core {
-                now: SimTime::ZERO,
-                seq: 0,
-                heap: BinaryHeap::new(),
-                ready: VecDeque::new(),
-                slots: Vec::new(),
-                free: Vec::new(),
-                live: 0,
-                stats: SimStats::default(),
-            })),
+            sh: Rc::new(Shared {
+                now: Cell::new(SimTime::ZERO),
+                core: RefCell::new(Core {
+                    seq: 0,
+                    wheel: TimerWheel::new(),
+                    // Seed the arena and ready queue with room for a few
+                    // dozen tasks: spawn-heavy setups otherwise pay a
+                    // cascade of doubling reallocations copying slot
+                    // state before the first event runs.
+                    ready: VecDeque::with_capacity(64),
+                    slots: Vec::with_capacity(64),
+                    free: Vec::new(),
+                    live: 0,
+                    stats: SimStats::default(),
+                }),
+            }),
         }
     }
 
     /// The current virtual time.
     pub fn now(&self) -> SimTime {
-        self.core.borrow().now
+        self.sh.now.get()
     }
 
     /// Engine work counters.
     pub fn stats(&self) -> SimStats {
-        self.core.borrow().stats
+        self.sh.core.borrow().stats
     }
 
     /// Number of tasks that have been spawned but not yet completed.
     pub fn live_tasks(&self) -> usize {
-        self.core.borrow().live
+        self.sh.core.borrow().live
     }
 
     /// Spawn a simulation process. It becomes runnable immediately (at the
     /// current virtual time). Returns a handle that can be awaited for the
     /// process's output value.
+    ///
+    /// Task state lives in the engine's slot arena — the handle is just a
+    /// generational id, so a spawn costs one future allocation and no
+    /// shared-state cells.
     pub fn spawn<T: 'static>(
         &self,
         name: impl Into<String>,
         fut: impl Future<Output = T> + 'static,
     ) -> JoinHandle<T> {
-        let state = Rc::new(RefCell::new(JoinInner {
-            value: None,
-            finished: false,
-            waiters: Vec::new(),
-        }));
-        let st = Rc::clone(&state);
         let sim = self.clone();
         let wrapped = async move {
             let value = fut.await;
-            let waiters = {
-                let mut s = st.borrow_mut();
-                s.value = Some(value);
-                s.finished = true;
-                std::mem::take(&mut s.waiters)
-            };
-            sim.ready_all(waiters);
+            sim.store_output(value);
         };
 
         let tid = {
-            let mut c = self.core.borrow_mut();
+            let mut c = self.sh.core.borrow_mut();
             c.stats.spawned += 1;
             c.live += 1;
             let boxed: Pin<Box<dyn Future<Output = ()>>> = Box::pin(wrapped);
@@ -231,7 +264,9 @@ impl Sim {
                     slot.future = Some(boxed);
                     slot.name = name.into();
                     slot.done = false;
+                    slot.handle_live = true;
                     slot.blocked_on = None;
+                    debug_assert!(slot.value.is_none() && slot.join_waiters.is_empty());
                     TaskId { idx, gen: slot.gen }
                 }
                 None => {
@@ -241,7 +276,10 @@ impl Sim {
                         name: name.into(),
                         gen: 0,
                         done: false,
+                        handle_live: true,
                         blocked_on: None,
+                        value: None,
+                        join_waiters: Vec::new(),
                     });
                     TaskId { idx, gen: 0 }
                 }
@@ -251,8 +289,39 @@ impl Sim {
         };
         JoinHandle {
             task: tid,
-            state,
             sim: self.clone(),
+            _out: PhantomData,
+        }
+    }
+
+    /// Park the finishing task's output in its slot (type-erased) and wake
+    /// any joiners. Called by the spawn wrapper as the task's last act;
+    /// the output is only boxed when a handle is still alive to claim it.
+    fn store_output<T: 'static>(&self, value: T) {
+        let tid = current_task();
+        let mut c = self.sh.core.borrow_mut();
+        let slot = &mut c.slots[tid.idx as usize];
+        if slot.handle_live {
+            slot.value = Some(Box::new(value));
+        }
+        if !slot.join_waiters.is_empty() {
+            let mut ws = std::mem::take(&mut slot.join_waiters);
+            c.ready.extend(ws.drain(..));
+            // Hand the emptied Vec's capacity back to the slot.
+            c.slots[tid.idx as usize].join_waiters = ws;
+        }
+    }
+
+    /// Drop a handle's claim on its task's slot: forget any parked output
+    /// and recycle the slot if the task has already finished.
+    fn release_handle(&self, task: TaskId) {
+        let mut c = self.sh.core.borrow_mut();
+        let slot = &mut c.slots[task.idx as usize];
+        slot.handle_live = false;
+        // A live handle blocks recycling, so `gen` moved iff our task is done.
+        if slot.gen != task.gen {
+            slot.value = None;
+            c.free.push(task.idx);
         }
     }
 
@@ -260,22 +329,22 @@ impl Sim {
     /// the present). Used by leaf futures; harmless if the task has already
     /// completed or been woken by something else (the poll is spurious).
     pub fn schedule_wake(&self, task: TaskId, at: SimTime) {
-        let mut c = self.core.borrow_mut();
-        let at = at.max(c.now);
+        let at = at.max(self.sh.now.get());
+        let mut c = self.sh.core.borrow_mut();
         let seq = c.seq;
         c.seq += 1;
-        c.heap.push(Reverse(WakeEvent {
+        c.wheel.push(WakeEvent {
             time: at,
             seq,
             task,
-        }));
+        });
     }
 
     /// Record what `task` is parked on. Called by leaf futures right after
     /// they register the task in a waiter list; the note is cleared the
     /// next time the task is polled, and surfaces in [`Deadlock`] reports.
     pub fn note_blocked(&self, task: TaskId, what: &'static str) {
-        let mut c = self.core.borrow_mut();
+        let mut c = self.sh.core.borrow_mut();
         if let Some(slot) = c.slots.get_mut(task.idx as usize) {
             if slot.gen == task.gen && !slot.done {
                 slot.blocked_on = Some(what);
@@ -285,7 +354,7 @@ impl Sim {
 
     /// Make `task` runnable at the current time (end of the ready queue).
     pub fn ready_now(&self, task: TaskId) {
-        let mut c = self.core.borrow_mut();
+        let mut c = self.sh.core.borrow_mut();
         if let Some(slot) = c.slots.get(task.idx as usize) {
             if slot.gen == task.gen && !slot.done {
                 c.ready.push_back(task);
@@ -298,7 +367,7 @@ impl Sim {
     /// (completed tasks, recycled slots) are skipped exactly as in
     /// [`Sim::ready_now`].
     pub fn ready_all(&self, tasks: impl IntoIterator<Item = TaskId>) {
-        let mut c = self.core.borrow_mut();
+        let mut c = self.sh.core.borrow_mut();
         for task in tasks {
             if let Some(slot) = c.slots.get(task.idx as usize) {
                 if slot.gen == task.gen && !slot.done {
@@ -313,18 +382,19 @@ impl Sim {
     /// wake-up for `task` (at most once, tracked by `scheduled`) and
     /// returns `false`.
     pub(crate) fn sleep_poll(&self, task: TaskId, deadline: SimTime, scheduled: &mut bool) -> bool {
-        let mut c = self.core.borrow_mut();
-        if c.now >= deadline {
+        // The completing poll (deadline reached) never borrows the core.
+        if self.sh.now.get() >= deadline {
             return true;
         }
+        let mut c = self.sh.core.borrow_mut();
         if !*scheduled {
             let seq = c.seq;
             c.seq += 1;
-            c.heap.push(Reverse(WakeEvent {
+            c.wheel.push(WakeEvent {
                 time: deadline,
                 seq,
                 task,
-            }));
+            });
             *scheduled = true;
         }
         false
@@ -353,46 +423,81 @@ impl Sim {
         }
     }
 
-    fn poll_task(&self, tid: TaskId) {
-        let mut fut = {
-            let mut c = self.core.borrow_mut();
-            let Some(slot) = c.slots.get_mut(tid.idx as usize) else {
-                return;
-            };
-            if slot.gen != tid.gen || slot.done {
-                return; // stale wake-up
-            }
-            match slot.future.take() {
-                Some(f) => {
-                    slot.blocked_on = None; // re-recorded if it parks again
-                    c.stats.polls += 1;
-                    f
-                }
-                // Already being polled (duplicate ready entry) — impossible
-                // in a single-threaded drain, but harmless to skip.
-                None => return,
+    /// Decide the next runnable task: drain the ready queue, then pop the
+    /// wheel (advancing the clock), skipping stale wake-ups without
+    /// releasing the borrow. Timed wake-ups poll the woken task directly
+    /// instead of cycling it through the ready queue; validity
+    /// (generation, done) is checked by `take_future`, so stale wake-ups
+    /// fall out for free.
+    ///
+    /// `carried` is the future of the task that just returned `Pending`,
+    /// not yet restored to its slot. When the next wake-up targets that
+    /// same task — a lone sleeper, a producer pacing itself — the future
+    /// is handed straight back without the slot round-trip; on every
+    /// other exit it is parked in its slot first (it must be there for
+    /// later wake-ups, and for deadlock reports).
+    fn next_step(&self, c: &mut Core, mut carried: Option<(TaskId, TaskFut)>) -> Step {
+        // Bookkeeping parity with `take_future` for the carried fast path.
+        let fast = |c: &mut Core, tid: TaskId, fut: TaskFut| {
+            c.slots[tid.idx as usize].blocked_on = None;
+            c.stats.polls += 1;
+            Step::Poll(tid, fut)
+        };
+        let park = |c: &mut Core, carried: &mut Option<(TaskId, TaskFut)>| {
+            if let Some((tid, fut)) = carried.take() {
+                c.slots[tid.idx as usize].future = Some(fut);
             }
         };
-
-        let prev = CURRENT.replace(Some(tid));
-        let waker = Waker::noop();
-        let mut cx = Context::from_waker(waker);
-        let result = fut.as_mut().poll(&mut cx);
-        CURRENT.set(prev);
-
-        let mut c = self.core.borrow_mut();
-        let slot = &mut c.slots[tid.idx as usize];
-        match result {
-            Poll::Ready(()) => {
-                slot.done = true;
-                slot.gen = slot.gen.wrapping_add(1);
-                slot.future = None;
-                c.free.push(tid.idx);
-                c.live -= 1;
-                c.stats.completed += 1;
+        loop {
+            while let Some(tid) = c.ready.pop_front() {
+                if let Some((ctid, _)) = &carried {
+                    if *ctid == tid {
+                        let (tid, fut) = carried.take().expect("carried is Some");
+                        return fast(c, tid, fut);
+                    }
+                }
+                if let Some(fut) = c.take_future(tid) {
+                    park(c, &mut carried);
+                    return Step::Poll(tid, fut);
+                }
             }
-            Poll::Pending => {
-                slot.future = Some(fut);
+            if c.live == 0 {
+                park(c, &mut carried);
+                return Step::Finished(self.sh.now.get());
+            }
+            match c.wheel.pop() {
+                Some(ev) => {
+                    debug_assert!(ev.time >= self.sh.now.get(), "event wheel went backwards");
+                    c.stats.events += 1;
+                    if ev.time > self.sh.now.get() {
+                        self.sh.now.set(ev.time);
+                    }
+                    if let Some((ctid, _)) = &carried {
+                        if *ctid == ev.task {
+                            let (tid, fut) = carried.take().expect("carried is Some");
+                            return fast(c, tid, fut);
+                        }
+                    }
+                    if let Some(fut) = c.take_future(ev.task) {
+                        park(c, &mut carried);
+                        return Step::Poll(ev.task, fut);
+                    }
+                }
+                None => {
+                    park(c, &mut carried);
+                    let stuck: Vec<&Slot> = c
+                        .slots
+                        .iter()
+                        .filter(|s| !s.done && s.future.is_some())
+                        .collect();
+                    let parked = stuck.iter().map(|s| s.name.clone()).collect();
+                    let blocked_on = stuck.iter().map(|s| s.blocked_on).collect();
+                    return Step::Stuck(Deadlock {
+                        at: self.sh.now.get(),
+                        parked,
+                        blocked_on,
+                    });
+                }
             }
         }
     }
@@ -401,47 +506,55 @@ impl Sim {
     ///
     /// Returns the final virtual time, or a [`Deadlock`] listing the parked
     /// tasks if no task can make progress.
+    ///
+    /// The loop takes exactly one core borrow per poll: the previous
+    /// poll's bookkeeping and the next task selection happen back to back
+    /// under the same borrow, which is released only around the actual
+    /// future poll (tasks re-enter the engine through their `Sim` handles).
     pub fn run(&self) -> Result<SimTime, Deadlock> {
+        let mut finished: Option<(TaskId, TaskFut, Poll<()>)> = None;
         loop {
-            loop {
-                let tid = self.core.borrow_mut().ready.pop_front();
-                match tid {
-                    Some(t) => self.poll_task(t),
-                    None => break,
-                }
-            }
-            let next = {
-                let mut c = self.core.borrow_mut();
-                if c.live == 0 {
-                    return Ok(c.now);
-                }
-                match c.heap.pop() {
-                    Some(Reverse(ev)) => {
-                        debug_assert!(ev.time >= c.now, "event heap went backwards");
-                        c.now = c.now.max(ev.time);
-                        c.stats.events += 1;
-                        ev.task
-                    }
-                    None => {
-                        let stuck: Vec<&Slot> = c
-                            .slots
-                            .iter()
-                            .filter(|s| !s.done && s.future.is_some())
-                            .collect();
-                        let parked = stuck.iter().map(|s| s.name.clone()).collect();
-                        let blocked_on = stuck.iter().map(|s| s.blocked_on).collect();
-                        return Err(Deadlock {
-                            at: c.now,
-                            parked,
-                            blocked_on,
-                        });
+            let step = {
+                let mut c = self.sh.core.borrow_mut();
+                let mut carried = None;
+                if let Some((tid, fut, result)) = finished.take() {
+                    match result {
+                        Poll::Ready(()) => {
+                            let slot = &mut c.slots[tid.idx as usize];
+                            slot.done = true;
+                            slot.gen = slot.gen.wrapping_add(1);
+                            if !slot.handle_live {
+                                // No handle can claim the slot; recycle now.
+                                // Otherwise `release_handle` recycles later.
+                                slot.value = None;
+                                c.free.push(tid.idx);
+                            }
+                            c.live -= 1;
+                            c.stats.completed += 1;
+                            drop(fut);
+                        }
+                        Poll::Pending => {
+                            // Restored to the slot by `next_step` unless
+                            // the very next wake targets this task again.
+                            carried = Some((tid, fut));
+                        }
                     }
                 }
+                self.next_step(&mut c, carried)
             };
-            // Poll the woken task directly instead of cycling it through
-            // the ready queue; validity (generation, done) is re-checked
-            // inside poll_task, so stale wake-ups fall out for free.
-            self.poll_task(next);
+
+            let (tid, mut fut) = match step {
+                Step::Poll(tid, fut) => (tid, fut),
+                Step::Finished(at) => return Ok(at),
+                Step::Stuck(dl) => return Err(dl),
+            };
+
+            let prev = CURRENT.replace(Some(tid));
+            let waker = Waker::noop();
+            let mut cx = Context::from_waker(waker);
+            let result = fut.as_mut().poll(&mut cx);
+            CURRENT.set(prev);
+            finished = Some((tid, fut, result));
         }
     }
 }
@@ -488,20 +601,19 @@ impl Future for YieldNow {
     }
 }
 
-struct JoinInner<T> {
-    value: Option<T>,
-    finished: bool,
-    waiters: Vec<TaskId>,
-}
-
 /// Handle to a spawned task; await [`JoinHandle::join`] for its output.
+///
+/// The handle is a generational id into the engine's slot arena — it holds
+/// no shared allocation of its own. While a handle is alive, its task's
+/// slot is kept reserved (the output parks there after completion); dropping
+/// the handle releases the slot for recycling.
 pub struct JoinHandle<T> {
     task: TaskId,
-    state: Rc<RefCell<JoinInner<T>>>,
     sim: Sim,
+    _out: PhantomData<fn() -> T>,
 }
 
-impl<T> JoinHandle<T> {
+impl<T: 'static> JoinHandle<T> {
     /// The spawned task's id.
     pub fn id(&self) -> TaskId {
         self.task
@@ -509,46 +621,87 @@ impl<T> JoinHandle<T> {
 
     /// True once the task has run to completion.
     pub fn is_finished(&self) -> bool {
-        self.state.borrow().finished
+        // Completion bumps the slot generation, and a live handle blocks
+        // recycling, so a generation mismatch can only mean "our task done".
+        self.sim.sh.core.borrow().slots[self.task.idx as usize].gen != self.task.gen
     }
 
     /// Take the output of a task that has already finished, without
     /// awaiting — for collecting results after [`Sim::run`] returns.
     /// Returns `None` if the task has not finished (or was already taken).
     pub fn take_output(self) -> Option<T> {
-        self.state.borrow_mut().value.take()
+        let out = {
+            let mut c = self.sim.sh.core.borrow_mut();
+            let slot = &mut c.slots[self.task.idx as usize];
+            slot.handle_live = false;
+            if slot.gen != self.task.gen {
+                let v = slot.value.take();
+                c.free.push(self.task.idx);
+                v.map(|b| *b.downcast::<T>().expect("join output type mismatch"))
+            } else {
+                None
+            }
+        };
+        std::mem::forget(self); // slot claim already released above
+        out
     }
 
     /// Wait for the task to finish and take its output.
     ///
     /// Panics if the output has already been taken by another `join`.
     pub fn join(self) -> Join<T> {
-        Join {
-            state: self.state,
-            sim: self.sim,
-        }
+        let j = Join {
+            task: self.task,
+            sim: self.sim.clone(),
+            finished: false,
+            _out: PhantomData,
+        };
+        std::mem::forget(self); // the Join future inherits the slot claim
+        j
+    }
+}
+
+impl<T> Drop for JoinHandle<T> {
+    fn drop(&mut self) {
+        self.sim.release_handle(self.task);
     }
 }
 
 /// Future returned by [`JoinHandle::join`].
 pub struct Join<T> {
-    state: Rc<RefCell<JoinInner<T>>>,
+    task: TaskId,
     sim: Sim,
+    finished: bool,
+    _out: PhantomData<fn() -> T>,
 }
 
-impl<T> Future for Join<T> {
+impl<T: 'static> Future for Join<T> {
     type Output = T;
     fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<T> {
-        let mut s = self.state.borrow_mut();
-        if s.finished {
-            Poll::Ready(s.value.take().expect("task output already taken"))
+        let this = self.get_mut();
+        let me = current_task();
+        let mut c = this.sim.sh.core.borrow_mut();
+        let slot = &mut c.slots[this.task.idx as usize];
+        if slot.gen != this.task.gen {
+            let v = slot.value.take().expect("task output already taken");
+            slot.handle_live = false;
+            this.finished = true;
+            c.free.push(this.task.idx);
+            Poll::Ready(*v.downcast::<T>().expect("join output type mismatch"))
         } else {
-            let me = current_task();
-            if !s.waiters.contains(&me) {
-                s.waiters.push(me);
+            if !slot.join_waiters.contains(&me) {
+                slot.join_waiters.push(me);
             }
-            self.sim.note_blocked(me, "task join");
+            c.slots[me.idx as usize].blocked_on = Some("task join");
             Poll::Pending
+        }
+    }
+}
+
+impl<T> Drop for Join<T> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.sim.release_handle(self.task);
         }
     }
 }
@@ -747,7 +900,7 @@ mod tests {
         });
         sim.run().unwrap();
         // spawner + 100 children, but the slab should stay tiny.
-        assert!(sim.core.borrow().slots.len() <= 3);
+        assert!(sim.sh.core.borrow().slots.len() <= 3);
         assert_eq!(sim.stats().spawned, 101);
         assert_eq!(sim.stats().completed, 101);
     }

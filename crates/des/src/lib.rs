@@ -30,6 +30,7 @@
 pub mod engine;
 pub mod sync;
 pub mod time;
+pub(crate) mod wheel;
 
 pub use engine::{
     current_task, Deadlock, Join, JoinHandle, Sim, SimStats, Sleep, TaskId, YieldNow,

@@ -6,6 +6,11 @@
 //! next poll. Wake-all is deliberately chosen over wake-one — it is immune
 //! to lost wake-ups when a woken task has meanwhile completed, and the
 //! single-threaded deterministic executor makes the re-check cheap.
+//!
+//! [`Queue::push`] is the one exception: exactly one item arrives per push,
+//! so only the head waiter (FIFO) is woken. Tasks in this engine cannot be
+//! cancelled while parked, so the woken waiter always re-polls and either
+//! consumes the item or re-registers — no wake-up can be lost.
 
 use std::cell::{Cell as StdCell, RefCell};
 use std::collections::VecDeque;
@@ -29,6 +34,14 @@ fn wake_all(sim: &Sim, waiters: &mut Vec<TaskId>) {
     // One engine borrow for the whole waiter list (see `Sim::ready_all`);
     // the drained Vec keeps its capacity for the next round of waiters.
     sim.ready_all(waiters.drain(..));
+}
+
+fn wake_one(sim: &Sim, waiters: &mut Vec<TaskId>) {
+    // FIFO: the longest-parked waiter runs first. Registration order is
+    // deterministic, so so is the wake order.
+    if !waiters.is_empty() {
+        sim.ready_now(waiters.remove(0));
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -70,11 +83,14 @@ impl<T> Queue<T> {
         }
     }
 
-    /// Append an item and wake any waiting consumers.
+    /// Append an item and wake the head waiting consumer (if any).
+    ///
+    /// Each push makes exactly one item available, so waking more than one
+    /// waiter only buys spurious re-polls (see the module doc).
     pub fn push(&self, item: T) {
         let mut q = self.inner.borrow_mut();
         q.items.push_back(item);
-        wake_all(&self.sim, &mut q.waiters);
+        wake_one(&self.sim, &mut q.waiters);
     }
 
     /// Remove the oldest item if one is present.
@@ -83,10 +99,8 @@ impl<T> Queue<T> {
     }
 
     /// Wait for and remove the oldest item.
-    pub fn pop(&self) -> Pop<T> {
-        Pop {
-            queue: self.clone(),
-        }
+    pub fn pop(&self) -> Pop<'_, T> {
+        Pop { queue: self }
     }
 
     /// Number of queued items.
@@ -100,12 +114,13 @@ impl<T> Queue<T> {
     }
 }
 
-/// Future returned by [`Queue::pop`].
-pub struct Pop<T> {
-    queue: Queue<T>,
+/// Future returned by [`Queue::pop`]. Borrows the queue handle — a pop
+/// costs no reference-count traffic of its own.
+pub struct Pop<'a, T> {
+    queue: &'a Queue<T>,
 }
 
-impl<T> Future for Pop<T> {
+impl<T> Future for Pop<'_, T> {
     type Output = T;
     fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<T> {
         let mut q = self.queue.inner.borrow_mut();
@@ -617,7 +632,7 @@ impl<T> std::fmt::Debug for Queue<T> {
     }
 }
 
-impl<T> std::fmt::Debug for Pop<T> {
+impl<T> std::fmt::Debug for Pop<'_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Pop").finish_non_exhaustive()
     }

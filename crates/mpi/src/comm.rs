@@ -70,6 +70,37 @@ pub struct MpiStats {
     pub rendezvous: u64,
 }
 
+/// Host-side readiness queue shared between a consumer (e.g. the master's
+/// result drain) and the transport: tokens of hooked receives are pushed
+/// here the moment they first become consumable. See
+/// [`RecvRequest::notify_ready`].
+pub type ReadyQueue = Rc<RefCell<Vec<u32>>>;
+
+/// Arrival state of a message's payload, shared between the envelope and
+/// (for rendezvous) the sender-side transfer task.
+struct Arrival {
+    done: Cell<bool>,
+    /// Fired (at most once) when the payload lands on a matched receive.
+    hook: RefCell<Option<(ReadyQueue, u32)>>,
+}
+
+impl Arrival {
+    fn new(done: bool) -> Rc<Arrival> {
+        Rc::new(Arrival {
+            done: Cell::new(done),
+            hook: RefCell::new(None),
+        })
+    }
+
+    /// Payload fully arrived: flip the flag and fire any installed hook.
+    fn complete(&self) {
+        self.done.set(true);
+        if let Some((q, t)) = self.hook.borrow_mut().take() {
+            q.borrow_mut().push(t);
+        }
+    }
+}
+
 struct Envelope {
     context: u32,
     /// World rank of the sender.
@@ -77,7 +108,7 @@ struct Envelope {
     tag: Tag,
     bytes: u64,
     payload: Option<Box<dyn Any>>,
-    data_arrived: Rc<Cell<bool>>,
+    arrival: Rc<Arrival>,
     /// Present on an unmatched rendezvous header; taken when matched to
     /// trigger the CTS.
     cts: Option<OneShot<()>>,
@@ -88,12 +119,53 @@ struct PostedRecv {
     /// Source selector in *world* ranks.
     src: Source,
     tag: TagSel,
+    /// Post order within the mailbox; arbitrates earliest-posted-wins
+    /// between the exact index and the wildcard list.
+    seq: u64,
+    /// Matched to an envelope — no longer linked in the mailbox, so
+    /// cancellation (drop) has nothing to deregister.
+    matched: bool,
+    /// Completion hook installed before the match; moved onto the
+    /// envelope's [`Arrival`] at bind time if the payload is still in
+    /// flight.
+    ready_hook: Option<(ReadyQueue, u32)>,
     envelope: Option<Envelope>,
 }
 
+impl PostedRecv {
+    /// The exact-index key, if both selectors are fully specified.
+    fn exact_key(&self) -> Option<(u32, Rank, Tag)> {
+        match (self.src, self.tag) {
+            (Source::Rank(r), TagSel::Tag(t)) => Some((self.context, r, t)),
+            _ => None,
+        }
+    }
+}
+
+/// FIFO of posted receives sharing one fully-specified match key.
+type PostedFifo = VecDeque<Rc<RefCell<PostedRecv>>>;
+
+/// Per-rank message-matching state.
+///
+/// Receives with fully-specified `(source, tag)` — the overwhelmingly
+/// common case — live in a keyed FIFO index so an arriving message finds
+/// its match in O(log n) instead of scanning every posted receive; a 10k
+/// rank master holds one posted score receive per outstanding task, and
+/// the old linear scan made every arrival O(ranks). Wildcard receives
+/// stay in a short post-ordered list; `PostedRecv::seq` arbitrates
+/// earliest-posted-wins across the two, preserving the exact matching the
+/// scan produced. `arrived_counts` serves the same purpose on the posting
+/// side: a fully-specified `irecv` can prove "no unexpected match exists"
+/// without walking the unexpected queue.
 struct Mailbox {
     arrived: VecDeque<Envelope>,
-    posted: Vec<Rc<RefCell<PostedRecv>>>,
+    /// Unexpected-message count by exact `(context, source, tag)`.
+    arrived_counts: BTreeMap<(u32, Rank, Tag), usize>,
+    /// Fully-specified posted receives, FIFO per key.
+    posted_exact: BTreeMap<(u32, Rank, Tag), PostedFifo>,
+    /// Posted receives with a wildcard source and/or tag, in post order.
+    posted_wild: Vec<Rc<RefCell<PostedRecv>>>,
+    next_seq: u64,
     waiters: Vec<TaskId>,
     /// The rank fail-stopped: arriving messages are absorbed (rendezvous
     /// senders granted and discarded) instead of buffered, so traffic in
@@ -101,11 +173,144 @@ struct Mailbox {
     failed: bool,
 }
 
+impl Mailbox {
+    fn new() -> Mailbox {
+        Mailbox {
+            arrived: VecDeque::new(),
+            arrived_counts: BTreeMap::new(),
+            posted_exact: BTreeMap::new(),
+            posted_wild: Vec::new(),
+            next_seq: 0,
+            waiters: Vec::new(),
+            failed: false,
+        }
+    }
+
+    /// Register a freshly posted receive (assigns its sequence number).
+    fn link(&mut self, posted: &Rc<RefCell<PostedRecv>>) {
+        let key = {
+            let mut p = posted.borrow_mut();
+            p.seq = self.next_seq;
+            p.exact_key()
+        };
+        self.next_seq += 1;
+        match key {
+            Some(k) => self
+                .posted_exact
+                .entry(k)
+                .or_default()
+                .push_back(Rc::clone(posted)),
+            None => self.posted_wild.push(Rc::clone(posted)),
+        }
+    }
+
+    /// Unlink the earliest-posted receive matching `(context, source,
+    /// tag)`, if any — exactly the receive the old front-to-back scan of
+    /// one post-ordered list would have picked.
+    fn match_posted(
+        &mut self,
+        context: u32,
+        source: Rank,
+        tag: Tag,
+    ) -> Option<Rc<RefCell<PostedRecv>>> {
+        let key = (context, source, tag);
+        let exact_seq = self
+            .posted_exact
+            .get(&key)
+            .and_then(|q| q.front())
+            .map(|p| p.borrow().seq);
+        // `posted_wild` is in post order, so the first match has the
+        // smallest wildcard sequence number.
+        let wild_pos = self.posted_wild.iter().position(|p| {
+            let p = p.borrow();
+            p.context == context && p.src.matches(source) && p.tag.matches(tag)
+        });
+        let take_exact = match (exact_seq, wild_pos) {
+            (Some(es), Some(wp)) => es < self.posted_wild[wp].borrow().seq,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        if take_exact {
+            let q = self.posted_exact.get_mut(&key).expect("head seen above");
+            let p = q.pop_front().expect("head seen above");
+            if q.is_empty() {
+                self.posted_exact.remove(&key);
+            }
+            Some(p)
+        } else {
+            Some(self.posted_wild.remove(wild_pos.expect("checked above")))
+        }
+    }
+
+    /// Buffer an unmatched arrival on the unexpected queue.
+    fn buffer(&mut self, env: Envelope) {
+        *self
+            .arrived_counts
+            .entry((env.context, env.source, env.tag))
+            .or_insert(0) += 1;
+        self.arrived.push_back(env);
+    }
+
+    /// Take the unexpected message at position `i` off the queue.
+    fn take_arrived(&mut self, i: usize) -> Envelope {
+        let env = self.arrived.remove(i).expect("position from a scan");
+        let key = (env.context, env.source, env.tag);
+        let n = self.arrived_counts.get_mut(&key).expect("counted on entry");
+        *n -= 1;
+        if *n == 0 {
+            self.arrived_counts.remove(&key);
+        }
+        env
+    }
+}
+
 /// Discard a message addressed to a failed rank, granting its rendezvous
 /// sender (if any) so the sender-side transfer task can finish.
 fn absorb(env: Envelope) {
     if let Some(cts) = env.cts {
         cts.set(());
+    }
+}
+
+/// A communicator's local-rank → world-rank mapping.
+///
+/// The world communicator is the identity and stores nothing — crucial at
+/// scale, where a per-rank `Vec` of all members would cost O(ranks²)
+/// memory across a 10k-rank world. Sub-communicators share one table per
+/// matching context (see [`Comm::sub`]).
+#[derive(Clone)]
+enum Members {
+    /// Local rank == world rank; just the size.
+    Identity(usize),
+    /// Local rank -> world rank table.
+    Map(Rc<Vec<Rank>>),
+}
+
+impl Members {
+    fn len(&self) -> usize {
+        match self {
+            Members::Identity(n) => *n,
+            Members::Map(m) => m.len(),
+        }
+    }
+
+    /// Translate a local rank to a world rank.
+    fn to_world(&self, local: Rank) -> Rank {
+        match self {
+            Members::Identity(_) => local,
+            Members::Map(m) => m[local],
+        }
+    }
+
+    /// Translate a world rank back to a local rank.
+    fn to_local(&self, world: Rank) -> Option<Rank> {
+        match self {
+            Members::Identity(n) => (world < *n).then_some(world),
+            // Sub-communicators are small (I/O aggregator groups); a scan
+            // beats carrying a reverse table around.
+            Members::Map(m) => m.iter().position(|&w| w == world),
+        }
     }
 }
 
@@ -117,6 +322,9 @@ struct WorldInner {
     cfg: MpiConfig,
     mailboxes: Vec<RefCell<Mailbox>>,
     contexts: RefCell<BTreeMap<String, u32>>,
+    /// Member table per sub-communicator context: built by the first rank
+    /// to call [`Comm::sub`] for that context, shared by the rest.
+    sub_members: RefCell<BTreeMap<u32, Rc<Vec<Rank>>>>,
     next_context: Cell<u32>,
     stats: Cell<MpiStats>,
     obs: RefCell<ObsSink>,
@@ -151,6 +359,7 @@ impl WorldInner {
         let drained: Vec<Envelope> = {
             let mut mb = self.mailboxes[rank].borrow_mut();
             mb.failed = true;
+            mb.arrived_counts.clear();
             mb.arrived.drain(..).collect()
         };
         for env in drained {
@@ -167,18 +376,11 @@ impl WorldInner {
                 absorb(env);
                 return;
             }
-            let pos = mb.posted.iter().position(|p| {
-                let p = p.borrow();
-                p.envelope.is_none()
-                    && p.context == env.context
-                    && p.src.matches(env.source)
-                    && p.tag.matches(env.tag)
-            });
-            pos.map(|i| mb.posted.remove(i))
+            mb.match_posted(env.context, env.source, env.tag)
         };
         match matched {
             Some(p) => self.bind(dst, &p, env),
-            None => self.mailboxes[dst].borrow_mut().arrived.push_back(env),
+            None => self.mailboxes[dst].borrow_mut().buffer(env),
         }
         self.wake_mailbox(dst);
     }
@@ -199,7 +401,16 @@ impl WorldInner {
                 cts.set(());
             });
         }
-        posted.borrow_mut().envelope = Some(env);
+        let mut p = posted.borrow_mut();
+        p.matched = true;
+        if let Some((q, t)) = p.ready_hook.take() {
+            if env.arrival.done.get() {
+                q.borrow_mut().push(t);
+            } else {
+                *env.arrival.hook.borrow_mut() = Some((q, t));
+            }
+        }
+        p.envelope = Some(env);
     }
 
     fn bump_stats(&self, bytes: u64, rendezvous: bool) {
@@ -250,7 +461,7 @@ impl WorldInner {
                 tag,
                 bytes,
                 payload: Some(payload),
-                data_arrived: Rc::new(Cell::new(true)),
+                arrival: Arrival::new(true),
                 cts: None,
             };
             let s = sim.clone();
@@ -262,14 +473,14 @@ impl WorldInner {
             });
         } else {
             let cts = OneShot::new(&sim);
-            let data_arrived = Rc::new(Cell::new(false));
+            let arrival = Arrival::new(false);
             let env = Envelope {
                 context,
                 source: src,
                 tag,
                 bytes,
                 payload: Some(payload),
-                data_arrived: Rc::clone(&data_arrived),
+                arrival: Rc::clone(&arrival),
                 cts: Some(cts.clone()),
             };
             let header = self.cfg.header_bytes;
@@ -289,7 +500,7 @@ impl WorldInner {
                 s.sleep_until(data.tx_done).await;
                 done.set();
                 s.sleep_until(data.delivered).await;
-                data_arrived.set(true);
+                arrival.complete();
                 world.wake_mailbox(dst);
             });
         }
@@ -340,17 +551,9 @@ impl World {
                 fabric,
                 endpoint_base,
                 cfg,
-                mailboxes: (0..nranks)
-                    .map(|_| {
-                        RefCell::new(Mailbox {
-                            arrived: VecDeque::new(),
-                            posted: Vec::new(),
-                            waiters: Vec::new(),
-                            failed: false,
-                        })
-                    })
-                    .collect(),
+                mailboxes: (0..nranks).map(|_| RefCell::new(Mailbox::new())).collect(),
                 contexts: RefCell::new(BTreeMap::new()),
+                sub_members: RefCell::new(BTreeMap::new()),
                 next_context: Cell::new(1), // 0 is the world context
                 stats: Cell::new(MpiStats::default()),
                 obs: RefCell::new(ObsSink::disabled()),
@@ -374,12 +577,11 @@ impl World {
     /// process.
     pub fn comm(&self, rank: Rank) -> Comm {
         assert!(rank < self.size(), "rank {rank} out of range");
-        let members: Rc<Vec<Rank>> = Rc::new((0..self.size()).collect());
         Comm {
             world: Rc::clone(&self.inner),
             context: 0,
             rank,
-            members,
+            members: Members::Identity(self.size()),
             coll_seq: Cell::new(0),
         }
     }
@@ -427,7 +629,7 @@ pub struct Comm {
     context: u32,
     rank: Rank,
     /// Local rank -> world rank.
-    members: Rc<Vec<Rank>>,
+    members: Members,
     coll_seq: Cell<u32>,
 }
 
@@ -443,7 +645,7 @@ impl Clone for Comm {
             world: Rc::clone(&self.world),
             context: self.context,
             rank: self.rank,
-            members: Rc::clone(&self.members),
+            members: self.members.clone(),
             coll_seq: Cell::new(self.coll_seq.get()),
         }
     }
@@ -484,13 +686,13 @@ impl Comm {
 
     /// Translate a local rank to a world rank.
     pub fn world_rank(&self, local: Rank) -> Rank {
-        self.members[local]
+        self.members.to_world(local)
     }
 
     /// The fabric endpoint hosting this rank (used by I/O layers that move
     /// data over the same NIC the MPI traffic uses).
     pub fn endpoint(&self) -> EndpointId {
-        self.world.endpoint(self.members[self.rank])
+        self.world.endpoint(self.members.to_world(self.rank))
     }
 
     /// The fabric this communicator's world runs on.
@@ -503,7 +705,7 @@ impl Comm {
     /// senders are granted and their payloads discarded, so no transfer
     /// toward the dead rank can wedge the simulation. Irreversible.
     pub fn mark_failed(&self) {
-        self.world.fail(self.members[self.rank]);
+        self.world.fail(self.members.to_world(self.rank));
     }
 
     /// Create a sub-communicator containing `local_members` (local ranks of
@@ -515,8 +717,6 @@ impl Comm {
             .iter()
             .position(|&m| m == self.rank)
             .expect("calling rank must be a member of the sub-communicator");
-        let members: Rc<Vec<Rank>> =
-            Rc::new(local_members.iter().map(|&m| self.members[m]).collect());
         let full_key = format!("ctx{}:{}", self.context, key);
         let context = {
             let mut map = self.world.contexts.borrow_mut();
@@ -527,11 +727,26 @@ impl Comm {
                 id
             })
         };
+        // One member table per sub-communicator, built by whichever rank
+        // gets here first — every member calls with the same arguments, so
+        // the later callers just bump a refcount instead of allocating
+        // their own copy of the table.
+        let members = {
+            let mut cache = self.world.sub_members.borrow_mut();
+            Rc::clone(cache.entry(context).or_insert_with(|| {
+                Rc::new(
+                    local_members
+                        .iter()
+                        .map(|&m| self.members.to_world(m))
+                        .collect(),
+                )
+            }))
+        };
         Comm {
             world: Rc::clone(&self.world),
             context,
             rank: new_rank,
-            members,
+            members: Members::Map(members),
             coll_seq: Cell::new(0),
         }
     }
@@ -552,8 +767,8 @@ impl Comm {
         assert!(dst < self.size(), "destination rank {dst} out of range");
         self.world.transport(
             self.context,
-            self.members[self.rank],
-            self.members[dst],
+            self.members.to_world(self.rank),
+            self.members.to_world(dst),
             tag,
             Box::new(payload),
             bytes,
@@ -577,28 +792,43 @@ impl Comm {
         let src_world = match src {
             Source::Rank(l) => {
                 assert!(l < self.size(), "source rank {l} out of range");
-                Source::Rank(self.members[l])
+                Source::Rank(self.members.to_world(l))
             }
             Source::Any => Source::Any,
         };
-        let me_world = self.members[self.rank];
+        let me_world = self.members.to_world(self.rank);
         let posted = Rc::new(RefCell::new(PostedRecv {
             context: self.context,
             src: src_world,
             tag,
+            seq: 0,
+            matched: false,
+            ready_hook: None,
             envelope: None,
         }));
 
-        // Match against already-arrived (unexpected) messages first.
+        // Match against already-arrived (unexpected) messages first. A
+        // fully-specified receive consults the arrival counts to skip the
+        // scan when no match can exist — the hot case for the master's
+        // per-task score receives, which are always posted before the
+        // reply is even requested.
         let matched = {
             let mut mb = self.world.mailboxes[me_world].borrow_mut();
-            let pos = mb.arrived.iter().position(|e| {
-                e.context == self.context && src_world.matches(e.source) && tag.matches(e.tag)
+            let may_match = match (src_world, tag) {
+                (Source::Rank(r), TagSel::Tag(t)) => {
+                    mb.arrived_counts.contains_key(&(self.context, r, t))
+                }
+                _ => !mb.arrived.is_empty(),
+            };
+            let pos = may_match.then(|| {
+                mb.arrived.iter().position(|e| {
+                    e.context == self.context && src_world.matches(e.source) && tag.matches(e.tag)
+                })
             });
-            match pos {
-                Some(i) => mb.arrived.remove(i),
+            match pos.flatten() {
+                Some(i) => Some(mb.take_arrived(i)),
                 None => {
-                    mb.posted.push(Rc::clone(&posted));
+                    mb.link(&posted);
                     None
                 }
             }
@@ -611,7 +841,7 @@ impl Comm {
             state: posted,
             world: Rc::clone(&self.world),
             me_world,
-            members: Rc::clone(&self.members),
+            members: self.members.clone(),
         }
     }
 
@@ -656,21 +886,20 @@ pub struct RecvRequest {
     state: Rc<RefCell<PostedRecv>>,
     world: Rc<WorldInner>,
     me_world: Rank,
-    members: Rc<Vec<Rank>>,
+    members: Members,
 }
 
 impl RecvRequest {
     fn try_complete(&self) -> Option<Message> {
         let mut p = self.state.borrow_mut();
-        let ready = p.envelope.as_ref().is_some_and(|e| e.data_arrived.get());
+        let ready = p.envelope.as_ref().is_some_and(|e| e.arrival.done.get());
         if !ready {
             return None;
         }
         let mut env = p.envelope.take().expect("checked above");
         let local_src = self
             .members
-            .iter()
-            .position(|&w| w == env.source)
+            .to_local(env.source)
             .expect("sender not in communicator");
         Some(Message::new(
             Status {
@@ -694,7 +923,28 @@ impl RecvRequest {
             .borrow()
             .envelope
             .as_ref()
-            .is_some_and(|e| e.data_arrived.get())
+            .is_some_and(|e| e.arrival.done.get())
+    }
+
+    /// Arrange for `token` to be pushed onto `queue` at the instant this
+    /// receive first becomes consumable — or immediately, if it already
+    /// is. Fires exactly once. Host-side bookkeeping only: it never
+    /// observes or advances simulated time, so hooked and polled runs
+    /// produce identical traces. Lets a consumer holding many outstanding
+    /// receives drain completions in O(ready) instead of `test()`-scanning
+    /// every request.
+    pub fn notify_ready(&self, queue: &ReadyQueue, token: u32) {
+        let mut p = self.state.borrow_mut();
+        match &p.envelope {
+            Some(e) => {
+                if e.arrival.done.get() {
+                    queue.borrow_mut().push(token);
+                } else {
+                    *e.arrival.hook.borrow_mut() = Some((Rc::clone(queue), token));
+                }
+            }
+            None => p.ready_hook = Some((Rc::clone(queue), token)),
+        }
     }
 
     /// Register the calling task to be woken at this rank's next mailbox
@@ -716,8 +966,27 @@ impl Drop for RecvRequest {
     fn drop(&mut self) {
         // Deregister an unmatched posted receive so it cannot swallow a
         // future message (dropping a pending request is MPI_Cancel-like).
+        // Matched receives were unlinked at match time — the common case,
+        // and O(1) to detect.
+        let key = {
+            let p = self.state.borrow();
+            if p.matched {
+                return;
+            }
+            p.exact_key()
+        };
         let mut mb = self.world.mailboxes[self.me_world].borrow_mut();
-        mb.posted.retain(|p| !Rc::ptr_eq(p, &self.state));
+        match key {
+            Some(k) => {
+                if let Some(q) = mb.posted_exact.get_mut(&k) {
+                    q.retain(|p| !Rc::ptr_eq(p, &self.state));
+                    if q.is_empty() {
+                        mb.posted_exact.remove(&k);
+                    }
+                }
+            }
+            None => mb.posted_wild.retain(|p| !Rc::ptr_eq(p, &self.state)),
+        }
     }
 }
 

@@ -37,6 +37,7 @@ mod comm;
 mod message;
 
 pub use comm::{
-    timed, waitall_sends, Comm, MpiConfig, MpiStats, RecvRequest, RecvWait, SendRequest, World,
+    timed, waitall_sends, Comm, MpiConfig, MpiStats, ReadyQueue, RecvRequest, RecvWait,
+    SendRequest, World,
 };
 pub use message::{Message, Rank, Source, Status, Tag, TagSel, COLL_TAG_BASE};

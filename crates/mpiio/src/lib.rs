@@ -25,10 +25,30 @@
 //! implementations duplicate the user communicator), so collective file
 //! traffic can never cross-match application messages.
 
+use std::rc::Rc;
+
 use s3a_mpi::Comm;
 use s3a_net::EndpointId;
 use s3a_obs::{ObsSink, Track};
 use s3a_pvfs::{FileHandle, FileSystem, PvfsError, Region, SimSanitizer};
+
+/// Communicator size above which the collective paths switch to their
+/// scalable variants, the way MPICH selects collective algorithms by
+/// communicator size. Below the threshold the historical algorithms run
+/// unchanged (every checked-in reference run has ≤ 96 ranks, so their
+/// bytes are preserved); above it:
+///
+/// * the extent exchange becomes gather + broadcast (O(n) messages,
+///   log-depth) instead of the ring allgather's n² message storm;
+/// * only aggregator ranks — the only writers in two-phase I/O — sync
+///   after a collective, instead of all n ranks flooding every server.
+pub const LARGE_COLL_RANKS: usize = 128;
+
+/// Point-to-point tag for the aggregator table hand-off in the
+/// large-comm extent exchange. File communicators carry no other user
+/// traffic, and consecutive hand-offs between the same pair cannot
+/// cross-match (per-pair delivery is non-overtaking).
+const TABLE_TAG: s3a_mpi::Tag = 7001;
 
 /// How [`File::write_regions`] maps a noncontiguous region list onto
 /// file-system requests.
@@ -228,6 +248,90 @@ impl File {
         self.write_at_all_timed(my_regions).await.map(|_| ())
     }
 
+    /// Effective aggregator count for two-phase I/O on this file's
+    /// communicator (`cb_nodes`, clamped; 0 = every rank).
+    fn naggs(&self) -> usize {
+        let n = self.comm.size();
+        if self.hints.cb_nodes == 0 {
+            n
+        } else {
+            self.hints.cb_nodes.min(n)
+        }
+    }
+
+    /// Phase-1 extent exchange. Small communicators run the historical
+    /// ring allgather: every rank learns every rank's access pattern.
+    /// Past [`LARGE_COLL_RANKS`] the pattern is gathered at rank 0, the
+    /// full table travels point-to-point to the other aggregators only —
+    /// they alone consume it (to derive their receive counts) — and the
+    /// remaining ranks get just the 16-byte aggregate extent via a
+    /// binomial broadcast. That turns n rendezvous transfers of an
+    /// O(total-regions) table per collective into `cb_nodes - 1`, which
+    /// is what makes collective I/O usable at 10k ranks. Returns this
+    /// rank's view of the table (empty on large-comm non-aggregators) and
+    /// the aggregate `[lo, hi)` extent (`None` when no rank writes).
+    async fn exchange_extents(
+        &self,
+        my_regions: &[Region],
+        desc_bytes: u64,
+    ) -> (Rc<Vec<Vec<Region>>>, Option<(u64, u64)>) {
+        fn extent_of(all: &[Vec<Region>]) -> Option<(u64, u64)> {
+            let lo = all.iter().flatten().map(|r| r.offset).min();
+            let hi = all.iter().flatten().map(|r| r.end()).max();
+            match (lo, hi) {
+                (Some(l), Some(h)) if h > l => Some((l, h)),
+                _ => None,
+            }
+        }
+        if self.comm.size() <= LARGE_COLL_RANKS {
+            let all = self.comm.allgather(my_regions.to_vec(), desc_bytes).await;
+            let extent = extent_of(&all);
+            return (Rc::new(all), extent);
+        }
+        let naggs = self.naggs();
+        let me = self.comm.rank();
+        let gathered = self.comm.gather(0, my_regions.to_vec(), desc_bytes).await;
+        let (table, extent) = match gathered {
+            Some(vs) => {
+                let total: u64 = vs.iter().map(|v| 16 * v.len() as u64).sum();
+                let extent = extent_of(&vs);
+                let table = Rc::new(vs);
+                // Ship the table to the other aggregators while the
+                // extent broadcast fans out.
+                let sends: Vec<_> = (1..naggs)
+                    .map(|a| self.comm.isend(a, TABLE_TAG, Rc::clone(&table), total))
+                    .collect();
+                self.comm.bcast(0, Some(extent), 16).await;
+                s3a_mpi::waitall_sends(&sends).await;
+                (table, extent)
+            }
+            None if me < naggs => {
+                let req = self.comm.irecv(0, TABLE_TAG);
+                let extent = self.comm.bcast::<Option<(u64, u64)>>(0, None, 16).await;
+                let table = req.wait().await.downcast::<Rc<Vec<Vec<Region>>>>();
+                (table, extent)
+            }
+            None => {
+                let extent = self.comm.bcast::<Option<(u64, u64)>>(0, None, 16).await;
+                (Rc::new(Vec::new()), extent)
+            }
+        };
+        (table, extent)
+    }
+
+    /// Post-collective durability flush. On small communicators every
+    /// rank syncs — the historical behavior. Past [`LARGE_COLL_RANKS`]
+    /// only aggregator ranks issue the sync: they are the only ranks
+    /// that wrote in two-phase I/O, and an all-ranks sync fans n×servers
+    /// requests into the file system without adding durability.
+    pub async fn sync_collective(&self) -> Result<(), PvfsError> {
+        if self.comm.size() <= LARGE_COLL_RANKS || self.comm.rank() < self.naggs() {
+            self.sync().await
+        } else {
+            Ok(())
+        }
+    }
+
     /// [`File::write_at_all`], additionally reporting how the time split
     /// between the collective's inherent synchronization (the initial
     /// extent allgather, which blocks until the slowest participant
@@ -246,16 +350,11 @@ impl File {
             self.san
                 .collective_enter(self.fh.name(), self.comm.context(), n, self.comm.rank(), t0);
         }
-        let naggs = if self.hints.cb_nodes == 0 {
-            n
-        } else {
-            self.hints.cb_nodes.min(n)
-        };
+        let naggs = self.naggs();
 
         // Phase 1: everyone learns everyone's access pattern.
         let desc_bytes = 16 * my_regions.len() as u64;
-        let all_regions: Vec<Vec<Region>> =
-            self.comm.allgather(my_regions.to_vec(), desc_bytes).await;
+        let (all_regions, extent) = self.exchange_extents(my_regions, desc_bytes).await;
         let synchronize = self.comm.sim().now() - t0;
         let t1 = self.comm.sim().now();
         if self.obs.is_recording() {
@@ -271,11 +370,9 @@ impl File {
             );
         }
 
-        let lo = all_regions.iter().flatten().map(|r| r.offset).min();
-        let hi = all_regions.iter().flatten().map(|r| r.end()).max();
-        let (lo, hi) = match (lo, hi) {
-            (Some(l), Some(h)) if h > l => (l, h),
-            _ => {
+        let (lo, hi) = match extent {
+            Some(x) => x,
+            None => {
                 // Nothing to write anywhere: just synchronize.
                 self.comm.barrier().await;
                 return Ok(CollectiveTiming {

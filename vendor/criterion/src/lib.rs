@@ -31,6 +31,36 @@ pub fn black_box<T>(x: T) -> T {
     std_black_box(x)
 }
 
+/// A started wall-clock timer for one-shot measurements.
+///
+/// The workspace's determinism lint bans host time sources inside
+/// `crates/`; the bench harness is the one sanctioned consumer of wall
+/// time, so tools that need to time a run (e.g. `repro scale`) borrow
+/// this instead of reaching for `Instant` directly.
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Stopwatch {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::new`].
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Seconds elapsed since [`Stopwatch::new`].
+    pub fn elapsed_secs_f64(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
 /// How `iter_batched` amortizes setup; ignored by this harness.
 #[derive(Debug, Clone, Copy)]
 pub enum BatchSize {
@@ -204,6 +234,18 @@ impl Criterion {
         &self.measurements
     }
 
+    /// Record a derived measurement directly, bypassing the timed-iteration
+    /// path. Used for series whose value is computed from another
+    /// measurement (e.g. an events-per-second rate stored in `mean_ns`,
+    /// or a whole-run wall time measured with a [`Stopwatch`]).
+    pub fn record(&mut self, id: impl Into<String>, iters: u64, mean_ns: f64) {
+        self.measurements.push(Measurement {
+            id: id.into(),
+            iters,
+            mean_ns,
+        });
+    }
+
     /// The recorded measurements as a JSON document:
     /// `{"benchmarks": [{"id": ..., "iters": ..., "mean_ns": ...}, ...]}`.
     pub fn json(&self) -> String {
@@ -303,6 +345,19 @@ mod tests {
         assert!(json.contains("\"benchmarks\""));
         assert!(json.contains("\"id\": \"grp/inner\""));
         assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn record_and_stopwatch() {
+        let mut c = Criterion::default();
+        let sw = Stopwatch::new();
+        let ns = sw.elapsed_ns();
+        c.record("scale/ranks/1000", 1, ns as f64);
+        c.record("des_hot_path/events_per_sec", 1, 12345.0);
+        assert_eq!(c.measurements().len(), 2);
+        assert_eq!(c.measurements()[0].id, "scale/ranks/1000");
+        assert!(c.json().contains("des_hot_path/events_per_sec"));
+        assert!(sw.elapsed_secs_f64() >= 0.0);
     }
 
     #[test]

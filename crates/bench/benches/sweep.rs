@@ -232,6 +232,37 @@ fn bench_scale_ranks(c: &mut Criterion) {
     }
 }
 
+/// Sharded-master series: the scale workload at 1k workers under 1, 2,
+/// and 4 master shards (WW-List), reported as engine events/sec so the
+/// gate holds a throughput floor per shard count. The masters=1 entry
+/// runs the unchanged single-master path — pinning it next to the
+/// sharded entries keeps the shard machinery honest about its overhead.
+fn bench_shards(c: &mut Criterion) {
+    use s3a_workload::WorkloadParams;
+    let workers = if quick() { 500 } else { 1000 };
+    for masters in [1usize, 2, 4] {
+        let mut p = SimParams {
+            procs: workers + masters,
+            num_masters: masters,
+            strategy: Strategy::WwList,
+            workload: WorkloadParams {
+                queries: 64,
+                fragments: 512,
+                min_results: 100,
+                max_results: 200,
+                ..WorkloadParams::default()
+            },
+            ..SimParams::default()
+        };
+        p.testbed.pvfs.servers = 128;
+        p.testbed.mpi.ranks_per_node = 1;
+        let sw = Stopwatch::new();
+        let reports = run_batch(std::slice::from_ref(&p), 1).expect("shard run verifies");
+        let eps = reports[0].engine.events as f64 / (sw.elapsed_ns().max(1) as f64 / 1e9);
+        c.record(format!("shards/masters/{masters}/events_per_sec"), 1, eps);
+    }
+}
+
 fn main() {
     let mut c = Criterion::default();
     bench_executor(&mut c);
@@ -240,6 +271,7 @@ fn main() {
     bench_service_latency(&mut c);
     bench_des_hot_path(&mut c);
     bench_scale_ranks(&mut c);
+    bench_shards(&mut c);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
     c.save_json(path).expect("write BENCH_sweep.json");
     println!("wrote {path}");

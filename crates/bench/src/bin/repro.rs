@@ -14,6 +14,7 @@
 //! repro replication  durability vs. write amplification: replicated PVFS under domain death
 //! repro service   open-loop service mode: tail latency per strategy × scheduling policy
 //! repro scale     engine throughput at 1k/4k/10k ranks (--quick: 1k only)
+//! repro shards    sharded-master sweep: masters x strategy x workers (--quick: small)
 //! repro trace     request-level observability capture (Chrome trace + metrics)
 //! repro all       everything above (figures share sweep runs)
 //! ```
@@ -1105,6 +1106,129 @@ fn scale(quick: bool) {
     }
 }
 
+/// Sharded-master study: where does splitting the master stop paying?
+/// Masters × strategy × worker count on the scale workload. Like `scale`,
+/// two output families: `results/shards.csv` carries simulated quantities
+/// only (virtual time, events, steal counters) and is byte-identical
+/// across reruns and thread counts — CI runs the study twice and `cmp`s
+/// the files — while `results/shards_wall.csv` + `shards_bench.json`
+/// carry host wall-clock measurements.
+fn shards(quick: bool) {
+    use s3a_workload::WorkloadParams;
+    let master_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let worker_counts: &[usize] = if quick {
+        &[1000]
+    } else {
+        &[1000, 4000, 10_000]
+    };
+    let strategies = [Strategy::Mw, Strategy::WwList];
+    let params_for = |workers: usize, masters: usize, strategy: Strategy| {
+        let mut p = SimParams {
+            procs: workers + masters,
+            num_masters: masters,
+            strategy,
+            observe: true,
+            workload: WorkloadParams {
+                queries: 64,
+                fragments: 512,
+                min_results: 100,
+                max_results: 200,
+                ..WorkloadParams::default()
+            },
+            ..SimParams::default()
+        };
+        p.testbed.pvfs.servers = 128;
+        // One rank per node: master counts change the process count, and
+        // node-sharing would let that parity shift the network topology
+        // under the comparison.
+        p.testbed.mpi.ranks_per_node = 1;
+        p
+    };
+
+    println!("==== Sharded master: masters x strategy x workers ====");
+    println!("(scale workload: 64 queries x 512 fragments, 128-server PVFS;");
+    println!(" virtual quantities are deterministic, wall times are host");
+    println!(" measurements; speedup is virtual time vs the 1-master run)\n");
+
+    let mut sim_csv = String::new();
+    let mut wall_csv = String::from("masters,workers,strategy,wall_s,events_per_sec\n");
+    let mut bench = criterion::Criterion::default();
+    let mut per_masters: std::collections::BTreeMap<usize, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    for &workers in worker_counts {
+        println!("---- {workers} workers ----");
+        println!(
+            "{:>8} {:>9} {:>10} {:>9} {:>8} {:>8} {:>8} {:>10}",
+            "masters", "strategy", "virtual", "speedup", "steals", "tasks", "empty", "events"
+        );
+        for &strategy in &strategies {
+            let mut solo_virtual = None;
+            for &masters in master_counts {
+                let p = params_for(workers, masters, strategy);
+                let sw = criterion::Stopwatch::new();
+                let r = run_or_exit(&format!("shards {masters}m x {workers}w x {strategy}"), &p);
+                let wall_ns = sw.elapsed_ns().max(1);
+                let obs = r.obs.as_ref().expect("observe=true yields a report");
+                let steals = obs.metrics.counter("shard.steals.requested");
+                let stolen = obs.metrics.counter("shard.steals.tasks");
+                let empty = obs.metrics.counter("shard.steals.empty");
+                let virt = r.overall.as_secs_f64();
+                let speedup = match solo_virtual {
+                    None => {
+                        solo_virtual = Some(virt);
+                        1.0
+                    }
+                    Some(base) => base / virt,
+                };
+                println!(
+                    "{masters:>8} {:>9} {virt:>9.2}s {speedup:>8.2}x {steals:>8} {stolen:>8} {empty:>8} {:>10}",
+                    strategy.label(),
+                    r.engine.events,
+                );
+                let mut cols = Columns::new();
+                cols.push("masters", masters)
+                    .push("workers", workers)
+                    .push("strategy", strategy.label())
+                    .push("overall_s", format!("{virt:.3}"))
+                    .push("events", r.engine.events)
+                    .push("mpi_messages", r.mpi.messages)
+                    .push("steals_requested", steals)
+                    .push("steal_tasks_moved", stolen)
+                    .push("steals_empty", empty);
+                if sim_csv.is_empty() {
+                    sim_csv.push_str(&cols.header());
+                    sim_csv.push('\n');
+                }
+                sim_csv.push_str(&cols.row());
+                sim_csv.push('\n');
+                let wall_s = wall_ns as f64 / 1e9;
+                wall_csv.push_str(&format!(
+                    "{masters},{workers},{},{wall_s:.3},{:.0}\n",
+                    strategy.label(),
+                    r.engine.events as f64 / wall_s
+                ));
+                let slot = per_masters.entry(masters).or_insert((0, 0));
+                slot.0 += wall_ns;
+                slot.1 += r.engine.events;
+            }
+        }
+        println!();
+    }
+    for (masters, (wall_ns, events)) in &per_masters {
+        bench.record(
+            format!("shards/masters/{masters}/events_per_sec"),
+            1,
+            *events as f64 / (*wall_ns as f64 / 1e9),
+        );
+    }
+    write_results("shards.csv", &sim_csv);
+    write_results("shards_wall.csv", &wall_csv);
+    if fs::create_dir_all("results").is_ok() && bench.save_json("results/shards_bench.json").is_ok()
+    {
+        eprintln!("wrote results/shards_bench.json");
+    }
+}
+
 fn main() {
     // A fatal simulated I/O error unwinds as a typed payload that the
     // fallible runner entry points catch; when one still reaches a
@@ -1148,6 +1272,7 @@ fn main() {
         "segmentation" => segmentation(),
         "service" => service(),
         "scale" => scale(args.iter().any(|a| a == "--quick")),
+        "shards" => shards(args.iter().any(|a| a == "--quick")),
         "trace" => trace_capture(trace_out.as_deref()),
         "all" => {
             fig2(&mut cache);
@@ -1168,7 +1293,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown target '{other}'");
-            eprintln!("usage: repro [--trace-out FILE] [fig2|fig3|fig4|fig5|fig6|fig7|claims|colllist|sieve|segmentation|ablate|faults|replication|service|scale [--quick]|trace|all]");
+            eprintln!("usage: repro [--trace-out FILE] [fig2|fig3|fig4|fig5|fig6|fig7|claims|colllist|sieve|segmentation|ablate|faults|replication|service|scale [--quick]|shards [--quick]|trace|all]");
             std::process::exit(2);
         }
     }

@@ -53,6 +53,7 @@ mod report;
 mod resume;
 mod runner;
 mod service;
+mod shard;
 pub mod sweep;
 pub mod trace;
 mod worker;

@@ -690,9 +690,14 @@ async fn run_master_service(
                 }
                 // SJF: smallest total result volume first (the master
                 // knows each query's size from the workload oracle).
+                // Ties break FIFO: by arrival time, then query id — not
+                // by whatever order the candidate scan happens to visit.
                 SchedPolicy::Sjf => (0..nq)
                     .filter(|&q| queries[q].as_ref().is_some_and(|s| s.next_fragment < nf))
-                    .min_by_key(|&q| (bytes_of[q], q)),
+                    .min_by_key(|&q| {
+                        let arrival = queries[q].as_ref().expect("filtered").arrival;
+                        (bytes_of[q], arrival, q)
+                    }),
                 // Fair share: the tenant with the least dispatched bytes
                 // goes first; FIFO within the tenant.
                 SchedPolicy::FairShare => (0..nq)
@@ -923,7 +928,9 @@ async fn run_master_faulty(
         // during its own blindness must not read as worker silence.
         drain_heartbeats(comm, &mut hb_rx, &mut last_seen, sim);
         for w in 1..=nworkers {
-            if alive[w] && !done[w] && sim.now().saturating_sub(last_seen[w]) > fp.detection_timeout
+            if alive[w]
+                && !done[w]
+                && silence_exceeds(sim.now(), last_seen[w], fp.detection_timeout)
             {
                 on_death(
                     w,
@@ -1025,6 +1032,18 @@ async fn run_master_faulty(
         .track(Phase::GatherResults, waitall_sends(&offset_sends))
         .await;
     // No final barrier: the dead cannot arrive at one.
+}
+
+/// The failure detector's one comparison, shared by the worker detector
+/// and the sharded-master detector: a peer is declared dead only when
+/// its silence *strictly exceeds* the detection timeout (DESIGN.md §7).
+/// A heartbeat that lands exactly at `last_seen + timeout` — e.g. after
+/// a virtual-clock stall aligns the scan with the heartbeat tick — is
+/// still proof of life, regardless of timer poll order. `saturating_sub`
+/// keeps a refresh that raced ahead of the scan (`last_seen > now`)
+/// from underflowing into a false positive.
+pub(crate) fn silence_exceeds(now: SimTime, last_seen: SimTime, timeout: SimTime) -> bool {
+    now.saturating_sub(last_seen) > timeout
 }
 
 /// Consume every queued heartbeat, refreshing the senders' liveness.
@@ -1131,4 +1150,38 @@ fn record_scores(batches: &mut [Option<BatchState>], msg: Message, gran: usize) 
         .as_mut()
         .unwrap_or_else(|| panic!("scores for already-written batch {b}"))
         .record(scores.query, scores.fragment, status.source, &scores.hits);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins the detection-boundary semantics: a heartbeat that lands
+    /// exactly `detection_timeout` ago is still proof of life; only
+    /// strictly longer silence is death. Also pins the saturating
+    /// behaviour when a refresh races ahead of the scan.
+    #[test]
+    fn silence_boundary_is_exclusive() {
+        let t0 = SimTime::from_secs(10);
+        let timeout = SimTime::from_secs(3);
+        assert!(!silence_exceeds(t0 + timeout, t0, timeout));
+        assert!(silence_exceeds(
+            t0 + timeout + SimTime::from_nanos(1),
+            t0,
+            timeout
+        ));
+        assert!(!silence_exceeds(t0, t0, timeout));
+        // last_seen ahead of now (refresh raced the scan): never dead.
+        assert!(!silence_exceeds(t0, t0 + SimTime::from_secs(100), timeout));
+        assert!(!silence_exceeds(
+            SimTime::ZERO,
+            SimTime::ZERO,
+            SimTime::ZERO
+        ));
+        assert!(silence_exceeds(
+            SimTime::from_nanos(1),
+            SimTime::ZERO,
+            SimTime::ZERO
+        ));
+    }
 }

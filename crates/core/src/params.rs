@@ -249,9 +249,18 @@ impl Default for Testbed {
 /// Everything that defines one S3aSim run.
 #[derive(Debug, Clone)]
 pub struct SimParams {
-    /// Total MPI processes (1 master + `procs - 1` workers); the paper
-    /// sweeps 2–96.
+    /// Total MPI processes (`num_masters` masters + the rest workers);
+    /// the paper sweeps 2–96.
     pub procs: usize,
+    /// Master ranks (`0..num_masters`). The default 1 reproduces the
+    /// paper's single master exactly; more shards partition the query
+    /// space, home workers round-robin, and steal tasks between shards
+    /// (rank 0 doubles as the coordinator).
+    pub num_masters: usize,
+    /// Sharded mode only: split every `(query, fragment)` task into this
+    /// many sub-fragment tasks so work stealing has fine grain to move
+    /// (1 = whole fragments, the classic grain).
+    pub subfragment_factor: usize,
     /// The I/O strategy under test.
     pub strategy: Strategy,
     /// The "query sync" option: force all workers to synchronize after
@@ -313,6 +322,8 @@ impl Default for SimParams {
     fn default() -> Self {
         SimParams {
             procs: 16,
+            num_masters: 1,
+            subfragment_factor: 1,
             strategy: Strategy::WwList,
             query_sync: false,
             compute_speed: 1.0,
@@ -340,7 +351,12 @@ impl Default for SimParams {
 impl SimParams {
     /// Number of worker processes.
     pub fn workers(&self) -> usize {
-        self.procs.saturating_sub(1)
+        self.procs.saturating_sub(self.num_masters)
+    }
+
+    /// Is this a sharded-master run (more than one master rank)?
+    pub fn sharded(&self) -> bool {
+        self.num_masters > 1
     }
 
     /// Time to search one task that produces `result_bytes` of output.
@@ -439,6 +455,60 @@ impl SimParams {
         }
         if self.faults.max_io_retries == 0 {
             return Err(ParamError::ZeroRetryLimit);
+        }
+        if self.num_masters == 0 {
+            return Err(ParamError::ZeroMasters);
+        }
+        if self.sharded() {
+            if self.workers() == 0 {
+                return Err(ParamError::MastersNeedWorker {
+                    masters: self.num_masters,
+                    procs: self.procs,
+                });
+            }
+            if self.query_sync || self.strategy.inherently_synchronizing() {
+                return Err(ParamError::ShardsNeedFreeRunningWorkers {
+                    strategy: self.strategy,
+                    query_sync: self.query_sync,
+                });
+            }
+            if self.segmentation == Segmentation::Query {
+                return Err(ParamError::ShardsQuerySegUnsupported);
+            }
+            if self.is_service() {
+                return Err(ParamError::ShardsServiceUnsupported);
+            }
+            if self.resume_from.is_some() {
+                return Err(ParamError::ShardsResumeUnsupported);
+            }
+            if self.faults.crashes() {
+                return Err(ParamError::ShardsWorkerCrashesUnsupported);
+            }
+        }
+        if self.subfragment_factor == 0 {
+            return Err(ParamError::ZeroSubfragmentFactor);
+        }
+        if self.subfragment_factor > 1 && !self.sharded() {
+            return Err(ParamError::SubfragmentsNeedShards);
+        }
+        if self.faults.master_crashes() {
+            if !self.sharded() {
+                return Err(ParamError::MasterCrashesNeedShards);
+            }
+            for &(rank, _) in &self.faults.master_crashes {
+                if !(1..self.num_masters).contains(&rank) {
+                    return Err(ParamError::CrashRankNotStandbyMaster {
+                        rank,
+                        masters: self.num_masters,
+                    });
+                }
+            }
+            if self.faults.heartbeat_interval >= self.faults.detection_timeout {
+                return Err(ParamError::HeartbeatNotUnderTimeout {
+                    interval: self.faults.heartbeat_interval,
+                    timeout: self.faults.detection_timeout,
+                });
+            }
         }
         if self.faults.crashes() {
             if self.query_sync || self.strategy.inherently_synchronizing() {
@@ -624,6 +694,51 @@ pub enum ParamError {
     /// Service mode does not support resuming from a checkpoint: arrivals
     /// are a traffic trace, not a resumable batch.
     ServiceResumeUnsupported,
+    /// `num_masters` must be at least 1.
+    ZeroMasters,
+    /// A sharded run still needs at least one worker rank beyond its
+    /// masters.
+    MastersNeedWorker {
+        /// Configured master count.
+        masters: usize,
+        /// Total processes.
+        procs: usize,
+    },
+    /// Sharded masters need free-running workers: query-sync and
+    /// collective strategies synchronize the whole worker set, which a
+    /// partitioned query space cannot provide.
+    ShardsNeedFreeRunningWorkers {
+        /// The synchronizing strategy (or any strategy with query-sync).
+        strategy: Strategy,
+        /// Whether the query-sync option triggered the rejection.
+        query_sync: bool,
+    },
+    /// Sharded masters partition the query space across database
+    /// segments; query segmentation partitions the opposite axis.
+    ShardsQuerySegUnsupported,
+    /// Service mode keeps the single-master admission loop.
+    ShardsServiceUnsupported,
+    /// Sharded runs cannot resume from a single-master checkpoint.
+    ShardsResumeUnsupported,
+    /// Worker-crash injection is a single-master facility; sharded runs
+    /// inject master crashes instead.
+    ShardsWorkerCrashesUnsupported,
+    /// `subfragment_factor` must be at least 1.
+    ZeroSubfragmentFactor,
+    /// Sub-fragment decomposition only exists to give work stealing
+    /// grain, so it requires `num_masters > 1`.
+    SubfragmentsNeedShards,
+    /// A master-crash schedule needs a sharded run to act on.
+    MasterCrashesNeedShards,
+    /// A master crash was scheduled for a rank that is not a standby
+    /// master (`1..num_masters`; rank 0 is the coordinator and must
+    /// survive).
+    CrashRankNotStandbyMaster {
+        /// The offending rank.
+        rank: usize,
+        /// Configured master count (valid crash ranks are `1..masters`).
+        masters: usize,
+    },
 }
 
 impl std::fmt::Display for ParamError {
@@ -701,6 +816,57 @@ impl std::fmt::Display for ParamError {
                 "service mode cannot resume from a checkpoint; arrivals \
                  are a traffic trace, not a resumable batch"
             ),
+            ParamError::ZeroMasters => write!(f, "num_masters must be >= 1"),
+            ParamError::MastersNeedWorker { masters, procs } => {
+                write!(f, "{masters} masters leave no worker rank in {procs} procs")
+            }
+            ParamError::ShardsNeedFreeRunningWorkers {
+                strategy,
+                query_sync,
+            } => write!(
+                f,
+                "sharded masters need free-running workers: {} synchronizes \
+                 the whole worker set",
+                if *query_sync {
+                    "query-sync".to_string()
+                } else {
+                    format!("the {strategy} collective strategy")
+                }
+            ),
+            ParamError::ShardsQuerySegUnsupported => write!(
+                f,
+                "sharded masters partition the query space; query \
+                 segmentation partitions the opposite axis"
+            ),
+            ParamError::ShardsServiceUnsupported => {
+                write!(f, "service mode keeps the single-master admission loop")
+            }
+            ParamError::ShardsResumeUnsupported => write!(
+                f,
+                "sharded runs cannot resume from a single-master checkpoint"
+            ),
+            ParamError::ShardsWorkerCrashesUnsupported => write!(
+                f,
+                "worker-crash injection is a single-master facility; \
+                 sharded runs inject master crashes instead"
+            ),
+            ParamError::ZeroSubfragmentFactor => {
+                write!(f, "subfragment_factor must be >= 1")
+            }
+            ParamError::SubfragmentsNeedShards => write!(
+                f,
+                "subfragment_factor > 1 requires num_masters > 1 (the finer \
+                 grain only exists for work stealing)"
+            ),
+            ParamError::MasterCrashesNeedShards => write!(
+                f,
+                "master-crash schedules need a sharded run (num_masters > 1)"
+            ),
+            ParamError::CrashRankNotStandbyMaster { rank, masters } => write!(
+                f,
+                "master crash rank {rank} is not a standby master \
+                 (1..{masters}; rank 0 is the coordinator)"
+            ),
         }
     }
 }
@@ -738,6 +904,18 @@ impl SimParamsBuilder {
     /// The result-writing strategy under test.
     pub fn strategy(mut self, strategy: Strategy) -> Self {
         self.params.strategy = strategy;
+        self
+    }
+
+    /// Master shard count (ranks `0..n`; 1 = the paper's single master).
+    pub fn num_masters(mut self, n: usize) -> Self {
+        self.params.num_masters = n;
+        self
+    }
+
+    /// Sub-fragment tasks per `(query, fragment)` in sharded mode.
+    pub fn subfragment_factor(mut self, k: usize) -> Self {
+        self.params.subfragment_factor = k;
         self
     }
 

@@ -18,6 +18,22 @@ pub const TAG_OFFSETS: Tag = 4;
 /// Worker → master: liveness beacon, sent periodically by a sibling task
 /// whenever crash injection is armed. Only its arrival time matters.
 pub const TAG_HEARTBEAT: Tag = 5;
+/// Master → master: an idle shard asks a sibling for queued tasks.
+pub const TAG_STEAL_REQ: Tag = 6;
+/// Master → master: the victim's reply (possibly empty) to a steal
+/// request.
+pub const TAG_STEAL_RESP: Tag = 7;
+/// Master → worker: control-plane message (re-homing after a master
+/// death).
+pub const TAG_CTRL: Tag = 8;
+/// Worker → master: acknowledgement of a control message.
+pub const TAG_CTRL_ACK: Tag = 9;
+/// Standby master → coordinator: liveness beacon, sent whenever a
+/// master-crash schedule is armed.
+pub const TAG_MASTER_HB: Tag = 10;
+/// Master ↔ coordinator: shard progress/quiesce state (see
+/// [`ShardStatus`], [`ShardCtrl`]).
+pub const TAG_STATUS: Tag = 11;
 
 /// Wire size of a work request.
 pub const WORK_REQ_BYTES: u64 = 16;
@@ -29,6 +45,12 @@ pub const HEARTBEAT_BYTES: u64 = 8;
 pub const SCORE_ENTRY_BYTES: u64 = 16;
 /// Wire bytes per entry in an offset list (one 64-bit offset).
 pub const OFFSET_ENTRY_BYTES: u64 = 8;
+/// Wire size of a steal request, a shard status, or any fixed-size
+/// control message.
+pub const CTRL_BYTES: u64 = 24;
+/// Wire bytes per `(query, sub-fragment)` task moved by a steal response
+/// or purged by a re-home notice.
+pub const TASK_ENTRY_BYTES: u64 = 16;
 
 /// Master → worker response to a work request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,6 +94,21 @@ pub enum Assign {
         /// Total offset messages addressed to this worker over the run.
         offsets: usize,
     },
+    /// Sharded mode: search `query` against sub-fragment `fragment` (a
+    /// `1/subfragment_factor` slice of a database fragment) and report to
+    /// `owner`. When `ship` is set the result data rides along with the
+    /// scores and the owning shard writes it (stolen tasks and all MW
+    /// tasks); otherwise the worker merges locally as usual.
+    ShardTask {
+        /// Query index.
+        query: usize,
+        /// Sub-fragment index (`fragment * subfragment_factor + slice`).
+        fragment: usize,
+        /// World rank of the shard that owns the query's batch.
+        owner: usize,
+        /// Ship result data to the owner instead of merging locally.
+        ship: bool,
+    },
 }
 
 impl Assign {
@@ -91,10 +128,114 @@ impl Assign {
 pub struct ScoresMsg {
     /// Query index.
     pub query: usize,
-    /// Fragment index.
+    /// Fragment index (a sub-fragment index in sharded runs).
     pub fragment: usize,
     /// Hits, sorted by `(score desc, size desc)`.
     pub hits: Vec<Hit>,
+    /// Sharded mode: the result data rides along and the receiving shard
+    /// writes it itself (the sender keeps nothing). Always `false` on the
+    /// single-master path.
+    pub shipped: bool,
+}
+
+/// Master → master: an idle shard asks a sibling for queued tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealReq {
+    /// World rank of the requesting shard.
+    pub thief: usize,
+}
+
+/// Master → master: the victim's reply. Only tasks the victim itself
+/// owns are lent (stolen tasks are never re-lent), so an unscored task
+/// always keeps exactly one shard — its owner — unresolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StealResp {
+    /// `(query, sub-fragment)` tasks handed over (possibly empty).
+    pub tasks: Vec<(usize, usize)>,
+    /// World rank of the owning (victim) shard.
+    pub owner: usize,
+}
+
+impl StealResp {
+    /// Simulated wire size of this message.
+    pub fn wire_bytes(&self) -> u64 {
+        CTRL_BYTES + TASK_ENTRY_BYTES * self.tasks.len() as u64
+    }
+}
+
+/// Master → worker control-plane message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardCtrl {
+    /// A master died; its batches now belong to `successor`. Workers
+    /// homed to the dead shard re-home to `successor`; every worker
+    /// discards local results for the `purge`d (rebuilt) batches and
+    /// acknowledges with [`TAG_CTRL_ACK`].
+    Rehome {
+        /// The dead master's world rank.
+        dead: usize,
+        /// The adopting master's world rank.
+        successor: usize,
+        /// Batches being recomputed from scratch — local merges for these
+        /// are stale and must be dropped.
+        purge: Vec<usize>,
+    },
+}
+
+impl ShardCtrl {
+    /// Simulated wire size of this message.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            ShardCtrl::Rehome { purge, .. } => CTRL_BYTES + 8 * purge.len() as u64,
+        }
+    }
+}
+
+/// Master ↔ coordinator traffic on [`TAG_STATUS`]: shard progress
+/// reports and the two-phase shutdown quiesce (see DESIGN.md §"Sharded
+/// master").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardStatus {
+    /// Shard → coordinator: progress report, stamped with the sender's
+    /// failover epoch (stale-epoch reports are ignored).
+    Report {
+        /// Reporting shard's world rank.
+        shard: usize,
+        /// Failover epoch the report belongs to.
+        epoch: u64,
+        /// All batches this shard owns are complete and laid out.
+        resolved: bool,
+        /// The shard has a steal request in flight.
+        stealing: bool,
+    },
+    /// Coordinator → shards: all shards look resolved — stop stealing
+    /// and acknowledge when no steal response is outstanding.
+    Prepare {
+        /// Failover epoch the quiesce belongs to.
+        epoch: u64,
+    },
+    /// Shard → coordinator: quiesced (no steal in flight, none will
+    /// start).
+    PrepareAck {
+        /// Acknowledging shard's world rank.
+        shard: usize,
+        /// Failover epoch being acknowledged.
+        epoch: u64,
+    },
+    /// Coordinator → shards: every shard is quiesced; answer `Done` to
+    /// workers and exit when they have all left.
+    AllDone,
+    /// Coordinator → shards: a master died. Bumps the failover epoch,
+    /// aborts any quiesce in progress, and re-routes the dead shard's
+    /// batches to `successor`. Every surviving shard force-resends its
+    /// status stamped with the new epoch.
+    MasterDead {
+        /// The dead master's world rank.
+        dead: usize,
+        /// The adopting master's world rank.
+        successor: usize,
+        /// The new failover epoch.
+        epoch: u64,
+    },
 }
 
 /// Master → worker: where to write each of the worker's results for a
@@ -181,5 +322,33 @@ mod tests {
             offsets: vec![0; 10],
         };
         assert_eq!(m.wire_bytes(), 16 + 80);
+    }
+
+    #[test]
+    fn shard_wire_sizes() {
+        let resp = StealResp {
+            tasks: vec![(0, 0); 5],
+            owner: 1,
+        };
+        assert_eq!(resp.wire_bytes(), CTRL_BYTES + 5 * TASK_ENTRY_BYTES);
+        let empty = StealResp {
+            tasks: Vec::new(),
+            owner: 1,
+        };
+        assert_eq!(empty.wire_bytes(), CTRL_BYTES);
+        let rehome = ShardCtrl::Rehome {
+            dead: 1,
+            successor: 2,
+            purge: vec![3, 4],
+        };
+        assert_eq!(rehome.wire_bytes(), CTRL_BYTES + 16);
+        // A shard task is an ordinary fixed-size assignment on the wire.
+        let t = Assign::ShardTask {
+            query: 0,
+            fragment: 0,
+            owner: 0,
+            ship: true,
+        };
+        assert_eq!(t.wire_bytes(), ASSIGN_BYTES);
     }
 }

@@ -253,6 +253,15 @@ impl CommitTracker {
         self.inner.borrow().pending.is_empty()
     }
 
+    /// Has this batch ever been declared (pending or already durable)?
+    /// A shard successor uses this to tell laid-out batches — whose
+    /// pending writes the surviving workers will still complete — from
+    /// batches that died with their owner and must be rebuilt.
+    pub fn is_known(&self, batch: usize) -> bool {
+        let t = self.inner.borrow();
+        t.pending.contains_key(&batch) || t.log.iter().any(|e| e.batch == batch)
+    }
+
     /// Extract the commit log (entries sorted by commit time).
     pub fn finish(&self) -> CommitLog {
         let mut t = self.inner.borrow_mut();

@@ -16,9 +16,11 @@ use s3a_workload::Workload;
 use crate::master::run_master;
 use crate::observe::publish_service_obs;
 use crate::params::{ParamError, Segmentation, SimParams};
+use crate::phase::PhaseBreakdown;
 use crate::report::{RunReport, ServiceReport};
 use crate::resume::{restart_point, CommitTracker, ResumePoint};
 use crate::service::ServiceTracker;
+use crate::shard::{run_shard_master, run_shard_worker};
 use crate::trace::TraceSink;
 use crate::worker::{run_worker, WorkerStats};
 
@@ -243,7 +245,7 @@ fn execute(params: &SimParams) -> Result<RunReport, SimError> {
         ind_wr_buffer_size: params.ind_wr_buffer_size,
     };
 
-    let worker_ranks: Vec<usize> = (1..params.procs).collect();
+    let worker_ranks: Vec<usize> = (params.num_masters..params.procs).collect();
     let sink = if params.trace {
         TraceSink::recording()
     } else {
@@ -252,9 +254,38 @@ fn execute(params: &SimParams) -> Result<RunReport, SimError> {
     let commits = CommitTracker::new();
     let service_tracker = params.is_service().then(ServiceTracker::new);
 
-    // Master (world rank 0). Its file handle lives on a single-rank
-    // communicator: MW writes are independent operations.
-    let master_join = {
+    // Master(s). Each master's file handle lives on a single-rank
+    // communicator: MW writes (and shipped-result shard writes) are
+    // independent operations. Sharded runs spawn one master per shard;
+    // `num_masters == 1` takes the original single-master path unchanged.
+    let master_joins: Vec<_> = if params.sharded() {
+        (0..params.num_masters)
+            .map(|s| {
+                let comm = world.comm(s);
+                let master_only = comm.sub(&[s], &format!("master-io-{s}"));
+                let file = File::open(&master_only, &fs, OUTPUT_FILE, hints);
+                let sim2 = sim.clone();
+                let p = Rc::clone(&params);
+                let w = Rc::clone(&workload);
+                let fx = faults_ctx.clone();
+                let obs = obs_sink.clone();
+                sim.spawn(
+                    format!("master{s}"),
+                    run_shard_master(
+                        sim2,
+                        comm,
+                        p,
+                        w,
+                        file,
+                        sink.clone(),
+                        commits.clone(),
+                        fx,
+                        obs,
+                    ),
+                )
+            })
+            .collect()
+    } else {
         let comm = world.comm(0);
         let master_only = comm.sub(&[0], "master-io");
         let file = File::open(&master_only, &fs, OUTPUT_FILE, hints);
@@ -263,7 +294,7 @@ fn execute(params: &SimParams) -> Result<RunReport, SimError> {
         let w = Rc::clone(&workload);
         let fx = faults_ctx.clone();
         let svc = service_tracker.clone();
-        sim.spawn(
+        vec![sim.spawn(
             "master",
             run_master(
                 sim2,
@@ -276,7 +307,7 @@ fn execute(params: &SimParams) -> Result<RunReport, SimError> {
                 fx,
                 svc,
             ),
-        )
+        )]
     };
 
     // Workers (world ranks 1..procs). Their file handle lives on the
@@ -287,27 +318,44 @@ fn execute(params: &SimParams) -> Result<RunReport, SimError> {
             let comm = world.comm(r);
             let workers_comm = comm.sub(&worker_ranks, "workers");
             let file = File::open(&workers_comm, &fs, OUTPUT_FILE, hints);
-            let database = (params.segmentation == Segmentation::Query
-                && params.db_reload_bytes() > 0)
-                .then(|| fs.open(DATABASE_FILE));
             let sim2 = sim.clone();
             let p = Rc::clone(&params);
             let w = Rc::clone(&workload);
-            sim.spawn(
-                format!("worker{r}"),
-                run_worker(
-                    sim2,
-                    comm,
-                    workers_comm,
-                    p,
-                    w,
-                    file,
-                    database,
-                    sink.clone(),
-                    commits.clone(),
-                    faults_ctx.clone(),
-                ),
-            )
+            if params.sharded() {
+                sim.spawn(
+                    format!("worker{r}"),
+                    run_shard_worker(
+                        sim2,
+                        comm,
+                        workers_comm,
+                        p,
+                        w,
+                        file,
+                        sink.clone(),
+                        commits.clone(),
+                        faults_ctx.clone(),
+                    ),
+                )
+            } else {
+                let database = (params.segmentation == Segmentation::Query
+                    && params.db_reload_bytes() > 0)
+                    .then(|| fs.open(DATABASE_FILE));
+                sim.spawn(
+                    format!("worker{r}"),
+                    run_worker(
+                        sim2,
+                        comm,
+                        workers_comm,
+                        p,
+                        w,
+                        file,
+                        database,
+                        sink.clone(),
+                        commits.clone(),
+                        faults_ctx.clone(),
+                    ),
+                )
+            }
         })
         .collect();
 
@@ -316,7 +364,18 @@ fn execute(params: &SimParams) -> Result<RunReport, SimError> {
         let sim2 = sim.clone();
         let fs2 = fs.clone();
         sim.spawn("collector", async move {
-            let master = master_join.join().await;
+            let mut masters = Vec::with_capacity(master_joins.len());
+            for j in master_joins {
+                masters.push(j.join().await);
+            }
+            // Single-master runs report that master's breakdown verbatim
+            // (byte-identity with the pre-shard report); sharded runs
+            // report the across-shard mean.
+            let master = if masters.len() == 1 {
+                masters.pop().expect("one master")
+            } else {
+                PhaseBreakdown::mean(&masters)
+            };
             let mut workers = Vec::with_capacity(worker_joins.len());
             let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(workers.capacity());
             for j in worker_joins {

@@ -35,16 +35,16 @@ use crate::resume::CommitTracker;
 use crate::runner::FaultCtx;
 use crate::trace::TraceSink;
 
-struct WorkerState {
+pub(crate) struct WorkerState {
     /// Merged hits per batch, keyed by query (ascending), each list in
     /// `(score desc, size desc)` order.
-    local: Vec<BTreeMap<usize, Vec<Hit>>>,
+    pub(crate) local: Vec<BTreeMap<usize, Vec<Hit>>>,
     /// Batches for which this worker holds at least one result.
-    have_results: Vec<bool>,
+    pub(crate) have_results: Vec<bool>,
     /// Offset messages handled so far.
-    offsets_handled: usize,
+    pub(crate) offsets_handled: usize,
     /// Counters reported back to the runner.
-    stats: WorkerStats,
+    pub(crate) stats: WorkerStats,
 }
 
 /// Per-worker activity counters.
@@ -218,6 +218,7 @@ pub async fn run_worker(
                     query,
                     fragment,
                     hits: hits.clone(),
+                    shipped: false,
                 };
                 result_sends.push_back(comm.isend(0, TAG_SCORES, msg, wire));
             }
@@ -286,6 +287,9 @@ pub async fn run_worker(
             Assign::Shutdown { offsets } => {
                 drain_target = Some(offsets);
                 break;
+            }
+            Assign::ShardTask { .. } => {
+                unreachable!("sharded assignment on the single-master path")
             }
         }
 
@@ -369,7 +373,7 @@ pub async fn run_worker(
 }
 
 /// How many TAG_OFFSETS messages the master will send this worker.
-fn expected_offset_messages(params: &SimParams, state: &WorkerState) -> usize {
+pub(crate) fn expected_offset_messages(params: &SimParams, state: &WorkerState) -> usize {
     let nbatches = state.have_results.len();
     // A resumed run never re-announces batches that were durable at the
     // checkpoint.
@@ -388,7 +392,7 @@ fn expected_offset_messages(params: &SimParams, state: &WorkerState) -> usize {
 }
 
 #[allow(clippy::too_many_arguments)]
-async fn handle_offsets(
+pub(crate) async fn handle_offsets(
     timer: &PhaseTimer,
     params: &SimParams,
     workers_comm: &Comm,

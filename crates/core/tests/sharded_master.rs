@@ -1,0 +1,164 @@
+//! End-to-end tests for sharded-master mode: multiple master ranks, work
+//! stealing, sub-fragment tasks, and master failover. The invariants are
+//! the same ones the single-master fault tests pin: the output file is
+//! complete and exact (every byte written exactly once), the commit
+//! ledger closes exactly once per batch, and every run — failover
+//! included — replays byte-identically.
+
+use s3a_des::SimTime;
+use s3a_workload::WorkloadParams;
+use s3asim::{run, FaultParams, SimParams, Strategy};
+
+fn sharded(strategy: Strategy, masters: usize) -> SimParams {
+    SimParams {
+        procs: 10,
+        num_masters: masters,
+        strategy,
+        write_every_n_queries: 2,
+        workload: WorkloadParams {
+            queries: 8,
+            fragments: 8,
+            min_results: 30,
+            max_results: 80,
+            ..WorkloadParams::default()
+        },
+        ..SimParams::default()
+    }
+}
+
+fn master_crash(rank: usize, at_ms: u64) -> FaultParams {
+    FaultParams {
+        master_crashes: vec![(rank, SimTime::from_millis(at_ms))],
+        heartbeat_interval: SimTime::from_millis(50),
+        detection_timeout: SimTime::from_millis(400),
+        ..FaultParams::default()
+    }
+}
+
+#[test]
+fn fault_free_sharded_runs_verify() {
+    for strategy in [
+        Strategy::Mw,
+        Strategy::WwPosix,
+        Strategy::WwList,
+        Strategy::WwSieve,
+    ] {
+        for masters in [2, 3] {
+            let params = sharded(strategy, masters);
+            let report = run(&params);
+            report
+                .verify()
+                .unwrap_or_else(|e| panic!("{strategy}/{masters} masters: {e}"));
+        }
+    }
+}
+
+#[test]
+fn subfragment_tasks_preserve_the_output() {
+    // The same bytes land at the same offsets whether a fragment is one
+    // task or four: slices partition the sorted hit list in order.
+    for strategy in [Strategy::Mw, Strategy::WwList] {
+        let coarse = run(&sharded(strategy, 2));
+        let mut params = sharded(strategy, 2);
+        params.subfragment_factor = 4;
+        let fine = run(&params);
+        fine.verify()
+            .unwrap_or_else(|e| panic!("{strategy} subfragmented: {e}"));
+        assert_eq!(coarse.covered_bytes, fine.covered_bytes, "{strategy}");
+        assert_eq!(coarse.expected_bytes, fine.expected_bytes, "{strategy}");
+    }
+}
+
+#[test]
+fn sharded_runs_are_deterministic() {
+    let mut params = sharded(Strategy::WwList, 4);
+    params.subfragment_factor = 2;
+    let a = run(&params);
+    let b = run(&params);
+    assert_eq!(a.phase_table(), b.phase_table());
+    assert_eq!(a.csv_row(), b.csv_row());
+    assert_eq!(a.commits.entries(), b.commits.entries());
+}
+
+#[test]
+fn sharded_commit_ledger_closes_every_batch_exactly_once() {
+    let params = sharded(Strategy::WwPosix, 2);
+    let report = run(&params);
+    report.verify().expect("clean sharded run verifies");
+    let entries = report.commits.entries();
+    let mut batches: Vec<usize> = entries.iter().map(|e| e.batch).collect();
+    batches.sort_unstable();
+    batches.dedup();
+    assert_eq!(batches.len(), entries.len(), "no batch committed twice");
+    assert_eq!(batches, (0..4).collect::<Vec<_>>(), "all 4 batches durable");
+}
+
+#[test]
+fn master_crash_promotes_a_successor_and_loses_nothing() {
+    // The tentpole failover invariant: kill a standby master mid-Search;
+    // the coordinator detects the silence, a sibling shard adopts the
+    // dead master's batches (rebuilding any that died unlaid-out), its
+    // workers re-home, and the run still produces exactly-once extents.
+    for strategy in [Strategy::Mw, Strategy::WwList] {
+        let mut params = sharded(strategy, 2);
+        params.faults = master_crash(1, 40);
+        let report = run(&params);
+        report
+            .verify()
+            .unwrap_or_else(|e| panic!("{strategy}: {e}"));
+        let f = report.faults.expect("fault report present");
+        assert_eq!(f.master_crashes, 1, "{strategy}");
+        assert_eq!(f.master_detections, 1, "{strategy}");
+        assert_eq!(f.shard_takeovers, 1, "{strategy}");
+
+        // Exactly-once repair credit: the ledger holds each batch once,
+        // and together the extents cover the whole file.
+        let entries = report.commits.entries();
+        let mut batches: Vec<usize> = entries.iter().map(|e| e.batch).collect();
+        batches.sort_unstable();
+        batches.dedup();
+        assert_eq!(
+            batches.len(),
+            entries.len(),
+            "{strategy}: a batch committed twice after failover"
+        );
+        assert_eq!(
+            batches,
+            (0..4).collect::<Vec<_>>(),
+            "{strategy}: every batch durable despite the dead master"
+        );
+        assert_eq!(report.covered_bytes, report.expected_bytes, "{strategy}");
+    }
+}
+
+#[test]
+fn master_failover_replays_byte_identically() {
+    let mut params = sharded(Strategy::WwList, 3);
+    params.faults = master_crash(2, 60);
+    let a = run(&params);
+    let b = run(&params);
+    assert_eq!(a.phase_table(), b.phase_table());
+    assert_eq!(a.csv_row(), b.csv_row());
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.commits.entries(), b.commits.entries());
+}
+
+#[test]
+fn late_master_crash_after_layout_needs_no_rebuild() {
+    // Crash the master late enough that (typically) some of its batches
+    // are already laid out: adopted-but-known batches must not be redone,
+    // and the output must still be exact.
+    let mut params = sharded(Strategy::WwList, 2);
+    params.faults = master_crash(1, 300);
+    let report = run(&params);
+    report.verify().expect("late crash still exact");
+    let f = report.faults.expect("fault report");
+    assert_eq!(f.master_crashes, 1);
+    assert_eq!(f.shard_takeovers, 1);
+}
+
+#[test]
+fn fault_free_sharded_run_costs_no_recovery() {
+    let report = run(&sharded(Strategy::WwList, 2));
+    assert!(report.faults.is_none(), "no fault machinery armed");
+}

@@ -94,6 +94,12 @@ pub struct FaultParams {
     /// `(worker_rank, crash_time)`: the worker fail-stops at the first
     /// obligation-free point at or after `crash_time`.
     pub worker_crashes: Vec<(usize, SimTime)>,
+    /// `(master_rank, crash_time)`: in sharded-master runs the master
+    /// fail-stops at the first obligation-free point at or after
+    /// `crash_time` (and only before the shutdown quiesce — a schedule
+    /// that the run outpaces never fires). Rank 0 is the coordinator
+    /// and must not appear here.
+    pub master_crashes: Vec<(usize, SimTime)>,
     /// Per-mille probability that a message is lost on the wire and must
     /// be retransmitted by the transport.
     pub msg_loss_per_mille: u16,
@@ -133,6 +139,7 @@ impl Default for FaultParams {
         FaultParams {
             seed: 0,
             worker_crashes: Vec::new(),
+            master_crashes: Vec::new(),
             msg_loss_per_mille: 0,
             msg_dup_per_mille: 0,
             msg_delay_per_mille: 0,
@@ -154,6 +161,7 @@ impl FaultParams {
     /// True if any fault source is configured.
     pub fn any(&self) -> bool {
         !self.worker_crashes.is_empty()
+            || !self.master_crashes.is_empty()
             || self.msg_loss_per_mille > 0
             || self.msg_dup_per_mille > 0
             || self.msg_delay_per_mille > 0
@@ -197,6 +205,12 @@ impl FaultParams {
     /// master into its polling / failure-detection mode).
     pub fn crashes(&self) -> bool {
         !self.worker_crashes.is_empty()
+    }
+
+    /// True if any master crash is scheduled (this is what switches the
+    /// sharded masters into their polling / failure-detection mode).
+    pub fn master_crashes(&self) -> bool {
+        !self.master_crashes.is_empty()
     }
 
     /// True if any message-level fault is configured.
@@ -258,6 +272,16 @@ impl FaultSchedule {
     pub fn crash_time(&self, rank: usize) -> Option<SimTime> {
         self.params
             .worker_crashes
+            .iter()
+            .find(|(r, _)| *r == rank)
+            .map(|&(_, t)| t)
+    }
+
+    /// When (if ever) the master shard with this world rank is scheduled
+    /// to crash.
+    pub fn master_crash_time(&self, rank: usize) -> Option<SimTime> {
+        self.params
+            .master_crashes
             .iter()
             .find(|(r, _)| *r == rank)
             .map(|&(_, t)| t)
@@ -375,6 +399,17 @@ pub enum FaultKind {
     BlockCorruptionDetected { server: usize, block: u64 },
     /// The repair planner re-replicated one block replica onto a server.
     BlockReplicated { server: usize, bytes: u64 },
+    /// A master shard fail-stopped.
+    MasterCrashed { rank: usize },
+    /// The coordinator's failure detector declared a master shard dead.
+    MasterDetected { rank: usize },
+    /// A surviving shard adopted a dead shard's query space, rebuilding
+    /// the given number of incomplete batches from scratch.
+    ShardTakeover {
+        dead: usize,
+        successor: usize,
+        batches: usize,
+    },
 }
 
 /// A timestamped [`FaultKind`].
@@ -449,6 +484,20 @@ impl FaultLog {
                     r.blocks_re_replicated += 1;
                     r.bytes_re_replicated += bytes;
                 }
+                FaultKind::MasterCrashed { rank } => {
+                    r.master_crashes += 1;
+                    crash_at.insert(rank, ev.at);
+                }
+                FaultKind::MasterDetected { rank } => {
+                    r.master_detections += 1;
+                    if let Some(&t) = crash_at.get(&rank) {
+                        r.detection_latency += ev.at.saturating_sub(t);
+                    }
+                }
+                FaultKind::ShardTakeover { batches, .. } => {
+                    r.shard_takeovers += 1;
+                    r.batches_rebuilt += batches as u64;
+                }
             }
         }
         r
@@ -487,6 +536,14 @@ pub struct FaultReport {
     pub blocks_re_replicated: u64,
     /// Bytes moved by background re-replication (the recovery storm).
     pub bytes_re_replicated: u64,
+    /// Master shards that fail-stopped.
+    pub master_crashes: u64,
+    /// Dead master shards the coordinator's detector caught.
+    pub master_detections: u64,
+    /// Takeovers of a dead shard's query space by a survivor.
+    pub shard_takeovers: u64,
+    /// Incomplete batches a successor shard rebuilt from scratch.
+    pub batches_rebuilt: u64,
 }
 
 impl fmt::Display for FaultReport {
@@ -495,7 +552,8 @@ impl fmt::Display for FaultReport {
             f,
             "crashes={} detected={} (latency {}) reassigned={} repaired={} ({} B) \
              msg lost/dup/delayed={}/{}/{} io-retries={} dead-servers={} \
-             corruptions={} re-replicated={} ({} B)",
+             corruptions={} re-replicated={} ({} B) \
+             master-crashes={} master-detected={} takeovers={} rebuilt={}",
             self.crashes,
             self.detections,
             self.detection_latency,
@@ -510,6 +568,10 @@ impl fmt::Display for FaultReport {
             self.corruptions_detected,
             self.blocks_re_replicated,
             self.bytes_re_replicated,
+            self.master_crashes,
+            self.master_detections,
+            self.shard_takeovers,
+            self.batches_rebuilt,
         )
     }
 }

@@ -177,6 +177,107 @@ fn sjf_beats_fifo_on_p99_for_heavy_tailed_sizes() {
 }
 
 #[test]
+fn sjf_ties_dispatch_in_arrival_order() {
+    // Pin every query to the exact same output size (constant histograms,
+    // min_results == max_results), so EVERY SJF comparison is a tie. The
+    // tie-break is (bytes, arrival, query id): with sizes equal, SJF must
+    // degenerate to FIFO exactly — same dispatch order, query for query.
+    // Before the tie-break fix, equal-size queries could dispatch in heap
+    // pop order, silently reordering same-size work.
+    let pinned = |policy: SchedPolicy| {
+        SimParams::builder()
+            .procs(6)
+            .strategy(Strategy::WwList)
+            .with_workload(|w| {
+                w.queries = 40;
+                w.fragments = 4;
+                w.min_results = 60;
+                w.max_results = 60;
+                w.db_hist = BoxHistogram::constant(8);
+                w.query_hist = BoxHistogram::constant(40);
+            })
+            .service(ServiceParams {
+                arrivals: ArrivalProcess::Poisson { rate: 20.0 },
+                policy,
+                tenants: 1,
+                queue_capacity: 64,
+                arrival_seed: 3,
+                poll_interval: SimTime::from_millis(5),
+            })
+            .build()
+            .expect("valid pinned configuration")
+    };
+
+    let sjf = try_run(&pinned(SchedPolicy::Sjf)).expect("SJF run completes");
+    let fifo = try_run(&pinned(SchedPolicy::Fifo)).expect("FIFO run completes");
+    let sjf = sjf.service.expect("service report");
+    let fifo = fifo.service.expect("service report");
+    assert_eq!(sjf.shed, 0);
+    assert_eq!(fifo.shed, 0);
+
+    let dispatch_order = |svc: &s3asim::ServiceReport| {
+        let mut qs: Vec<(SimTime, usize)> = svc
+            .queries
+            .iter()
+            .map(|q| (q.dispatched, q.query))
+            .collect();
+        qs.sort();
+        qs.into_iter().map(|(_, q)| q).collect::<Vec<_>>()
+    };
+    assert_eq!(
+        dispatch_order(&sjf),
+        dispatch_order(&fifo),
+        "all-ties SJF must dispatch in FIFO (arrival) order"
+    );
+
+    // And within the SJF run itself: dispatch order equals arrival order.
+    let mut by_arrival: Vec<(SimTime, usize)> =
+        sjf.queries.iter().map(|q| (q.arrival, q.query)).collect();
+    by_arrival.sort();
+    assert_eq!(
+        dispatch_order(&sjf),
+        by_arrival.into_iter().map(|(_, q)| q).collect::<Vec<_>>(),
+        "same-size queries must leave the queue in arrival order"
+    );
+}
+
+#[test]
+fn bursty_shedding_replays_byte_identically_serial_vs_pooled() {
+    // Simultaneous (same-tick) arrivals under a bursty process against a
+    // tiny queue: admission and shedding decisions inside one tick must
+    // follow the arrival sequence, so the exact set of shed queries —
+    // not just the count — replays byte-identically whether the batch
+    // runs serially or on the sweep thread pool.
+    let mut p = service(4.0, SchedPolicy::Fifo, 3);
+    p.mode = s3asim::RunMode::Service(ServiceParams {
+        arrivals: ArrivalProcess::Bursty {
+            base_rate: 2.0,
+            burst_rate: 40.0,
+            mean_dwell: 1.0,
+        },
+        ..p.service().expect("service mode").clone()
+    });
+    let params = vec![p.clone(), p];
+
+    let serial = run_batch(&params, 1).expect("serial batch completes");
+    let pooled = run_batch(&params, 4).expect("pooled batch completes");
+
+    let svc = serial[0].service.as_ref().expect("service report");
+    assert!(svc.shed > 0, "burst against capacity 3 must shed");
+
+    for (rs, rp) in serial.iter().zip(&pooled) {
+        let ss = rs.service.as_ref().expect("service report");
+        let sp = rp.service.as_ref().expect("service report");
+        assert_eq!(
+            ss.shed_queries, sp.shed_queries,
+            "same-tick shed decisions must not depend on the thread pool"
+        );
+        assert_eq!(format!("{:?}", rs.service), format!("{:?}", rp.service));
+        assert_eq!(rs.engine, rp.engine);
+    }
+}
+
+#[test]
 fn bounded_queue_shedding_is_counted_honestly() {
     // Overload a tiny queue so admission control must turn queries away,
     // then check the books: every offered query is either admitted or

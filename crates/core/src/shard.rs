@@ -499,8 +499,12 @@ pub(crate) async fn run_shard_master(
 
         // Failure detection (coordinator): a standby silent strictly
         // longer than the timeout is dead; pick the next alive master
-        // cyclically after it as successor and broadcast.
-        if crash_mode && me == 0 {
+        // cyclically after it as successor and broadcast. Off once the
+        // quiesce has completed — a standby that received AllDone exits
+        // (and stops heartbeating) while still marked alive here, and no
+        // standby can crash after acking Prepare, so a post-AllDone
+        // silence is always a clean exit, not a death.
+        if crash_mode && me == 0 && !all_done {
             for s in 1..m {
                 if alive[s] && silence_exceeds(sim.now(), last_seen[s], detection_timeout) {
                     if let Some(f) = &faults {
@@ -875,6 +879,18 @@ fn handle_master_dead(
         }
     }
 
+    // EVERY survivor records the new ownership, not just the successor:
+    // a later failover consults `owner_of` to find the batches the next
+    // dead master held, so a stale map at the next successor would
+    // orphan batches adopted in an earlier takeover (chained crashes are
+    // legal with >= 3 masters) and the run would never terminate.
+    let adopted: Vec<usize> = (0..batches.len())
+        .filter(|&b| owner_of[b] == dead)
+        .collect();
+    for &b in &adopted {
+        owner_of[b] = successor;
+    }
+
     if me != successor {
         return;
     }
@@ -888,11 +904,7 @@ fn handle_master_dead(
     let now = sim.now();
     let mut purge: Vec<usize> = Vec::new();
     let mut quarantined: Vec<(usize, usize, usize)> = Vec::new();
-    for b in 0..batches.len() {
-        if owner_of[b] != dead {
-            continue;
-        }
-        owner_of[b] = me;
+    for b in adopted {
         if commits.is_known(b) {
             continue;
         }
@@ -1000,6 +1012,11 @@ pub(crate) async fn run_shard_worker(
     };
     let mut ctrl_rx = crash_mode.then(|| comm.irecv(Source::Any, TAG_CTRL));
     let mut ctrl_sends: Vec<SendRequest> = Vec::new();
+    // Masters this worker has seen die (via `Rehome`). An assignment
+    // from one can still arrive after the purge ack when message delays
+    // outlast the detection window; executing it would re-create the
+    // stale local merge the ack barrier claims was dropped.
+    let mut dead_masters: BTreeSet<usize> = BTreeSet::new();
 
     loop {
         timer
@@ -1034,6 +1051,7 @@ pub(crate) async fn run_shard_worker(
                             successor,
                             purge,
                         } = msg.downcast::<ShardCtrl>();
+                        dead_masters.insert(dead);
                         for &b in &purge {
                             state.local[b].clear();
                             state.have_results[b] = false;
@@ -1096,6 +1114,15 @@ pub(crate) async fn run_shard_worker(
                 owner,
                 ship,
             } => {
+                if dead_masters.contains(&owner) {
+                    // A delayed assignment outlived its owner. Every
+                    // unscored task of a dead shard is covered by the
+                    // successor's rebuild, so executing this one could
+                    // only waste compute, lose its score to a dead rank,
+                    // or merge hits back into a purged batch. Drop it
+                    // and ask the (live) home for real work.
+                    continue;
+                }
                 state.stats.tasks += 1;
                 // `fragment` indexes the sub-fragment space: fragment
                 // f of the workload split `subfragment_factor` ways.

@@ -132,6 +132,73 @@ fn master_crash_promotes_a_successor_and_loses_nothing() {
 }
 
 #[test]
+fn chained_master_failover_loses_nothing() {
+    // Kill rank 1, then — after its takeover has landed — kill the
+    // successor, rank 2. The second failover only works if *every*
+    // survivor (rank 0 included, which becomes the next successor)
+    // recorded the first takeover in its ownership map: a stale map
+    // would orphan the batches rank 2 adopted from rank 1, and the run
+    // would never terminate.
+    for strategy in [Strategy::Mw, Strategy::WwList] {
+        let mut params = sharded(strategy, 3);
+        params.faults = FaultParams {
+            master_crashes: vec![
+                (1, SimTime::from_millis(40)),
+                (2, SimTime::from_millis(520)),
+            ],
+            heartbeat_interval: SimTime::from_millis(50),
+            detection_timeout: SimTime::from_millis(400),
+            ..FaultParams::default()
+        };
+        let report = run(&params);
+        report
+            .verify()
+            .unwrap_or_else(|e| panic!("{strategy}: {e}"));
+        let f = report.faults.expect("fault report present");
+        assert_eq!(f.master_crashes, 2, "{strategy}");
+        assert_eq!(f.master_detections, 2, "{strategy}");
+        assert_eq!(f.shard_takeovers, 2, "{strategy}");
+
+        // Exactly-once despite two generations of adoption.
+        let entries = report.commits.entries();
+        let mut batches: Vec<usize> = entries.iter().map(|e| e.batch).collect();
+        batches.sort_unstable();
+        batches.dedup();
+        assert_eq!(
+            batches.len(),
+            entries.len(),
+            "{strategy}: a batch committed twice after chained failover"
+        );
+        assert_eq!(
+            batches,
+            (0..4).collect::<Vec<_>>(),
+            "{strategy}: every batch durable despite two dead masters"
+        );
+        assert_eq!(report.covered_bytes, report.expected_bytes, "{strategy}");
+    }
+}
+
+#[test]
+fn chained_master_failover_replays_byte_identically() {
+    let mut params = sharded(Strategy::WwList, 3);
+    params.faults = FaultParams {
+        master_crashes: vec![
+            (1, SimTime::from_millis(40)),
+            (2, SimTime::from_millis(520)),
+        ],
+        heartbeat_interval: SimTime::from_millis(50),
+        detection_timeout: SimTime::from_millis(400),
+        ..FaultParams::default()
+    };
+    let a = run(&params);
+    let b = run(&params);
+    assert_eq!(a.phase_table(), b.phase_table());
+    assert_eq!(a.csv_row(), b.csv_row());
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.commits.entries(), b.commits.entries());
+}
+
+#[test]
 fn master_failover_replays_byte_identically() {
     let mut params = sharded(Strategy::WwList, 3);
     params.faults = master_crash(2, 60);

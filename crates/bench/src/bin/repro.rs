@@ -15,6 +15,7 @@
 //! repro service   open-loop service mode: tail latency per strategy × scheduling policy
 //! repro scale     engine throughput at 1k/4k/10k ranks (--quick: 1k only)
 //! repro shards    sharded-master sweep: masters x strategy x workers (--quick: small)
+//! repro mc        bounded schedule-space model check of the failover protocol (--quick: CI smoke)
 //! repro trace     request-level observability capture (Chrome trace + metrics)
 //! repro all       everything above (figures share sweep runs)
 //! ```
@@ -1229,6 +1230,69 @@ fn shards(quick: bool) {
     }
 }
 
+/// Bounded schedule-space model check of the 2-master failover protocol
+/// under MW and the list-I/O collective. Quick mode is the CI smoke
+/// configuration: ≤ 2 same-tick deviations per schedule, one crash
+/// point, a few hundred runs per strategy. A violation prints its
+/// minimized counterexample and fails the command.
+fn model_check(quick: bool) {
+    use s3a_mc::{explore, McConfig, Scenario};
+
+    let mut cfg = McConfig::quick();
+    if !quick {
+        cfg.max_deviations = 3;
+        cfg.max_runs = 4000;
+        cfg.crash_points = 3;
+        cfg.stop_on_first_violation = false;
+    }
+    println!(
+        "== model check: 2-master failover, deviations <= {}, {} crash point(s), <= {} runs each ==",
+        cfg.max_deviations, cfg.crash_points, cfg.max_runs
+    );
+    println!(
+        "{:<12} {:>8} {:>9} {:>11} {:>16} {:>11}",
+        "strategy", "runs", "distinct", "duplicates", "decision_points", "violations"
+    );
+    let mut csv = String::from(
+        "strategy,masters,workers,runs,distinct,duplicates,decision_points,violations\n",
+    );
+    let mut failed = false;
+    for strategy in [Strategy::Mw, Strategy::WwList] {
+        let scenario = Scenario::failover(strategy, 2, 8);
+        let report = explore(&scenario, &cfg);
+        println!(
+            "{:<12} {:>8} {:>9} {:>11} {:>16} {:>11}",
+            strategy.label(),
+            report.runs,
+            report.distinct,
+            report.duplicates,
+            report.decision_points,
+            report.counterexamples.len()
+        );
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{},{}\n",
+            strategy.label(),
+            scenario.masters,
+            scenario.procs - scenario.masters,
+            report.runs,
+            report.distinct,
+            report.duplicates,
+            report.decision_points,
+            report.counterexamples.len()
+        ));
+        for cx in &report.counterexamples {
+            failed = true;
+            println!("counterexample ({}):", cx.violation);
+            print!("{}", cx.to_json().pretty());
+        }
+    }
+    println!();
+    write_results("mc.csv", &csv);
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     // A fatal simulated I/O error unwinds as a typed payload that the
     // fallible runner entry points catch; when one still reaches a
@@ -1273,6 +1337,7 @@ fn main() {
         "service" => service(),
         "scale" => scale(args.iter().any(|a| a == "--quick")),
         "shards" => shards(args.iter().any(|a| a == "--quick")),
+        "mc" => model_check(args.iter().any(|a| a == "--quick")),
         "trace" => trace_capture(trace_out.as_deref()),
         "all" => {
             fig2(&mut cache);
@@ -1293,7 +1358,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown target '{other}'");
-            eprintln!("usage: repro [--trace-out FILE] [fig2|fig3|fig4|fig5|fig6|fig7|claims|colllist|sieve|segmentation|ablate|faults|replication|service|scale [--quick]|shards [--quick]|trace|all]");
+            eprintln!("usage: repro [--trace-out FILE] [fig2|fig3|fig4|fig5|fig6|fig7|claims|colllist|sieve|segmentation|ablate|faults|replication|service|scale [--quick]|shards [--quick]|mc [--quick]|trace|all]");
             std::process::exit(2);
         }
     }

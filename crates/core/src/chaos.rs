@@ -1,0 +1,51 @@
+//! Deliberate bug re-introduction knobs for validating the model
+//! checker. Each knob reverts exactly one shipped bugfix (thread-local,
+//! default off) so `s3a-mc`'s acceptance tests can demonstrate that
+//! schedule exploration rediscovers the bug and produces a replayable
+//! counterexample — against the *real* protocol code, not a mock.
+//!
+//! Never set outside tests: the knobs exist to make runs wrong.
+
+use std::cell::Cell;
+
+thread_local! {
+    static STALE_OWNERSHIP: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Re-introduce the PR 10 chained-failover ownership bug: on a master
+/// death, only the successor updates its `owner_of` map, so after a
+/// *second* crash the next successor consults a stale map and orphans
+/// the batches adopted in the first takeover (lost batches or a hung
+/// quiesce). Requires ≥ 3 masters and 2 chained crashes to bite.
+#[doc(hidden)]
+pub fn set_stale_ownership_bug(on: bool) {
+    STALE_OWNERSHIP.with(|c| c.set(on));
+}
+
+/// Current state of the stale-ownership knob (read at the failover site).
+#[doc(hidden)]
+pub fn stale_ownership_bug() -> bool {
+    STALE_OWNERSHIP.with(Cell::get)
+}
+
+/// RAII guard: enables the stale-ownership bug for a scope, restoring
+/// `off` on drop (including unwind, so a failing test cannot leak the
+/// bug into the next test on the same thread).
+#[doc(hidden)]
+#[derive(Debug)]
+pub struct StaleOwnershipGuard(());
+
+impl StaleOwnershipGuard {
+    /// Enable the bug until the guard drops.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        set_stale_ownership_bug(true);
+        StaleOwnershipGuard(())
+    }
+}
+
+impl Drop for StaleOwnershipGuard {
+    fn drop(&mut self) {
+        set_stale_ownership_bug(false);
+    }
+}

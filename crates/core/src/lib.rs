@@ -43,6 +43,9 @@
 //! worker thread — through [`Sweep::run`] / [`run_batch`], with results
 //! assembled deterministically in input order.
 
+#[doc(hidden)]
+pub mod chaos;
+mod failure_detector;
 mod master;
 pub mod observe;
 mod offsets;

@@ -29,6 +29,7 @@ use s3a_mpiio::File;
 use s3a_pvfs::Region;
 use s3a_workload::Workload;
 
+use crate::failure_detector::Liveness;
 use crate::offsets::{BatchState, WorkerPlan};
 use crate::params::{SchedPolicy, SimParams, Strategy};
 use crate::phase::{Phase, PhaseBreakdown, PhaseTimer};
@@ -831,7 +832,7 @@ async fn run_master_faulty(
     // Index 0 (the master itself) is unused in these per-rank tables.
     let mut alive = vec![true; nworkers + 1];
     let mut done = vec![false; nworkers + 1];
-    let mut last_seen = vec![sim.now(); nworkers + 1];
+    let mut liveness = Liveness::new(nworkers + 1, sim.now(), fp.detection_timeout);
     let mut in_flight: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
     let mut in_flight_repairs: BTreeMap<usize, Vec<RepairBundle>> = BTreeMap::new();
     let mut repairs: VecDeque<RepairBundle> = VecDeque::new();
@@ -846,7 +847,7 @@ async fn run_master_faulty(
 
     loop {
         // Heartbeats refresh liveness.
-        drain_heartbeats(comm, &mut hb_rx, &mut last_seen, sim);
+        drain_heartbeats(comm, &mut hb_rx, &mut liveness, sim);
 
         // Results.
         let mut k = 0;
@@ -926,12 +927,9 @@ async fn run_master_faulty(
         // heartbeats again first — the MW write above can block the
         // master for longer than the timeout, and heartbeats that arrived
         // during its own blindness must not read as worker silence.
-        drain_heartbeats(comm, &mut hb_rx, &mut last_seen, sim);
+        drain_heartbeats(comm, &mut hb_rx, &mut liveness, sim);
         for w in 1..=nworkers {
-            if alive[w]
-                && !done[w]
-                && silence_exceeds(sim.now(), last_seen[w], fp.detection_timeout)
-            {
+            if alive[w] && !done[w] && liveness.silent(w, sim.now()) {
                 on_death(
                     w,
                     sim,
@@ -967,7 +965,7 @@ async fn run_master_faulty(
             let w = status.source;
             wr_rx = comm.irecv(Source::Any, TAG_WORK_REQ);
             if alive[w] && !done[w] {
-                last_seen[w] = sim.now();
+                liveness.refresh(w, sim.now());
                 let assign = if let Some(r) = repairs.pop_front() {
                     ctx.log.record(
                         sim.now(),
@@ -1034,25 +1032,14 @@ async fn run_master_faulty(
     // No final barrier: the dead cannot arrive at one.
 }
 
-/// The failure detector's one comparison, shared by the worker detector
-/// and the sharded-master detector: a peer is declared dead only when
-/// its silence *strictly exceeds* the detection timeout (DESIGN.md §7).
-/// A heartbeat that lands exactly at `last_seen + timeout` — e.g. after
-/// a virtual-clock stall aligns the scan with the heartbeat tick — is
-/// still proof of life, regardless of timer poll order. `saturating_sub`
-/// keeps a refresh that raced ahead of the scan (`last_seen > now`)
-/// from underflowing into a false positive.
-pub(crate) fn silence_exceeds(now: SimTime, last_seen: SimTime, timeout: SimTime) -> bool {
-    now.saturating_sub(last_seen) > timeout
-}
-
 /// Consume every queued heartbeat, refreshing the senders' liveness.
 /// Called again right before the detection scan because loop iterations
 /// can block (MW batch writes) for longer than the detection timeout.
-fn drain_heartbeats(comm: &Comm, hb_rx: &mut RecvRequest, last_seen: &mut [SimTime], sim: &Sim) {
+/// The boundary rule itself lives in [`crate::failure_detector`].
+fn drain_heartbeats(comm: &Comm, hb_rx: &mut RecvRequest, liveness: &mut Liveness, sim: &Sim) {
     while let Some(m) = hb_rx.test() {
         let (_, status) = m.into_parts::<()>();
-        last_seen[status.source] = sim.now();
+        liveness.refresh(status.source, sim.now());
         *hb_rx = comm.irecv(Source::Any, TAG_HEARTBEAT);
     }
 }
@@ -1150,38 +1137,4 @@ fn record_scores(batches: &mut [Option<BatchState>], msg: Message, gran: usize) 
         .as_mut()
         .unwrap_or_else(|| panic!("scores for already-written batch {b}"))
         .record(scores.query, scores.fragment, status.source, &scores.hits);
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    /// Pins the detection-boundary semantics: a heartbeat that lands
-    /// exactly `detection_timeout` ago is still proof of life; only
-    /// strictly longer silence is death. Also pins the saturating
-    /// behaviour when a refresh races ahead of the scan.
-    #[test]
-    fn silence_boundary_is_exclusive() {
-        let t0 = SimTime::from_secs(10);
-        let timeout = SimTime::from_secs(3);
-        assert!(!silence_exceeds(t0 + timeout, t0, timeout));
-        assert!(silence_exceeds(
-            t0 + timeout + SimTime::from_nanos(1),
-            t0,
-            timeout
-        ));
-        assert!(!silence_exceeds(t0, t0, timeout));
-        // last_seen ahead of now (refresh raced the scan): never dead.
-        assert!(!silence_exceeds(t0, t0 + SimTime::from_secs(100), timeout));
-        assert!(!silence_exceeds(
-            SimTime::ZERO,
-            SimTime::ZERO,
-            SimTime::ZERO
-        ));
-        assert!(silence_exceeds(
-            SimTime::from_nanos(1),
-            SimTime::ZERO,
-            SimTime::ZERO
-        ));
-    }
 }

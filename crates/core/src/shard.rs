@@ -34,7 +34,7 @@ use s3a_mpiio::{File, WriteMethod};
 use s3a_obs::{ObsSink, Track};
 use s3a_workload::{Hit, Workload};
 
-use crate::master::silence_exceeds;
+use crate::failure_detector::Liveness;
 use crate::offsets::BatchState;
 use crate::params::{SimParams, Strategy};
 use crate::phase::{Phase, PhaseBreakdown, PhaseTimer};
@@ -277,7 +277,7 @@ pub(crate) async fn run_shard_master(
         .as_ref()
         .map(|p| p.detection_timeout)
         .unwrap_or(SimTime::ZERO);
-    let mut last_seen = vec![sim.now(); m];
+    let mut liveness = Liveness::new(m, sim.now(), detection_timeout);
 
     // Successor bookkeeping: rebuilt tasks are quarantined until every
     // worker has acknowledged the purge of its stale local merges, and
@@ -338,7 +338,7 @@ pub(crate) async fn run_shard_master(
         if let Some(rx) = &mut hb_rx {
             while let Some(msg) = rx.test() {
                 let (_, status) = msg.into_parts::<()>();
-                last_seen[status.source] = sim.now();
+                liveness.refresh(status.source, sim.now());
                 *rx = comm.irecv(Source::Any, TAG_MASTER_HB);
             }
         }
@@ -506,7 +506,7 @@ pub(crate) async fn run_shard_master(
         // silence is always a clean exit, not a death.
         if crash_mode && me == 0 && !all_done {
             for s in 1..m {
-                if alive[s] && silence_exceeds(sim.now(), last_seen[s], detection_timeout) {
+                if alive[s] && liveness.silent(s, sim.now()) {
                     if let Some(f) = &faults {
                         f.log
                             .record(sim.now(), FaultKind::MasterDetected { rank: s });
@@ -887,8 +887,12 @@ fn handle_master_dead(
     let adopted: Vec<usize> = (0..batches.len())
         .filter(|&b| owner_of[b] == dead)
         .collect();
-    for &b in &adopted {
-        owner_of[b] = successor;
+    // The chaos knob reverts this fix (successor-only update) so s3a-mc
+    // can prove it rediscovers the chained-failover bug mechanically.
+    if !crate::chaos::stale_ownership_bug() || me == successor {
+        for &b in &adopted {
+            owner_of[b] = successor;
+        }
     }
 
     if me != successor {

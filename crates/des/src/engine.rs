@@ -23,6 +23,7 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
+use crate::policy::{self, Candidate, PolicyHandle};
 use crate::time::SimTime;
 use crate::wheel::{TimerWheel, WakeEvent};
 
@@ -150,6 +151,9 @@ struct Core {
     free: Vec<u32>,
     live: usize,
     stats: SimStats,
+    /// Installed schedule policy (see [`crate::policy`]); `None` runs the
+    /// canonical engine with zero per-step overhead beyond this check.
+    policy: Option<PolicyHandle>,
 }
 
 impl Core {
@@ -215,6 +219,7 @@ impl Sim {
                     free: Vec::new(),
                     live: 0,
                     stats: SimStats::default(),
+                    policy: policy::ambient(),
                 }),
             }),
         }
@@ -223,6 +228,14 @@ impl Sim {
     /// The current virtual time.
     pub fn now(&self) -> SimTime {
         self.sh.now.get()
+    }
+
+    /// Install (or clear) a schedule policy on this engine. Prefer
+    /// [`crate::policy::with_policy`] when the `Sim` is constructed behind
+    /// an API; this direct setter is for tests and embedders that hold the
+    /// handle. Must not be called from inside a running task.
+    pub fn set_policy(&self, policy: Option<PolicyHandle>) {
+        self.sh.core.borrow_mut().policy = policy;
     }
 
     /// Engine work counters.
@@ -437,6 +450,9 @@ impl Sim {
     /// other exit it is parked in its slot first (it must be there for
     /// later wake-ups, and for deadlock reports).
     fn next_step(&self, c: &mut Core, mut carried: Option<(TaskId, TaskFut)>) -> Step {
+        if c.policy.is_some() {
+            return self.next_step_policy(c, carried);
+        }
         // Bookkeeping parity with `take_future` for the carried fast path.
         let fast = |c: &mut Core, tid: TaskId, fut: TaskFut| {
             c.slots[tid.idx as usize].blocked_on = None;
@@ -485,20 +501,137 @@ impl Sim {
                 }
                 None => {
                     park(c, &mut carried);
-                    let stuck: Vec<&Slot> = c
-                        .slots
-                        .iter()
-                        .filter(|s| !s.done && s.future.is_some())
-                        .collect();
-                    let parked = stuck.iter().map(|s| s.name.clone()).collect();
-                    let blocked_on = stuck.iter().map(|s| s.blocked_on).collect();
-                    return Step::Stuck(Deadlock {
-                        at: self.sh.now.get(),
-                        parked,
-                        blocked_on,
-                    });
+                    return Step::Stuck(self.diagnose(c));
                 }
             }
+        }
+    }
+
+    /// Build the deadlock report for the current parked-task population.
+    fn diagnose(&self, c: &Core) -> Deadlock {
+        let stuck: Vec<&Slot> = c
+            .slots
+            .iter()
+            .filter(|s| !s.done && s.future.is_some())
+            .collect();
+        Deadlock {
+            at: self.sh.now.get(),
+            parked: stuck.iter().map(|s| s.name.clone()).collect(),
+            blocked_on: stuck.iter().map(|s| s.blocked_on).collect(),
+        }
+    }
+
+    /// Policy-mode task selection: the same drain discipline as
+    /// [`Sim::next_step`] — ready queue first, then the timer wheel — but
+    /// every point where more than one task could legally run next is
+    /// delegated to the installed [`crate::policy::SchedulePolicy`].
+    /// Choosing index 0 at every point reproduces the canonical engine
+    /// bit for bit: identical polls, event counts, and clock advances.
+    ///
+    /// Parity notes, load-bearing for the byte-identity tests:
+    /// - The carried fast path is skipped (the policy may pick any
+    ///   candidate, so the pending future always returns to its slot
+    ///   first); the fast path is bookkeeping-identical, so nothing
+    ///   observable changes.
+    /// - Stale ready-queue ids are dropped silently, exactly as the
+    ///   canonical `take_future` skip does (no counters touched).
+    /// - Every wheel event is counted in `stats.events` exactly once, at
+    ///   consumption: stale events when dropped from a batch, live events
+    ///   when chosen. Unchosen live events go *back* to the wheel
+    ///   uncounted (they will be popped again).
+    /// - The clock advances to a batch's timestamp even when the whole
+    ///   batch is stale, matching the canonical pop loop.
+    fn next_step_policy(&self, c: &mut Core, carried: Option<(TaskId, TaskFut)>) -> Step {
+        if let Some((tid, fut)) = carried {
+            c.slots[tid.idx as usize].future = Some(fut);
+        }
+        let policy = c.policy.clone().expect("policy mode without a policy");
+        let mut batch: Vec<WakeEvent> = Vec::new();
+        loop {
+            if !policy.borrow_mut().keep_running() {
+                return Step::Stuck(Deadlock {
+                    at: self.sh.now.get(),
+                    parked: vec!["<schedule budget exhausted>".to_string()],
+                    blocked_on: vec![None],
+                });
+            }
+            {
+                let slots = &c.slots;
+                c.ready.retain(|tid| {
+                    slots
+                        .get(tid.idx as usize)
+                        .is_some_and(|s| s.gen == tid.gen && !s.done && s.future.is_some())
+                });
+            }
+            if !c.ready.is_empty() {
+                let cands: Vec<Candidate> = c
+                    .ready
+                    .iter()
+                    .map(|&tid| Candidate {
+                        task: tid,
+                        name_hash: policy::name_hash(&c.slots[tid.idx as usize].name),
+                        timed: false,
+                    })
+                    .collect();
+                let k = policy
+                    .borrow_mut()
+                    .choose(self.sh.now.get(), &cands)
+                    .min(cands.len() - 1);
+                let tid = c.ready.remove(k).expect("choice within the ready queue");
+                let fut = c.take_future(tid).expect("candidate validated above");
+                return Step::Poll(tid, fut);
+            }
+            if c.live == 0 {
+                return Step::Finished(self.sh.now.get());
+            }
+            batch.clear();
+            c.wheel.pop_batch(&mut batch);
+            if batch.is_empty() {
+                return Step::Stuck(self.diagnose(c));
+            }
+            let t = batch[0].time;
+            debug_assert!(t >= self.sh.now.get(), "event wheel went backwards");
+            if t > self.sh.now.get() {
+                self.sh.now.set(t);
+            }
+            // Duplicate wake-ups for one live task stay separate
+            // candidates: canonically each pop triggers its own
+            // (possibly spurious) poll, and parity requires the same.
+            let mut live_events: Vec<WakeEvent> = Vec::with_capacity(batch.len());
+            for ev in &batch {
+                let valid = c
+                    .slots
+                    .get(ev.task.idx as usize)
+                    .is_some_and(|s| s.gen == ev.task.gen && !s.done && s.future.is_some());
+                if valid {
+                    live_events.push(*ev);
+                } else {
+                    c.stats.events += 1;
+                }
+            }
+            if live_events.is_empty() {
+                continue;
+            }
+            let cands: Vec<Candidate> = live_events
+                .iter()
+                .map(|ev| Candidate {
+                    task: ev.task,
+                    name_hash: policy::name_hash(&c.slots[ev.task.idx as usize].name),
+                    timed: true,
+                })
+                .collect();
+            let k = policy.borrow_mut().choose(t, &cands).min(cands.len() - 1);
+            for (i, ev) in live_events.iter().enumerate() {
+                if i != k {
+                    c.wheel.push(*ev);
+                }
+            }
+            let chosen = live_events[k];
+            c.stats.events += 1;
+            let fut = c
+                .take_future(chosen.task)
+                .expect("candidate validated above");
+            return Step::Poll(chosen.task, fut);
         }
     }
 
@@ -945,6 +1078,144 @@ mod tests {
             h2.join().await;
         });
         assert_eq!(sim.run().unwrap(), SimTime::from_secs(1));
+    }
+
+    use crate::policy::{
+        with_policy, Candidate, CanonicalPolicy, PolicyHandle, SchedulePolicy, SeededPolicy,
+    };
+
+    /// A workload with same-tick sleep collisions, yields, joins, spawn
+    /// churn, and a stale wake-up — every selection-point flavor the
+    /// policy hook must handle. Returns the observable run record.
+    fn run_mixed(policy: Option<PolicyHandle>) -> (SimTime, Vec<String>, SimStats) {
+        let sim = Sim::new();
+        if policy.is_some() {
+            sim.set_policy(policy); // None keeps any ambient policy
+        }
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (i, name) in ["a", "b", "c", "d"].into_iter().enumerate() {
+            let s = sim.clone();
+            let log = Rc::clone(&log);
+            sim.spawn(name, async move {
+                s.sleep(SimTime::from_millis(5)).await;
+                log.borrow_mut().push(format!("{name}@tick"));
+                s.yield_now().await;
+                log.borrow_mut().push(format!("{name}@yield"));
+                s.sleep(SimTime::from_millis((i as u64 % 2) * 3)).await;
+                log.borrow_mut().push(format!("{name}@end"));
+            });
+        }
+        let s = sim.clone();
+        let log2 = Rc::clone(&log);
+        sim.spawn("driver", async move {
+            let h = s.spawn("child", {
+                let s = s.clone();
+                async move {
+                    s.sleep(SimTime::from_millis(5)).await;
+                    7u32
+                }
+            });
+            let stale = h.id();
+            s.schedule_wake(stale, SimTime::from_millis(6)); // spurious/stale
+            let v = h.join().await;
+            log2.borrow_mut().push(format!("join={v}"));
+        });
+        let end = sim.run().unwrap();
+        let entries = log.borrow().clone();
+        (end, entries, sim.stats())
+    }
+
+    /// Contract 1 of `crate::policy`: always answering 0 reproduces the
+    /// stock engine exactly — same final time, same observable event
+    /// order, same work counters (polls, events, spawns, completions).
+    #[test]
+    fn canonical_policy_is_bit_identical_to_no_policy() {
+        let stock = run_mixed(None);
+        let canonical = run_mixed(Some(Rc::new(RefCell::new(CanonicalPolicy))));
+        assert_eq!(stock, canonical);
+    }
+
+    /// A seeded-random policy must still produce a *legal* schedule: the
+    /// run completes, all tasks finish, and the per-task event sequences
+    /// are preserved (only cross-task order may change).
+    #[test]
+    fn seeded_policy_runs_to_completion_with_same_task_histories() {
+        let (_, stock_log, stock_stats) = run_mixed(None);
+        let mut saw_reorder = false;
+        for seed in [1u64, 7, 42, 1234] {
+            let (_, log, stats) = run_mixed(Some(Rc::new(RefCell::new(SeededPolicy::new(seed)))));
+            assert_eq!(stats.spawned, stock_stats.spawned);
+            assert_eq!(stats.completed, stock_stats.completed);
+            let mut sorted = log.clone();
+            sorted.sort();
+            let mut stock_sorted = stock_log.clone();
+            stock_sorted.sort();
+            assert_eq!(sorted, stock_sorted, "seed {seed} lost or invented events");
+            saw_reorder |= log != stock_log;
+        }
+        assert!(saw_reorder, "no seed produced a non-canonical interleaving");
+    }
+
+    /// The ambient installer must steer a `Sim` constructed behind a
+    /// function call, and the engine must surface multi-candidate
+    /// decision points (both ready-queue and timed ones) to the policy.
+    #[test]
+    fn ambient_policy_sees_ready_and_timed_decision_points() {
+        #[derive(Default)]
+        struct Recorder {
+            max_ready: usize,
+            max_timed: usize,
+        }
+        impl SchedulePolicy for Recorder {
+            fn choose(&mut self, _now: SimTime, cands: &[Candidate]) -> usize {
+                let n = cands.len();
+                if cands[0].timed {
+                    self.max_timed = self.max_timed.max(n);
+                } else {
+                    self.max_ready = self.max_ready.max(n);
+                }
+                0
+            }
+        }
+        let rec = Rc::new(RefCell::new(Recorder::default()));
+        let handle: PolicyHandle = rec.clone();
+        let stock = run_mixed(None);
+        let steered = with_policy(handle, || run_mixed(None));
+        assert_eq!(stock, steered, "recorder answers 0, so runs must match");
+        assert!(
+            rec.borrow().max_timed >= 2,
+            "same-tick sleepers not batched"
+        );
+        assert!(
+            rec.borrow().max_ready >= 2,
+            "yield wave not offered as a choice"
+        );
+    }
+
+    /// `keep_running() == false` must abort as a synthetic deadlock with
+    /// the budget marker — not a panic, not a hang.
+    #[test]
+    fn policy_budget_exhaustion_aborts_as_deadlock() {
+        struct Budget(u32);
+        impl SchedulePolicy for Budget {
+            fn choose(&mut self, _now: SimTime, _c: &[Candidate]) -> usize {
+                0
+            }
+            fn keep_running(&mut self) -> bool {
+                self.0 = self.0.saturating_sub(1);
+                self.0 > 0
+            }
+        }
+        let sim = Sim::new();
+        sim.set_policy(Some(Rc::new(RefCell::new(Budget(3)))));
+        let s = sim.clone();
+        sim.spawn("looper", async move {
+            loop {
+                s.sleep(SimTime::from_millis(1)).await;
+            }
+        });
+        let err = sim.run().unwrap_err();
+        assert_eq!(err.parked, vec!["<schedule budget exhausted>".to_string()]);
     }
 
     #[test]

@@ -28,12 +28,16 @@
 //! ```
 
 pub mod engine;
+pub mod policy;
 pub mod sync;
 pub mod time;
 pub(crate) mod wheel;
 
 pub use engine::{
     current_task, Deadlock, Join, JoinHandle, Sim, SimStats, Sleep, TaskId, YieldNow,
+};
+pub use policy::{
+    with_policy, Candidate, CanonicalPolicy, PolicyHandle, SchedulePolicy, SeededPolicy,
 };
 pub use sync::{
     Acquire, Arrive, Barrier, Flag, OneShot, Pop, Queue, Semaphore, Signal, Take, Timeline,

@@ -232,6 +232,29 @@ impl TimerWheel {
             self.levels[best_g].as_mut().expect("level allocated")[best_i] = v;
         }
     }
+
+    /// Remove the *entire burst* of events sharing the minimal timestamp,
+    /// appending them to `out` in `seq` order. Equivalent to popping until
+    /// the head timestamp changes, but without over-popping: the cursor
+    /// never advances past the burst's timestamp, so pushes at that
+    /// timestamp (from the task about to run) remain legal. This is the
+    /// policy-mode engine's view (see [`crate::policy`]): every same-tick
+    /// wake-up is a reordering candidate, so it must see them all at once.
+    pub(crate) fn pop_batch(&mut self, out: &mut Vec<WakeEvent>) {
+        let Some(first) = self.pop() else { return };
+        out.push(first);
+        // After a pop at time t, every other event at t is already in the
+        // drain buffer: cascades complete before the first same-time event
+        // is released, and a level-0 slot holds one exact timestamp (see
+        // the module notes). A lone sleeper leaves the buffer exhausted.
+        while self.current_pos < self.current.len() {
+            let ev = self.current[self.current_pos];
+            debug_assert_eq!(ev.time, first.time, "drain buffer spans timestamps");
+            self.current_pos += 1;
+            self.len -= 1;
+            out.push(ev);
+        }
+    }
 }
 
 /// The pre-wheel event queue — a plain binary heap ordered by
@@ -417,6 +440,80 @@ mod tests {
         }
         assert_eq!(wheel.pop(), None);
         assert_eq!(wheel.len(), 0);
+    }
+
+    /// `pop_batch` must hand out exactly the same-time burst — in seq
+    /// order — and leave the cursor at the burst's timestamp so same-time
+    /// push-backs stay legal.
+    #[test]
+    fn pop_batch_returns_whole_burst_and_allows_same_time_pushback() {
+        let mut wheel = TimerWheel::new();
+        for e in [ev(50, 0), ev(10, 1), ev(50, 2), ev(10, 3), ev(1000, 4)] {
+            wheel.push(e);
+        }
+        let mut out = Vec::new();
+        wheel.pop_batch(&mut out);
+        assert_eq!(out, vec![ev(10, 1), ev(10, 3)]);
+        // A push at the batch time (e.g. the policy returning an unchosen
+        // candidate) must come back out before later timestamps.
+        wheel.push(ev(10, 5));
+        out.clear();
+        wheel.pop_batch(&mut out);
+        assert_eq!(out, vec![ev(10, 5)]);
+        out.clear();
+        wheel.pop_batch(&mut out);
+        assert_eq!(out, vec![ev(50, 0), ev(50, 2)]);
+        out.clear();
+        wheel.pop_batch(&mut out);
+        assert_eq!(out, vec![ev(1000, 4)]);
+        out.clear();
+        wheel.pop_batch(&mut out);
+        assert!(out.is_empty());
+        assert_eq!(wheel.len(), 0);
+    }
+
+    proptest! {
+        /// Batched pops must agree with the heap oracle popped burst-wise:
+        /// each batch is one timestamp, internally seq-sorted, and the
+        /// concatenation of batches is the heap's total order.
+        #[test]
+        fn pop_batch_matches_heap_on_random_schedules(
+            deltas in prop::collection::vec(0u64..500, 1..150),
+        ) {
+            let mut wheel = TimerWheel::new();
+            let mut heap = HeapQueue::new();
+            let mut now = 0u64;
+            let mut out = Vec::new();
+            for (i, &d) in deltas.iter().enumerate() {
+                let e = ev(now.saturating_add(d), i as u64);
+                wheel.push(e);
+                heap.push(e);
+                if i % 3 == 0 {
+                    out.clear();
+                    wheel.pop_batch(&mut out);
+                    for e in &out {
+                        prop_assert_eq!(heap.pop(), Some(*e));
+                        prop_assert_eq!(e.time, out[0].time);
+                    }
+                    if let Some(last) = out.last() {
+                        now = last.time.as_nanos();
+                    }
+                }
+            }
+            loop {
+                out.clear();
+                wheel.pop_batch(&mut out);
+                if out.is_empty() {
+                    break;
+                }
+                for e in &out {
+                    prop_assert_eq!(heap.pop(), Some(*e));
+                    prop_assert_eq!(e.time, out[0].time);
+                }
+            }
+            prop_assert_eq!(heap.pop(), None);
+            prop_assert_eq!(wheel.len(), 0);
+        }
     }
 
     #[test]

@@ -217,6 +217,25 @@ impl FaultParams {
     pub fn message_faults(&self) -> bool {
         self.msg_loss_per_mille > 0 || self.msg_dup_per_mille > 0 || self.msg_delay_per_mille > 0
     }
+
+    /// Crash-point enumeration for the model checker: `count` variants of
+    /// this schedule, the `k`-th delaying every master-crash time by
+    /// `k * step` (saturating). Variant 0 is `self` unchanged. Sliding
+    /// the crash instants across the protocol timeline exposes fail-stop
+    /// points a single fixed schedule would never hit (mid-steal,
+    /// mid-layout, mid-quiesce).
+    pub fn master_crash_grid(&self, step: SimTime, count: usize) -> Vec<FaultParams> {
+        (0..count.max(1))
+            .map(|k| {
+                let mut p = self.clone();
+                for (_, t) in &mut p.master_crashes {
+                    let shift = step.as_nanos().saturating_mul(k as u64);
+                    *t = t.saturating_add(SimTime::from_nanos(shift));
+                }
+                p
+            })
+            .collect()
+    }
 }
 
 /// The fate of a single message, decided by [`FaultSchedule::message_fault`].

@@ -1,0 +1,18 @@
+// Fixture: qualified `std::collections` hash-collection paths must trip
+// `hash-collection` (the brace import also trips `unordered-iter` on the
+// same tokens — both rules are right). The qualified BTreeMap path below
+// must NOT fire. Not compiled — scanned as text by the self-tests.
+use std::collections::HashSet;
+use std::collections::{BTreeMap, HashMap};
+
+fn scratch() -> std::collections::HashMap<u64, u64> {
+    std::collections::HashMap::new()
+}
+
+fn ordered() -> std::collections::BTreeMap<u64, u64> {
+    std::collections::BTreeMap::new()
+}
+
+fn seen() -> HashSet<u64> {
+    HashSet::new()
+}

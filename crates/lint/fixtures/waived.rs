@@ -2,7 +2,7 @@
 // clean). Not compiled — scanned as text by the lint's self-tests.
 
 // s3a-lint: allow(unordered-iter) -- keys are collected and sorted before any output
-use std::collections::HashMap;
+use std::collections::HashMap; // s3a-lint: allow(hash-collection) -- same justification as the unordered-iter waiver above
 
 fn lookup_only(m: &std::collections::BTreeMap<u64, u64>, k: u64) -> Option<u64> {
     let t = Instant::now(); // s3a-lint: allow(wall-clock) -- same-line waiver form; mocked clock in this fixture

@@ -15,6 +15,7 @@
 //! | `seedless-rng` | `thread_rng`, `OsRng`, `from_entropy`, `getrandom`, `rand::random` — OS-entropy RNG |
 //! | `float-accum` | statements that accumulate (`+=` / `.sum(`) float-converted time — order-sensitive rounding |
 //! | `truncating-cast` | narrowing `as` casts on values whose names mark them as time or byte counters |
+//! | `hash-collection` | qualified `std::collections::HashMap`/`HashSet` paths — the import that smuggles the type in |
 //! | `bad-waiver` | malformed waiver comments (unknown rule, or missing reason) |
 //!
 //! These are deliberately *textual* rules, not a type-system analysis:
@@ -41,12 +42,13 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Identifiers of every rule, in reporting order.
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 7] = [
     "wall-clock",
     "unordered-iter",
     "seedless-rng",
     "float-accum",
     "truncating-cast",
+    "hash-collection",
     "bad-waiver",
 ];
 
@@ -478,6 +480,29 @@ pub fn lint_source(file: &str, src: &str) -> (Vec<Violation>, usize) {
                 &mut suppressed,
             );
         }
+        // `hash-collection` complements `unordered-iter`: it anchors on
+        // the *qualified path*, so the `use std::collections::{...}` line
+        // that smuggles the type into scope is flagged even when later
+        // uses are bare identifiers. (A qualified `BTreeMap` path is fine.)
+        if line.contains("std::collections::")
+            && (line.contains("HashMap") || line.contains("HashSet"))
+        {
+            let ty = if line.contains("HashMap") {
+                "HashMap"
+            } else {
+                "HashSet"
+            };
+            push(
+                &mut violations,
+                &mut waivers,
+                "hash-collection",
+                line_no,
+                format!(
+                    "`std::collections::{ty}` path; hash collections are per-process random — import BTreeMap/BTreeSet instead"
+                ),
+                &mut suppressed,
+            );
+        }
     }
 
     // `float-accum` works on whole statements: the conversion and the
@@ -642,10 +667,22 @@ mod tests {
 
     #[test]
     fn waiver_suppresses_and_is_counted() {
-        let src = "// s3a-lint: allow(unordered-iter) -- keys re-sorted before output\nuse std::collections::HashMap;\n";
+        let src = "// s3a-lint: allow(unordered-iter) -- keys re-sorted before output\nlet m = HashMap::new();\n";
         let (v, suppressed) = lint_source("t.rs", src);
         assert!(v.is_empty(), "unexpected: {v:?}");
         assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn hash_collection_fires_on_qualified_paths_only() {
+        let (v, _) = lint_source("t.rs", "use std::collections::HashSet;\n");
+        let rules: Vec<_> = v.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"hash-collection"), "got {rules:?}");
+        let (v, _) = lint_source("t.rs", "use std::collections::BTreeMap;\n");
+        assert!(v.is_empty(), "BTreeMap path must not fire: {v:?}");
+        // Bare identifiers are `unordered-iter`'s job, not this rule's.
+        let (v, _) = lint_source("t.rs", "let m = HashMap::new();\n");
+        assert!(v.iter().all(|v| v.rule != "hash-collection"), "{v:?}");
     }
 
     #[test]

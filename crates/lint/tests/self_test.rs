@@ -30,10 +30,36 @@ fn wall_clock_fixture_trips_only_wall_clock() {
 }
 
 #[test]
-fn unordered_iter_fixture_trips_only_unordered_iter() {
+fn unordered_iter_fixture_trips_unordered_iter() {
     let (v, _) = fixture("unordered_iter.rs");
-    assert!(v.len() >= 2, "HashMap + HashSet: {v:?}");
-    assert!(v.iter().all(|v| v.rule == "unordered-iter"), "{v:?}");
+    let unordered = v.iter().filter(|v| v.rule == "unordered-iter").count();
+    assert!(unordered >= 2, "HashMap + HashSet: {v:?}");
+    // The qualified brace import legitimately trips `hash-collection` too;
+    // nothing else may fire.
+    assert!(
+        v.iter()
+            .all(|v| v.rule == "unordered-iter" || v.rule == "hash-collection"),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn hash_collection_fixture_trips_qualified_paths_not_btreemap() {
+    let (v, _) = fixture("hash_collection.rs");
+    let fired: Vec<_> = v.iter().filter(|v| v.rule == "hash-collection").collect();
+    // Two imports + two qualified uses inside `scratch` (decl and body).
+    assert!(fired.len() >= 4, "qualified Hash paths: {v:?}");
+    assert!(
+        fired
+            .iter()
+            .all(|v| !v.snippet.contains("BTreeMap") || v.snippet.contains("HashMap")),
+        "qualified BTreeMap must not fire alone: {v:?}"
+    );
+    // `ordered()` uses only std::collections::BTreeMap — those lines are clean.
+    assert!(
+        v.iter().all(|v| !(12..=14).contains(&v.line)),
+        "BTreeMap-only lines fired: {v:?}"
+    );
 }
 
 #[test]
@@ -66,7 +92,10 @@ fn truncating_cast_fixture_fires_on_counters_not_indices() {
 fn waived_fixture_is_clean_and_counts_waivers() {
     let (v, suppressed) = fixture("waived.rs");
     assert!(v.is_empty(), "waivers must suppress: {v:?}");
-    assert_eq!(suppressed, 2, "both waiver forms must be exercised");
+    assert_eq!(
+        suppressed, 3,
+        "above-line, same-line, and hash-collection waivers must all be exercised"
+    );
 }
 
 #[test]
@@ -87,8 +116,11 @@ fn raced_repair_fixture_trips_unordered_iter_and_seedless_rng() {
     assert!(unordered >= 3, "HashMap field + HashSet + import: {v:?}");
     assert!(seedless >= 1, "thread_rng target pick: {v:?}");
     assert!(
-        v.iter()
-            .all(|v| v.rule == "unordered-iter" || v.rule == "seedless-rng"),
+        v.iter().all(|v| {
+            v.rule == "unordered-iter"
+                || v.rule == "seedless-rng"
+                || (v.rule == "hash-collection" && v.snippet.contains("std::collections"))
+        }),
         "{v:?}"
     );
     assert_eq!(suppressed, 0, "the bad sketch must not hide behind waivers");
@@ -126,6 +158,7 @@ fn every_rule_has_at_least_one_firing_fixture() {
         "seedless_rng.rs",
         "float_accum.rs",
         "truncating_cast.rs",
+        "hash_collection.rs",
         "bad_waiver.rs",
     ];
     let mut fired: Vec<&str> = fixtures.iter().flat_map(|f| rules_fired(f)).collect();

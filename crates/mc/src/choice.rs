@@ -1,0 +1,183 @@
+//! The exploration policy: a [`SchedulePolicy`] that replays a partial
+//! *plan* of deviations from the canonical schedule and records what it
+//! saw, so the explorer can both steer a run and learn where the next
+//! runs could deviate.
+//!
+//! Decision points are numbered in execution order, counting only the
+//! points that actually offer a choice (two or more candidates) — the
+//! numbering every plan and counterexample refers to. At decision `i`
+//! the policy answers `plan[i]` if the plan pins it, else `0` (the
+//! canonical choice), so a plan is a *sparse diff* against the canonical
+//! schedule and the empty plan reproduces it exactly.
+
+use std::collections::BTreeMap;
+
+use s3a_des::policy::{Candidate, SchedulePolicy};
+use s3a_des::SimTime;
+
+/// Decisions recorded per run before the trace stops growing. Bounds
+/// counterexample size and frontier fan-out; deviations beyond the cap
+/// are simply not explored (the cap is far past the interesting window —
+/// protocol races resolve within a few thousand decisions).
+pub const TRACE_CAP: usize = 4096;
+
+/// A planned/observed deviation: `(decision index, candidate index)`.
+pub type Choice = (u64, u32);
+
+/// The replay-and-record policy driving one explored run.
+#[derive(Debug)]
+pub struct ChoicePolicy {
+    plan: BTreeMap<u64, u32>,
+    next_decision: u64,
+    /// `(decision index, candidate count)` for every real decision point
+    /// observed, up to [`TRACE_CAP`] — the explorer's deviation menu.
+    trace: Vec<(u64, u32)>,
+    /// Running hash over `(virtual time, chosen task name)` per step: the
+    /// partial-order-reduction-lite state signature. Two runs with equal
+    /// signatures executed the same work in the same order.
+    signature: u64,
+    steps: u64,
+    max_steps: u64,
+    exhausted: bool,
+}
+
+impl ChoicePolicy {
+    /// A policy that deviates at exactly the planned points and aborts
+    /// (as a synthetic deadlock) after `max_steps` selection steps.
+    pub fn new(plan: &[Choice], max_steps: u64) -> Self {
+        ChoicePolicy {
+            plan: plan.iter().map(|&(i, c)| (i, c)).collect(),
+            next_decision: 0,
+            trace: Vec::new(),
+            signature: 0xcbf2_9ce4_8422_2325,
+            steps: 0,
+            max_steps,
+            exhausted: false,
+        }
+    }
+
+    /// The decision points this run exposed (capped at [`TRACE_CAP`]).
+    pub fn trace(&self) -> &[(u64, u32)] {
+        &self.trace
+    }
+
+    /// The run's schedule signature (see [`ChoicePolicy::signature`]).
+    pub fn signature(&self) -> u64 {
+        self.signature
+    }
+
+    /// Number of real (multi-candidate) decision points encountered.
+    pub fn decisions(&self) -> u64 {
+        self.next_decision
+    }
+
+    /// True when the run was cut off by the step budget.
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+}
+
+impl SchedulePolicy for ChoicePolicy {
+    fn choose(&mut self, now: SimTime, candidates: &[Candidate]) -> usize {
+        let k = if candidates.len() > 1 {
+            let idx = self.next_decision;
+            self.next_decision += 1;
+            if self.trace.len() < TRACE_CAP {
+                self.trace.push((idx, candidates.len() as u32));
+            }
+            self.plan
+                .get(&idx)
+                .map(|&c| (c as usize).min(candidates.len() - 1))
+                .unwrap_or(0)
+        } else {
+            0
+        };
+        // FNV-style fold of (time, chosen name, position within ties).
+        let mut mix = |v: u64| {
+            self.signature = (self.signature ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(now.as_nanos());
+        mix(candidates[k].name_hash);
+        mix(k as u64);
+        k
+    }
+
+    fn keep_running(&mut self) -> bool {
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            self.exhausted = true;
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s3a_des::TaskId;
+
+    fn cands(n: usize) -> Vec<Candidate> {
+        // TaskId has no public constructor; candidates for these unit
+        // tests come from a real (tiny) sim.
+        let sim = s3a_des::Sim::new();
+        let ids: Vec<TaskId> = (0..n)
+            .map(|i| sim.spawn(format!("t{i}"), async {}).id())
+            .collect();
+        ids.iter()
+            .enumerate()
+            .map(|(i, &task)| Candidate {
+                task,
+                name_hash: s3a_des::policy::name_hash(&format!("t{i}")),
+                timed: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_plan_is_canonical_and_traces_decision_points() {
+        let mut p = ChoicePolicy::new(&[], 1000);
+        let two = cands(2);
+        let one = cands(1);
+        assert_eq!(p.choose(SimTime::ZERO, &one), 0);
+        assert_eq!(p.choose(SimTime::ZERO, &two), 0);
+        assert_eq!(p.choose(SimTime::from_millis(1), &two), 0);
+        // Only the multi-candidate points number and trace.
+        assert_eq!(p.decisions(), 2);
+        assert_eq!(p.trace(), &[(0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn plan_deviates_at_the_pinned_point_only() {
+        let mut p = ChoicePolicy::new(&[(1, 1)], 1000);
+        let two = cands(2);
+        assert_eq!(p.choose(SimTime::ZERO, &two), 0);
+        assert_eq!(p.choose(SimTime::ZERO, &two), 1);
+        assert_eq!(p.choose(SimTime::ZERO, &two), 0);
+        // Out-of-range plan entries clamp to the last candidate.
+        let mut q = ChoicePolicy::new(&[(0, 9)], 1000);
+        assert_eq!(q.choose(SimTime::ZERO, &two), 1);
+    }
+
+    #[test]
+    fn signatures_separate_schedules_and_match_reruns() {
+        let two = cands(2);
+        let run = |plan: &[Choice]| {
+            let mut p = ChoicePolicy::new(plan, 1000);
+            p.choose(SimTime::ZERO, &two);
+            p.choose(SimTime::from_millis(3), &two);
+            p.signature()
+        };
+        assert_eq!(run(&[]), run(&[]));
+        assert_ne!(run(&[]), run(&[(1, 1)]));
+    }
+
+    #[test]
+    fn budget_trips_exhausted_flag() {
+        let mut p = ChoicePolicy::new(&[], 2);
+        assert!(p.keep_running());
+        assert!(p.keep_running());
+        assert!(!p.keep_running());
+        assert!(p.exhausted());
+    }
+}

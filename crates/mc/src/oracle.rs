@@ -1,0 +1,113 @@
+//! Invariant oracles checked after every explored run. A schedule is a
+//! *violation* when any oracle rejects it; the canonical schedule's
+//! observable output is the spec the others are held to.
+//!
+//! The oracles, in check order:
+//!
+//! 1. **Termination** — the run neither deadlocks nor exhausts the step
+//!    budget (a hung quiesce shows up here).
+//! 2. **Extent exactness** — `RunReport::verify`'s byte accounting:
+//!    every expected byte written exactly once, one dense extent,
+//!    nothing unflushed. (`try_run` folds this into its error path.)
+//! 3. **Exactly-once ledger** — the commit log closes every expected
+//!    batch exactly once: no lost batches after ≤ 2 chained master
+//!    crashes, no double credit.
+//! 4. **Sanitizer cleanliness** — `SimSanitizer` saw no unlocked
+//!    overlapping writes, foreign unflushed reads, or partial
+//!    collectives.
+//! 5. **Output equality** — the batch extents (batch, queries, bytes,
+//!    base) equal the canonical run's. Write *timing* and writer
+//!    identity legitimately vary across schedules; the bytes on disk
+//!    must not. File content itself is not simulated, so the extent map
+//!    is the strongest byte-equality statement available.
+
+use s3asim::{RunReport, SimError};
+
+use crate::explore::{RunError, RunOutcome};
+use crate::scenario::Scenario;
+
+/// The canonical run's observable output: one `(batch, queries, bytes,
+/// base)` row per commit, sorted by batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    /// Sorted extent rows the explored runs must reproduce.
+    pub commits: Vec<(usize, usize, u64, u64)>,
+}
+
+/// Extract the schedule-independent commit projection from a report.
+pub fn commit_projection(report: &RunReport) -> Vec<(usize, usize, u64, u64)> {
+    let mut rows: Vec<(usize, usize, u64, u64)> = report
+        .commits
+        .entries()
+        .iter()
+        .map(|e| (e.batch, e.queries, e.bytes, e.base))
+        .collect();
+    rows.sort_unstable();
+    rows
+}
+
+/// Check every oracle. `baseline` is `None` only while establishing the
+/// canonical run itself (oracle 5 is then vacuous).
+pub fn check(
+    scenario: &Scenario,
+    outcome: &RunOutcome,
+    baseline: Option<&Baseline>,
+) -> Result<(), String> {
+    let report = match &outcome.result {
+        Err(RunError::Panic(msg)) => {
+            return Err(format!("invariant panic: {msg}"));
+        }
+        Err(RunError::Sim(SimError::Deadlock(d))) if outcome.exhausted => {
+            let _ = d;
+            return Err(
+                "termination: schedule step budget exhausted (livelock or lost shutdown)"
+                    .to_string(),
+            );
+        }
+        Err(RunError::Sim(SimError::Deadlock(d))) => {
+            return Err(format!("termination: deadlock — {d}"));
+        }
+        Err(RunError::Sim(SimError::Verification(e))) => {
+            return Err(format!("extent exactness: {e}"));
+        }
+        Err(RunError::Sim(SimError::Io(e))) => {
+            return Err(format!("io failure: {e}"));
+        }
+        Err(RunError::Sim(SimError::InvalidParams(e))) => {
+            return Err(format!("invalid scenario parameters: {e}"));
+        }
+        Ok(report) => report,
+    };
+
+    // Exactly-once ledger.
+    let mut batches: Vec<usize> = report.commits.entries().iter().map(|e| e.batch).collect();
+    batches.sort_unstable();
+    if let Some(w) = batches.windows(2).find(|w| w[0] == w[1]) {
+        return Err(format!("exactly-once: batch {} committed twice", w[0]));
+    }
+    let expected: Vec<usize> = (0..scenario.expected_batches()).collect();
+    if batches != expected {
+        return Err(format!(
+            "exactly-once: ledger closed batches {batches:?}, expected {expected:?}"
+        ));
+    }
+
+    // Sanitizer cleanliness (present when the scenario armed it).
+    if let Some(s) = &report.sanitizer {
+        if !s.is_clean() {
+            return Err(format!("sanitizer: {} hazard(s) flagged", s.hazards.len()));
+        }
+    }
+
+    // Output equality against the canonical run.
+    if let Some(base) = baseline {
+        let rows = commit_projection(report);
+        if rows != base.commits {
+            return Err(format!(
+                "output equality: extents {rows:?} differ from canonical {:?}",
+                base.commits
+            ));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,285 @@
+//! The scenario under check: a compact, JSON-serializable description of
+//! one simulation configuration (strategy, topology, workload knobs,
+//! crash schedule) that both `explore` and `replay` can reconstruct into
+//! identical [`SimParams`]. Everything a schedule's meaning depends on
+//! is in here — a counterexample file embeds its scenario, so replaying
+//! it needs nothing but the file.
+
+use s3a_des::SimTime;
+use s3a_workload::WorkloadParams;
+use s3asim::{FaultParams, SimParams, Strategy};
+
+use crate::json::Json;
+
+/// One model-checking scenario. Times are nanoseconds (the DES unit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// I/O strategy under test.
+    pub strategy: Strategy,
+    /// Master ranks; `procs - masters` ranks are workers.
+    pub masters: usize,
+    /// Total ranks.
+    pub procs: usize,
+    /// Queries in the workload.
+    pub queries: usize,
+    /// Database fragments.
+    pub fragments: usize,
+    /// Sub-fragment task decomposition factor.
+    pub subfragment_factor: usize,
+    /// Queries per write batch.
+    pub write_every: usize,
+    /// Result-count band per query.
+    pub min_results: u64,
+    /// Result-count band per query.
+    pub max_results: u64,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Arm the race sanitizer (its cleanliness is an oracle).
+    pub sanitize: bool,
+    /// Master crash schedule: `(rank, nanoseconds)`.
+    pub crashes: Vec<(usize, u64)>,
+    /// Heartbeat interval, ns.
+    pub heartbeat_ns: u64,
+    /// Detection timeout, ns.
+    pub detection_ns: u64,
+    /// Re-introduce the PR 10 stale-ownership failover bug for this
+    /// scenario (see `s3asim::chaos`) — used by the self-validation
+    /// tests that prove the checker catches a known-real bug.
+    pub chaos_stale_ownership: bool,
+}
+
+impl Scenario {
+    /// The acceptance scenario: a 2-master failover (one standby master
+    /// killed mid-Search) over `masters + workers` ranks, with the
+    /// heartbeat/detection timing the end-to-end failover tests pin.
+    pub fn failover(strategy: Strategy, masters: usize, workers: usize) -> Scenario {
+        Scenario {
+            strategy,
+            masters,
+            procs: masters + workers,
+            queries: 8,
+            fragments: 8,
+            subfragment_factor: 1,
+            write_every: 2,
+            min_results: 30,
+            max_results: 80,
+            seed: WorkloadParams::default().seed,
+            sanitize: true,
+            crashes: vec![(1, SimTime::from_millis(40).as_nanos())],
+            heartbeat_ns: SimTime::from_millis(50).as_nanos(),
+            detection_ns: SimTime::from_millis(400).as_nanos(),
+            chaos_stale_ownership: false,
+        }
+    }
+
+    /// The chained-failover scenario (3 masters, two crashes, the second
+    /// after the first takeover lands) — the configuration that trips
+    /// the PR 10 stale-ownership bug when the chaos knob re-introduces it.
+    pub fn chained_failover(strategy: Strategy) -> Scenario {
+        let mut s = Scenario::failover(strategy, 3, 7);
+        s.crashes = vec![
+            (1, SimTime::from_millis(40).as_nanos()),
+            (2, SimTime::from_millis(520).as_nanos()),
+        ];
+        s
+    }
+
+    /// The crash schedule as fault parameters (variant 0 of the grid).
+    pub fn fault_params(&self) -> FaultParams {
+        FaultParams {
+            master_crashes: self
+                .crashes
+                .iter()
+                .map(|&(rank, ns)| (rank, SimTime::from_nanos(ns)))
+                .collect(),
+            heartbeat_interval: SimTime::from_nanos(self.heartbeat_ns),
+            detection_timeout: SimTime::from_nanos(self.detection_ns),
+            ..FaultParams::default()
+        }
+    }
+
+    /// Full simulation parameters for one crash-grid variant.
+    pub fn params(&self, faults: &FaultParams) -> SimParams {
+        SimParams {
+            procs: self.procs,
+            num_masters: self.masters,
+            strategy: self.strategy,
+            write_every_n_queries: self.write_every,
+            subfragment_factor: self.subfragment_factor,
+            sanitize: self.sanitize,
+            faults: faults.clone(),
+            workload: WorkloadParams {
+                queries: self.queries,
+                fragments: self.fragments,
+                min_results: self.min_results,
+                max_results: self.max_results,
+                seed: self.seed,
+                ..WorkloadParams::default()
+            },
+            ..SimParams::default()
+        }
+    }
+
+    /// Number of write batches the commit ledger must close.
+    pub fn expected_batches(&self) -> usize {
+        self.queries.div_ceil(self.write_every.max(1))
+    }
+
+    /// Short human label, e.g. `WW-List/3m×7w`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}m×{}w",
+            self.strategy.label(),
+            self.masters,
+            self.procs - self.masters
+        )
+    }
+
+    /// Serialize for embedding in a counterexample file.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("strategy".into(), Json::Str(self.strategy.label().into())),
+            ("masters".into(), Json::Num(self.masters as u64)),
+            ("procs".into(), Json::Num(self.procs as u64)),
+            ("queries".into(), Json::Num(self.queries as u64)),
+            ("fragments".into(), Json::Num(self.fragments as u64)),
+            (
+                "subfragment_factor".into(),
+                Json::Num(self.subfragment_factor as u64),
+            ),
+            ("write_every".into(), Json::Num(self.write_every as u64)),
+            ("min_results".into(), Json::Num(self.min_results)),
+            ("max_results".into(), Json::Num(self.max_results)),
+            ("seed".into(), Json::Num(self.seed)),
+            ("sanitize".into(), Json::Bool(self.sanitize)),
+            (
+                "crashes".into(),
+                Json::Arr(
+                    self.crashes
+                        .iter()
+                        .map(|&(r, ns)| Json::Arr(vec![Json::Num(r as u64), Json::Num(ns)]))
+                        .collect(),
+                ),
+            ),
+            ("heartbeat_ns".into(), Json::Num(self.heartbeat_ns)),
+            ("detection_ns".into(), Json::Num(self.detection_ns)),
+            (
+                "chaos_stale_ownership".into(),
+                Json::Bool(self.chaos_stale_ownership),
+            ),
+        ])
+    }
+
+    /// Reconstruct from the embedded form. Every field is required — a
+    /// counterexample that omits one would replay a different system.
+    pub fn from_json(j: &Json) -> Result<Scenario, String> {
+        fn num(j: &Json, key: &str) -> Result<u64, String> {
+            j.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("scenario field '{key}' missing or not a number"))
+        }
+        fn flag(j: &Json, key: &str) -> Result<bool, String> {
+            j.get(key)
+                .and_then(Json::as_bool)
+                .ok_or_else(|| format!("scenario field '{key}' missing or not a bool"))
+        }
+        let strategy_label = j
+            .get("strategy")
+            .and_then(Json::as_str)
+            .ok_or("scenario field 'strategy' missing or not a string")?;
+        let strategy = strategy_from_label(strategy_label)
+            .ok_or_else(|| format!("unknown strategy '{strategy_label}'"))?;
+        let crashes = j
+            .get("crashes")
+            .and_then(Json::as_arr)
+            .ok_or("scenario field 'crashes' missing or not an array")?
+            .iter()
+            .map(|pair| {
+                let pair = pair.as_arr().filter(|p| p.len() == 2);
+                match pair {
+                    Some([r, ns]) => Ok((
+                        r.as_u64().ok_or("bad crash rank")? as usize,
+                        ns.as_u64().ok_or("bad crash time")?,
+                    )),
+                    _ => Err("crash entry is not a [rank, ns] pair".to_string()),
+                }
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Scenario {
+            strategy,
+            masters: num(j, "masters")? as usize,
+            procs: num(j, "procs")? as usize,
+            queries: num(j, "queries")? as usize,
+            fragments: num(j, "fragments")? as usize,
+            subfragment_factor: num(j, "subfragment_factor")? as usize,
+            write_every: num(j, "write_every")? as usize,
+            min_results: num(j, "min_results")?,
+            max_results: num(j, "max_results")?,
+            seed: num(j, "seed")?,
+            sanitize: flag(j, "sanitize")?,
+            crashes,
+            heartbeat_ns: num(j, "heartbeat_ns")?,
+            detection_ns: num(j, "detection_ns")?,
+            chaos_stale_ownership: flag(j, "chaos_stale_ownership")?,
+        })
+    }
+}
+
+/// Inverse of [`Strategy::label`] for the strategies the checker drives.
+pub fn strategy_from_label(label: &str) -> Option<Strategy> {
+    Some(match label {
+        "MW" => Strategy::Mw,
+        "WW-POSIX" => Strategy::WwPosix,
+        "WW-List" => Strategy::WwList,
+        "WW-Coll" => Strategy::WwColl,
+        "WW-CollList" => Strategy::WwCollList,
+        "WW-DS" => Strategy::WwSieve,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_round_trips_through_json() {
+        for s in [
+            Scenario::failover(Strategy::Mw, 2, 8),
+            Scenario::chained_failover(Strategy::WwList),
+            {
+                let mut s = Scenario::failover(Strategy::WwSieve, 2, 8);
+                s.chaos_stale_ownership = true;
+                s
+            },
+        ] {
+            let text = s.to_json().pretty();
+            assert_eq!(
+                Scenario::from_json(&crate::json::parse(&text).unwrap()),
+                Ok(s)
+            );
+        }
+    }
+
+    #[test]
+    fn every_strategy_label_parses_back() {
+        for s in [
+            Strategy::Mw,
+            Strategy::WwPosix,
+            Strategy::WwList,
+            Strategy::WwColl,
+            Strategy::WwCollList,
+            Strategy::WwSieve,
+        ] {
+            assert_eq!(strategy_from_label(s.label()), Some(s));
+        }
+    }
+
+    #[test]
+    fn failover_scenario_counts_batches() {
+        let s = Scenario::failover(Strategy::Mw, 2, 8);
+        assert_eq!(s.expected_batches(), 4);
+        assert_eq!(s.procs, 10);
+        assert_eq!(s.label(), "MW/2m×8w");
+    }
+}

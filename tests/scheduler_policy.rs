@@ -1,0 +1,123 @@
+//! The `SchedulePolicy` hook's compatibility contract: installing the
+//! canonical policy must not change a single observable byte of any run
+//! (the model checker's baseline depends on it), and a schedule-shuffling
+//! policy may reorder execution but must never break the exactly-once
+//! commit ledger or output verification.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use s3a_des::{with_policy, CanonicalPolicy, PolicyHandle, SeededPolicy};
+use s3a_workload::WorkloadParams;
+use s3asim::{try_run, FaultParams, SimParams, SimTime, Strategy};
+
+fn base(procs: usize, queries: usize, seed: u64, strategy: Strategy) -> SimParams {
+    SimParams {
+        procs,
+        strategy,
+        workload: WorkloadParams {
+            queries,
+            fragments: 8,
+            min_results: 30,
+            max_results: 80,
+            seed,
+            ..WorkloadParams::default()
+        },
+        ..SimParams::default()
+    }
+}
+
+/// The 2-master failover configuration the model checker's acceptance
+/// scenario drives (one standby master crashes mid-Search).
+fn failover(strategy: Strategy) -> SimParams {
+    let mut p = base(10, 8, WorkloadParams::default().seed, strategy);
+    p.num_masters = 2;
+    p.write_every_n_queries = 2;
+    p.sanitize = true;
+    p.faults = FaultParams {
+        master_crashes: vec![(1, SimTime::from_millis(40))],
+        heartbeat_interval: SimTime::from_millis(50),
+        detection_timeout: SimTime::from_millis(400),
+        ..FaultParams::default()
+    };
+    p
+}
+
+fn run_with_canonical(params: &SimParams) -> String {
+    let handle: PolicyHandle = Rc::new(RefCell::new(CanonicalPolicy));
+    let report = with_policy(handle, || try_run(params)).expect("canonical run succeeds");
+    format!("{report:?}")
+}
+
+fn run_stock(params: &SimParams) -> String {
+    let report = try_run(params).expect("stock run succeeds");
+    format!("{report:?}")
+}
+
+#[test]
+fn canonical_policy_is_byte_identical_on_the_paper_strategies() {
+    for strategy in [
+        Strategy::Mw,
+        Strategy::WwPosix,
+        Strategy::WwList,
+        Strategy::WwColl,
+    ] {
+        let params = base(8, 6, WorkloadParams::default().seed, strategy);
+        assert_eq!(
+            run_stock(&params),
+            run_with_canonical(&params),
+            "{strategy}: canonical policy changed the report"
+        );
+    }
+}
+
+#[test]
+fn canonical_policy_is_byte_identical_through_master_failover() {
+    for strategy in [Strategy::Mw, Strategy::WwList] {
+        let params = failover(strategy);
+        assert_eq!(
+            run_stock(&params),
+            run_with_canonical(&params),
+            "{strategy}: canonical policy changed the failover report"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property form of the contract over the configuration space the
+    /// repro harness sweeps: procs, workload size, and seed.
+    #[test]
+    fn canonical_policy_is_byte_identical_across_configs(
+        procs in 3usize..10,
+        queries in 1usize..6,
+        seed in 0u64..1000,
+        strategy_idx in 0usize..4,
+    ) {
+        let strategy = Strategy::PAPER_SET[strategy_idx];
+        let params = base(procs, queries, seed, strategy);
+        prop_assert_eq!(run_stock(&params), run_with_canonical(&params));
+    }
+}
+
+#[test]
+fn seeded_policy_keeps_the_ledger_exactly_once_on_failover() {
+    let expected: Vec<usize> = (0..4).collect(); // 8 queries / write_every 2
+    for seed in [1u64, 7, 42, 1234] {
+        let params = failover(Strategy::Mw);
+        let handle: PolicyHandle = Rc::new(RefCell::new(SeededPolicy::new(seed)));
+        let report = with_policy(handle, || try_run(&params))
+            .unwrap_or_else(|e| panic!("seed {seed}: shuffled failover failed: {e}"));
+        let mut batches: Vec<usize> = report.commits.entries().iter().map(|e| e.batch).collect();
+        batches.sort_unstable();
+        assert_eq!(batches, expected, "seed {seed}: ledger not exactly-once");
+        let faults = report.faults.expect("fault report");
+        assert_eq!(faults.master_crashes, 1, "seed {seed}");
+        assert_eq!(faults.shard_takeovers, 1, "seed {seed}: takeover lost");
+        if let Some(s) = &report.sanitizer {
+            assert!(s.is_clean(), "seed {seed}: sanitizer hazards");
+        }
+    }
+}
